@@ -1,0 +1,38 @@
+//! # duet-baselines
+//!
+//! The cardinality estimators the Duet paper evaluates against, all
+//! implementing [`duet_query::CardinalityEstimator`]:
+//!
+//! | Estimator | Class | Module |
+//! |---|---|---|
+//! | Sampling | traditional (uniform row sample) | [`sampling`] |
+//! | Independence | traditional (attribute-value independence) | [`independence`] |
+//! | MHist | traditional (multi-dimensional histogram) | [`mhist`] |
+//! | MSCN-lite | query-driven (MLP regression with sample bitmaps) | [`mscn`] |
+//! | DeepDB-lite | data-driven (sum-product network) | [`deepdb`] |
+//! | Naru | data-driven (autoregressive + progressive sampling) | [`naru`] |
+//! | UAE | hybrid (Naru + differentiable query feedback) | [`uae`] |
+//!
+//! Each module documents where its implementation simplifies the original
+//! system; the simplifications preserve the qualitative behaviour the paper's
+//! comparison relies on (cost model, independence assumptions, workload-drift
+//! sensitivity, sampling non-determinism).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod deepdb;
+pub mod independence;
+pub mod mhist;
+pub mod mscn;
+pub mod naru;
+pub mod sampling;
+pub mod uae;
+
+pub use deepdb::{DeepDbConfig, DeepDbEstimator};
+pub use independence::IndependenceEstimator;
+pub use mhist::MHist;
+pub use mscn::{MscnConfig, MscnEstimator};
+pub use naru::{NaruConfig, NaruEpochStats, NaruEstimator};
+pub use sampling::SamplingEstimator;
+pub use uae::{UaeConfig, UaeEpochStats, UaeEstimator};

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark: single-query estimation latency of Duet vs the
+//! sampling-based and traditional estimators (the latency claim behind
+//! Figure 7 and the O(1)-vs-O(n) analysis of §IV-E).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duet_baselines::{IndependenceEstimator, MHist, NaruConfig, NaruEstimator};
+use duet_core::{DuetConfig, DuetEstimator};
+use duet_data::datasets::census_like;
+use duet_query::{CardinalityEstimator, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_estimation(c: &mut Criterion) {
+    let table = census_like(4_000, 7);
+    let queries = WorkloadSpec::random(&table, 64, 1234).generate(&table);
+
+    let duet_cfg = DuetConfig::small().with_epochs(2);
+    let mut duet = DuetEstimator::train_data_only(&table, &duet_cfg, 3);
+    let naru_cfg = NaruConfig::small().with_epochs(2).with_samples(200);
+    let mut naru = NaruEstimator::train(&table, &naru_cfg, 3);
+    let mut indep = IndependenceEstimator::new(&table);
+    let mut mhist = MHist::new(&table, 256);
+
+    let mut group = c.benchmark_group("estimation_latency");
+    let mut idx = 0usize;
+    group.bench_function("duet_single_query", |b| {
+        b.iter(|| {
+            let q = &queries[idx % queries.len()];
+            idx += 1;
+            black_box(duet.estimate(q))
+        })
+    });
+    group.bench_function("naru_progressive_sampling", |b| {
+        b.iter(|| {
+            let q = &queries[idx % queries.len()];
+            idx += 1;
+            black_box(naru.estimate(q))
+        })
+    });
+    group.bench_function("independence", |b| {
+        b.iter(|| {
+            let q = &queries[idx % queries.len()];
+            idx += 1;
+            black_box(indep.estimate(q))
+        })
+    });
+    group.bench_function("mhist", |b| {
+        b.iter(|| {
+            let q = &queries[idx % queries.len()];
+            idx += 1;
+            black_box(mhist.estimate(q))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_estimation
+}
+criterion_main!(benches);

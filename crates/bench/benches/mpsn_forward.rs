@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark: per-column MPSN embedding vs the merged
+//! block-diagonal MPSN (the "Parallel Acceleration for MLP MPSN" of §IV-F),
+//! on a 100-column table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duet_core::{build_mpsns, MergedMlpMpsn, MpsnKind};
+use std::hint::black_box;
+
+fn bench_mpsn(c: &mut Criterion) {
+    // 100 columns, each with an 11-wide block (6 value bits + 5 op bits).
+    let widths = vec![11usize; 100];
+    let mpsns = build_mpsns(MpsnKind::Mlp, &widths, 64, 7);
+    let merged = MergedMlpMpsn::from_columns(&mpsns);
+    // One predicate on every other column, wildcard elsewhere.
+    let preds_per_col: Vec<Vec<Vec<f32>>> = (0..100)
+        .map(|c| {
+            if c % 2 == 0 {
+                vec![(0..11).map(|i| ((i + c) as f32 * 0.1).sin()).collect()]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("mpsn_forward_100_columns");
+    group.bench_function("per_column_mpsns", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(100 * 11);
+            for (m, preds) in mpsns.iter().zip(&preds_per_col) {
+                out.extend(m.embed(preds));
+            }
+            black_box(out)
+        })
+    });
+    group.bench_function("merged_block_diagonal", |b| {
+        b.iter(|| black_box(merged.embed_all(&preds_per_col)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mpsn
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark: throughput of the virtual-table sampler
+//! (Algorithm 1), the extra per-batch cost Duet pays during training compared
+//! to Naru's plain tuple batches (Table III context).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duet_core::{sample_virtual_batch, SamplerConfig};
+use duet_data::datasets::{census_like, kddcup98_like};
+use duet_nn::seeded_rng;
+use std::hint::black_box;
+
+fn bench_sampler(c: &mut Criterion) {
+    let census = census_like(4_000, 7);
+    let kddcup = kddcup98_like(2_000, 7);
+    let rows: Vec<usize> = (0..512).collect();
+    let cfg = SamplerConfig { expand_mu: 4, wildcard_prob: 0.3, max_predicates_per_column: 1 };
+
+    let mut group = c.benchmark_group("virtual_table_sampling");
+    group.bench_function("census_14_cols_batch512_mu4", |b| {
+        let mut rng = seeded_rng(1);
+        b.iter(|| black_box(sample_virtual_batch(&census, &rows, &cfg, &mut rng)))
+    });
+    group.bench_function("kddcup_100_cols_batch512_mu4", |b| {
+        let mut rng = seeded_rng(2);
+        b.iter(|| black_box(sample_virtual_batch(&kddcup, &rows, &cfg, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sampler
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark: one epoch of Duet's data-driven training vs
+//! Naru's, isolating the overhead of virtual-table sampling and predicate
+//! encoding (Table III context).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duet_baselines::{NaruConfig, NaruEstimator};
+use duet_core::{train_model, DuetConfig};
+use duet_data::datasets::census_like;
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let table = census_like(2_048, 7);
+
+    let mut group = c.benchmark_group("one_epoch_training");
+    group.sample_size(10);
+    group.bench_function("duet_data_driven", |b| {
+        let cfg = DuetConfig::small().with_epochs(1).with_batch_size(256);
+        b.iter(|| black_box(train_model(&table, &cfg, None, 3, |_| {})))
+    });
+    group.bench_function("naru_mle", |b| {
+        let mut cfg = NaruConfig::small().with_epochs(1);
+        cfg.batch_size = 256;
+        b.iter(|| black_box(NaruEstimator::train(&table, &cfg, 3)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

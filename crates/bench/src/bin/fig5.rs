@@ -1,0 +1,41 @@
+//! Figure 5: hyper-parameter study of the trade-off coefficient λ
+//! (1e-3, 1e-2, 1e-1, 1) on the Kddcup98-like dataset, evaluated on the
+//! random test workload.
+//!
+//! Run with `cargo run -p duet-bench --release --bin fig5`.
+
+use duet_bench::{build_workloads, evaluate, BenchOptions, Dataset};
+use duet_core::DuetEstimator;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    println!("== Figure 5: λ hyper-parameter study (Kddcup98, Rand-Q) ==");
+    let table = Dataset::Kddcup98.table(&opts);
+    let workloads = build_workloads(&table, &opts);
+    let mut csv = Vec::new();
+    for lambda in [1e-3, 1e-2, 1e-1, 1.0] {
+        let cfg = Dataset::Kddcup98.duet_config(&opts).with_lambda(lambda);
+        let mut duet = DuetEstimator::train_hybrid(
+            &table,
+            &workloads.train,
+            &workloads.train_cards,
+            &cfg,
+            3,
+        );
+        let rand = evaluate(&mut duet, &workloads.rand_q, &workloads.rand_q_cards);
+        let in_q = evaluate(&mut duet, &workloads.in_q, &workloads.in_q_cards);
+        println!(
+            "lambda={lambda:<7} rand-q: mean={:<8.3} p99={:<9.3} max={:<10.3} | in-q: mean={:<8.3} max={:<10.3}",
+            rand.summary.mean, rand.summary.p99, rand.summary.max, in_q.summary.mean, in_q.summary.max
+        );
+        csv.push(format!(
+            "{lambda},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            rand.summary.mean, rand.summary.p99, rand.summary.max, in_q.summary.mean, in_q.summary.max
+        ));
+    }
+    opts.write_csv(
+        "fig5_lambda_study.csv",
+        "lambda,rand_mean,rand_p99,rand_max,inq_mean,inq_max",
+        &csv,
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 7: estimation cost comparison of the learned estimators on every
+//! dataset. All measurements run on CPU; for Naru/UAE an additional
+//! "emulated GPU" latency (CPU latency divided by a configurable speed-up
+//! factor) is reported to mirror the paper's CPU-vs-GPU comparison.
+//!
+//! Run with `cargo run -p duet-bench --release --bin fig7`.
+
+use duet_bench::{build_all_estimators, build_workloads, evaluate, BenchOptions, Dataset};
+
+/// Conservative GPU speed-up factor used to emulate the paper's GPU latencies
+/// for the sampling-based estimators (the paper's claim is that Duet on CPU
+/// beats them even on GPU).
+const GPU_SPEEDUP: f64 = 10.0;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    println!("== Figure 7: estimation cost of learned methods (CPU, + emulated GPU) ==");
+    let mut csv = Vec::new();
+    for dataset in Dataset::ALL {
+        let table = dataset.table(&opts);
+        let workloads = build_workloads(&table, &opts);
+        let mut estimators = build_all_estimators(dataset, &table, &workloads, &opts);
+        println!("\n-- dataset {} --", dataset.name());
+        for est in estimators.iter_mut() {
+            let name = est.name().to_string();
+            // Skip the traditional estimators: Figure 7 compares learned methods.
+            if matches!(name.as_str(), "sampling" | "indep" | "mhist") {
+                continue;
+            }
+            let r = evaluate(est.as_mut(), &workloads.rand_q, &workloads.rand_q_cards);
+            let emulated_gpu = if matches!(name.as_str(), "naru" | "uae") {
+                r.mean_latency_ms / GPU_SPEEDUP
+            } else {
+                r.mean_latency_ms
+            };
+            println!(
+                "{name:>10}: cpu {:>9.4} ms/query   emulated-gpu {:>9.4} ms/query",
+                r.mean_latency_ms, emulated_gpu
+            );
+            csv.push(format!(
+                "{},{},{:.5},{:.5}",
+                dataset.name(),
+                name,
+                r.mean_latency_ms,
+                emulated_gpu
+            ));
+        }
+    }
+    opts.write_csv(
+        "fig7_estimation_cost.csv",
+        "dataset,estimator,cpu_latency_ms,emulated_gpu_latency_ms",
+        &csv,
+    );
+}

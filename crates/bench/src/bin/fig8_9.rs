@@ -1,0 +1,72 @@
+//! Figures 8 & 9: convergence speed — max Q-Error after every training epoch
+//! on the random (Figure 8) and in-workload (Figure 9) test queries, for Naru,
+//! DuetD and Duet, on the DMV-like and Kddcup98-like datasets.
+//!
+//! Run with `cargo run -p duet-bench --release --bin fig8_9`.
+
+use duet_baselines::NaruEstimator;
+use duet_bench::{build_workloads, BenchOptions, Dataset};
+use duet_core::{train_model_with_eval, DuetEstimator, TrainingWorkload};
+use duet_query::{CardinalityEstimator, QErrorSummary, Query};
+
+fn max_q_error(est: &mut dyn CardinalityEstimator, queries: &[Query], cards: &[u64]) -> f64 {
+    let estimates: Vec<f64> = queries.iter().map(|q| est.estimate(q)).collect();
+    QErrorSummary::from_estimates(&estimates, cards).max
+}
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    println!("== Figures 8/9: convergence speed (max Q-Error per epoch) ==");
+    let mut csv = Vec::new();
+    for dataset in [Dataset::Dmv, Dataset::Kddcup98] {
+        let table = dataset.table(&opts);
+        let workloads = build_workloads(&table, &opts);
+        // Evaluate convergence on a subset to keep per-epoch evaluation cheap.
+        let eval_n = workloads.rand_q.len().min(100);
+        let rand_q = &workloads.rand_q[..eval_n];
+        let rand_cards = &workloads.rand_q_cards[..eval_n];
+        let in_q = &workloads.in_q[..eval_n];
+        let in_cards = &workloads.in_q_cards[..eval_n];
+        println!("\n-- dataset {} --", dataset.name());
+
+        // Naru.
+        let naru_cfg = dataset.naru_config(&opts);
+        let _ = NaruEstimator::train_with_eval(&table, &naru_cfg, 3, |stats, snapshot| {
+            let rand = max_q_error(snapshot, rand_q, rand_cards);
+            let inw = max_q_error(snapshot, in_q, in_cards);
+            println!("naru   epoch {:>2}: rand max={rand:>10.3}  in-q max={inw:>10.3}", stats.epoch);
+            csv.push(format!("{},naru,{},{:.4},{:.4}", dataset.name(), stats.epoch, rand, inw));
+        });
+
+        // DuetD (data only) and Duet (hybrid).
+        let duet_cfg = dataset.duet_config(&opts);
+        for (label, hybrid) in [("duet_d", false), ("duet", true)] {
+            let workload = TrainingWorkload {
+                queries: &workloads.train,
+                cardinalities: &workloads.train_cards,
+            };
+            let arg = if hybrid { Some(workload) } else { None };
+            let _ = train_model_with_eval(&table, &duet_cfg, arg, 3, |stats, model| {
+                let mut snapshot = DuetEstimator::from_model(model.clone(), &table, label);
+                let rand = max_q_error(&mut snapshot, rand_q, rand_cards);
+                let inw = max_q_error(&mut snapshot, in_q, in_cards);
+                println!(
+                    "{label:<6} epoch {:>2}: rand max={rand:>10.3}  in-q max={inw:>10.3}",
+                    stats.epoch
+                );
+                csv.push(format!(
+                    "{},{label},{},{:.4},{:.4}",
+                    dataset.name(),
+                    stats.epoch,
+                    rand,
+                    inw
+                ));
+            });
+        }
+    }
+    opts.write_csv(
+        "fig8_9_convergence.csv",
+        "dataset,estimator,epoch,rand_q_max_q_error,in_q_max_q_error",
+        &csv,
+    );
+}

@@ -1,0 +1,58 @@
+//! Table I: comparison of the three MPSN variants (MLP, Recursive, Recurrent)
+//! on the Census dataset with multi-predicate workloads — max Q-Error,
+//! estimation cost, training cost.
+//!
+//! Run with `cargo run -p duet-bench --release --bin table1`.
+
+use duet_bench::{BenchOptions, Dataset, RAND_SEED, TRAIN_SEED};
+use duet_core::{DuetEstimator, MpsnKind};
+use duet_query::{label_workload, CardinalityEstimator, QErrorSummary, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    println!("== Table I: multiple-predicate support (MPSN variants) ==");
+    let table = Dataset::Census.table(&opts);
+    // Multi-predicate workloads: up to 3 predicates per column.
+    let train = WorkloadSpec::in_workload(&table, opts.train_queries, TRAIN_SEED)
+        .with_multi_predicates(3)
+        .generate(&table);
+    let train_cards = label_workload(&table, &train);
+    let rand_q = WorkloadSpec::random(&table, opts.test_queries, RAND_SEED)
+        .with_multi_predicates(3)
+        .generate(&table);
+    let rand_cards = label_workload(&table, &rand_q);
+
+    let mut csv = Vec::new();
+    for (label, kind) in [
+        ("MLP", MpsnKind::Mlp),
+        ("REC", MpsnKind::Recursive),
+        ("RNN", MpsnKind::Recurrent),
+    ] {
+        let cfg = Dataset::Census
+            .duet_config(&opts)
+            .with_mpsn(kind, 3)
+            .with_epochs(opts.epochs);
+        let started = Instant::now();
+        let mut duet = DuetEstimator::train_hybrid(&table, &train, &train_cards, &cfg, 3);
+        let train_cost = started.elapsed().as_secs_f64();
+
+        let est_started = Instant::now();
+        let estimates: Vec<f64> = rand_q.iter().map(|q| duet.estimate(q)).collect();
+        let est_cost_ms = est_started.elapsed().as_secs_f64() * 1e3 / rand_q.len().max(1) as f64;
+        let summary = QErrorSummary::from_estimates(&estimates, &rand_cards);
+        println!(
+            "{label:>4}  max Q-Error={:>8.3}  est cost={:>7.3} ms  train cost={:>8.3} s  epochs={}",
+            summary.max, est_cost_ms, train_cost, cfg.epochs
+        );
+        csv.push(format!(
+            "{label},{:.3},{:.4},{:.3},{}",
+            summary.max, est_cost_ms, train_cost, cfg.epochs
+        ));
+    }
+    opts.write_csv(
+        "table1_mpsn.csv",
+        "mpsn,max_q_error,est_cost_ms,train_cost_s,epochs",
+        &csv,
+    );
+}

@@ -1,0 +1,36 @@
+//! Table II: accuracy (Q-Error percentiles), model size and estimation latency
+//! of all estimators on the three datasets, for both In-Workload and Random
+//! test queries.
+//!
+//! Run with `cargo run -p duet-bench --release --bin table2 [--scale f]`.
+
+use duet_bench::{
+    build_all_estimators, build_workloads, evaluate, print_result, result_csv_row, BenchOptions,
+    Dataset, RESULT_CSV_HEADER,
+};
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    println!("== Table II: accuracy of all methods (scale={}) ==", opts.scale);
+    let mut csv_rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let table = dataset.table(&opts);
+        println!(
+            "\n-- dataset {} ({} rows, {} columns) --",
+            dataset.name(),
+            table.num_rows(),
+            table.num_columns()
+        );
+        let workloads = build_workloads(&table, &opts);
+        let mut estimators = build_all_estimators(dataset, &table, &workloads, &opts);
+        for est in estimators.iter_mut() {
+            let in_q = evaluate(est.as_mut(), &workloads.in_q, &workloads.in_q_cards);
+            print_result(dataset.name(), "in-q", &in_q);
+            csv_rows.push(result_csv_row(dataset.name(), "in_q", &in_q));
+            let rand_q = evaluate(est.as_mut(), &workloads.rand_q, &workloads.rand_q_cards);
+            print_result(dataset.name(), "rand-q", &rand_q);
+            csv_rows.push(result_csv_row(dataset.name(), "rand_q", &rand_q));
+        }
+    }
+    opts.write_csv("table2_accuracy.csv", RESULT_CSV_HEADER, &csv_rows);
+}

@@ -1,0 +1,61 @@
+//! Table III: training throughput (tuples/second) of the data-driven and
+//! hybrid methods (Naru, UAE, DuetD, Duet) on the three datasets.
+//!
+//! Run with `cargo run -p duet-bench --release --bin table3`.
+
+use duet_bench::{build_workloads, BenchOptions, Dataset};
+use duet_baselines::{NaruEstimator, UaeConfig, UaeEstimator};
+use duet_core::{measure_training_throughput, TrainingWorkload};
+use std::time::Instant;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    println!("== Table III: training throughput (tuples/s) ==");
+    let mut csv = Vec::new();
+    for dataset in Dataset::ALL {
+        let table = dataset.table(&opts);
+        let workloads = build_workloads(&table, &opts);
+        println!("\n-- dataset {} ({} rows) --", dataset.name(), table.num_rows());
+
+        // Naru: one epoch of pure maximum-likelihood training.
+        let mut naru_cfg = dataset.naru_config(&opts);
+        naru_cfg.epochs = 1;
+        let started = Instant::now();
+        let _ = NaruEstimator::train(&table, &naru_cfg, 3);
+        let naru_tput = table.num_rows() as f64 / started.elapsed().as_secs_f64();
+
+        // UAE: hybrid training pays for the sampled differentiable estimates.
+        let mut uae_cfg = UaeConfig::paper(naru_cfg.clone());
+        uae_cfg.train_samples = 64;
+        let started = Instant::now();
+        let _ = UaeEstimator::train(
+            &table,
+            &workloads.train[..workloads.train.len().min(256)],
+            &workloads.train_cards[..workloads.train.len().min(256)],
+            &uae_cfg,
+            3,
+        );
+        let uae_tput = table.num_rows() as f64 / started.elapsed().as_secs_f64();
+
+        // DuetD / Duet via the dedicated throughput probe.
+        let duet_cfg = dataset.duet_config(&opts).with_epochs(1);
+        let steps = (table.num_rows() / duet_cfg.batch_size).clamp(2, 20);
+        let duet_d_tput = measure_training_throughput(&table, &duet_cfg, None, steps, 3);
+        let workload = TrainingWorkload {
+            queries: &workloads.train,
+            cardinalities: &workloads.train_cards,
+        };
+        let duet_tput = measure_training_throughput(&table, &duet_cfg, Some(workload), steps, 3);
+
+        for (name, tput) in [
+            ("Naru", naru_tput),
+            ("UAE", uae_tput),
+            ("DuetD", duet_d_tput),
+            ("Duet", duet_tput),
+        ] {
+            println!("{name:>6}: {tput:>12.1} tuples/s");
+            csv.push(format!("{},{},{:.1}", dataset.name(), name, tput));
+        }
+    }
+    opts.write_csv("table3_throughput.csv", "dataset,estimator,tuples_per_s", &csv);
+}

@@ -1,0 +1,414 @@
+//! # duet-bench
+//!
+//! Shared harness code for the experiment binaries under `src/bin/`, each of
+//! which regenerates one table or figure of the paper's evaluation section
+//! (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for the
+//! recorded results).
+//!
+//! All binaries accept the same flags:
+//!
+//! * `--scale <f>` — multiply the default (CI-sized) row counts by `f`
+//!   (`--scale 1` ≈ minutes on a laptop CPU; the paper's full row counts are
+//!   reached around `--scale 100` for DMV).
+//! * `--epochs <n>` — override the number of training epochs.
+//! * `--queries <n>` — number of test queries per workload (paper: 2,000).
+//! * `--train-queries <n>` — number of training-workload queries (paper: 1e5).
+//! * `--out <dir>` — directory for the CSV output (default `results/`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use duet_baselines::{
+    DeepDbConfig, DeepDbEstimator, IndependenceEstimator, MHist, MscnConfig, MscnEstimator,
+    NaruConfig, NaruEstimator, SamplingEstimator, UaeConfig, UaeEstimator,
+};
+use duet_core::{DuetConfig, DuetEstimator};
+use duet_data::datasets;
+use duet_data::Table;
+use duet_query::{label_workload, CardinalityEstimator, QErrorSummary, Query, WorkloadSpec};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Seed of the training / in-workload generator (paper §V-A2).
+pub const TRAIN_SEED: u64 = 42;
+/// Seed of the random test workload (paper §V-A2).
+pub const RAND_SEED: u64 = 1234;
+
+/// Common command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Row-count multiplier on top of the CI-sized defaults.
+    pub scale: f64,
+    /// Training epochs for the learned estimators.
+    pub epochs: usize,
+    /// Number of test queries per workload.
+    pub test_queries: usize,
+    /// Number of training-workload queries.
+    pub train_queries: usize,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            epochs: 5,
+            test_queries: 200,
+            train_queries: 1_000,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl BenchOptions {
+    /// Parse the common flags from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            let take = |i: &mut usize| -> Option<String> {
+                *i += 1;
+                args.get(*i).cloned()
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.scale = v.parse().unwrap_or(opts.scale);
+                    }
+                }
+                "--epochs" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.epochs = v.parse().unwrap_or(opts.epochs);
+                    }
+                }
+                "--queries" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.test_queries = v.parse().unwrap_or(opts.test_queries);
+                    }
+                }
+                "--train-queries" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.train_queries = v.parse().unwrap_or(opts.train_queries);
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.out_dir = PathBuf::from(v);
+                    }
+                }
+                other => {
+                    eprintln!("ignoring unknown flag {other}");
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Scaled row count for a dataset's CI-sized default.
+    pub fn rows(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(500)
+    }
+
+    /// Write a CSV file into the output directory and echo its path.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        if let Err(e) = fs::create_dir_all(&self.out_dir) {
+            eprintln!("could not create {:?}: {e}", self.out_dir);
+            return;
+        }
+        let path = self.out_dir.join(name);
+        match fs::File::create(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{header}");
+                for r in rows {
+                    let _ = writeln!(f, "{r}");
+                }
+                println!("wrote {}", path.display());
+            }
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// The three evaluation datasets at CI-friendly default sizes
+/// (scaled by [`BenchOptions::scale`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// DMV-like: 11 columns, high cardinality.
+    Dmv,
+    /// Kddcup98-like: 100 columns.
+    Kddcup98,
+    /// Census-like: 14 columns, small.
+    Census,
+}
+
+impl Dataset {
+    /// All datasets in the paper's order.
+    pub const ALL: [Dataset; 3] = [Dataset::Dmv, Dataset::Kddcup98, Dataset::Census];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Dmv => "dmv",
+            Dataset::Kddcup98 => "kddcup98",
+            Dataset::Census => "census",
+        }
+    }
+
+    /// CI-sized default row count (the paper's full sizes are in
+    /// [`datasets::DMV_PAPER_ROWS`] etc.).
+    pub fn default_rows(&self) -> usize {
+        match self {
+            Dataset::Dmv => 20_000,
+            Dataset::Kddcup98 => 5_000,
+            Dataset::Census => 8_000,
+        }
+    }
+
+    /// Generate the table at the requested scale.
+    pub fn table(&self, opts: &BenchOptions) -> Table {
+        let rows = opts.rows(self.default_rows());
+        match self {
+            Dataset::Dmv => datasets::dmv_like(rows, 7),
+            Dataset::Kddcup98 => datasets::kddcup98_like(rows, 7),
+            Dataset::Census => datasets::census_like(rows, 7),
+        }
+    }
+
+    /// The Duet configuration the paper uses for this dataset, with the
+    /// harness's epoch override applied.
+    pub fn duet_config(&self, opts: &BenchOptions) -> DuetConfig {
+        let mut cfg = match self {
+            Dataset::Dmv => {
+                let mut c = DuetConfig::paper_dmv();
+                // CI-sized backbone; pass --scale/--epochs for larger runs.
+                c.hidden_sizes = vec![128, 128];
+                c.batch_size = 512;
+                c
+            }
+            _ => DuetConfig::paper_resmade(),
+        };
+        cfg.epochs = opts.epochs;
+        cfg
+    }
+
+    /// The Naru/UAE configuration for this dataset.
+    pub fn naru_config(&self, opts: &BenchOptions) -> NaruConfig {
+        let mut cfg = match self {
+            Dataset::Dmv => {
+                let mut c = NaruConfig::paper_dmv();
+                c.hidden_sizes = vec![128, 128];
+                c.batch_size = 512;
+                c
+            }
+            _ => NaruConfig::paper_resmade(),
+        };
+        cfg.epochs = opts.epochs;
+        cfg.num_samples = 200;
+        cfg
+    }
+}
+
+/// The training and test workloads of §V-A2 for one dataset.
+#[derive(Debug, Clone)]
+pub struct Workloads {
+    /// Training workload (bounded column, Gamma predicate counts, seed 42).
+    pub train: Vec<Query>,
+    /// Training-workload cardinality labels.
+    pub train_cards: Vec<u64>,
+    /// In-workload test queries (same distribution as training, seed 42).
+    pub in_q: Vec<Query>,
+    /// In-workload ground truth.
+    pub in_q_cards: Vec<u64>,
+    /// Random test queries (uniform, seed 1234).
+    pub rand_q: Vec<Query>,
+    /// Random-workload ground truth.
+    pub rand_q_cards: Vec<u64>,
+}
+
+/// Generate and label the workloads for a table.
+pub fn build_workloads(table: &Table, opts: &BenchOptions) -> Workloads {
+    let train = WorkloadSpec::in_workload(table, opts.train_queries, TRAIN_SEED).generate(table);
+    let in_q = WorkloadSpec::in_workload(table, opts.test_queries, TRAIN_SEED).generate(table);
+    let rand_q = WorkloadSpec::random(table, opts.test_queries, RAND_SEED).generate(table);
+    let train_cards = label_workload(table, &train);
+    let in_q_cards = label_workload(table, &in_q);
+    let rand_q_cards = label_workload(table, &rand_q);
+    Workloads { train, train_cards, in_q, in_q_cards, rand_q, rand_q_cards }
+}
+
+/// Result of evaluating one estimator on one workload.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Estimator name.
+    pub estimator: String,
+    /// Q-Error summary.
+    pub summary: QErrorSummary,
+    /// Mean per-query latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Estimator size in MB.
+    pub size_mb: f64,
+}
+
+/// Evaluate an estimator on a labelled workload, measuring latency.
+pub fn evaluate(
+    estimator: &mut dyn CardinalityEstimator,
+    queries: &[Query],
+    cards: &[u64],
+) -> EvalResult {
+    let started = Instant::now();
+    let estimates: Vec<f64> = queries.iter().map(|q| estimator.estimate(q)).collect();
+    let elapsed = started.elapsed();
+    EvalResult {
+        estimator: estimator.name().to_string(),
+        summary: QErrorSummary::from_estimates(&estimates, cards),
+        mean_latency_ms: elapsed.as_secs_f64() * 1e3 / queries.len().max(1) as f64,
+        size_mb: estimator.size_bytes() as f64 / (1024.0 * 1024.0),
+    }
+}
+
+/// Build every estimator of Table II for a dataset. Returns `(name, estimator)`
+/// pairs; the learned estimators are trained inside this call.
+pub fn build_all_estimators(
+    dataset: Dataset,
+    table: &Table,
+    workloads: &Workloads,
+    opts: &BenchOptions,
+) -> Vec<Box<dyn CardinalityEstimator>> {
+    let mut out: Vec<Box<dyn CardinalityEstimator>> = Vec::new();
+    println!("[{}] building traditional estimators", dataset.name());
+    out.push(Box::new(SamplingEstimator::new(table, 0.01_f64.max(500.0 / table.num_rows() as f64).min(1.0), 3)));
+    out.push(Box::new(IndependenceEstimator::new(table)));
+    out.push(Box::new(MHist::new(table, 512)));
+
+    println!("[{}] training MSCN", dataset.name());
+    let mut mscn_cfg = MscnConfig::small();
+    mscn_cfg.epochs = (opts.epochs * 10).max(20);
+    out.push(Box::new(MscnEstimator::train(
+        table,
+        &workloads.train,
+        &workloads.train_cards,
+        &mscn_cfg,
+        3,
+    )));
+
+    println!("[{}] building DeepDB", dataset.name());
+    out.push(Box::new(DeepDbEstimator::build(table, &DeepDbConfig::default_config())));
+
+    println!("[{}] training Naru", dataset.name());
+    let naru_cfg = dataset.naru_config(opts);
+    out.push(Box::new(NaruEstimator::train(table, &naru_cfg, 3)));
+
+    println!("[{}] training UAE", dataset.name());
+    let mut uae_cfg = UaeConfig::paper(naru_cfg.clone());
+    uae_cfg.train_samples = 64;
+    uae_cfg.query_batch_size = 32;
+    out.push(Box::new(UaeEstimator::train(
+        table,
+        &workloads.train,
+        &workloads.train_cards,
+        &uae_cfg,
+        3,
+    )));
+
+    println!("[{}] training DuetD (data only)", dataset.name());
+    let duet_cfg = dataset.duet_config(opts);
+    out.push(Box::new(DuetEstimator::train_data_only(table, &duet_cfg, 3)));
+
+    println!("[{}] training Duet (hybrid)", dataset.name());
+    out.push(Box::new(DuetEstimator::train_hybrid(
+        table,
+        &workloads.train,
+        &workloads.train_cards,
+        &duet_cfg,
+        3,
+    )));
+    out
+}
+
+/// Format one Table II-style CSV row.
+pub fn result_csv_row(dataset: &str, workload: &str, r: &EvalResult) -> String {
+    format!(
+        "{dataset},{workload},{},{:.3},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3}",
+        r.estimator,
+        r.size_mb,
+        r.mean_latency_ms,
+        r.summary.mean,
+        r.summary.median,
+        r.summary.p75,
+        r.summary.p99,
+        r.summary.max
+    )
+}
+
+/// Header matching [`result_csv_row`].
+pub const RESULT_CSV_HEADER: &str =
+    "dataset,workload,estimator,size_mb,latency_ms,mean,median,p75,p99,max";
+
+/// Pretty-print an evaluation row to stdout.
+pub fn print_result(dataset: &str, workload: &str, r: &EvalResult) {
+    println!(
+        "{dataset:>9} {workload:>7} {:>10}  size={:>8.3}MB  lat={:>8.4}ms  {}",
+        r.estimator,
+        r.size_mb,
+        r.mean_latency_ms,
+        r.summary.to_row()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_scale_rows() {
+        let mut opts = BenchOptions::default();
+        opts.scale = 2.0;
+        assert_eq!(opts.rows(1_000), 2_000);
+        opts.scale = 0.001;
+        assert_eq!(opts.rows(1_000), 500, "row counts are floored at 500");
+    }
+
+    #[test]
+    fn dataset_tables_have_expected_shapes() {
+        let mut opts = BenchOptions::default();
+        opts.scale = 0.1;
+        assert_eq!(Dataset::Dmv.table(&opts).num_columns(), 11);
+        assert_eq!(Dataset::Kddcup98.table(&opts).num_columns(), 100);
+        assert_eq!(Dataset::Census.table(&opts).num_columns(), 14);
+    }
+
+    #[test]
+    fn workloads_are_labelled_and_sized() {
+        let mut opts = BenchOptions::default();
+        opts.scale = 0.1;
+        opts.test_queries = 20;
+        opts.train_queries = 30;
+        let table = Dataset::Census.table(&opts);
+        let w = build_workloads(&table, &opts);
+        assert_eq!(w.train.len(), 30);
+        assert_eq!(w.rand_q.len(), 20);
+        assert_eq!(w.train.len(), w.train_cards.len());
+        assert_eq!(w.in_q.len(), w.in_q_cards.len());
+    }
+
+    #[test]
+    fn evaluate_reports_latency_and_errors() {
+        let mut opts = BenchOptions::default();
+        opts.scale = 0.1;
+        opts.test_queries = 10;
+        let table = Dataset::Census.table(&opts);
+        let w = build_workloads(&table, &opts);
+        let mut indep = IndependenceEstimator::new(&table);
+        let r = evaluate(&mut indep, &w.rand_q, &w.rand_q_cards);
+        assert_eq!(r.estimator, "indep");
+        assert!(r.summary.max >= 1.0);
+        assert!(r.mean_latency_ms >= 0.0);
+        let row = result_csv_row("census", "rand", &r);
+        assert!(row.starts_with("census,rand,indep,"));
+    }
+}

@@ -1,0 +1,239 @@
+//! The user-facing Duet estimator: a trained model plus the table schema
+//! needed to translate query literals, implementing the common
+//! [`CardinalityEstimator`] trait.
+
+use crate::config::DuetConfig;
+use crate::model::{query_to_id_predicates, DuetModel};
+use crate::trainer::{train_model, EpochStats, TrainingWorkload};
+use duet_data::Table;
+use duet_query::{CardinalityEstimator, Query};
+use std::time::{Duration, Instant};
+
+/// Timing breakdown of one estimation call (used by the scalability
+/// experiment, Figure 6, which reports encoding vs. inference time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateBreakdown {
+    /// Estimated cardinality.
+    pub cardinality: f64,
+    /// Time spent translating and encoding predicates (including the MPSN).
+    pub encode_time: Duration,
+    /// Time spent in the network forward pass and the probability masking.
+    pub inference_time: Duration,
+}
+
+/// A trained Duet cardinality estimator.
+#[derive(Debug, Clone)]
+pub struct DuetEstimator {
+    model: DuetModel,
+    schema: Table,
+    num_rows: usize,
+    label: String,
+}
+
+impl DuetEstimator {
+    /// Wrap an already-trained model.
+    pub fn from_model(model: DuetModel, table: &Table, label: impl Into<String>) -> Self {
+        Self { model, schema: table.schema_only(), num_rows: table.num_rows(), label: label.into() }
+    }
+
+    /// Train purely data-driven (the paper's `DuetD` ablation).
+    pub fn train_data_only(table: &Table, config: &DuetConfig, seed: u64) -> Self {
+        let model = train_model(table, config, None, seed, |_| {});
+        Self::from_model(model, table, "duet_d")
+    }
+
+    /// Train data-driven while recording per-epoch statistics.
+    pub fn train_data_only_with_stats(
+        table: &Table,
+        config: &DuetConfig,
+        seed: u64,
+        mut on_epoch: impl FnMut(&EpochStats),
+    ) -> Self {
+        let model = train_model(table, config, None, seed, |s| on_epoch(s));
+        Self::from_model(model, table, "duet_d")
+    }
+
+    /// Hybrid training on the table plus a labelled historical workload
+    /// (the paper's full `Duet`).
+    pub fn train_hybrid(
+        table: &Table,
+        queries: &[Query],
+        cardinalities: &[u64],
+        config: &DuetConfig,
+        seed: u64,
+    ) -> Self {
+        Self::train_hybrid_with_stats(table, queries, cardinalities, config, seed, |_| {})
+    }
+
+    /// Hybrid training with per-epoch statistics.
+    pub fn train_hybrid_with_stats(
+        table: &Table,
+        queries: &[Query],
+        cardinalities: &[u64],
+        config: &DuetConfig,
+        seed: u64,
+        mut on_epoch: impl FnMut(&EpochStats),
+    ) -> Self {
+        let workload = TrainingWorkload { queries, cardinalities };
+        let model = train_model(table, config, Some(workload), seed, |s| on_epoch(s));
+        Self::from_model(model, table, "duet")
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &DuetModel {
+        &self.model
+    }
+
+    /// Mutable access to the underlying model (fine-tuning, persistence).
+    pub fn model_mut(&mut self) -> &mut DuetModel {
+        &mut self.model
+    }
+
+    /// The zero-row schema table used to translate literals.
+    pub fn schema(&self) -> &Table {
+        &self.schema
+    }
+
+    /// Number of rows of the table the estimator was trained on.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Change the reported name (e.g. to distinguish ablations).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// Estimate with a timing breakdown into encoding and inference phases.
+    pub fn estimate_with_breakdown(&self, query: &Query) -> EstimateBreakdown {
+        let encode_started = Instant::now();
+        let preds = query_to_id_predicates(&self.schema, query);
+        let intervals = query.column_intervals(&self.schema);
+        let input = self.model.row_input(&preds);
+        let encode_time = encode_started.elapsed();
+
+        let infer_started = Instant::now();
+        let input = duet_nn::Matrix::from_vec(1, self.model.encoder().total_width(), input);
+        let logits = self.model.forward_inference(&input);
+        let selectivity = self.model.selectivity_from_logits(logits.row(0), &intervals);
+        let inference_time = infer_started.elapsed();
+
+        EstimateBreakdown {
+            cardinality: selectivity * self.num_rows as f64,
+            encode_time,
+            inference_time,
+        }
+    }
+
+    /// Estimate a whole workload (convenience for the experiment harness).
+    pub fn estimate_many(&mut self, queries: &[Query]) -> Vec<f64> {
+        queries.iter().map(|q| self.estimate_query(q)).collect()
+    }
+
+    fn estimate_query(&self, query: &Query) -> f64 {
+        let preds = query_to_id_predicates(&self.schema, query);
+        let intervals = query.column_intervals(&self.schema);
+        let selectivity = self.model.estimate_selectivity(&preds, &intervals);
+        selectivity * self.num_rows as f64
+    }
+}
+
+impl CardinalityEstimator for DuetEstimator {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        self.estimate_query(query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        // `size_bytes` needs `&mut` access internally; clone the cheap counter
+        // path instead of requiring exclusive access here.
+        let mut model = self.model.clone();
+        model.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_data::datasets::census_like;
+    use duet_query::{exact_cardinality, q_error, QErrorSummary, WorkloadSpec};
+
+    fn trained(rows: usize, epochs: usize) -> (Table, DuetEstimator) {
+        let table = census_like(rows, 31);
+        let cfg = DuetConfig::small().with_epochs(epochs);
+        let est = DuetEstimator::train_data_only(&table, &cfg, 11);
+        (table, est)
+    }
+
+    #[test]
+    fn estimates_are_deterministic_and_bounded() {
+        let (table, mut est) = trained(600, 2);
+        let queries = WorkloadSpec::random(&table, 30, 99).generate(&table);
+        for q in &queries {
+            let a = est.estimate(q);
+            let b = est.estimate(q);
+            assert_eq!(a, b, "Duet must be deterministic");
+            assert!(a >= 0.0 && a <= table.num_rows() as f64 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn training_improves_over_untrained_model() {
+        let table = census_like(1_500, 32);
+        let cfg = DuetConfig::small().with_epochs(5);
+        let queries = WorkloadSpec::random(&table, 60, 7).generate(&table);
+        let truths: Vec<u64> = queries.iter().map(|q| exact_cardinality(&table, q)).collect();
+
+        let untrained_model = DuetModel::new(&table, &cfg, 1);
+        let mut untrained = DuetEstimator::from_model(untrained_model, &table, "untrained");
+        let mut trained = DuetEstimator::train_data_only(&table, &cfg, 1);
+
+        let err = |est: &mut DuetEstimator| {
+            let errors: Vec<f64> = queries
+                .iter()
+                .zip(&truths)
+                .map(|(q, &t)| q_error(est.estimate(q), t as f64))
+                .collect();
+            QErrorSummary::from_errors(&errors).mean
+        };
+        let e_untrained = err(&mut untrained);
+        let e_trained = err(&mut trained);
+        assert!(
+            e_trained < e_untrained,
+            "training should reduce mean Q-Error: untrained {e_untrained}, trained {e_trained}"
+        );
+    }
+
+    #[test]
+    fn breakdown_reports_nonzero_phases() {
+        let (table, est) = trained(300, 1);
+        let q = WorkloadSpec::random(&table, 1, 5).generate(&table).remove(0);
+        let b = est.estimate_with_breakdown(&q);
+        assert!(b.cardinality >= 0.0);
+        assert!(b.encode_time.as_nanos() > 0);
+        assert!(b.inference_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn trait_object_usage_works() {
+        let (table, est) = trained(300, 1);
+        let mut boxed: Box<dyn CardinalityEstimator> = Box::new(est);
+        assert_eq!(boxed.name(), "duet_d");
+        let q = WorkloadSpec::random(&table, 1, 3).generate(&table).remove(0);
+        let _ = boxed.estimate(&q);
+        assert!(boxed.size_bytes() > 0);
+    }
+
+    #[test]
+    fn estimate_many_matches_single_estimates() {
+        let (table, mut est) = trained(300, 1);
+        let queries = WorkloadSpec::random(&table, 10, 4).generate(&table);
+        let batch = est.estimate_many(&queries);
+        for (q, &b) in queries.iter().zip(&batch) {
+            assert_eq!(est.estimate(q), b);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The Duet network: predicate encoder + (optional) per-column MPSNs + a
+//! masked autoregressive backbone, with the sampling-free estimation path of
+//! the paper's Algorithm 3.
+
+use crate::config::{DuetConfig, MpsnKind};
+use crate::encoding::{Encoder, IdPredicate};
+use crate::mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn};
+use duet_data::Table;
+use duet_nn::{seeded_rng, softmax, Layer, Made, MadeConfig, Matrix, Param};
+use duet_query::{PredOp, Query};
+
+/// The trainable Duet model.
+#[derive(Debug, Clone)]
+pub struct DuetModel {
+    config: DuetConfig,
+    encoder: Encoder,
+    made: Made,
+    mpsns: Vec<ColumnMpsn>,
+}
+
+impl DuetModel {
+    /// Build a model for `table` with the given configuration.
+    pub fn new(table: &Table, config: &DuetConfig, seed: u64) -> Self {
+        config.validate().expect("invalid Duet configuration");
+        let encoder = Encoder::new(table);
+        let made_config = if config.residual {
+            MadeConfig::res_made(
+                encoder.block_widths(),
+                encoder.output_sizes(),
+                config.hidden_sizes[0],
+                config.hidden_sizes.len(),
+            )
+        } else {
+            MadeConfig::made(encoder.block_widths(), encoder.output_sizes(), config.hidden_sizes.clone())
+        };
+        let mut rng = seeded_rng(seed);
+        let made = Made::new(made_config, &mut rng);
+        let mpsns = build_mpsns(config.mpsn, &encoder.block_widths(), config.mpsn_hidden, seed ^ 0xa5a5);
+        Self { config: config.clone(), encoder, made, mpsns }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &DuetConfig {
+        &self.config
+    }
+
+    /// The predicate encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The autoregressive backbone (mutable, for the trainer/optimizer).
+    pub fn made_mut(&mut self) -> &mut Made {
+        &mut self.made
+    }
+
+    /// The autoregressive backbone.
+    pub fn made(&self) -> &Made {
+        &self.made
+    }
+
+    /// The per-column MPSNs (empty when `MpsnKind::None`).
+    pub fn mpsns(&self) -> &[ColumnMpsn] {
+        &self.mpsns
+    }
+
+    /// Mutable access to the per-column MPSNs.
+    pub fn mpsns_mut(&mut self) -> &mut [ColumnMpsn] {
+        &mut self.mpsns
+    }
+
+    /// Build the merged block-diagonal MPSN for accelerated inference
+    /// (only valid for the MLP variant).
+    pub fn merged_mpsn(&self) -> Option<MergedMlpMpsn> {
+        if self.config.mpsn == MpsnKind::Mlp && !self.mpsns.is_empty() {
+            Some(MergedMlpMpsn::from_columns(&self.mpsns))
+        } else {
+            None
+        }
+    }
+
+    /// Encode one virtual tuple / query row into the network's input vector.
+    ///
+    /// `preds[c]` is the list of predicates on column `c` (empty = wildcard).
+    /// Without an MPSN only the first predicate of a column is encoded (the
+    /// zero-out mask used at estimation time still honors all of them).
+    pub fn row_input(&self, preds: &[Vec<IdPredicate>]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.encoder.total_width());
+        for (col, col_preds) in preds.iter().enumerate() {
+            if self.mpsns.is_empty() {
+                match col_preds.first() {
+                    Some(p) => out.extend(self.encoder.encode_predicate(col, p)),
+                    None => out.extend(self.encoder.wildcard(col)),
+                }
+            } else {
+                let encodings: Vec<Vec<f32>> = col_preds
+                    .iter()
+                    .map(|p| self.encoder.encode_predicate(col, p))
+                    .collect();
+                out.extend(self.mpsns[col].embed(&encodings));
+            }
+        }
+        out
+    }
+
+    /// Encode a batch of rows into an input matrix.
+    pub fn input_matrix(&self, rows: &[Vec<Vec<IdPredicate>>]) -> Matrix {
+        let width = self.encoder.total_width();
+        let mut m = Matrix::zeros(rows.len(), width);
+        for (r, row) in rows.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(&self.row_input(row));
+        }
+        m
+    }
+
+    /// Inference-only forward pass through the backbone.
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        self.made.forward_inference(input)
+    }
+
+    /// The per-column output sizes (`d_i`).
+    pub fn output_sizes(&self) -> Vec<usize> {
+        self.encoder.output_sizes()
+    }
+
+    /// Algorithm 3, steps 3-4: given one row of logits and the per-column
+    /// valid-id intervals, zero out the probabilities that violate the
+    /// predicates and multiply the per-column sums into a selectivity.
+    ///
+    /// Unconstrained columns (full interval) contribute a factor of exactly 1,
+    /// matching the paper's formulation where only constrained columns appear
+    /// in the product.
+    pub fn selectivity_from_logits(&self, logits_row: &[f32], intervals: &[(u32, u32)]) -> f64 {
+        let sizes = self.encoder.output_sizes();
+        debug_assert_eq!(intervals.len(), sizes.len());
+        let mut selectivity = 1.0f64;
+        let mut offset = 0usize;
+        for (col, &size) in sizes.iter().enumerate() {
+            let (lo, hi) = intervals[col];
+            if lo == 0 && hi as usize == size {
+                offset += size;
+                continue; // unconstrained column
+            }
+            if lo >= hi {
+                return 0.0; // contradictory predicates
+            }
+            let probs = softmax(&logits_row[offset..offset + size]);
+            let mass: f64 = probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
+            selectivity *= mass;
+            offset += size;
+        }
+        selectivity.clamp(0.0, 1.0)
+    }
+
+    /// Estimate the selectivity of one query row with a single forward pass
+    /// (the paper's O(1) inference).
+    pub fn estimate_selectivity(
+        &self,
+        preds: &[Vec<IdPredicate>],
+        intervals: &[(u32, u32)],
+    ) -> f64 {
+        let input = Matrix::from_vec(1, self.encoder.total_width(), self.row_input(preds));
+        let logits = self.forward_inference(&input);
+        self.selectivity_from_logits(logits.row(0), intervals)
+    }
+
+    /// Visit every trainable parameter (backbone + MPSNs).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.made.visit_params(f);
+        for m in &mut self.mpsns {
+            m.visit_params(f);
+        }
+    }
+
+    /// Zero every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Model size in bytes (`f32` parameters), as reported in Table II.
+    pub fn size_bytes(&mut self) -> usize {
+        self.num_parameters() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Translate a [`Query`]'s predicates into per-column id-space predicates
+/// using the (schema) table's dictionaries.
+///
+/// Literals that do not occur in a column's dictionary are mapped to the
+/// nearest id (their lower bound); the interval mask — computed separately via
+/// [`Query::column_intervals`] — remains exact, so this only affects the
+/// conditioning signal, not which values are counted.
+pub fn query_to_id_predicates(schema: &Table, query: &Query) -> Vec<Vec<IdPredicate>> {
+    let mut per_col: Vec<Vec<IdPredicate>> = vec![Vec::new(); schema.num_columns()];
+    for p in &query.predicates {
+        let column = schema.column(p.column);
+        let ndv = column.ndv() as u32;
+        let value_id = column
+            .id_of_value(&p.value)
+            .unwrap_or_else(|| column.lower_bound(&p.value).min(ndv.saturating_sub(1)));
+        per_col[p.column].push(IdPredicate { op: p.op, value_id });
+    }
+    per_col
+}
+
+/// Convenience: the number of columns a query constrains, in the encoding's
+/// terms (used by the scalability experiment to bucket queries).
+pub fn constrained_column_count(preds: &[Vec<IdPredicate>]) -> usize {
+    preds.iter().filter(|p| !p.is_empty()).count()
+}
+
+/// Check whether an id-space predicate is satisfied by a value id (shared by
+/// tests).
+pub fn id_pred_matches(pred: &IdPredicate, id: u32) -> bool {
+    match pred.op {
+        PredOp::Eq => id == pred.value_id,
+        PredOp::Gt => id > pred.value_id,
+        PredOp::Lt => id < pred.value_id,
+        PredOp::Ge => id >= pred.value_id,
+        PredOp::Le => id <= pred.value_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_data::datasets::census_like;
+    use duet_data::Value;
+    use duet_query::{PredOp, Query};
+
+    fn model(mpsn: MpsnKind) -> (Table, DuetModel) {
+        let table = census_like(400, 3);
+        let mut config = DuetConfig::small();
+        config.mpsn = mpsn;
+        if mpsn != MpsnKind::None {
+            config.max_predicates_per_column = 2;
+        }
+        let model = DuetModel::new(&table, &config, 9);
+        (table, model)
+    }
+
+    #[test]
+    fn row_input_width_matches_encoder() {
+        let (table, model) = model(MpsnKind::None);
+        let q = Query::all().and(0, PredOp::Le, Value::Int(30));
+        let preds = query_to_id_predicates(&table, &q);
+        let input = model.row_input(&preds);
+        assert_eq!(input.len(), model.encoder().total_width());
+        assert_eq!(constrained_column_count(&preds), 1);
+    }
+
+    #[test]
+    fn unconstrained_query_has_selectivity_one() {
+        let (table, model) = model(MpsnKind::None);
+        let q = Query::all();
+        let preds = query_to_id_predicates(&table, &q);
+        let intervals = q.column_intervals(&table);
+        let sel = model.estimate_selectivity(&preds, &intervals);
+        assert!((sel - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contradictory_query_has_zero_selectivity() {
+        let (table, model) = model(MpsnKind::None);
+        let q = Query::all()
+            .and(0, PredOp::Lt, Value::Int(1))
+            .and(0, PredOp::Gt, Value::Int(50));
+        let preds = query_to_id_predicates(&table, &q);
+        let intervals = q.column_intervals(&table);
+        assert_eq!(model.estimate_selectivity(&preds, &intervals), 0.0);
+    }
+
+    #[test]
+    fn selectivity_is_a_probability_even_untrained() {
+        for kind in [MpsnKind::None, MpsnKind::Mlp] {
+            let (table, model) = model(kind);
+            for seed in 0..5u64 {
+                let q = Query::all()
+                    .and((seed as usize) % 14, PredOp::Ge, Value::Int(seed as i64))
+                    .and(((seed + 3) as usize) % 14, PredOp::Le, Value::Int(40));
+                let preds = query_to_id_predicates(&table, &q);
+                let intervals = q.column_intervals(&table);
+                let sel = model.estimate_selectivity(&preds, &intervals);
+                assert!((0.0..=1.0).contains(&sel), "sel {sel} out of range ({kind:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn estimation_is_deterministic() {
+        let (table, model) = model(MpsnKind::None);
+        let q = Query::all().and(2, PredOp::Le, Value::Int(60)).and(5, PredOp::Ge, Value::Int(2));
+        let preds = query_to_id_predicates(&table, &q);
+        let intervals = q.column_intervals(&table);
+        let a = model.estimate_selectivity(&preds, &intervals);
+        let b = model.estimate_selectivity(&preds, &intervals);
+        assert_eq!(a, b, "Duet must be deterministic for a fixed query");
+    }
+
+    #[test]
+    fn unknown_literals_are_mapped_to_nearest_id() {
+        let (table, _) = model(MpsnKind::None);
+        // Census-like dictionaries contain 0..ndv-1; Int(10_000) is absent.
+        let q = Query::all().and(0, PredOp::Le, Value::Int(10_000));
+        let preds = query_to_id_predicates(&table, &q);
+        assert_eq!(preds[0].len(), 1);
+        assert!((preds[0][0].value_id as usize) < table.column(0).ndv());
+    }
+
+    #[test]
+    fn param_count_includes_mpsn() {
+        let (_, mut without) = model(MpsnKind::None);
+        let (_, mut with) = model(MpsnKind::Mlp);
+        assert!(with.num_parameters() > without.num_parameters());
+        assert_eq!(with.size_bytes(), with.num_parameters() * 4);
+    }
+
+    #[test]
+    fn merged_mpsn_only_exists_for_mlp_kind() {
+        let (_, m_none) = model(MpsnKind::None);
+        assert!(m_none.merged_mpsn().is_none());
+        let (_, m_mlp) = model(MpsnKind::Mlp);
+        assert!(m_mlp.merged_mpsn().is_some());
+    }
+
+    #[test]
+    fn id_pred_matches_covers_all_ops() {
+        let p = |op| IdPredicate { op, value_id: 5 };
+        assert!(id_pred_matches(&p(PredOp::Eq), 5));
+        assert!(id_pred_matches(&p(PredOp::Ge), 5));
+        assert!(id_pred_matches(&p(PredOp::Le), 5));
+        assert!(id_pred_matches(&p(PredOp::Gt), 6));
+        assert!(id_pred_matches(&p(PredOp::Lt), 4));
+        assert!(!id_pred_matches(&p(PredOp::Gt), 5));
+    }
+}

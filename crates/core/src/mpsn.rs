@@ -1,0 +1,545 @@
+//! Multiple Predicates Supporting Networks (MPSN, paper §IV-F).
+//!
+//! When a query may carry more than one predicate on the same column, the
+//! variable-length list of predicate encodings must be squashed into the
+//! column's fixed-width input block before it reaches the autoregressive
+//! network. The paper proposes three candidates and picks the MLP variant for
+//! efficiency:
+//!
+//! * **MLP & vector sum** — embed each predicate with a small MLP and sum the
+//!   embeddings (order-invariant);
+//! * **Recurrent** — run the predicate sequence through a small recurrent
+//!   network (the paper uses an LSTM; this reproduction uses a single-layer
+//!   tanh RNN, which preserves the relevant trade-offs: sequential cost and
+//!   order sensitivity);
+//! * **Recursive** — `out = MLP(E(pred) || out)`, folded over the predicates.
+//!
+//! Every column owns an independent MPSN. For the MLP variant the paper also
+//! describes a *merged* inference mode where all per-column MLPs are combined
+//! into one block-diagonal network so a single forward pass embeds every
+//! column at once; [`MergedMlpMpsn`] implements that acceleration.
+
+use crate::config::MpsnKind;
+use duet_nn::{seeded_rng, Init, Layer, Linear, Matrix, Mlp, Param};
+use rand::rngs::SmallRng;
+
+/// A per-column MPSN instance.
+#[derive(Debug, Clone)]
+pub enum ColumnMpsn {
+    /// MLP embedding + vector sum.
+    Mlp(MlpMpsn),
+    /// Recurrent (tanh RNN) embedding.
+    Recurrent(RecurrentMpsn),
+    /// Recursive embedding.
+    Recursive(RecursiveMpsn),
+}
+
+impl ColumnMpsn {
+    /// Create an MPSN of the requested kind for a column whose input block is
+    /// `dim` wide.
+    ///
+    /// # Panics
+    /// Panics if `kind` is [`MpsnKind::None`].
+    pub fn new(kind: MpsnKind, dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
+        match kind {
+            MpsnKind::Mlp => ColumnMpsn::Mlp(MlpMpsn::new(dim, hidden, rng)),
+            MpsnKind::Recurrent => ColumnMpsn::Recurrent(RecurrentMpsn::new(dim, hidden, rng)),
+            MpsnKind::Recursive => ColumnMpsn::Recursive(RecursiveMpsn::new(dim, hidden, rng)),
+            MpsnKind::None => panic!("MpsnKind::None has no network"),
+        }
+    }
+
+    /// Embed a (possibly empty) list of predicate encodings into the column's
+    /// input block. An empty list (wildcard column) embeds to all zeros.
+    pub fn embed(&self, preds: &[Vec<f32>]) -> Vec<f32> {
+        match self {
+            ColumnMpsn::Mlp(m) => m.embed(preds),
+            ColumnMpsn::Recurrent(m) => m.embed(preds),
+            ColumnMpsn::Recursive(m) => m.embed(preds),
+        }
+    }
+
+    /// Accumulate parameter gradients for one embedding call: `grad_out` is
+    /// the gradient of the loss w.r.t. the embedding returned by
+    /// [`Self::embed`] for the same `preds`.
+    pub fn accumulate_grad(&mut self, preds: &[Vec<f32>], grad_out: &[f32]) {
+        if preds.is_empty() {
+            return; // wildcard embeddings are constant zeros
+        }
+        match self {
+            ColumnMpsn::Mlp(m) => m.accumulate_grad(preds, grad_out),
+            ColumnMpsn::Recurrent(m) => m.accumulate_grad(preds, grad_out),
+            ColumnMpsn::Recursive(m) => m.accumulate_grad(preds, grad_out),
+        }
+    }
+
+    /// Visit the trainable parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            ColumnMpsn::Mlp(m) => m.mlp.visit_params(f),
+            ColumnMpsn::Recurrent(m) => m.visit_params(f),
+            ColumnMpsn::Recursive(m) => m.cell.visit_params(f),
+        }
+    }
+
+    /// Embedding width (equals the column's input block width).
+    pub fn dim(&self) -> usize {
+        match self {
+            ColumnMpsn::Mlp(m) => m.dim,
+            ColumnMpsn::Recurrent(m) => m.dim,
+            ColumnMpsn::Recursive(m) => m.dim,
+        }
+    }
+}
+
+/// MLP & vector-sum MPSN: `embed(preds) = Σ_j MLP(pred_j)`.
+#[derive(Debug, Clone)]
+pub struct MlpMpsn {
+    mlp: Mlp,
+    dim: usize,
+}
+
+impl MlpMpsn {
+    fn new(dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
+        Self { mlp: Mlp::new(&[dim, hidden, hidden, dim], rng), dim }
+    }
+
+    fn embed(&self, preds: &[Vec<f32>]) -> Vec<f32> {
+        if preds.is_empty() {
+            return vec![0.0; self.dim];
+        }
+        let batch = stack(preds);
+        let out = self.mlp.forward_inference(&batch);
+        out.column_sums()
+    }
+
+    fn accumulate_grad(&mut self, preds: &[Vec<f32>], grad_out: &[f32]) {
+        let batch = stack(preds);
+        let _ = self.mlp.forward(&batch);
+        // The sum over predicates broadcasts the same gradient to every row.
+        let mut grad = Matrix::zeros(preds.len(), self.dim);
+        for r in 0..preds.len() {
+            grad.row_mut(r).copy_from_slice(grad_out);
+        }
+        let _ = self.mlp.backward(&grad);
+    }
+
+    /// Access to the underlying MLP (used by [`MergedMlpMpsn`]).
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+}
+
+/// Recurrent MPSN: a single-layer tanh RNN over the predicate sequence
+/// followed by a linear readout of the final hidden state.
+#[derive(Debug, Clone)]
+pub struct RecurrentMpsn {
+    wx: Param,
+    wh: Param,
+    b: Param,
+    wo: Param,
+    bo: Param,
+    dim: usize,
+    hidden: usize,
+}
+
+impl RecurrentMpsn {
+    fn new(dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
+        Self {
+            wx: Param::new(Init::XavierUniform.matrix(dim, hidden, rng)),
+            wh: Param::new(Init::XavierUniform.matrix(hidden, hidden, rng)),
+            b: Param::new(Matrix::zeros(1, hidden)),
+            wo: Param::new(Init::XavierUniform.matrix(hidden, dim, rng)),
+            bo: Param::new(Matrix::zeros(1, dim)),
+            dim,
+            hidden,
+        }
+    }
+
+    /// Run the RNN, returning every hidden state (index 0 is the initial zero
+    /// state).
+    fn run(&self, preds: &[Vec<f32>]) -> Vec<Matrix> {
+        let mut states = vec![Matrix::zeros(1, self.hidden)];
+        for pred in preds {
+            let x = Matrix::from_vec(1, self.dim, pred.clone());
+            let mut a = x.matmul(&self.wx.data);
+            a.add_assign(&states.last().expect("non-empty").matmul(&self.wh.data));
+            a.add_row_vector(self.b.data.as_slice());
+            a.as_mut_slice().iter_mut().for_each(|v| *v = v.tanh());
+            states.push(a);
+        }
+        states
+    }
+
+    fn embed(&self, preds: &[Vec<f32>]) -> Vec<f32> {
+        if preds.is_empty() {
+            return vec![0.0; self.dim];
+        }
+        let states = self.run(preds);
+        let last = states.last().expect("non-empty");
+        let mut out = last.matmul(&self.wo.data);
+        out.add_row_vector(self.bo.data.as_slice());
+        out.into_vec()
+    }
+
+    fn accumulate_grad(&mut self, preds: &[Vec<f32>], grad_out: &[f32]) {
+        let states = self.run(preds);
+        let last = states.last().expect("non-empty");
+        let g = Matrix::from_vec(1, self.dim, grad_out.to_vec());
+        // Readout layer.
+        self.wo.grad.add_assign(&last.matmul_tn(&g));
+        for (b, &d) in self.bo.grad.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            *b += d;
+        }
+        let mut dh = g.matmul_nt(&self.wo.data);
+        // Back-propagation through time.
+        for t in (0..preds.len()).rev() {
+            let h_t = &states[t + 1];
+            let h_prev = &states[t];
+            // da = dh * (1 - h_t^2)
+            let mut da = dh.clone();
+            for (d, &h) in da.as_mut_slice().iter_mut().zip(h_t.as_slice()) {
+                *d *= 1.0 - h * h;
+            }
+            let x = Matrix::from_vec(1, self.dim, preds[t].clone());
+            self.wx.grad.add_assign(&x.matmul_tn(&da));
+            self.wh.grad.add_assign(&h_prev.matmul_tn(&da));
+            for (b, &d) in self.b.grad.as_mut_slice().iter_mut().zip(da.as_slice()) {
+                *b += d;
+            }
+            dh = da.matmul_nt(&self.wh.data);
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.b);
+        f(&mut self.wo);
+        f(&mut self.bo);
+    }
+}
+
+/// Recursive MPSN: `out_t = MLP([pred_t ; out_{t-1}])`, with `out_0 = 0`.
+#[derive(Debug, Clone)]
+pub struct RecursiveMpsn {
+    cell: Mlp,
+    dim: usize,
+}
+
+impl RecursiveMpsn {
+    fn new(dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
+        Self { cell: Mlp::new(&[2 * dim, hidden, hidden, dim], rng), dim }
+    }
+
+    fn run(&self, preds: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut outs = vec![vec![0.0; self.dim]];
+        for pred in preds {
+            let prev = outs.last().expect("non-empty");
+            let mut input = Vec::with_capacity(2 * self.dim);
+            input.extend_from_slice(pred);
+            input.extend_from_slice(prev);
+            let out = self.cell.forward_inference(&Matrix::from_vec(1, 2 * self.dim, input));
+            outs.push(out.into_vec());
+        }
+        outs
+    }
+
+    fn embed(&self, preds: &[Vec<f32>]) -> Vec<f32> {
+        if preds.is_empty() {
+            return vec![0.0; self.dim];
+        }
+        self.run(preds).pop().expect("non-empty")
+    }
+
+    fn accumulate_grad(&mut self, preds: &[Vec<f32>], grad_out: &[f32]) {
+        let outs = self.run(preds);
+        let mut grad = grad_out.to_vec();
+        for t in (0..preds.len()).rev() {
+            let prev = &outs[t];
+            let mut input = Vec::with_capacity(2 * self.dim);
+            input.extend_from_slice(&preds[t]);
+            input.extend_from_slice(prev);
+            let _ = self.cell.forward(&Matrix::from_vec(1, 2 * self.dim, input));
+            let gin = self
+                .cell
+                .backward(&Matrix::from_vec(1, self.dim, grad.clone()));
+            // The second half of the input gradient flows to out_{t-1}.
+            grad = gin.as_slice()[self.dim..].to_vec();
+        }
+    }
+}
+
+/// Build one MPSN per column.
+pub fn build_mpsns(
+    kind: MpsnKind,
+    block_widths: &[usize],
+    hidden: usize,
+    seed: u64,
+) -> Vec<ColumnMpsn> {
+    if kind == MpsnKind::None {
+        return Vec::new();
+    }
+    let mut rng = seeded_rng(seed);
+    block_widths
+        .iter()
+        .map(|&dim| ColumnMpsn::new(kind, dim, hidden, &mut rng))
+        .collect()
+}
+
+/// The merged-MLP acceleration (paper §IV-F, "Parallel Acceleration for MLP
+/// MPSN"): all per-column MLP MPSNs are fused into one block-diagonal MLP so a
+/// single forward pass embeds every column's predicates at once.
+#[derive(Debug, Clone)]
+pub struct MergedMlpMpsn {
+    /// One `(weight, bias)` pair per fused layer; weights are block-diagonal.
+    layers: Vec<(Matrix, Vec<f32>)>,
+    block_offsets: Vec<Vec<usize>>, // per layer, per column offset
+    dims: Vec<usize>,
+}
+
+impl MergedMlpMpsn {
+    /// Fuse per-column MLP MPSNs. All columns must use the same number of
+    /// layers (they do, by construction in [`build_mpsns`]).
+    ///
+    /// # Panics
+    /// Panics if `mpsns` is empty or contains a non-MLP variant.
+    pub fn from_columns(mpsns: &[ColumnMpsn]) -> Self {
+        assert!(!mpsns.is_empty(), "cannot merge zero MPSNs");
+        let mlps: Vec<&Mlp> = mpsns
+            .iter()
+            .map(|m| match m {
+                ColumnMpsn::Mlp(m) => m.mlp(),
+                _ => panic!("merged acceleration only applies to MLP MPSNs"),
+            })
+            .collect();
+        let n_layers = mlps[0].linears().len();
+        assert!(mlps.iter().all(|m| m.linears().len() == n_layers));
+
+        let dims: Vec<usize> = mpsns.iter().map(|m| m.dim()).collect();
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut block_offsets = Vec::with_capacity(n_layers + 1);
+        for layer_idx in 0..n_layers {
+            let linears: Vec<&Linear> = mlps.iter().map(|m| &m.linears()[layer_idx]).collect();
+            let total_in: usize = linears.iter().map(|l| l.in_features()).sum();
+            let total_out: usize = linears.iter().map(|l| l.out_features()).sum();
+            let mut w = Matrix::zeros(total_in, total_out);
+            let mut b = vec![0.0f32; total_out];
+            let mut in_off = 0;
+            let mut out_off = 0;
+            let mut in_offsets = Vec::with_capacity(linears.len());
+            for l in &linears {
+                in_offsets.push(in_off);
+                // Copy the column's weight block onto the diagonal.
+                for i in 0..l.in_features() {
+                    for j in 0..l.out_features() {
+                        w.set(in_off + i, out_off + j, l.weight().get(i, j));
+                    }
+                }
+                b[out_off..out_off + l.out_features()]
+                    .copy_from_slice(l.bias().as_slice());
+                in_off += l.in_features();
+                out_off += l.out_features();
+            }
+            block_offsets.push(in_offsets);
+            layers.push((w, b));
+        }
+        // Output offsets of the final layer (per column).
+        let mut final_offsets = Vec::with_capacity(dims.len());
+        let mut off = 0;
+        for &d in &dims {
+            final_offsets.push(off);
+            off += d;
+        }
+        block_offsets.push(final_offsets);
+        Self { layers, block_offsets, dims }
+    }
+
+    /// Embed every column's predicate lists in one fused pass.
+    ///
+    /// `preds_per_col[c]` holds the encodings of column `c`'s predicates; the
+    /// result is the concatenation of every column's embedding (identical to
+    /// calling each [`ColumnMpsn::embed`] separately and concatenating).
+    pub fn embed_all(&self, preds_per_col: &[Vec<Vec<f32>>]) -> Vec<f32> {
+        assert_eq!(preds_per_col.len(), self.dims.len(), "column count mismatch");
+        let total: usize = self.dims.iter().sum();
+        let max_preds = preds_per_col.iter().map(|p| p.len()).max().unwrap_or(0);
+        let mut result = vec![0.0f32; total];
+        if max_preds == 0 {
+            return result;
+        }
+        // Row k holds every column's k-th predicate (or zeros). Running the
+        // block-diagonal MLP over these rows and masking out the slots where a
+        // column has no k-th predicate reproduces the per-column sum exactly.
+        let mut input = Matrix::zeros(max_preds, self.layers[0].0.rows());
+        for (c, preds) in preds_per_col.iter().enumerate() {
+            let off = self.block_offsets[0][c];
+            for (k, p) in preds.iter().enumerate() {
+                input.row_mut(k)[off..off + p.len()].copy_from_slice(p);
+            }
+        }
+        let mut x = input;
+        let last = self.layers.len() - 1;
+        for (i, (w, b)) in self.layers.iter().enumerate() {
+            let mut y = x.matmul(w);
+            y.add_row_vector(b);
+            if i < last {
+                y.as_mut_slice().iter_mut().for_each(|v| {
+                    if *v < 0.0 {
+                        *v = 0.0
+                    }
+                });
+            }
+            x = y;
+        }
+        // Mask and sum over the predicate-slot rows.
+        let final_offsets = &self.block_offsets[self.layers.len()];
+        for (c, preds) in preds_per_col.iter().enumerate() {
+            let off = final_offsets[c];
+            let dim = self.dims[c];
+            for (k, _) in preds.iter().enumerate() {
+                let row = x.row(k);
+                for d in 0..dim {
+                    result[off + d] += row[off + d];
+                }
+            }
+        }
+        result
+    }
+}
+
+fn stack(rows: &[Vec<f32>]) -> Matrix {
+    let cols = rows.first().map(|r| r.len()).unwrap_or(0);
+    let mut m = Matrix::zeros(rows.len(), cols);
+    for (i, r) in rows.iter().enumerate() {
+        m.row_mut(i).copy_from_slice(r);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred_vec(dim: usize, seed: f32) -> Vec<f32> {
+        (0..dim).map(|i| ((i as f32 + 1.0) * seed).sin()).collect()
+    }
+
+    #[test]
+    fn wildcard_embeds_to_zero_for_all_variants() {
+        let mut rng = seeded_rng(1);
+        for kind in [MpsnKind::Mlp, MpsnKind::Recurrent, MpsnKind::Recursive] {
+            let m = ColumnMpsn::new(kind, 8, 16, &mut rng);
+            assert_eq!(m.embed(&[]), vec![0.0; 8], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mlp_embedding_is_order_invariant_but_recurrent_is_not() {
+        let mut rng = seeded_rng(2);
+        let a = pred_vec(8, 0.3);
+        let b = pred_vec(8, 1.7);
+        let mlp = ColumnMpsn::new(MpsnKind::Mlp, 8, 16, &mut rng);
+        let e1 = mlp.embed(&[a.clone(), b.clone()]);
+        let e2 = mlp.embed(&[b.clone(), a.clone()]);
+        for (x, y) in e1.iter().zip(e2.iter()) {
+            assert!((x - y).abs() < 1e-5, "MLP MPSN must be order-invariant");
+        }
+        let rec = ColumnMpsn::new(MpsnKind::Recurrent, 8, 16, &mut rng);
+        let r1 = rec.embed(&[a.clone(), b.clone()]);
+        let r2 = rec.embed(&[b, a]);
+        let diff: f32 = r1.iter().zip(r2.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4, "recurrent MPSN is expected to be order-sensitive");
+    }
+
+    #[test]
+    fn gradients_accumulate_for_all_variants() {
+        let mut rng = seeded_rng(3);
+        for kind in [MpsnKind::Mlp, MpsnKind::Recurrent, MpsnKind::Recursive] {
+            let mut m = ColumnMpsn::new(kind, 6, 12, &mut rng);
+            let preds = vec![pred_vec(6, 0.5), pred_vec(6, 0.9)];
+            let grad = vec![0.1f32; 6];
+            m.accumulate_grad(&preds, &grad);
+            let mut total = 0.0f32;
+            m.visit_params(&mut |p| total += p.grad.max_abs());
+            assert!(total > 0.0, "{kind:?} accumulated no gradient");
+            // Wildcards never contribute gradient.
+            let mut m2 = ColumnMpsn::new(kind, 6, 12, &mut rng);
+            m2.accumulate_grad(&[], &grad);
+            let mut total2 = 0.0f32;
+            m2.visit_params(&mut |p| total2 += p.grad.max_abs());
+            assert_eq!(total2, 0.0);
+        }
+    }
+
+    #[test]
+    fn mlp_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(4);
+        let mut m = ColumnMpsn::new(MpsnKind::Mlp, 4, 8, &mut rng);
+        let preds = vec![pred_vec(4, 0.4), pred_vec(4, 1.1)];
+        // Loss = dot(embed(preds), w) for a fixed w.
+        let w: Vec<f32> = vec![0.3, -0.2, 0.5, 0.1];
+        m.accumulate_grad(&preds, &w);
+        let mut analytic = Vec::new();
+        m.visit_params(&mut |p| {
+            if analytic.is_empty() {
+                analytic = p.grad.as_slice()[..4].to_vec();
+            }
+        });
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut loss = [0.0f32; 2];
+            for (s, sign) in [1.0f32, -1.0].iter().enumerate() {
+                let mut first = true;
+                m.visit_params(&mut |p| {
+                    if first {
+                        p.data.as_mut_slice()[idx] += sign * eps;
+                        first = false;
+                    }
+                });
+                let e = m.embed(&preds);
+                loss[s] = e.iter().zip(&w).map(|(a, b)| a * b).sum();
+                let mut first = true;
+                m.visit_params(&mut |p| {
+                    if first {
+                        p.data.as_mut_slice()[idx] -= sign * eps;
+                        first = false;
+                    }
+                });
+            }
+            let numeric = (loss[0] - loss[1]) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 2e-2 * (1.0 + analytic[idx].abs()),
+                "idx {idx}: analytic {}, numeric {numeric}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn merged_mlp_matches_per_column_embeddings() {
+        let widths = vec![7, 5, 9];
+        let mpsns = build_mpsns(MpsnKind::Mlp, &widths, 16, 77);
+        let merged = MergedMlpMpsn::from_columns(&mpsns);
+        let preds_per_col = vec![
+            vec![pred_vec(7, 0.2), pred_vec(7, 0.8)],
+            vec![],
+            vec![pred_vec(9, 1.5)],
+        ];
+        let fused = merged.embed_all(&preds_per_col);
+        let mut expected = Vec::new();
+        for (m, preds) in mpsns.iter().zip(&preds_per_col) {
+            expected.extend(m.embed(preds));
+        }
+        assert_eq!(fused.len(), expected.len());
+        for (a, b) in fused.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-4, "merged {a} vs per-column {b}");
+        }
+    }
+
+    #[test]
+    fn build_mpsns_none_is_empty() {
+        assert!(build_mpsns(MpsnKind::None, &[4, 4], 8, 1).is_empty());
+        assert_eq!(build_mpsns(MpsnKind::Mlp, &[4, 4], 8, 1).len(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Checkpointing of trained Duet models.
+//!
+//! The weights are serialized with the workspace's binary checkpoint codec
+//! ([`duet_nn::serialize`]); the architecture itself is rebuilt from the
+//! estimator's configuration and table schema, so loading requires an
+//! estimator constructed with the same configuration over the same table
+//! (which is how a deployed estimator would be refreshed after fine-tuning).
+
+use crate::estimator::DuetEstimator;
+use crate::trainer::ModelParams;
+use bytes::Bytes;
+use duet_nn::serialize::{load_params, save_params, CheckpointError};
+
+/// Serialize the estimator's weights (backbone + MPSNs) into a checkpoint.
+pub fn save_weights(estimator: &mut DuetEstimator) -> Bytes {
+    save_params(&mut ModelParams(estimator.model_mut()))
+}
+
+/// Load a checkpoint produced by [`save_weights`] into an estimator with the
+/// same architecture.
+pub fn load_weights(estimator: &mut DuetEstimator, bytes: &[u8]) -> Result<(), CheckpointError> {
+    load_params(&mut ModelParams(estimator.model_mut()), bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DuetConfig;
+    use crate::model::DuetModel;
+    use duet_data::datasets::census_like;
+    use duet_query::{CardinalityEstimator, WorkloadSpec};
+
+    #[test]
+    fn weights_round_trip_preserves_estimates() {
+        let table = census_like(400, 41);
+        let cfg = DuetConfig::small().with_epochs(2);
+        let mut trained = DuetEstimator::train_data_only(&table, &cfg, 3);
+        let queries = WorkloadSpec::random(&table, 20, 9).generate(&table);
+        let before: Vec<f64> = queries.iter().map(|q| trained.estimate(q)).collect();
+
+        let checkpoint = save_weights(&mut trained);
+
+        // A freshly initialized estimator with the same architecture.
+        let fresh_model = DuetModel::new(&table, &cfg, 999);
+        let mut fresh = DuetEstimator::from_model(fresh_model, &table, "restored");
+        let after_init: Vec<f64> = queries.iter().map(|q| fresh.estimate(q)).collect();
+        assert_ne!(before, after_init, "fresh weights should differ from trained ones");
+
+        load_weights(&mut fresh, &checkpoint).expect("load should succeed");
+        let after_load: Vec<f64> = queries.iter().map(|q| fresh.estimate(q)).collect();
+        assert_eq!(before, after_load, "loading must restore the exact estimates");
+    }
+
+    #[test]
+    fn loading_into_a_different_architecture_fails() {
+        let table = census_like(300, 42);
+        let mut small = DuetEstimator::train_data_only(&table, &DuetConfig::small().with_epochs(1), 1);
+        let checkpoint = save_weights(&mut small);
+
+        let mut other_cfg = DuetConfig::small();
+        other_cfg.hidden_sizes = vec![16];
+        let other_model = DuetModel::new(&table, &other_cfg, 2);
+        let mut other = DuetEstimator::from_model(other_model, &table, "other");
+        assert!(load_weights(&mut other, &checkpoint).is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! Training loops: data-driven training on the virtual table (Algorithm 1 +
+//! cross-entropy) and hybrid training with the differentiable Q-Error loss
+//! (Algorithm 2, `L = L_data + λ·log2(QError + 1)`).
+
+use crate::config::DuetConfig;
+use crate::encoding::IdPredicate;
+use crate::model::{query_to_id_predicates, DuetModel};
+use crate::virtual_table::{sample_virtual_batch, SamplerConfig, VirtualTuple};
+use duet_data::Table;
+use duet_nn::{grouped_cross_entropy, seeded_rng, softmax, Adam, GradClip, Layer, Matrix, Param};
+use duet_query::Query;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::time::Instant;
+
+/// Per-epoch training statistics, consumed by the convergence experiments
+/// (Figures 3, 8 and 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean per-batch unsupervised loss `L_data` (summed cross-entropy over
+    /// columns).
+    pub data_loss: f64,
+    /// Mean per-batch supervised loss `log2(QError + 1)` before scaling by λ
+    /// (0 when training purely data-driven).
+    pub query_loss: f64,
+    /// Mean raw Q-Error over the query batches seen this epoch (1.0 when not
+    /// hybrid).
+    pub mean_train_q_error: f64,
+    /// Wall-clock seconds spent in this epoch.
+    pub seconds: f64,
+    /// Number of (anchor) tuples processed this epoch.
+    pub tuples_processed: usize,
+}
+
+/// A labelled training workload for hybrid training.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingWorkload<'a> {
+    /// The training queries (e.g. historical workload).
+    pub queries: &'a [Query],
+    /// Their true cardinalities.
+    pub cardinalities: &'a [u64],
+}
+
+/// Pre-processed query used by the supervised loss.
+struct PreparedQuery {
+    preds: Vec<Vec<IdPredicate>>,
+    intervals: Vec<(u32, u32)>,
+    actual: f64,
+}
+
+/// Adapter exposing a [`DuetModel`]'s parameters to the optimizer and the
+/// checkpoint codec through the [`Layer`] trait (its forward/backward are never
+/// used).
+pub(crate) struct ModelParams<'a>(pub &'a mut DuetModel);
+
+impl Layer for ModelParams<'_> {
+    fn forward(&mut self, _input: &Matrix) -> Matrix {
+        unreachable!("ModelParams is only used for parameter visitation")
+    }
+    fn backward(&mut self, _grad_out: &Matrix) -> Matrix {
+        unreachable!("ModelParams is only used for parameter visitation")
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.0.visit_params(f);
+    }
+}
+
+/// Train a [`DuetModel`] on `table`, optionally with a labelled workload for
+/// hybrid training, invoking `on_epoch` after every epoch.
+pub fn train_model(
+    table: &Table,
+    config: &DuetConfig,
+    workload: Option<TrainingWorkload<'_>>,
+    seed: u64,
+    mut on_epoch: impl FnMut(&EpochStats),
+) -> DuetModel {
+    train_model_with_eval(table, config, workload, seed, |stats, _| on_epoch(stats))
+}
+
+/// Like [`train_model`], but the per-epoch callback also receives the current
+/// model so convergence experiments (Figures 8/9) can evaluate Q-Errors after
+/// every epoch.
+pub fn train_model_with_eval(
+    table: &Table,
+    config: &DuetConfig,
+    workload: Option<TrainingWorkload<'_>>,
+    seed: u64,
+    mut on_epoch: impl FnMut(&EpochStats, &DuetModel),
+) -> DuetModel {
+    config.validate().expect("invalid Duet configuration");
+    let mut model = DuetModel::new(table, config, seed);
+    let mut rng = seeded_rng(seed ^ 0x517cc1b727220a95);
+    let mut adam = Adam::new(config.learning_rate);
+    if config.grad_clip > 0.0 {
+        adam = adam.with_clip(GradClip::Value(config.grad_clip));
+    }
+
+    let sampler = SamplerConfig {
+        expand_mu: config.expand_mu,
+        wildcard_prob: config.wildcard_prob,
+        max_predicates_per_column: config.max_predicates_per_column,
+    };
+
+    // Prepare the supervised workload once.
+    let prepared: Vec<PreparedQuery> = match workload {
+        Some(w) if config.lambda > 0.0 && config.query_batch_size > 0 => {
+            assert_eq!(
+                w.queries.len(),
+                w.cardinalities.len(),
+                "every training query needs a cardinality label"
+            );
+            w.queries
+                .iter()
+                .zip(w.cardinalities)
+                .map(|(q, &card)| PreparedQuery {
+                    preds: query_to_id_predicates(table, q),
+                    intervals: q.column_intervals(table),
+                    actual: card as f64,
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    let hybrid = !prepared.is_empty();
+    let num_rows_f = table.num_rows() as f64;
+
+    let mut row_order: Vec<usize> = (0..table.num_rows()).collect();
+    let mut query_cursor = 0usize;
+
+    for epoch in 0..config.epochs {
+        let started = Instant::now();
+        row_order.shuffle(&mut rng);
+        let mut data_loss_sum = 0.0f64;
+        let mut query_loss_sum = 0.0f64;
+        let mut q_error_sum = 0.0f64;
+        let mut batches = 0usize;
+        let mut query_batches = 0usize;
+
+        for chunk in row_order.chunks(config.batch_size) {
+            model.zero_grad();
+
+            // --- Unsupervised pass over sampled virtual tuples ------------
+            let virtual_batch = sample_virtual_batch(table, chunk, &sampler, &mut rng);
+            let (loss_data, grad_input) = data_pass(&mut model, &virtual_batch);
+            data_loss_sum += loss_data as f64;
+            if let Some(grad_input) = grad_input {
+                backprop_mpsn(&mut model, &virtual_batch, &grad_input);
+            }
+
+            // --- Supervised pass over a query mini-batch ------------------
+            if hybrid {
+                let batch = next_query_batch(&prepared, &mut query_cursor, config.query_batch_size);
+                let (loss_q, mean_q, grad_input_q, rows) =
+                    query_pass(&mut model, &batch, num_rows_f, config.lambda);
+                query_loss_sum += loss_q;
+                q_error_sum += mean_q;
+                query_batches += 1;
+                if let (Some(grad_input_q), Some(rows)) = (grad_input_q, rows) {
+                    backprop_mpsn_rows(&mut model, &rows, &grad_input_q);
+                }
+            }
+
+            adam.step(&mut ModelParams(&mut model));
+            batches += 1;
+        }
+
+        let stats = EpochStats {
+            epoch,
+            data_loss: data_loss_sum / batches.max(1) as f64,
+            query_loss: query_loss_sum / query_batches.max(1) as f64,
+            mean_train_q_error: if query_batches > 0 {
+                q_error_sum / query_batches as f64
+            } else {
+                1.0
+            },
+            seconds: started.elapsed().as_secs_f64(),
+            tuples_processed: row_order.len(),
+        };
+        on_epoch(&stats, &model);
+    }
+    model
+}
+
+/// Forward/backward for one virtual-tuple batch. Returns the loss and, when an
+/// MPSN is present, the gradient w.r.t. the network input (needed to continue
+/// back-propagation into the per-column MPSNs).
+fn data_pass(model: &mut DuetModel, batch: &[VirtualTuple]) -> (f32, Option<Matrix>) {
+    let rows: Vec<Vec<Vec<IdPredicate>>> = batch.iter().map(|vt| vt.predicates.clone()).collect();
+    let input = model.input_matrix(&rows);
+    let labels: Vec<Vec<usize>> = batch.iter().map(|vt| vt.labels.clone()).collect();
+    let blocks = model.output_sizes();
+    let logits = model.made_mut().forward(&input);
+    let (loss, grad_logits) = grouped_cross_entropy(&logits, &blocks, &labels);
+    let grad_input = model.made_mut().backward(&grad_logits);
+    if model.mpsns().is_empty() {
+        (loss, None)
+    } else {
+        (loss, Some(grad_input))
+    }
+}
+
+/// Back-propagate input gradients into the per-column MPSNs for a virtual
+/// batch.
+fn backprop_mpsn(model: &mut DuetModel, batch: &[VirtualTuple], grad_input: &Matrix) {
+    let rows: Vec<&Vec<Vec<IdPredicate>>> = batch.iter().map(|vt| &vt.predicates).collect();
+    backprop_mpsn_impl(model, &rows, grad_input);
+}
+
+/// Same as [`backprop_mpsn`] but for already-extracted per-row predicates.
+fn backprop_mpsn_rows(model: &mut DuetModel, rows: &[Vec<Vec<IdPredicate>>], grad_input: &Matrix) {
+    let refs: Vec<&Vec<Vec<IdPredicate>>> = rows.iter().collect();
+    backprop_mpsn_impl(model, &refs, grad_input);
+}
+
+fn backprop_mpsn_impl(
+    model: &mut DuetModel,
+    rows: &[&Vec<Vec<IdPredicate>>],
+    grad_input: &Matrix,
+) {
+    if model.mpsns().is_empty() {
+        return;
+    }
+    let encoder = model.encoder().clone();
+    let ncols = encoder.num_columns();
+    for col in 0..ncols {
+        let offset = encoder.block_offset(col);
+        let width = encoder.block_width(col);
+        for (r, row_preds) in rows.iter().enumerate() {
+            let preds = &row_preds[col];
+            if preds.is_empty() {
+                continue;
+            }
+            let encodings: Vec<Vec<f32>> = preds
+                .iter()
+                .map(|p| encoder.encode_predicate(col, p))
+                .collect();
+            let grad_block = &grad_input.row(r)[offset..offset + width];
+            model.mpsns_mut()[col].accumulate_grad(&encodings, grad_block);
+        }
+    }
+}
+
+/// Pull the next `size` prepared queries, wrapping around the workload.
+fn next_query_batch<'a>(
+    prepared: &'a [PreparedQuery],
+    cursor: &mut usize,
+    size: usize,
+) -> Vec<&'a PreparedQuery> {
+    let mut out = Vec::with_capacity(size);
+    for _ in 0..size.min(prepared.len()) {
+        out.push(&prepared[*cursor % prepared.len()]);
+        *cursor += 1;
+    }
+    out
+}
+
+/// Forward/backward for a supervised query batch.
+///
+/// Returns `(mean log2(QError+1), mean QError, grad wrt input, rows)` where
+/// the gradient already includes the λ scaling so it can simply be accumulated
+/// on top of the data-pass gradients.
+fn query_pass(
+    model: &mut DuetModel,
+    batch: &[&PreparedQuery],
+    num_rows: f64,
+    lambda: f64,
+) -> (f64, f64, Option<Matrix>, Option<Vec<Vec<Vec<IdPredicate>>>>) {
+    if batch.is_empty() {
+        return (0.0, 1.0, None, None);
+    }
+    let rows: Vec<Vec<Vec<IdPredicate>>> = batch.iter().map(|p| p.preds.clone()).collect();
+    let input = model.input_matrix(&rows);
+    let logits = model.made_mut().forward(&input);
+    let sizes = model.output_sizes();
+
+    let mut grad_logits = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss_sum = 0.0f64;
+    let mut q_sum = 0.0f64;
+    let scale = lambda / batch.len() as f64;
+    let ln2 = std::f64::consts::LN_2;
+
+    for (r, pq) in batch.iter().enumerate() {
+        let row = logits.row(r);
+        // Per-column softmax, restricted mass and the product selectivity.
+        // Only constrained columns are kept: (column, block offset, probs, mass).
+        let mut offset = 0usize;
+        let mut col_probs: Vec<(usize, usize, Vec<f32>, f64)> = Vec::new();
+        let mut selectivity = 1.0f64;
+        let mut contradiction = false;
+        for (col, &size) in sizes.iter().enumerate() {
+            let (lo, hi) = pq.intervals[col];
+            if lo >= hi {
+                contradiction = true;
+            } else if !(lo == 0 && hi as usize == size) {
+                let probs = softmax(&row[offset..offset + size]);
+                let mass: f64 = probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
+                let mass = mass.max(1e-9);
+                selectivity *= mass;
+                col_probs.push((col, offset, probs, mass));
+            }
+            offset += size;
+        }
+        if contradiction {
+            // The estimate is exactly zero and carries no useful gradient.
+            let actual = pq.actual.max(1.0);
+            let q = actual; // est clamps to 1
+            loss_sum += (q + 1.0).log2();
+            q_sum += q;
+            continue;
+        }
+
+        let est_raw = selectivity * num_rows;
+        let est = est_raw.max(1.0);
+        let actual = pq.actual.max(1.0);
+        let q = if est >= actual { est / actual } else { actual / est };
+        loss_sum += (q + 1.0).log2();
+        q_sum += q;
+
+        // dL/dq, dq/d est, d est/d sel. When the estimate sits below the
+        // 1-row clamp we still propagate the unclamped subgradient so badly
+        // underestimating queries keep producing a learning signal.
+        let dl_dq = 1.0 / ((q + 1.0) * ln2);
+        let dq_dest = if est >= actual { 1.0 / actual } else { -actual / (est * est) };
+        let dest_dsel = num_rows;
+        let dl_dsel = dl_dq * dq_dest * dest_dsel * scale;
+
+        for (col, offset, probs, mass) in &col_probs {
+            let dl_dmass = dl_dsel * (selectivity / mass);
+            // Softmax backward: dL/dlogit_k = p_k * (in_range_k - mass) * dl_dmass
+            let (lo, hi) = pq.intervals[*col];
+            let grow = grad_logits.row_mut(r);
+            for (k, &p) in probs.iter().enumerate() {
+                let in_range = if (k as u32) >= lo && (k as u32) < hi { 1.0 } else { 0.0 };
+                grow[offset + k] += (p as f64 * (in_range - *mass) * dl_dmass) as f32;
+            }
+        }
+    }
+
+    let grad_input = model.made_mut().backward(&grad_logits);
+    let mean_loss = loss_sum / batch.len() as f64;
+    let mean_q = q_sum / batch.len() as f64;
+    if model.mpsns().is_empty() {
+        (mean_loss, mean_q, None, None)
+    } else {
+        (mean_loss, mean_q, Some(grad_input), Some(rows))
+    }
+}
+
+/// Convenience wrapper: shuffle-free deterministic selection of training rows
+/// for throughput measurements (Table III): runs exactly `steps` optimizer
+/// steps and reports tuples/second.
+pub fn measure_training_throughput(
+    table: &Table,
+    config: &DuetConfig,
+    workload: Option<TrainingWorkload<'_>>,
+    steps: usize,
+    seed: u64,
+) -> f64 {
+    let mut cfg = config.clone();
+    // One epoch over a prefix that covers exactly `steps` batches.
+    let rows_needed = (steps * cfg.batch_size).min(table.num_rows()).max(cfg.batch_size);
+    cfg.epochs = 1;
+    let sub = table.sample_prefix(rows_needed);
+    let started = Instant::now();
+    let mut processed = 0usize;
+    let _ = train_model(&sub, &cfg, workload, seed, |stats| {
+        processed += stats.tuples_processed;
+    });
+    let secs = started.elapsed().as_secs_f64();
+    processed as f64 / secs.max(1e-9)
+}
+
+/// Deterministically pick `n` row indices (used by tests).
+pub fn pick_rows(table: &Table, n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = seeded_rng(seed);
+    (0..n.min(table.num_rows()))
+        .map(|_| rng.gen_range(0..table.num_rows()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpsnKind;
+    use duet_data::datasets::census_like;
+    use duet_query::{exact_cardinality, WorkloadSpec};
+
+    #[test]
+    fn data_training_reduces_loss() {
+        let table = census_like(1_000, 21);
+        let mut cfg = DuetConfig::small();
+        cfg.epochs = 4;
+        let mut losses = Vec::new();
+        let _ = train_model(&table, &cfg, None, 7, |s| losses.push(s.data_loss));
+        assert_eq!(losses.len(), 4);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "data loss should decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_training_reports_query_loss() {
+        let table = census_like(800, 22);
+        let spec = WorkloadSpec::in_workload(&table, 64, 42);
+        let queries = spec.generate(&table);
+        let cards: Vec<u64> = queries.iter().map(|q| exact_cardinality(&table, q)).collect();
+        let mut cfg = DuetConfig::small();
+        cfg.epochs = 2;
+        let workload = TrainingWorkload { queries: &queries, cardinalities: &cards };
+        let mut saw_query_loss = false;
+        let _ = train_model(&table, &cfg, Some(workload), 8, |s| {
+            if s.query_loss > 0.0 {
+                saw_query_loss = true;
+            }
+            assert!(s.mean_train_q_error >= 1.0);
+        });
+        assert!(saw_query_loss, "hybrid training should produce a supervised loss");
+    }
+
+    #[test]
+    fn training_with_mpsn_updates_mpsn_parameters() {
+        let table = census_like(400, 23);
+        let mut cfg = DuetConfig::small().with_mpsn(MpsnKind::Mlp, 2);
+        cfg.epochs = 1;
+        cfg.batch_size = 64;
+        let mut model_before = DuetModel::new(&table, &cfg, 5);
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            model_before.visit_params(&mut |p| v.push(p.data.mean()));
+            v
+        };
+        let mut model_after = train_model(&table, &cfg, None, 5, |_| {});
+        let after: Vec<f32> = {
+            let mut v = Vec::new();
+            model_after.visit_params(&mut |p| v.push(p.data.mean()));
+            v
+        };
+        assert_eq!(before.len(), after.len());
+        let changed = before
+            .iter()
+            .zip(after.iter())
+            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+            .count();
+        assert!(
+            changed > before.len() / 2,
+            "most parameters (including MPSN) should move during training"
+        );
+    }
+
+    #[test]
+    fn throughput_measurement_is_positive() {
+        let table = census_like(600, 24);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let tput = measure_training_throughput(&table, &cfg, None, 2, 3);
+        assert!(tput > 0.0);
+    }
+}

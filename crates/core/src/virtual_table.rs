@@ -1,0 +1,212 @@
+//! Virtual-table sampling (paper §IV-B/§IV-C, Algorithm 1).
+//!
+//! Duet does not learn `P(C_i | x_<i)` from raw tuples the way Naru does.
+//! Instead it learns `P(C_i | P_<i)` from *virtual tuples*: for every real
+//! tuple `x` drawn during SGD, each column is given a randomly chosen
+//! predicate `(op, v)` that `x` satisfies, so the network sees predicates as
+//! conditioning information and the real tuple's values remain the labels.
+//!
+//! The sampler below is the vectorized equivalent of the paper's Algorithm 1:
+//! an anchor batch is replicated `µ` times, every column of every replica is
+//! assigned an operator (or a wildcard), and the literal is drawn uniformly
+//! from the id range that keeps the anchor tuple satisfying the predicate.
+
+use crate::encoding::IdPredicate;
+use duet_data::Table;
+use duet_query::PredOp;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One sampled virtual tuple: the per-column predicates (empty = wildcard) and
+/// the anchor tuple's value ids, which serve as the training labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualTuple {
+    /// Predicates per column (outer index = column); an empty vector means the
+    /// column is unconstrained in this virtual tuple.
+    pub predicates: Vec<Vec<IdPredicate>>,
+    /// The anchor tuple's value ids (the cross-entropy labels).
+    pub labels: Vec<usize>,
+}
+
+/// Configuration of the sampler (a subset of [`crate::DuetConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Replication factor `µ`.
+    pub expand_mu: usize,
+    /// Probability of a wildcard per column.
+    pub wildcard_prob: f64,
+    /// Maximum predicates per column (more than 1 requires an MPSN).
+    pub max_predicates_per_column: usize,
+}
+
+/// Sample the virtual tuples for a batch of anchor rows.
+///
+/// The returned vector has `rows.len() * expand_mu` entries: each anchor row
+/// contributes `µ` independently sampled virtual tuples, which is how the
+/// paper trains every tuple against several predicate combinations per step
+/// without inflating the gradient batch.
+pub fn sample_virtual_batch(
+    table: &Table,
+    rows: &[usize],
+    config: &SamplerConfig,
+    rng: &mut SmallRng,
+) -> Vec<VirtualTuple> {
+    let ncols = table.num_columns();
+    let mut out = Vec::with_capacity(rows.len() * config.expand_mu.max(1));
+    for &row in rows {
+        for _ in 0..config.expand_mu.max(1) {
+            let mut predicates = Vec::with_capacity(ncols);
+            let mut labels = Vec::with_capacity(ncols);
+            for col in 0..ncols {
+                let anchor = table.column(col).id_at(row);
+                labels.push(anchor as usize);
+                if rng.gen::<f64>() < config.wildcard_prob {
+                    predicates.push(Vec::new());
+                    continue;
+                }
+                let ndv = table.column(col).ndv() as u32;
+                let count = if config.max_predicates_per_column > 1 && ndv > 2 {
+                    rng.gen_range(1..=config.max_predicates_per_column)
+                } else {
+                    1
+                };
+                let mut col_preds = Vec::with_capacity(count);
+                for _ in 0..count {
+                    col_preds.push(sample_predicate(anchor, ndv, rng));
+                }
+                predicates.push(col_preds);
+            }
+            out.push(VirtualTuple { predicates, labels });
+        }
+    }
+    out
+}
+
+/// Sample one predicate `(op, v)` such that the anchor id satisfies it,
+/// drawing `v` uniformly from the satisfying id range (paper Algorithm 1,
+/// lines 12-17).
+pub fn sample_predicate(anchor: u32, ndv: u32, rng: &mut SmallRng) -> IdPredicate {
+    debug_assert!(anchor < ndv, "anchor id {anchor} outside domain of size {ndv}");
+    // Operators are drawn uniformly; strict operators fall back to their
+    // inclusive counterparts when the anchor sits at the edge of the domain
+    // (there is no literal that would keep the predicate satisfiable).
+    let op = PredOp::ALL[rng.gen_range(0..PredOp::ALL.len())];
+    match op {
+        PredOp::Eq => IdPredicate { op, value_id: anchor },
+        PredOp::Ge => IdPredicate { op, value_id: rng.gen_range(0..=anchor) },
+        PredOp::Le => IdPredicate { op, value_id: rng.gen_range(anchor..ndv) },
+        PredOp::Gt => {
+            if anchor == 0 {
+                IdPredicate { op: PredOp::Ge, value_id: 0 }
+            } else {
+                IdPredicate { op, value_id: rng.gen_range(0..anchor) }
+            }
+        }
+        PredOp::Lt => {
+            if anchor + 1 >= ndv {
+                IdPredicate { op: PredOp::Le, value_id: anchor }
+            } else {
+                IdPredicate { op, value_id: rng.gen_range(anchor + 1..ndv) }
+            }
+        }
+    }
+}
+
+/// Check that an anchor id satisfies a predicate in id space (used by tests
+/// and debug assertions).
+pub fn satisfies(anchor: u32, pred: &IdPredicate) -> bool {
+    match pred.op {
+        PredOp::Eq => anchor == pred.value_id,
+        PredOp::Gt => anchor > pred.value_id,
+        PredOp::Lt => anchor < pred.value_id,
+        PredOp::Ge => anchor >= pred.value_id,
+        PredOp::Le => anchor <= pred.value_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_data::datasets::census_like;
+    use rand::SeedableRng;
+
+    fn sampler() -> SamplerConfig {
+        SamplerConfig { expand_mu: 3, wildcard_prob: 0.25, max_predicates_per_column: 1 }
+    }
+
+    #[test]
+    fn batch_size_is_rows_times_mu() {
+        let t = census_like(500, 1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let batch = sample_virtual_batch(&t, &[0, 1, 2, 3], &sampler(), &mut rng);
+        assert_eq!(batch.len(), 12);
+        for vt in &batch {
+            assert_eq!(vt.predicates.len(), t.num_columns());
+            assert_eq!(vt.labels.len(), t.num_columns());
+        }
+    }
+
+    #[test]
+    fn anchor_always_satisfies_its_sampled_predicates() {
+        let t = census_like(1_000, 2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let rows: Vec<usize> = (0..200).collect();
+        let cfg = SamplerConfig { expand_mu: 2, wildcard_prob: 0.2, max_predicates_per_column: 3 };
+        for vt in sample_virtual_batch(&t, &rows, &cfg, &mut rng) {
+            for (col, preds) in vt.predicates.iter().enumerate() {
+                for p in preds {
+                    assert!(
+                        satisfies(vt.labels[col] as u32, p),
+                        "anchor {} does not satisfy {:?} on column {col}",
+                        vt.labels[col],
+                        p
+                    );
+                    assert!((p.value_id as usize) < t.column(col).ndv());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wildcard_probability_roughly_respected() {
+        let t = census_like(2_000, 3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let rows: Vec<usize> = (0..500).collect();
+        let cfg = SamplerConfig { expand_mu: 1, wildcard_prob: 0.4, max_predicates_per_column: 1 };
+        let batch = sample_virtual_batch(&t, &rows, &cfg, &mut rng);
+        let total: usize = batch.iter().map(|vt| vt.predicates.len()).sum();
+        let wildcards: usize = batch
+            .iter()
+            .map(|vt| vt.predicates.iter().filter(|p| p.is_empty()).count())
+            .sum();
+        let frac = wildcards as f64 / total as f64;
+        assert!((frac - 0.4).abs() < 0.05, "wildcard fraction {frac} far from 0.4");
+    }
+
+    #[test]
+    fn strict_operators_fall_back_at_domain_edges() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..200 {
+            // Anchor at the low edge of a 2-value domain: Gt must degrade to Ge.
+            let p = sample_predicate(0, 2, &mut rng);
+            assert!(satisfies(0, &p));
+            // Anchor at the high edge: Lt must degrade to Le.
+            let p = sample_predicate(1, 2, &mut rng);
+            assert!(satisfies(1, &p));
+        }
+    }
+
+    #[test]
+    fn multi_predicate_sampling_emits_up_to_the_cap() {
+        let t = census_like(500, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let cfg = SamplerConfig { expand_mu: 1, wildcard_prob: 0.0, max_predicates_per_column: 3 };
+        let batch = sample_virtual_batch(&t, &(0..100).collect::<Vec<_>>(), &cfg, &mut rng);
+        let max_seen = batch
+            .iter()
+            .flat_map(|vt| vt.predicates.iter().map(|p| p.len()))
+            .max()
+            .unwrap();
+        assert!(max_seen > 1 && max_seen <= 3);
+    }
+}

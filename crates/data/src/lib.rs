@@ -1,0 +1,26 @@
+//! # duet-data
+//!
+//! The data substrate of the Duet reproduction: dictionary-encoded
+//! column-store tables, per-column statistics, CSV import/export and synthetic
+//! generators shaped like the paper's evaluation datasets (DMV, Kddcup98,
+//! Census).
+//!
+//! Every estimator in the workspace (Duet itself and all baselines) consumes a
+//! [`Table`]: columns are dictionary-encoded so that range predicates become
+//! contiguous value-id ranges, which is the discretized representation used by
+//! Naru, UAE and Duet alike.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod column;
+pub mod csv;
+pub mod datasets;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use stats::{id_correlation, table_stats, ColumnStats};
+pub use table::{Table, TableBuilder};
+pub use value::{parse_value, Value};

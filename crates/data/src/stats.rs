@@ -1,0 +1,158 @@
+//! Per-column and cross-column statistics used by the traditional baselines
+//! (Independence, MHist, Sampling) and by the dataset generators' self-checks.
+
+use crate::column::Column;
+use crate::table::Table;
+
+/// Summary statistics of a single column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Number of distinct values.
+    pub ndv: usize,
+    /// Occurrence count per distinct value (indexed by value id).
+    pub counts: Vec<u64>,
+    /// Shannon entropy of the value distribution, in bits.
+    pub entropy_bits: f64,
+    /// Frequency of the most common value (skew indicator).
+    pub top_frequency: f64,
+}
+
+impl ColumnStats {
+    /// Compute statistics for a column.
+    pub fn of(column: &Column) -> Self {
+        let counts = column.value_counts();
+        let total: u64 = counts.iter().sum();
+        let mut entropy = 0.0f64;
+        let mut top = 0u64;
+        for &c in &counts {
+            if c == 0 {
+                continue;
+            }
+            top = top.max(c);
+            let p = c as f64 / total.max(1) as f64;
+            entropy -= p * p.log2();
+        }
+        Self {
+            name: column.name().to_string(),
+            ndv: column.ndv(),
+            counts,
+            entropy_bits: entropy,
+            top_frequency: top as f64 / total.max(1) as f64,
+        }
+    }
+
+    /// Marginal selectivity of `value id == id`.
+    pub fn eq_selectivity(&self, id: u32) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.get(id as usize).copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// Marginal selectivity of an inclusive id range `[lo, hi]`.
+    pub fn range_selectivity(&self, lo: u32, hi: u32) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hi = (hi as usize).min(self.counts.len().saturating_sub(1));
+        let sum: u64 = self.counts[lo as usize..=hi].iter().sum();
+        sum as f64 / total as f64
+    }
+}
+
+/// Statistics for every column of a table.
+pub fn table_stats(table: &Table) -> Vec<ColumnStats> {
+    table.columns().iter().map(ColumnStats::of).collect()
+}
+
+/// Pearson correlation between the value ids of two columns.
+///
+/// Value ids are order-preserving, so this is a (rank-like) association
+/// measure in `[-1, 1]`; the synthetic dataset generators use it to verify
+/// that requested correlations materialize.
+pub fn id_correlation(a: &Column, b: &Column) -> f64 {
+    assert_eq!(a.len(), b.len(), "columns must have the same length");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let xs = a.data();
+    let ys = b.data();
+    let mean_x = xs.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mean_y = ys.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for i in 0..n {
+        let dx = xs[i] as f64 - mean_x;
+        let dy = ys[i] as f64 - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        0.0
+    } else {
+        cov / (var_x.sqrt() * var_y.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn col(name: &str, ids: &[i64]) -> Column {
+        let values: Vec<Value> = ids.iter().map(|&v| Value::Int(v)).collect();
+        Column::from_values(name, &values)
+    }
+
+    #[test]
+    fn column_stats_basic() {
+        let c = col("c", &[1, 1, 1, 2]);
+        let s = ColumnStats::of(&c);
+        assert_eq!(s.ndv, 2);
+        assert_eq!(s.counts, vec![3, 1]);
+        assert!((s.top_frequency - 0.75).abs() < 1e-9);
+        assert!(s.entropy_bits > 0.0 && s.entropy_bits < 1.0);
+    }
+
+    #[test]
+    fn selectivities() {
+        let s = ColumnStats::of(&col("c", &[1, 1, 2, 3]));
+        assert!((s.eq_selectivity(0) - 0.5).abs() < 1e-9);
+        assert!((s.range_selectivity(1, 2) - 0.5).abs() < 1e-9);
+        assert_eq!(s.range_selectivity(2, 1), 0.0);
+        assert_eq!(s.eq_selectivity(10), 0.0);
+    }
+
+    #[test]
+    fn correlation_detects_dependence() {
+        let a = col("a", &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = col("b", &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let c = col("c", &[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert!((id_correlation(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((id_correlation(&a, &c) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_of_constant_column_is_zero() {
+        let a = col("a", &[1, 1, 1, 1]);
+        let b = col("b", &[1, 2, 3, 4]);
+        assert_eq!(id_correlation(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn uniform_entropy_is_log_ndv() {
+        let c = col("c", &[1, 2, 3, 4]);
+        let s = ColumnStats::of(&c);
+        assert!((s.entropy_bits - 2.0).abs() < 1e-9);
+    }
+}

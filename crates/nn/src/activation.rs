@@ -1,0 +1,111 @@
+//! Element-wise activation layers.
+
+use crate::param::{Layer, Param};
+use crate::tensor::Matrix;
+
+/// Rectified linear unit: `y = max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct ReLU {
+    cached_mask: Option<Matrix>,
+}
+
+impl ReLU {
+    /// Create a new ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply ReLU without caching (inference-only path).
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        let mut out = input.clone();
+        out.as_mut_slice().iter_mut().for_each(|x| {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        });
+        out
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = input.clone();
+        let mut mask = Matrix::zeros(input.rows(), input.cols());
+        for (o, m) in out.as_mut_slice().iter_mut().zip(mask.as_mut_slice().iter_mut()) {
+            if *o > 0.0 {
+                *m = 1.0;
+            } else {
+                *o = 0.0;
+            }
+        }
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .expect("ReLU::backward called before forward");
+        let mut grad = grad_out.clone();
+        grad.mul_assign(mask);
+        grad
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Numerically stable sigmoid, used by the LSTM-style recurrent MPSN.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent wrapper (for symmetry with [`sigmoid`]).
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = ReLU::new();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut relu = ReLU::new();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        let _ = relu.forward(&x);
+        let g = relu.backward(&Matrix::full(1, 4, 1.0));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_inference_matches_training_path() {
+        let mut relu = ReLU::new();
+        let x = Matrix::from_vec(2, 2, vec![-3.0, 1.0, 0.25, -0.25]);
+        assert_eq!(relu.forward(&x).as_slice(), relu.forward_inference(&x).as_slice());
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotone() {
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(1.0) > sigmoid(-1.0));
+        assert!((tanh(0.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,43 @@
+//! # duet-nn
+//!
+//! A minimal, dependency-light neural-network substrate for the Duet
+//! cardinality-estimation workspace. It replaces the PyTorch/LibTorch stack
+//! used by the original paper with a small CPU implementation of exactly the
+//! pieces the estimators need:
+//!
+//! * dense `f32` matrices with (optionally multi-threaded) matmul kernels
+//!   ([`tensor::Matrix`]),
+//! * fully connected and mask-constrained layers ([`linear`]),
+//! * MADE / ResMADE construction with per-column block masking ([`made`]),
+//! * a plain MLP used by MSCN and the MPSN predicate embedder ([`mlp`]),
+//! * softmax / cross-entropy / Q-Error losses ([`loss`]),
+//! * Adam and SGD optimizers ([`optim`]),
+//! * a small binary checkpoint codec ([`serialize`]).
+//!
+//! Everything is deterministic given a seed, which the experiment harness
+//! relies on for reproducibility.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod activation;
+pub mod init;
+pub mod linear;
+pub mod loss;
+pub mod made;
+pub mod mlp;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+pub mod tensor;
+
+pub use activation::ReLU;
+pub use init::{seeded_rng, Init};
+pub use linear::{Linear, MaskedLinear};
+pub use loss::{grouped_cross_entropy, q_error, softmax, softmax_blocks, softmax_into};
+pub use made::{Made, MadeConfig};
+pub use mlp::Mlp;
+pub use optim::{Adam, GradClip, Sgd};
+pub use param::{Layer, Param};
+pub use serialize::{load_params, save_params, CheckpointError};
+pub use tensor::Matrix;

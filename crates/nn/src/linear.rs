@@ -1,0 +1,275 @@
+//! Fully connected layers: plain [`Linear`] and [`MaskedLinear`] (the building
+//! block of MADE, where a binary mask enforces the autoregressive property).
+
+use crate::init::Init;
+use crate::param::{Layer, Param};
+use crate::tensor::Matrix;
+use rand::rngs::SmallRng;
+
+/// `y = x @ W + b`, with `W` of shape `(in_features, out_features)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Create a layer with the given initialization.
+    pub fn new(in_features: usize, out_features: usize, init: Init, rng: &mut SmallRng) -> Self {
+        Self {
+            weight: Param::new(init.matrix(in_features, out_features, rng)),
+            bias: Param::new(Matrix::zeros(1, out_features)),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.weight.data.rows()
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.weight.data.cols()
+    }
+
+    /// Immutable access to the weight matrix (for inspection / merging).
+    pub fn weight(&self) -> &Matrix {
+        &self.weight.data
+    }
+
+    /// Mutable access to the weight matrix (used by the merged-MPSN builder).
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        &mut self.weight.data
+    }
+
+    /// Immutable access to the bias row vector.
+    pub fn bias(&self) -> &Matrix {
+        &self.bias.data
+    }
+
+    /// Mutable access to the bias row vector.
+    pub fn bias_mut(&mut self) -> &mut Matrix {
+        &mut self.bias.data
+    }
+
+    /// Forward pass that does not cache activations (inference-only path).
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.weight.data);
+        out.add_row_vector(self.bias.data.as_slice());
+        out
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.weight.data);
+        out.add_row_vector(self.bias.data.as_slice());
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward called before forward");
+        // dW = input^T @ grad_out
+        let dw = input.matmul_tn(grad_out);
+        self.weight.grad.add_assign(&dw);
+        // db = column sums of grad_out
+        let db = grad_out.column_sums();
+        for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db.iter()) {
+            *g += *d;
+        }
+        // dX = grad_out @ W^T
+        grad_out.matmul_nt(&self.weight.data)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+/// A linear layer whose weight matrix is element-wise multiplied by a fixed
+/// binary mask: `y = x @ (W ⊙ M) + b`.
+///
+/// The mask is what turns a stack of fully connected layers into a MADE: it
+/// zeroes the connections that would violate the autoregressive ordering.
+#[derive(Debug, Clone)]
+pub struct MaskedLinear {
+    weight: Param,
+    bias: Param,
+    mask: Matrix,
+    cached_input: Option<Matrix>,
+}
+
+impl MaskedLinear {
+    /// Create a masked layer. `mask` must have shape `(in_features, out_features)`
+    /// and contain only 0.0 / 1.0 entries.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        mask: Matrix,
+        init: Init,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert_eq!(
+            mask.shape(),
+            (in_features, out_features),
+            "mask shape must match weight shape"
+        );
+        debug_assert!(
+            mask.as_slice().iter().all(|&x| x == 0.0 || x == 1.0),
+            "mask must be binary"
+        );
+        Self {
+            weight: Param::new(init.matrix(in_features, out_features, rng)),
+            bias: Param::new(Matrix::zeros(1, out_features)),
+            mask,
+            cached_input: None,
+        }
+    }
+
+    /// The binary connectivity mask.
+    pub fn mask(&self) -> &Matrix {
+        &self.mask
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.weight.data.rows()
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.weight.data.cols()
+    }
+
+    /// The effective (masked) weight matrix actually used by the forward pass.
+    pub fn effective_weight(&self) -> Matrix {
+        let mut w = self.weight.data.clone();
+        w.mul_assign(&self.mask);
+        w
+    }
+
+    /// Forward pass without caching (inference-only path).
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        let w = self.effective_weight();
+        let mut out = input.matmul(&w);
+        out.add_row_vector(self.bias.data.as_slice());
+        out
+    }
+}
+
+impl Layer for MaskedLinear {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let w = self.effective_weight();
+        let mut out = input.matmul(&w);
+        out.add_row_vector(self.bias.data.as_slice());
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("MaskedLinear::backward called before forward");
+        let mut dw = input.matmul_tn(grad_out);
+        dw.mul_assign(&self.mask);
+        self.weight.grad.add_assign(&dw);
+        let db = grad_out.column_sums();
+        for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db.iter()) {
+            *g += *d;
+        }
+        let w = self.effective_weight();
+        grad_out.matmul_nt(&w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut rng = seeded_rng(1);
+        let mut layer = Linear::new(3, 2, Init::Zeros, &mut rng);
+        layer.bias_mut().as_mut_slice().copy_from_slice(&[1.0, -1.0]);
+        let x = Matrix::full(4, 3, 2.0);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), (4, 2));
+        // Zero weights => output equals bias.
+        assert_eq!(y.row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn linear_backward_accumulates_grads() {
+        let mut rng = seeded_rng(2);
+        let mut layer = Linear::new(2, 2, Init::KaimingUniform, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let _ = layer.forward(&x);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let gin = layer.backward(&g);
+        assert_eq!(gin.shape(), (1, 2));
+        let mut count = 0;
+        layer.visit_params(&mut |p| {
+            count += 1;
+            assert!(p.grad.max_abs() > 0.0 || p.data.max_abs() == 0.0);
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn masked_linear_blocks_connections() {
+        let mut rng = seeded_rng(3);
+        // Mask that blocks input 0 from reaching output 0.
+        let mask = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 1.0]);
+        let mut layer = MaskedLinear::new(2, 2, mask, Init::KaimingUniform, &mut rng);
+        let base = layer.forward(&Matrix::from_vec(1, 2, vec![0.0, 1.0]));
+        let moved = layer.forward(&Matrix::from_vec(1, 2, vec![100.0, 1.0]));
+        // Output 0 must be unchanged when only input 0 changes.
+        assert!((base.get(0, 0) - moved.get(0, 0)).abs() < 1e-6);
+        // Output 1 is allowed to change (with overwhelming probability).
+        assert!((base.get(0, 1) - moved.get(0, 1)).abs() > 1e-3);
+    }
+
+    #[test]
+    fn masked_linear_grad_respects_mask() {
+        let mut rng = seeded_rng(4);
+        let mask = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut layer = MaskedLinear::new(2, 2, mask.clone(), Init::KaimingUniform, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&Matrix::full(1, 2, 1.0));
+        layer.visit_params(&mut |p| {
+            if p.data.shape() == (2, 2) {
+                // Weight gradient must be zero wherever the mask is zero.
+                for i in 0..2 {
+                    for j in 0..2 {
+                        if mask.get(i, j) == 0.0 {
+                            assert_eq!(p.grad.get(i, j), 0.0);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = seeded_rng(5);
+        let mut layer = Linear::new(2, 2, Init::KaimingUniform, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+}

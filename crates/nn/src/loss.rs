@@ -1,0 +1,202 @@
+//! Softmax, cross-entropy and the grouped (per-column-block) variants used by
+//! autoregressive cardinality estimators.
+
+use crate::tensor::Matrix;
+
+/// Numerically stable softmax over a slice, written into `out`.
+pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(logits.len(), out.len());
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &l) in out.iter_mut().zip(logits.iter()) {
+        let e = (l - max).exp();
+        *o = e;
+        sum += e;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        out.iter_mut().for_each(|o| *o *= inv);
+    } else {
+        let uniform = 1.0 / out.len().max(1) as f32;
+        out.iter_mut().for_each(|o| *o = uniform);
+    }
+}
+
+/// Softmax of a slice, returning a fresh vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; logits.len()];
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Row-wise softmax of a whole matrix.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    let cols = logits.cols();
+    for row in out.as_mut_slice().chunks_exact_mut(cols) {
+        let copy: Vec<f32> = row.to_vec();
+        softmax_into(&copy, row);
+    }
+    out
+}
+
+/// Softmax applied independently to each column block of each row.
+///
+/// `blocks[i]` is the number of logits belonging to column `i`; the blocks are
+/// laid out consecutively in each row.
+pub fn softmax_blocks(logits: &Matrix, blocks: &[usize]) -> Matrix {
+    let total: usize = blocks.iter().sum();
+    assert_eq!(logits.cols(), total, "block sizes do not cover the logit width");
+    let mut out = logits.clone();
+    for row in out.as_mut_slice().chunks_exact_mut(total) {
+        let mut off = 0;
+        for &b in blocks {
+            let copy: Vec<f32> = row[off..off + b].to_vec();
+            softmax_into(&copy, &mut row[off..off + b]);
+            off += b;
+        }
+    }
+    out
+}
+
+/// Per-column-block cross-entropy between `logits` and integer `labels`.
+///
+/// * `logits`: `(batch, sum(blocks))`
+/// * `labels[r][i]`: index (within block `i`) of the true distinct value of
+///   column `i` for example `r`.
+///
+/// Returns `(mean loss, dL/dlogits)` where the loss is averaged over the batch
+/// and *summed* over columns (matching Naru/Duet's `sum_i CE_i`).
+pub fn grouped_cross_entropy(
+    logits: &Matrix,
+    blocks: &[usize],
+    labels: &[Vec<usize>],
+) -> (f32, Matrix) {
+    let total: usize = blocks.iter().sum();
+    assert_eq!(logits.cols(), total, "block sizes do not cover the logit width");
+    assert_eq!(logits.rows(), labels.len(), "one label vector per batch row required");
+    let batch = logits.rows().max(1);
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0f64;
+    let scale = 1.0 / batch as f32;
+
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let grow = grad.row_mut(r);
+        let mut off = 0;
+        for (i, &b) in blocks.iter().enumerate() {
+            let label = labels[r][i];
+            assert!(label < b, "label {label} out of range for block {i} of size {b}");
+            let probs = softmax(&row[off..off + b]);
+            let p = probs[label].max(1e-12);
+            loss += -(p.ln()) as f64;
+            for (k, &pk) in probs.iter().enumerate() {
+                let indicator = if k == label { 1.0 } else { 0.0 };
+                grow[off + k] = scale * (pk - indicator);
+            }
+            off += b;
+        }
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Mean squared error between predictions and targets (used by MSCN-lite).
+/// Returns `(loss, dL/dpred)`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0f64;
+    for ((g, &p), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice().iter())
+        .zip(target.as_slice().iter())
+    {
+        let d = p - t;
+        loss += (d * d) as f64;
+        *g = 2.0 * d / n;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// The Q-Error metric: `max(est, actual) / min(est, actual)`, both clamped to
+/// at least `floor` so empty results do not divide by zero.
+pub fn q_error(estimate: f64, actual: f64, floor: f64) -> f64 {
+    let e = estimate.max(floor);
+    let a = actual.max(floor);
+    if e >= a {
+        e / a
+    } else {
+        a / e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_blocks_normalizes_each_block() {
+        let logits = Matrix::from_vec(1, 5, vec![0.0, 1.0, 5.0, 5.0, 5.0]);
+        let p = softmax_blocks(&logits, &[2, 3]);
+        let row = p.row(0);
+        assert!((row[0] + row[1] - 1.0).abs() < 1e-6);
+        assert!((row[2] + row[3] + row[4] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grouped_cross_entropy_prefers_correct_label() {
+        // Confident, correct prediction should have near-zero loss.
+        let good = Matrix::from_vec(1, 3, vec![10.0, -10.0, -10.0]);
+        let (loss_good, _) = grouped_cross_entropy(&good, &[3], &[vec![0]]);
+        let bad = Matrix::from_vec(1, 3, vec![-10.0, 10.0, -10.0]);
+        let (loss_bad, _) = grouped_cross_entropy(&bad, &[3], &[vec![0]]);
+        assert!(loss_good < 1e-3);
+        assert!(loss_bad > 5.0);
+    }
+
+    #[test]
+    fn grouped_cross_entropy_gradient_sums_to_zero_per_block() {
+        let logits = Matrix::from_vec(2, 5, vec![0.1, 0.2, 0.3, 0.4, 0.5, 1.0, -1.0, 0.0, 2.0, 0.5]);
+        let (_, grad) = grouped_cross_entropy(&logits, &[2, 3], &[vec![1, 0], vec![0, 2]]);
+        for r in 0..2 {
+            let row = grad.row(r);
+            assert!((row[0] + row[1]).abs() < 1e-6);
+            assert!((row[2] + row[3] + row[4]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_basic() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 2.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert!((grad.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(grad.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one() {
+        assert_eq!(q_error(10.0, 100.0, 1.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0, 1.0), 10.0);
+        assert_eq!(q_error(5.0, 5.0, 1.0), 1.0);
+        assert_eq!(q_error(0.0, 10.0, 1.0), 10.0); // floor applies
+    }
+}

@@ -1,0 +1,571 @@
+//! MADE / ResMADE: masked autoregressive networks over *column blocks*.
+//!
+//! Both Duet and the Naru/UAE baselines use the same backbone: a feed-forward
+//! network whose weight masks enforce that the output distribution of column
+//! `i` depends only on the *input blocks* of columns `< i` (natural ordering).
+//! Duet's input blocks encode predicates `(op, value)` while Naru's encode
+//! tuple values, but the masking logic is identical, so it lives here in the
+//! substrate crate.
+
+use crate::init::Init;
+use crate::linear::MaskedLinear;
+use crate::param::{Layer, Param};
+use crate::tensor::Matrix;
+use rand::rngs::SmallRng;
+
+/// Architecture description for a [`Made`] network.
+#[derive(Debug, Clone)]
+pub struct MadeConfig {
+    /// Width of each column's input encoding (block `i` occupies
+    /// `input_block_sizes[i]` consecutive input features).
+    pub input_block_sizes: Vec<usize>,
+    /// Number of logits produced for each column (its number of distinct
+    /// values).
+    pub output_block_sizes: Vec<usize>,
+    /// Hidden layer widths. For `residual = false` each entry is one masked
+    /// linear + ReLU layer; for `residual = true` all entries must be equal
+    /// and every layer after the first becomes a residual block.
+    pub hidden_sizes: Vec<usize>,
+    /// Build a ResMADE (residual blocks) instead of a plain MADE.
+    pub residual: bool,
+}
+
+impl MadeConfig {
+    /// Plain MADE with the given hidden sizes.
+    pub fn made(
+        input_block_sizes: Vec<usize>,
+        output_block_sizes: Vec<usize>,
+        hidden_sizes: Vec<usize>,
+    ) -> Self {
+        Self { input_block_sizes, output_block_sizes, hidden_sizes, residual: false }
+    }
+
+    /// ResMADE with `blocks` residual blocks of width `hidden`.
+    pub fn res_made(
+        input_block_sizes: Vec<usize>,
+        output_block_sizes: Vec<usize>,
+        hidden: usize,
+        blocks: usize,
+    ) -> Self {
+        Self {
+            input_block_sizes,
+            output_block_sizes,
+            hidden_sizes: vec![hidden; blocks.max(1)],
+            residual: true,
+        }
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.input_block_sizes.len()
+    }
+
+    /// Total input width.
+    pub fn input_width(&self) -> usize {
+        self.input_block_sizes.iter().sum()
+    }
+
+    /// Total output width (sum of per-column logit counts).
+    pub fn output_width(&self) -> usize {
+        self.output_block_sizes.iter().sum()
+    }
+}
+
+/// Degree (column index) of every unit in a layer.
+fn input_degrees(block_sizes: &[usize]) -> Vec<usize> {
+    let mut degrees = Vec::with_capacity(block_sizes.iter().sum());
+    for (col, &w) in block_sizes.iter().enumerate() {
+        degrees.extend(std::iter::repeat(col).take(w));
+    }
+    degrees
+}
+
+/// Cyclic degree assignment for hidden units: degrees range over `0..=N-2`
+/// (a hidden unit of degree d may read inputs of columns `<= d` and feed
+/// outputs of columns `> d`).
+fn hidden_degrees(width: usize, num_columns: usize) -> Vec<usize> {
+    let max_degree = num_columns.saturating_sub(1).max(1);
+    (0..width).map(|k| k % max_degree).collect()
+}
+
+/// Mask between two non-output layers: connection allowed iff
+/// `deg(next) >= deg(prev)`.
+fn hidden_mask(prev: &[usize], next: &[usize]) -> Matrix {
+    Matrix::from_fn(prev.len(), next.len(), |i, j| {
+        if next[j] >= prev[i] {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Mask into the output layer: connection allowed iff `deg(out) > deg(prev)`.
+fn output_mask(prev: &[usize], out: &[usize]) -> Matrix {
+    Matrix::from_fn(prev.len(), out.len(), |i, j| {
+        if out[j] > prev[i] {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// A residual block `y = x + W2·relu(W1·x)`, with both linears masked so that
+/// degrees are preserved end-to-end (the identity skip is then mask-safe).
+#[derive(Debug, Clone)]
+struct ResBlock {
+    fc1: MaskedLinear,
+    fc2: MaskedLinear,
+    cached_pre: Option<Matrix>, // relu input
+}
+
+impl ResBlock {
+    fn new(degrees: &[usize], init: Init, rng: &mut SmallRng) -> Self {
+        let mask = hidden_mask(degrees, degrees);
+        Self {
+            fc1: MaskedLinear::new(degrees.len(), degrees.len(), mask.clone(), init, rng),
+            fc2: MaskedLinear::new(degrees.len(), degrees.len(), mask, init, rng),
+            cached_pre: None,
+        }
+    }
+
+    fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let h = self.fc1.forward_inference(x);
+        let mut a = h;
+        a.as_mut_slice().iter_mut().for_each(|v| {
+            if *v < 0.0 {
+                *v = 0.0
+            }
+        });
+        let mut out = self.fc2.forward_inference(&a);
+        out.add_assign(x);
+        out
+    }
+}
+
+impl Layer for ResBlock {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let pre = self.fc1.forward(input);
+        let mut act = pre.clone();
+        act.as_mut_slice().iter_mut().for_each(|v| {
+            if *v < 0.0 {
+                *v = 0.0
+            }
+        });
+        self.cached_pre = Some(pre);
+        let mut out = self.fc2.forward(&act);
+        out.add_assign(input);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let pre = self
+            .cached_pre
+            .as_ref()
+            .expect("ResBlock::backward called before forward");
+        let mut grad_act = self.fc2.backward(grad_out);
+        // ReLU gate.
+        for (g, p) in grad_act.as_mut_slice().iter_mut().zip(pre.as_slice().iter()) {
+            if *p <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        let mut grad_in = self.fc1.backward(&grad_act);
+        grad_in.add_assign(grad_out); // identity skip
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Stage {
+    /// Masked linear followed by ReLU.
+    MaskedRelu { linear: MaskedLinear, cached_pre: Option<Matrix> },
+    /// Residual block (ResMADE).
+    Residual(ResBlock),
+    /// Final masked linear producing the logits (no activation).
+    Output(MaskedLinear),
+}
+
+/// A masked autoregressive network over column blocks.
+#[derive(Debug, Clone)]
+pub struct Made {
+    config: MadeConfig,
+    stages: Vec<Stage>,
+    input_offsets: Vec<usize>,
+    output_offsets: Vec<usize>,
+}
+
+impl Made {
+    /// Build a MADE/ResMADE for `config`, initializing weights from `rng`.
+    ///
+    /// # Panics
+    /// Panics if the config has no columns, mismatched block lists, or (for
+    /// ResMADE) non-uniform hidden sizes.
+    pub fn new(config: MadeConfig, rng: &mut SmallRng) -> Self {
+        let n = config.num_columns();
+        assert!(n > 0, "MADE needs at least one column");
+        assert_eq!(
+            config.input_block_sizes.len(),
+            config.output_block_sizes.len(),
+            "input/output block lists must describe the same columns"
+        );
+        assert!(!config.hidden_sizes.is_empty(), "MADE needs at least one hidden layer");
+        if config.residual {
+            assert!(
+                config.hidden_sizes.windows(2).all(|w| w[0] == w[1]),
+                "ResMADE requires uniform hidden sizes"
+            );
+        }
+
+        let in_deg = input_degrees(&config.input_block_sizes);
+        let out_deg = input_degrees(&config.output_block_sizes);
+
+        let mut stages = Vec::new();
+        let mut prev_deg = in_deg;
+        if config.residual {
+            let hidden = config.hidden_sizes[0];
+            let h_deg = hidden_degrees(hidden, n);
+            let mask = hidden_mask(&prev_deg, &h_deg);
+            stages.push(Stage::MaskedRelu {
+                linear: MaskedLinear::new(
+                    prev_deg.len(),
+                    hidden,
+                    mask,
+                    Init::KaimingUniform,
+                    rng,
+                ),
+                cached_pre: None,
+            });
+            prev_deg = h_deg;
+            for _ in 1..config.hidden_sizes.len() {
+                stages.push(Stage::Residual(ResBlock::new(&prev_deg, Init::KaimingUniform, rng)));
+            }
+        } else {
+            for &hidden in &config.hidden_sizes {
+                let h_deg = hidden_degrees(hidden, n);
+                let mask = hidden_mask(&prev_deg, &h_deg);
+                stages.push(Stage::MaskedRelu {
+                    linear: MaskedLinear::new(
+                        prev_deg.len(),
+                        hidden,
+                        mask,
+                        Init::KaimingUniform,
+                        rng,
+                    ),
+                    cached_pre: None,
+                });
+                prev_deg = h_deg;
+            }
+        }
+        let mask = output_mask(&prev_deg, &out_deg);
+        stages.push(Stage::Output(MaskedLinear::new(
+            prev_deg.len(),
+            out_deg.len(),
+            mask,
+            Init::XavierUniform,
+            rng,
+        )));
+
+        let input_offsets = prefix_sums(&config.input_block_sizes);
+        let output_offsets = prefix_sums(&config.output_block_sizes);
+        Self { config, stages, input_offsets, output_offsets }
+    }
+
+    /// Architecture description.
+    pub fn config(&self) -> &MadeConfig {
+        &self.config
+    }
+
+    /// Offset of column `i`'s block in the input vector.
+    pub fn input_offset(&self, col: usize) -> usize {
+        self.input_offsets[col]
+    }
+
+    /// Offset of column `i`'s logits in the output vector.
+    pub fn output_offset(&self, col: usize) -> usize {
+        self.output_offsets[col]
+    }
+
+    /// `(offset, len)` of column `i`'s logits.
+    pub fn output_block(&self, col: usize) -> (usize, usize) {
+        (self.output_offsets[col], self.config.output_block_sizes[col])
+    }
+
+    /// Forward pass without caching; use for inference/latency measurements.
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for stage in &self.stages {
+            x = match stage {
+                Stage::MaskedRelu { linear, .. } => {
+                    let mut h = linear.forward_inference(&x);
+                    h.as_mut_slice().iter_mut().for_each(|v| {
+                        if *v < 0.0 {
+                            *v = 0.0
+                        }
+                    });
+                    h
+                }
+                Stage::Residual(block) => block.forward_inference(&x),
+                Stage::Output(linear) => linear.forward_inference(&x),
+            };
+        }
+        x
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        self.param_count()
+    }
+
+    /// Model size in bytes assuming `f32` storage (reported in Table II).
+    pub fn size_bytes(&mut self) -> usize {
+        self.num_parameters() * std::mem::size_of::<f32>()
+    }
+}
+
+fn prefix_sums(sizes: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut acc = 0;
+    for &s in sizes {
+        out.push(acc);
+        acc += s;
+    }
+    out
+}
+
+impl Layer for Made {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.config.input_width(),
+            "input width mismatch: expected {}",
+            self.config.input_width()
+        );
+        let mut x = input.clone();
+        for stage in &mut self.stages {
+            x = match stage {
+                Stage::MaskedRelu { linear, cached_pre } => {
+                    let pre = linear.forward(&x);
+                    let mut act = pre.clone();
+                    act.as_mut_slice().iter_mut().for_each(|v| {
+                        if *v < 0.0 {
+                            *v = 0.0
+                        }
+                    });
+                    *cached_pre = Some(pre);
+                    act
+                }
+                Stage::Residual(block) => block.forward(&x),
+                Stage::Output(linear) => linear.forward(&x),
+            };
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad = grad_out.clone();
+        for stage in self.stages.iter_mut().rev() {
+            grad = match stage {
+                Stage::MaskedRelu { linear, cached_pre } => {
+                    let pre = cached_pre
+                        .as_ref()
+                        .expect("Made::backward called before forward");
+                    let mut g = grad;
+                    for (gv, pv) in g.as_mut_slice().iter_mut().zip(pre.as_slice().iter()) {
+                        if *pv <= 0.0 {
+                            *gv = 0.0;
+                        }
+                    }
+                    linear.backward(&g)
+                }
+                Stage::Residual(block) => block.backward(&grad),
+                Stage::Output(linear) => linear.backward(&grad),
+            };
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for stage in &mut self.stages {
+            match stage {
+                Stage::MaskedRelu { linear, .. } => linear.visit_params(f),
+                Stage::Residual(block) => block.visit_params(f),
+                Stage::Output(linear) => linear.visit_params(f),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+    use crate::loss::grouped_cross_entropy;
+    use rand::Rng;
+
+    fn small_config(residual: bool) -> MadeConfig {
+        MadeConfig {
+            input_block_sizes: vec![4, 3, 5],
+            output_block_sizes: vec![6, 2, 4],
+            hidden_sizes: vec![16, 16],
+            residual,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        for residual in [false, true] {
+            let mut rng = seeded_rng(10);
+            let mut made = Made::new(small_config(residual), &mut rng);
+            let x = Matrix::zeros(3, 12);
+            let y = made.forward(&x);
+            assert_eq!(y.shape(), (3, 12));
+            assert_eq!(made.output_block(2), (8, 4));
+        }
+    }
+
+    #[test]
+    fn autoregressive_property_holds() {
+        // Perturbing the input block of column j must not change the logits of
+        // any column i <= j.
+        for residual in [false, true] {
+            let mut rng = seeded_rng(11);
+            let mut made = Made::new(small_config(residual), &mut rng);
+            let mut base_in = vec![0.3f32; 12];
+            for (i, v) in base_in.iter_mut().enumerate() {
+                *v += i as f32 * 0.01;
+            }
+            let base = made.forward(&Matrix::from_vec(1, 12, base_in.clone()));
+            for perturb_col in 0..3usize {
+                let off = made.input_offset(perturb_col);
+                let width = made.config().input_block_sizes[perturb_col];
+                let mut moved_in = base_in.clone();
+                for v in &mut moved_in[off..off + width] {
+                    *v += 17.0;
+                }
+                let moved = made.forward(&Matrix::from_vec(1, 12, moved_in));
+                for out_col in 0..=perturb_col {
+                    let (o, len) = made.output_block(out_col);
+                    for k in 0..len {
+                        assert!(
+                            (base.get(0, o + k) - moved.get(0, o + k)).abs() < 1e-5,
+                            "output block {out_col} changed when perturbing input block {perturb_col} (residual={residual})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_column_output_ignores_all_inputs() {
+        let mut rng = seeded_rng(12);
+        let mut made = Made::new(small_config(false), &mut rng);
+        let a = made.forward(&Matrix::full(1, 12, 0.0));
+        let b = made.forward(&Matrix::full(1, 12, 5.0));
+        let (o, len) = made.output_block(0);
+        for k in 0..len {
+            assert!((a.get(0, o + k) - b.get(0, o + k)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(13);
+        let config = MadeConfig {
+            input_block_sizes: vec![2, 3],
+            output_block_sizes: vec![3, 2],
+            hidden_sizes: vec![8],
+            residual: false,
+        };
+        let mut made = Made::new(config.clone(), &mut rng);
+        let batch = 4;
+        let mut input = Matrix::zeros(batch, config.input_width());
+        for v in input.as_mut_slice() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let labels: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 0], vec![1, 1], vec![2, 0]];
+        let blocks = config.output_block_sizes.clone();
+
+        // Analytic gradient of the first weight parameter.
+        made.zero_grad();
+        let logits = made.forward(&input);
+        let (loss, grad_logits) = grouped_cross_entropy(&logits, &blocks, &labels);
+        let _ = made.backward(&grad_logits);
+        let mut analytic = Vec::new();
+        made.visit_params(&mut |p| {
+            if analytic.is_empty() {
+                analytic = p.grad.as_slice()[..6].to_vec();
+            }
+        });
+        assert!(loss.is_finite());
+
+        // Finite differences on the same entries.
+        let eps = 1e-3f32;
+        for (idx, &ga) in analytic.iter().enumerate() {
+            let mut loss_plus = 0.0;
+            let mut loss_minus = 0.0;
+            for sign in [1.0f32, -1.0] {
+                let mut visited = false;
+                made.visit_params(&mut |p| {
+                    if !visited {
+                        p.data.as_mut_slice()[idx] += sign * eps;
+                        visited = true;
+                    }
+                });
+                let logits = made.forward_inference(&input);
+                let (l, _) = grouped_cross_entropy(&logits, &blocks, &labels);
+                if sign > 0.0 {
+                    loss_plus = l;
+                } else {
+                    loss_minus = l;
+                }
+                let mut visited = false;
+                made.visit_params(&mut |p| {
+                    if !visited {
+                        p.data.as_mut_slice()[idx] -= sign * eps;
+                        visited = true;
+                    }
+                });
+            }
+            let numeric = (loss_plus - loss_minus) / (2.0 * eps);
+            assert!(
+                (numeric - ga).abs() < 2e-2 * (1.0 + ga.abs()),
+                "finite-diff mismatch at {idx}: analytic {ga}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_and_size() {
+        let mut rng = seeded_rng(14);
+        let mut made = Made::new(small_config(false), &mut rng);
+        let n = made.num_parameters();
+        assert!(n > 0);
+        assert_eq!(made.size_bytes(), n * 4);
+    }
+
+    #[test]
+    fn single_column_table_is_supported() {
+        let mut rng = seeded_rng(15);
+        let config = MadeConfig {
+            input_block_sizes: vec![5],
+            output_block_sizes: vec![7],
+            hidden_sizes: vec![8],
+            residual: false,
+        };
+        let mut made = Made::new(config, &mut rng);
+        let a = made.forward(&Matrix::full(1, 5, 0.0));
+        let b = made.forward(&Matrix::full(1, 5, 3.0));
+        // With one column the output is unconditional: inputs must not matter.
+        for k in 0..7 {
+            assert!((a.get(0, k) - b.get(0, k)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! A plain multi-layer perceptron (`Linear` + ReLU stack) used by the MSCN
+//! baseline and by Duet's MLP-based MPSN predicate embedder.
+
+use crate::activation::ReLU;
+use crate::init::Init;
+use crate::linear::Linear;
+use crate::param::{Layer, Param};
+use crate::tensor::Matrix;
+use rand::rngs::SmallRng;
+
+/// A feed-forward network: `Linear -> ReLU -> ... -> Linear` (no activation on
+/// the final layer).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    relus: Vec<ReLU>,
+    sizes: Vec<usize>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `[in, hidden, hidden, out]`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], rng: &mut SmallRng) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        let mut relus = Vec::new();
+        for w in sizes.windows(2) {
+            layers.push(Linear::new(w[0], w[1], Init::KaimingUniform, rng));
+        }
+        for _ in 0..layers.len().saturating_sub(1) {
+            relus.push(ReLU::new());
+        }
+        Self { layers, relus, sizes: sizes.to_vec() }
+    }
+
+    /// The layer sizes this MLP was built with.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Input feature width.
+    pub fn in_features(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output feature width.
+    pub fn out_features(&self) -> usize {
+        *self.sizes.last().expect("sizes cannot be empty")
+    }
+
+    /// Access to the underlying linear layers (used by the merged-MPSN builder).
+    pub fn linears(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Forward pass without caching activations (inference-only).
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward_inference(&x);
+            if i < last {
+                x.as_mut_slice().iter_mut().for_each(|v| {
+                    if *v < 0.0 {
+                        *v = 0.0
+                    }
+                });
+            }
+        }
+        x
+    }
+}
+
+impl Layer for Mlp {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        let last = self.layers.len() - 1;
+        for i in 0..self.layers.len() {
+            x = self.layers[i].forward(&x);
+            if i < last {
+                x = self.relus[i].forward(&x);
+            }
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad = grad_out.clone();
+        let last = self.layers.len() - 1;
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                grad = self.relus[i].backward(&grad);
+            }
+            grad = self.layers[i].backward(&grad);
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+    use crate::loss::mse;
+    use crate::optim::Adam;
+
+    #[test]
+    fn shapes_are_correct() {
+        let mut rng = seeded_rng(20);
+        let mut mlp = Mlp::new(&[4, 8, 3], &mut rng);
+        let y = mlp.forward(&Matrix::zeros(5, 4));
+        assert_eq!(y.shape(), (5, 3));
+        assert_eq!(mlp.in_features(), 4);
+        assert_eq!(mlp.out_features(), 3);
+    }
+
+    #[test]
+    fn inference_path_matches_training_path() {
+        let mut rng = seeded_rng(21);
+        let mut mlp = Mlp::new(&[3, 6, 2], &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.4, 0.9, 1.2, 0.0, -0.7]);
+        let a = mlp.forward(&x);
+        let b = mlp.forward_inference(&x);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = seeded_rng(22);
+        let mut mlp = Mlp::new(&[2, 16, 1], &mut rng);
+        let xs = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let ys = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut adam = Adam::new(0.02);
+        let mut final_loss = f32::MAX;
+        for _ in 0..2000 {
+            mlp.zero_grad();
+            let pred = mlp.forward(&xs);
+            let (loss, grad) = mse(&pred, &ys);
+            let _ = mlp.backward(&grad);
+            adam.step(&mut mlp);
+            final_loss = loss;
+        }
+        assert!(final_loss < 0.03, "MLP failed to learn XOR, loss = {final_loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_sizes_panics() {
+        let mut rng = seeded_rng(23);
+        let _ = Mlp::new(&[4], &mut rng);
+    }
+}

@@ -1,0 +1,205 @@
+//! First-order optimizers operating on any [`Layer`]'s parameters.
+//!
+//! The optimizer keeps its per-parameter state (Adam moments) in the order the
+//! layer visits its parameters, so the same layer instance must be used for
+//! every step.
+
+use crate::param::Layer;
+
+/// Gradient clipping configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GradClip {
+    /// No clipping.
+    None,
+    /// Clip each element to `[-v, v]`.
+    Value(f32),
+}
+
+/// Adam optimizer (Kingma & Ba) with optional per-element gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    clip: GradClip,
+    step: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Create Adam with the usual defaults (`beta1 = 0.9`, `beta2 = 0.999`).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: GradClip::None, step: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Enable element-wise gradient clipping.
+    pub fn with_clip(mut self, clip: GradClip) -> Self {
+        self.clip = clip;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Change the learning rate (e.g. for warm-up or decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Apply one update using the gradients currently stored in the layer's
+    /// parameters, then leave the gradients untouched (call
+    /// [`Layer::zero_grad`] before the next backward pass).
+    pub fn step(&mut self, layer: &mut dyn Layer) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        let lr = self.lr;
+        let (beta1, beta2, eps, clip) = (self.beta1, self.beta2, self.eps, self.clip);
+
+        let mut idx = 0usize;
+        let m_store = &mut self.m;
+        let v_store = &mut self.v;
+        layer.visit_params(&mut |p| {
+            if m_store.len() <= idx {
+                m_store.push(vec![0.0; p.len()]);
+                v_store.push(vec![0.0; p.len()]);
+            }
+            let m = &mut m_store[idx];
+            let v = &mut v_store[idx];
+            assert_eq!(m.len(), p.len(), "parameter shape changed between optimizer steps");
+            let data = p.data.as_mut_slice();
+            let grad = p.grad.as_slice();
+            for i in 0..data.len() {
+                let mut g = grad[i];
+                if !g.is_finite() {
+                    g = 0.0;
+                }
+                if let GradClip::Value(c) = clip {
+                    g = g.clamp(-c, c);
+                }
+                m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+                v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+                let m_hat = m[i] / bias1;
+                let v_hat = v[i] / bias2;
+                data[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Plain stochastic gradient descent, mostly used in tests as a sanity check.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Create SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Apply `data -= lr * grad` to every parameter.
+    pub fn step(&mut self, layer: &mut dyn Layer) {
+        let lr = self.lr;
+        layer.visit_params(&mut |p| {
+            let data = p.data.as_mut_slice();
+            let grad = p.grad.as_slice();
+            for i in 0..data.len() {
+                let g = grad[i];
+                if g.is_finite() {
+                    data[i] -= lr * g;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{seeded_rng, Init};
+    use crate::linear::Linear;
+    use crate::loss::mse;
+    use crate::param::Layer;
+    use crate::tensor::Matrix;
+
+    fn train_regression(optimizer: &mut dyn FnMut(&mut Linear), steps: usize) -> f32 {
+        let mut rng = seeded_rng(99);
+        let mut layer = Linear::new(1, 1, Init::KaimingUniform, &mut rng);
+        // Learn y = 3x + 1.
+        let xs = Matrix::from_vec(8, 1, (0..8).map(|i| i as f32 / 8.0).collect());
+        let ys = Matrix::from_vec(8, 1, (0..8).map(|i| 3.0 * i as f32 / 8.0 + 1.0).collect());
+        let mut last = f32::MAX;
+        for _ in 0..steps {
+            layer.zero_grad();
+            let pred = layer.forward(&xs);
+            let (loss, grad) = mse(&pred, &ys);
+            let _ = layer.backward(&grad);
+            optimizer(&mut layer);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        let mut adam = Adam::new(0.05);
+        let loss = train_regression(&mut |l| adam.step(l), 500);
+        assert!(loss < 1e-3, "Adam failed to converge, loss = {loss}");
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        let mut sgd = Sgd::new(0.2);
+        let loss = train_regression(&mut |l| sgd.step(l), 800);
+        assert!(loss < 1e-2, "SGD failed to converge, loss = {loss}");
+    }
+
+    #[test]
+    fn adam_clipping_limits_update_magnitude() {
+        let mut rng = seeded_rng(100);
+        let mut layer = Linear::new(1, 1, Init::Zeros, &mut rng);
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            layer.visit_params(&mut |p| v.extend_from_slice(p.data.as_slice()));
+            v
+        };
+        // Gigantic gradient.
+        layer.visit_params(&mut |p| p.grad.fill(1e9));
+        let mut adam = Adam::new(0.1).with_clip(GradClip::Value(1.0));
+        adam.step(&mut layer);
+        let mut after = Vec::new();
+        layer.visit_params(&mut |p| after.extend_from_slice(p.data.as_slice()));
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((b - a).abs() <= 0.11, "clipped Adam step too large: {b} -> {a}");
+        }
+    }
+
+    #[test]
+    fn non_finite_gradients_are_ignored() {
+        let mut rng = seeded_rng(101);
+        let mut layer = Linear::new(2, 2, Init::KaimingUniform, &mut rng);
+        layer.visit_params(&mut |p| p.grad.fill(f32::NAN));
+        let mut before = Vec::new();
+        layer.visit_params(&mut |p| before.extend_from_slice(p.data.as_slice()));
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut layer);
+        let mut after = Vec::new();
+        layer.visit_params(&mut |p| after.extend_from_slice(p.data.as_slice()));
+        assert!(after.iter().all(|x| x.is_finite()));
+        assert_eq!(before, after);
+    }
+}

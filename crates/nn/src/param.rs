@@ -1,0 +1,80 @@
+//! Trainable parameters and the layer abstraction shared by all networks.
+
+use crate::tensor::Matrix;
+
+/// A trainable tensor together with its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub data: Matrix,
+    /// Gradient of the loss w.r.t. `data`, accumulated by `backward` calls.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wrap an initialized value with a zeroed gradient of the same shape.
+    pub fn new(data: Matrix) -> Self {
+        let grad = Matrix::zeros(data.rows(), data.cols());
+        Self { data, grad }
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A differentiable module with cached activations.
+///
+/// The contract is the usual one for define-by-hand backprop:
+/// `forward` must be called before `backward`, and `backward` must be given
+/// the gradient of the loss w.r.t. the output of the *most recent* forward.
+pub trait Layer {
+    /// Compute the output for `input` (a batch: one row per example), caching
+    /// whatever is needed for the backward pass.
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Propagate `grad_out` (dL/d output) back, accumulating parameter
+    /// gradients and returning dL/d input.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Visit every trainable parameter (for optimizers / serialization).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zero every parameter gradient.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_zero_grad_resets() {
+        let mut p = Param::new(Matrix::full(2, 2, 1.0));
+        p.grad = Matrix::full(2, 2, 3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.max_abs(), 0.0);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! A tiny binary codec for model checkpoints.
+//!
+//! Rather than pulling in a serialization framework for nested tensors, models
+//! are persisted by visiting their parameters in a fixed order and writing
+//! `(rows, cols, f32 data)` records into a [`bytes`] buffer framed by a magic
+//! header and a parameter count. Loading visits the parameters of a freshly
+//! constructed model in the same order and overwrites their values, so the
+//! architecture itself is reconstructed from the estimator's own config (which
+//! is serialized separately with `serde` where needed).
+
+use crate::param::Layer;
+use crate::tensor::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes identifying a Duet checkpoint.
+const MAGIC: &[u8; 8] = b"DUETCKP1";
+
+/// Errors returned by [`load_params`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer does not start with the expected magic header.
+    BadMagic,
+    /// The buffer ended before all announced records were read.
+    Truncated,
+    /// The checkpoint holds a different number of parameters than the model.
+    ParamCountMismatch {
+        /// Number of parameters the model expects.
+        expected: usize,
+        /// Number of parameters the checkpoint contains.
+        found: usize,
+    },
+    /// A parameter's shape differs between checkpoint and model.
+    ShapeMismatch {
+        /// Index of the offending parameter in visitation order.
+        index: usize,
+        /// Shape the model expects.
+        expected: (usize, usize),
+        /// Shape found in the checkpoint.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a Duet checkpoint (bad magic)"),
+            CheckpointError::Truncated => write!(f, "checkpoint buffer is truncated"),
+            CheckpointError::ParamCountMismatch { expected, found } => {
+                write!(f, "checkpoint has {found} parameters, model expects {expected}")
+            }
+            CheckpointError::ShapeMismatch { index, expected, found } => write!(
+                f,
+                "parameter {index} shape mismatch: model {expected:?}, checkpoint {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialize every parameter of `layer` into a checkpoint buffer.
+pub fn save_params(layer: &mut dyn Layer) -> Bytes {
+    let mut shapes: Vec<(usize, usize)> = Vec::new();
+    let mut payload_len = 0usize;
+    layer.visit_params(&mut |p| {
+        shapes.push(p.data.shape());
+        payload_len += p.data.len() * 4 + 16;
+    });
+    let mut buf = BytesMut::with_capacity(16 + payload_len);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(shapes.len() as u64);
+    layer.visit_params(&mut |p| {
+        buf.put_u64_le(p.data.rows() as u64);
+        buf.put_u64_le(p.data.cols() as u64);
+        for &v in p.data.as_slice() {
+            buf.put_f32_le(v);
+        }
+    });
+    buf.freeze()
+}
+
+/// Load a checkpoint produced by [`save_params`] into `layer`.
+///
+/// The layer must have been constructed with the same architecture (same
+/// parameter order and shapes).
+pub fn load_params(layer: &mut dyn Layer, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let mut buf = bytes;
+    if buf.remaining() < MAGIC.len() + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let count = buf.get_u64_le() as usize;
+    let expected = {
+        let mut n = 0usize;
+        layer.visit_params(&mut |_| n += 1);
+        n
+    };
+    if count != expected {
+        return Err(CheckpointError::ParamCountMismatch { expected, found: count });
+    }
+
+    // Read all records first so a failure cannot leave the model half-loaded.
+    let mut records: Vec<Matrix> = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 16 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rows = buf.get_u64_le() as usize;
+        let cols = buf.get_u64_le() as usize;
+        let need = rows * cols * 4;
+        if buf.remaining() < need {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(buf.get_f32_le());
+        }
+        records.push(Matrix::from_vec(rows, cols, data));
+    }
+
+    let mut idx = 0usize;
+    let mut error: Option<CheckpointError> = None;
+    layer.visit_params(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        let rec = &records[idx];
+        if rec.shape() != p.data.shape() {
+            error = Some(CheckpointError::ShapeMismatch {
+                index: idx,
+                expected: p.data.shape(),
+                found: rec.shape(),
+            });
+        } else {
+            p.data = rec.clone();
+        }
+        idx += 1;
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{seeded_rng, Init};
+    use crate::linear::Linear;
+    use crate::mlp::Mlp;
+    use crate::tensor::Matrix;
+
+    #[test]
+    fn round_trip_restores_exact_weights() {
+        let mut rng = seeded_rng(30);
+        let mut original = Mlp::new(&[3, 5, 2], &mut rng);
+        let x = Matrix::full(1, 3, 0.7);
+        let before = original.forward_inference(&x);
+
+        let bytes = save_params(&mut original);
+        let mut restored = Mlp::new(&[3, 5, 2], &mut seeded_rng(31));
+        load_params(&mut restored, &bytes).expect("load should succeed");
+        let after = restored.forward_inference(&x);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut rng = seeded_rng(32);
+        let mut layer = Linear::new(2, 2, Init::KaimingUniform, &mut rng);
+        let err = load_params(&mut layer, b"NOTADUET00000000").unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let mut rng = seeded_rng(33);
+        let mut layer = Linear::new(4, 4, Init::KaimingUniform, &mut rng);
+        let bytes = save_params(&mut layer);
+        let cut = &bytes[..bytes.len() - 5];
+        let err = load_params(&mut layer, cut).unwrap_err();
+        assert_eq!(err, CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut rng = seeded_rng(34);
+        let mut a = Linear::new(2, 3, Init::KaimingUniform, &mut rng);
+        let bytes = save_params(&mut a);
+        let mut b = Linear::new(3, 2, Init::KaimingUniform, &mut rng);
+        let err = load_params(&mut b, &bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn param_count_mismatch_rejected() {
+        let mut rng = seeded_rng(35);
+        let mut a = Mlp::new(&[2, 3, 2], &mut rng);
+        let bytes = save_params(&mut a);
+        let mut b = Linear::new(2, 3, Init::KaimingUniform, &mut rng);
+        let err = load_params(&mut b, &bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::ParamCountMismatch { .. }));
+    }
+}

@@ -1,0 +1,514 @@
+//! Dense row-major `f32` matrices and the handful of BLAS-like kernels the
+//! rest of the workspace needs.
+//!
+//! The matrices here are deliberately simple: a shape plus a flat `Vec<f32>`.
+//! The only performance-sensitive kernel is [`Matrix::matmul`] (and its
+//! transposed variants), which uses an `i-k-j` loop order so the inner loop
+//! streams through contiguous memory, and splits the row range across threads
+//! once the work is large enough to amortize thread start-up.
+
+use std::fmt;
+
+/// Minimum number of multiply-accumulate operations before a matmul is worth
+/// parallelizing across threads.
+const PAR_THRESHOLD: usize = 1 << 22;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build a matrix by calling `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Fill the whole matrix with a constant value.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition: `self += other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Element-wise in-place scaled addition: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * *b;
+        }
+    }
+
+    /// Element-wise in-place multiplication: `self *= other`.
+    pub fn mul_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in mul_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= *b;
+        }
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Add a row vector (`bias`) to every row.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_vector(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (x, b) in row.iter_mut().zip(bias.iter()) {
+                *x += *b;
+            }
+        }
+    }
+
+    /// Sum of every column across rows, producing a vector of length `cols`.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for row in self.data.chunks_exact(self.cols) {
+            for (o, x) in out.iter_mut().zip(row.iter()) {
+                *o += *x;
+            }
+        }
+        out
+    }
+
+    /// Mean of all elements; returns 0.0 for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Largest absolute element; returns 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+    }
+
+    /// `self @ other` — standard matrix product `(m x k) @ (k x n) -> (m x n)`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        matmul_into(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        out
+    }
+
+    /// `self @ other^T` — `(m x k) @ (n x k)^T -> (m x n)`.
+    ///
+    /// Used by back-propagation to avoid materializing transposes.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let m = self.rows;
+        let k = self.cols;
+        let n = other.rows;
+        let mut out = Matrix::zeros(m, n);
+        let a = &self.data;
+        let b = &other.data;
+        let run_rows = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
+            for (local_i, i) in rows.enumerate() {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in arow.iter().zip(brow.iter()) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        };
+        parallel_rows(m, k * n, &mut out.data, n, run_rows);
+        out
+    }
+
+    /// `self^T @ other` — `(k x m)^T @ (k x n) -> (m x n)`.
+    ///
+    /// Used to compute weight gradients (`input^T @ grad_output`).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let k = self.rows; // shared dimension
+        let m = self.cols;
+        let n = other.cols;
+        let mut out = Matrix::zeros(m, n);
+        // out[i, j] = sum_t self[t, i] * other[t, j]
+        // Accumulate row-by-row of the shared dimension: cache friendly on `other`.
+        for t in 0..k {
+            let arow = &self.data[t * m..(t + 1) * m];
+            let brow = &other.data[t * n..(t + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns true if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+/// Plain `C = A @ B` kernel with i-k-j ordering, parallelized over rows of A.
+fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let run_rows = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
+        for (local_i, i) in rows.enumerate() {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    };
+    parallel_rows(m, k * n, c, n, run_rows);
+}
+
+/// Split `m` output rows across threads when the total work (`m * work_per_row`)
+/// is large enough; otherwise run serially.
+fn parallel_rows<F>(m: usize, work_per_row: usize, out: &mut [f32], n: usize, run_rows: F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+{
+    let total_work = m.saturating_mul(work_per_row);
+    let threads = available_threads();
+    if total_work < PAR_THRESHOLD || threads <= 1 || m < 2 {
+        run_rows(0..m, out);
+        return;
+    }
+    let threads = threads.min(m);
+    let chunk_rows = m.div_ceil(threads);
+    let run_rows_ref = &run_rows;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0usize;
+        while start < m {
+            let end = (start + chunk_rows).min(m);
+            let (chunk, tail) = rest.split_at_mut((end - start) * n);
+            rest = tail;
+            let range = start..end;
+            scope.spawn(move || run_rows_ref(range, chunk));
+            start = end;
+        }
+    });
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Simple LCG so the test does not depend on `rand`.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.clone().into_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = random_matrix(7, 5, 1);
+        let b = random_matrix(5, 9, 2);
+        let got = a.matmul(&b);
+        let want = naive_matmul(&a, &b);
+        assert!(approx_eq(&got, &want, 1e-5));
+    }
+
+    #[test]
+    fn matmul_large_parallel_matches_naive() {
+        let a = random_matrix(130, 70, 3);
+        let b = random_matrix(70, 260, 4);
+        let got = a.matmul(&b);
+        let want = naive_matmul(&a, &b);
+        assert!(approx_eq(&got, &want, 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose() {
+        let a = random_matrix(6, 8, 5);
+        let b = random_matrix(10, 8, 6);
+        let got = a.matmul_nt(&b);
+        let want = naive_matmul(&a, &b.transpose());
+        assert!(approx_eq(&got, &want, 1e-5));
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose() {
+        let a = random_matrix(8, 6, 7);
+        let b = random_matrix(8, 10, 8);
+        let got = a.matmul_tn(&b);
+        let want = naive_matmul(&a.transpose(), &b);
+        assert!(approx_eq(&got, &want, 1e-5));
+    }
+
+    #[test]
+    fn add_row_vector_adds_bias() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn column_sums_sums_rows() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.column_sums(), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![10.0, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 33.0]);
+        a.mul_assign(&b);
+        assert_eq!(a.as_slice(), &[110.0, 440.0, 990.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[55.0, 220.0, 495.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[75.0, 260.0, 555.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = random_matrix(5, 9, 11);
+        let back = a.transpose().transpose();
+        assert!(approx_eq(&a, &back, 0.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a.set(1, 1, f32::NAN);
+        assert!(a.has_non_finite());
+    }
+}

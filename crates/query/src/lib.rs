@@ -1,0 +1,27 @@
+//! # duet-query
+//!
+//! The query substrate of the Duet reproduction:
+//!
+//! * [`predicate`] / [`query`] — conjunctive predicates over dictionary-encoded
+//!   columns and the [`CardinalityEstimator`] trait implemented by Duet and by
+//!   every baseline;
+//! * [`workload`] — the tuple-anchored workload generators used by the paper
+//!   (random `Rand-Q` workloads and bounded, Gamma-skewed `In-Q` workloads);
+//! * [`truth`] — exact ground-truth evaluation by scanning the column store;
+//! * [`metrics`] — Q-Error summaries (mean / median / p75 / p99 / max) and the
+//!   cardinality CDFs plotted in the paper's Figure 4.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod predicate;
+pub mod query;
+pub mod truth;
+pub mod workload;
+
+pub use metrics::{cardinality_cdf, percentile_sorted, q_error, QErrorSummary};
+pub use predicate::{ColumnPredicate, PredOp};
+pub use query::{CardinalityEstimator, Query};
+pub use truth::{exact_cardinality, exact_selectivity, label_workload};
+pub use workload::{BoundedColumn, PredicateCountDist, WorkloadSpec};

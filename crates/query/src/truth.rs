@@ -1,0 +1,164 @@
+//! Exact query evaluation (ground-truth cardinalities).
+//!
+//! Workload labels and Q-Errors are computed against a full scan of the
+//! dictionary-encoded table. The scan works in value-id space: every
+//! predicate combination on a column reduces to a contiguous id interval, so
+//! a row matches iff every column's id lies in its interval.
+
+use crate::query::Query;
+use duet_data::Table;
+
+/// Exact number of rows of `table` matching `query`.
+pub fn exact_cardinality(table: &Table, query: &Query) -> u64 {
+    let intervals = query.column_intervals(table);
+    let constrained: Vec<usize> = query.constrained_columns();
+    if constrained.is_empty() {
+        return table.num_rows() as u64;
+    }
+    // Early out on contradictions.
+    if constrained.iter().any(|&c| intervals[c].0 >= intervals[c].1) {
+        return 0;
+    }
+
+    // Scan column-at-a-time, keeping a shrinking selection vector. Start with
+    // the most selective constrained column (smallest interval / ndv ratio) to
+    // cut the candidate set early.
+    let mut order = constrained.clone();
+    order.sort_by(|&a, &b| {
+        let fa = interval_fraction(table, &intervals, a);
+        let fb = interval_fraction(table, &intervals, b);
+        fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let first = order[0];
+    let (lo, hi) = intervals[first];
+    let data = table.column(first).data();
+    let mut selection: Vec<u32> = Vec::new();
+    for (row, &id) in data.iter().enumerate() {
+        if id >= lo && id < hi {
+            selection.push(row as u32);
+        }
+    }
+    for &col in &order[1..] {
+        if selection.is_empty() {
+            return 0;
+        }
+        let (lo, hi) = intervals[col];
+        let data = table.column(col).data();
+        selection.retain(|&row| {
+            let id = data[row as usize];
+            id >= lo && id < hi
+        });
+    }
+    selection.len() as u64
+}
+
+/// Exact selectivity (`cardinality / |T|`) of `query`.
+pub fn exact_selectivity(table: &Table, query: &Query) -> f64 {
+    if table.num_rows() == 0 {
+        return 0.0;
+    }
+    exact_cardinality(table, query) as f64 / table.num_rows() as f64
+}
+
+/// Exact cardinalities for a whole workload, computed in parallel across
+/// worker threads (labelling 100k training queries is the most expensive part
+/// of workload preparation).
+pub fn label_workload(table: &Table, queries: &[Query]) -> Vec<u64> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if queries.len() < 64 || threads <= 1 {
+        return queries.iter().map(|q| exact_cardinality(table, q)).collect();
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let mut out = vec![0u64; queries.len()];
+    crossbeam::thread::scope(|scope| {
+        for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (q, o) in qchunk.iter().zip(ochunk.iter_mut()) {
+                    *o = exact_cardinality(table, q);
+                }
+            });
+        }
+    })
+    .expect("ground-truth labelling thread panicked");
+    out
+}
+
+fn interval_fraction(table: &Table, intervals: &[(u32, u32)], col: usize) -> f64 {
+    let ndv = table.column(col).ndv().max(1) as f64;
+    let (lo, hi) = intervals[col];
+    (hi.saturating_sub(lo)) as f64 / ndv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PredOp;
+    use duet_data::datasets::census_like;
+    use duet_data::{TableBuilder, Value};
+
+    fn toy() -> Table {
+        let mut b = TableBuilder::new("t", vec!["a".into(), "b".into()]);
+        for (a, bv) in [(1, 10), (2, 20), (3, 30), (4, 40), (2, 10)] {
+            b.push_row(vec![Value::Int(a), Value::Int(bv)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn unconstrained_query_selects_everything() {
+        let t = toy();
+        assert_eq!(exact_cardinality(&t, &Query::all()), 5);
+        assert_eq!(exact_selectivity(&t, &Query::all()), 1.0);
+    }
+
+    #[test]
+    fn conjunctions_are_intersections() {
+        let t = toy();
+        let q = Query::all()
+            .and(0, PredOp::Eq, Value::Int(2))
+            .and(1, PredOp::Le, Value::Int(10));
+        assert_eq!(exact_cardinality(&t, &q), 1);
+    }
+
+    #[test]
+    fn contradictions_select_nothing() {
+        let t = toy();
+        let q = Query::all()
+            .and(0, PredOp::Gt, Value::Int(3))
+            .and(0, PredOp::Lt, Value::Int(2));
+        assert_eq!(exact_cardinality(&t, &q), 0);
+    }
+
+    #[test]
+    fn scan_agrees_with_naive_row_filter() {
+        let t = census_like(2_000, 9);
+        let queries = vec![
+            Query::all().and(0, PredOp::Le, Value::Int(30)),
+            Query::all().and(1, PredOp::Eq, Value::Int(2)).and(5, PredOp::Ge, Value::Int(3)),
+            Query::all()
+                .and(10, PredOp::Gt, Value::Int(5))
+                .and(10, PredOp::Lt, Value::Int(50))
+                .and(13, PredOp::Ge, Value::Int(1)),
+        ];
+        for q in &queries {
+            let naive = (0..t.num_rows()).filter(|&r| q.matches_row(&t, r)).count() as u64;
+            assert_eq!(exact_cardinality(&t, q), naive, "query {q}");
+        }
+    }
+
+    #[test]
+    fn parallel_labelling_matches_serial() {
+        let t = census_like(1_000, 10);
+        let queries: Vec<Query> = (0..200)
+            .map(|i| {
+                Query::all()
+                    .and(i % 14, PredOp::Ge, Value::Int((i % 7) as i64))
+                    .and((i + 3) % 14, PredOp::Le, Value::Int((i % 11) as i64 + 20))
+            })
+            .collect();
+        let serial: Vec<u64> = queries.iter().map(|q| exact_cardinality(&t, q)).collect();
+        let parallel = label_workload(&t, &queries);
+        assert_eq!(serial, parallel);
+    }
+}

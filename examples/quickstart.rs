@@ -1,0 +1,54 @@
+//! Quickstart: train a small Duet estimator on a synthetic Census-like table
+//! and compare a few estimates against the exact cardinalities.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use duet::core::{DuetConfig, DuetEstimator};
+use duet::data::datasets::census_like;
+use duet::query::{exact_cardinality, q_error, CardinalityEstimator, WorkloadSpec};
+
+fn main() {
+    // 1. Data: a 14-column Census-like table (replace with `csv::read_csv` to
+    //    use a real dataset).
+    let table = census_like(10_000, 42);
+    println!(
+        "table `{}`: {} rows x {} columns, NDVs {:?}",
+        table.name(),
+        table.num_rows(),
+        table.num_columns(),
+        table.ndvs()
+    );
+
+    // 2. Train Duet purely from the data (no workload needed).
+    let config = DuetConfig::small().with_epochs(5);
+    println!("training DuetD ({} epochs) ...", config.epochs);
+    let mut duet = DuetEstimator::train_data_only(&table, &config, 42);
+    println!(
+        "model `{}` with {:.2} MB of parameters",
+        duet.name(),
+        duet.size_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // 3. Estimate a random workload and report Q-Errors.
+    let workload = WorkloadSpec::random(&table, 10, 1234).generate(&table);
+    println!("\n{:<60} {:>10} {:>10} {:>8}", "query", "estimate", "actual", "q-error");
+    for query in &workload {
+        let estimate = duet.estimate(query);
+        let actual = exact_cardinality(&table, query);
+        println!(
+            "{:<60} {:>10.1} {:>10} {:>8.2}",
+            truncate(&query.to_string(), 58),
+            estimate,
+            actual,
+            q_error(estimate, actual as f64)
+        );
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

@@ -1,0 +1,45 @@
+//! # Duet
+//!
+//! A reproduction of *"Duet: Efficient and Scalable Hybrid Neural Relation
+//! Understanding"* (ICDE 2024) — a learned cardinality estimator that feeds
+//! predicate information directly into an autoregressive model so that range
+//! queries can be estimated with a **single forward pass** (no progressive
+//! sampling), deterministically, and with a fully differentiable estimation
+//! path that enables hybrid (data + query) training.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`nn`] — the from-scratch neural-network substrate (MADE/ResMADE, Adam,
+//!   losses) used instead of PyTorch.
+//! * [`data`] — the column-store table engine and synthetic dataset
+//!   generators (DMV-like, Kddcup98-like, Census-like).
+//! * [`query`] — predicates, workload generators, exact ground truth and the
+//!   Q-Error metric.
+//! * [`core`] — the Duet estimator itself (encoding, virtual-table sampling,
+//!   hybrid training, sampling-free inference, MPSN).
+//! * [`baselines`] — Naru, UAE-like, MSCN-lite, DeepDB-lite, MHist, Sampling
+//!   and Independence estimators used by the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use duet::data::datasets::census_like;
+//! use duet::query::{workload::WorkloadSpec, truth::exact_cardinality};
+//! use duet::core::{DuetConfig, DuetEstimator};
+//! use duet::query::CardinalityEstimator;
+//!
+//! let table = census_like(10_000, 42);
+//! let mut duet = DuetEstimator::train_data_only(&table, &DuetConfig::small(), 42);
+//! let workload = WorkloadSpec::random(&table, 100, 1234).generate(&table);
+//! for q in &workload {
+//!     let est = duet.estimate(q);
+//!     let truth = exact_cardinality(&table, q);
+//!     println!("est={est} truth={truth}");
+//! }
+//! ```
+
+pub use duet_baselines as baselines;
+pub use duet_core as core;
+pub use duet_data as data;
+pub use duet_nn as nn;
+pub use duet_query as query;

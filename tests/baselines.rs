@@ -1,0 +1,100 @@
+//! Integration tests of the baseline estimators against ground truth,
+//! checking the qualitative orderings the paper's Table II relies on.
+
+use duet::baselines::{
+    DeepDbConfig, DeepDbEstimator, IndependenceEstimator, MHist, MscnConfig, MscnEstimator,
+    NaruConfig, NaruEstimator, SamplingEstimator,
+};
+use duet::data::datasets::census_like;
+use duet::query::{label_workload, CardinalityEstimator, QErrorSummary, Query, WorkloadSpec};
+
+fn eval(est: &mut dyn CardinalityEstimator, queries: &[Query], cards: &[u64]) -> QErrorSummary {
+    let estimates: Vec<f64> = queries.iter().map(|q| est.estimate(q)).collect();
+    QErrorSummary::from_estimates(&estimates, cards)
+}
+
+#[test]
+fn every_estimator_produces_finite_bounded_estimates() {
+    let table = census_like(2_500, 31);
+    let train = WorkloadSpec::in_workload(&table, 300, 42).generate(&table);
+    let train_cards = label_workload(&table, &train);
+    let queries = WorkloadSpec::random(&table, 60, 1234).generate(&table);
+
+    let mut estimators: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(SamplingEstimator::new(&table, 0.05, 1)),
+        Box::new(IndependenceEstimator::new(&table)),
+        Box::new(MHist::new(&table, 128)),
+        Box::new(DeepDbEstimator::build(&table, &DeepDbConfig::default_config())),
+        Box::new(MscnEstimator::train(&table, &train, &train_cards, &MscnConfig::small(), 1)),
+        Box::new(NaruEstimator::train(&table, &NaruConfig::small().with_epochs(2).with_samples(64), 1)),
+    ];
+    for est in estimators.iter_mut() {
+        for q in &queries {
+            let e = est.estimate(q);
+            assert!(e.is_finite(), "{} produced a non-finite estimate", est.name());
+            assert!(e >= 0.0, "{} produced a negative estimate", est.name());
+        }
+        assert!(est.size_bytes() > 0, "{} reports no size", est.name());
+    }
+}
+
+#[test]
+fn learned_data_driven_methods_beat_naive_traditional_ones() {
+    let table = census_like(4_000, 32);
+    let queries = WorkloadSpec::random(&table, 120, 1234).generate(&table);
+    let cards = label_workload(&table, &queries);
+
+    let mut naru = NaruEstimator::train(&table, &NaruConfig::small().with_epochs(4).with_samples(100), 2);
+    let mut mhist = MHist::new(&table, 64);
+    let naru_summary = eval(&mut naru, &queries, &cards);
+    let mhist_summary = eval(&mut mhist, &queries, &cards);
+    assert!(
+        naru_summary.median <= mhist_summary.median * 2.0,
+        "Naru ({:.2}) should be competitive with MHist ({:.2}) at the median",
+        naru_summary.median,
+        mhist_summary.median
+    );
+}
+
+#[test]
+fn sampling_estimator_is_accurate_for_frequent_values_only() {
+    let table = census_like(5_000, 33);
+    let mut sampling = SamplingEstimator::new(&table, 0.02, 5);
+    let queries = WorkloadSpec::random(&table, 100, 99).generate(&table);
+    let cards = label_workload(&table, &queries);
+    let s = eval(&mut sampling, &queries, &cards);
+    // Sampling is fine on average but its tail (max) is much worse than its
+    // median — the classic failure mode the paper reports.
+    assert!(s.max > s.median * 2.0, "expected a heavy tail, got {s:?}");
+}
+
+#[test]
+fn mscn_is_query_driven_and_depends_on_its_training_workload() {
+    let table = census_like(3_000, 34);
+    let train = WorkloadSpec::in_workload(&table, 400, 42).generate(&table);
+    let train_cards = label_workload(&table, &train);
+    let mut mscn = MscnEstimator::train(&table, &train, &train_cards, &MscnConfig::small(), 3);
+
+    let in_q = &train[..100];
+    let in_cards = &train_cards[..100];
+    let rand_q = WorkloadSpec::random(&table, 100, 1234).generate(&table);
+    let rand_cards = label_workload(&table, &rand_q);
+
+    let s_in = eval(&mut mscn, in_q, in_cards);
+    let s_rand = eval(&mut mscn, &rand_q, &rand_cards);
+    assert!(
+        s_rand.p99 >= s_in.p99 * 0.5,
+        "drifted workload should not be dramatically easier: in {:.2} vs rand {:.2}",
+        s_in.p99,
+        s_rand.p99
+    );
+}
+
+#[test]
+fn deepdb_structure_scales_with_table_complexity() {
+    let small = census_like(600, 35);
+    let large = census_like(6_000, 35);
+    let spn_small = DeepDbEstimator::build(&small, &DeepDbConfig::default_config());
+    let spn_large = DeepDbEstimator::build(&large, &DeepDbConfig::default_config());
+    assert!(spn_large.num_nodes() >= spn_small.num_nodes());
+}

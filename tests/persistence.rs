@@ -1,0 +1,64 @@
+//! Integration tests for model persistence and the CSV data path: a trained
+//! estimator survives a save/load round trip, and a table written to CSV and
+//! read back produces identical ground truth.
+
+use duet::core::{load_weights, save_weights, DuetConfig, DuetEstimator, DuetModel};
+use duet::data::csv::{read_csv, write_csv};
+use duet::data::datasets::census_like;
+use duet::query::{exact_cardinality, CardinalityEstimator, WorkloadSpec};
+
+#[test]
+fn checkpoint_round_trip_preserves_every_estimate() {
+    let table = census_like(1_200, 91);
+    let cfg = DuetConfig::small().with_epochs(3);
+    let mut trained = DuetEstimator::train_data_only(&table, &cfg, 4);
+    let queries = WorkloadSpec::random(&table, 40, 17).generate(&table);
+    let expected: Vec<f64> = queries.iter().map(|q| trained.estimate(q)).collect();
+
+    let checkpoint = save_weights(&mut trained);
+    let mut restored =
+        DuetEstimator::from_model(DuetModel::new(&table, &cfg, 12345), &table, "restored");
+    load_weights(&mut restored, &checkpoint).expect("loading the checkpoint should succeed");
+    let actual: Vec<f64> = queries.iter().map(|q| restored.estimate(q)).collect();
+    assert_eq!(expected, actual);
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected_without_panicking() {
+    let table = census_like(400, 92);
+    let cfg = DuetConfig::small().with_epochs(1);
+    let mut est = DuetEstimator::train_data_only(&table, &cfg, 1);
+    let checkpoint = save_weights(&mut est);
+    // Truncated buffer.
+    assert!(load_weights(&mut est, &checkpoint[..checkpoint.len() / 2]).is_err());
+    // Garbage buffer.
+    assert!(load_weights(&mut est, b"not a checkpoint at all").is_err());
+    // The estimator still works after the failed loads.
+    let q = WorkloadSpec::random(&table, 1, 3).generate(&table).remove(0);
+    assert!(est.estimate(&q).is_finite());
+}
+
+#[test]
+fn csv_round_trip_preserves_ground_truth() {
+    let table = census_like(500, 93);
+    let mut buffer = Vec::new();
+    write_csv(&table, &mut buffer).expect("write");
+    let reloaded = read_csv("census_reload", buffer.as_slice()).expect("read");
+    assert_eq!(reloaded.num_rows(), table.num_rows());
+    assert_eq!(reloaded.num_columns(), table.num_columns());
+    for q in WorkloadSpec::random(&table, 30, 5).generate(&table) {
+        assert_eq!(exact_cardinality(&table, &q), exact_cardinality(&reloaded, &q));
+    }
+}
+
+#[test]
+fn estimators_trained_on_csv_loaded_data_work() {
+    let table = census_like(800, 94);
+    let mut buffer = Vec::new();
+    write_csv(&table, &mut buffer).expect("write");
+    let reloaded = read_csv("census_reload", buffer.as_slice()).expect("read");
+    let mut est = DuetEstimator::train_data_only(&reloaded, &DuetConfig::small().with_epochs(1), 3);
+    let q = WorkloadSpec::random(&reloaded, 1, 9).generate(&reloaded).remove(0);
+    let e = est.estimate(&q);
+    assert!(e >= 0.0 && e <= reloaded.num_rows() as f64);
+}

@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) over the core invariants: predicate
+//! semantics vs ground truth, Q-Error bounds, sampler consistency, and the
+//! autoregressive masking of the Duet model.
+
+use duet::core::{
+    query_to_id_predicates, sample_predicate, DuetConfig, DuetEstimator, DuetModel,
+};
+use duet::data::datasets::census_like;
+use duet::data::{Column, Table, Value};
+use duet::query::{exact_cardinality, q_error, CardinalityEstimator, PredOp, Query};
+use duet::nn::seeded_rng;
+use proptest::prelude::*;
+
+/// Build a small random table from proptest-generated cell values.
+fn table_from_cells(cells: &[Vec<i64>]) -> Table {
+    let ncols = cells[0].len();
+    let columns: Vec<Column> = (0..ncols)
+        .map(|c| {
+            let values: Vec<Value> = cells.iter().map(|row| Value::Int(row[c])).collect();
+            Column::from_values(format!("c{c}"), &values)
+        })
+        .collect();
+    Table::new("prop", columns)
+}
+
+fn op_from_index(i: usize) -> PredOp {
+    PredOp::ALL[i % PredOp::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The exact evaluator agrees with a naive per-row predicate check for any
+    /// random table and conjunctive query.
+    #[test]
+    fn exact_cardinality_matches_naive_scan(
+        cells in prop::collection::vec(prop::collection::vec(0i64..8, 3), 1..60),
+        ops in prop::collection::vec(0usize..5, 1..4),
+        lits in prop::collection::vec(0i64..8, 1..4),
+        cols in prop::collection::vec(0usize..3, 1..4),
+    ) {
+        let table = table_from_cells(&cells);
+        let mut query = Query::all();
+        for ((&op, &lit), &col) in ops.iter().zip(&lits).zip(&cols) {
+            query = query.and(col % 3, op_from_index(op), Value::Int(lit));
+        }
+        let naive = (0..table.num_rows())
+            .filter(|&r| query.matches_row(&table, r))
+            .count() as u64;
+        prop_assert_eq!(exact_cardinality(&table, &query), naive);
+    }
+
+    /// Q-Error is symmetric and always at least 1.
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let e1 = q_error(a, b);
+        let e2 = q_error(b, a);
+        prop_assert!((e1 - e2).abs() < 1e-9);
+        prop_assert!(e1 >= 1.0);
+    }
+
+    /// Algorithm 1's per-predicate sampler always returns a predicate the
+    /// anchor value satisfies, with a literal inside the domain.
+    #[test]
+    fn sampled_predicates_are_satisfied_by_their_anchor(
+        ndv in 1u32..500,
+        anchor_frac in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let anchor = ((ndv as f64 - 1.0) * anchor_frac).round() as u32;
+        let mut rng = seeded_rng(seed);
+        let pred = sample_predicate(anchor, ndv, &mut rng);
+        prop_assert!(pred.value_id < ndv);
+        let satisfied = match pred.op {
+            PredOp::Eq => anchor == pred.value_id,
+            PredOp::Gt => anchor > pred.value_id,
+            PredOp::Lt => anchor < pred.value_id,
+            PredOp::Ge => anchor >= pred.value_id,
+            PredOp::Le => anchor <= pred.value_id,
+        };
+        prop_assert!(satisfied);
+    }
+
+    /// Column id intervals always agree with direct predicate evaluation over
+    /// the dictionary.
+    #[test]
+    fn id_intervals_agree_with_predicate_semantics(
+        dict_size in 1usize..40,
+        op_idx in 0usize..5,
+        lit in -5i64..45,
+    ) {
+        let values: Vec<Value> = (0..dict_size as i64).map(Value::Int).collect();
+        let column = Column::from_values("c", &values);
+        let pred = duet::query::ColumnPredicate::new(0, op_from_index(op_idx), Value::Int(lit));
+        let (lo, hi) = pred.id_interval(&column);
+        for id in 0..dict_size as u32 {
+            let in_interval = id >= lo && id < hi;
+            let matches = pred.matches(column.value_of_id(id));
+            prop_assert_eq!(in_interval, matches);
+        }
+    }
+}
+
+proptest! {
+    // The model-level properties are more expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Even an untrained Duet model always produces selectivities in [0, 1]
+    /// and deterministic results.
+    #[test]
+    fn untrained_model_estimates_are_probabilities(
+        seed in 0u64..50,
+        col_a in 0usize..14,
+        col_b in 0usize..14,
+        lit_a in 0i64..60,
+        lit_b in 0i64..60,
+        op_a in 0usize..5,
+        op_b in 0usize..5,
+    ) {
+        let table = census_like(300, 77);
+        let model = DuetModel::new(&table, &DuetConfig::small(), seed);
+        let query = Query::all()
+            .and(col_a, op_from_index(op_a), Value::Int(lit_a))
+            .and(col_b, op_from_index(op_b), Value::Int(lit_b));
+        let preds = query_to_id_predicates(&table, &query);
+        let intervals = query.column_intervals(&table);
+        let sel = model.estimate_selectivity(&preds, &intervals);
+        prop_assert!((0.0..=1.0).contains(&sel));
+        prop_assert_eq!(sel, model.estimate_selectivity(&preds, &intervals));
+    }
+
+    /// A trained estimator never exceeds the table size and treats an
+    /// unconstrained query as the full relation.
+    #[test]
+    fn estimator_respects_global_bounds(seed in 0u64..20) {
+        let table = census_like(400, 78);
+        let mut duet = DuetEstimator::train_data_only(
+            &table,
+            &DuetConfig::small().with_epochs(1),
+            seed,
+        );
+        let q = Query::all().and((seed % 14) as usize, PredOp::Ge, Value::Int(1));
+        let e = duet.estimate(&q);
+        prop_assert!(e >= 0.0 && e <= table.num_rows() as f64 + 1e-6);
+        prop_assert!((duet.estimate(&Query::all()) - table.num_rows() as f64).abs() < 1e-6);
+    }
+}
