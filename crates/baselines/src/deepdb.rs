@@ -75,7 +75,12 @@ impl DeepDbEstimator {
         let rows: Vec<u32> = (0..table.num_rows() as u32).collect();
         let cols: Vec<usize> = (0..table.num_columns()).collect();
         let root = build_node(table, &rows, &cols, config, 0);
-        Self { root, schema: table.schema_only(), num_rows: table.num_rows(), name: "deepdb".into() }
+        Self {
+            root,
+            schema: table.schema_only(),
+            num_rows: table.num_rows(),
+            name: "deepdb".into(),
+        }
     }
 
     /// Number of nodes in the learned SPN (structure statistic).
@@ -88,7 +93,9 @@ fn count_nodes(node: &SpnNode) -> usize {
     match node {
         SpnNode::Leaf { .. } => 1,
         SpnNode::Product { children } => 1 + children.iter().map(count_nodes).sum::<usize>(),
-        SpnNode::Sum { children } => 1 + children.iter().map(|(_, c)| count_nodes(c)).sum::<usize>(),
+        SpnNode::Sum { children } => {
+            1 + children.iter().map(|(_, c)| count_nodes(c)).sum::<usize>()
+        }
     }
 }
 
@@ -110,7 +117,9 @@ fn build_node(
     }
 
     // Try a column split into (approximately) independent groups.
-    if let Some((group_a, group_b)) = split_columns(table, rows, cols, config.independence_threshold) {
+    if let Some((group_a, group_b)) =
+        split_columns(table, rows, cols, config.independence_threshold)
+    {
         return SpnNode::Product {
             children: vec![
                 build_node(table, rows, &group_a, config, depth + 1),
@@ -126,13 +135,16 @@ fn build_node(
             SpnNode::Sum {
                 children: vec![
                     (left.len() as f64 / total, build_node(table, &left, cols, config, depth + 1)),
-                    (right.len() as f64 / total, build_node(table, &right, cols, config, depth + 1)),
+                    (
+                        right.len() as f64 / total,
+                        build_node(table, &right, cols, config, depth + 1),
+                    ),
                 ],
             }
         }
-        None => SpnNode::Product {
-            children: cols.iter().map(|&c| make_leaf(table, rows, c)).collect(),
-        },
+        None => {
+            SpnNode::Product { children: cols.iter().map(|&c| make_leaf(table, rows, c)).collect() }
+        }
     }
 }
 
@@ -193,8 +205,10 @@ fn split_columns(
             }
         }
     }
-    let group_a: Vec<usize> = cols.iter().zip(&in_group).filter(|(_, &g)| g).map(|(&c, _)| c).collect();
-    let group_b: Vec<usize> = cols.iter().zip(&in_group).filter(|(_, &g)| !g).map(|(&c, _)| c).collect();
+    let group_a: Vec<usize> =
+        cols.iter().zip(&in_group).filter(|(_, &g)| g).map(|(&c, _)| c).collect();
+    let group_b: Vec<usize> =
+        cols.iter().zip(&in_group).filter(|(_, &g)| !g).map(|(&c, _)| c).collect();
     if group_b.is_empty() {
         None
     } else {
@@ -252,14 +266,12 @@ fn node_probability(node: &SpnNode, intervals: &[(u32, u32)]) -> f64 {
             let hi = (hi as usize).min(histogram.len());
             histogram[lo as usize..hi].iter().sum()
         }
-        SpnNode::Product { children } => children
-            .iter()
-            .map(|c| node_probability(c, intervals))
-            .product(),
-        SpnNode::Sum { children } => children
-            .iter()
-            .map(|(w, c)| w * node_probability(c, intervals))
-            .sum(),
+        SpnNode::Product { children } => {
+            children.iter().map(|c| node_probability(c, intervals)).product()
+        }
+        SpnNode::Sum { children } => {
+            children.iter().map(|(w, c)| w * node_probability(c, intervals)).sum()
+        }
     }
 }
 
@@ -278,9 +290,7 @@ impl CardinalityEstimator for DeepDbEstimator {
         fn node_size(node: &SpnNode) -> usize {
             match node {
                 SpnNode::Leaf { histogram, .. } => histogram.len() * 8 + 16,
-                SpnNode::Product { children } => {
-                    16 + children.iter().map(node_size).sum::<usize>()
-                }
+                SpnNode::Product { children } => 16 + children.iter().map(node_size).sum::<usize>(),
                 SpnNode::Sum { children } => {
                     16 + children.iter().map(|(_, c)| 8 + node_size(c)).sum::<usize>()
                 }
@@ -313,7 +323,10 @@ mod tests {
         let q = Query::all().and(0, PredOp::Le, Value::Int(30));
         let truth = exact_cardinality(&t, &q) as f64;
         let e = spn.estimate(&q);
-        assert!(q_error(e, truth) < 1.5, "single-column estimate should be near-exact: {e} vs {truth}");
+        assert!(
+            q_error(e, truth) < 1.5,
+            "single-column estimate should be near-exact: {e} vs {truth}"
+        );
     }
 
     #[test]
@@ -335,7 +348,7 @@ mod tests {
         let mut spn = DeepDbEstimator::build(&t, &DeepDbConfig::default_config());
         for q in WorkloadSpec::random(&t, 40, 11).generate(&t) {
             let e = spn.estimate(&q);
-            assert!(e >= 0.0 && e <= 1_000.0);
+            assert!((0.0..=1_000.0).contains(&e));
         }
     }
 }

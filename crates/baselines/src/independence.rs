@@ -120,9 +120,8 @@ mod tests {
         let t = census_like(500, 2);
         let mut est = IndependenceEstimator::new(&t);
         assert_eq!(est.estimate(&Query::all()), 500.0);
-        let contradiction = Query::all()
-            .and(0, PredOp::Lt, Value::Int(1))
-            .and(0, PredOp::Gt, Value::Int(60));
+        let contradiction =
+            Query::all().and(0, PredOp::Lt, Value::Int(1)).and(0, PredOp::Gt, Value::Int(60));
         assert_eq!(est.estimate(&contradiction), 0.0);
     }
 

@@ -66,7 +66,12 @@ impl MHist {
             b.rows.clear();
             b.rows.shrink_to_fit();
         }
-        Self { buckets, num_rows: table.num_rows(), schema: table.schema_only(), name: "mhist".into() }
+        Self {
+            buckets,
+            num_rows: table.num_rows(),
+            schema: table.schema_only(),
+            name: "mhist".into(),
+        }
     }
 
     /// Number of buckets actually built.
@@ -155,10 +160,7 @@ impl CardinalityEstimator for MHist {
     }
 
     fn size_bytes(&self) -> usize {
-        self.buckets
-            .iter()
-            .map(|b| b.bounds.len() * std::mem::size_of::<(u32, u32)>() + 8)
-            .sum()
+        self.buckets.iter().map(|b| b.bounds.len() * std::mem::size_of::<(u32, u32)>() + 8).sum()
     }
 }
 
@@ -210,7 +212,7 @@ mod tests {
         let mut h = MHist::new(&t, 128);
         for q in WorkloadSpec::random(&t, 50, 6).generate(&t) {
             let e = h.estimate(&q);
-            assert!(e >= 0.0 && e <= 1_500.0);
+            assert!((0.0..=1_500.0).contains(&e));
         }
     }
 }

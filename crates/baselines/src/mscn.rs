@@ -38,12 +38,24 @@ pub struct MscnConfig {
 impl MscnConfig {
     /// Small test configuration.
     pub fn small() -> Self {
-        Self { hidden_sizes: vec![64, 32], epochs: 30, batch_size: 64, learning_rate: 1e-3, bitmap_samples: 64 }
+        Self {
+            hidden_sizes: vec![64, 32],
+            epochs: 30,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            bitmap_samples: 64,
+        }
     }
 
     /// Configuration comparable to the paper's MSCN baseline.
     pub fn paper() -> Self {
-        Self { hidden_sizes: vec![256, 128], epochs: 100, batch_size: 128, learning_rate: 1e-3, bitmap_samples: 1000 }
+        Self {
+            hidden_sizes: vec![256, 128],
+            epochs: 100,
+            batch_size: 128,
+            learning_rate: 1e-3,
+            bitmap_samples: 1000,
+        }
     }
 }
 
@@ -85,11 +97,10 @@ impl MscnEstimator {
         let mut mlp = Mlp::new(&sizes, &mut rng);
         let mut adam = Adam::new(config.learning_rate).with_clip(GradClip::Value(4.0));
 
-        let features: Vec<Vec<f32>> = queries
-            .iter()
-            .map(|q| featurize(table, &sample, q))
-            .collect();
-        let targets: Vec<f32> = logs.iter().map(|&l| ((l - min_log) / (max_log - min_log)) as f32).collect();
+        let features: Vec<Vec<f32>> =
+            queries.iter().map(|q| featurize(table, &sample, q)).collect();
+        let targets: Vec<f32> =
+            logs.iter().map(|&l| ((l - min_log) / (max_log - min_log)) as f32).collect();
 
         let mut order: Vec<usize> = (0..queries.len()).collect();
         let mut shuffle_rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
@@ -151,8 +162,8 @@ fn featurize(schema: &Table, sample: &Table, query: &Query) -> Vec<f32> {
     for (col, preds) in query.predicates_by_column() {
         let base = col * per_col;
         out[base] = 1.0; // constrained flag
-        // Encode the first predicate (MSCN's featurization has one slot per
-        // column); additional predicates are reflected by the bitmap feature.
+                         // Encode the first predicate (MSCN's featurization has one slot per
+                         // column); additional predicates are reflected by the bitmap feature.
         if let Some(p) = preds.first() {
             out[base + 1 + p.op.index()] = 1.0;
             let ndv = schema.column(col).ndv().max(1) as f32;

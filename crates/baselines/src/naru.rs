@@ -261,6 +261,7 @@ impl NaruEstimator {
 
     /// Progressive-sampling estimation with a phase breakdown:
     /// `(cardinality, model forward time, sampling/bookkeeping time, forward passes)`.
+    #[allow(clippy::needless_range_loop)] // `sample` indexes weights and logits in lockstep
     pub fn estimate_with_breakdown(&mut self, query: &Query) -> (f64, Duration, Duration, usize) {
         let intervals = query.column_intervals(&self.schema);
         let mut constrained: Vec<usize> = query.constrained_columns();
@@ -315,8 +316,7 @@ impl NaruEstimator {
                     }
                 }
                 let row = input.row_mut(sample);
-                self.encoder
-                    .encode_value_into(col, chosen, &mut row[in_off..in_off + block_w]);
+                self.encoder.encode_value_into(col, chosen, &mut row[in_off..in_off + block_w]);
             }
             sample_time += t1.elapsed();
         }
@@ -357,7 +357,11 @@ pub(crate) fn train_value_model(
             config.hidden_sizes.len(),
         )
     } else {
-        MadeConfig::made(encoder.block_widths(), encoder.output_sizes(), config.hidden_sizes.clone())
+        MadeConfig::made(
+            encoder.block_widths(),
+            encoder.output_sizes(),
+            config.hidden_sizes.clone(),
+        )
     };
     let mut rng = seeded_rng(seed);
     let mut made = Made::new(made_config, &mut rng);
@@ -436,9 +440,7 @@ mod tests {
     #[test]
     fn contradictory_query_returns_zero() {
         let (_, mut naru) = trained(300);
-        let q = Query::all()
-            .and(0, PredOp::Lt, Value::Int(1))
-            .and(0, PredOp::Gt, Value::Int(60));
+        let q = Query::all().and(0, PredOp::Lt, Value::Int(1)).and(0, PredOp::Gt, Value::Int(60));
         assert_eq!(naru.estimate(&q), 0.0);
     }
 

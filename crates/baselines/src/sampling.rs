@@ -71,8 +71,8 @@ impl CardinalityEstimator for SamplingEstimator {
 mod tests {
     use super::*;
     use duet_data::datasets::census_like;
-    use duet_query::{PredOp, WorkloadSpec};
     use duet_data::Value;
+    use duet_query::{PredOp, WorkloadSpec};
 
     #[test]
     fn sample_size_matches_fraction() {

@@ -41,7 +41,12 @@ pub struct UaeConfig {
 impl UaeConfig {
     /// Small configuration for tests.
     pub fn small() -> Self {
-        Self { naru: NaruConfig::small(), query_weight: 1.0, train_samples: 32, query_batch_size: 16 }
+        Self {
+            naru: NaruConfig::small(),
+            query_weight: 1.0,
+            train_samples: 32,
+            query_batch_size: 16,
+        }
     }
 
     /// Configuration mirroring the paper's UAE settings (reduced sample count,
@@ -98,12 +103,10 @@ impl UaeEstimator {
         // the cost model comparable to joint training.
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5151);
         let mut adam = Adam::new(config.naru.learning_rate).with_clip(GradClip::Value(8.0));
-        let prepared: Vec<(Vec<(u32, u32)>, Vec<usize>, f64)> = queries
+        let prepared: Vec<PreparedQuery> = queries
             .iter()
             .zip(cardinalities)
-            .map(|(q, &card)| {
-                (q.column_intervals(table), q.constrained_columns(), card as f64)
-            })
+            .map(|(q, &card)| (q.column_intervals(table), q.constrained_columns(), card as f64))
             .collect();
         let num_rows = table.num_rows() as f64;
 
@@ -140,14 +143,8 @@ impl UaeEstimator {
             on_epoch(&stats);
         }
 
-        let inner = NaruEstimator::from_parts(
-            made,
-            encoder,
-            table,
-            config.naru.num_samples,
-            seed,
-            "uae",
-        );
+        let inner =
+            NaruEstimator::from_parts(made, encoder, table, config.naru.num_samples, seed, "uae");
         Self { inner }
     }
 
@@ -171,13 +168,18 @@ impl UaeEstimator {
     }
 }
 
+/// A query prepared for the supervised pass: its column id intervals, its
+/// constrained columns, and the true cardinality.
+type PreparedQuery = (Vec<(u32, u32)>, Vec<usize>, f64);
+
 /// One supervised optimizer step over a query mini-batch; returns the mean
 /// `log2(QError + 1)` loss.
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // `sample` indexes weights, logits and input rows in lockstep
 fn supervised_step(
     made: &mut Made,
     encoder: &ValueEncoder,
-    batch: &[&(Vec<(u32, u32)>, Vec<usize>, f64)],
+    batch: &[&PreparedQuery],
     num_rows: f64,
     samples: usize,
     query_weight: f64,

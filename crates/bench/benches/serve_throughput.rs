@@ -1,0 +1,106 @@
+//! Serving-throughput benchmark: 8 concurrent client threads over a trained
+//! census-like model, comparing
+//!
+//! * `naive_loop` — every client runs one single-query forward pass per call
+//!   (the offline experiment-harness pattern), and
+//! * `batched_serving` — every client calls a `DuetServer`, whose
+//!   micro-batcher coalesces concurrent requests into one `N×W` forward
+//!   pass (result cache disabled so raw inference throughput is measured).
+//!
+//! One benchmark iteration = every client serving its whole query slice, so
+//! the reported times are directly comparable; a summary line at the end
+//! prints queries/second for both modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duet_core::{DuetConfig, DuetEstimator};
+use duet_data::datasets::census_like;
+use duet_query::{Query, WorkloadSpec};
+use duet_serve::{DuetServer, ServeConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 64;
+
+fn run_naive_round(estimator: &Arc<DuetEstimator>, queries: &[Query]) {
+    std::thread::scope(|scope| {
+        for chunk in queries.chunks(QUERIES_PER_CLIENT) {
+            let estimator = estimator.clone();
+            scope.spawn(move || {
+                for q in chunk {
+                    // One forward pass per query: the unbatched serving path.
+                    black_box(estimator.estimate_batch(std::slice::from_ref(q)));
+                }
+            });
+        }
+    });
+}
+
+fn run_served_round(server: &Arc<DuetServer>, queries: &[Query]) {
+    std::thread::scope(|scope| {
+        for chunk in queries.chunks(QUERIES_PER_CLIENT) {
+            let server = server.clone();
+            scope.spawn(move || {
+                for q in chunk {
+                    black_box(server.estimate("census", q).expect("serving failed"));
+                }
+            });
+        }
+    });
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let table = census_like(4_000, 7);
+    let cfg = DuetConfig::small().with_epochs(2);
+    let estimator = Arc::new(DuetEstimator::train_data_only(&table, &cfg, 3));
+    let queries = WorkloadSpec::random(&table, CLIENTS * QUERIES_PER_CLIENT, 1234).generate(&table);
+
+    let server = Arc::new(DuetServer::new(ServeConfig {
+        cache_capacity: 0, // measure inference throughput, not cache hits
+        ..ServeConfig::default()
+    }));
+    server.register("census", (*estimator).clone());
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.bench_function("naive_loop_8_clients", |b| {
+        b.iter(|| run_naive_round(&estimator, &queries))
+    });
+    group.bench_function("batched_serving_8_clients", |b| {
+        b.iter(|| run_served_round(&server, &queries))
+    });
+    group.finish();
+
+    // Direct queries/second comparison over a fixed number of rounds.
+    const ROUNDS: usize = 5;
+    let total = (ROUNDS * queries.len()) as f64;
+
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        run_naive_round(&estimator, &queries);
+    }
+    let naive_qps = total / started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        run_served_round(&server, &queries);
+    }
+    let served_qps = total / started.elapsed().as_secs_f64();
+
+    let m = server.metrics();
+    println!("\nnaive one-query-per-call loop : {naive_qps:>10.0} queries/s");
+    println!("micro-batched DuetServer      : {served_qps:>10.0} queries/s");
+    println!(
+        "speedup {:.2}x; server saw {} batches, mean batch size {:.2}",
+        served_qps / naive_qps,
+        m.batches,
+        m.mean_batch_size
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(benches);

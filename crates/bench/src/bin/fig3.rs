@@ -13,10 +13,8 @@ fn main() {
     let table = Dataset::Dmv.table(&opts);
     let workloads = build_workloads(&table, &opts);
     let cfg = Dataset::Dmv.duet_config(&opts);
-    let workload = TrainingWorkload {
-        queries: &workloads.train,
-        cardinalities: &workloads.train_cards,
-    };
+    let workload =
+        TrainingWorkload { queries: &workloads.train, cardinalities: &workloads.train_cards };
     let mut csv = Vec::new();
     println!("{:>6} {:>14} {:>18} {:>14}", "epoch", "L_data", "raw mean Q-Error", "log2(Q+1)");
     let _ = train_model(&table, &cfg, Some(workload), 3, |s| {

@@ -31,6 +31,10 @@ fn main() {
             }
         }
     }
-    opts.write_csv("fig4_workload_cdf.csv", "dataset,workload,cardinality,cumulative_fraction", &csv);
+    opts.write_csv(
+        "fig4_workload_cdf.csv",
+        "dataset,workload,cardinality,cumulative_fraction",
+        &csv,
+    );
     println!("\nThe train/in-workload and random CDFs differ visibly — the drift Table II probes.");
 }

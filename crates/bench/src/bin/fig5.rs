@@ -15,13 +15,8 @@ fn main() {
     let mut csv = Vec::new();
     for lambda in [1e-3, 1e-2, 1e-1, 1.0] {
         let cfg = Dataset::Kddcup98.duet_config(&opts).with_lambda(lambda);
-        let mut duet = DuetEstimator::train_hybrid(
-            &table,
-            &workloads.train,
-            &workloads.train_cards,
-            &cfg,
-            3,
-        );
+        let mut duet =
+            DuetEstimator::train_hybrid(&table, &workloads.train, &workloads.train_cards, &cfg, 3);
         let rand = evaluate(&mut duet, &workloads.rand_q, &workloads.rand_q_cards);
         let in_q = evaluate(&mut duet, &workloads.in_q, &workloads.in_q_cards);
         println!(
@@ -30,7 +25,11 @@ fn main() {
         );
         csv.push(format!(
             "{lambda},{:.4},{:.4},{:.4},{:.4},{:.4}",
-            rand.summary.mean, rand.summary.p99, rand.summary.max, in_q.summary.mean, in_q.summary.max
+            rand.summary.mean,
+            rand.summary.p99,
+            rand.summary.max,
+            in_q.summary.mean,
+            in_q.summary.max
         ));
     }
     opts.write_csv(

@@ -18,13 +18,8 @@ fn main() {
 
     println!("training Duet ...");
     let duet_cfg = Dataset::Kddcup98.duet_config(&opts);
-    let duet = DuetEstimator::train_hybrid(
-        &table,
-        &workloads.train,
-        &workloads.train_cards,
-        &duet_cfg,
-        3,
-    );
+    let duet =
+        DuetEstimator::train_hybrid(&table, &workloads.train, &workloads.train_cards, &duet_cfg, 3);
     println!("training Naru ...");
     let naru_cfg = Dataset::Kddcup98.naru_config(&opts);
     let mut naru = NaruEstimator::train(&table, &naru_cfg, 3);
@@ -40,10 +35,7 @@ fn main() {
     );
 
     let mut csv = Vec::new();
-    println!(
-        "{:>8} {:>16} {:>16} {:>16}",
-        "columns", "duet (ms)", "naru (ms)", "uae (ms)"
-    );
+    println!("{:>8} {:>16} {:>16} {:>16}", "columns", "duet (ms)", "naru (ms)", "uae (ms)");
     for &ncols in &[2usize, 4, 8, 16, 32, 64, 100] {
         let queries = WorkloadSpec::random(&table, 20, RAND_SEED + ncols as u64)
             .with_max_columns(ncols)
@@ -91,5 +83,7 @@ fn main() {
         "columns,duet_encode_ms,duet_infer_ms,duet_total_ms,naru_forward_ms,naru_sampling_ms,naru_total_ms,uae_forward_ms,uae_sampling_ms,uae_total_ms",
         &csv,
     );
-    println!("\nDuet's cost stays flat (single forward pass) while Naru/UAE grow with the column count.");
+    println!(
+        "\nDuet's cost stays flat (single forward pass) while Naru/UAE grow with the column count."
+    );
 }

@@ -34,7 +34,10 @@ fn main() {
         let _ = NaruEstimator::train_with_eval(&table, &naru_cfg, 3, |stats, snapshot| {
             let rand = max_q_error(snapshot, rand_q, rand_cards);
             let inw = max_q_error(snapshot, in_q, in_cards);
-            println!("naru   epoch {:>2}: rand max={rand:>10.3}  in-q max={inw:>10.3}", stats.epoch);
+            println!(
+                "naru   epoch {:>2}: rand max={rand:>10.3}  in-q max={inw:>10.3}",
+                stats.epoch
+            );
             csv.push(format!("{},naru,{},{:.4},{:.4}", dataset.name(), stats.epoch, rand, inw));
         });
 

@@ -24,15 +24,10 @@ fn main() {
     let rand_cards = label_workload(&table, &rand_q);
 
     let mut csv = Vec::new();
-    for (label, kind) in [
-        ("MLP", MpsnKind::Mlp),
-        ("REC", MpsnKind::Recursive),
-        ("RNN", MpsnKind::Recurrent),
-    ] {
-        let cfg = Dataset::Census
-            .duet_config(&opts)
-            .with_mpsn(kind, 3)
-            .with_epochs(opts.epochs);
+    for (label, kind) in
+        [("MLP", MpsnKind::Mlp), ("REC", MpsnKind::Recursive), ("RNN", MpsnKind::Recurrent)]
+    {
+        let cfg = Dataset::Census.duet_config(&opts).with_mpsn(kind, 3).with_epochs(opts.epochs);
         let started = Instant::now();
         let mut duet = DuetEstimator::train_hybrid(&table, &train, &train_cards, &cfg, 3);
         let train_cost = started.elapsed().as_secs_f64();
@@ -50,9 +45,5 @@ fn main() {
             summary.max, est_cost_ms, train_cost, cfg.epochs
         ));
     }
-    opts.write_csv(
-        "table1_mpsn.csv",
-        "mpsn,max_q_error,est_cost_ms,train_cost_s,epochs",
-        &csv,
-    );
+    opts.write_csv("table1_mpsn.csv", "mpsn,max_q_error,est_cost_ms,train_cost_s,epochs", &csv);
 }

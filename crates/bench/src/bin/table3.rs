@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run -p duet-bench --release --bin table3`.
 
-use duet_bench::{build_workloads, BenchOptions, Dataset};
 use duet_baselines::{NaruEstimator, UaeConfig, UaeEstimator};
+use duet_bench::{build_workloads, BenchOptions, Dataset};
 use duet_core::{measure_training_throughput, TrainingWorkload};
 use std::time::Instant;
 
@@ -41,18 +41,13 @@ fn main() {
         let duet_cfg = dataset.duet_config(&opts).with_epochs(1);
         let steps = (table.num_rows() / duet_cfg.batch_size).clamp(2, 20);
         let duet_d_tput = measure_training_throughput(&table, &duet_cfg, None, steps, 3);
-        let workload = TrainingWorkload {
-            queries: &workloads.train,
-            cardinalities: &workloads.train_cards,
-        };
+        let workload =
+            TrainingWorkload { queries: &workloads.train, cardinalities: &workloads.train_cards };
         let duet_tput = measure_training_throughput(&table, &duet_cfg, Some(workload), steps, 3);
 
-        for (name, tput) in [
-            ("Naru", naru_tput),
-            ("UAE", uae_tput),
-            ("DuetD", duet_d_tput),
-            ("Duet", duet_tput),
-        ] {
+        for (name, tput) in
+            [("Naru", naru_tput), ("UAE", uae_tput), ("DuetD", duet_d_tput), ("Duet", duet_tput)]
+        {
             println!("{name:>6}: {tput:>12.1} tuples/s");
             csv.push(format!("{},{},{:.1}", dataset.name(), name, tput));
         }

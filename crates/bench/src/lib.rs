@@ -281,7 +281,11 @@ pub fn build_all_estimators(
 ) -> Vec<Box<dyn CardinalityEstimator>> {
     let mut out: Vec<Box<dyn CardinalityEstimator>> = Vec::new();
     println!("[{}] building traditional estimators", dataset.name());
-    out.push(Box::new(SamplingEstimator::new(table, 0.01_f64.max(500.0 / table.num_rows() as f64).min(1.0), 3)));
+    out.push(Box::new(SamplingEstimator::new(
+        table,
+        0.01_f64.max(500.0 / table.num_rows() as f64).min(1.0),
+        3,
+    )));
     out.push(Box::new(IndependenceEstimator::new(table)));
     out.push(Box::new(MHist::new(table, 512)));
 
@@ -366,8 +370,7 @@ mod tests {
 
     #[test]
     fn options_scale_rows() {
-        let mut opts = BenchOptions::default();
-        opts.scale = 2.0;
+        let mut opts = BenchOptions { scale: 2.0, ..BenchOptions::default() };
         assert_eq!(opts.rows(1_000), 2_000);
         opts.scale = 0.001;
         assert_eq!(opts.rows(1_000), 500, "row counts are floored at 500");
@@ -375,8 +378,7 @@ mod tests {
 
     #[test]
     fn dataset_tables_have_expected_shapes() {
-        let mut opts = BenchOptions::default();
-        opts.scale = 0.1;
+        let opts = BenchOptions { scale: 0.1, ..BenchOptions::default() };
         assert_eq!(Dataset::Dmv.table(&opts).num_columns(), 11);
         assert_eq!(Dataset::Kddcup98.table(&opts).num_columns(), 100);
         assert_eq!(Dataset::Census.table(&opts).num_columns(), 14);
@@ -384,10 +386,12 @@ mod tests {
 
     #[test]
     fn workloads_are_labelled_and_sized() {
-        let mut opts = BenchOptions::default();
-        opts.scale = 0.1;
-        opts.test_queries = 20;
-        opts.train_queries = 30;
+        let opts = BenchOptions {
+            scale: 0.1,
+            test_queries: 20,
+            train_queries: 30,
+            ..BenchOptions::default()
+        };
         let table = Dataset::Census.table(&opts);
         let w = build_workloads(&table, &opts);
         assert_eq!(w.train.len(), 30);
@@ -398,9 +402,7 @@ mod tests {
 
     #[test]
     fn evaluate_reports_latency_and_errors() {
-        let mut opts = BenchOptions::default();
-        opts.scale = 0.1;
-        opts.test_queries = 10;
+        let opts = BenchOptions { scale: 0.1, test_queries: 10, ..BenchOptions::default() };
         let table = Dataset::Census.table(&opts);
         let w = build_workloads(&table, &opts);
         let mut indep = IndependenceEstimator::new(&table);

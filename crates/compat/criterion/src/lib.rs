@@ -1,0 +1,208 @@
+//! In-repo stand-in for the subset of `criterion` the workspace benches use:
+//! [`Criterion`], [`Criterion::benchmark_group`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It is a plain wall-clock harness, not a statistics engine: each benchmark
+//! is warmed up, then timed in growing batches until a fixed time budget is
+//! reached, and the mean time per iteration (plus iteration throughput) is
+//! printed to stdout. That is enough for the relative comparisons the
+//! workspace benches make (e.g. batched serving vs. a one-query-at-a-time
+//! loop) while keeping `cargo bench` runnable offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark after warm-up, at the default
+/// `sample_size` of 100; the budget scales linearly with `sample_size`.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// The top-level benchmark harness.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the sample count. This harness has no per-sample statistics; the
+    /// value scales the measurement time budget instead (`sample_size(10)`
+    /// spends a tenth of the default budget), preserving criterion's
+    /// "smaller sample size = faster bench" contract.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup { prefix: name, criterion: self }
+    }
+
+    /// Run a single benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for this group (see [`Criterion::sample_size`]).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.prefix);
+        run_bench(&full, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    budget: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, discarding its output via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also provides a first cost estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        // Size batches to roughly 1/20th of the budget each.
+        let budget = if self.budget.is_zero() { MEASURE_BUDGET } else { self.budget };
+        let batch = (budget.as_nanos() / 20 / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+        let mut iterations = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iterations += batch;
+        }
+        self.iterations = iterations;
+        self.elapsed = started.elapsed();
+    }
+
+    /// Mean nanoseconds per iteration of the last [`Bencher::iter`] run.
+    pub fn ns_per_iter(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iterations as f64
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // 100 samples (criterion's default) maps to the full budget.
+    let mut b = Bencher {
+        budget: MEASURE_BUDGET.mul_f64(sample_size as f64 / 100.0).max(Duration::from_millis(10)),
+        ..Bencher::default()
+    };
+    f(&mut b);
+    let ns = b.ns_per_iter();
+    let throughput = if ns > 0.0 { 1e9 / ns } else { 0.0 };
+    println!(
+        "  {name:<42} {:>12.1} ns/iter {:>14.0} iter/s ({} iters)",
+        ns, throughput, b.iterations
+    );
+}
+
+/// Bundle benchmark functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut ns = 0.0;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ns = b.ns_per_iter();
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("inner", |b| {
+            b.iter(|| black_box(2 * 2));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

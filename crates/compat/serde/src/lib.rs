@@ -1,0 +1,24 @@
+//! In-repo stand-in for the subset of `serde` this workspace touches.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` (for API
+//! compatibility with downstream users); nothing ever goes through a serde
+//! serializer — model checkpoints use the hand-written binary codec in
+//! `duet_nn::serialize`. Since the build environment cannot reach crates.io,
+//! this crate provides the two marker traits and re-exports the no-op derive
+//! macros from the sibling `serde_derive` compat crate.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The real trait's methods are never called in this workspace, so the
+/// compat version carries no items.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// The real trait's methods are never called in this workspace, so the
+/// compat version carries no items.
+pub trait Deserialize<'de>: Sized {}

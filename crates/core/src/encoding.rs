@@ -17,8 +17,8 @@
 //!   mirroring Naru's wildcard skipping: a valid predicate always has exactly
 //!   one operator bit set, so the all-zero pattern is unambiguous.
 
-use duet_query::PredOp;
 use duet_data::Table;
+use duet_query::PredOp;
 use serde::{Deserialize, Serialize};
 
 /// Number of predicate operators (width of the one-hot operator encoding).

@@ -125,9 +125,47 @@ impl DuetEstimator {
         }
     }
 
+    /// Estimate a batch of queries with **one** `N×W` forward pass through
+    /// the backbone instead of `N` single-row passes.
+    ///
+    /// Because the forward pass is row-independent, every returned value is
+    /// bit-identical to the corresponding single-query
+    /// [`CardinalityEstimator::estimate`] result; batching only changes
+    /// throughput. This is the inference path the `duet-serve` micro-batcher
+    /// coalesces concurrent requests into.
+    pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        let rows: Vec<_> =
+            queries.iter().map(|q| query_to_id_predicates(&self.schema, q)).collect();
+        let intervals: Vec<_> = queries.iter().map(|q| q.column_intervals(&self.schema)).collect();
+        self.estimate_encoded_batch(&rows, &intervals)
+    }
+
+    /// [`DuetEstimator::estimate_batch`] for queries whose id-space
+    /// predicates and column intervals were already computed (via
+    /// [`query_to_id_predicates`] / [`Query::column_intervals`] against this
+    /// estimator's schema).
+    ///
+    /// Callers that need the encoding for their own purposes — like the
+    /// `duet-serve` result cache, which keys on it — use this to avoid
+    /// encoding every query twice.
+    pub fn estimate_encoded_batch(
+        &self,
+        rows: &[Vec<Vec<crate::encoding::IdPredicate>>],
+        intervals: &[Vec<(u32, u32)>],
+    ) -> Vec<f64> {
+        self.model
+            .estimate_selectivity_batch(rows, intervals)
+            .into_iter()
+            .map(|sel| sel * self.num_rows as f64)
+            .collect()
+    }
+
     /// Estimate a whole workload (convenience for the experiment harness).
-    pub fn estimate_many(&mut self, queries: &[Query]) -> Vec<f64> {
-        queries.iter().map(|q| self.estimate_query(q)).collect()
+    ///
+    /// Routed through [`DuetEstimator::estimate_batch`] so the per-query and
+    /// batched paths cannot drift apart.
+    pub fn estimate_many(&self, queries: &[Query]) -> Vec<f64> {
+        self.estimate_batch(queries)
     }
 
     fn estimate_query(&self, query: &Query) -> f64 {
@@ -148,10 +186,7 @@ impl CardinalityEstimator for DuetEstimator {
     }
 
     fn size_bytes(&self) -> usize {
-        // `size_bytes` needs `&mut` access internally; clone the cheap counter
-        // path instead of requiring exclusive access here.
-        let mut model = self.model.clone();
-        model.size_bytes()
+        self.model.size_bytes()
     }
 }
 
@@ -234,6 +269,31 @@ mod tests {
         let batch = est.estimate_many(&queries);
         for (q, &b) in queries.iter().zip(&batch) {
             assert_eq!(est.estimate(q), b);
+        }
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_identical_to_single_queries() {
+        let (table, mut est) = trained(400, 2);
+        let queries = WorkloadSpec::random(&table, 37, 13).generate(&table);
+        let batch = est.estimate_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, &b) in queries.iter().zip(&batch) {
+            assert_eq!(est.estimate(q), b, "batched estimate must be bit-identical");
+        }
+        assert!(est.estimate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_identical_with_mpsn() {
+        use crate::config::MpsnKind;
+        let table = census_like(300, 8);
+        let cfg = DuetConfig::small().with_epochs(1).with_mpsn(MpsnKind::Mlp, 2);
+        let mut est = DuetEstimator::train_data_only(&table, &cfg, 5);
+        let queries = WorkloadSpec::random(&table, 12, 21).generate(&table);
+        let batch = est.estimate_batch(&queries);
+        for (q, &b) in queries.iter().zip(&batch) {
+            assert_eq!(est.estimate(q), b, "MPSN batched estimate must be bit-identical");
         }
     }
 }

@@ -16,6 +16,9 @@ pub struct DuetModel {
     encoder: Encoder,
     made: Made,
     mpsns: Vec<ColumnMpsn>,
+    /// Cached at construction so size queries need no mutable access; the
+    /// architecture (and therefore the count) is fixed for a model's lifetime.
+    num_params: usize,
 }
 
 impl DuetModel {
@@ -31,12 +34,21 @@ impl DuetModel {
                 config.hidden_sizes.len(),
             )
         } else {
-            MadeConfig::made(encoder.block_widths(), encoder.output_sizes(), config.hidden_sizes.clone())
+            MadeConfig::made(
+                encoder.block_widths(),
+                encoder.output_sizes(),
+                config.hidden_sizes.clone(),
+            )
         };
         let mut rng = seeded_rng(seed);
         let made = Made::new(made_config, &mut rng);
-        let mpsns = build_mpsns(config.mpsn, &encoder.block_widths(), config.mpsn_hidden, seed ^ 0xa5a5);
-        Self { config: config.clone(), encoder, made, mpsns }
+        let mpsns =
+            build_mpsns(config.mpsn, &encoder.block_widths(), config.mpsn_hidden, seed ^ 0xa5a5);
+        let mut model = Self { config: config.clone(), encoder, made, mpsns, num_params: 0 };
+        let mut n = 0;
+        model.visit_params(&mut |p| n += p.len());
+        model.num_params = n;
+        model
     }
 
     /// The model's configuration.
@@ -93,10 +105,8 @@ impl DuetModel {
                     None => out.extend(self.encoder.wildcard(col)),
                 }
             } else {
-                let encodings: Vec<Vec<f32>> = col_preds
-                    .iter()
-                    .map(|p| self.encoder.encode_predicate(col, p))
-                    .collect();
+                let encodings: Vec<Vec<f32>> =
+                    col_preds.iter().map(|p| self.encoder.encode_predicate(col, p)).collect();
                 out.extend(self.mpsns[col].embed(&encodings));
             }
         }
@@ -164,6 +174,30 @@ impl DuetModel {
         self.selectivity_from_logits(logits.row(0), intervals)
     }
 
+    /// Estimate the selectivities of `N` query rows with **one** `N×W`
+    /// forward pass through the backbone.
+    ///
+    /// The forward pass is row-independent (every matmul accumulates along
+    /// the shared dimension in a fixed order, per output row), so each result
+    /// is bit-identical to what [`DuetModel::estimate_selectivity`] returns
+    /// for the same row — batching is purely a throughput optimization, which
+    /// the serving layer (`duet-serve`) relies on for determinism.
+    pub fn estimate_selectivity_batch(
+        &self,
+        rows: &[Vec<Vec<IdPredicate>>],
+        intervals: &[Vec<(u32, u32)>],
+    ) -> Vec<f64> {
+        assert_eq!(rows.len(), intervals.len(), "rows/intervals length mismatch");
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let input = self.input_matrix(rows);
+        let logits = self.forward_inference(&input);
+        (0..rows.len())
+            .map(|r| self.selectivity_from_logits(logits.row(r), &intervals[r]))
+            .collect()
+    }
+
     /// Visit every trainable parameter (backbone + MPSNs).
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.made.visit_params(f);
@@ -177,15 +211,13 @@ impl DuetModel {
         self.visit_params(&mut |p| p.zero_grad());
     }
 
-    /// Total number of trainable scalars.
-    pub fn num_parameters(&mut self) -> usize {
-        let mut n = 0;
-        self.visit_params(&mut |p| n += p.len());
-        n
+    /// Total number of trainable scalars (cached at construction).
+    pub fn num_parameters(&self) -> usize {
+        self.num_params
     }
 
     /// Model size in bytes (`f32` parameters), as reported in Table II.
-    pub fn size_bytes(&mut self) -> usize {
+    pub fn size_bytes(&self) -> usize {
         self.num_parameters() * std::mem::size_of::<f32>()
     }
 }
@@ -269,9 +301,7 @@ mod tests {
     #[test]
     fn contradictory_query_has_zero_selectivity() {
         let (table, model) = model(MpsnKind::None);
-        let q = Query::all()
-            .and(0, PredOp::Lt, Value::Int(1))
-            .and(0, PredOp::Gt, Value::Int(50));
+        let q = Query::all().and(0, PredOp::Lt, Value::Int(1)).and(0, PredOp::Gt, Value::Int(50));
         let preds = query_to_id_predicates(&table, &q);
         let intervals = q.column_intervals(&table);
         assert_eq!(model.estimate_selectivity(&preds, &intervals), 0.0);
@@ -316,8 +346,8 @@ mod tests {
 
     #[test]
     fn param_count_includes_mpsn() {
-        let (_, mut without) = model(MpsnKind::None);
-        let (_, mut with) = model(MpsnKind::Mlp);
+        let (_, without) = model(MpsnKind::None);
+        let (_, with) = model(MpsnKind::Mlp);
         assert!(with.num_parameters() > without.num_parameters());
         assert_eq!(with.size_bytes(), with.num_parameters() * 4);
     }

@@ -24,6 +24,9 @@ use duet_nn::{seeded_rng, Init, Layer, Linear, Matrix, Mlp, Param};
 use rand::rngs::SmallRng;
 
 /// A per-column MPSN instance.
+// Variant sizes differ, but a model holds at most one per column, so boxing
+// the larger variants would add a pointer chase per embed for nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ColumnMpsn {
     /// MLP embedding + vector sum.
@@ -261,9 +264,7 @@ impl RecursiveMpsn {
             input.extend_from_slice(&preds[t]);
             input.extend_from_slice(prev);
             let _ = self.cell.forward(&Matrix::from_vec(1, 2 * self.dim, input));
-            let gin = self
-                .cell
-                .backward(&Matrix::from_vec(1, self.dim, grad.clone()));
+            let gin = self.cell.backward(&Matrix::from_vec(1, self.dim, grad.clone()));
             // The second half of the input gradient flows to out_{t-1}.
             grad = gin.as_slice()[self.dim..].to_vec();
         }
@@ -281,10 +282,7 @@ pub fn build_mpsns(
         return Vec::new();
     }
     let mut rng = seeded_rng(seed);
-    block_widths
-        .iter()
-        .map(|&dim| ColumnMpsn::new(kind, dim, hidden, &mut rng))
-        .collect()
+    block_widths.iter().map(|&dim| ColumnMpsn::new(kind, dim, hidden, &mut rng)).collect()
 }
 
 /// The merged-MLP acceleration (paper §IV-F, "Parallel Acceleration for MLP
@@ -336,8 +334,7 @@ impl MergedMlpMpsn {
                         w.set(in_off + i, out_off + j, l.weight().get(i, j));
                     }
                 }
-                b[out_off..out_off + l.out_features()]
-                    .copy_from_slice(l.bias().as_slice());
+                b[out_off..out_off + l.out_features()].copy_from_slice(l.bias().as_slice());
                 in_off += l.in_features();
                 out_off += l.out_features();
             }
@@ -473,6 +470,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // `idx` addresses the perturbed weight and `analytic` in lockstep
     fn mlp_gradient_matches_finite_differences() {
         let mut rng = seeded_rng(4);
         let mut m = ColumnMpsn::new(MpsnKind::Mlp, 4, 8, &mut rng);
@@ -521,11 +519,8 @@ mod tests {
         let widths = vec![7, 5, 9];
         let mpsns = build_mpsns(MpsnKind::Mlp, &widths, 16, 77);
         let merged = MergedMlpMpsn::from_columns(&mpsns);
-        let preds_per_col = vec![
-            vec![pred_vec(7, 0.2), pred_vec(7, 0.8)],
-            vec![],
-            vec![pred_vec(9, 1.5)],
-        ];
+        let preds_per_col =
+            vec![vec![pred_vec(7, 0.2), pred_vec(7, 0.8)], vec![], vec![pred_vec(9, 1.5)]];
         let fused = merged.embed_all(&preds_per_col);
         let mut expected = Vec::new();
         for (m, preds) in mpsns.iter().zip(&preds_per_col) {

@@ -9,7 +9,9 @@
 use crate::estimator::DuetEstimator;
 use crate::trainer::ModelParams;
 use bytes::Bytes;
-use duet_nn::serialize::{load_params, save_params, CheckpointError};
+use duet_nn::serialize::{load_params, save_params};
+
+pub use duet_nn::serialize::CheckpointError;
 
 /// Serialize the estimator's weights (backbone + MPSNs) into a checkpoint.
 pub fn save_weights(estimator: &mut DuetEstimator) -> Bytes {
@@ -54,7 +56,8 @@ mod tests {
     #[test]
     fn loading_into_a_different_architecture_fails() {
         let table = census_like(300, 42);
-        let mut small = DuetEstimator::train_data_only(&table, &DuetConfig::small().with_epochs(1), 1);
+        let mut small =
+            DuetEstimator::train_data_only(&table, &DuetConfig::small().with_epochs(1), 1);
         let checkpoint = save_weights(&mut small);
 
         let mut other_cfg = DuetConfig::small();

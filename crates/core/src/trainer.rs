@@ -214,11 +214,7 @@ fn backprop_mpsn_rows(model: &mut DuetModel, rows: &[Vec<Vec<IdPredicate>>], gra
     backprop_mpsn_impl(model, &refs, grad_input);
 }
 
-fn backprop_mpsn_impl(
-    model: &mut DuetModel,
-    rows: &[&Vec<Vec<IdPredicate>>],
-    grad_input: &Matrix,
-) {
+fn backprop_mpsn_impl(model: &mut DuetModel, rows: &[&Vec<Vec<IdPredicate>>], grad_input: &Matrix) {
     if model.mpsns().is_empty() {
         return;
     }
@@ -232,10 +228,8 @@ fn backprop_mpsn_impl(
             if preds.is_empty() {
                 continue;
             }
-            let encodings: Vec<Vec<f32>> = preds
-                .iter()
-                .map(|p| encoder.encode_predicate(col, p))
-                .collect();
+            let encodings: Vec<Vec<f32>> =
+                preds.iter().map(|p| encoder.encode_predicate(col, p)).collect();
             let grad_block = &grad_input.row(r)[offset..offset + width];
             model.mpsns_mut()[col].accumulate_grad(&encodings, grad_block);
         }
@@ -261,12 +255,14 @@ fn next_query_batch<'a>(
 /// Returns `(mean log2(QError+1), mean QError, grad wrt input, rows)` where
 /// the gradient already includes the λ scaling so it can simply be accumulated
 /// on top of the data-pass gradients.
+type QueryPassOutput = (f64, f64, Option<Matrix>, Option<Vec<Vec<Vec<IdPredicate>>>>);
+
 fn query_pass(
     model: &mut DuetModel,
     batch: &[&PreparedQuery],
     num_rows: f64,
     lambda: f64,
-) -> (f64, f64, Option<Matrix>, Option<Vec<Vec<Vec<IdPredicate>>>>) {
+) -> QueryPassOutput {
     if batch.is_empty() {
         return (0.0, 1.0, None, None);
     }
@@ -375,9 +371,7 @@ pub fn measure_training_throughput(
 /// Deterministically pick `n` row indices (used by tests).
 pub fn pick_rows(table: &Table, n: usize, seed: u64) -> Vec<usize> {
     let mut rng = seeded_rng(seed);
-    (0..n.min(table.num_rows()))
-        .map(|_| rng.gen_range(0..table.num_rows()))
-        .collect()
+    (0..n.min(table.num_rows())).map(|_| rng.gen_range(0..table.num_rows())).collect()
 }
 
 #[cfg(test)]
@@ -439,11 +433,8 @@ mod tests {
             v
         };
         assert_eq!(before.len(), after.len());
-        let changed = before
-            .iter()
-            .zip(after.iter())
-            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
-            .count();
+        let changed =
+            before.iter().zip(after.iter()).filter(|(a, b)| (*a - *b).abs() > 1e-9).count();
         assert!(
             changed > before.len() / 2,
             "most parameters (including MPSN) should move during training"

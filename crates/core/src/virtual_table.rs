@@ -175,10 +175,8 @@ mod tests {
         let cfg = SamplerConfig { expand_mu: 1, wildcard_prob: 0.4, max_predicates_per_column: 1 };
         let batch = sample_virtual_batch(&t, &rows, &cfg, &mut rng);
         let total: usize = batch.iter().map(|vt| vt.predicates.len()).sum();
-        let wildcards: usize = batch
-            .iter()
-            .map(|vt| vt.predicates.iter().filter(|p| p.is_empty()).count())
-            .sum();
+        let wildcards: usize =
+            batch.iter().map(|vt| vt.predicates.iter().filter(|p| p.is_empty()).count()).sum();
         let frac = wildcards as f64 / total as f64;
         assert!((frac - 0.4).abs() < 0.05, "wildcard fraction {frac} far from 0.4");
     }
@@ -202,11 +200,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let cfg = SamplerConfig { expand_mu: 1, wildcard_prob: 0.0, max_predicates_per_column: 3 };
         let batch = sample_virtual_batch(&t, &(0..100).collect::<Vec<_>>(), &cfg, &mut rng);
-        let max_seen = batch
-            .iter()
-            .flat_map(|vt| vt.predicates.iter().map(|p| p.len()))
-            .max()
-            .unwrap();
+        let max_seen =
+            batch.iter().flat_map(|vt| vt.predicates.iter().map(|p| p.len())).max().unwrap();
         assert!(max_seen > 1 && max_seen <= 3);
     }
 }

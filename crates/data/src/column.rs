@@ -127,13 +127,7 @@ mod tests {
     fn sample_column() -> Column {
         Column::from_values(
             "c",
-            &[
-                Value::Int(30),
-                Value::Int(10),
-                Value::Int(20),
-                Value::Int(10),
-                Value::Int(30),
-            ],
+            &[Value::Int(30), Value::Int(10), Value::Int(20), Value::Int(10), Value::Int(30)],
         )
     }
 
@@ -168,11 +162,7 @@ mod tests {
 
     #[test]
     fn from_encoded_accepts_valid_input() {
-        let col = Column::from_encoded(
-            "e",
-            vec![Value::Int(1), Value::Int(5)],
-            vec![0, 1, 1, 0],
-        );
+        let col = Column::from_encoded("e", vec![Value::Int(1), Value::Int(5)], vec![0, 1, 1, 0]);
         assert_eq!(col.ndv(), 2);
         assert_eq!(col.value_of_id(1), &Value::Int(5));
     }

@@ -110,18 +110,11 @@ pub fn read_csv<R: Read>(name: &str, reader: R) -> Result<Table, CsvError> {
 
 /// Write a table back out as CSV.
 pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> io::Result<()> {
-    let header: Vec<String> = table
-        .columns()
-        .iter()
-        .map(|c| quote_field(c.name()))
-        .collect();
+    let header: Vec<String> = table.columns().iter().map(|c| quote_field(c.name())).collect();
     writeln!(writer, "{}", header.join(","))?;
     for row in 0..table.num_rows() {
-        let fields: Vec<String> = table
-            .columns()
-            .iter()
-            .map(|c| quote_field(&value_to_field(c.value_at(row))))
-            .collect();
+        let fields: Vec<String> =
+            table.columns().iter().map(|c| quote_field(&value_to_field(c.value_at(row)))).collect();
         writeln!(writer, "{}", fields.join(","))?;
     }
     Ok(())

@@ -71,17 +71,11 @@ impl SyntheticSpec {
         // without it the most frequent value would always be the smallest one,
         // which would make range queries unrealistically easy.
         let cdfs: Vec<Vec<f64>> = self.columns.iter().map(|c| zipf_cdf(c.ndv, c.zipf_s)).collect();
-        let perms: Vec<Vec<u32>> = self
-            .columns
-            .iter()
-            .map(|c| random_permutation(c.ndv, &mut rng))
-            .collect();
+        let perms: Vec<Vec<u32>> =
+            self.columns.iter().map(|c| random_permutation(c.ndv, &mut rng)).collect();
 
-        let mut column_data: Vec<Vec<u32>> = self
-            .columns
-            .iter()
-            .map(|_| Vec::with_capacity(self.rows))
-            .collect();
+        let mut column_data: Vec<Vec<u32>> =
+            self.columns.iter().map(|_| Vec::with_capacity(self.rows)).collect();
 
         for _ in 0..self.rows {
             // One latent factor per row drives correlated columns.

@@ -77,10 +77,7 @@ impl Table {
     /// experiment, Figure 6, which trains on 100 columns and queries subsets).
     pub fn project_prefix(&self, k: usize) -> Table {
         assert!(k >= 1 && k <= self.num_columns(), "invalid projection width {k}");
-        Table::new(
-            format!("{}_first{k}", self.name),
-            self.columns[..k].to_vec(),
-        )
+        Table::new(format!("{}_first{k}", self.name), self.columns[..k].to_vec())
     }
 
     /// Restrict the table to its first `n` rows (used to scale experiments).
@@ -112,7 +109,9 @@ impl Table {
         let columns = self
             .columns
             .iter()
-            .map(|c| Column::from_encoded(c.name().to_string(), c.dictionary().to_vec(), Vec::new()))
+            .map(|c| {
+                Column::from_encoded(c.name().to_string(), c.dictionary().to_vec(), Vec::new())
+            })
             .collect();
         Table { name: self.name.clone(), columns, num_rows: 0 }
     }

@@ -43,10 +43,7 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mask = self
-            .cached_mask
-            .as_ref()
-            .expect("ReLU::backward called before forward");
+        let mask = self.cached_mask.as_ref().expect("ReLU::backward called before forward");
         let mut grad = grad_out.clone();
         grad.mul_assign(mask);
         grad

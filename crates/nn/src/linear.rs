@@ -71,10 +71,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Linear::backward called before forward");
+        let input = self.cached_input.as_ref().expect("Linear::backward called before forward");
         // dW = input^T @ grad_out
         let dw = input.matmul_tn(grad_out);
         self.weight.grad.add_assign(&dw);
@@ -116,15 +113,8 @@ impl MaskedLinear {
         init: Init,
         rng: &mut SmallRng,
     ) -> Self {
-        assert_eq!(
-            mask.shape(),
-            (in_features, out_features),
-            "mask shape must match weight shape"
-        );
-        debug_assert!(
-            mask.as_slice().iter().all(|&x| x == 0.0 || x == 1.0),
-            "mask must be binary"
-        );
+        assert_eq!(mask.shape(), (in_features, out_features), "mask shape must match weight shape");
+        debug_assert!(mask.as_slice().iter().all(|&x| x == 0.0 || x == 1.0), "mask must be binary");
         Self {
             weight: Param::new(init.matrix(in_features, out_features, rng)),
             bias: Param::new(Matrix::zeros(1, out_features)),
@@ -174,10 +164,8 @@ impl Layer for MaskedLinear {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("MaskedLinear::backward called before forward");
+        let input =
+            self.cached_input.as_ref().expect("MaskedLinear::backward called before forward");
         let mut dw = input.matmul_tn(grad_out);
         dw.mul_assign(&self.mask);
         self.weight.grad.add_assign(&dw);

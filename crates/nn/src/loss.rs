@@ -67,6 +67,7 @@ pub fn softmax_blocks(logits: &Matrix, blocks: &[usize]) -> Matrix {
 ///
 /// Returns `(mean loss, dL/dlogits)` where the loss is averaged over the batch
 /// and *summed* over columns (matching Naru/Duet's `sum_i CE_i`).
+#[allow(clippy::needless_range_loop)] // `r` indexes logits, grad and labels in lockstep
 pub fn grouped_cross_entropy(
     logits: &Matrix,
     blocks: &[usize],
@@ -107,11 +108,8 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
     let n = pred.len().max(1) as f32;
     let mut grad = Matrix::zeros(pred.rows(), pred.cols());
     let mut loss = 0.0f64;
-    for ((g, &p), &t) in grad
-        .as_mut_slice()
-        .iter_mut()
-        .zip(pred.as_slice().iter())
-        .zip(target.as_slice().iter())
+    for ((g, &p), &t) in
+        grad.as_mut_slice().iter_mut().zip(pred.as_slice().iter()).zip(target.as_slice().iter())
     {
         let d = p - t;
         loss += (d * d) as f64;
@@ -173,7 +171,8 @@ mod tests {
 
     #[test]
     fn grouped_cross_entropy_gradient_sums_to_zero_per_block() {
-        let logits = Matrix::from_vec(2, 5, vec![0.1, 0.2, 0.3, 0.4, 0.5, 1.0, -1.0, 0.0, 2.0, 0.5]);
+        let logits =
+            Matrix::from_vec(2, 5, vec![0.1, 0.2, 0.3, 0.4, 0.5, 1.0, -1.0, 0.0, 2.0, 0.5]);
         let (_, grad) = grouped_cross_entropy(&logits, &[2, 3], &[vec![1, 0], vec![0, 2]]);
         for r in 0..2 {
             let row = grad.row(r);

@@ -75,7 +75,7 @@ impl MadeConfig {
 fn input_degrees(block_sizes: &[usize]) -> Vec<usize> {
     let mut degrees = Vec::with_capacity(block_sizes.iter().sum());
     for (col, &w) in block_sizes.iter().enumerate() {
-        degrees.extend(std::iter::repeat(col).take(w));
+        degrees.extend(std::iter::repeat_n(col, w));
     }
     degrees
 }
@@ -91,24 +91,12 @@ fn hidden_degrees(width: usize, num_columns: usize) -> Vec<usize> {
 /// Mask between two non-output layers: connection allowed iff
 /// `deg(next) >= deg(prev)`.
 fn hidden_mask(prev: &[usize], next: &[usize]) -> Matrix {
-    Matrix::from_fn(prev.len(), next.len(), |i, j| {
-        if next[j] >= prev[i] {
-            1.0
-        } else {
-            0.0
-        }
-    })
+    Matrix::from_fn(prev.len(), next.len(), |i, j| if next[j] >= prev[i] { 1.0 } else { 0.0 })
 }
 
 /// Mask into the output layer: connection allowed iff `deg(out) > deg(prev)`.
 fn output_mask(prev: &[usize], out: &[usize]) -> Matrix {
-    Matrix::from_fn(prev.len(), out.len(), |i, j| {
-        if out[j] > prev[i] {
-            1.0
-        } else {
-            0.0
-        }
-    })
+    Matrix::from_fn(prev.len(), out.len(), |i, j| if out[j] > prev[i] { 1.0 } else { 0.0 })
 }
 
 /// A residual block `y = x + W2·relu(W1·x)`, with both linears masked so that
@@ -160,10 +148,7 @@ impl Layer for ResBlock {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let pre = self
-            .cached_pre
-            .as_ref()
-            .expect("ResBlock::backward called before forward");
+        let pre = self.cached_pre.as_ref().expect("ResBlock::backward called before forward");
         let mut grad_act = self.fc2.backward(grad_out);
         // ReLU gate.
         for (g, p) in grad_act.as_mut_slice().iter_mut().zip(pre.as_slice().iter()) {
@@ -182,6 +167,9 @@ impl Layer for ResBlock {
     }
 }
 
+// Variant sizes differ, but a model holds only a handful of stages, so
+// boxing the large variant would cost a pointer chase per layer for nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum Stage {
     /// Masked linear followed by ReLU.
@@ -233,13 +221,7 @@ impl Made {
             let h_deg = hidden_degrees(hidden, n);
             let mask = hidden_mask(&prev_deg, &h_deg);
             stages.push(Stage::MaskedRelu {
-                linear: MaskedLinear::new(
-                    prev_deg.len(),
-                    hidden,
-                    mask,
-                    Init::KaimingUniform,
-                    rng,
-                ),
+                linear: MaskedLinear::new(prev_deg.len(), hidden, mask, Init::KaimingUniform, rng),
                 cached_pre: None,
             });
             prev_deg = h_deg;
@@ -373,9 +355,7 @@ impl Layer for Made {
         for stage in self.stages.iter_mut().rev() {
             grad = match stage {
                 Stage::MaskedRelu { linear, cached_pre } => {
-                    let pre = cached_pre
-                        .as_ref()
-                        .expect("Made::backward called before forward");
+                    let pre = cached_pre.as_ref().expect("Made::backward called before forward");
                     let mut g = grad;
                     for (gv, pv) in g.as_mut_slice().iter_mut().zip(pre.as_slice().iter()) {
                         if *pv <= 0.0 {

@@ -31,7 +31,16 @@ pub struct Adam {
 impl Adam {
     /// Create Adam with the usual defaults (`beta1 = 0.9`, `beta2 = 0.999`).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: GradClip::None, step: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: GradClip::None,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Enable element-wise gradient clipping.

@@ -241,14 +241,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        matmul_into(
-            &self.data,
-            &other.data,
-            &mut out.data,
-            self.rows,
-            self.cols,
-            other.cols,
-        );
+        matmul_into(&self.data, &other.data, &mut out.data, self.rows, self.cols, other.cols);
         out
     }
 

@@ -41,7 +41,16 @@ impl QErrorSummary {
     /// slice.
     pub fn from_errors(errors: &[f64]) -> Self {
         if errors.is_empty() {
-            return Self { count: 0, mean: 0.0, median: 0.0, p75: 0.0, p90: 0.0, p95: 0.0, p99: 0.0, max: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                median: 0.0,
+                p75: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
         }
         let mut sorted: Vec<f64> = errors.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -61,11 +70,8 @@ impl QErrorSummary {
     /// Summarize estimates against ground truth directly.
     pub fn from_estimates(estimates: &[f64], actuals: &[u64]) -> Self {
         assert_eq!(estimates.len(), actuals.len(), "estimate/actual length mismatch");
-        let errors: Vec<f64> = estimates
-            .iter()
-            .zip(actuals.iter())
-            .map(|(&e, &a)| q_error(e, a as f64))
-            .collect();
+        let errors: Vec<f64> =
+            estimates.iter().zip(actuals.iter()).map(|(&e, &a)| q_error(e, a as f64)).collect();
         Self::from_errors(&errors)
     }
 

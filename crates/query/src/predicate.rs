@@ -122,10 +122,7 @@ mod tests {
     use super::*;
 
     fn column() -> Column {
-        Column::from_values(
-            "c",
-            &[Value::Int(10), Value::Int(20), Value::Int(30), Value::Int(20)],
-        )
+        Column::from_values("c", &[Value::Int(10), Value::Int(20), Value::Int(30), Value::Int(20)])
     }
 
     #[test]

@@ -67,13 +67,14 @@ impl Query {
     /// Algorithm 3, in interval form (every supported operator combination
     /// yields a contiguous id range).
     pub fn column_intervals(&self, table: &Table) -> Vec<(u32, u32)> {
-        let mut intervals: Vec<(u32, u32)> = table
-            .columns()
-            .iter()
-            .map(|c| (0u32, c.ndv() as u32))
-            .collect();
+        let mut intervals: Vec<(u32, u32)> =
+            table.columns().iter().map(|c| (0u32, c.ndv() as u32)).collect();
         for p in &self.predicates {
-            assert!(p.column < intervals.len(), "predicate references column {} outside table", p.column);
+            assert!(
+                p.column < intervals.len(),
+                "predicate references column {} outside table",
+                p.column
+            );
             let this = p.id_interval(table.column(p.column));
             intervals[p.column] = intersect(intervals[p.column], this);
         }
@@ -82,9 +83,7 @@ impl Query {
 
     /// Evaluate the query against one row of the table.
     pub fn matches_row(&self, table: &Table, row: usize) -> bool {
-        self.predicates
-            .iter()
-            .all(|p| p.matches(table.column(p.column).value_at(row)))
+        self.predicates.iter().all(|p| p.matches(table.column(p.column).value_at(row)))
     }
 }
 
@@ -150,9 +149,7 @@ mod tests {
     #[test]
     fn column_intervals_intersect_multiple_predicates() {
         let t = toy();
-        let q = Query::all()
-            .and(0, PredOp::Ge, Value::Int(2))
-            .and(0, PredOp::Le, Value::Int(3));
+        let q = Query::all().and(0, PredOp::Ge, Value::Int(2)).and(0, PredOp::Le, Value::Int(3));
         let iv = q.column_intervals(&t);
         assert_eq!(iv[0], (1, 3));
         assert_eq!(iv[1], (0, 4)); // unconstrained column keeps full range
@@ -161,9 +158,7 @@ mod tests {
     #[test]
     fn contradictory_predicates_give_empty_interval() {
         let t = toy();
-        let q = Query::all()
-            .and(0, PredOp::Lt, Value::Int(2))
-            .and(0, PredOp::Gt, Value::Int(3));
+        let q = Query::all().and(0, PredOp::Lt, Value::Int(2)).and(0, PredOp::Gt, Value::Int(3));
         assert_eq!(q.column_intervals(&t)[0], (0, 0));
     }
 
@@ -177,11 +172,8 @@ mod tests {
         let iv = q.column_intervals(&t);
         for row in 0..t.num_rows() {
             let by_pred = q.matches_row(&t, row);
-            let by_iv = t
-                .row_ids(row)
-                .iter()
-                .enumerate()
-                .all(|(c, &id)| id >= iv[c].0 && id < iv[c].1);
+            let by_iv =
+                t.row_ids(row).iter().enumerate().all(|(c, &id)| id >= iv[c].0 && id < iv[c].1);
             assert_eq!(by_pred, by_iv, "row {row}");
         }
     }

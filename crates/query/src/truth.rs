@@ -71,16 +71,15 @@ pub fn label_workload(table: &Table, queries: &[Query]) -> Vec<u64> {
     }
     let chunk = queries.len().div_ceil(threads);
     let mut out = vec![0u64; queries.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (q, o) in qchunk.iter().zip(ochunk.iter_mut()) {
                     *o = exact_cardinality(table, q);
                 }
             });
         }
-    })
-    .expect("ground-truth labelling thread panicked");
+    });
     out
 }
 
@@ -115,18 +114,14 @@ mod tests {
     #[test]
     fn conjunctions_are_intersections() {
         let t = toy();
-        let q = Query::all()
-            .and(0, PredOp::Eq, Value::Int(2))
-            .and(1, PredOp::Le, Value::Int(10));
+        let q = Query::all().and(0, PredOp::Eq, Value::Int(2)).and(1, PredOp::Le, Value::Int(10));
         assert_eq!(exact_cardinality(&t, &q), 1);
     }
 
     #[test]
     fn contradictions_select_nothing() {
         let t = toy();
-        let q = Query::all()
-            .and(0, PredOp::Gt, Value::Int(3))
-            .and(0, PredOp::Lt, Value::Int(2));
+        let q = Query::all().and(0, PredOp::Gt, Value::Int(3)).and(0, PredOp::Lt, Value::Int(2));
         assert_eq!(exact_cardinality(&t, &q), 0);
     }
 
@@ -152,9 +147,11 @@ mod tests {
         let t = census_like(1_000, 10);
         let queries: Vec<Query> = (0..200)
             .map(|i| {
-                Query::all()
-                    .and(i % 14, PredOp::Ge, Value::Int((i % 7) as i64))
-                    .and((i + 3) % 14, PredOp::Le, Value::Int((i % 11) as i64 + 20))
+                Query::all().and(i % 14, PredOp::Ge, Value::Int((i % 7) as i64)).and(
+                    (i + 3) % 14,
+                    PredOp::Le,
+                    Value::Int((i % 11) as i64 + 20),
+                )
             })
             .collect();
         let serial: Vec<u64> = queries.iter().map(|q| exact_cardinality(&t, q)).collect();

@@ -132,13 +132,8 @@ impl WorkloadSpec {
     /// Generate the workload deterministically.
     pub fn generate(&self, table: &Table) -> Vec<Query> {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let ncols = self
-            .max_columns
-            .unwrap_or(table.num_columns())
-            .min(table.num_columns());
-        (0..self.num_queries)
-            .map(|_| self.generate_one(table, ncols, &mut rng))
-            .collect()
+        let ncols = self.max_columns.unwrap_or(table.num_columns()).min(table.num_columns());
+        (0..self.num_queries).map(|_| self.generate_one(table, ncols, &mut rng)).collect()
     }
 
     fn generate_one(&self, table: &Table, ncols: usize, rng: &mut SmallRng) -> Query {
@@ -150,14 +145,12 @@ impl WorkloadSpec {
             let anchor_id = table.column(col).id_at(anchor_row);
             let bounded = matches!(&self.bounded_column, Some(b) if b.column == col);
             let literal_id = self.pick_literal_id(col, anchor_id, rng);
-            let n_preds = if !bounded
-                && self.max_predicates_per_column > 1
-                && table.column(col).ndv() > 2
-            {
-                rng.gen_range(1..=self.max_predicates_per_column)
-            } else {
-                1
-            };
+            let n_preds =
+                if !bounded && self.max_predicates_per_column > 1 && table.column(col).ndv() > 2 {
+                    rng.gen_range(1..=self.max_predicates_per_column)
+                } else {
+                    1
+                };
             if n_preds == 1 {
                 predicates.push(self.single_predicate(table, col, literal_id, bounded, rng));
             } else {
@@ -357,9 +350,8 @@ mod tests {
         let t = census_like(1_000, 4);
         let spec = WorkloadSpec::random(&t, 200, 5).with_multi_predicates(3);
         let queries = spec.generate(&t);
-        let any_multi = queries.iter().any(|q| {
-            q.predicates_by_column().iter().any(|(_, ps)| ps.len() > 1)
-        });
+        let any_multi =
+            queries.iter().any(|q| q.predicates_by_column().iter().any(|(_, ps)| ps.len() > 1));
         assert!(any_multi, "expected some column with multiple predicates");
         // Multi-predicate ranges around an anchor must still be satisfiable.
         for q in &queries {
@@ -381,7 +373,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         let n = 20_000;
         let (shape, scale) = (2.0, 1.5);
-        let mean: f64 = (0..n).map(|_| sample_gamma(shape, scale, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 =
+            (0..n).map(|_| sample_gamma(shape, scale, &mut rng)).sum::<f64>() / n as f64;
         assert!((mean - shape * scale).abs() < 0.1, "gamma mean off: {mean}");
     }
 

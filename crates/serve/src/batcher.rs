@@ -1,0 +1,248 @@
+//! The micro-batching engine: coalesces concurrent estimate requests into
+//! one `N×W` forward pass.
+//!
+//! One worker thread per table owns the receiving end of an MPSC channel.
+//! When a request arrives the worker opportunistically drains whatever else
+//! is already queued, then waits up to [`BatchConfig::batch_window`] for
+//! stragglers (bounded by [`BatchConfig::max_batch_size`]), and runs the
+//! whole batch through [`DuetEstimator::estimate_encoded_batch`] — a single
+//! matrix forward pass instead of N row passes, fed by the per-request
+//! encodings the server already computed for the cache keys.
+//!
+//! Because the batched path is bit-identical to the single-query path (see
+//! `duet_core::estimator`), the batch composition a request happens to land
+//! in can never change its answer: concurrent clients always observe the
+//! same estimates a serial client would.
+
+use crate::cache::{CacheKey, ShardedCache};
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelSlot;
+use duet_core::{DuetEstimator, IdPredicate};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the micro-batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Largest number of queries fused into one forward pass.
+    pub max_batch_size: usize,
+    /// How long a non-full batch waits for stragglers after its first
+    /// request arrived.
+    ///
+    /// The default is zero: the worker only drains what is already queued,
+    /// so batching emerges from backlog under load and a lone request pays
+    /// no artificial delay. A positive window trades latency for larger
+    /// batches when clients are pipelined/asynchronous; with *blocking*
+    /// clients it can backfire (everyone waits on the worker, the worker
+    /// waits on the window).
+    pub batch_window: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_batch_size: 64, batch_window: Duration::ZERO }
+    }
+}
+
+/// One queued estimation request, already encoded against the table schema
+/// (the same encoding the cache key was derived from, so nothing is
+/// translated twice on the serving hot path).
+pub(crate) struct EstimateRequest {
+    /// Per-column id-space predicates of the query.
+    pub preds: Vec<Vec<IdPredicate>>,
+    /// Per-column valid-id intervals of the query.
+    pub intervals: Vec<(u32, u32)>,
+    /// Cache slot to fill with the result (`None` when caching is disabled).
+    pub key: Option<CacheKey>,
+    /// Where the worker sends the estimate; buffered so the worker never
+    /// blocks on a slow or vanished client.
+    pub reply: SyncSender<f64>,
+}
+
+/// Worker loop: runs until every sender is dropped.
+pub(crate) fn run_batch_worker(
+    slot: Arc<ModelSlot>,
+    cache: Arc<ShardedCache>,
+    metrics: Arc<ServeMetrics>,
+    rx: Receiver<EstimateRequest>,
+    config: BatchConfig,
+) {
+    let max = config.max_batch_size.max(1);
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        collect_stragglers(&rx, &mut batch, max, config.batch_window);
+
+        // Resolve the model once per batch: requests enqueued after a
+        // hot-swap can only ever be served by the new (or a newer) model.
+        // The generation travels with the weights so cache inserts below are
+        // labelled with the model that actually computed them.
+        let (generation, estimator): (u64, Arc<DuetEstimator>) = slot.current_versioned();
+        let mut rows = Vec::with_capacity(batch.len());
+        let mut intervals = Vec::with_capacity(batch.len());
+        let mut sinks = Vec::with_capacity(batch.len());
+        for request in batch {
+            rows.push(request.preds);
+            intervals.push(request.intervals);
+            sinks.push((request.key, request.reply));
+        }
+        let results = estimator.estimate_encoded_batch(&rows, &intervals);
+        metrics.record_batch(rows.len());
+
+        // If a swap landed while this batch was computing, its results are
+        // still correct answers for their clients, but caching them would
+        // only strand unreachable old-generation entries in the LRU (the
+        // server purges the cache right after a swap). A swap landing
+        // between this check and the inserts below can still strand at most
+        // one batch of entries — they are harmless (correct under their
+        // generation label, just unreachable) and age out via LRU eviction.
+        let cacheable = slot.generation() == generation;
+        for ((key, reply), value) in sinks.into_iter().zip(results) {
+            if let (Some(key), true) = (key, cacheable) {
+                cache.insert(key.with_generation(generation), value);
+            }
+            // A client that gave up (dropped its receiver) is not an error.
+            let _ = reply.send(value);
+        }
+    }
+}
+
+/// Fill `batch` up to `max` entries: drain the queue, then wait out the
+/// batching window.
+fn collect_stragglers(
+    rx: &Receiver<EstimateRequest>,
+    batch: &mut Vec<EstimateRequest>,
+    max: usize,
+    window: Duration,
+) {
+    let deadline = Instant::now() + window;
+    while batch.len() < max {
+        match rx.try_recv() {
+            Ok(r) => {
+                batch.push(r);
+                continue;
+            }
+            Err(TryRecvError::Disconnected) => return,
+            Err(TryRecvError::Empty) => {}
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(r) => batch.push(r),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_core::DuetConfig;
+    use duet_data::datasets::census_like;
+    use duet_query::{Query, WorkloadSpec};
+    use std::sync::mpsc;
+
+    fn request_for(
+        estimator: &DuetEstimator,
+        query: &Query,
+        key: Option<CacheKey>,
+        reply: SyncSender<f64>,
+    ) -> EstimateRequest {
+        EstimateRequest {
+            preds: duet_core::query_to_id_predicates(estimator.schema(), query),
+            intervals: query.column_intervals(estimator.schema()),
+            key,
+            reply,
+        }
+    }
+
+    #[test]
+    fn worker_answers_and_batches_queued_requests() {
+        let table = census_like(300, 31);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let est = DuetEstimator::train_data_only(&table, &cfg, 11);
+        let queries = WorkloadSpec::random(&table, 16, 5).generate(&table);
+        let expected = est.estimate_batch(&queries);
+
+        let slot = Arc::new(ModelSlot::new(est));
+        let cache = Arc::new(ShardedCache::new(0, 1));
+        let metrics = Arc::new(ServeMetrics::new());
+        let (tx, rx) = mpsc::channel();
+
+        // Queue everything BEFORE the worker starts: it must drain the
+        // backlog into large batches rather than going one-by-one.
+        let mut replies = Vec::new();
+        for q in &queries {
+            let (reply, reply_rx) = mpsc::sync_channel(1);
+            tx.send(request_for(&slot.current(), q, None, reply)).unwrap();
+            replies.push(reply_rx);
+        }
+        drop(tx);
+
+        let worker = {
+            let (slot, cache, metrics) = (slot.clone(), cache.clone(), metrics.clone());
+            std::thread::spawn(move || {
+                run_batch_worker(slot, cache, metrics, rx, BatchConfig::default())
+            })
+        };
+
+        let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap()).collect();
+        worker.join().unwrap();
+        assert_eq!(got, expected);
+
+        let snapshot = metrics.snapshot(0, 0);
+        assert_eq!(snapshot.batches, 1, "a pre-queued backlog should fuse into one batch");
+        assert!((snapshot.mean_batch_size - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_still_drains_backlog() {
+        let table = census_like(200, 32);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let est = DuetEstimator::train_data_only(&table, &cfg, 3);
+        let queries = WorkloadSpec::random(&table, 8, 6).generate(&table);
+        let expected = est.estimate_batch(&queries);
+
+        let slot = Arc::new(ModelSlot::new(est));
+        let cache = Arc::new(ShardedCache::new(0, 1));
+        let metrics = Arc::new(ServeMetrics::new());
+        let (tx, rx) = mpsc::channel();
+        let mut replies = Vec::new();
+        for q in &queries {
+            let (reply, reply_rx) = mpsc::sync_channel(1);
+            tx.send(request_for(&slot.current(), q, None, reply)).unwrap();
+            replies.push(reply_rx);
+        }
+        drop(tx);
+
+        let config = BatchConfig { max_batch_size: 4, batch_window: Duration::ZERO };
+        run_batch_worker(slot, cache, metrics.clone(), rx, config);
+        let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap()).collect();
+        assert_eq!(got, expected);
+        assert_eq!(metrics.snapshot(0, 0).batches, 2, "8 queries at max_batch_size 4");
+    }
+
+    #[test]
+    fn worker_fills_cache_entries() {
+        let table = census_like(200, 33);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let est = DuetEstimator::train_data_only(&table, &cfg, 4);
+        let query = WorkloadSpec::random(&table, 1, 7).generate(&table).remove(0);
+        let key = crate::cache::canonical_key(&est, 0, &query);
+        let expected = est.estimate_batch(std::slice::from_ref(&query))[0];
+
+        let slot = Arc::new(ModelSlot::new(est));
+        let cache = Arc::new(ShardedCache::new(16, 2));
+        let metrics = Arc::new(ServeMetrics::new());
+        let (tx, rx) = mpsc::channel();
+        let (reply, reply_rx) = mpsc::sync_channel(1);
+        tx.send(request_for(&slot.current(), &query, Some(key.clone()), reply)).unwrap();
+        drop(tx);
+        run_batch_worker(slot, cache.clone(), metrics, rx, BatchConfig::default());
+
+        assert_eq!(reply_rx.recv().unwrap(), expected);
+        assert_eq!(cache.get(&key), Some(expected));
+    }
+}

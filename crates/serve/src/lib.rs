@@ -1,0 +1,67 @@
+//! # duet-serve
+//!
+//! A concurrent, batched estimation-serving layer over
+//! [`duet_core::DuetEstimator`], built on std threads and channels (no async
+//! runtime). It turns the paper's key inference property — every range query
+//! is answered by a **single deterministic forward pass** — into a service
+//! that sustains many concurrent clients:
+//!
+//! * [`registry`] — named model slots with **zero-downtime hot-swap** from
+//!   [`duet_core::save_weights`] checkpoints: in-flight requests finish on
+//!   the old weights, later requests see the new ones;
+//! * [`batcher`] — a **micro-batching engine** that coalesces concurrent
+//!   requests into one `N×W` matrix forward pass
+//!   ([`duet_core::DuetEstimator::estimate_batch`]), which is bit-identical
+//!   to N single-query passes, so batching never changes an answer;
+//! * [`cache`] — a **sharded LRU result cache** keyed on canonicalized
+//!   predicate intervals (and the model generation, which makes hot-swaps
+//!   invalidate stale entries implicitly), with hit/miss accounting;
+//! * [`metrics`] — QPS, p50/p99 latency, batch-size histogram and cache hit
+//!   rate, computed with the same percentile helper as the offline
+//!   experiment harness;
+//! * [`server`] — [`DuetServer`], the blocking, `Sync` front door tying the
+//!   pieces together.
+//!
+//! ```no_run
+//! use duet_core::{DuetConfig, DuetEstimator};
+//! use duet_data::datasets::census_like;
+//! use duet_query::WorkloadSpec;
+//! use duet_serve::{DuetServer, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let table = census_like(10_000, 42);
+//! let estimator = DuetEstimator::train_data_only(&table, &DuetConfig::small(), 42);
+//! let server = Arc::new(DuetServer::new(ServeConfig::default()));
+//! server.register("census", estimator);
+//!
+//! let queries = WorkloadSpec::random(&table, 100, 7).generate(&table);
+//! let handles: Vec<_> = (0..8)
+//!     .map(|_| {
+//!         let (server, queries) = (server.clone(), queries.clone());
+//!         std::thread::spawn(move || {
+//!             for q in &queries {
+//!                 let _ = server.estimate("census", q).unwrap();
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! println!("{}", server.metrics());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batcher;
+pub mod cache;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::BatchConfig;
+pub use cache::{canonical_key, canonical_key_from_parts, CacheKey, ShardedCache};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use registry::{ModelRegistry, ModelSlot, SwapError};
+pub use server::{DuetServer, ServeConfig, ServeError};

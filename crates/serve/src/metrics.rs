@@ -1,0 +1,239 @@
+//! Serving metrics: request counters, latency percentiles, batch-size
+//! histogram, and cache hit rate.
+//!
+//! Everything on the record path is lock-free atomics — including the
+//! latency ring, a fixed-size buffer of the most recent [`LATENCY_WINDOW`]
+//! request latencies (an atomic cursor plus relaxed slot stores; a slot
+//! being overwritten while a snapshot reads it just yields a neighboring
+//! sample, which percentile estimates tolerate). Percentiles are computed
+//! on demand with [`duet_query::percentile_sorted`] — the same helper the
+//! offline experiment harness uses, so serving p99s and paper table p99s
+//! are computed identically.
+
+use duet_query::percentile_sorted;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of most-recent request latencies kept for percentile estimates.
+pub const LATENCY_WINDOW: usize = 8192;
+
+/// Batch-size histogram bucket upper bounds (inclusive); the last bucket is
+/// open-ended.
+pub const BATCH_BUCKETS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Live metrics shared by every worker and client of a [`crate::DuetServer`].
+pub struct ServeMetrics {
+    started: Instant,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS.len() + 1],
+    /// Ring of recent latencies in nanoseconds; `latency_cursor` counts
+    /// total records and indexes the ring modulo [`LATENCY_WINDOW`].
+    latencies_ns: Vec<AtomicU64>,
+    latency_cursor: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics anchored at "now" (QPS denominator).
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            batch_hist: Default::default(),
+            latencies_ns: (0..LATENCY_WINDOW).map(|_| AtomicU64::new(0)).collect(),
+            latency_cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one completed request and its end-to-end latency (lock-free).
+    pub fn record_request(&self, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let at = self.latency_cursor.fetch_add(1, Ordering::Relaxed) % LATENCY_WINDOW as u64;
+        self.latencies_ns[at as usize].store(ns, Ordering::Relaxed);
+    }
+
+    /// Record one executed forward batch of `size` queries.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries.fetch_add(size as u64, Ordering::Relaxed);
+        let bucket = BATCH_BUCKETS.iter().position(|&ub| size <= ub).unwrap_or(BATCH_BUCKETS.len());
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every metric, combining the given cache counters (summed by
+    /// the server across its per-table caches).
+    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> MetricsSnapshot {
+        let elapsed = self.started.elapsed();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_queries = self.batched_queries.load(Ordering::Relaxed);
+
+        let filled = (self.latency_cursor.load(Ordering::Relaxed) as usize).min(LATENCY_WINDOW);
+        let mut sorted: Vec<f64> = self.latencies_ns[..filled]
+            .iter()
+            .map(|ns| ns.load(Ordering::Relaxed) as f64 / 1_000.0)
+            .collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+        let histogram = BATCH_BUCKETS
+            .iter()
+            .copied()
+            .chain(std::iter::once(usize::MAX))
+            .zip(self.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)))
+            .collect();
+
+        let cache_total = cache_hits + cache_misses;
+        MetricsSnapshot {
+            elapsed,
+            requests,
+            qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_latency_us: percentile_sorted(&sorted, 50.0),
+            p99_latency_us: percentile_sorted(&sorted, 99.0),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_queries as f64 / batches as f64
+            },
+            batch_size_histogram: histogram,
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if cache_total == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / cache_total as f64
+            },
+        }
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMetrics")
+            .field("requests", &self.requests.load(Ordering::Relaxed))
+            .field("batches", &self.batches.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A point-in-time view of a server's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Time since the server (metrics) was created.
+    pub elapsed: Duration,
+    /// Completed requests (cache hits included).
+    pub requests: u64,
+    /// Requests per second since startup.
+    pub qps: f64,
+    /// Median end-to-end request latency over the recent window, in µs.
+    pub p50_latency_us: f64,
+    /// 99th-percentile end-to-end request latency over the recent window, µs.
+    pub p99_latency_us: f64,
+    /// Forward batches executed.
+    pub batches: u64,
+    /// Mean queries per forward batch.
+    pub mean_batch_size: f64,
+    /// `(bucket upper bound, batches)` pairs; the `usize::MAX` bucket is
+    /// open-ended.
+    pub batch_size_histogram: Vec<(usize, u64)>,
+    /// Result-cache hits across all tables.
+    pub cache_hits: u64,
+    /// Result-cache misses across all tables.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, or 0 before the first lookup.
+    pub cache_hit_rate: f64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requests={} qps={:.0} p50={:.1}us p99={:.1}us batches={} mean_batch={:.2} cache_hit_rate={:.1}%",
+            self.requests,
+            self.qps,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.batches,
+            self.mean_batch_size,
+            self.cache_hit_rate * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latencies_feed_percentiles() {
+        let m = ServeMetrics::new();
+        for us in 1..=100u64 {
+            m.record_request(Duration::from_micros(us));
+        }
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.requests, 100);
+        assert!(s.qps > 0.0);
+        assert!((s.p50_latency_us - 50.5).abs() < 1.0, "p50 {}", s.p50_latency_us);
+        assert!(s.p99_latency_us >= s.p50_latency_us);
+        assert!(s.p99_latency_us <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn batch_histogram_buckets_by_size() {
+        let m = ServeMetrics::new();
+        m.record_batch(1);
+        m.record_batch(2);
+        m.record_batch(5);
+        m.record_batch(300);
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.batches, 4);
+        assert!((s.mean_batch_size - 77.0).abs() < 1e-9);
+        let count_of =
+            |ub: usize| s.batch_size_histogram.iter().find(|&&(b, _)| b == ub).map(|&(_, c)| c);
+        assert_eq!(count_of(1), Some(1));
+        assert_eq!(count_of(2), Some(1));
+        assert_eq!(count_of(8), Some(1)); // 5 lands in the <=8 bucket
+        assert_eq!(count_of(usize::MAX), Some(1)); // 300 overflows the last bound
+    }
+
+    #[test]
+    fn cache_rate_combines_external_counters() {
+        let m = ServeMetrics::new();
+        let s = m.snapshot(3, 1);
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert!((s.cache_hit_rate - 0.75).abs() < 1e-9);
+        assert_eq!(m.snapshot(0, 0).cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let m = ServeMetrics::new();
+        for _ in 0..(LATENCY_WINDOW + 100) {
+            m.record_request(Duration::from_micros(7));
+        }
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.requests as usize, LATENCY_WINDOW + 100);
+        assert!((s.p50_latency_us - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_display_is_human_readable() {
+        let m = ServeMetrics::new();
+        m.record_request(Duration::from_micros(10));
+        m.record_batch(4);
+        let line = m.snapshot(1, 1).to_string();
+        assert!(line.contains("requests=1"));
+        assert!(line.contains("cache_hit_rate=50.0%"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The model registry: named, atomically hot-swappable estimator slots.
+//!
+//! Each table is served from a [`ModelSlot`] holding an `Arc<DuetEstimator>`.
+//! Readers grab the `Arc` once per batch, so a swap never blocks or corrupts
+//! in-flight work: requests already holding the old `Arc` finish against the
+//! old weights, requests arriving afterwards see the new ones.
+//!
+//! The generation counter and the estimator live under one lock, so
+//! [`ModelSlot::current_versioned`] always returns a matching
+//! `(generation, weights)` pair. `duet-serve` keys cache entries by
+//! generation; the batch worker labels every insert with the generation it
+//! actually resolved, so a cached value is always one that *those* weights
+//! computed — even for requests in flight across a swap.
+
+use duet_core::{load_weights, CheckpointError, DuetEstimator};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+#[derive(Debug)]
+struct VersionedModel {
+    generation: u64,
+    estimator: Arc<DuetEstimator>,
+}
+
+/// A single table's serving slot: the current estimator plus a monotonically
+/// increasing generation counter bumped on every swap, updated as one unit.
+#[derive(Debug)]
+pub struct ModelSlot {
+    inner: RwLock<VersionedModel>,
+}
+
+impl ModelSlot {
+    /// Wrap an estimator in a fresh slot (generation 0).
+    pub fn new(estimator: DuetEstimator) -> Self {
+        Self {
+            inner: RwLock::new(VersionedModel { generation: 0, estimator: Arc::new(estimator) }),
+        }
+    }
+
+    /// The estimator currently serving this slot.
+    ///
+    /// Cheap (`Arc` clone under a read lock); callers hold the returned `Arc`
+    /// for as long as they need stable weights — typically one batch.
+    pub fn current(&self) -> Arc<DuetEstimator> {
+        self.inner.read().expect("model slot poisoned").estimator.clone()
+    }
+
+    /// The current `(generation, estimator)` pair, read atomically — the
+    /// returned generation is exactly the one these weights were installed
+    /// under.
+    pub fn current_versioned(&self) -> (u64, Arc<DuetEstimator>) {
+        let inner = self.inner.read().expect("model slot poisoned");
+        (inner.generation, inner.estimator.clone())
+    }
+
+    /// The swap generation: 0 for a freshly registered model, +1 per swap.
+    pub fn generation(&self) -> u64 {
+        self.inner.read().expect("model slot poisoned").generation
+    }
+
+    /// Atomically replace the estimator (zero-downtime model refresh).
+    ///
+    /// The replacement must serve the **same id space** (column count and
+    /// identical per-column dictionaries, value for value): requests already
+    /// encoded against the old model may execute on the new one, which is
+    /// only sound when every value id still means the same literal. A
+    /// mismatch is rejected and the slot is left untouched; register a new
+    /// slot to serve a re-schematized table. The full dictionary comparison
+    /// is O(total distinct values), which is fine at swap frequency.
+    ///
+    /// In-flight requests holding the previous `Arc` are unaffected; the
+    /// dictionary comparison runs against a snapshot taken under the read
+    /// lock, so concurrent readers are never blocked behind it (the id space
+    /// is invariant across successful swaps, which keeps the pre-checked
+    /// compatibility valid even if another same-space swap lands in
+    /// between). Only the pointer/generation update takes the write lock.
+    pub fn swap(&self, estimator: DuetEstimator) -> Result<(), SwapError> {
+        let snapshot = self.current();
+        let (old, new) = (snapshot.schema(), estimator.schema());
+        let compatible = old.num_columns() == new.num_columns()
+            && (0..old.num_columns()).all(|c| {
+                let (oc, nc) = (old.column(c), new.column(c));
+                oc.ndv() == nc.ndv()
+                    && (0..oc.ndv() as u32).all(|id| oc.value_of_id(id) == nc.value_of_id(id))
+            });
+        if !compatible {
+            return Err(SwapError::IncompatibleSchema {
+                expected_columns: old.num_columns(),
+                found_columns: new.num_columns(),
+            });
+        }
+        let mut inner = self.inner.write().expect("model slot poisoned");
+        inner.generation += 1;
+        inner.estimator = Arc::new(estimator);
+        Ok(())
+    }
+
+    /// Hot-swap from a [`duet_core::save_weights`] checkpoint.
+    ///
+    /// The current estimator provides the architecture: its clone receives
+    /// the checkpointed weights (shape-checked by the codec), then replaces
+    /// the original atomically. On error the slot is left untouched.
+    pub fn hot_swap_checkpoint(&self, checkpoint: &[u8]) -> Result<(), CheckpointError> {
+        let mut fresh = (*self.current()).clone();
+        load_weights(&mut fresh, checkpoint)?;
+        self.swap(fresh).expect("a clone of the current model cannot change schema");
+        Ok(())
+    }
+}
+
+/// Why a registry-level swap failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwapError {
+    /// No model is registered under the given table name.
+    UnknownTable(String),
+    /// The checkpoint was rejected (bad magic, truncation, shape mismatch).
+    Checkpoint(CheckpointError),
+    /// The replacement model serves a different schema than the current one.
+    IncompatibleSchema {
+        /// Column count of the model currently serving the slot.
+        expected_columns: usize,
+        /// Column count (or differing-dictionary marker) of the replacement.
+        found_columns: usize,
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::UnknownTable(t) => write!(f, "no model registered for table {t:?}"),
+            SwapError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            SwapError::IncompatibleSchema { expected_columns, found_columns } => write!(
+                f,
+                "replacement model serves a different schema \
+                 ({found_columns} columns or differing dictionaries vs {expected_columns}); \
+                 register a new slot instead of swapping"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+impl From<CheckpointError> for SwapError {
+    fn from(e: CheckpointError) -> Self {
+        SwapError::Checkpoint(e)
+    }
+}
+
+/// A collection of [`ModelSlot`]s keyed by table name.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    slots: RwLock<HashMap<String, Arc<ModelSlot>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the model serving `table`, returning its slot.
+    ///
+    /// Replacing through `register` creates a *new* slot (generation resets);
+    /// use [`ModelRegistry::hot_swap`] to refresh weights in place.
+    pub fn register(&self, table: impl Into<String>, estimator: DuetEstimator) -> Arc<ModelSlot> {
+        let slot = Arc::new(ModelSlot::new(estimator));
+        self.slots.write().expect("registry poisoned").insert(table.into(), slot.clone());
+        slot
+    }
+
+    /// The slot serving `table`, if any.
+    pub fn slot(&self, table: &str) -> Option<Arc<ModelSlot>> {
+        self.slots.read().expect("registry poisoned").get(table).cloned()
+    }
+
+    /// Names of all registered tables (unordered).
+    pub fn tables(&self) -> Vec<String> {
+        self.slots.read().expect("registry poisoned").keys().cloned().collect()
+    }
+
+    /// Hot-swap `table`'s weights from a checkpoint (see
+    /// [`ModelSlot::hot_swap_checkpoint`]).
+    pub fn hot_swap(&self, table: &str, checkpoint: &[u8]) -> Result<(), SwapError> {
+        let slot = self.slot(table).ok_or_else(|| SwapError::UnknownTable(table.to_string()))?;
+        slot.hot_swap_checkpoint(checkpoint)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_core::{save_weights, DuetConfig};
+    use duet_data::datasets::census_like;
+    use duet_query::WorkloadSpec;
+
+    fn trained(seed: u64) -> (duet_data::Table, DuetEstimator) {
+        let table = census_like(300, 21);
+        let cfg = DuetConfig::small().with_epochs(1);
+        (table.clone(), DuetEstimator::train_data_only(&table, &cfg, seed))
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let registry = ModelRegistry::new();
+        let (_, est) = trained(1);
+        registry.register("census", est);
+        assert!(registry.slot("census").is_some());
+        assert!(registry.slot("missing").is_none());
+        assert_eq!(registry.tables(), vec!["census".to_string()]);
+    }
+
+    #[test]
+    fn hot_swap_changes_estimates_and_generation() {
+        let (table, est_a) = trained(1);
+        let (_, mut est_b) = trained(2);
+        let queries = WorkloadSpec::random(&table, 10, 5).generate(&table);
+        let expect_b = est_b.estimate_batch(&queries);
+
+        let registry = ModelRegistry::new();
+        let slot = registry.register("census", est_a);
+        assert_eq!(slot.generation(), 0);
+        let before = slot.current().estimate_batch(&queries);
+        assert_ne!(before, expect_b, "differently seeded models should disagree");
+
+        let checkpoint = save_weights(&mut est_b);
+        registry.hot_swap("census", &checkpoint).expect("swap should succeed");
+        assert_eq!(slot.generation(), 1);
+        assert_eq!(slot.current().estimate_batch(&queries), expect_b);
+    }
+
+    #[test]
+    fn in_flight_arc_survives_swap() {
+        let (_, est_a) = trained(1);
+        let (_, est_b) = trained(2);
+        let slot = ModelSlot::new(est_a);
+        let held = slot.current();
+        slot.swap(est_b).expect("same-schema swap should succeed");
+        // The old Arc is still alive and usable after the swap.
+        assert!(held.num_rows() > 0);
+        assert_eq!(slot.generation(), 1);
+    }
+
+    #[test]
+    fn swapping_a_different_schema_is_rejected() {
+        use duet_core::{DuetConfig, DuetModel};
+        use duet_data::{TableBuilder, Value};
+
+        let (_, est) = trained(1);
+        let slot = ModelSlot::new(est);
+
+        let mut b = TableBuilder::new("tiny", vec!["a".into(), "b".into()]);
+        for i in 0..20 {
+            b.push_row(vec![Value::Int(i % 4), Value::Int(i % 3)]);
+        }
+        let tiny = b.build();
+        let foreign_model = DuetModel::new(&tiny, &DuetConfig::small(), 1);
+        let foreign = DuetEstimator::from_model(foreign_model, &tiny, "foreign");
+
+        let err = slot.swap(foreign).unwrap_err();
+        assert!(matches!(err, SwapError::IncompatibleSchema { .. }));
+        assert_eq!(slot.generation(), 0, "rejected swap must not bump the generation");
+    }
+
+    #[test]
+    fn bad_checkpoint_is_rejected_and_slot_untouched() {
+        let (table, est) = trained(1);
+        let queries = WorkloadSpec::random(&table, 5, 9).generate(&table);
+        let registry = ModelRegistry::new();
+        let slot = registry.register("census", est);
+        let before = slot.current().estimate_batch(&queries);
+
+        let err = registry.hot_swap("census", b"not a checkpoint").unwrap_err();
+        assert!(matches!(err, SwapError::Checkpoint(_)));
+        assert_eq!(slot.generation(), 0);
+        assert_eq!(slot.current().estimate_batch(&queries), before);
+
+        let err = registry.hot_swap("missing", b"x").unwrap_err();
+        assert!(matches!(err, SwapError::UnknownTable(_)));
+    }
+}

@@ -1,0 +1,312 @@
+//! The estimation server: ties registry, micro-batcher, cache, and metrics
+//! together behind a blocking, thread-safe `estimate` call.
+//!
+//! A [`DuetServer`] is `Sync`; wrap it in an `Arc` and call
+//! [`DuetServer::estimate`] from as many client threads as you like. Model
+//! slots live in an embedded [`ModelRegistry`]; each registered table
+//! additionally gets its own worker thread and result cache, and metrics are
+//! aggregated server-wide.
+
+use crate::batcher::{run_batch_worker, BatchConfig, EstimateRequest};
+use crate::cache::{canonical_key_from_parts, ShardedCache};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::{ModelRegistry, ModelSlot, SwapError};
+use duet_core::{query_to_id_predicates, DuetEstimator};
+use duet_query::Query;
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Micro-batcher tuning (applies to every table worker).
+    pub batch: BatchConfig,
+    /// Total result-cache entries per table; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards per table.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { batch: BatchConfig::default(), cache_capacity: 4096, cache_shards: 8 }
+    }
+}
+
+/// Why a serving call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No model is registered under the given table name.
+    UnknownTable(String),
+    /// The table's worker thread is gone (server shutting down).
+    WorkerUnavailable(String),
+    /// A model swap failed; the previous model keeps serving.
+    Swap(SwapError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTable(t) => write!(f, "no model registered for table {t:?}"),
+            ServeError::WorkerUnavailable(t) => {
+                write!(f, "worker for table {t:?} is unavailable")
+            }
+            ServeError::Swap(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SwapError> for ServeError {
+    fn from(e: SwapError) -> Self {
+        match e {
+            // Flatten so callers see one UnknownTable variant regardless of
+            // which layer noticed.
+            SwapError::UnknownTable(t) => ServeError::UnknownTable(t),
+            e => ServeError::Swap(e),
+        }
+    }
+}
+
+/// The per-request view of one table's serving machinery.
+type TableHandles = (Arc<ModelSlot>, Arc<ShardedCache>, Sender<EstimateRequest>);
+
+/// Outcome of submitting one query: answered from cache, or in the worker's
+/// queue with a receiver for the eventual result.
+enum Submitted {
+    Cached(f64),
+    Pending(mpsc::Receiver<f64>),
+}
+
+/// Per-table serving machinery: the slot (an `Arc` of the same slot the
+/// registry holds — kept here so one lock yields a mutually consistent
+/// slot/cache/sender triple), the request channel, the result cache, and the
+/// worker handle.
+struct WorkerEntry {
+    slot: Arc<ModelSlot>,
+    cache: Arc<ShardedCache>,
+    sender: Sender<EstimateRequest>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A concurrent, batched estimation server over registered Duet models.
+#[derive(Debug)]
+pub struct DuetServer {
+    config: ServeConfig,
+    registry: ModelRegistry,
+    workers: RwLock<HashMap<String, WorkerEntry>>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl std::fmt::Debug for WorkerEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerEntry").field("cache", &self.cache).finish()
+    }
+}
+
+impl DuetServer {
+    /// A server with the given configuration and no tables.
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            config,
+            registry: ModelRegistry::new(),
+            workers: RwLock::new(HashMap::new()),
+            metrics: Arc::new(ServeMetrics::new()),
+        }
+    }
+
+    /// A server with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServeConfig::default())
+    }
+
+    /// Register (or replace) the model serving `table`, spawning its worker
+    /// thread and result cache.
+    pub fn register(&self, table: impl Into<String>, estimator: DuetEstimator) {
+        let table = table.into();
+        // Hold the workers lock across BOTH map updates so two concurrent
+        // register() calls for the same table cannot interleave and leave
+        // the registry and the worker map pointing at different slots.
+        let mut workers = self.workers.write().expect("server poisoned");
+        let slot = self.registry.register(table.clone(), estimator);
+        let cache =
+            Arc::new(ShardedCache::new(self.config.cache_capacity, self.config.cache_shards));
+        let (sender, rx) = mpsc::channel();
+        let worker = {
+            let (slot, cache, metrics) = (slot.clone(), cache.clone(), self.metrics.clone());
+            let config = self.config.batch;
+            std::thread::Builder::new()
+                .name(format!("duet-serve-{table}"))
+                .spawn(move || run_batch_worker(slot, cache, metrics, rx, config))
+                .expect("failed to spawn serving worker")
+        };
+        let entry = WorkerEntry { slot, cache, sender, worker: Some(worker) };
+        // Dropping a replaced entry drops its sender: the old worker (still
+        // holding the old slot) drains whatever is queued, then exits on
+        // disconnect (detached).
+        drop(workers.insert(table, entry));
+    }
+
+    /// Look up the serving handles for `table`.
+    ///
+    /// Reads the slot from the worker entry, not the registry, so the triple
+    /// is always mutually consistent even while a concurrent `register` is
+    /// replacing the table (the registry and worker map are updated under
+    /// separate locks).
+    fn handles(&self, table: &str) -> Result<TableHandles, ServeError> {
+        let workers = self.workers.read().expect("server poisoned");
+        let entry =
+            workers.get(table).ok_or_else(|| ServeError::UnknownTable(table.to_string()))?;
+        Ok((entry.slot.clone(), entry.cache.clone(), entry.sender.clone()))
+    }
+
+    /// Encode `query`, probe the cache, and on a miss enqueue it for the
+    /// table's batch worker — the one submit pipeline both `estimate` and
+    /// `estimate_many` go through.
+    ///
+    /// The same encoding feeds the cache key and, on a miss, the batched
+    /// forward pass, so nothing is translated twice on the hot path.
+    fn submit(
+        &self,
+        table: &str,
+        generation: u64,
+        estimator: &DuetEstimator,
+        cache: &ShardedCache,
+        sender: &Sender<EstimateRequest>,
+        query: &Query,
+    ) -> Result<Submitted, ServeError> {
+        let schema = estimator.schema();
+        let preds = query_to_id_predicates(schema, query);
+        let intervals = query.column_intervals(schema);
+        let key = if self.config.cache_capacity > 0 {
+            let key = canonical_key_from_parts(schema, generation, &preds, &intervals);
+            if let Some(value) = cache.get(&key) {
+                return Ok(Submitted::Cached(value));
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let (reply, reply_rx) = mpsc::sync_channel(1);
+        sender
+            .send(EstimateRequest { preds, intervals, key, reply })
+            .map_err(|_| ServeError::WorkerUnavailable(table.to_string()))?;
+        Ok(Submitted::Pending(reply_rx))
+    }
+
+    /// Estimate `query`'s cardinality against `table`'s current model.
+    ///
+    /// Blocks until the result is available: either a cache hit, or the
+    /// micro-batched forward pass containing this request completes. The
+    /// value is always exactly what a serial `DuetEstimator::estimate` call
+    /// would return.
+    pub fn estimate(&self, table: &str, query: &Query) -> Result<f64, ServeError> {
+        let started = Instant::now();
+        let (slot, cache, sender) = self.handles(table)?;
+        let (generation, estimator) = slot.current_versioned();
+        let value = match self.submit(table, generation, &estimator, &cache, &sender, query)? {
+            Submitted::Cached(value) => value,
+            Submitted::Pending(reply_rx) => {
+                reply_rx.recv().map_err(|_| ServeError::WorkerUnavailable(table.to_string()))?
+            }
+        };
+        self.metrics.record_request(started.elapsed());
+        Ok(value)
+    }
+
+    /// Estimate a whole workload through the serving path (requests are
+    /// submitted together, so they batch with each other as well as with
+    /// concurrent clients).
+    pub fn estimate_many(&self, table: &str, queries: &[Query]) -> Result<Vec<f64>, ServeError> {
+        let (slot, cache, sender) = self.handles(table)?;
+        let (generation, estimator) = slot.current_versioned();
+        let mut results = vec![0.0f64; queries.len()];
+        let mut pending = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            // Latency is per query, from its own submission.
+            let submitted = Instant::now();
+            match self.submit(table, generation, &estimator, &cache, &sender, query)? {
+                Submitted::Cached(value) => {
+                    results[i] = value;
+                    self.metrics.record_request(submitted.elapsed());
+                }
+                Submitted::Pending(reply_rx) => pending.push((i, submitted, reply_rx)),
+            }
+        }
+        for (i, submitted, reply_rx) in pending {
+            results[i] =
+                reply_rx.recv().map_err(|_| ServeError::WorkerUnavailable(table.to_string()))?;
+            self.metrics.record_request(submitted.elapsed());
+        }
+        Ok(results)
+    }
+
+    /// Hot-swap `table`'s weights from a [`duet_core::save_weights`]
+    /// checkpoint without dropping in-flight requests.
+    ///
+    /// Old cache entries become unreachable immediately (keys embed the
+    /// model generation) and are additionally purged to free memory.
+    ///
+    /// The slot is resolved through the worker map under its read lock, so
+    /// a concurrent `register` for the same table (which takes the write
+    /// lock) cannot interleave: the swap lands either on the slot the
+    /// workers serve, or strictly before/after the replacement — never on
+    /// an orphaned slot.
+    pub fn hot_swap(&self, table: &str, checkpoint: &[u8]) -> Result<(), ServeError> {
+        let workers = self.workers.read().expect("server poisoned");
+        let entry =
+            workers.get(table).ok_or_else(|| ServeError::UnknownTable(table.to_string()))?;
+        entry
+            .slot
+            .hot_swap_checkpoint(checkpoint)
+            .map_err(|e| ServeError::Swap(SwapError::Checkpoint(e)))?;
+        entry.cache.clear();
+        Ok(())
+    }
+
+    /// The swap generation of `table`'s model (0 until the first swap).
+    pub fn generation(&self, table: &str) -> Option<u64> {
+        self.registry.slot(table).map(|s| s.generation())
+    }
+
+    /// Names of every registered table (unordered).
+    pub fn tables(&self) -> Vec<String> {
+        self.registry.tables()
+    }
+
+    /// A point-in-time snapshot of all serving metrics, with cache counters
+    /// summed across tables.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let (hits, misses) = {
+            let workers = self.workers.read().expect("server poisoned");
+            workers
+                .values()
+                .fold((0u64, 0u64), |(h, m), e| (h + e.cache.hits(), m + e.cache.misses()))
+        };
+        self.metrics.snapshot(hits, misses)
+    }
+}
+
+impl Drop for DuetServer {
+    fn drop(&mut self) {
+        // Drop the senders first so workers see a disconnect, then join.
+        let entries: Vec<WorkerEntry> = {
+            let mut workers = self.workers.write().expect("server poisoned");
+            workers.drain().map(|(_, e)| e).collect()
+        };
+        let mut handles = Vec::new();
+        for mut entry in entries {
+            if let Some(worker) = entry.worker.take() {
+                handles.push(worker);
+            }
+            drop(entry); // drops the sender
+        }
+        for worker in handles {
+            let _ = worker.join();
+        }
+    }
+}

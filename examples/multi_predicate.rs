@@ -16,9 +16,8 @@ fn main() {
     // fixed per-column input block.
     let config = DuetConfig::small().with_epochs(4).with_mpsn(MpsnKind::Mlp, 3);
     println!("training Duet with an MLP MPSN (up to 3 predicates per column) ...");
-    let train = WorkloadSpec::in_workload(&table, 1_000, 42)
-        .with_multi_predicates(3)
-        .generate(&table);
+    let train =
+        WorkloadSpec::in_workload(&table, 1_000, 42).with_multi_predicates(3).generate(&table);
     let cards: Vec<u64> = train.iter().map(|q| exact_cardinality(&table, q)).collect();
     let mut duet = DuetEstimator::train_hybrid(&table, &train, &cards, &config, 42);
 
@@ -31,7 +30,10 @@ fn main() {
     let estimate = duet.estimate(&query);
     let actual = exact_cardinality(&table, &query);
     println!("\nquery: {query}");
-    println!("estimate = {estimate:.1}, actual = {actual}, q-error = {:.2}", q_error(estimate, actual as f64));
+    println!(
+        "estimate = {estimate:.1}, actual = {actual}, q-error = {:.2}",
+        q_error(estimate, actual as f64)
+    );
 
     // Persist the trained weights and restore them into a fresh estimator.
     let checkpoint = save_weights(&mut duet);

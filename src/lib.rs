@@ -19,6 +19,9 @@
 //!   hybrid training, sampling-free inference, MPSN).
 //! * [`baselines`] — Naru, UAE-like, MSCN-lite, DeepDB-lite, MHist, Sampling
 //!   and Independence estimators used by the paper's evaluation.
+//! * [`serve`] — the concurrent estimation-serving subsystem: model registry
+//!   with zero-downtime hot-swap, micro-batched inference, sharded LRU
+//!   result cache, and serving metrics.
 //!
 //! ## Quickstart
 //!
@@ -43,3 +46,4 @@ pub use duet_core as core;
 pub use duet_data as data;
 pub use duet_nn as nn;
 pub use duet_query as query;
+pub use duet_serve as serve;

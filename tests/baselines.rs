@@ -26,7 +26,11 @@ fn every_estimator_produces_finite_bounded_estimates() {
         Box::new(MHist::new(&table, 128)),
         Box::new(DeepDbEstimator::build(&table, &DeepDbConfig::default_config())),
         Box::new(MscnEstimator::train(&table, &train, &train_cards, &MscnConfig::small(), 1)),
-        Box::new(NaruEstimator::train(&table, &NaruConfig::small().with_epochs(2).with_samples(64), 1)),
+        Box::new(NaruEstimator::train(
+            &table,
+            &NaruConfig::small().with_epochs(2).with_samples(64),
+            1,
+        )),
     ];
     for est in estimators.iter_mut() {
         for q in &queries {
@@ -44,7 +48,8 @@ fn learned_data_driven_methods_beat_naive_traditional_ones() {
     let queries = WorkloadSpec::random(&table, 120, 1234).generate(&table);
     let cards = label_workload(&table, &queries);
 
-    let mut naru = NaruEstimator::train(&table, &NaruConfig::small().with_epochs(4).with_samples(100), 2);
+    let mut naru =
+        NaruEstimator::train(&table, &NaruConfig::small().with_epochs(4).with_samples(100), 2);
     let mut mhist = MHist::new(&table, 64);
     let naru_summary = eval(&mut naru, &queries, &cards);
     let mhist_summary = eval(&mut mhist, &queries, &cards);

@@ -18,7 +18,7 @@ fn summary(est: &mut dyn CardinalityEstimator, queries: &[Query], cards: &[u64])
 #[test]
 fn duet_beats_independence_on_correlated_data() {
     let table = census_like(4_000, 11);
-    let cfg = DuetConfig::small().with_epochs(6);
+    let cfg = DuetConfig::small().with_epochs(10);
     let mut duet = DuetEstimator::train_data_only(&table, &cfg, 1);
     let mut indep = IndependenceEstimator::new(&table);
 

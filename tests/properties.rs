@@ -2,13 +2,11 @@
 //! semantics vs ground truth, Q-Error bounds, sampler consistency, and the
 //! autoregressive masking of the Duet model.
 
-use duet::core::{
-    query_to_id_predicates, sample_predicate, DuetConfig, DuetEstimator, DuetModel,
-};
+use duet::core::{query_to_id_predicates, sample_predicate, DuetConfig, DuetEstimator, DuetModel};
 use duet::data::datasets::census_like;
 use duet::data::{Column, Table, Value};
-use duet::query::{exact_cardinality, q_error, CardinalityEstimator, PredOp, Query};
 use duet::nn::seeded_rng;
+use duet::query::{exact_cardinality, q_error, CardinalityEstimator, PredOp, Query};
 use proptest::prelude::*;
 
 /// Build a small random table from proptest-generated cell values.
