@@ -12,7 +12,7 @@
 //! prints queries/second for both modes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use duet_core::{DuetConfig, DuetEstimator};
+use duet_core::{DuetConfig, DuetEstimator, DuetWorkspace};
 use duet_data::datasets::census_like;
 use duet_query::{Query, WorkloadSpec};
 use duet_serve::{DuetServer, ServeConfig};
@@ -31,6 +31,25 @@ fn run_naive_round(estimator: &Arc<DuetEstimator>, queries: &[Query]) {
                 for q in chunk {
                     // One forward pass per query: the unbatched serving path.
                     black_box(estimator.estimate_batch(std::slice::from_ref(q)));
+                }
+            });
+        }
+    });
+}
+
+fn run_workspace_round(estimator: &Arc<DuetEstimator>, queries: &[Query]) {
+    std::thread::scope(|scope| {
+        for chunk in queries.chunks(QUERIES_PER_CLIENT) {
+            let estimator = estimator.clone();
+            scope.spawn(move || {
+                // One forward pass per query, but every pass reuses this
+                // client's workspace — isolates the allocation savings from
+                // the batching savings.
+                let mut ws = DuetWorkspace::new();
+                let mut out = Vec::new();
+                for q in chunk {
+                    estimator.estimate_batch_with(std::slice::from_ref(q), &mut ws, &mut out);
+                    black_box(out.last().copied());
                 }
             });
         }
@@ -66,6 +85,9 @@ fn bench_serving(c: &mut Criterion) {
     group.bench_function("naive_loop_8_clients", |b| {
         b.iter(|| run_naive_round(&estimator, &queries))
     });
+    group.bench_function("workspace_loop_8_clients", |b| {
+        b.iter(|| run_workspace_round(&estimator, &queries))
+    });
     group.bench_function("batched_serving_8_clients", |b| {
         b.iter(|| run_served_round(&server, &queries))
     });
@@ -83,12 +105,19 @@ fn bench_serving(c: &mut Criterion) {
 
     let started = Instant::now();
     for _ in 0..ROUNDS {
+        run_workspace_round(&estimator, &queries);
+    }
+    let workspace_qps = total / started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
         run_served_round(&server, &queries);
     }
     let served_qps = total / started.elapsed().as_secs_f64();
 
     let m = server.metrics();
     println!("\nnaive one-query-per-call loop : {naive_qps:>10.0} queries/s");
+    println!("workspace-reuse query loop    : {workspace_qps:>10.0} queries/s");
     println!("micro-batched DuetServer      : {served_qps:>10.0} queries/s");
     println!(
         "speedup {:.2}x; server saw {} batches, mean batch size {:.2}",

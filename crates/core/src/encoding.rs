@@ -79,6 +79,12 @@ impl Encoder {
         self.ndvs.clone()
     }
 
+    /// [`Encoder::output_sizes`] as a borrowed slice — the allocation-free
+    /// variant the per-row probability masking uses on the hot path.
+    pub fn output_sizes_ref(&self) -> &[usize] {
+        &self.ndvs
+    }
+
     /// Total input width across all columns.
     pub fn total_width(&self) -> usize {
         (0..self.num_columns()).map(|c| self.block_width(c)).sum()

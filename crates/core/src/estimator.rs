@@ -3,7 +3,7 @@
 //! [`CardinalityEstimator`] trait.
 
 use crate::config::DuetConfig;
-use crate::model::{query_to_id_predicates, DuetModel};
+use crate::model::{query_to_id_predicates, DuetModel, DuetWorkspace};
 use crate::trainer::{train_model, EpochStats, TrainingWorkload};
 use duet_data::Table;
 use duet_query::{CardinalityEstimator, Query};
@@ -153,11 +153,46 @@ impl DuetEstimator {
         rows: &[Vec<Vec<crate::encoding::IdPredicate>>],
         intervals: &[Vec<(u32, u32)>],
     ) -> Vec<f64> {
-        self.model
-            .estimate_selectivity_batch(rows, intervals)
-            .into_iter()
-            .map(|sel| sel * self.num_rows as f64)
-            .collect()
+        let mut out = Vec::new();
+        self.estimate_encoded_batch_with(rows, intervals, &mut DuetWorkspace::new(), &mut out);
+        out
+    }
+
+    /// [`DuetEstimator::estimate_encoded_batch`] staging every intermediate
+    /// in a caller-provided [`DuetWorkspace`] and writing the cardinalities
+    /// into `out` (cleared first).
+    ///
+    /// This is the serving hot path: a `duet-serve` batch worker owns one
+    /// workspace for its whole lifetime, so steady-state batched estimation
+    /// performs zero heap allocation. Results are bit-identical to the
+    /// allocating variant and to per-query [`CardinalityEstimator::estimate`]
+    /// calls.
+    pub fn estimate_encoded_batch_with(
+        &self,
+        rows: &[Vec<Vec<crate::encoding::IdPredicate>>],
+        intervals: &[Vec<(u32, u32)>],
+        ws: &mut DuetWorkspace,
+        out: &mut Vec<f64>,
+    ) {
+        self.model.estimate_selectivity_batch_with(rows, intervals, ws, out);
+        for sel in out.iter_mut() {
+            *sel *= self.num_rows as f64;
+        }
+    }
+
+    /// [`DuetEstimator::estimate_batch`] with a caller-provided workspace:
+    /// queries are translated against the schema (which allocates their
+    /// id-space encodings), but the entire forward pass reuses `ws`.
+    pub fn estimate_batch_with(
+        &self,
+        queries: &[Query],
+        ws: &mut DuetWorkspace,
+        out: &mut Vec<f64>,
+    ) {
+        let rows: Vec<_> =
+            queries.iter().map(|q| query_to_id_predicates(&self.schema, q)).collect();
+        let intervals: Vec<_> = queries.iter().map(|q| q.column_intervals(&self.schema)).collect();
+        self.estimate_encoded_batch_with(&rows, &intervals, ws, out);
     }
 
     /// Estimate a whole workload (convenience for the experiment harness).

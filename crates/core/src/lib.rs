@@ -48,8 +48,8 @@ pub mod virtual_table;
 pub use config::{DuetConfig, MpsnKind};
 pub use encoding::{Encoder, IdPredicate};
 pub use estimator::{DuetEstimator, EstimateBreakdown};
-pub use model::{query_to_id_predicates, DuetModel};
-pub use mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn};
+pub use model::{query_to_id_predicates, DuetModel, DuetWorkspace};
+pub use mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn, MpsnScratch};
 pub use persist::{load_weights, save_weights, CheckpointError};
 pub use trainer::{
     measure_training_throughput, train_model, train_model_with_eval, EpochStats, TrainingWorkload,

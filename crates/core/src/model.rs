@@ -4,10 +4,48 @@
 
 use crate::config::{DuetConfig, MpsnKind};
 use crate::encoding::{Encoder, IdPredicate};
-use crate::mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn};
+use crate::mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn, MpsnScratch};
 use duet_data::Table;
-use duet_nn::{seeded_rng, softmax, Layer, Made, MadeConfig, Matrix, Param};
+use duet_nn::{
+    seeded_rng, softmax_into, ForwardWorkspace, InferLayer, Layer, Made, MadeConfig, Matrix, Param,
+};
 use duet_query::{PredOp, Query};
+
+/// Every scratch buffer one estimation call chain needs, owned by the caller.
+///
+/// Ownership rules: a workspace belongs to whoever drives inference — a
+/// serving worker thread, a bench loop, the trainer — never to the model, so
+/// a shared (`Arc`) model can serve concurrent callers, each with their own
+/// workspace. Buffers grow to the model's widest layer on first use and are
+/// reused afterwards, making steady-state batched estimation **zero heap
+/// allocation**. A workspace may be reused across models and batch sizes;
+/// its contents are scratch only (no correctness state).
+#[derive(Debug, Clone, Default)]
+pub struct DuetWorkspace {
+    /// The `N x total_width` encoded input batch.
+    pub(crate) input: Matrix,
+    /// Ping-pong buffers for the autoregressive backbone's forward pass.
+    pub(crate) nn: ForwardWorkspace,
+    /// Per-column softmax staging for the probability masking step.
+    pub(crate) probs: Vec<f32>,
+    /// Stacked per-column predicate encodings feeding the MPSN.
+    pub(crate) stacked: Matrix,
+    /// MPSN embedding scratch.
+    pub(crate) mpsn: MpsnScratch,
+}
+
+impl DuetWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded input batch of the most recent
+    /// [`DuetModel::fill_input`] call.
+    pub fn input(&self) -> &Matrix {
+        &self.input
+    }
+}
 
 /// The trainable Duet model.
 #[derive(Debug, Clone)]
@@ -114,13 +152,48 @@ impl DuetModel {
     }
 
     /// Encode a batch of rows into an input matrix.
+    ///
+    /// Allocating convenience wrapper over [`DuetModel::fill_input`].
     pub fn input_matrix(&self, rows: &[Vec<Vec<IdPredicate>>]) -> Matrix {
-        let width = self.encoder.total_width();
-        let mut m = Matrix::zeros(rows.len(), width);
+        let mut ws = DuetWorkspace::new();
+        self.fill_input(rows, &mut ws);
+        ws.input
+    }
+
+    /// Encode a batch of rows directly into the workspace's input matrix,
+    /// with no per-row or per-predicate intermediates: predicate encodings
+    /// are written in place (non-MPSN path) or staged in the workspace's
+    /// scratch buffers (MPSN path). Bit-identical to
+    /// [`DuetModel::input_matrix`], allocation-free once the workspace is
+    /// warm.
+    ///
+    /// `rows` may hold the per-column predicate lists by value or by
+    /// reference (anything that derefs to `[Vec<IdPredicate>]`).
+    pub fn fill_input<R: AsRef<[Vec<IdPredicate>]>>(&self, rows: &[R], ws: &mut DuetWorkspace) {
+        let DuetWorkspace { input, stacked, mpsn, .. } = ws;
+        input.reset(rows.len(), self.encoder.total_width());
         for (r, row) in rows.iter().enumerate() {
-            m.row_mut(r).copy_from_slice(&self.row_input(row));
+            let out_row = input.row_mut(r);
+            let mut off = 0usize;
+            for (col, col_preds) in row.as_ref().iter().enumerate() {
+                let width = self.encoder.block_width(col);
+                let slot = &mut out_row[off..off + width];
+                if self.mpsns.is_empty() {
+                    // First predicate only; wildcards stay all-zero (the
+                    // encoder's wildcard encoding).
+                    if let Some(p) = col_preds.first() {
+                        self.encoder.encode_predicate_into(col, p, slot);
+                    }
+                } else if !col_preds.is_empty() {
+                    stacked.reset(col_preds.len(), width);
+                    for (k, p) in col_preds.iter().enumerate() {
+                        self.encoder.encode_predicate_into(col, p, stacked.row_mut(k));
+                    }
+                    self.mpsns[col].embed_into(stacked, mpsn, slot);
+                }
+                off += width;
+            }
         }
-        m
     }
 
     /// Inference-only forward pass through the backbone.
@@ -141,7 +214,19 @@ impl DuetModel {
     /// matching the paper's formulation where only constrained columns appear
     /// in the product.
     pub fn selectivity_from_logits(&self, logits_row: &[f32], intervals: &[(u32, u32)]) -> f64 {
-        let sizes = self.encoder.output_sizes();
+        self.selectivity_from_logits_with(logits_row, intervals, &mut Vec::new())
+    }
+
+    /// [`DuetModel::selectivity_from_logits`] with a caller-provided softmax
+    /// staging buffer (grows to the largest per-column domain, then is
+    /// reused allocation-free).
+    pub fn selectivity_from_logits_with(
+        &self,
+        logits_row: &[f32],
+        intervals: &[(u32, u32)],
+        probs: &mut Vec<f32>,
+    ) -> f64 {
+        let sizes = self.encoder.output_sizes_ref();
         debug_assert_eq!(intervals.len(), sizes.len());
         let mut selectivity = 1.0f64;
         let mut offset = 0usize;
@@ -154,7 +239,9 @@ impl DuetModel {
             if lo >= hi {
                 return 0.0; // contradictory predicates
             }
-            let probs = softmax(&logits_row[offset..offset + size]);
+            probs.clear();
+            probs.resize(size, 0.0);
+            softmax_into(&logits_row[offset..offset + size], probs);
             let mass: f64 = probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
             selectivity *= mass;
             offset += size;
@@ -187,15 +274,38 @@ impl DuetModel {
         rows: &[Vec<Vec<IdPredicate>>],
         intervals: &[Vec<(u32, u32)>],
     ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.estimate_selectivity_batch_with(rows, intervals, &mut DuetWorkspace::new(), &mut out);
+        out
+    }
+
+    /// [`DuetModel::estimate_selectivity_batch`] staging every intermediate
+    /// (encoded input, layer activations, per-column softmax) in a
+    /// caller-provided workspace and writing the selectivities into `out`
+    /// (cleared first). Zero heap allocation once the workspace and `out`
+    /// have warmed up to the batch shape.
+    pub fn estimate_selectivity_batch_with(
+        &self,
+        rows: &[Vec<Vec<IdPredicate>>],
+        intervals: &[Vec<(u32, u32)>],
+        ws: &mut DuetWorkspace,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(rows.len(), intervals.len(), "rows/intervals length mismatch");
+        out.clear();
         if rows.is_empty() {
-            return Vec::new();
+            return;
         }
-        let input = self.input_matrix(rows);
-        let logits = self.forward_inference(&input);
-        (0..rows.len())
-            .map(|r| self.selectivity_from_logits(logits.row(r), &intervals[r]))
-            .collect()
+        out.reserve(rows.len());
+        self.fill_input(rows, ws);
+        let logits = self.made.infer_into(&ws.input, &mut ws.nn);
+        for (r, row_intervals) in intervals.iter().enumerate() {
+            out.push(self.selectivity_from_logits_with(
+                logits.row(r),
+                row_intervals,
+                &mut ws.probs,
+            ));
+        }
     }
 
     /// Visit every trainable parameter (backbone + MPSNs).

@@ -20,8 +20,41 @@
 //! column at once; [`MergedMlpMpsn`] implements that acceleration.
 
 use crate::config::MpsnKind;
-use duet_nn::{seeded_rng, Init, Layer, Linear, Matrix, Mlp, Param};
+use duet_nn::{
+    rowvec_matmul_into, seeded_rng, Activation, ForwardWorkspace, InferLayer, Init, Layer, Linear,
+    Matrix, Mlp, Param,
+};
 use rand::rngs::SmallRng;
+
+/// Reusable scratch buffers for allocation-free MPSN embedding.
+///
+/// Owned by the caller (typically inside a
+/// [`DuetWorkspace`](crate::model::DuetWorkspace)); every buffer reshapes on
+/// the fly reusing its heap capacity, so embedding is allocation-free once
+/// the buffers have warmed up to the widest column.
+#[derive(Debug, Clone, Default)]
+pub struct MpsnScratch {
+    /// Workspace for the per-column MLP / recursive cell forward passes.
+    nn: ForwardWorkspace,
+    /// One-row input staging matrix for the recursive cell.
+    row_in: Matrix,
+    /// Recurrent hidden state.
+    h: Vec<f32>,
+    /// Recurrent pre-activation.
+    a: Vec<f32>,
+    /// Recurrent `h @ Wh` staging (kept separate from `a` so the summation
+    /// order matches the allocating path bit for bit).
+    t: Vec<f32>,
+    /// Recursive previous output.
+    prev: Vec<f32>,
+}
+
+impl MpsnScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A per-column MPSN instance.
 // Variant sizes differ, but a model holds at most one per column, so boxing
@@ -54,11 +87,33 @@ impl ColumnMpsn {
 
     /// Embed a (possibly empty) list of predicate encodings into the column's
     /// input block. An empty list (wildcard column) embeds to all zeros.
+    ///
+    /// Allocating convenience wrapper over [`ColumnMpsn::embed_into`].
     pub fn embed(&self, preds: &[Vec<f32>]) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim()];
+        if !preds.is_empty() {
+            let encs = stack(preds);
+            let mut ws = MpsnScratch::new();
+            self.embed_into(&encs, &mut ws, &mut out);
+        }
+        out
+    }
+
+    /// Embed the stacked predicate encodings `encs` (one row per predicate,
+    /// `dim` columns) into `out`, using only the scratch buffers in `ws` —
+    /// allocation-free once warm and bit-identical to [`ColumnMpsn::embed`].
+    ///
+    /// An empty `encs` (wildcard column) writes all zeros.
+    pub fn embed_into(&self, encs: &Matrix, ws: &mut MpsnScratch, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim());
+        if encs.rows() == 0 {
+            out.fill(0.0);
+            return;
+        }
         match self {
-            ColumnMpsn::Mlp(m) => m.embed(preds),
-            ColumnMpsn::Recurrent(m) => m.embed(preds),
-            ColumnMpsn::Recursive(m) => m.embed(preds),
+            ColumnMpsn::Mlp(m) => m.embed_into(encs, ws, out),
+            ColumnMpsn::Recurrent(m) => m.embed_into(encs, ws, out),
+            ColumnMpsn::Recursive(m) => m.embed_into(encs, ws, out),
         }
     }
 
@@ -107,13 +162,17 @@ impl MlpMpsn {
         Self { mlp: Mlp::new(&[dim, hidden, hidden, dim], rng), dim }
     }
 
-    fn embed(&self, preds: &[Vec<f32>]) -> Vec<f32> {
-        if preds.is_empty() {
-            return vec![0.0; self.dim];
+    /// `out = Σ_rows MLP(encs)`: run the stacked encodings through the MLP in
+    /// one workspace-backed pass and sum the output rows (the vector-sum of
+    /// the paper, replicated in `column_sums` order for bit-identity).
+    fn embed_into(&self, encs: &Matrix, ws: &mut MpsnScratch, out: &mut [f32]) {
+        let y = self.mlp.infer_into(encs, &mut ws.nn);
+        out.fill(0.0);
+        for row in y.rows_iter() {
+            for (o, &x) in out.iter_mut().zip(row.iter()) {
+                *o += x;
+            }
         }
-        let batch = stack(preds);
-        let out = self.mlp.forward_inference(&batch);
-        out.column_sums()
     }
 
     fn accumulate_grad(&mut self, preds: &[Vec<f32>], grad_out: &[f32]) {
@@ -174,15 +233,35 @@ impl RecurrentMpsn {
         states
     }
 
-    fn embed(&self, preds: &[Vec<f32>]) -> Vec<f32> {
-        if preds.is_empty() {
-            return vec![0.0; self.dim];
+    /// Run the tanh RNN over the stacked encodings and read out the final
+    /// hidden state, keeping the state in flat scratch slices.
+    ///
+    /// `x @ Wx` and `h @ Wh` are computed into separate buffers and then
+    /// added (instead of accumulating into one), so the floating-point
+    /// summation order matches [`RecurrentMpsn::run`] exactly.
+    fn embed_into(&self, encs: &Matrix, ws: &mut MpsnScratch, out: &mut [f32]) {
+        ws.h.clear();
+        ws.h.resize(self.hidden, 0.0);
+        ws.a.clear();
+        ws.a.resize(self.hidden, 0.0);
+        ws.t.clear();
+        ws.t.resize(self.hidden, 0.0);
+        for r in 0..encs.rows() {
+            rowvec_matmul_into(encs.row(r), &self.wx.data, &mut ws.a);
+            rowvec_matmul_into(&ws.h, &self.wh.data, &mut ws.t);
+            for (a, &t) in ws.a.iter_mut().zip(ws.t.iter()) {
+                *a += t;
+            }
+            for (a, &b) in ws.a.iter_mut().zip(self.b.data.as_slice().iter()) {
+                *a += b;
+            }
+            ws.a.iter_mut().for_each(|v| *v = v.tanh());
+            std::mem::swap(&mut ws.h, &mut ws.a);
         }
-        let states = self.run(preds);
-        let last = states.last().expect("non-empty");
-        let mut out = last.matmul(&self.wo.data);
-        out.add_row_vector(self.bo.data.as_slice());
-        out.into_vec()
+        rowvec_matmul_into(&ws.h, &self.wo.data, out);
+        for (o, &b) in out.iter_mut().zip(self.bo.data.as_slice().iter()) {
+            *o += b;
+        }
     }
 
     fn accumulate_grad(&mut self, preds: &[Vec<f32>], grad_out: &[f32]) {
@@ -248,11 +327,22 @@ impl RecursiveMpsn {
         outs
     }
 
-    fn embed(&self, preds: &[Vec<f32>]) -> Vec<f32> {
-        if preds.is_empty() {
-            return vec![0.0; self.dim];
+    /// Fold the recursive cell over the stacked encodings:
+    /// `out_t = MLP([enc_t ; out_{t-1}])`, staging each cell input in the
+    /// scratch's one-row matrix.
+    fn embed_into(&self, encs: &Matrix, ws: &mut MpsnScratch, out: &mut [f32]) {
+        let dim = self.dim;
+        ws.prev.clear();
+        ws.prev.resize(dim, 0.0);
+        for r in 0..encs.rows() {
+            ws.row_in.reset(1, 2 * dim);
+            let row = ws.row_in.row_mut(0);
+            row[..dim].copy_from_slice(encs.row(r));
+            row[dim..].copy_from_slice(&ws.prev);
+            let y = self.cell.infer_into(&ws.row_in, &mut ws.nn);
+            ws.prev.copy_from_slice(y.row(0));
         }
-        self.run(preds).pop().expect("non-empty")
+        out.copy_from_slice(&ws.prev);
     }
 
     fn accumulate_grad(&mut self, preds: &[Vec<f32>], grad_out: &[f32]) {
@@ -357,51 +447,69 @@ impl MergedMlpMpsn {
     /// `preds_per_col[c]` holds the encodings of column `c`'s predicates; the
     /// result is the concatenation of every column's embedding (identical to
     /// calling each [`ColumnMpsn::embed`] separately and concatenating).
+    ///
+    /// Allocating convenience wrapper over [`MergedMlpMpsn::embed_all_into`].
     pub fn embed_all(&self, preds_per_col: &[Vec<Vec<f32>>]) -> Vec<f32> {
+        let mut result = vec![0.0f32; self.dims.iter().sum()];
+        let mut ws = ForwardWorkspace::new();
+        self.embed_all_into(preds_per_col, &mut ws, &mut result);
+        result
+    }
+
+    /// [`MergedMlpMpsn::embed_all`] into a caller-provided output slice,
+    /// staging every intermediate in the workspace — allocation-free once the
+    /// workspace has warmed up to this network's widths.
+    pub fn embed_all_into(
+        &self,
+        preds_per_col: &[Vec<Vec<f32>>],
+        ws: &mut ForwardWorkspace,
+        out: &mut [f32],
+    ) {
         assert_eq!(preds_per_col.len(), self.dims.len(), "column count mismatch");
         let total: usize = self.dims.iter().sum();
+        assert_eq!(out.len(), total, "output length mismatch");
+        out.fill(0.0);
         let max_preds = preds_per_col.iter().map(|p| p.len()).max().unwrap_or(0);
-        let mut result = vec![0.0f32; total];
         if max_preds == 0 {
-            return result;
+            return;
         }
+        ws.rewind();
         // Row k holds every column's k-th predicate (or zeros). Running the
         // block-diagonal MLP over these rows and masking out the slots where a
         // column has no k-th predicate reproduces the per-column sum exactly.
-        let mut input = Matrix::zeros(max_preds, self.layers[0].0.rows());
-        for (c, preds) in preds_per_col.iter().enumerate() {
-            let off = self.block_offsets[0][c];
-            for (k, p) in preds.iter().enumerate() {
-                input.row_mut(k)[off..off + p.len()].copy_from_slice(p);
+        {
+            let (_cur, _next, aux, _w) = ws.split();
+            aux.reset(max_preds, self.layers[0].0.rows());
+            for (c, preds) in preds_per_col.iter().enumerate() {
+                let off = self.block_offsets[0][c];
+                for (k, p) in preds.iter().enumerate() {
+                    aux.row_mut(k)[off..off + p.len()].copy_from_slice(p);
+                }
             }
         }
-        let mut x = input;
         let last = self.layers.len() - 1;
         for (i, (w, b)) in self.layers.iter().enumerate() {
-            let mut y = x.matmul(w);
-            y.add_row_vector(b);
-            if i < last {
-                y.as_mut_slice().iter_mut().for_each(|v| {
-                    if *v < 0.0 {
-                        *v = 0.0
-                    }
-                });
+            let act = if i < last { Activation::Relu } else { Activation::Identity };
+            {
+                let (cur, next, aux, _w) = ws.split();
+                let x: &Matrix = if i == 0 { aux } else { cur };
+                x.addmm_bias_act_into(w, Some(b), act, next);
             }
-            x = y;
+            ws.flip();
         }
         // Mask and sum over the predicate-slot rows.
+        let y = ws.output();
         let final_offsets = &self.block_offsets[self.layers.len()];
         for (c, preds) in preds_per_col.iter().enumerate() {
             let off = final_offsets[c];
             let dim = self.dims[c];
-            for (k, _) in preds.iter().enumerate() {
-                let row = x.row(k);
+            for k in 0..preds.len() {
+                let row = y.row(k);
                 for d in 0..dim {
-                    result[off + d] += row[off + d];
+                    out[off + d] += row[off + d];
                 }
             }
         }
-        result
     }
 }
 

@@ -4,7 +4,7 @@
 
 use crate::config::DuetConfig;
 use crate::encoding::IdPredicate;
-use crate::model::{query_to_id_predicates, DuetModel};
+use crate::model::{query_to_id_predicates, DuetModel, DuetWorkspace};
 use crate::virtual_table::{sample_virtual_batch, SamplerConfig, VirtualTuple};
 use duet_data::Table;
 use duet_nn::{grouped_cross_entropy, seeded_rng, softmax, Adam, GradClip, Layer, Matrix, Param};
@@ -128,6 +128,10 @@ pub fn train_model_with_eval(
 
     let mut row_order: Vec<usize> = (0..table.num_rows()).collect();
     let mut query_cursor = 0usize;
+    // One encoding workspace for the whole run: the trainer stays on the
+    // caching `Layer::forward` path (backward needs the cached activations),
+    // but input encoding reuses these buffers across every batch.
+    let mut ws = DuetWorkspace::new();
 
     for epoch in 0..config.epochs {
         let started = Instant::now();
@@ -143,7 +147,7 @@ pub fn train_model_with_eval(
 
             // --- Unsupervised pass over sampled virtual tuples ------------
             let virtual_batch = sample_virtual_batch(table, chunk, &sampler, &mut rng);
-            let (loss_data, grad_input) = data_pass(&mut model, &virtual_batch);
+            let (loss_data, grad_input) = data_pass(&mut model, &virtual_batch, &mut ws);
             data_loss_sum += loss_data as f64;
             if let Some(grad_input) = grad_input {
                 backprop_mpsn(&mut model, &virtual_batch, &grad_input);
@@ -152,13 +156,15 @@ pub fn train_model_with_eval(
             // --- Supervised pass over a query mini-batch ------------------
             if hybrid {
                 let batch = next_query_batch(&prepared, &mut query_cursor, config.query_batch_size);
-                let (loss_q, mean_q, grad_input_q, rows) =
-                    query_pass(&mut model, &batch, num_rows_f, config.lambda);
+                let (loss_q, mean_q, grad_input_q) =
+                    query_pass(&mut model, &batch, num_rows_f, config.lambda, &mut ws);
                 query_loss_sum += loss_q;
                 q_error_sum += mean_q;
                 query_batches += 1;
-                if let (Some(grad_input_q), Some(rows)) = (grad_input_q, rows) {
-                    backprop_mpsn_rows(&mut model, &rows, &grad_input_q);
+                if let Some(grad_input_q) = grad_input_q {
+                    let rows: Vec<&Vec<Vec<IdPredicate>>> =
+                        batch.iter().map(|p| &p.preds).collect();
+                    backprop_mpsn_impl(&mut model, &rows, &grad_input_q);
                 }
             }
 
@@ -186,12 +192,16 @@ pub fn train_model_with_eval(
 /// Forward/backward for one virtual-tuple batch. Returns the loss and, when an
 /// MPSN is present, the gradient w.r.t. the network input (needed to continue
 /// back-propagation into the per-column MPSNs).
-fn data_pass(model: &mut DuetModel, batch: &[VirtualTuple]) -> (f32, Option<Matrix>) {
-    let rows: Vec<Vec<Vec<IdPredicate>>> = batch.iter().map(|vt| vt.predicates.clone()).collect();
-    let input = model.input_matrix(&rows);
+fn data_pass(
+    model: &mut DuetModel,
+    batch: &[VirtualTuple],
+    ws: &mut DuetWorkspace,
+) -> (f32, Option<Matrix>) {
+    let rows: Vec<&Vec<Vec<IdPredicate>>> = batch.iter().map(|vt| &vt.predicates).collect();
+    model.fill_input(&rows, ws);
     let labels: Vec<Vec<usize>> = batch.iter().map(|vt| vt.labels.clone()).collect();
     let blocks = model.output_sizes();
-    let logits = model.made_mut().forward(&input);
+    let logits = model.made_mut().forward(ws.input());
     let (loss, grad_logits) = grouped_cross_entropy(&logits, &blocks, &labels);
     let grad_input = model.made_mut().backward(&grad_logits);
     if model.mpsns().is_empty() {
@@ -206,12 +216,6 @@ fn data_pass(model: &mut DuetModel, batch: &[VirtualTuple]) -> (f32, Option<Matr
 fn backprop_mpsn(model: &mut DuetModel, batch: &[VirtualTuple], grad_input: &Matrix) {
     let rows: Vec<&Vec<Vec<IdPredicate>>> = batch.iter().map(|vt| &vt.predicates).collect();
     backprop_mpsn_impl(model, &rows, grad_input);
-}
-
-/// Same as [`backprop_mpsn`] but for already-extracted per-row predicates.
-fn backprop_mpsn_rows(model: &mut DuetModel, rows: &[Vec<Vec<IdPredicate>>], grad_input: &Matrix) {
-    let refs: Vec<&Vec<Vec<IdPredicate>>> = rows.iter().collect();
-    backprop_mpsn_impl(model, &refs, grad_input);
 }
 
 fn backprop_mpsn_impl(model: &mut DuetModel, rows: &[&Vec<Vec<IdPredicate>>], grad_input: &Matrix) {
@@ -252,23 +256,25 @@ fn next_query_batch<'a>(
 
 /// Forward/backward for a supervised query batch.
 ///
-/// Returns `(mean log2(QError+1), mean QError, grad wrt input, rows)` where
-/// the gradient already includes the λ scaling so it can simply be accumulated
-/// on top of the data-pass gradients.
-type QueryPassOutput = (f64, f64, Option<Matrix>, Option<Vec<Vec<Vec<IdPredicate>>>>);
+/// Returns `(mean log2(QError+1), mean QError, grad wrt input)` where the
+/// gradient already includes the λ scaling so it can simply be accumulated
+/// on top of the data-pass gradients (the caller continues it into the
+/// MPSNs using the same prepared batch).
+type QueryPassOutput = (f64, f64, Option<Matrix>);
 
 fn query_pass(
     model: &mut DuetModel,
     batch: &[&PreparedQuery],
     num_rows: f64,
     lambda: f64,
+    ws: &mut DuetWorkspace,
 ) -> QueryPassOutput {
     if batch.is_empty() {
-        return (0.0, 1.0, None, None);
+        return (0.0, 1.0, None);
     }
-    let rows: Vec<Vec<Vec<IdPredicate>>> = batch.iter().map(|p| p.preds.clone()).collect();
-    let input = model.input_matrix(&rows);
-    let logits = model.made_mut().forward(&input);
+    let rows: Vec<&Vec<Vec<IdPredicate>>> = batch.iter().map(|p| &p.preds).collect();
+    model.fill_input(&rows, ws);
+    let logits = model.made_mut().forward(ws.input());
     let sizes = model.output_sizes();
 
     let mut grad_logits = Matrix::zeros(logits.rows(), logits.cols());
@@ -338,9 +344,9 @@ fn query_pass(
     let mean_loss = loss_sum / batch.len() as f64;
     let mean_q = q_sum / batch.len() as f64;
     if model.mpsns().is_empty() {
-        (mean_loss, mean_q, None, None)
+        (mean_loss, mean_q, None)
     } else {
-        (mean_loss, mean_q, Some(grad_input), Some(rows))
+        (mean_loss, mean_q, Some(grad_input))
     }
 }
 

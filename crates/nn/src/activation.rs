@@ -3,6 +3,32 @@
 use crate::param::{Layer, Param};
 use crate::tensor::Matrix;
 
+/// Element-wise activation applied by the fused
+/// [`Matrix::addmm_bias_act_into`](crate::tensor::Matrix::addmm_bias_act_into)
+/// kernel on the inference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation (final layers).
+    Identity,
+    /// `max(0, x)`, the clamp every hidden layer in this workspace uses.
+    Relu,
+}
+
+impl Activation {
+    /// Apply the activation in place.
+    #[inline]
+    pub fn apply(self, xs: &mut [f32]) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => xs.iter_mut().for_each(|x| {
+                if *x < 0.0 {
+                    *x = 0.0;
+                }
+            }),
+        }
+    }
+}
+
 /// Rectified linear unit: `y = max(0, x)`.
 #[derive(Debug, Clone, Default)]
 pub struct ReLU {

@@ -30,14 +30,16 @@ pub mod optim;
 pub mod param;
 pub mod serialize;
 pub mod tensor;
+pub mod workspace;
 
-pub use activation::ReLU;
+pub use activation::{Activation, ReLU};
 pub use init::{seeded_rng, Init};
 pub use linear::{Linear, MaskedLinear};
 pub use loss::{grouped_cross_entropy, q_error, softmax, softmax_blocks, softmax_into};
 pub use made::{Made, MadeConfig};
 pub use mlp::Mlp;
 pub use optim::{Adam, GradClip, Sgd};
-pub use param::{Layer, Param};
+pub use param::{InferLayer, Layer, Param};
 pub use serialize::{load_params, save_params, CheckpointError};
-pub use tensor::Matrix;
+pub use tensor::{rowvec_matmul_into, Matrix};
+pub use workspace::ForwardWorkspace;

@@ -1,9 +1,16 @@
 //! Fully connected layers: plain [`Linear`] and [`MaskedLinear`] (the building
 //! block of MADE, where a binary mask enforces the autoregressive property).
+//!
+//! Both layers implement the training [`Layer`] trait (which caches the input
+//! for `backward`) and the allocation-free [`InferLayer`] trait; the
+//! `infer_raw` methods are the borrow-friendly building blocks composite
+//! networks (`Mlp`, `Made`) use to chain layers through one workspace.
 
+use crate::activation::Activation;
 use crate::init::Init;
-use crate::param::{Layer, Param};
+use crate::param::{cache_input, InferLayer, Layer, Param};
 use crate::tensor::Matrix;
+use crate::workspace::ForwardWorkspace;
 use rand::rngs::SmallRng;
 
 /// `y = x @ W + b`, with `W` of shape `(in_features, out_features)`.
@@ -56,9 +63,28 @@ impl Linear {
 
     /// Forward pass that does not cache activations (inference-only path).
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
-        let mut out = input.matmul(&self.weight.data);
-        out.add_row_vector(self.bias.data.as_slice());
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_raw(input, Activation::Identity, &mut out);
         out
+    }
+
+    /// Allocation-free fused forward: `out = act(input @ W + b)` written into
+    /// a caller buffer (reshaped, heap reused). The building block the
+    /// composite networks chain through their workspace.
+    pub fn infer_raw(&self, input: &Matrix, act: Activation, out: &mut Matrix) {
+        input.addmm_bias_act_into(&self.weight.data, Some(self.bias.data.as_slice()), act, out);
+    }
+}
+
+impl InferLayer for Linear {
+    fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
+        ws.rewind();
+        {
+            let (_cur, next, _aux, _w) = ws.split();
+            self.infer_raw(input, Activation::Identity, next);
+        }
+        ws.flip();
+        ws.output()
     }
 }
 
@@ -66,7 +92,7 @@ impl Layer for Linear {
     fn forward(&mut self, input: &Matrix) -> Matrix {
         let mut out = input.matmul(&self.weight.data);
         out.add_row_vector(self.bias.data.as_slice());
-        self.cached_input = Some(input.clone());
+        cache_input(&mut self.cached_input, input);
         out
     }
 
@@ -147,10 +173,36 @@ impl MaskedLinear {
 
     /// Forward pass without caching (inference-only path).
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
-        let w = self.effective_weight();
-        let mut out = input.matmul(&w);
-        out.add_row_vector(self.bias.data.as_slice());
+        let mut wscratch = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_raw(input, Activation::Identity, &mut wscratch, &mut out);
         out
+    }
+
+    /// Allocation-free fused forward: the masked effective weight is
+    /// materialized into `wscratch` (no allocation once warm) and
+    /// `out = act(input @ (W ⊙ M) + b)` is computed in one fused pass.
+    pub fn infer_raw(
+        &self,
+        input: &Matrix,
+        act: Activation,
+        wscratch: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        self.weight.data.masked_into(&self.mask, wscratch);
+        input.addmm_bias_act_into(wscratch, Some(self.bias.data.as_slice()), act, out);
+    }
+}
+
+impl InferLayer for MaskedLinear {
+    fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
+        ws.rewind();
+        {
+            let (_cur, next, _aux, wscratch) = ws.split();
+            self.infer_raw(input, Activation::Identity, wscratch, next);
+        }
+        ws.flip();
+        ws.output()
     }
 }
 
@@ -159,7 +211,7 @@ impl Layer for MaskedLinear {
         let w = self.effective_weight();
         let mut out = input.matmul(&w);
         out.add_row_vector(self.bias.data.as_slice());
-        self.cached_input = Some(input.clone());
+        cache_input(&mut self.cached_input, input);
         out
     }
 

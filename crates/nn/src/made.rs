@@ -7,10 +7,12 @@
 //! tuple values, but the masking logic is identical, so it lives here in the
 //! substrate crate.
 
+use crate::activation::Activation;
 use crate::init::Init;
 use crate::linear::MaskedLinear;
-use crate::param::{Layer, Param};
+use crate::param::{InferLayer, Layer, Param};
 use crate::tensor::Matrix;
+use crate::workspace::ForwardWorkspace;
 use rand::rngs::SmallRng;
 
 /// Architecture description for a [`Made`] network.
@@ -118,17 +120,12 @@ impl ResBlock {
         }
     }
 
-    fn forward_inference(&self, x: &Matrix) -> Matrix {
-        let h = self.fc1.forward_inference(x);
-        let mut a = h;
-        a.as_mut_slice().iter_mut().for_each(|v| {
-            if *v < 0.0 {
-                *v = 0.0
-            }
-        });
-        let mut out = self.fc2.forward_inference(&a);
+    /// Allocation-free fused forward: `out = x + fc2(relu(fc1(x)))`, with the
+    /// hidden activation staged in `h` and masked weights in `wscratch`.
+    fn infer_raw(&self, x: &Matrix, h: &mut Matrix, wscratch: &mut Matrix, out: &mut Matrix) {
+        self.fc1.infer_raw(x, Activation::Relu, wscratch, h);
+        self.fc2.infer_raw(h, Activation::Identity, wscratch, out);
         out.add_assign(x);
-        out
     }
 }
 
@@ -280,24 +277,13 @@ impl Made {
     }
 
     /// Forward pass without caching; use for inference/latency measurements.
+    ///
+    /// Allocates a throwaway workspace per call; hot paths should hold a
+    /// persistent [`ForwardWorkspace`] and use
+    /// [`InferLayer::infer_into`] instead.
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for stage in &self.stages {
-            x = match stage {
-                Stage::MaskedRelu { linear, .. } => {
-                    let mut h = linear.forward_inference(&x);
-                    h.as_mut_slice().iter_mut().for_each(|v| {
-                        if *v < 0.0 {
-                            *v = 0.0
-                        }
-                    });
-                    h
-                }
-                Stage::Residual(block) => block.forward_inference(&x),
-                Stage::Output(linear) => linear.forward_inference(&x),
-            };
-        }
-        x
+        let mut ws = ForwardWorkspace::new();
+        self.infer_into(input, &mut ws).clone()
     }
 
     /// Total number of trainable scalars.
@@ -308,6 +294,35 @@ impl Made {
     /// Model size in bytes assuming `f32` storage (reported in Table II).
     pub fn size_bytes(&mut self) -> usize {
         self.num_parameters() * std::mem::size_of::<f32>()
+    }
+}
+
+impl InferLayer for Made {
+    fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
+        assert_eq!(
+            input.cols(),
+            self.config.input_width(),
+            "input width mismatch: expected {}",
+            self.config.input_width()
+        );
+        ws.rewind();
+        for (i, stage) in self.stages.iter().enumerate() {
+            {
+                let (cur, next, aux, wscratch) = ws.split();
+                let x: &Matrix = if i == 0 { input } else { cur };
+                match stage {
+                    Stage::MaskedRelu { linear, .. } => {
+                        linear.infer_raw(x, Activation::Relu, wscratch, next)
+                    }
+                    Stage::Residual(block) => block.infer_raw(x, aux, wscratch, next),
+                    Stage::Output(linear) => {
+                        linear.infer_raw(x, Activation::Identity, wscratch, next)
+                    }
+                }
+            }
+            ws.flip();
+        }
+        ws.output()
     }
 }
 

@@ -1,11 +1,12 @@
 //! A plain multi-layer perceptron (`Linear` + ReLU stack) used by the MSCN
 //! baseline and by Duet's MLP-based MPSN predicate embedder.
 
-use crate::activation::ReLU;
+use crate::activation::{Activation, ReLU};
 use crate::init::Init;
 use crate::linear::Linear;
-use crate::param::{Layer, Param};
+use crate::param::{InferLayer, Layer, Param};
 use crate::tensor::Matrix;
+use crate::workspace::ForwardWorkspace;
 use rand::rngs::SmallRng;
 
 /// A feed-forward network: `Linear -> ReLU -> ... -> Linear` (no activation on
@@ -57,19 +58,23 @@ impl Mlp {
 
     /// Forward pass without caching activations (inference-only).
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
+        let mut ws = ForwardWorkspace::new();
+        self.infer_into(input, &mut ws).clone()
+    }
+}
+
+impl InferLayer for Mlp {
+    fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
+        ws.rewind();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward_inference(&x);
-            if i < last {
-                x.as_mut_slice().iter_mut().for_each(|v| {
-                    if *v < 0.0 {
-                        *v = 0.0
-                    }
-                });
-            }
+            let act = if i < last { Activation::Relu } else { Activation::Identity };
+            let (cur, next, _aux, _w) = ws.split();
+            let x = if i == 0 { input } else { &*cur };
+            layer.infer_raw(x, act, next);
+            ws.flip();
         }
-        x
+        ws.output()
     }
 }
 

@@ -16,6 +16,11 @@ pub enum GradClip {
 }
 
 /// Adam optimizer (Kingma & Ba) with optional per-element gradient clipping.
+///
+/// The first and second moments live in two **flat** buffers (one `f32` per
+/// trainable scalar, in parameter-visitation order) with a per-parameter
+/// offset table, instead of one heap vector per parameter — a single pair of
+/// contiguous allocations regardless of how many layers the model has.
 #[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,
@@ -24,8 +29,13 @@ pub struct Adam {
     eps: f32,
     clip: GradClip,
     step: u64,
-    m: Vec<Vec<f32>>,
-    v: Vec<Vec<f32>>,
+    /// First-moment estimates, all parameters concatenated.
+    m: Vec<f32>,
+    /// Second-moment estimates, same layout as `m`.
+    v: Vec<f32>,
+    /// `offsets[i]` is where parameter `i`'s slice starts in `m`/`v`; a final
+    /// sentinel equal to `m.len()` closes the last slice.
+    offsets: Vec<usize>,
 }
 
 impl Adam {
@@ -40,6 +50,7 @@ impl Adam {
             step: 0,
             m: Vec::new(),
             v: Vec::new(),
+            offsets: vec![0],
         }
     }
 
@@ -78,13 +89,19 @@ impl Adam {
         let mut idx = 0usize;
         let m_store = &mut self.m;
         let v_store = &mut self.v;
+        let offsets = &mut self.offsets;
         layer.visit_params(&mut |p| {
-            if m_store.len() <= idx {
-                m_store.push(vec![0.0; p.len()]);
-                v_store.push(vec![0.0; p.len()]);
+            debug_assert_eq!(offsets.last(), Some(&m_store.len()));
+            if idx + 1 == offsets.len() {
+                // First step: lay this parameter out at the end of the flat
+                // buffers and record the closing sentinel offset.
+                m_store.resize(m_store.len() + p.len(), 0.0);
+                v_store.resize(v_store.len() + p.len(), 0.0);
+                offsets.push(m_store.len());
             }
-            let m = &mut m_store[idx];
-            let v = &mut v_store[idx];
+            let (start, end) = (offsets[idx], offsets[idx + 1]);
+            let m = &mut m_store[start..end];
+            let v = &mut v_store[start..end];
             assert_eq!(m.len(), p.len(), "parameter shape changed between optimizer steps");
             let data = p.data.as_mut_slice();
             let grad = p.grad.as_slice();

@@ -1,6 +1,20 @@
-//! Trainable parameters and the layer abstraction shared by all networks.
+//! Trainable parameters and the layer abstractions shared by all networks.
+//!
+//! Two traits split the forward path by purpose:
+//!
+//! * [`Layer`] is the **training** abstraction: `forward` caches whatever the
+//!   matching `backward` needs (inputs, pre-activations), so it takes `&mut
+//!   self` and costs memory per call;
+//! * [`InferLayer`] is the **inference** abstraction: `infer_into` runs the
+//!   same computation through a caller-provided
+//!   [`ForwardWorkspace`](crate::workspace::ForwardWorkspace), caching
+//!   nothing and allocating nothing once the workspace is warm. It takes
+//!   `&self`, so a model behind an `Arc` can serve concurrent readers.
+//!
+//! Both paths are bit-identical for the same weights and input.
 
 use crate::tensor::Matrix;
+use crate::workspace::ForwardWorkspace;
 
 /// A trainable tensor together with its accumulated gradient.
 #[derive(Debug, Clone)]
@@ -61,6 +75,29 @@ pub trait Layer {
     /// Zero every parameter gradient.
     fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+/// An inference-only module: compute the output of `input` into the
+/// workspace's scratch buffers, caching nothing.
+///
+/// `input` must not alias a workspace buffer (the borrow checker enforces
+/// this); composite layers chain their internal stages through the
+/// workspace's ping-pong pair instead of recursing through this trait.
+pub trait InferLayer {
+    /// Run the forward computation for `input` (a batch: one row per
+    /// example) and return a reference to the output, which lives in `ws`
+    /// until the next pass overwrites it. Bit-identical to the training
+    /// [`Layer::forward`] for the same weights.
+    fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix;
+}
+
+/// Store a copy of `input` in a training cache slot, reusing the previous
+/// cached buffer's allocation instead of cloning a fresh one every step.
+pub(crate) fn cache_input(slot: &mut Option<Matrix>, input: &Matrix) {
+    match slot {
+        Some(cached) => cached.copy_from(input),
+        None => *slot = Some(input.clone()),
     }
 }
 

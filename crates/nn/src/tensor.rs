@@ -2,11 +2,23 @@
 //! rest of the workspace needs.
 //!
 //! The matrices here are deliberately simple: a shape plus a flat `Vec<f32>`.
-//! The only performance-sensitive kernel is [`Matrix::matmul`] (and its
-//! transposed variants), which uses an `i-k-j` loop order so the inner loop
-//! streams through contiguous memory, and splits the row range across threads
-//! once the work is large enough to amortize thread start-up.
+//! The performance-sensitive kernels are the matmul family, which uses an
+//! `i-k-j` loop order so the inner loop streams through contiguous memory,
+//! and splits the row range across threads once the work is large enough to
+//! amortize thread start-up.
+//!
+//! Every kernel exists in two forms: an `*_into` variant that writes into a
+//! caller-provided output matrix ([`Matrix::matmul_into`],
+//! [`Matrix::matmul_nt_into`], [`Matrix::matmul_tn_into`], and the fused
+//! [`Matrix::addmm_bias_act_into`] used by the allocation-free inference
+//! path), and a thin allocating wrapper ([`Matrix::matmul`] etc.) for code
+//! that does not manage buffers. The `*_into` variants reuse the output's
+//! heap buffer whenever its capacity suffices, which is what makes
+//! steady-state inference allocation-free; their results are bit-identical
+//! to the allocating wrappers because both run the exact same element-wise
+//! operation sequence.
 
+use crate::activation::Activation;
 use std::fmt;
 
 /// Minimum number of multiply-accumulate operations before a matmul is worth
@@ -19,6 +31,13 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix (no heap allocation).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -110,6 +129,32 @@ impl Matrix {
     /// Consume the matrix and return its buffer.
     pub fn into_vec(self) -> Vec<f32> {
         self.data
+    }
+
+    /// Reshape to `rows x cols` and zero every element, reusing the existing
+    /// heap buffer whenever its capacity suffices (no allocation once warm).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape to `rows x cols` without zeroing the retained prefix; only for
+    /// kernels that overwrite every element before reading it.
+    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Make `self` an exact copy of `other`, reusing `self`'s heap buffer
+    /// whenever its capacity suffices.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Element accessor.
@@ -235,20 +280,85 @@ impl Matrix {
     /// # Panics
     /// Panics if the inner dimensions do not match.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} @ {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        matmul_into(&self.data, &other.data, &mut out.data, self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
         out
+    }
+
+    /// [`Matrix::matmul`] into a caller-provided output, which is reshaped to
+    /// `(m x n)` reusing its buffer. Bit-identical to the allocating variant.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.addmm_bias_act_into(other, None, Activation::Identity, out);
+    }
+
+    /// Fused `out = act(self @ w + bias)` in one pass over the output: the
+    /// `i-k-j` matmul accumulation, the bias row broadcast, and the
+    /// activation are applied per output row while it is cache-hot.
+    ///
+    /// The per-element operation sequence (accumulate along `k` in order,
+    /// then add the bias, then the activation) is exactly the sequence the
+    /// unfused `matmul` + `add_row_vector` + activation pipeline performs, so
+    /// the result is bit-identical to that pipeline.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match or the bias length is not
+    /// `w.cols()`.
+    pub fn addmm_bias_act_into(
+        &self,
+        w: &Matrix,
+        bias: Option<&[f32]>,
+        act: Activation,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, w.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, w.rows, w.cols
+        );
+        if let Some(bias) = bias {
+            assert_eq!(bias.len(), w.cols, "bias length mismatch");
+        }
+        let (m, k, n) = (self.rows, self.cols, w.cols);
+        out.resize_for_overwrite(m, n);
+        let a = &self.data;
+        let b = &w.data;
+        let run_rows = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
+            for (local_i, i) in rows.enumerate() {
+                let arow = &a[i * k..(i + 1) * k];
+                let crow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+                crow.fill(0.0);
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+                if let Some(bias) = bias {
+                    for (cv, &bv) in crow.iter_mut().zip(bias.iter()) {
+                        *cv += bv;
+                    }
+                }
+                act.apply(crow);
+            }
+        };
+        parallel_rows(m, k * n, &mut out.data, n, run_rows);
     }
 
     /// `self @ other^T` — `(m x k) @ (n x k)^T -> (m x n)`.
     ///
     /// Used by back-propagation to avoid materializing transposes.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] into a caller-provided output, which is reshaped
+    /// reusing its buffer. Bit-identical to the allocating variant.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} @ ({}x{})^T",
@@ -257,7 +367,7 @@ impl Matrix {
         let m = self.rows;
         let k = self.cols;
         let n = other.rows;
-        let mut out = Matrix::zeros(m, n);
+        out.resize_for_overwrite(m, n);
         let a = &self.data;
         let b = &other.data;
         let run_rows = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
@@ -275,13 +385,20 @@ impl Matrix {
             }
         };
         parallel_rows(m, k * n, &mut out.data, n, run_rows);
-        out
     }
 
     /// `self^T @ other` — `(k x m)^T @ (k x n) -> (m x n)`.
     ///
     /// Used to compute weight gradients (`input^T @ grad_output`).
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] into a caller-provided output, which is reshaped
+    /// reusing its buffer. Bit-identical to the allocating variant.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: ({}x{})^T @ {}x{}",
@@ -290,7 +407,7 @@ impl Matrix {
         let k = self.rows; // shared dimension
         let m = self.cols;
         let n = other.cols;
-        let mut out = Matrix::zeros(m, n);
+        out.reset(m, n);
         // out[i, j] = sum_t self[t, i] * other[t, j]
         // Accumulate row-by-row of the shared dimension: cache friendly on `other`.
         for t in 0..k {
@@ -306,7 +423,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Returns true if any element is NaN or infinite.
@@ -315,24 +431,24 @@ impl Matrix {
     }
 }
 
-/// Plain `C = A @ B` kernel with i-k-j ordering, parallelized over rows of A.
-fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let run_rows = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
-        for (local_i, i) in rows.enumerate() {
-            let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut out_chunk[local_i * n..(local_i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += av * bv;
-                }
-            }
+/// `out = x @ b` for a single row vector `x` of length `b.rows()`.
+///
+/// The single-row analogue of [`Matrix::matmul_into`] (same accumulation
+/// order, so bit-identical to a `1 x k` matmul) for recurrence-style code
+/// that keeps its state in flat slices instead of matrices.
+pub fn rowvec_matmul_into(x: &[f32], b: &Matrix, out: &mut [f32]) {
+    assert_eq!(x.len(), b.rows, "rowvec_matmul shape mismatch");
+    assert_eq!(out.len(), b.cols, "rowvec_matmul output length mismatch");
+    out.fill(0.0);
+    for (p, &av) in x.iter().enumerate() {
+        if av == 0.0 {
+            continue;
         }
-    };
-    parallel_rows(m, k * n, c, n, run_rows);
+        let brow = &b.data[p * b.cols..(p + 1) * b.cols];
+        for (o, &bv) in out.iter_mut().zip(brow.iter()) {
+            *o += av * bv;
+        }
+    }
 }
 
 /// Split `m` output rows across threads when the total work (`m * work_per_row`)
@@ -365,7 +481,11 @@ where
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    // Cached: `available_parallelism` probes the OS (and allocates) on every
+    // call, which would break the zero-allocation guarantee of the `_into`
+    // kernels and costs a syscall per matmul.
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 #[cfg(test)]

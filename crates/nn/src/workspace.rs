@@ -1,0 +1,120 @@
+//! Scratch buffers for the allocation-free inference path.
+//!
+//! A [`ForwardWorkspace`] owns every intermediate buffer a forward pass
+//! needs: two ping-pong activation matrices, an auxiliary matrix (residual
+//! skip / hidden state), and a scratch matrix for materializing masked
+//! effective weights. Layers implementing
+//! [`InferLayer`](crate::param::InferLayer) thread their activations through
+//! these buffers instead of allocating per call, so once the buffers have
+//! grown to the widest layer of a network (after the first batch), repeated
+//! forward passes perform **zero heap allocation**.
+//!
+//! Ownership rules:
+//!
+//! * the workspace belongs to the *caller* (one per serving worker thread /
+//!   bench loop), never to a model — models stay shareable (`&self`
+//!   inference) and a workspace is never aliased by two concurrent passes;
+//! * a workspace may be reused freely across models and batch shapes; the
+//!   buffers reshape on the fly, reusing their heap capacity;
+//! * the output reference returned by `infer_into` borrows the workspace and
+//!   is valid until the next pass overwrites the buffers.
+
+use crate::tensor::Matrix;
+
+/// Reusable scratch buffers for one in-flight forward pass.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardWorkspace {
+    /// Ping-pong activation buffers; `live` indexes the one holding the
+    /// current activation (the previous layer's output).
+    bufs: [Matrix; 2],
+    live: usize,
+    /// Extra buffer for stages that need a third activation (the hidden
+    /// state of a residual block).
+    aux: Matrix,
+    /// Scratch for masked effective weights (`W ⊙ M`).
+    wscratch: Matrix,
+}
+
+impl ForwardWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffer holding the most recent layer output.
+    pub fn output(&self) -> &Matrix {
+        &self.bufs[self.live]
+    }
+
+    /// Split the workspace into `(current, next, aux, wscratch)` for one
+    /// layer step: read the activation from `current`, write into `next`
+    /// (and/or `aux`), then call [`ForwardWorkspace::flip`] to make `next`
+    /// the new current.
+    pub fn split(&mut self) -> (&mut Matrix, &mut Matrix, &mut Matrix, &mut Matrix) {
+        let Self { bufs, live, aux, wscratch } = self;
+        let (a, b) = bufs.split_at_mut(1);
+        let (cur, next) = if *live == 0 { (&mut a[0], &mut b[0]) } else { (&mut b[0], &mut a[0]) };
+        (cur, next, aux, wscratch)
+    }
+
+    /// Promote the `next` buffer of the last [`ForwardWorkspace::split`] to
+    /// the current activation.
+    pub fn flip(&mut self) {
+        self.live ^= 1;
+    }
+
+    /// Reset the ping-pong parity so a fresh pass always assigns the same
+    /// buffer to the same stage index. Networks with an odd stage count
+    /// would otherwise swap the two buffers' roles on every pass, forcing
+    /// each buffer to grow to *every* stage width before the workspace stops
+    /// allocating; with a fixed parity one warm-up pass suffices.
+    pub fn rewind(&mut self) {
+        self.live = 0;
+    }
+}
+
+impl Matrix {
+    /// Compute the masked effective weight `self ⊙ mask` into `out`
+    /// (reshaped, buffer reused). The inference-path replacement for
+    /// materializing a fresh masked weight matrix per forward call.
+    pub fn masked_into(&self, mask: &Matrix, out: &mut Matrix) {
+        out.copy_from(self);
+        out.mul_assign(mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_pairs_alternate_with_flip() {
+        let mut ws = ForwardWorkspace::new();
+        {
+            let (_cur, next, _aux, _w) = ws.split();
+            next.reset(2, 3);
+            next.fill(7.0);
+        }
+        ws.flip();
+        assert_eq!(ws.output().shape(), (2, 3));
+        assert_eq!(ws.output().get(1, 2), 7.0);
+        {
+            let (cur, next, _aux, _w) = ws.split();
+            assert_eq!(cur.shape(), (2, 3), "current must be the buffer just written");
+            next.reset(1, 1);
+        }
+        ws.flip();
+        assert_eq!(ws.output().shape(), (1, 1));
+    }
+
+    #[test]
+    fn masked_into_matches_clone_and_mul() {
+        let w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let mut out = Matrix::zeros(0, 0);
+        w.masked_into(&m, &mut out);
+        let mut expected = w.clone();
+        expected.mul_assign(&m);
+        assert_eq!(out, expected);
+    }
+}

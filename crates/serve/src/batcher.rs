@@ -13,11 +13,17 @@
 //! `duet_core::estimator`), the batch composition a request happens to land
 //! in can never change its answer: concurrent clients always observe the
 //! same estimates a serial client would.
+//!
+//! Each worker owns a persistent [`duet_core::DuetWorkspace`] plus every
+//! batch container it needs, all reused across batches: in steady state the
+//! worker's hot loop performs **zero heap allocation of its own** — the only
+//! allocations on the serving path are the per-request encodings the clients
+//! hand in (and their eventual frees).
 
 use crate::cache::{CacheKey, ShardedCache};
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelSlot;
-use duet_core::{DuetEstimator, IdPredicate};
+use duet_core::{DuetEstimator, DuetWorkspace, IdPredicate};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -69,37 +75,46 @@ pub(crate) fn run_batch_worker(
     config: BatchConfig,
 ) {
     let max = config.max_batch_size.max(1);
+    // Worker-lifetime state, reused across every batch: the forward
+    // workspace (activations, masked weights, softmax staging) and the batch
+    // containers. None of these reallocate once they have grown to the
+    // steady-state batch shape.
+    let mut ws = DuetWorkspace::new();
+    let mut batch: Vec<EstimateRequest> = Vec::new();
+    let mut rows: Vec<Vec<Vec<IdPredicate>>> = Vec::new();
+    let mut intervals: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut sinks: Vec<(Option<CacheKey>, SyncSender<f64>)> = Vec::new();
+    let mut results: Vec<f64> = Vec::new();
     while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
+        batch.clear();
+        batch.push(first);
         collect_stragglers(&rx, &mut batch, max, config.batch_window);
 
-        // Resolve the model once per batch: requests enqueued after a
-        // hot-swap can only ever be served by the new (or a newer) model.
-        // The generation travels with the weights so cache inserts below are
-        // labelled with the model that actually computed them.
+        // Snapshot the cache epoch BEFORE resolving the model, then resolve
+        // the model once per batch: requests enqueued after a hot-swap can
+        // only ever be served by the new (or a newer) model. A swap landing
+        // anywhere after the epoch snapshot bumps the epoch (the server
+        // invalidates the cache on swap), so the tagged inserts below are
+        // either rejected or removed by the purge — the stranded-entry
+        // window is closed entirely. The generation travels with the
+        // weights so every insert is labelled with the model that actually
+        // computed it.
+        let epoch = cache.epoch();
         let (generation, estimator): (u64, Arc<DuetEstimator>) = slot.current_versioned();
-        let mut rows = Vec::with_capacity(batch.len());
-        let mut intervals = Vec::with_capacity(batch.len());
-        let mut sinks = Vec::with_capacity(batch.len());
-        for request in batch {
+        rows.clear();
+        intervals.clear();
+        sinks.clear();
+        for request in batch.drain(..) {
             rows.push(request.preds);
             intervals.push(request.intervals);
             sinks.push((request.key, request.reply));
         }
-        let results = estimator.estimate_encoded_batch(&rows, &intervals);
+        estimator.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut results);
         metrics.record_batch(rows.len());
 
-        // If a swap landed while this batch was computing, its results are
-        // still correct answers for their clients, but caching them would
-        // only strand unreachable old-generation entries in the LRU (the
-        // server purges the cache right after a swap). A swap landing
-        // between this check and the inserts below can still strand at most
-        // one batch of entries — they are harmless (correct under their
-        // generation label, just unreachable) and age out via LRU eviction.
-        let cacheable = slot.generation() == generation;
-        for ((key, reply), value) in sinks.into_iter().zip(results) {
-            if let (Some(key), true) = (key, cacheable) {
-                cache.insert(key.with_generation(generation), value);
+        for ((key, reply), &value) in sinks.drain(..).zip(results.iter()) {
+            if let Some(key) = key {
+                cache.insert_tagged(key.with_generation(generation), value, epoch);
             }
             // A client that gave up (dropped its receiver) is not an error.
             let _ = reply.send(value);

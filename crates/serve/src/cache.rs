@@ -212,8 +212,18 @@ impl LruShard {
 }
 
 /// A sharded LRU cache of estimation results with hit/miss accounting.
+///
+/// The cache carries an **epoch counter** bumped by
+/// [`ShardedCache::invalidate`] (which the server calls on every hot-swap).
+/// A batch worker snapshots the epoch *before* resolving the model for a
+/// batch and labels its inserts with it via [`ShardedCache::insert_tagged`]:
+/// an insert whose epoch is stale by the time it reaches the shard lock is
+/// dropped, and one that races ahead of the bump is removed by the purge
+/// that follows it — so a swap landing mid-batch can no longer strand
+/// unreachable old-generation entries in the LRU.
 pub struct ShardedCache {
     shards: Vec<Mutex<LruShard>>,
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -235,6 +245,7 @@ impl ShardedCache {
             shards: (0..num_shards)
                 .map(|i| Mutex::new(LruShard::new(base + usize::from(i < remainder))))
                 .collect(),
+            epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -260,7 +271,34 @@ impl ShardedCache {
         self.shard(&key).lock().expect("cache shard poisoned").insert(key, value);
     }
 
-    /// Drop every entry (hit/miss counters are kept).
+    /// The current invalidation epoch. Snapshot it *before* resolving the
+    /// model a batch will run on, and hand it back to
+    /// [`ShardedCache::insert_tagged`] with each result.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// [`ShardedCache::insert`], but only if no [`ShardedCache::invalidate`]
+    /// has happened since `epoch` was snapshotted. The epoch is re-checked
+    /// under the target shard's lock, so an insert either observes the bump
+    /// (and is dropped) or completes before the purge locks that shard (and
+    /// is removed by it) — never both missed.
+    pub fn insert_tagged(&self, key: CacheKey, value: f64, epoch: u64) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if self.epoch.load(Ordering::Acquire) == epoch {
+            shard.insert(key, value);
+        }
+    }
+
+    /// Bump the epoch, then drop every entry: the full invalidation a model
+    /// hot-swap performs. In-flight [`ShardedCache::insert_tagged`] calls
+    /// holding the old epoch can no longer land after this returns.
+    pub fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.clear();
+    }
+
+    /// Drop every entry (hit/miss counters and the epoch are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.lock().expect("cache shard poisoned").clear();
@@ -372,6 +410,39 @@ mod tests {
                 cache.len()
             );
         }
+    }
+
+    #[test]
+    fn tagged_inserts_are_rejected_after_invalidate() {
+        let cache = ShardedCache::new(16, 2);
+        let epoch = cache.epoch();
+        cache.insert_tagged(key_of(&[1]), 1.0, epoch);
+        assert_eq!(cache.get(&key_of(&[1])), Some(1.0));
+
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), epoch + 1);
+
+        // A worker that snapshotted its epoch before the swap cannot strand
+        // an entry, no matter when its insert lands.
+        cache.insert_tagged(key_of(&[2]), 2.0, epoch);
+        assert_eq!(cache.len(), 0, "stale-epoch insert must be dropped");
+
+        // Inserts tagged with the current epoch land normally.
+        cache.insert_tagged(key_of(&[3]), 3.0, cache.epoch());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_bumps_epoch_even_when_empty() {
+        let cache = ShardedCache::new(4, 1);
+        let e0 = cache.epoch();
+        cache.invalidate();
+        cache.invalidate();
+        assert_eq!(cache.epoch(), e0 + 2);
+        // Plain clear keeps the epoch.
+        cache.clear();
+        assert_eq!(cache.epoch(), e0 + 2);
     }
 
     #[test]

@@ -249,7 +249,10 @@ impl DuetServer {
     /// checkpoint without dropping in-flight requests.
     ///
     /// Old cache entries become unreachable immediately (keys embed the
-    /// model generation) and are additionally purged to free memory.
+    /// model generation) and are additionally purged to free memory; the
+    /// purge bumps the cache epoch, so a batch worker that resolved the old
+    /// model cannot strand entries computed mid-swap (its inserts carry the
+    /// pre-swap epoch and are rejected).
     ///
     /// The slot is resolved through the worker map under its read lock, so
     /// a concurrent `register` for the same table (which takes the write
@@ -264,7 +267,7 @@ impl DuetServer {
             .slot
             .hot_swap_checkpoint(checkpoint)
             .map_err(|e| ServeError::Swap(SwapError::Checkpoint(e)))?;
-        entry.cache.clear();
+        entry.cache.invalidate();
         Ok(())
     }
 

@@ -143,3 +143,112 @@ proptest! {
         prop_assert!((duet.estimate(&Query::all()) - table.num_rows() as f64).abs() < 1e-6);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Allocation-free kernel / workspace bit-identity
+// ---------------------------------------------------------------------------
+
+use duet::nn::{
+    rowvec_matmul_into, Activation, ForwardWorkspace, InferLayer, Layer, Made, MadeConfig, Matrix,
+};
+
+/// Deterministic pseudo-random matrix (LCG, no `rand` dependency).
+fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every `_into` matmul kernel writes results bit-identical to its
+    /// allocating wrapper, even into a dirty, wrongly-shaped reused buffer.
+    #[test]
+    fn matmul_into_kernels_are_bit_identical(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let a = lcg_matrix(m, k, seed);
+        let b = lcg_matrix(k, n, seed ^ 1);
+        let bt = lcg_matrix(n, k, seed ^ 2);
+        let at = lcg_matrix(k, m, seed ^ 3);
+
+        let mut out = lcg_matrix(7, 3, 99); // deliberately dirty and mis-shaped
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(out.shape(), (m, n));
+        prop_assert_eq!(out.as_slice(), a.matmul(&b).as_slice());
+
+        a.matmul_nt_into(&bt, &mut out);
+        prop_assert_eq!(out.as_slice(), a.matmul_nt(&bt).as_slice());
+
+        at.matmul_tn_into(&b, &mut out);
+        prop_assert_eq!(out.as_slice(), at.matmul_tn(&b).as_slice());
+    }
+
+    /// The fused matmul + bias + activation kernel is bit-identical to the
+    /// unfused `matmul` / `add_row_vector` / clamp pipeline, and the row
+    /// vector kernel matches a `1 x k` matmul.
+    #[test]
+    fn fused_addmm_is_bit_identical(
+        m in 1usize..16,
+        k in 1usize..16,
+        n in 1usize..16,
+        seed in 0u64..1_000,
+    ) {
+        let x = lcg_matrix(m, k, seed);
+        let w = lcg_matrix(k, n, seed ^ 7);
+        let bias = lcg_matrix(1, n, seed ^ 8).into_vec();
+
+        let mut unfused = x.matmul(&w);
+        unfused.add_row_vector(&bias);
+        let mut fused = lcg_matrix(2, 2, 1); // dirty
+        x.addmm_bias_act_into(&w, Some(&bias), Activation::Identity, &mut fused);
+        prop_assert_eq!(fused.as_slice(), unfused.as_slice());
+
+        unfused.as_mut_slice().iter_mut().for_each(|v| {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        });
+        x.addmm_bias_act_into(&w, Some(&bias), Activation::Relu, &mut fused);
+        prop_assert_eq!(fused.as_slice(), unfused.as_slice());
+
+        let xr = lcg_matrix(1, k, seed ^ 9);
+        let mut out_v = vec![9.0f32; n];
+        rowvec_matmul_into(xr.row(0), &w, &mut out_v);
+        prop_assert_eq!(&out_v[..], xr.matmul(&w).as_slice());
+    }
+
+    /// A workspace-threaded MADE inference pass is bit-identical to the
+    /// caching training forward, including across reuses of one workspace
+    /// for different batch sizes (both plain MADE and ResMADE).
+    #[test]
+    fn made_infer_into_matches_training_forward(
+        batch in 1usize..8,
+        hidden in 2usize..24,
+        residual in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let config = MadeConfig {
+            input_block_sizes: vec![3, 2, 4],
+            output_block_sizes: vec![4, 2, 3],
+            hidden_sizes: vec![hidden, hidden],
+            residual: residual == 1,
+        };
+        let mut rng = seeded_rng(seed);
+        let mut made = Made::new(config, &mut rng);
+        let mut ws = ForwardWorkspace::new();
+        for round in 0..3u64 {
+            let rows = 1 + (batch + round as usize) % 8;
+            let x = lcg_matrix(rows, 9, seed ^ round);
+            let trained = made.forward(&x);
+            let inferred = made.infer_into(&x, &mut ws);
+            prop_assert_eq!(inferred.as_slice(), trained.as_slice());
+        }
+    }
+}

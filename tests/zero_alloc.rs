@@ -1,0 +1,100 @@
+//! Proof of the zero-allocation property: a counting global allocator wraps
+//! the system allocator, and the workspace-backed batched estimation path is
+//! measured after warm-up — the steady-state serving hot loop must perform
+//! **zero** heap allocations (and zero frees).
+//!
+//! This lives in its own integration-test binary so the global allocator and
+//! the single-threaded measurement cannot interfere with other tests.
+
+use duet::core::{query_to_id_predicates, DuetConfig, DuetEstimator, DuetWorkspace};
+use duet::data::datasets::census_like;
+use duet::query::WorkloadSpec;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+// One #[test] drives both phases: the counters are process-global, so two
+// tests running on parallel test threads would pollute each other's windows.
+#[test]
+fn steady_state_batched_inference_is_allocation_free() {
+    full_batch_phase();
+    shrinking_batch_phase();
+}
+
+fn full_batch_phase() {
+    let table = census_like(400, 5);
+    let cfg = DuetConfig::small().with_epochs(1);
+    let est = DuetEstimator::train_data_only(&table, &cfg, 3);
+    let queries = WorkloadSpec::random(&table, 32, 9).generate(&table);
+    let rows: Vec<_> = queries.iter().map(|q| query_to_id_predicates(est.schema(), q)).collect();
+    let intervals: Vec<_> = queries.iter().map(|q| q.column_intervals(est.schema())).collect();
+
+    let mut ws = DuetWorkspace::new();
+    let mut out = Vec::new();
+    // Warm-up: every workspace buffer grows to the batch shape.
+    for _ in 0..2 {
+        est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut out);
+    }
+    let expected = out.clone();
+
+    let (allocs_before, frees_before) =
+        (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+    for _ in 0..10 {
+        est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut out);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let frees = FREES.load(Ordering::Relaxed) - frees_before;
+
+    assert_eq!(allocs, 0, "steady-state batched inference must not allocate");
+    assert_eq!(frees, 0, "steady-state batched inference must not free");
+    assert_eq!(out, expected, "reused workspace must not change results");
+}
+
+fn shrinking_batch_phase() {
+    let table = census_like(300, 6);
+    let cfg = DuetConfig::small().with_epochs(1);
+    let est = DuetEstimator::train_data_only(&table, &cfg, 4);
+    let queries = WorkloadSpec::random(&table, 16, 11).generate(&table);
+    let rows: Vec<_> = queries.iter().map(|q| query_to_id_predicates(est.schema(), q)).collect();
+    let intervals: Vec<_> = queries.iter().map(|q| q.column_intervals(est.schema())).collect();
+
+    let mut ws = DuetWorkspace::new();
+    let mut out = Vec::new();
+    // Warm on the full batch; then any batch size up to it fits the buffers.
+    est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut out);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for take in [1usize, 3, 8, 16] {
+        est.estimate_encoded_batch_with(&rows[..take], &intervals[..take], &mut ws, &mut out);
+        assert_eq!(out.len(), take);
+    }
+    assert_eq!(
+        ALLOCS.load(Ordering::Relaxed) - before,
+        0,
+        "shrinking batches on a warm workspace must not allocate"
+    );
+}
