@@ -1,0 +1,221 @@
+//! Multi-table serving benchmark: skewed client traffic over a shared
+//! worker-shard pool, comparing routed throughput against per-table direct
+//! loops, plus an **overload scenario** measuring shed rate under admission
+//! control (tiny queues + deadline budgets) where the pre-router design
+//! would have queued unboundedly.
+//!
+//! The summary at the end reports queries/second for both modes and the
+//! shed/served split of the overload run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duet_core::{DuetConfig, DuetEstimator};
+use duet_data::datasets::census_like;
+use duet_query::{Query, WorkloadSpec};
+use duet_serve::{DuetServer, RouterConfig, ServeConfig, ServeError};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NUM_TABLES: usize = 4;
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 48;
+
+/// Deterministic per-client LCG so the skewed table choice needs no rand.
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+struct Setup {
+    names: Vec<String>,
+    estimators: Vec<Arc<DuetEstimator>>,
+    workloads: Vec<Vec<Query>>,
+    /// Per-client scripted (table, query) picks, ~70% on table 0.
+    scripts: Vec<Vec<(usize, usize)>>,
+}
+
+fn setup() -> Setup {
+    let cfg = DuetConfig::small().with_epochs(2);
+    let mut names = Vec::new();
+    let mut estimators = Vec::new();
+    let mut workloads = Vec::new();
+    for i in 0..NUM_TABLES {
+        let table = census_like(1_500 + 500 * i, 7 + i as u64);
+        estimators.push(Arc::new(DuetEstimator::train_data_only(&table, &cfg, 3 + i as u64)));
+        workloads.push(WorkloadSpec::random(&table, 64, 100 + i as u64).generate(&table));
+        names.push(format!("table-{i}"));
+    }
+    let scripts = (0..CLIENTS)
+        .map(|client| {
+            let mut state = 0x9e3779b97f4a7c15 ^ client as u64;
+            (0..QUERIES_PER_CLIENT)
+                .map(|_| {
+                    let roll = lcg_next(&mut state) % 100;
+                    let table = if roll < 70 { 0 } else { 1 + (lcg_next(&mut state) % 3) as usize };
+                    let query = (lcg_next(&mut state) % 64) as usize;
+                    (table, query)
+                })
+                .collect()
+        })
+        .collect();
+    Setup { names, estimators, workloads, scripts }
+}
+
+/// Every client runs direct single-query passes against its picks.
+fn run_direct_round(setup: &Setup) {
+    std::thread::scope(|scope| {
+        for script in &setup.scripts {
+            let (estimators, workloads) = (&setup.estimators, &setup.workloads);
+            scope.spawn(move || {
+                for &(table, query) in script {
+                    let q = &workloads[table][query];
+                    black_box(estimators[table].estimate_batch(std::slice::from_ref(q)));
+                }
+            });
+        }
+    });
+}
+
+/// Every client goes through the routed, shared-pool server.
+fn run_routed_round(server: &Arc<DuetServer>, setup: &Setup) {
+    std::thread::scope(|scope| {
+        for script in &setup.scripts {
+            let server = server.clone();
+            let (names, workloads) = (&setup.names, &setup.workloads);
+            scope.spawn(move || {
+                for &(table, query) in script {
+                    let q = &workloads[table][query];
+                    black_box(server.estimate(&names[table], q).expect("serving failed"));
+                }
+            });
+        }
+    });
+}
+
+/// Overload run: tiny queues + deadline budgets; count the shed/served
+/// split instead of unwrap-ing.
+fn run_overload_round(server: &Arc<DuetServer>, setup: &Setup, counters: &OverloadCounters) {
+    std::thread::scope(|scope| {
+        for script in &setup.scripts {
+            let server = server.clone();
+            let (names, workloads) = (&setup.names, &setup.workloads);
+            scope.spawn(move || {
+                for &(table, query) in script {
+                    let q = &workloads[table][query];
+                    match server.estimate(&names[table], q) {
+                        Ok(v) => {
+                            black_box(v);
+                            counters.served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Overloaded { .. }) => {
+                            counters.shed_overload.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::DeadlineExceeded(_)) => {
+                            counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected serving error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[derive(Default)]
+struct OverloadCounters {
+    served: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+}
+
+fn bench_multi_table(c: &mut Criterion) {
+    let setup = setup();
+
+    let routed = Arc::new(DuetServer::new(ServeConfig {
+        cache_capacity: 0, // measure inference routing, not cache hits
+        ..ServeConfig::default()
+    }));
+    for (name, est) in setup.names.iter().zip(&setup.estimators) {
+        routed.register(name.clone(), (**est).clone());
+    }
+
+    let mut group = c.benchmark_group("multi_table_serve");
+    group
+        .bench_function("direct_loops_8_clients_4_tables", |b| b.iter(|| run_direct_round(&setup)));
+    group.bench_function("routed_shared_pool_8_clients_4_tables", |b| {
+        b.iter(|| run_routed_round(&routed, &setup))
+    });
+    group.finish();
+
+    // Fixed-round throughput comparison.
+    const ROUNDS: usize = 5;
+    let total = (ROUNDS * CLIENTS * QUERIES_PER_CLIENT) as f64;
+
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        run_direct_round(&setup);
+    }
+    let direct_qps = total / started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        run_routed_round(&routed, &setup);
+    }
+    let routed_qps = total / started.elapsed().as_secs_f64();
+    let routed_metrics = routed.metrics();
+
+    // Overload scenario: shard queues bounded at 2 with a 200µs deadline
+    // budget; ~70% of traffic slams table 0's shard.
+    let overloaded = Arc::new(DuetServer::new(ServeConfig {
+        router: RouterConfig {
+            queue_capacity: 2,
+            default_deadline: Some(Duration::from_micros(200)),
+            ..RouterConfig::default()
+        },
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    }));
+    for (name, est) in setup.names.iter().zip(&setup.estimators) {
+        overloaded.register(name.clone(), (**est).clone());
+    }
+    let counters = OverloadCounters::default();
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        run_overload_round(&overloaded, &setup, &counters);
+    }
+    let overload_elapsed = started.elapsed().as_secs_f64();
+    let (served, shed_o, shed_d) = (
+        counters.served.load(Ordering::Relaxed),
+        counters.shed_overload.load(Ordering::Relaxed),
+        counters.shed_deadline.load(Ordering::Relaxed),
+    );
+
+    println!("\ndirect per-table loops        : {direct_qps:>10.0} queries/s");
+    println!("routed shared pool            : {routed_qps:>10.0} queries/s");
+    println!(
+        "routing ratio {:.2}x; {} batches, mean batch {:.2}, {} shards for {} tables",
+        routed_qps / direct_qps,
+        routed_metrics.batches,
+        routed_metrics.mean_batch_size,
+        routed.router().num_shards(),
+        NUM_TABLES,
+    );
+    println!(
+        "overload run (queue=2, 200us budget): {} served, {} shed at admission, \
+         {} expired at dequeue ({:.1}% shed) in {:.2}s",
+        served,
+        shed_o,
+        shed_d,
+        100.0 * (shed_o + shed_d) as f64 / (served + shed_o + shed_d).max(1) as f64,
+        overload_elapsed,
+    );
+    assert_eq!(served + shed_o + shed_d, total as u64, "every request accounted exactly once");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multi_table
+}
+criterion_main!(benches);

@@ -157,23 +157,29 @@ impl DuetEstimator {
         self.estimate_encoded_batch_with(rows, intervals, &mut DuetWorkspace::new(), &mut out);
         out
     }
-
     /// [`DuetEstimator::estimate_encoded_batch`] staging every intermediate
     /// in a caller-provided [`DuetWorkspace`] and writing the cardinalities
     /// into `out` (cleared first).
     ///
-    /// This is the serving hot path: a `duet-serve` batch worker owns one
-    /// workspace for its whole lifetime, so steady-state batched estimation
-    /// performs zero heap allocation. Results are bit-identical to the
-    /// allocating variant and to per-query [`CardinalityEstimator::estimate`]
-    /// calls.
-    pub fn estimate_encoded_batch_with(
+    /// This is the serving hot path: a `duet-serve` shard worker owns one
+    /// workspace per table for its whole lifetime (see
+    /// [`crate::WorkspacePool`]), so steady-state batched estimation performs
+    /// zero heap allocation. Results are bit-identical to the allocating
+    /// variant and to per-query [`CardinalityEstimator::estimate`] calls.
+    ///
+    /// Generic over the row/interval holders (anything that derefs to the
+    /// per-row slices), so a serving queue's own request structs can feed the
+    /// batch pass without re-gathering into intermediate containers.
+    pub fn estimate_encoded_batch_with<R, I>(
         &self,
-        rows: &[Vec<Vec<crate::encoding::IdPredicate>>],
-        intervals: &[Vec<(u32, u32)>],
+        rows: &[R],
+        intervals: &[I],
         ws: &mut DuetWorkspace,
         out: &mut Vec<f64>,
-    ) {
+    ) where
+        R: AsRef<[Vec<crate::encoding::IdPredicate>]>,
+        I: AsRef<[(u32, u32)]>,
+    {
         self.model.estimate_selectivity_batch_with(rows, intervals, ws, out);
         for sel in out.iter_mut() {
             *sel *= self.num_rows as f64;

@@ -48,7 +48,7 @@ pub mod virtual_table;
 pub use config::{DuetConfig, MpsnKind};
 pub use encoding::{Encoder, IdPredicate};
 pub use estimator::{DuetEstimator, EstimateBreakdown};
-pub use model::{query_to_id_predicates, DuetModel, DuetWorkspace};
+pub use model::{query_to_id_predicates, DuetModel, DuetWorkspace, WorkspacePool};
 pub use mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn, MpsnScratch};
 pub use persist::{load_weights, save_weights, CheckpointError};
 pub use trainer::{

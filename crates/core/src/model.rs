@@ -47,6 +47,45 @@ impl DuetWorkspace {
     }
 }
 
+/// Per-table forward workspaces for a worker that serves a heterogeneous
+/// set of models — e.g. a `duet-serve` shard worker whose queue multiplexes
+/// requests for several registered tables.
+///
+/// Workspace `i` only ever sees table `i`'s shapes, so alternating between
+/// differently-shaped models never thrashes buffer sizes: after one warm
+/// batch per table the whole pool is allocation-free, exactly like a single
+/// dedicated [`DuetWorkspace`]. The pool grows only when a table id first
+/// appears (a registration-time event, never on the steady-state hot path).
+#[derive(Debug, Clone, Default)]
+pub struct WorkspacePool {
+    slots: Vec<DuetWorkspace>,
+}
+
+impl WorkspacePool {
+    /// An empty pool; per-table workspaces are created on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The workspace dedicated to `table_id`, created (empty) on first use.
+    pub fn workspace(&mut self, table_id: usize) -> &mut DuetWorkspace {
+        if table_id >= self.slots.len() {
+            self.slots.resize_with(table_id + 1, DuetWorkspace::default);
+        }
+        &mut self.slots[table_id]
+    }
+
+    /// Number of per-table workspaces created so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no workspace has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
 /// The trainable Duet model.
 #[derive(Debug, Clone)]
 pub struct DuetModel {
@@ -284,13 +323,21 @@ impl DuetModel {
     /// caller-provided workspace and writing the selectivities into `out`
     /// (cleared first). Zero heap allocation once the workspace and `out`
     /// have warmed up to the batch shape.
-    pub fn estimate_selectivity_batch_with(
+    ///
+    /// `rows` and `intervals` are generic over anything that derefs to the
+    /// per-row slices, so a serving queue can run its own request structs
+    /// through the batch pass directly — no per-batch re-gathering of
+    /// encodings into `Vec<Vec<...>>` containers.
+    pub fn estimate_selectivity_batch_with<R, I>(
         &self,
-        rows: &[Vec<Vec<IdPredicate>>],
-        intervals: &[Vec<(u32, u32)>],
+        rows: &[R],
+        intervals: &[I],
         ws: &mut DuetWorkspace,
         out: &mut Vec<f64>,
-    ) {
+    ) where
+        R: AsRef<[Vec<IdPredicate>]>,
+        I: AsRef<[(u32, u32)]>,
+    {
         assert_eq!(rows.len(), intervals.len(), "rows/intervals length mismatch");
         out.clear();
         if rows.is_empty() {
@@ -302,7 +349,7 @@ impl DuetModel {
         for (r, row_intervals) in intervals.iter().enumerate() {
             out.push(self.selectivity_from_logits_with(
                 logits.row(r),
-                row_intervals,
+                row_intervals.as_ref(),
                 &mut ws.probs,
             ));
         }

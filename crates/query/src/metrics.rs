@@ -150,6 +150,91 @@ mod tests {
     }
 
     #[test]
+    fn q_error_zero_and_one_row_truths_clamp_to_one_row() {
+        // Zero-row truths: the actual side clamps to 1 row, so the error is
+        // the (clamped) estimate itself — never a division by zero or inf.
+        assert_eq!(q_error(5.0, 0.0), 5.0);
+        assert_eq!(q_error(0.0, 5.0), 5.0);
+        assert!(q_error(1e12, 0.0).is_finite());
+        // One-row truths: sub-row estimates clamp up to 1 row, so an
+        // estimate of 0.3 rows against a 1-row truth is *exact*, not a 3.3x
+        // error.
+        assert_eq!(q_error(0.3, 1.0), 1.0);
+        assert_eq!(q_error(1.0, 0.3), 1.0);
+        assert_eq!(q_error(0.0, 1.0), 1.0);
+        // Fractional estimates above a row still count normally.
+        assert_eq!(q_error(2.0, 1.0), 2.0);
+        // Negative estimates (a misbehaving model) clamp like zero.
+        assert_eq!(q_error(-3.0, 10.0), 10.0);
+    }
+
+    #[test]
+    fn empty_workload_summaries_are_zeroed_not_nan() {
+        let s = QErrorSummary::from_estimates(&[], &[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert!(!s.mean.is_nan());
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+        assert!(cardinality_cdf(&[], 10).is_empty());
+        assert!(cardinality_cdf(&[1, 2, 3], 0).is_empty());
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_query_summary_degenerates_to_that_error() {
+        let s = QErrorSummary::from_estimates(&[30.0], &[10]);
+        assert_eq!(s.count, 1);
+        for v in [s.mean, s.median, s.p75, s.p90, s.p95, s.p99, s.max] {
+            assert_eq!(v, 3.0, "all statistics of one sample are the sample");
+        }
+    }
+
+    #[test]
+    fn all_zero_truth_workload_is_finite() {
+        // A workload whose every query matches no rows (possible with
+        // contradictory generated predicates) must summarize finitely.
+        let s = QErrorSummary::from_estimates(&[0.0, 2.0, 100.0], &[0, 0, 0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - (1.0 + 2.0 + 100.0) / 3.0).abs() < 1e-9);
+        assert!(s.median.is_finite() && s.p99.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate/actual length mismatch")]
+    fn mismatched_estimate_truth_lengths_panic() {
+        let _ = QErrorSummary::from_estimates(&[1.0, 2.0], &[1]);
+    }
+
+    #[test]
+    fn percentile_out_of_range_is_clamped() {
+        let sorted = vec![1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&sorted, -10.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 200.0), 3.0);
+        // Single-element slices are every percentile.
+        assert_eq!(percentile_sorted(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile_sorted(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn cdf_of_constant_and_single_value_distributions() {
+        // All-equal cardinalities: every threshold ≥ the value has CDF 1.
+        let cdf = cardinality_cdf(&[5, 5, 5, 5], 4);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // A single zero-cardinality sample: max clamps to 1, no NaNs.
+        let cdf = cardinality_cdf(&[0], 3);
+        assert_eq!(cdf.len(), 3);
+        for (t, frac) in cdf {
+            assert!(t.is_finite() && frac.is_finite());
+            assert!((frac - 1.0).abs() < 1e-9, "0 <= every threshold");
+        }
+    }
+
+    #[test]
     fn summary_percentiles_are_ordered() {
         let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let s = QErrorSummary::from_errors(&errors);

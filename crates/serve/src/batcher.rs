@@ -1,34 +1,30 @@
-//! The micro-batching engine: coalesces concurrent estimate requests into
-//! one `N×W` forward pass.
+//! The shard worker: dequeues same-table batches from its routed queue and
+//! runs each through one `N×W` forward pass.
 //!
-//! One worker thread per table owns the receiving end of an MPSC channel.
-//! When a request arrives the worker opportunistically drains whatever else
-//! is already queued, then waits up to [`BatchConfig::batch_window`] for
-//! stragglers (bounded by [`BatchConfig::max_batch_size`]), and runs the
-//! whole batch through [`DuetEstimator::estimate_encoded_batch`] — a single
-//! matrix forward pass instead of N row passes, fed by the per-request
-//! encodings the server already computed for the cache keys.
+//! A worker serves **every table hashed onto its shard**, not one fixed
+//! table: each popped batch holds requests for a single table (the router
+//! groups at dequeue), and the worker keeps one persistent
+//! [`duet_core::DuetWorkspace`] *per table* in a
+//! [`duet_core::WorkspacePool`], so alternating between differently-shaped
+//! models never thrashes buffer sizes. In steady state the hot loop —
+//! admission, dequeue/grouping, deadline triage, and the batched forward
+//! pass — performs **zero heap allocation of its own** (asserted by
+//! `tests/zero_alloc.rs`); the only allocations on the serving path are the
+//! per-request encodings the clients hand in (and their eventual frees).
 //!
 //! Because the batched path is bit-identical to the single-query path (see
-//! `duet_core::estimator`), the batch composition a request happens to land
-//! in can never change its answer: concurrent clients always observe the
-//! same estimates a serial client would.
-//!
-//! Each worker owns a persistent [`duet_core::DuetWorkspace`] plus every
-//! batch container it needs, all reused across batches: in steady state the
-//! worker's hot loop performs **zero heap allocation of its own** — the only
-//! allocations on the serving path are the per-request encodings the clients
-//! hand in (and their eventual frees).
+//! `duet_core::estimator`), neither the shard a table hashes to nor the
+//! batch composition a request lands in can ever change its answer:
+//! concurrent clients always observe the same estimates a serial client
+//! would.
 
-use crate::cache::{CacheKey, ShardedCache};
 use crate::metrics::ServeMetrics;
-use crate::registry::ModelSlot;
-use duet_core::{DuetEstimator, DuetWorkspace, IdPredicate};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use crate::router::{Popped, ReplyTo, RoutedRequest, Shard, ShedReason, TableResources};
+use duet_core::WorkspacePool;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
-/// Tuning knobs of the micro-batcher.
+/// Tuning knobs of the per-shard micro-batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Largest number of queries fused into one forward pass.
@@ -51,44 +47,62 @@ impl Default for BatchConfig {
     }
 }
 
-/// One queued estimation request, already encoded against the table schema
-/// (the same encoding the cache key was derived from, so nothing is
-/// translated twice on the serving hot path).
-pub(crate) struct EstimateRequest {
-    /// Per-column id-space predicates of the query.
-    pub preds: Vec<Vec<IdPredicate>>,
-    /// Per-column valid-id intervals of the query.
-    pub intervals: Vec<(u32, u32)>,
-    /// Cache slot to fill with the result (`None` when caching is disabled).
-    pub key: Option<CacheKey>,
-    /// Where the worker sends the estimate; buffered so the worker never
-    /// blocks on a slow or vanished client.
-    pub reply: SyncSender<f64>,
+/// Worker-lifetime execution state, reused across every batch: the
+/// per-table workspace pool and the batch containers. None of these
+/// reallocate once they have grown to the steady-state shape of every table
+/// on the shard.
+pub(crate) struct ShardWorker {
+    /// Per-table forward workspaces, indexed by dense table id.
+    pool: WorkspacePool,
+    /// The batch currently being formed/executed (all one table).
+    pub(crate) batch: Vec<RoutedRequest>,
+    /// Cardinalities of the live prefix of `batch`, in order.
+    results: Vec<f64>,
 }
 
-/// Worker loop: runs until every sender is dropped.
-pub(crate) fn run_batch_worker(
-    slot: Arc<ModelSlot>,
-    cache: Arc<ShardedCache>,
-    metrics: Arc<ServeMetrics>,
-    rx: Receiver<EstimateRequest>,
-    config: BatchConfig,
-) {
-    let max = config.max_batch_size.max(1);
-    // Worker-lifetime state, reused across every batch: the forward
-    // workspace (activations, masked weights, softmax staging) and the batch
-    // containers. None of these reallocate once they have grown to the
-    // steady-state batch shape.
-    let mut ws = DuetWorkspace::new();
-    let mut batch: Vec<EstimateRequest> = Vec::new();
-    let mut rows: Vec<Vec<Vec<IdPredicate>>> = Vec::new();
-    let mut intervals: Vec<Vec<(u32, u32)>> = Vec::new();
-    let mut sinks: Vec<(Option<CacheKey>, SyncSender<f64>)> = Vec::new();
-    let mut results: Vec<f64> = Vec::new();
-    while let Ok(first) = rx.recv() {
-        batch.clear();
-        batch.push(first);
-        collect_stragglers(&rx, &mut batch, max, config.batch_window);
+impl ShardWorker {
+    pub(crate) fn new() -> Self {
+        Self { pool: WorkspacePool::new(), batch: Vec::new(), results: Vec::new() }
+    }
+
+    /// Execute the batch currently in `self.batch` (all requests share one
+    /// table): triage expired requests, run the live ones through a single
+    /// batched forward pass on the table's workspace, store tagged cache
+    /// entries, and deliver every reply.
+    ///
+    /// `self.batch` is left holding the processed requests (live ones first)
+    /// so callers can recycle or drop them; ticket replies are appended to
+    /// `outcomes`.
+    pub(crate) fn execute(
+        &mut self,
+        tables: &[TableResources],
+        now: Duration,
+        metrics: &ServeMetrics,
+        outcomes: &mut Vec<(u64, Result<f64, ShedReason>)>,
+    ) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let table_id = self.batch[0].table_id as usize;
+        let resources = &tables[table_id];
+
+        // Deadline triage at dequeue: reply-and-drop requests whose budget
+        // ran out while queued, compacting the live ones to the batch front
+        // (stable, in-place, allocation-free).
+        let mut live = 0;
+        for i in 0..self.batch.len() {
+            let expired = self.batch[i].deadline.is_some_and(|deadline| now > deadline);
+            if expired {
+                metrics.record_shed_deadline();
+                deliver(&self.batch[i].reply, Err(ShedReason::DeadlineExpired), outcomes);
+            } else {
+                self.batch.swap(live, i);
+                live += 1;
+            }
+        }
+        if live == 0 {
+            return;
+        }
 
         // Snapshot the cache epoch BEFORE resolving the model, then resolve
         // the model once per batch: requests enqueued after a hot-swap can
@@ -99,54 +113,67 @@ pub(crate) fn run_batch_worker(
         // window is closed entirely. The generation travels with the
         // weights so every insert is labelled with the model that actually
         // computed it.
-        let epoch = cache.epoch();
-        let (generation, estimator): (u64, Arc<DuetEstimator>) = slot.current_versioned();
-        rows.clear();
-        intervals.clear();
-        sinks.clear();
-        for request in batch.drain(..) {
-            rows.push(request.preds);
-            intervals.push(request.intervals);
-            sinks.push((request.key, request.reply));
-        }
-        estimator.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut results);
-        metrics.record_batch(rows.len());
+        let epoch = resources.cache.epoch();
+        let (generation, estimator) = resources.slot.current_versioned();
+        estimator.estimate_encoded_batch_with(
+            &self.batch[..live],
+            &self.batch[..live],
+            self.pool.workspace(table_id),
+            &mut self.results,
+        );
+        metrics.record_batch(live);
 
-        for ((key, reply), &value) in sinks.drain(..).zip(results.iter()) {
-            if let Some(key) = key {
-                cache.insert_tagged(key.with_generation(generation), value, epoch);
+        for (request, &value) in self.batch[..live].iter().zip(self.results.iter()) {
+            if let Some(key) = &request.key {
+                resources.cache.insert_tagged(key.with_generation(generation), value, epoch);
             }
-            // A client that gave up (dropped its receiver) is not an error.
-            let _ = reply.send(value);
+            deliver(&request.reply, Ok(value), outcomes);
         }
     }
 }
 
-/// Fill `batch` up to `max` entries: drain the queue, then wait out the
-/// batching window.
-fn collect_stragglers(
-    rx: &Receiver<EstimateRequest>,
-    batch: &mut Vec<EstimateRequest>,
-    max: usize,
-    window: Duration,
+/// Send one outcome to its sink (a vanished client is not an error).
+fn deliver(
+    reply: &ReplyTo,
+    outcome: Result<f64, ShedReason>,
+    outcomes: &mut Vec<(u64, Result<f64, ShedReason>)>,
 ) {
-    let deadline = Instant::now() + window;
-    while batch.len() < max {
-        match rx.try_recv() {
-            Ok(r) => {
-                batch.push(r);
-                continue;
+    match reply {
+        ReplyTo::Channel(tx) => {
+            let _ = tx.send(outcome);
+        }
+        ReplyTo::Ticket(ticket) => outcomes.push((*ticket, outcome)),
+        ReplyTo::Discard => {}
+    }
+}
+
+/// Production worker loop: one thread per shard, runs until the router is
+/// closed and the shard's queue is drained.
+pub(crate) fn run_shard_worker(
+    shard: Arc<Shard>,
+    directory: Arc<RwLock<Vec<TableResources>>>,
+    clock: Arc<dyn crate::router::Clock>,
+    metrics: Arc<ServeMetrics>,
+    config: BatchConfig,
+) {
+    let mut worker = ShardWorker::new();
+    // Production requests reply over channels, so this stays empty; it only
+    // exists so the harness and the worker share one execution path.
+    let mut outcomes = Vec::new();
+    loop {
+        match shard.pop_batch_blocking(
+            config.max_batch_size,
+            config.batch_window,
+            &mut worker.batch,
+        ) {
+            Popped::Closed => break,
+            Popped::Batch => {
+                let now = clock.now();
+                let tables = directory.read().expect("directory poisoned");
+                worker.execute(&tables, now, &metrics, &mut outcomes);
+                drop(tables);
+                worker.batch.clear();
             }
-            Err(TryRecvError::Disconnected) => return,
-            Err(TryRecvError::Empty) => {}
-        }
-        let now = Instant::now();
-        if now >= deadline {
-            return;
-        }
-        match rx.recv_timeout(deadline - now) {
-            Ok(r) => batch.push(r),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -154,89 +181,149 @@ fn collect_stragglers(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use duet_core::DuetConfig;
+    use crate::cache::{canonical_key, ShardedCache};
+    use crate::registry::ModelSlot;
+    use crate::router::{RouterConfig, SystemClock};
+    use duet_core::{DuetConfig, DuetEstimator};
     use duet_data::datasets::census_like;
     use duet_query::{Query, WorkloadSpec};
     use std::sync::mpsc;
+    use std::sync::mpsc::SyncSender;
+
+    fn resources_for(estimator: DuetEstimator, name: &str) -> TableResources {
+        TableResources {
+            name: Arc::from(name),
+            slot: Arc::new(ModelSlot::new(estimator)),
+            cache: Arc::new(ShardedCache::new(0, 1)),
+        }
+    }
 
     fn request_for(
         estimator: &DuetEstimator,
+        table_id: u32,
         query: &Query,
-        key: Option<CacheKey>,
-        reply: SyncSender<f64>,
-    ) -> EstimateRequest {
-        EstimateRequest {
+        deadline: Option<Duration>,
+        reply: SyncSender<Result<f64, ShedReason>>,
+    ) -> RoutedRequest {
+        RoutedRequest {
+            table_id,
             preds: duet_core::query_to_id_predicates(estimator.schema(), query),
             intervals: query.column_intervals(estimator.schema()),
-            key,
-            reply,
+            key: None,
+            deadline,
+            reply: ReplyTo::Channel(reply),
         }
     }
 
     #[test]
-    fn worker_answers_and_batches_queued_requests() {
+    fn worker_batches_backlog_and_answers_bit_identically() {
         let table = census_like(300, 31);
         let cfg = DuetConfig::small().with_epochs(1);
         let est = DuetEstimator::train_data_only(&table, &cfg, 11);
         let queries = WorkloadSpec::random(&table, 16, 5).generate(&table);
         let expected = est.estimate_batch(&queries);
 
-        let slot = Arc::new(ModelSlot::new(est));
-        let cache = Arc::new(ShardedCache::new(0, 1));
-        let metrics = Arc::new(ServeMetrics::new());
-        let (tx, rx) = mpsc::channel();
-
-        // Queue everything BEFORE the worker starts: it must drain the
-        // backlog into large batches rather than going one-by-one.
+        let shard = Shard::new(64);
         let mut replies = Vec::new();
         for q in &queries {
             let (reply, reply_rx) = mpsc::sync_channel(1);
-            tx.send(request_for(&slot.current(), q, None, reply)).unwrap();
+            shard.try_push(request_for(&est, 0, q, None, reply)).unwrap();
             replies.push(reply_rx);
         }
-        drop(tx);
+        let tables = vec![resources_for(est, "census")];
+        let metrics = ServeMetrics::new();
+        let mut worker = ShardWorker::new();
+        let mut outcomes = Vec::new();
+        assert!(shard.try_pop_batch(64, &mut worker.batch));
+        worker.execute(&tables, Duration::ZERO, &metrics, &mut outcomes);
 
-        let worker = {
-            let (slot, cache, metrics) = (slot.clone(), cache.clone(), metrics.clone());
-            std::thread::spawn(move || {
-                run_batch_worker(slot, cache, metrics, rx, BatchConfig::default())
-            })
-        };
-
-        let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap()).collect();
-        worker.join().unwrap();
+        let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
         assert_eq!(got, expected);
-
-        let snapshot = metrics.snapshot(0, 0);
+        let snapshot = metrics.snapshot(0, 0, 0);
         assert_eq!(snapshot.batches, 1, "a pre-queued backlog should fuse into one batch");
         assert!((snapshot.mean_batch_size - 16.0).abs() < 1e-9);
+        assert!(outcomes.is_empty(), "channel replies must not leak into the ticket log");
     }
 
     #[test]
-    fn zero_window_still_drains_backlog() {
+    fn worker_interleaves_tables_with_per_table_workspaces() {
+        let (t1, t2) = (census_like(250, 31), census_like(350, 52));
+        let cfg = DuetConfig::small().with_epochs(1);
+        let est1 = DuetEstimator::train_data_only(&t1, &cfg, 3);
+        let est2 = DuetEstimator::train_data_only(&t2, &cfg, 4);
+        let q1 = WorkloadSpec::random(&t1, 6, 6).generate(&t1);
+        let q2 = WorkloadSpec::random(&t2, 6, 7).generate(&t2);
+        let (e1, e2) = (est1.estimate_batch(&q1), est2.estimate_batch(&q2));
+
+        let shard = Shard::new(64);
+        let mut replies = Vec::new();
+        // Interleave the two tables in one queue.
+        for i in 0..6 {
+            for (table_id, est, queries) in [(0u32, &est1, &q1), (1, &est2, &q2)] {
+                let (reply, reply_rx) = mpsc::sync_channel(1);
+                shard.try_push(request_for(est, table_id, &queries[i], None, reply)).unwrap();
+                replies.push((table_id, i, reply_rx));
+            }
+        }
+        let tables = vec![resources_for(est1, "t1"), resources_for(est2, "t2")];
+        let metrics = ServeMetrics::new();
+        let mut worker = ShardWorker::new();
+        let mut outcomes = Vec::new();
+        // Two pops: one per table (head-of-queue grouping).
+        for _ in 0..2 {
+            assert!(shard.try_pop_batch(64, &mut worker.batch));
+            worker.execute(&tables, Duration::ZERO, &metrics, &mut outcomes);
+            worker.batch.clear();
+        }
+        for (table_id, i, rx) in replies {
+            let expected = if table_id == 0 { e1[i] } else { e2[i] };
+            assert_eq!(rx.recv().unwrap().unwrap(), expected, "table {table_id} query {i}");
+        }
+        let snapshot = metrics.snapshot(0, 0, 0);
+        assert_eq!(snapshot.batches, 2, "one batch per table");
+        assert_eq!(worker.pool.len(), 2, "one workspace per table");
+    }
+
+    #[test]
+    fn expired_requests_are_dropped_at_dequeue() {
         let table = census_like(200, 32);
         let cfg = DuetConfig::small().with_epochs(1);
         let est = DuetEstimator::train_data_only(&table, &cfg, 3);
-        let queries = WorkloadSpec::random(&table, 8, 6).generate(&table);
+        let queries = WorkloadSpec::random(&table, 4, 6).generate(&table);
         let expected = est.estimate_batch(&queries);
 
-        let slot = Arc::new(ModelSlot::new(est));
-        let cache = Arc::new(ShardedCache::new(0, 1));
-        let metrics = Arc::new(ServeMetrics::new());
-        let (tx, rx) = mpsc::channel();
+        let shard = Shard::new(64);
         let mut replies = Vec::new();
-        for q in &queries {
+        for (i, q) in queries.iter().enumerate() {
+            // Odd requests carry an already-tight deadline.
+            let deadline = if i % 2 == 1 {
+                Some(Duration::from_millis(1))
+            } else {
+                Some(Duration::from_secs(60))
+            };
             let (reply, reply_rx) = mpsc::sync_channel(1);
-            tx.send(request_for(&slot.current(), q, None, reply)).unwrap();
+            shard.try_push(request_for(&est, 0, q, deadline, reply)).unwrap();
             replies.push(reply_rx);
         }
-        drop(tx);
+        let tables = vec![resources_for(est, "census")];
+        let metrics = ServeMetrics::new();
+        let mut worker = ShardWorker::new();
+        let mut outcomes = Vec::new();
+        assert!(shard.try_pop_batch(64, &mut worker.batch));
+        // Dequeue happens at t = 2ms: the 1ms deadlines have expired.
+        worker.execute(&tables, Duration::from_millis(2), &metrics, &mut outcomes);
 
-        let config = BatchConfig { max_batch_size: 4, batch_window: Duration::ZERO };
-        run_batch_worker(slot, cache, metrics.clone(), rx, config);
-        let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap()).collect();
-        assert_eq!(got, expected);
-        assert_eq!(metrics.snapshot(0, 0).batches, 2, "8 queries at max_batch_size 4");
+        for (i, rx) in replies.iter().enumerate() {
+            let got = rx.recv().unwrap();
+            if i % 2 == 1 {
+                assert_eq!(got, Err(ShedReason::DeadlineExpired), "request {i}");
+            } else {
+                assert_eq!(got, Ok(expected[i]), "live request {i} must still be bit-identical");
+            }
+        }
+        let snapshot = metrics.snapshot(0, 0, 0);
+        assert_eq!(snapshot.shed_deadline, 2);
+        assert!((snapshot.mean_batch_size - 2.0).abs() < 1e-9, "only live requests count");
     }
 
     #[test]
@@ -245,19 +332,65 @@ mod tests {
         let cfg = DuetConfig::small().with_epochs(1);
         let est = DuetEstimator::train_data_only(&table, &cfg, 4);
         let query = WorkloadSpec::random(&table, 1, 7).generate(&table).remove(0);
-        let key = crate::cache::canonical_key(&est, 0, &query);
+        let key = canonical_key(&est, 0, &query);
         let expected = est.estimate_batch(std::slice::from_ref(&query))[0];
 
-        let slot = Arc::new(ModelSlot::new(est));
         let cache = Arc::new(ShardedCache::new(16, 2));
-        let metrics = Arc::new(ServeMetrics::new());
-        let (tx, rx) = mpsc::channel();
+        let tables = vec![TableResources {
+            name: Arc::from("census"),
+            slot: Arc::new(ModelSlot::new(est.clone())),
+            cache: cache.clone(),
+        }];
+        let shard = Shard::new(8);
         let (reply, reply_rx) = mpsc::sync_channel(1);
-        tx.send(request_for(&slot.current(), &query, Some(key.clone()), reply)).unwrap();
-        drop(tx);
-        run_batch_worker(slot, cache.clone(), metrics, rx, BatchConfig::default());
+        let mut request = request_for(&est, 0, &query, None, reply);
+        request.key = Some(key.clone());
+        shard.try_push(request).unwrap();
 
-        assert_eq!(reply_rx.recv().unwrap(), expected);
+        let metrics = ServeMetrics::new();
+        let mut worker = ShardWorker::new();
+        let mut outcomes = Vec::new();
+        assert!(shard.try_pop_batch(8, &mut worker.batch));
+        worker.execute(&tables, Duration::ZERO, &metrics, &mut outcomes);
+
+        assert_eq!(reply_rx.recv().unwrap().unwrap(), expected);
         assert_eq!(cache.get(&key), Some(expected));
+    }
+
+    #[test]
+    fn run_shard_worker_drains_and_exits_on_close() {
+        let table = census_like(250, 34);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let est = DuetEstimator::train_data_only(&table, &cfg, 5);
+        let queries = WorkloadSpec::random(&table, 8, 9).generate(&table);
+        let expected = est.estimate_batch(&queries);
+
+        let router = crate::router::Router::new(
+            RouterConfig { num_shards: 1, ..RouterConfig::default() },
+            Arc::new(SystemClock::new()),
+            Arc::new(ServeMetrics::new()),
+        );
+        let directory = Arc::new(RwLock::new(vec![resources_for(est.clone(), "census")]));
+        let metrics = Arc::new(ServeMetrics::new());
+
+        let mut replies = Vec::new();
+        for q in &queries {
+            let (reply, reply_rx) = mpsc::sync_channel(1);
+            router.try_route(0, request_for(&est, 0, q, None, reply)).unwrap();
+            replies.push(reply_rx);
+        }
+
+        let handle = {
+            let (shard, directory, metrics) =
+                (router.shard(0).clone(), directory.clone(), metrics.clone());
+            let clock: Arc<dyn crate::router::Clock> = Arc::new(SystemClock::new());
+            std::thread::spawn(move || {
+                run_shard_worker(shard, directory, clock, metrics, BatchConfig::default())
+            })
+        };
+        let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
+        assert_eq!(got, expected);
+        router.close();
+        handle.join().unwrap();
     }
 }

@@ -271,6 +271,17 @@ impl ShardedCache {
         self.shard(&key).lock().expect("cache shard poisoned").insert(key, value);
     }
 
+    /// Whether `key` is currently cached, **without** touching the LRU
+    /// recency order or the hit/miss counters.
+    ///
+    /// This is an inspection hook for tests and invariant checks (e.g. the
+    /// epoch-tagging proptests, which must observe the cache state after a
+    /// simulated swap race without perturbing the statistics they also
+    /// assert on); serving paths use [`ShardedCache::get`].
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.shard(key).lock().expect("cache shard poisoned").map.contains_key(key)
+    }
+
     /// The current invalidation epoch. Snapshot it *before* resolving the
     /// model a batch will run on, and hand it back to
     /// [`ShardedCache::insert_tagged`] with each result.

@@ -9,18 +9,28 @@
 //! * [`registry`] — named model slots with **zero-downtime hot-swap** from
 //!   [`duet_core::save_weights`] checkpoints: in-flight requests finish on
 //!   the old weights, later requests see the new ones;
-//! * [`batcher`] — a **micro-batching engine** that coalesces concurrent
-//!   requests into one `N×W` matrix forward pass
+//! * [`router`] — **sharded multi-table routing with admission control**:
+//!   tables are hashed onto a shared pool of worker shards with bounded
+//!   queues; a full shard sheds load with a typed `Overloaded` rejection,
+//!   and a request whose deadline budget expires while queued is dropped at
+//!   dequeue instead of wasting a forward pass;
+//! * [`batcher`] — the per-shard **micro-batching worker**: same-table
+//!   batches are coalesced into one `N×W` matrix forward pass
 //!   ([`duet_core::DuetEstimator::estimate_batch`]), which is bit-identical
-//!   to N single-query passes, so batching never changes an answer;
+//!   to N single-query passes, so neither sharding nor batching ever
+//!   changes an answer;
 //! * [`cache`] — a **sharded LRU result cache** keyed on canonicalized
 //!   predicate intervals (and the model generation, which makes hot-swaps
 //!   invalidate stale entries implicitly), with hit/miss accounting;
-//! * [`metrics`] — QPS, p50/p99 latency, batch-size histogram and cache hit
-//!   rate, computed with the same percentile helper as the offline
-//!   experiment harness;
+//! * [`metrics`] — QPS, p50/p99 latency, batch-size histogram, shed/queue
+//!   counters and cache hit rate, computed with the same percentile helper
+//!   as the offline experiment harness;
 //! * [`server`] — [`DuetServer`], the blocking, `Sync` front door tying the
-//!   pieces together.
+//!   pieces together;
+//! * [`sim`] — a **deterministic serving test harness**: a virtual-clock,
+//!   seeded-RNG multi-client driver that replays scripted arrival patterns
+//!   through the real router/worker code, making the concurrency layer
+//!   regression-testable instead of timing-dependent.
 //!
 //! ```no_run
 //! use duet_core::{DuetConfig, DuetEstimator};
@@ -58,10 +68,13 @@ pub mod batcher;
 pub mod cache;
 pub mod metrics;
 pub mod registry;
+pub mod router;
 pub mod server;
+pub mod sim;
 
 pub use batcher::BatchConfig;
 pub use cache::{canonical_key, canonical_key_from_parts, CacheKey, ShardedCache};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelRegistry, ModelSlot, SwapError};
+pub use router::{shard_for, Clock, Router, RouterConfig, ShedReason, SystemClock, VirtualClock};
 pub use server::{DuetServer, ServeConfig, ServeError};

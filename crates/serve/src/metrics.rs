@@ -28,6 +28,10 @@ pub struct ServeMetrics {
     batches: AtomicU64,
     batched_queries: AtomicU64,
     batch_hist: [AtomicU64; BATCH_BUCKETS.len() + 1],
+    /// Requests rejected at admission because their shard queue was full.
+    shed_overload: AtomicU64,
+    /// Requests dropped at dequeue because their deadline had expired.
+    shed_deadline: AtomicU64,
     /// Ring of recent latencies in nanoseconds; `latency_cursor` counts
     /// total records and indexes the ring modulo [`LATENCY_WINDOW`].
     latencies_ns: Vec<AtomicU64>,
@@ -43,6 +47,8 @@ impl ServeMetrics {
             batches: AtomicU64::new(0),
             batched_queries: AtomicU64::new(0),
             batch_hist: Default::default(),
+            shed_overload: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
             latencies_ns: (0..LATENCY_WINDOW).map(|_| AtomicU64::new(0)).collect(),
             latency_cursor: AtomicU64::new(0),
         }
@@ -64,9 +70,35 @@ impl ServeMetrics {
         self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one request rejected at admission (shard queue full).
+    pub fn record_shed_overload(&self) {
+        self.shed_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request dropped at dequeue (deadline expired).
+    pub fn record_shed_deadline(&self) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests rejected at admission so far.
+    pub fn shed_overload(&self) -> u64 {
+        self.shed_overload.load(Ordering::Relaxed)
+    }
+
+    /// Requests dropped at dequeue so far.
+    pub fn shed_deadline(&self) -> u64 {
+        self.shed_deadline.load(Ordering::Relaxed)
+    }
+
     /// Snapshot every metric, combining the given cache counters (summed by
-    /// the server across its per-table caches).
-    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> MetricsSnapshot {
+    /// the server across its per-table caches) and the router's current
+    /// total queue depth (a gauge the atomics cannot derive on their own).
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        queue_depth: usize,
+    ) -> MetricsSnapshot {
         let elapsed = self.started.elapsed();
         let requests = self.requests.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
@@ -100,6 +132,9 @@ impl ServeMetrics {
                 batched_queries as f64 / batches as f64
             },
             batch_size_histogram: histogram,
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            queue_depth,
             cache_hits,
             cache_misses,
             cache_hit_rate: if cache_total == 0 {
@@ -146,6 +181,12 @@ pub struct MetricsSnapshot {
     /// `(bucket upper bound, batches)` pairs; the `usize::MAX` bucket is
     /// open-ended.
     pub batch_size_histogram: Vec<(usize, u64)>,
+    /// Requests rejected at admission because their shard queue was full.
+    pub shed_overload: u64,
+    /// Requests dropped at dequeue because their deadline had expired.
+    pub shed_deadline: u64,
+    /// Requests queued across all shards at snapshot time.
+    pub queue_depth: usize,
     /// Result-cache hits across all tables.
     pub cache_hits: u64,
     /// Result-cache misses across all tables.
@@ -158,13 +199,17 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "requests={} qps={:.0} p50={:.1}us p99={:.1}us batches={} mean_batch={:.2} cache_hit_rate={:.1}%",
+            "requests={} qps={:.0} p50={:.1}us p99={:.1}us batches={} mean_batch={:.2} \
+             shed_overload={} shed_deadline={} queue_depth={} cache_hit_rate={:.1}%",
             self.requests,
             self.qps,
             self.p50_latency_us,
             self.p99_latency_us,
             self.batches,
             self.mean_batch_size,
+            self.shed_overload,
+            self.shed_deadline,
+            self.queue_depth,
             self.cache_hit_rate * 100.0
         )
     }
@@ -180,7 +225,7 @@ mod tests {
         for us in 1..=100u64 {
             m.record_request(Duration::from_micros(us));
         }
-        let s = m.snapshot(0, 0);
+        let s = m.snapshot(0, 0, 0);
         assert_eq!(s.requests, 100);
         assert!(s.qps > 0.0);
         assert!((s.p50_latency_us - 50.5).abs() < 1.0, "p50 {}", s.p50_latency_us);
@@ -195,7 +240,7 @@ mod tests {
         m.record_batch(2);
         m.record_batch(5);
         m.record_batch(300);
-        let s = m.snapshot(0, 0);
+        let s = m.snapshot(0, 0, 0);
         assert_eq!(s.batches, 4);
         assert!((s.mean_batch_size - 77.0).abs() < 1e-9);
         let count_of =
@@ -209,11 +254,11 @@ mod tests {
     #[test]
     fn cache_rate_combines_external_counters() {
         let m = ServeMetrics::new();
-        let s = m.snapshot(3, 1);
+        let s = m.snapshot(3, 1, 0);
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.cache_misses, 1);
         assert!((s.cache_hit_rate - 0.75).abs() < 1e-9);
-        assert_eq!(m.snapshot(0, 0).cache_hit_rate, 0.0);
+        assert_eq!(m.snapshot(0, 0, 0).cache_hit_rate, 0.0);
     }
 
     #[test]
@@ -222,9 +267,27 @@ mod tests {
         for _ in 0..(LATENCY_WINDOW + 100) {
             m.record_request(Duration::from_micros(7));
         }
-        let s = m.snapshot(0, 0);
+        let s = m.snapshot(0, 0, 0);
         assert_eq!(s.requests as usize, LATENCY_WINDOW + 100);
         assert!((s.p50_latency_us - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shed_counters_and_queue_depth_are_reported() {
+        let m = ServeMetrics::new();
+        m.record_shed_overload();
+        m.record_shed_overload();
+        m.record_shed_deadline();
+        assert_eq!(m.shed_overload(), 2);
+        assert_eq!(m.shed_deadline(), 1);
+        let s = m.snapshot(0, 0, 7);
+        assert_eq!(s.shed_overload, 2);
+        assert_eq!(s.shed_deadline, 1);
+        assert_eq!(s.queue_depth, 7);
+        let line = s.to_string();
+        assert!(line.contains("shed_overload=2"));
+        assert!(line.contains("shed_deadline=1"));
+        assert!(line.contains("queue_depth=7"));
     }
 
     #[test]
@@ -232,7 +295,7 @@ mod tests {
         let m = ServeMetrics::new();
         m.record_request(Duration::from_micros(10));
         m.record_batch(4);
-        let line = m.snapshot(1, 1).to_string();
+        let line = m.snapshot(1, 1, 0).to_string();
         assert!(line.contains("requests=1"));
         assert!(line.contains("cache_hit_rate=50.0%"));
     }

@@ -147,10 +147,23 @@ impl From<CheckpointError> for SwapError {
     }
 }
 
+/// A registered slot plus the dense id the serving router addresses it by.
+#[derive(Debug)]
+struct RegisteredSlot {
+    id: u32,
+    slot: Arc<ModelSlot>,
+}
+
 /// A collection of [`ModelSlot`]s keyed by table name.
+///
+/// Besides the name→slot map, the registry hands every table a **dense,
+/// stable `u32` id** at first registration (0, 1, 2, … in registration
+/// order; re-registering a name reuses its id). The serving layer uses the
+/// id to index the worker-shared table directory and each worker's
+/// per-table workspace pool without hashing the name on the hot path.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    slots: RwLock<HashMap<String, Arc<ModelSlot>>>,
+    slots: RwLock<HashMap<String, RegisteredSlot>>,
 }
 
 impl ModelRegistry {
@@ -161,17 +174,42 @@ impl ModelRegistry {
 
     /// Register (or replace) the model serving `table`, returning its slot.
     ///
-    /// Replacing through `register` creates a *new* slot (generation resets);
-    /// use [`ModelRegistry::hot_swap`] to refresh weights in place.
+    /// Replacing through `register` creates a *new* slot (generation resets)
+    /// but keeps the table's dense id; use [`ModelRegistry::hot_swap`] to
+    /// refresh weights in place.
     pub fn register(&self, table: impl Into<String>, estimator: DuetEstimator) -> Arc<ModelSlot> {
+        self.register_indexed(table, estimator).1
+    }
+
+    /// [`ModelRegistry::register`], also returning the table's dense id.
+    ///
+    /// Ids are assigned in registration order (the `n`-th distinct name gets
+    /// id `n`), so a caller serializing registrations can mirror them in an
+    /// id-indexed directory.
+    pub fn register_indexed(
+        &self,
+        table: impl Into<String>,
+        estimator: DuetEstimator,
+    ) -> (u32, Arc<ModelSlot>) {
+        let table = table.into();
         let slot = Arc::new(ModelSlot::new(estimator));
-        self.slots.write().expect("registry poisoned").insert(table.into(), slot.clone());
-        slot
+        let mut slots = self.slots.write().expect("registry poisoned");
+        let id = match slots.get(&table) {
+            Some(existing) => existing.id,
+            None => slots.len() as u32,
+        };
+        slots.insert(table, RegisteredSlot { id, slot: slot.clone() });
+        (id, slot)
     }
 
     /// The slot serving `table`, if any.
     pub fn slot(&self, table: &str) -> Option<Arc<ModelSlot>> {
-        self.slots.read().expect("registry poisoned").get(table).cloned()
+        self.slots.read().expect("registry poisoned").get(table).map(|r| r.slot.clone())
+    }
+
+    /// The dense id of `table`, if registered.
+    pub fn table_id(&self, table: &str) -> Option<u32> {
+        self.slots.read().expect("registry poisoned").get(table).map(|r| r.id)
     }
 
     /// Names of all registered tables (unordered).
@@ -209,6 +247,24 @@ mod tests {
         assert!(registry.slot("census").is_some());
         assert!(registry.slot("missing").is_none());
         assert_eq!(registry.tables(), vec!["census".to_string()]);
+    }
+
+    #[test]
+    fn table_ids_are_dense_and_stable_across_replacement() {
+        let registry = ModelRegistry::new();
+        let (_, est) = trained(1);
+        let (id_a, _) = registry.register_indexed("alpha", est.clone());
+        let (id_b, _) = registry.register_indexed("beta", est.clone());
+        assert_eq!((id_a, id_b), (0, 1), "ids follow registration order");
+        assert_eq!(registry.table_id("alpha"), Some(0));
+        assert_eq!(registry.table_id("missing"), None);
+
+        // Re-registering a name replaces the slot but keeps the id.
+        let old_slot = registry.slot("alpha").unwrap();
+        let (id_a2, new_slot) = registry.register_indexed("alpha", est);
+        assert_eq!(id_a2, 0);
+        assert!(!Arc::ptr_eq(&old_slot, &new_slot), "replacement creates a fresh slot");
+        assert_eq!(registry.table_id("beta"), Some(1));
     }
 
     #[test]

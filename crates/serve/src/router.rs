@@ -1,0 +1,566 @@
+//! The serving router: consistent table→shard assignment over a shared pool
+//! of worker shards, bounded per-shard queues, and admission control.
+//!
+//! PR 1's design ran **one worker thread per table** with an unbounded
+//! channel: a burst on one hot table could stall that table arbitrarily and
+//! nothing was ever rejected. The router replaces it with a **shared pool of
+//! `N` worker shards**: every registered table is hashed (FNV-1a over its
+//! name) onto a shard, so any number of tables is served by a fixed number
+//! of threads, and a shard multiplexes requests for all of its tables
+//! through one bounded FIFO queue.
+//!
+//! Admission control is two-sided:
+//!
+//! * **at enqueue** — a shard whose queue is at capacity rejects the request
+//!   immediately ([`Shard::try_push`] fails, the server surfaces a typed
+//!   `Overloaded` error). The queue can never grow without bound; overload
+//!   sheds load instead of accumulating latency.
+//! * **at dequeue** — a request carries an optional deadline; if it has
+//!   already expired by the time a worker picks it up, the worker drops it
+//!   with a [`ShedReason::DeadlineExpired`] reply instead of wasting a
+//!   forward pass on an answer nobody is waiting for.
+//!
+//! All timing goes through the [`Clock`] trait: production uses the
+//! monotonic [`SystemClock`], while the deterministic test harness
+//! ([`crate::sim`]) drives the very same queue/admission/deadline code with
+//! a manually-advanced [`VirtualClock`], which is what makes shed/served
+//! counts exactly reproducible under a fixed seed.
+
+use crate::cache::{CacheKey, ShardedCache};
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelSlot;
+use duet_core::IdPredicate;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Monotonic time source used for deadlines.
+///
+/// Reported as a [`Duration`] since an arbitrary per-clock origin; only
+/// differences are meaningful. Production serving uses [`SystemClock`]; the
+/// deterministic harness substitutes a [`VirtualClock`].
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Time elapsed since this clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: monotonic time since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A manually-advanced clock for deterministic tests: time only moves when
+/// the driver says so, so deadline expiry is a pure function of the script.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `by` (saturating at `u64::MAX` nanoseconds).
+    pub fn advance(&self, by: Duration) {
+        let by = by.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.now_ns.fetch_add(by, Ordering::AcqRel);
+    }
+
+    /// Jump the clock to an absolute time since its origin.
+    ///
+    /// Time never moves backwards: a target earlier than the current time is
+    /// ignored, so interleaved `set` calls keep the clock monotonic.
+    pub fn set(&self, to: Duration) {
+        let to = to.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.now_ns.fetch_max(to, Ordering::AcqRel);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_ns.load(Ordering::Acquire))
+    }
+}
+
+/// Why the router refused to answer a request with an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The target shard's queue was at capacity when the request arrived.
+    QueueFull,
+    /// The request's deadline had already expired when a worker dequeued it.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "shard queue full"),
+            ShedReason::DeadlineExpired => write!(f, "deadline expired before dequeue"),
+        }
+    }
+}
+
+/// Tuning knobs of the routing layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Number of worker shards (and worker threads) in the shared pool.
+    pub num_shards: usize,
+    /// Bound on each shard's queue; a request arriving at a full shard is
+    /// rejected with a typed `Overloaded` error. `0` rejects everything
+    /// (useful to test client-side overload handling deterministically).
+    pub queue_capacity: usize,
+    /// Per-request deadline budget measured from admission. A request still
+    /// queued when its budget runs out is dropped at dequeue
+    /// ([`ShedReason::DeadlineExpired`]) instead of occupying a forward
+    /// pass. `None` disables deadline shedding.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self { num_shards: 4, queue_capacity: 4096, default_deadline: None }
+    }
+}
+
+/// Consistent table→shard assignment: FNV-1a over the table name, reduced
+/// modulo the shard count. Stable across routers, processes and runs, so a
+/// table always lands on the same shard for a given pool size.
+pub fn shard_for(table: &str, num_shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in table.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    (hash % num_shards.max(1) as u64) as usize
+}
+
+/// Where a worker sends a request's outcome.
+#[derive(Debug)]
+pub(crate) enum ReplyTo {
+    /// Production: a buffered channel back to the blocked client (buffered
+    /// so the worker never blocks on a slow or vanished client).
+    Channel(SyncSender<Result<f64, ShedReason>>),
+    /// Test harness: record under this ticket in the driver's outcome log.
+    Ticket(u64),
+    /// Measurement probes: discard the outcome.
+    Discard,
+}
+
+/// One routed estimation request, already encoded against its table's schema.
+#[derive(Debug)]
+pub(crate) struct RoutedRequest {
+    /// Dense registry id of the table; indexes the worker-shared directory
+    /// and selects the worker's per-table workspace.
+    pub table_id: u32,
+    /// Per-column id-space predicates of the query.
+    pub preds: Vec<Vec<IdPredicate>>,
+    /// Per-column valid-id intervals of the query.
+    pub intervals: Vec<(u32, u32)>,
+    /// Cache slot to fill with the result (`None` when caching is disabled).
+    pub key: Option<CacheKey>,
+    /// Clock time after which the request is dropped at dequeue.
+    pub deadline: Option<Duration>,
+    /// Outcome sink.
+    pub reply: ReplyTo,
+}
+
+// The batch forward pass reads encodings and intervals straight out of the
+// queued request structs — no per-batch re-gathering into parallel vectors.
+impl AsRef<[Vec<IdPredicate>]> for RoutedRequest {
+    fn as_ref(&self) -> &[Vec<IdPredicate>] {
+        &self.preds
+    }
+}
+
+impl AsRef<[(u32, u32)]> for RoutedRequest {
+    fn as_ref(&self) -> &[(u32, u32)] {
+        &self.intervals
+    }
+}
+
+/// Everything a shard worker needs to serve one table, shared between the
+/// server front door and the worker pool through the id-indexed directory.
+#[derive(Debug)]
+pub(crate) struct TableResources {
+    pub name: Arc<str>,
+    pub slot: Arc<ModelSlot>,
+    pub cache: Arc<ShardedCache>,
+}
+
+/// The lock-protected interior of a [`Shard`]: the FIFO plus a reused
+/// staging buffer for single-pass same-table batch formation.
+struct ShardState {
+    queue: VecDeque<RoutedRequest>,
+    /// Scanned-but-unmatched requests staged during batch formation and
+    /// reinstated at the queue front; reused so the hot loop never
+    /// allocates.
+    scratch: Vec<RoutedRequest>,
+}
+
+/// One worker shard: a bounded FIFO of routed requests plus the signalling
+/// its worker thread parks on.
+pub(crate) struct Shard {
+    state: Mutex<ShardState>,
+    available: Condvar,
+    capacity: usize,
+    closed: AtomicBool,
+}
+
+/// Outcome of a blocking dequeue.
+pub(crate) enum Popped {
+    /// `batch` holds at least one request (all for the same table).
+    Batch,
+    /// The router is shut down and the queue is fully drained.
+    Closed,
+}
+
+impl Shard {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(ShardState { queue: VecDeque::new(), scratch: Vec::new() }),
+            available: Condvar::new(),
+            capacity,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Admit a request, or reject it if the queue is at capacity.
+    ///
+    /// Returns the queue depth after the push; on rejection the request is
+    /// handed back so the caller can fail it without losing the reply
+    /// channel.
+    pub(crate) fn try_push(&self, request: RoutedRequest) -> Result<usize, RoutedRequest> {
+        let mut state = self.state.lock().expect("shard poisoned");
+        if state.queue.len() >= self.capacity {
+            return Err(request);
+        }
+        state.queue.push_back(request);
+        let depth = state.queue.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Current queue depth.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().expect("shard poisoned").queue.len()
+    }
+
+    /// Move the head request plus every queued request for the same table
+    /// (up to `max`, preserving arrival order) into `batch`.
+    fn take_head_table(state: &mut ShardState, batch: &mut Vec<RoutedRequest>, max: usize) {
+        if let Some(first) = state.queue.pop_front() {
+            let table_id = first.table_id;
+            batch.push(first);
+            Self::take_matching(state, batch, table_id, max);
+        }
+    }
+
+    /// Move queued requests for `table_id` into `batch` (order-preserving).
+    ///
+    /// One front-to-back pass: matches go to `batch`, scanned non-matches
+    /// are staged in the reused scratch buffer and reinstated at the queue
+    /// front in their original order — O(scanned) moves total, instead of a
+    /// `VecDeque::remove` memmove per match, which would go quadratic on a
+    /// deep queue of interleaved tables while holding the shard lock.
+    fn take_matching(
+        state: &mut ShardState,
+        batch: &mut Vec<RoutedRequest>,
+        table_id: u32,
+        max: usize,
+    ) {
+        debug_assert!(state.scratch.is_empty());
+        while batch.len() < max {
+            match state.queue.pop_front() {
+                Some(request) if request.table_id == table_id => batch.push(request),
+                Some(request) => state.scratch.push(request),
+                None => break,
+            }
+        }
+        for request in state.scratch.drain(..).rev() {
+            state.queue.push_front(request);
+        }
+    }
+
+    /// Blocking dequeue for the production worker: waits for work, forms a
+    /// same-table batch from the queue head, then optionally waits out the
+    /// straggler window for more requests of that table.
+    ///
+    /// After [`Shard::close`], keeps returning batches until the queue is
+    /// empty (graceful drain), then reports [`Popped::Closed`].
+    pub(crate) fn pop_batch_blocking(
+        &self,
+        max_batch: usize,
+        window: Duration,
+        batch: &mut Vec<RoutedRequest>,
+    ) -> Popped {
+        batch.clear();
+        let max = max_batch.max(1);
+        let mut state = self.state.lock().expect("shard poisoned");
+        loop {
+            if !state.queue.is_empty() {
+                break;
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Popped::Closed;
+            }
+            state = self.available.wait(state).expect("shard poisoned");
+        }
+        Self::take_head_table(&mut state, batch, max);
+        if batch.len() >= max || window == Duration::ZERO {
+            return Popped::Batch;
+        }
+        // Straggler window: wait (in real time — this is a latency/throughput
+        // knob, not a correctness deadline) for more requests of the same
+        // table to coalesce into this forward pass.
+        let table_id = batch[0].table_id;
+        let deadline = Instant::now() + window;
+        loop {
+            Self::take_matching(&mut state, batch, table_id, max);
+            if batch.len() >= max || self.closed.load(Ordering::Acquire) {
+                return Popped::Batch;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Popped::Batch;
+            }
+            let (s, timeout) =
+                self.available.wait_timeout(state, deadline - now).expect("shard poisoned");
+            state = s;
+            if timeout.timed_out() {
+                Self::take_matching(&mut state, batch, table_id, max);
+                return Popped::Batch;
+            }
+        }
+    }
+
+    /// Non-blocking dequeue for the deterministic harness: form one
+    /// same-table batch if any work is queued. Returns `false` when idle.
+    pub(crate) fn try_pop_batch(&self, max_batch: usize, batch: &mut Vec<RoutedRequest>) -> bool {
+        batch.clear();
+        let mut state = self.state.lock().expect("shard poisoned");
+        if state.queue.is_empty() {
+            return false;
+        }
+        Self::take_head_table(&mut state, batch, max_batch.max(1));
+        true
+    }
+
+    /// Mark the shard closed and wake its worker so it can drain and exit.
+    ///
+    /// The flag is set while holding the queue mutex: a worker is then
+    /// either parked in `wait` (and receives the `notify_all`), or has not
+    /// yet re-checked `closed` under the lock (and will observe it before
+    /// parking). Setting the flag outside the lock would race a worker
+    /// sitting between its `closed` check and `wait`, missing the only
+    /// wakeup and hanging the server's shutdown join forever.
+    fn close(&self) {
+        let state = self.state.lock().expect("shard poisoned");
+        self.closed.store(true, Ordering::Release);
+        drop(state);
+        self.available.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("depth", &self.depth())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// The routing layer: a fixed pool of bounded worker shards with consistent
+/// table assignment, shared by every registered table.
+#[derive(Debug)]
+pub struct Router {
+    shards: Vec<Arc<Shard>>,
+    clock: Arc<dyn Clock>,
+    metrics: Arc<ServeMetrics>,
+    config: RouterConfig,
+}
+
+impl Router {
+    /// A router with `config.num_shards` empty shards.
+    pub(crate) fn new(
+        config: RouterConfig,
+        clock: Arc<dyn Clock>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        let num = config.num_shards.max(1);
+        Self {
+            shards: (0..num).map(|_| Arc::new(Shard::new(config.queue_capacity))).collect(),
+            clock,
+            metrics,
+            config,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard serving `table` (consistent: depends only on the name and
+    /// the pool size).
+    pub fn shard_index(&self, table: &str) -> usize {
+        shard_for(table, self.shards.len())
+    }
+
+    /// The shard at `index` (workers hold their own `Arc`).
+    pub(crate) fn shard(&self, index: usize) -> &Arc<Shard> {
+        &self.shards[index]
+    }
+
+    /// Admit `request` to shard `index`, recording an overload shed on
+    /// rejection. Returns the post-admission queue depth.
+    pub(crate) fn try_route(&self, index: usize, request: RoutedRequest) -> Result<usize, usize> {
+        match self.shards[index].try_push(request) {
+            Ok(depth) => Ok(depth),
+            Err(rejected) => {
+                self.metrics.record_shed_overload();
+                drop(rejected);
+                Err(self.shards[index].depth())
+            }
+        }
+    }
+
+    /// The admission deadline for a request arriving now, per the configured
+    /// per-request budget.
+    pub(crate) fn admission_deadline(&self) -> Option<Duration> {
+        self.config.default_deadline.map(|budget| self.clock.now() + budget)
+    }
+
+    /// Total queued requests across all shards.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.depth()).sum()
+    }
+
+    /// Per-shard queue depths.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.depth()).collect()
+    }
+
+    /// Close every shard (workers drain their queues, then exit).
+    pub(crate) fn close(&self) {
+        for shard in &self.shards {
+            shard.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(table_id: u32, deadline: Option<Duration>) -> RoutedRequest {
+        RoutedRequest {
+            table_id,
+            preds: Vec::new(),
+            intervals: Vec::new(),
+            key: None,
+            deadline,
+            reply: ReplyTo::Discard,
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_consistent_and_covers_pool() {
+        for shards in [1usize, 2, 4, 7] {
+            for name in ["census", "dmv", "kddcup98", "orders", "lineitem"] {
+                let a = shard_for(name, shards);
+                let b = shard_for(name, shards);
+                assert_eq!(a, b, "assignment must be deterministic");
+                assert!(a < shards);
+            }
+        }
+        // Enough distinct names spread over more than one shard.
+        let hit: std::collections::HashSet<usize> =
+            (0..32).map(|i| shard_for(&format!("table-{i}"), 4)).collect();
+        assert!(hit.len() > 1, "32 tables should not all hash to one of 4 shards");
+    }
+
+    #[test]
+    fn bounded_queue_rejects_at_capacity() {
+        let shard = Shard::new(2);
+        assert_eq!(shard.try_push(request(0, None)).unwrap(), 1);
+        assert_eq!(shard.try_push(request(0, None)).unwrap(), 2);
+        assert!(shard.try_push(request(0, None)).is_err(), "third push must be rejected");
+        assert_eq!(shard.depth(), 2);
+
+        let zero = Shard::new(0);
+        assert!(zero.try_push(request(0, None)).is_err(), "capacity 0 rejects everything");
+    }
+
+    #[test]
+    fn pop_groups_head_table_and_preserves_order() {
+        let shard = Shard::new(16);
+        for table_id in [1u32, 2, 1, 1, 2, 1] {
+            shard.try_push(request(table_id, None)).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert!(shard.try_pop_batch(64, &mut batch));
+        assert_eq!(batch.iter().map(|r| r.table_id).collect::<Vec<_>>(), vec![1, 1, 1, 1]);
+        assert!(shard.try_pop_batch(64, &mut batch));
+        assert_eq!(batch.iter().map(|r| r.table_id).collect::<Vec<_>>(), vec![2, 2]);
+        assert!(!shard.try_pop_batch(64, &mut batch), "queue should be drained");
+        assert_eq!(shard.depth(), 0);
+    }
+
+    #[test]
+    fn pop_respects_max_batch_size() {
+        let shard = Shard::new(16);
+        for _ in 0..5 {
+            shard.try_push(request(3, None)).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert!(shard.try_pop_batch(2, &mut batch));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(shard.depth(), 3, "remaining requests stay queued");
+    }
+
+    #[test]
+    fn virtual_clock_is_monotonic_and_manual() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.set(Duration::from_millis(3)); // backwards jump ignored
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.set(Duration::from_millis(9));
+        assert_eq!(clock.now(), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn system_clock_advances() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

@@ -1,29 +1,44 @@
-//! The estimation server: ties registry, micro-batcher, cache, and metrics
-//! together behind a blocking, thread-safe `estimate` call.
+//! The estimation server: ties registry, router, shard workers, cache, and
+//! metrics together behind a blocking, thread-safe `estimate` call.
 //!
 //! A [`DuetServer`] is `Sync`; wrap it in an `Arc` and call
 //! [`DuetServer::estimate`] from as many client threads as you like. Model
-//! slots live in an embedded [`ModelRegistry`]; each registered table
-//! additionally gets its own worker thread and result cache, and metrics are
-//! aggregated server-wide.
+//! slots live in an embedded [`ModelRegistry`]; registered tables are hashed
+//! onto a **shared pool of worker shards** (see [`crate::router`]) instead
+//! of one thread per table, each table gets its own result cache, and
+//! metrics are aggregated server-wide.
+//!
+//! Overload semantics: every shard queue is bounded
+//! ([`RouterConfig::queue_capacity`]); a request that would overflow its
+//! shard is rejected immediately with [`ServeError::Overloaded`] — the
+//! server sheds load instead of queueing unboundedly. With a configured
+//! [`RouterConfig::default_deadline`], a request that is still queued when
+//! its budget expires is dropped at dequeue and fails with
+//! [`ServeError::DeadlineExceeded`].
 
-use crate::batcher::{run_batch_worker, BatchConfig, EstimateRequest};
+use crate::batcher::{run_shard_worker, BatchConfig};
 use crate::cache::{canonical_key_from_parts, ShardedCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::{ModelRegistry, ModelSlot, SwapError};
+use crate::router::{
+    Clock, ReplyTo, RoutedRequest, Router, RouterConfig, ShedReason, SystemClock, TableResources,
+};
 use duet_core::{query_to_id_predicates, DuetEstimator};
 use duet_query::Query;
 use std::collections::HashMap;
-use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Server-wide configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Micro-batcher tuning (applies to every table worker).
+    /// Micro-batcher tuning (applies to every shard worker).
     pub batch: BatchConfig,
+    /// Routing and admission control: shard count, per-shard queue bound,
+    /// per-request deadline budget.
+    pub router: RouterConfig,
     /// Total result-cache entries per table; 0 disables caching.
     pub cache_capacity: usize,
     /// Number of independently locked cache shards per table.
@@ -32,7 +47,12 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { batch: BatchConfig::default(), cache_capacity: 4096, cache_shards: 8 }
+        Self {
+            batch: BatchConfig::default(),
+            router: RouterConfig::default(),
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
     }
 }
 
@@ -41,8 +61,21 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// No model is registered under the given table name.
     UnknownTable(String),
-    /// The table's worker thread is gone (server shutting down).
+    /// The table's worker shard is gone (server shutting down).
     WorkerUnavailable(String),
+    /// The table's shard queue was at capacity: the request was shed at
+    /// admission instead of queued. Retry later or against another replica.
+    Overloaded {
+        /// Table the request addressed.
+        table: String,
+        /// Shard whose queue was full.
+        shard: usize,
+        /// Queue depth observed at rejection.
+        depth: usize,
+    },
+    /// The request's deadline budget expired while it was queued; it was
+    /// dropped at dequeue without running a forward pass.
+    DeadlineExceeded(String),
     /// A model swap failed; the previous model keeps serving.
     Swap(SwapError),
 }
@@ -53,6 +86,14 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownTable(t) => write!(f, "no model registered for table {t:?}"),
             ServeError::WorkerUnavailable(t) => {
                 write!(f, "worker for table {t:?} is unavailable")
+            }
+            ServeError::Overloaded { table, shard, depth } => write!(
+                f,
+                "table {table:?} overloaded: shard {shard} queue full at depth {depth}, \
+                 request shed"
+            ),
+            ServeError::DeadlineExceeded(t) => {
+                write!(f, "deadline expired before a worker dequeued the request for table {t:?}")
             }
             ServeError::Swap(e) => write!(f, "{e}"),
         }
@@ -72,25 +113,21 @@ impl From<SwapError> for ServeError {
     }
 }
 
-/// The per-request view of one table's serving machinery.
-type TableHandles = (Arc<ModelSlot>, Arc<ShardedCache>, Sender<EstimateRequest>);
+/// Per-table client-side handles: the dense id, the shard the table hashes
+/// to, and the slot/cache shared with the worker directory.
+#[derive(Debug, Clone)]
+struct TableHandle {
+    id: u32,
+    shard: usize,
+    slot: Arc<ModelSlot>,
+    cache: Arc<ShardedCache>,
+}
 
-/// Outcome of submitting one query: answered from cache, or in the worker's
+/// Outcome of submitting one query: answered from cache, or in a shard's
 /// queue with a receiver for the eventual result.
 enum Submitted {
     Cached(f64),
-    Pending(mpsc::Receiver<f64>),
-}
-
-/// Per-table serving machinery: the slot (an `Arc` of the same slot the
-/// registry holds — kept here so one lock yields a mutually consistent
-/// slot/cache/sender triple), the request channel, the result cache, and the
-/// worker handle.
-struct WorkerEntry {
-    slot: Arc<ModelSlot>,
-    cache: Arc<ShardedCache>,
-    sender: Sender<EstimateRequest>,
-    worker: Option<JoinHandle<()>>,
+    Pending(mpsc::Receiver<Result<f64, ShedReason>>),
 }
 
 /// A concurrent, batched estimation server over registered Duet models.
@@ -98,24 +135,43 @@ struct WorkerEntry {
 pub struct DuetServer {
     config: ServeConfig,
     registry: ModelRegistry,
-    workers: RwLock<HashMap<String, WorkerEntry>>,
+    router: Arc<Router>,
+    /// Worker-shared, id-indexed view of every table's serving resources.
+    directory: Arc<RwLock<Vec<TableResources>>>,
+    /// Client-side name→handle map (same slot/cache `Arc`s as `directory`).
+    tables: RwLock<HashMap<String, TableHandle>>,
     metrics: Arc<ServeMetrics>,
-}
-
-impl std::fmt::Debug for WorkerEntry {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerEntry").field("cache", &self.cache).finish()
-    }
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl DuetServer {
-    /// A server with the given configuration and no tables.
+    /// A server with the given configuration and no tables; the worker pool
+    /// (one thread per router shard) starts immediately.
     pub fn new(config: ServeConfig) -> Self {
+        let metrics = Arc::new(ServeMetrics::new());
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let router = Arc::new(Router::new(config.router, clock.clone(), metrics.clone()));
+        let directory = Arc::new(RwLock::new(Vec::new()));
+        let workers = (0..router.num_shards())
+            .map(|shard_index| {
+                let shard = router.shard(shard_index).clone();
+                let (directory, clock, metrics) =
+                    (directory.clone(), clock.clone(), metrics.clone());
+                let batch = config.batch;
+                std::thread::Builder::new()
+                    .name(format!("duet-serve-shard-{shard_index}"))
+                    .spawn(move || run_shard_worker(shard, directory, clock, metrics, batch))
+                    .expect("failed to spawn shard worker")
+            })
+            .collect();
         Self {
             config,
             registry: ModelRegistry::new(),
-            workers: RwLock::new(HashMap::new()),
-            metrics: Arc::new(ServeMetrics::new()),
+            router,
+            directory,
+            tables: RwLock::new(HashMap::new()),
+            metrics,
+            workers: Mutex::new(workers),
         }
     }
 
@@ -124,59 +180,56 @@ impl DuetServer {
         Self::new(ServeConfig::default())
     }
 
-    /// Register (or replace) the model serving `table`, spawning its worker
-    /// thread and result cache.
+    /// Register (or replace) the model serving `table`: the table is hashed
+    /// onto its worker shard and gets a fresh result cache. No thread is
+    /// spawned — all tables share the router's worker pool.
     pub fn register(&self, table: impl Into<String>, estimator: DuetEstimator) {
         let table = table.into();
-        // Hold the workers lock across BOTH map updates so two concurrent
-        // register() calls for the same table cannot interleave and leave
-        // the registry and the worker map pointing at different slots.
-        let mut workers = self.workers.write().expect("server poisoned");
-        let slot = self.registry.register(table.clone(), estimator);
+        // Hold the tables lock across the registry/directory updates so two
+        // concurrent register() calls for the same table cannot interleave
+        // and leave the maps pointing at different slots.
+        let mut tables = self.tables.write().expect("server poisoned");
+        let (id, slot) = self.registry.register_indexed(table.clone(), estimator);
         let cache =
             Arc::new(ShardedCache::new(self.config.cache_capacity, self.config.cache_shards));
-        let (sender, rx) = mpsc::channel();
-        let worker = {
-            let (slot, cache, metrics) = (slot.clone(), cache.clone(), self.metrics.clone());
-            let config = self.config.batch;
-            std::thread::Builder::new()
-                .name(format!("duet-serve-{table}"))
-                .spawn(move || run_batch_worker(slot, cache, metrics, rx, config))
-                .expect("failed to spawn serving worker")
+        let shard = self.router.shard_index(&table);
+        let resources = TableResources {
+            name: Arc::from(table.as_str()),
+            slot: slot.clone(),
+            cache: cache.clone(),
         };
-        let entry = WorkerEntry { slot, cache, sender, worker: Some(worker) };
-        // Dropping a replaced entry drops its sender: the old worker (still
-        // holding the old slot) drains whatever is queued, then exits on
-        // disconnect (detached).
-        drop(workers.insert(table, entry));
+        {
+            let mut directory = self.directory.write().expect("directory poisoned");
+            let id = id as usize;
+            if id < directory.len() {
+                directory[id] = resources; // re-registration reuses the id
+            } else {
+                debug_assert_eq!(id, directory.len(), "registry ids are dense");
+                directory.push(resources);
+            }
+        }
+        tables.insert(table, TableHandle { id, shard, slot, cache });
     }
 
-    /// Look up the serving handles for `table`.
-    ///
-    /// Reads the slot from the worker entry, not the registry, so the triple
-    /// is always mutually consistent even while a concurrent `register` is
-    /// replacing the table (the registry and worker map are updated under
-    /// separate locks).
-    fn handles(&self, table: &str) -> Result<TableHandles, ServeError> {
-        let workers = self.workers.read().expect("server poisoned");
-        let entry =
-            workers.get(table).ok_or_else(|| ServeError::UnknownTable(table.to_string()))?;
-        Ok((entry.slot.clone(), entry.cache.clone(), entry.sender.clone()))
+    /// Look up the client-side handle for `table`.
+    fn handle(&self, table: &str) -> Result<TableHandle, ServeError> {
+        let tables = self.tables.read().expect("server poisoned");
+        tables.get(table).cloned().ok_or_else(|| ServeError::UnknownTable(table.to_string()))
     }
 
-    /// Encode `query`, probe the cache, and on a miss enqueue it for the
-    /// table's batch worker — the one submit pipeline both `estimate` and
+    /// Encode `query`, probe the cache, and on a miss route it to the
+    /// table's shard — the one submit pipeline both `estimate` and
     /// `estimate_many` go through.
     ///
     /// The same encoding feeds the cache key and, on a miss, the batched
-    /// forward pass, so nothing is translated twice on the hot path.
+    /// forward pass, so nothing is translated twice on the hot path. A full
+    /// shard queue fails here with [`ServeError::Overloaded`].
     fn submit(
         &self,
         table: &str,
+        handle: &TableHandle,
         generation: u64,
         estimator: &DuetEstimator,
-        cache: &ShardedCache,
-        sender: &Sender<EstimateRequest>,
         query: &Query,
     ) -> Result<Submitted, ServeError> {
         let schema = estimator.schema();
@@ -184,7 +237,7 @@ impl DuetServer {
         let intervals = query.column_intervals(schema);
         let key = if self.config.cache_capacity > 0 {
             let key = canonical_key_from_parts(schema, generation, &preds, &intervals);
-            if let Some(value) = cache.get(&key) {
+            if let Some(value) = handle.cache.get(&key) {
                 return Ok(Submitted::Cached(value));
             }
             Some(key)
@@ -192,10 +245,39 @@ impl DuetServer {
             None
         };
         let (reply, reply_rx) = mpsc::sync_channel(1);
-        sender
-            .send(EstimateRequest { preds, intervals, key, reply })
-            .map_err(|_| ServeError::WorkerUnavailable(table.to_string()))?;
-        Ok(Submitted::Pending(reply_rx))
+        let request = RoutedRequest {
+            table_id: handle.id,
+            preds,
+            intervals,
+            key,
+            deadline: self.router.admission_deadline(),
+            reply: ReplyTo::Channel(reply),
+        };
+        match self.router.try_route(handle.shard, request) {
+            Ok(_depth) => Ok(Submitted::Pending(reply_rx)),
+            Err(depth) => {
+                Err(ServeError::Overloaded { table: table.to_string(), shard: handle.shard, depth })
+            }
+        }
+    }
+
+    /// Map one worker reply onto the public error surface.
+    fn resolve_reply(
+        table: &str,
+        received: Result<Result<f64, ShedReason>, mpsc::RecvError>,
+    ) -> Result<f64, ServeError> {
+        match received {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(ShedReason::DeadlineExpired)) => {
+                Err(ServeError::DeadlineExceeded(table.to_string()))
+            }
+            // QueueFull never travels over a reply channel (it is raised at
+            // admission), but map it defensively.
+            Ok(Err(ShedReason::QueueFull)) => {
+                Err(ServeError::Overloaded { table: table.to_string(), shard: 0, depth: 0 })
+            }
+            Err(_) => Err(ServeError::WorkerUnavailable(table.to_string())),
+        }
     }
 
     /// Estimate `query`'s cardinality against `table`'s current model.
@@ -203,16 +285,16 @@ impl DuetServer {
     /// Blocks until the result is available: either a cache hit, or the
     /// micro-batched forward pass containing this request completes. The
     /// value is always exactly what a serial `DuetEstimator::estimate` call
-    /// would return.
+    /// would return. Under overload the call fails fast with
+    /// [`ServeError::Overloaded`] (admission) or
+    /// [`ServeError::DeadlineExceeded`] (expired while queued).
     pub fn estimate(&self, table: &str, query: &Query) -> Result<f64, ServeError> {
         let started = Instant::now();
-        let (slot, cache, sender) = self.handles(table)?;
-        let (generation, estimator) = slot.current_versioned();
-        let value = match self.submit(table, generation, &estimator, &cache, &sender, query)? {
+        let handle = self.handle(table)?;
+        let (generation, estimator) = handle.slot.current_versioned();
+        let value = match self.submit(table, &handle, generation, &estimator, query)? {
             Submitted::Cached(value) => value,
-            Submitted::Pending(reply_rx) => {
-                reply_rx.recv().map_err(|_| ServeError::WorkerUnavailable(table.to_string()))?
-            }
+            Submitted::Pending(reply_rx) => Self::resolve_reply(table, reply_rx.recv())?,
         };
         self.metrics.record_request(started.elapsed());
         Ok(value)
@@ -221,15 +303,19 @@ impl DuetServer {
     /// Estimate a whole workload through the serving path (requests are
     /// submitted together, so they batch with each other as well as with
     /// concurrent clients).
+    ///
+    /// Fails fast on the first shed or error; with the default configuration
+    /// (ample queues, no deadline) this only happens when the server is
+    /// shutting down.
     pub fn estimate_many(&self, table: &str, queries: &[Query]) -> Result<Vec<f64>, ServeError> {
-        let (slot, cache, sender) = self.handles(table)?;
-        let (generation, estimator) = slot.current_versioned();
+        let handle = self.handle(table)?;
+        let (generation, estimator) = handle.slot.current_versioned();
         let mut results = vec![0.0f64; queries.len()];
         let mut pending = Vec::new();
         for (i, query) in queries.iter().enumerate() {
             // Latency is per query, from its own submission.
             let submitted = Instant::now();
-            match self.submit(table, generation, &estimator, &cache, &sender, query)? {
+            match self.submit(table, &handle, generation, &estimator, query)? {
                 Submitted::Cached(value) => {
                     results[i] = value;
                     self.metrics.record_request(submitted.elapsed());
@@ -238,8 +324,7 @@ impl DuetServer {
             }
         }
         for (i, submitted, reply_rx) in pending {
-            results[i] =
-                reply_rx.recv().map_err(|_| ServeError::WorkerUnavailable(table.to_string()))?;
+            results[i] = Self::resolve_reply(table, reply_rx.recv())?;
             self.metrics.record_request(submitted.elapsed());
         }
         Ok(results)
@@ -250,24 +335,16 @@ impl DuetServer {
     ///
     /// Old cache entries become unreachable immediately (keys embed the
     /// model generation) and are additionally purged to free memory; the
-    /// purge bumps the cache epoch, so a batch worker that resolved the old
+    /// purge bumps the cache epoch, so a shard worker that resolved the old
     /// model cannot strand entries computed mid-swap (its inserts carry the
     /// pre-swap epoch and are rejected).
-    ///
-    /// The slot is resolved through the worker map under its read lock, so
-    /// a concurrent `register` for the same table (which takes the write
-    /// lock) cannot interleave: the swap lands either on the slot the
-    /// workers serve, or strictly before/after the replacement — never on
-    /// an orphaned slot.
     pub fn hot_swap(&self, table: &str, checkpoint: &[u8]) -> Result<(), ServeError> {
-        let workers = self.workers.read().expect("server poisoned");
-        let entry =
-            workers.get(table).ok_or_else(|| ServeError::UnknownTable(table.to_string()))?;
-        entry
+        let handle = self.handle(table)?;
+        handle
             .slot
             .hot_swap_checkpoint(checkpoint)
             .map_err(|e| ServeError::Swap(SwapError::Checkpoint(e)))?;
-        entry.cache.invalidate();
+        handle.cache.invalidate();
         Ok(())
     }
 
@@ -281,34 +358,39 @@ impl DuetServer {
         self.registry.tables()
     }
 
+    /// The worker shard `table` is (or would be) routed to.
+    pub fn shard_of(&self, table: &str) -> usize {
+        self.router.shard_index(table)
+    }
+
+    /// The routing layer (shard count, queue depths).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
     /// A point-in-time snapshot of all serving metrics, with cache counters
-    /// summed across tables.
+    /// summed across tables and the router's current total queue depth.
     pub fn metrics(&self) -> MetricsSnapshot {
         let (hits, misses) = {
-            let workers = self.workers.read().expect("server poisoned");
-            workers
+            let tables = self.tables.read().expect("server poisoned");
+            tables
                 .values()
                 .fold((0u64, 0u64), |(h, m), e| (h + e.cache.hits(), m + e.cache.misses()))
         };
-        self.metrics.snapshot(hits, misses)
+        self.metrics.snapshot(hits, misses, self.router.queue_depth())
     }
 }
 
 impl Drop for DuetServer {
     fn drop(&mut self) {
-        // Drop the senders first so workers see a disconnect, then join.
-        let entries: Vec<WorkerEntry> = {
-            let mut workers = self.workers.write().expect("server poisoned");
-            workers.drain().map(|(_, e)| e).collect()
+        // Close the router so every worker drains its queue and exits, then
+        // join the pool.
+        self.router.close();
+        let workers: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().expect("server poisoned");
+            workers.drain(..).collect()
         };
-        let mut handles = Vec::new();
-        for mut entry in entries {
-            if let Some(worker) = entry.worker.take() {
-                handles.push(worker);
-            }
-            drop(entry); // drops the sender
-        }
-        for worker in handles {
+        for worker in workers {
             let _ = worker.join();
         }
     }

@@ -1,0 +1,552 @@
+//! Deterministic serving test harness: a virtual-clock, seeded-RNG
+//! multi-client driver over the **real** router/worker code.
+//!
+//! Concurrency tests that rely on wall-clock timing are flaky by
+//! construction: whether a burst overflows a queue depends on how fast the
+//! machine drains it. This module removes time and thread scheduling from
+//! the equation while changing *nothing else*:
+//!
+//! * the same [`Shard`] queues, the same admission check, the same
+//!   deadline triage, and the same [`ShardWorker`] batch execution as the
+//!   production [`crate::DuetServer`] — just driven single-threaded;
+//! * a [`VirtualClock`] that only moves when the driver says so, making
+//!   deadline expiry a pure function of the script;
+//! * scripted arrival patterns (uniform, bursty, hot-table-skewed)
+//!   generated from a seeded RNG, so a scenario replays **bit-identically**:
+//!   the same seed always produces the same shed/served counts, the same
+//!   batches, and the same estimates.
+//!
+//! Two layers are exposed: [`RouterHarness`], a low-level single-step driver
+//! (also used by `tests/zero_alloc.rs` to prove the routed hot loop is
+//! allocation-free), and [`run_scenario`], which replays a full scripted
+//! multi-client workload and folds the outcomes into a [`ScenarioReport`]
+//! whose equality across runs *is* the determinism assertion.
+
+use crate::batcher::{BatchConfig, ShardWorker};
+use crate::cache::{canonical_key_from_parts, ShardedCache};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::ModelSlot;
+use crate::router::{
+    shard_for, Clock, ReplyTo, RoutedRequest, Router, RouterConfig, ShedReason, TableResources,
+    VirtualClock,
+};
+use duet_core::{query_to_id_predicates, DuetEstimator};
+use duet_query::{CardinalityEstimator, Query};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a [`RouterHarness`] (a [`crate::ServeConfig`] minus the
+/// production-only knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Routing and admission control under test.
+    pub router: RouterConfig,
+    /// Micro-batcher tuning.
+    pub batch: BatchConfig,
+    /// Result-cache entries per table; defaults to 0 (off) so every request
+    /// exercises the queue/batch path.
+    pub cache_capacity: usize,
+    /// Cache shards per table.
+    pub cache_shards: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            router: RouterConfig::default(),
+            batch: BatchConfig::default(),
+            cache_capacity: 0,
+            cache_shards: 1,
+        }
+    }
+}
+
+/// An encoded request ready for admission, produced by
+/// [`RouterHarness::prepare`]. Opaque; re-submittable after
+/// [`RouterHarness::turn_recycling`] hands it back.
+pub struct PreparedRequest(pub(crate) RoutedRequest);
+
+impl PreparedRequest {
+    /// The dense table index this request addresses.
+    pub fn table(&self) -> usize {
+        self.0.table_id as usize
+    }
+}
+
+/// Outcome of submitting one query to the harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitResult {
+    /// Served from the table's result cache (only with a cache configured).
+    Cached(f64),
+    /// Admitted; the outcome will appear in [`RouterHarness::outcomes`]
+    /// after a worker turn executes it. `depth` is the post-admission queue
+    /// depth of the target shard.
+    Queued {
+        /// Queue depth of the target shard after admission.
+        depth: usize,
+    },
+    /// Rejected at admission: the target shard's queue was full.
+    Shed {
+        /// Queue depth of the target shard at rejection.
+        depth: usize,
+    },
+}
+
+/// A single-threaded driver over the production routing/batching code.
+///
+/// The harness owns everything a [`crate::DuetServer`] would spread across
+/// threads — router shards, one [`ShardWorker`] per shard, the id-indexed
+/// table directory — and exposes explicit steps: [`RouterHarness::submit_query`]
+/// admits, [`RouterHarness::turn`] runs one batch per shard, the
+/// [`VirtualClock`] moves only via [`RouterHarness::clock`]. Ticket replies
+/// land in an outcome log instead of channels, so no call ever blocks.
+pub struct RouterHarness {
+    clock: Arc<VirtualClock>,
+    router: Router,
+    workers: Vec<ShardWorker>,
+    directory: Vec<TableResources>,
+    /// Shard each table id routes to (precomputed from the table names).
+    table_shard: Vec<usize>,
+    metrics: Arc<ServeMetrics>,
+    outcomes: Vec<(u64, Result<f64, ShedReason>)>,
+    config: HarnessConfig,
+}
+
+impl RouterHarness {
+    /// Build a harness serving `tables` (name + trained estimator; the index
+    /// in the vector becomes the table id).
+    pub fn new(tables: Vec<(String, DuetEstimator)>, config: HarnessConfig) -> Self {
+        let clock = Arc::new(VirtualClock::new());
+        let metrics = Arc::new(ServeMetrics::new());
+        let clock_dyn: Arc<dyn Clock> = clock.clone();
+        let router = Router::new(config.router, clock_dyn, metrics.clone());
+        let num_shards = router.num_shards();
+        let mut directory = Vec::with_capacity(tables.len());
+        let mut table_shard = Vec::with_capacity(tables.len());
+        for (name, estimator) in tables {
+            table_shard.push(shard_for(&name, num_shards));
+            directory.push(TableResources {
+                name: Arc::from(name.as_str()),
+                slot: Arc::new(ModelSlot::new(estimator)),
+                cache: Arc::new(ShardedCache::new(config.cache_capacity, config.cache_shards)),
+            });
+        }
+        Self {
+            clock,
+            router,
+            workers: (0..num_shards).map(|_| ShardWorker::new()).collect(),
+            directory,
+            table_shard,
+            metrics,
+            outcomes: Vec::new(),
+            config,
+        }
+    }
+
+    /// The harness's virtual clock (advance it to make deadlines expire).
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    /// Number of registered tables.
+    pub fn num_tables(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// The shard table `table` routes to.
+    pub fn shard_of_table(&self, table: usize) -> usize {
+        self.table_shard[table]
+    }
+
+    /// The name table `table` was registered under.
+    pub fn table_name(&self, table: usize) -> &str {
+        &self.directory[table].name
+    }
+
+    /// The estimator currently serving `table`.
+    pub fn estimator(&self, table: usize) -> Arc<DuetEstimator> {
+        self.directory[table].slot.current()
+    }
+
+    /// Encode `query` against `table`'s schema into a routable request.
+    /// With `ticket: Some(t)`, the outcome is logged under `t`; with `None`
+    /// it is discarded (allocation-probe mode).
+    pub fn prepare(&self, table: usize, query: &Query, ticket: Option<u64>) -> PreparedRequest {
+        let resources = &self.directory[table];
+        let (generation, estimator) = resources.slot.current_versioned();
+        let schema = estimator.schema();
+        let preds = query_to_id_predicates(schema, query);
+        let intervals = query.column_intervals(schema);
+        let key = (self.config.cache_capacity > 0)
+            .then(|| canonical_key_from_parts(schema, generation, &preds, &intervals));
+        PreparedRequest(RoutedRequest {
+            table_id: table as u32,
+            preds,
+            intervals,
+            key,
+            deadline: self.router.admission_deadline(),
+            reply: match ticket {
+                Some(t) => ReplyTo::Ticket(t),
+                None => ReplyTo::Discard,
+            },
+        })
+    }
+
+    /// Admit a prepared request to its table's shard. On rejection the
+    /// request is handed back (encodings intact) and the overload shed is
+    /// recorded. Allocation-free on a warm queue.
+    pub fn submit_prepared(&mut self, request: PreparedRequest) -> Result<usize, PreparedRequest> {
+        let shard = self.table_shard[request.0.table_id as usize];
+        match self.router.shard(shard).try_push(request.0) {
+            Ok(depth) => Ok(depth),
+            Err(rejected) => {
+                self.metrics.record_shed_overload();
+                Err(PreparedRequest(rejected))
+            }
+        }
+    }
+
+    /// Encode, cache-probe, and admit one query (the driver-facing
+    /// equivalent of [`crate::DuetServer::estimate`]'s submit pipeline).
+    pub fn submit_query(&mut self, table: usize, query: &Query, ticket: u64) -> SubmitResult {
+        let request = self.prepare(table, query, Some(ticket));
+        if let Some(key) = &request.0.key {
+            if let Some(value) = self.directory[table].cache.get(key) {
+                return SubmitResult::Cached(value);
+            }
+        }
+        match self.submit_prepared(request) {
+            Ok(depth) => SubmitResult::Queued { depth },
+            Err(_rejected) => {
+                SubmitResult::Shed { depth: self.router.shard(self.table_shard[table]).depth() }
+            }
+        }
+    }
+
+    /// Run one worker turn: every shard pops and executes at most one
+    /// same-table batch at the current virtual time. Returns the number of
+    /// requests processed (served + deadline-shed). Allocation-free once
+    /// warm.
+    pub fn turn(&mut self) -> usize {
+        let now = self.clock.now();
+        let max_batch = self.config.batch.max_batch_size;
+        let mut processed = 0;
+        for shard_index in 0..self.workers.len() {
+            let worker = &mut self.workers[shard_index];
+            if self.router.shard(shard_index).try_pop_batch(max_batch, &mut worker.batch) {
+                processed += worker.batch.len();
+                worker.execute(&self.directory, now, &self.metrics, &mut self.outcomes);
+                worker.batch.clear();
+            }
+        }
+        processed
+    }
+
+    /// [`RouterHarness::turn`], but hand the processed requests back (their
+    /// encodings intact) instead of dropping them, so an allocation probe
+    /// can recycle one fixed request set through the hot loop indefinitely.
+    pub fn turn_recycling(&mut self, recycled: &mut Vec<PreparedRequest>) -> usize {
+        let now = self.clock.now();
+        let max_batch = self.config.batch.max_batch_size;
+        let mut processed = 0;
+        for shard_index in 0..self.workers.len() {
+            let worker = &mut self.workers[shard_index];
+            if self.router.shard(shard_index).try_pop_batch(max_batch, &mut worker.batch) {
+                processed += worker.batch.len();
+                worker.execute(&self.directory, now, &self.metrics, &mut self.outcomes);
+                for request in worker.batch.drain(..) {
+                    recycled.push(PreparedRequest(request));
+                }
+            }
+        }
+        processed
+    }
+
+    /// Run worker turns (without advancing the clock) until every queue is
+    /// empty; returns the number of requests processed.
+    pub fn drain(&mut self) -> usize {
+        let mut total = 0;
+        while self.router.queue_depth() > 0 {
+            total += self.turn();
+        }
+        total
+    }
+
+    /// Ticket outcomes recorded so far, in execution order.
+    pub fn outcomes(&self) -> &[(u64, Result<f64, ShedReason>)] {
+        &self.outcomes
+    }
+
+    /// Clear the ticket outcome log.
+    pub fn clear_outcomes(&mut self) {
+        self.outcomes.clear();
+    }
+
+    /// Total queued requests across all shards.
+    pub fn queue_depth(&self) -> usize {
+        self.router.queue_depth()
+    }
+
+    /// Per-shard queue depths.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.router.queue_depths()
+    }
+
+    /// Snapshot of the harness metrics (batches, sheds, queue depth).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let (hits, misses) = self
+            .directory
+            .iter()
+            .fold((0u64, 0u64), |(h, m), r| (h + r.cache.hits(), m + r.cache.misses()));
+        self.metrics.snapshot(hits, misses, self.router.queue_depth())
+    }
+}
+
+impl std::fmt::Debug for RouterHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterHarness")
+            .field("tables", &self.directory.len())
+            .field("shards", &self.workers.len())
+            .field("queue_depth", &self.router.queue_depth())
+            .finish()
+    }
+}
+
+/// How scripted clients spread their requests over tables and time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// Jittered-uniform inter-arrival gaps, tables chosen uniformly.
+    Uniform,
+    /// Clients emit `burst_size` back-to-back requests (zero gap), then go
+    /// idle for `burst_size` mean gaps — the queue-overflow scenario.
+    Bursty {
+        /// Requests per burst.
+        burst_size: usize,
+    },
+    /// Jittered-uniform gaps, but `hot_permille`/1000 of all requests target
+    /// `hot_table` — the skew scenario for routing fairness.
+    HotTable {
+        /// Index of the hot table.
+        hot_table: usize,
+        /// Probability (per mille) that a request targets the hot table.
+        hot_permille: u16,
+    },
+}
+
+/// A scripted multi-client replay.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Seed for the arrival script (same seed ⇒ identical replay).
+    pub seed: u64,
+    /// Number of scripted clients.
+    pub clients: usize,
+    /// Requests each client submits.
+    pub requests_per_client: usize,
+    /// Mean virtual inter-arrival gap per client.
+    pub mean_gap: Duration,
+    /// Virtual cadence of worker turns (each shard pops one batch per turn).
+    pub service_every: Duration,
+    /// Arrival pattern under test.
+    pub pattern: ArrivalPattern,
+    /// Harness (router/batch/cache) configuration.
+    pub harness: HarnessConfig,
+}
+
+/// Deterministic summary of one scenario replay: integer counters only, so
+/// two replays with the same seed can be compared with `==` — that equality
+/// *is* the determinism assertion.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScenarioReport {
+    /// Requests the script submitted.
+    pub submitted: u64,
+    /// Requests answered with an estimate.
+    pub served: u64,
+    /// Requests rejected at admission (shard queue full).
+    pub shed_overload: u64,
+    /// Requests dropped at dequeue (deadline expired).
+    pub shed_deadline: u64,
+    /// Per-table submissions.
+    pub per_table_submitted: Vec<u64>,
+    /// Per-table served counts.
+    pub per_table_served: Vec<u64>,
+    /// Per-table shed counts (admission + deadline).
+    pub per_table_shed: Vec<u64>,
+    /// Forward batches executed.
+    pub batches: u64,
+    /// Highest single-shard queue depth observed at any admission.
+    pub max_shard_depth: usize,
+    /// Served results whose bits differed from the unbatched per-query
+    /// reference (must be 0: routing/batching never changes an answer).
+    pub mismatches: u64,
+}
+
+impl ScenarioReport {
+    /// `served + shed_overload + shed_deadline` — every submitted request
+    /// must be accounted for exactly once.
+    pub fn accounted(&self) -> u64 {
+        self.served + self.shed_overload + self.shed_deadline
+    }
+}
+
+/// One scripted arrival.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    at_ns: u64,
+    table: usize,
+    query: usize,
+}
+
+fn pick_table(rng: &mut SmallRng, pattern: ArrivalPattern, num_tables: usize) -> usize {
+    match pattern {
+        ArrivalPattern::HotTable { hot_table, hot_permille } => {
+            let hot = hot_table.min(num_tables - 1);
+            if rng.gen_range(0u32..1000) < u32::from(hot_permille) || num_tables == 1 {
+                hot
+            } else {
+                // Uniform over the other tables.
+                let mut t = rng.gen_range(0..num_tables - 1);
+                if t >= hot {
+                    t += 1;
+                }
+                t
+            }
+        }
+        _ => rng.gen_range(0..num_tables),
+    }
+}
+
+/// Generate the deterministic arrival script for a scenario.
+fn script(cfg: &ScenarioConfig, workloads: &[Vec<Query>]) -> Vec<Event> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let gap_ns = cfg.mean_gap.as_nanos().max(1) as u64;
+    let mut events = Vec::with_capacity(cfg.clients * cfg.requests_per_client);
+    for client in 0..cfg.clients {
+        // Stagger client start times across one mean gap.
+        let mut at_ns = gap_ns * client as u64 / cfg.clients.max(1) as u64;
+        for k in 0..cfg.requests_per_client {
+            let table = pick_table(&mut rng, cfg.pattern, workloads.len());
+            let query = rng.gen_range(0..workloads[table].len());
+            events.push(Event { at_ns, table, query });
+            at_ns += match cfg.pattern {
+                ArrivalPattern::Bursty { burst_size } => {
+                    let burst = burst_size.max(1);
+                    if (k + 1) % burst == 0 {
+                        gap_ns * burst as u64
+                    } else {
+                        0
+                    }
+                }
+                // 50%..150% jitter around the mean gap.
+                _ => gap_ns * rng.gen_range(50u64..=150) / 100,
+            };
+        }
+    }
+    // Stable sort: simultaneous arrivals keep client order, so the replay
+    // order is a pure function of the script.
+    events.sort_by_key(|e| e.at_ns);
+    events
+}
+
+/// Replay a scripted multi-client scenario against the real routing code
+/// and fold the outcomes into a [`ScenarioReport`].
+///
+/// `tables[i]` pairs a table name (which determines its shard) with its
+/// trained estimator; `workloads[i]` is the query pool scripted clients
+/// draw from for that table. Served results are compared bit-for-bit
+/// against the unbatched per-query reference path.
+pub fn run_scenario(
+    tables: &[(String, DuetEstimator)],
+    workloads: &[Vec<Query>],
+    cfg: &ScenarioConfig,
+) -> ScenarioReport {
+    assert_eq!(tables.len(), workloads.len(), "one workload per table");
+    assert!(!tables.is_empty(), "need at least one table");
+
+    // Unbatched per-query reference values (the bit-identity baseline).
+    let expected: Vec<Vec<f64>> = tables
+        .iter()
+        .zip(workloads)
+        .map(|((_, estimator), queries)| {
+            let mut reference = estimator.clone();
+            queries.iter().map(|q| reference.estimate(q)).collect()
+        })
+        .collect();
+
+    let mut harness = RouterHarness::new(tables.to_vec(), cfg.harness);
+    let events = script(cfg, workloads);
+    let service_ns = cfg.service_every.as_nanos().max(1) as u64;
+    let mut next_service = service_ns;
+
+    let mut report = ScenarioReport {
+        per_table_submitted: vec![0; tables.len()],
+        per_table_served: vec![0; tables.len()],
+        per_table_shed: vec![0; tables.len()],
+        ..ScenarioReport::default()
+    };
+    // ticket -> (table, query); rejected tickets are folded immediately.
+    let mut ticket_source = Vec::with_capacity(events.len());
+
+    for event in &events {
+        // Run the worker cadence up to this arrival.
+        while next_service <= event.at_ns {
+            harness.clock().set(Duration::from_nanos(next_service));
+            harness.turn();
+            next_service += service_ns;
+        }
+        harness.clock().set(Duration::from_nanos(event.at_ns));
+
+        let ticket = ticket_source.len() as u64;
+        ticket_source.push((event.table, event.query));
+        report.submitted += 1;
+        report.per_table_submitted[event.table] += 1;
+        match harness.submit_query(event.table, &workloads[event.table][event.query], ticket) {
+            SubmitResult::Cached(value) => {
+                report.served += 1;
+                report.per_table_served[event.table] += 1;
+                if value.to_bits() != expected[event.table][event.query].to_bits() {
+                    report.mismatches += 1;
+                }
+            }
+            SubmitResult::Queued { depth } => {
+                report.max_shard_depth = report.max_shard_depth.max(depth);
+            }
+            SubmitResult::Shed { .. } => {
+                report.shed_overload += 1;
+                report.per_table_shed[event.table] += 1;
+            }
+        }
+    }
+
+    // Drain the backlog on the same cadence (so deadlines keep expiring in
+    // virtual time, not all at once).
+    while harness.queue_depth() > 0 {
+        harness.clock().advance(cfg.service_every);
+        harness.turn();
+    }
+
+    for (ticket, outcome) in harness.outcomes() {
+        let (table, query) = ticket_source[*ticket as usize];
+        match outcome {
+            Ok(value) => {
+                report.served += 1;
+                report.per_table_served[table] += 1;
+                if value.to_bits() != expected[table][query].to_bits() {
+                    report.mismatches += 1;
+                }
+            }
+            Err(_) => {
+                report.shed_deadline += 1;
+                report.per_table_shed[table] += 1;
+            }
+        }
+    }
+    report.batches = harness.metrics_snapshot().batches;
+    report
+}

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the core invariants: predicate
-//! semantics vs ground truth, Q-Error bounds, sampler consistency, and the
-//! autoregressive masking of the Duet model.
+//! semantics vs ground truth, Q-Error bounds, sampler consistency, the
+//! autoregressive masking of the Duet model, and the serving cache's
+//! epoch-tagged insert protocol around hot-swaps.
 
 use duet::core::{query_to_id_predicates, sample_predicate, DuetConfig, DuetEstimator, DuetModel};
 use duet::data::datasets::census_like;
@@ -251,4 +252,156 @@ proptest! {
             prop_assert_eq!(inferred.as_slice(), trained.as_slice());
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCache epoch tagging around hot-swaps
+// ---------------------------------------------------------------------------
+
+use duet::serve::{canonical_key_from_parts, CacheKey, ShardedCache};
+
+/// A distinct cache key per `n` against a minimal schema: with no
+/// constrained columns the canonical layout is just the generation word, so
+/// varying it yields arbitrarily many distinct keys.
+fn key_number(schema: &Table, n: u64) -> CacheKey {
+    let preds: Vec<Vec<duet::core::IdPredicate>> = vec![Vec::new(); schema.num_columns()];
+    let intervals: Vec<(u32, u32)> =
+        (0..schema.num_columns()).map(|c| (0, schema.column(c).ndv() as u32)).collect();
+    canonical_key_from_parts(schema, n, &preds, &intervals)
+}
+
+fn tiny_schema() -> Table {
+    let values: Vec<Value> = (0..4i64).map(Value::Int).collect();
+    Table::new("k", vec![Column::from_values("c", &values)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Epoch-tagged inserts can never resurrect entries from before a
+    /// hot-swap invalidation, under *any* interleaving of batch-worker
+    /// activity (snapshot → inserts) with invalidations.
+    ///
+    /// The interpreter below replays a random interleaving of 4 simulated
+    /// batch workers and the invalidator as one serialized history — which
+    /// is exactly the set of behaviors the real mutex+atomic protocol
+    /// linearizes to (`insert_tagged` re-checks the epoch under the shard
+    /// lock) — and checks the cache against an exact model of what must
+    /// survive.
+    #[test]
+    fn epoch_tagged_inserts_never_resurrect_stale_entries(
+        ops in prop::collection::vec(0u8..=8, 4..60),
+    ) {
+        let schema = tiny_schema();
+        let cache = ShardedCache::new(256, 4);
+        // Per-worker batch state: the epoch snapshotted at batch start.
+        let mut snapshots: [Option<u64>; 4] = [None; 4];
+        let mut next_key = 0u64;
+        let mut invalidations = 0u64;
+        // (key, snapshot epoch, epoch at insert, invalidations at insert)
+        let mut inserted: Vec<(CacheKey, u64, u64, u64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                // Ops 0..=3: worker `op` takes its batch's epoch snapshot
+                // (re-snapshotting starts a new batch).
+                0..=3 => snapshots[op as usize] = Some(cache.epoch()),
+                // Ops 4..=7: worker `op - 4` inserts a result tagged with
+                // its snapshot — possibly long after an invalidation.
+                4..=7 => {
+                    let worker = (op - 4) as usize;
+                    if let Some(snapshot) = snapshots[worker] {
+                        let key = key_number(&schema, next_key);
+                        next_key += 1;
+                        cache.insert_tagged(key.clone(), 1.0, snapshot);
+                        inserted.push((key, snapshot, cache.epoch(), invalidations));
+                    }
+                }
+                // Op 8: a hot-swap lands — bump the epoch and purge.
+                _ => {
+                    cache.invalidate();
+                    invalidations += 1;
+                }
+            }
+        }
+
+        // Exact model: an entry survives iff its tag matched the epoch at
+        // insert time (otherwise `insert_tagged` dropped it) AND no
+        // invalidation ran after the insert (otherwise the purge removed
+        // it). `contains` leaves LRU order and counters untouched.
+        let final_epoch = cache.epoch();
+        let mut expected_live = 0usize;
+        for (key, snapshot, epoch_at_insert, invals_at_insert) in &inserted {
+            let should_live =
+                snapshot == epoch_at_insert && *invals_at_insert == invalidations;
+            prop_assert_eq!(
+                cache.contains(key),
+                should_live,
+                "key tagged {} inserted at epoch {} ({} invalidations since)",
+                snapshot,
+                epoch_at_insert,
+                invalidations - invals_at_insert
+            );
+            if should_live {
+                expected_live += 1;
+                // Corollary: everything that survived was inserted in the
+                // current epoch — no stale-generation entry outlives a swap.
+                prop_assert_eq!(*snapshot, final_epoch);
+            }
+        }
+        prop_assert_eq!(cache.len(), expected_live);
+    }
+}
+
+/// The same protocol under real concurrency: inserter threads hammer
+/// `insert_tagged` with a pre-swap epoch snapshot while the main thread
+/// invalidates midway. Whatever the interleaving, no stale-tagged entry may
+/// survive — inserts that raced ahead of the bump are purged, inserts after
+/// it are rejected.
+#[test]
+fn concurrent_stale_epoch_inserts_never_survive_invalidation() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    let schema = tiny_schema();
+    let cache = Arc::new(ShardedCache::new(4096, 8));
+    let stale_epoch = cache.epoch();
+    let start = Arc::new(Barrier::new(5));
+    let swapped = Arc::new(AtomicBool::new(false));
+
+    let inserters: Vec<_> = (0..4u64)
+        .map(|worker| {
+            let (cache, start, swapped) = (cache.clone(), start.clone(), swapped.clone());
+            let schema = schema.clone();
+            std::thread::spawn(move || {
+                start.wait();
+                for i in 0..300u64 {
+                    let key = key_number(&schema, worker * 1_000 + i);
+                    cache.insert_tagged(key, 0.5, stale_epoch);
+                    if i == 150 {
+                        // Give the invalidator a chance to land mid-stream.
+                        while !swapped.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    start.wait();
+    cache.invalidate(); // the hot-swap
+    swapped.store(true, Ordering::Release);
+    for t in inserters {
+        t.join().unwrap();
+    }
+
+    assert_eq!(
+        cache.len(),
+        0,
+        "every stale-tagged insert must be either purged or rejected; none may survive"
+    );
+    // A current-epoch insert still lands, so the cache is not bricked.
+    cache.insert_tagged(key_number(&schema, 9_999), 1.0, cache.epoch());
+    assert_eq!(cache.len(), 1);
 }

@@ -87,7 +87,10 @@ fn encoded_batch_with_matches_public_wrappers() {
     assert_eq!(out, est.estimate_encoded_batch(&rows, &intervals));
     assert_eq!(out, est.estimate_batch(&queries));
 
-    // Empty batches are a no-op that clears the output.
-    est.estimate_encoded_batch_with(&[], &[], &mut ws, &mut out);
+    // Empty batches are a no-op that clears the output (the generic
+    // row/interval holders need naming when the slice is empty).
+    let no_rows: &[Vec<Vec<duet::core::IdPredicate>>] = &[];
+    let no_intervals: &[Vec<(u32, u32)>] = &[];
+    est.estimate_encoded_batch_with(no_rows, no_intervals, &mut ws, &mut out);
     assert!(out.is_empty());
 }

@@ -3,12 +3,21 @@
 //! measured after warm-up — the steady-state serving hot loop must perform
 //! **zero** heap allocations (and zero frees).
 //!
+//! Three phases: the raw batched estimation path (full and shrinking
+//! batches), and the **routed multi-table hot loop** — admission into a
+//! bounded shard queue, same-table batch formation at dequeue, deadline
+//! triage, and per-table-workspace batch execution across two
+//! differently-shaped tables, driven through the deterministic harness with
+//! one fixed request set recycled through the router.
+//!
 //! This lives in its own integration-test binary so the global allocator and
 //! the single-threaded measurement cannot interfere with other tests.
 
 use duet::core::{query_to_id_predicates, DuetConfig, DuetEstimator, DuetWorkspace};
 use duet::data::datasets::census_like;
 use duet::query::WorkloadSpec;
+use duet::serve::sim::{HarnessConfig, PreparedRequest, RouterHarness};
+use duet::serve::{BatchConfig, RouterConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -37,12 +46,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-// One #[test] drives both phases: the counters are process-global, so two
+// One #[test] drives all phases: the counters are process-global, so two
 // tests running on parallel test threads would pollute each other's windows.
 #[test]
 fn steady_state_batched_inference_is_allocation_free() {
     full_batch_phase();
     shrinking_batch_phase();
+    routed_multi_table_phase();
 }
 
 fn full_batch_phase() {
@@ -97,4 +107,69 @@ fn shrinking_batch_phase() {
         0,
         "shrinking batches on a warm workspace must not allocate"
     );
+}
+
+fn routed_multi_table_phase() {
+    // Two differently-shaped tables multiplexed through one shard pool: the
+    // worker's per-table workspaces must absorb the alternation without
+    // re-growing buffers, and the queue/admission machinery must be free of
+    // allocations of its own.
+    let cfg = DuetConfig::small().with_epochs(1);
+    let table_a = census_like(300, 7);
+    let table_b = census_like(200, 9);
+    let est_a = DuetEstimator::train_data_only(&table_a, &cfg, 5);
+    let est_b = DuetEstimator::train_data_only(&table_b, &cfg, 6);
+    let queries_a = WorkloadSpec::random(&table_a, 8, 11).generate(&table_a);
+    let queries_b = WorkloadSpec::random(&table_b, 8, 12).generate(&table_b);
+
+    let mut harness = RouterHarness::new(
+        vec![("alpha".into(), est_a), ("beta".into(), est_b)],
+        HarnessConfig {
+            router: RouterConfig { num_shards: 2, queue_capacity: 64, default_deadline: None },
+            batch: BatchConfig::default(),
+            cache_capacity: 0,
+            cache_shards: 1,
+        },
+    );
+
+    // One fixed request set, interleaving the two tables; outcomes are
+    // discarded (no channels, no ticket log) so the loop can recycle the
+    // requests — their encodings included — indefinitely.
+    let mut stash: Vec<PreparedRequest> = Vec::new();
+    for i in 0..8 {
+        stash.push(harness.prepare(0, &queries_a[i], None));
+        stash.push(harness.prepare(1, &queries_b[i], None));
+    }
+    let mut returned: Vec<PreparedRequest> = Vec::with_capacity(stash.len());
+
+    let mut round = |stash: &mut Vec<PreparedRequest>, returned: &mut Vec<PreparedRequest>| {
+        for request in stash.drain(..) {
+            harness.submit_prepared(request).unwrap_or_else(|_| panic!("queue overflow"));
+        }
+        while harness.queue_depth() > 0 {
+            harness.turn_recycling(returned);
+        }
+        std::mem::swap(stash, returned);
+    };
+
+    // Warm-up: queues, batch containers, and both tables' workspaces grow
+    // to their steady-state shapes.
+    for _ in 0..2 {
+        round(&mut stash, &mut returned);
+    }
+
+    let (allocs_before, frees_before) =
+        (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+    for _ in 0..10 {
+        round(&mut stash, &mut returned);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let frees = FREES.load(Ordering::Relaxed) - frees_before;
+
+    assert_eq!(allocs, 0, "steady-state routed multi-table serving must not allocate");
+    assert_eq!(frees, 0, "steady-state routed multi-table serving must not free");
+    assert_eq!(stash.len(), 16, "all requests recycled each round");
+    let snapshot = harness.metrics_snapshot();
+    assert_eq!(snapshot.shed_overload + snapshot.shed_deadline, 0);
+    assert!(snapshot.batches >= 24, "12 rounds x 2 tables of batches, got {}", snapshot.batches);
 }
