@@ -77,6 +77,19 @@ fn bench_estimation(c: &mut Criterion) {
             black_box(out.last().copied())
         })
     });
+
+    // Large batch: deep enough into the blocked/packed kernels that
+    // per-batch fixed costs vanish; per-query throughput headroom of the
+    // batched path (see docs/PERFORMANCE.md).
+    let big = &queries[..64];
+    let big_rows: Vec<_> = big.iter().map(|q| query_to_id_predicates(duet.schema(), q)).collect();
+    let big_intervals: Vec<_> = big.iter().map(|q| q.column_intervals(duet.schema())).collect();
+    group.bench_function("duet_batch64_workspace", |b| {
+        b.iter(|| {
+            duet.estimate_encoded_batch_with(&big_rows, &big_intervals, &mut ws, &mut out);
+            black_box(out.last().copied())
+        })
+    });
     group.finish();
 
     // Direct before/after numbers for the zero-allocation refactor.

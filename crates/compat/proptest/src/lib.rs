@@ -67,7 +67,7 @@ macro_rules! numeric_range_strategy {
 numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
 pub mod collection {
-    //! Collection strategies ([`vec`]).
+    //! Collection strategies ([`vec()`]).
 
     use super::Strategy;
     use rand::rngs::SmallRng;

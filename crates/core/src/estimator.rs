@@ -164,8 +164,12 @@ impl DuetEstimator {
     /// This is the serving hot path: a `duet-serve` shard worker owns one
     /// workspace per table for its whole lifetime (see
     /// [`crate::WorkspacePool`]), so steady-state batched estimation performs
-    /// zero heap allocation. Results are bit-identical to the allocating
-    /// variant and to per-query [`CardinalityEstimator::estimate`] calls.
+    /// zero heap allocation — including above the kernels' parallelism
+    /// threshold, where the forward pass fans out over the process-wide
+    /// persistent [`duet_nn::ComputePool`] shared by every caller (trainer,
+    /// shard workers, benches). Results are bit-identical to the allocating
+    /// variant and to per-query [`CardinalityEstimator::estimate`] calls,
+    /// whatever kernel or parallelism the dispatch picks.
     ///
     /// Generic over the row/interval holders (anything that derefs to the
     /// per-row slices), so a serving queue's own request structs can feed the

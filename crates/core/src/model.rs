@@ -18,8 +18,11 @@ use duet_query::{PredOp, Query};
 /// a shared (`Arc`) model can serve concurrent callers, each with their own
 /// workspace. Buffers grow to the model's widest layer on first use and are
 /// reused afterwards, making steady-state batched estimation **zero heap
-/// allocation**. A workspace may be reused across models and batch sizes;
-/// its contents are scratch only (no correctness state).
+/// allocation**. A workspace may be reused across models and batch sizes:
+/// activation buffers are pure scratch, and the embedded
+/// [`duet_nn::ForwardWorkspace`]'s masked-weight memos are validated per
+/// layer by [`duet_nn::WeightKey`] — so reuse across models, optimizer
+/// steps, or checkpoint hot-swaps can never serve stale weights.
 #[derive(Debug, Clone, Default)]
 pub struct DuetWorkspace {
     /// The `N x total_width` encoded input batch.

@@ -478,7 +478,7 @@ impl MergedMlpMpsn {
         // block-diagonal MLP over these rows and masking out the slots where a
         // column has no k-th predicate reproduces the per-column sum exactly.
         {
-            let (_cur, _next, aux, _w) = ws.split();
+            let (_cur, _next, aux) = ws.split();
             aux.reset(max_preds, self.layers[0].0.rows());
             for (c, preds) in preds_per_col.iter().enumerate() {
                 let off = self.block_offsets[0][c];
@@ -491,7 +491,7 @@ impl MergedMlpMpsn {
         for (i, (w, b)) in self.layers.iter().enumerate() {
             let act = if i < last { Activation::Relu } else { Activation::Identity };
             {
-                let (cur, next, aux, _w) = ws.split();
+                let (cur, next, aux) = ws.split();
                 let x: &Matrix = if i == 0 { aux } else { cur };
                 x.addmm_bias_act_into(w, Some(b), act, next);
             }

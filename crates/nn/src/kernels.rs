@@ -1,0 +1,542 @@
+//! Blocked (register/cache-tiled) matmul kernels behind the `Matrix::*_into`
+//! APIs.
+//!
+//! The naive kernels in [`crate::tensor`] stream the full `B` operand from
+//! memory once **per output row** and read-modify-write the output row on
+//! every step of the shared dimension. That is fine for single-row inference
+//! but wasteful for batches: for an `m x k @ k x n` product the traffic is
+//! `O(m·k·n)` loads *and* stores. The blocked kernels here restore the
+//! classic GEMM shape:
+//!
+//! * `B` is **packed** into column panels of [`NR`] consecutive columns,
+//!   zero-padded, so the innermost loop reads one contiguous, cache- and
+//!   vector-friendly `NR`-wide strip per step of `k`;
+//! * rows are processed [`MR`] at a time with an `MR x NR` **register
+//!   accumulator**, so each packed strip is reused `MR` times and the
+//!   output is written exactly once per element;
+//! * for masked layers the pack is **cached and mask-aware**
+//!   ([`PackedWeight`]): all-zero strips are dropped at pack time, so the
+//!   autoregressive masking that zeroes roughly half of every MADE weight
+//!   matrix removes that fraction of the inner-loop work outright, and the
+//!   packing cost itself is paid once per weight version instead of once
+//!   per call;
+//! * above the parallelism threshold the row blocks are fanned out over the
+//!   persistent [`crate::pool::ComputePool`] (packing happens once, on the
+//!   submitting thread, and is shared read-only by all workers).
+//!
+//! The bias/activation epilogue runs as a **separate pass** over the
+//! finished output rows rather than inside the accumulation loops: keeping
+//! the hot loop free of anything that takes a reference into the
+//! accumulator is what lets LLVM hold the `MR x NR` tile in vector
+//! registers.
+//!
+//! # Numerical contract
+//!
+//! Every output element accumulates its `k` products **in strictly
+//! ascending `k` order, one rounding per step**, then adds the bias, then
+//! applies the activation — exactly the element-wise sequence of the naive
+//! kernels and of a textbook triple loop. The results are therefore
+//! **bit-identical** to the naive kernels for all finite inputs (the
+//! property tests in `crates/nn/tests/kernels.rs` assert exact equality
+//! across tile-boundary shapes). Documented divergence for non-finite
+//! inputs only: the naive kernels *skip* multiplicands that are exactly
+//! `0.0` and the packed kernels skip all-zero weight strips, so a
+//! `NaN`/`Inf` on the other side of such a term does not propagate on every
+//! path. (For finite inputs a skipped term contributes `±0.0` to an
+//! accumulator that starts at `+0.0`, which cannot change any bit of the
+//! result.)
+
+// Kernel code trades clippy's stylistic preferences for codegen control:
+// the GEMM entry points legitimately take (a, dims.., bias, act, out)
+// parameter lists, and the micro-kernels index fixed-size accumulator
+// arrays with plain counted loops — the exact shape LLVM unrolls and keeps
+// in registers (see the module docs and docs/PERFORMANCE.md).
+#![allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+
+use crate::activation::Activation;
+use crate::pool;
+use std::cell::RefCell;
+use std::ops::Range;
+
+/// Rows per register block (micro-kernel height).
+///
+/// Together with [`NR`] this is sized for the baseline x86-64 register file
+/// (16 SIMD registers): a `4 x 8` f32 accumulator occupies 8 vector
+/// registers, leaving room for the packed strip and the broadcast
+/// multiplier, so the accumulator never spills to the stack.
+pub const MR: usize = 4;
+/// Columns per packed panel (micro-kernel width; a multiple of common f32
+/// vector widths so the inner loop autovectorizes).
+pub const NR: usize = 8;
+
+/// Minimum rows before the register-blocked path pays for itself (below it
+/// the per-call pack, or the lost `MR`-row strip reuse, outweighs the win).
+const MIN_BLOCK_ROWS: usize = 8;
+
+/// Minimum number of multiply-accumulate operations before a kernel is worth
+/// fanning out over the compute pool.
+pub(crate) const PAR_THRESHOLD: usize = 1 << 22;
+
+/// Fraction of exact zeros in the left operand above which the naive
+/// kernel's row-skip beats the dense blocked kernel (measured on the
+/// serving shapes; see `docs/PERFORMANCE.md`).
+const SPARSE_DISPATCH_THRESHOLD: f64 = 0.4;
+
+/// Whether the blocked path is profitable for an `m x k @ k x n` product:
+/// enough rows to amortize the per-call pack, and wide enough that a panel
+/// is not mostly padding.
+pub fn use_blocked(m: usize, k: usize, n: usize) -> bool {
+    m >= MIN_BLOCK_ROWS && n >= NR && k >= 2
+}
+
+/// Whether the cached packed-weight path is profitable. Deliberately the
+/// same rule as [`use_blocked`] (the pack is free on this path, but below
+/// `MIN_BLOCK_ROWS` rows the naive kernel's input-zero skipping wins on the
+/// sparse activations this workspace produces) — and the masked-layer
+/// dispatch in `MaskedLinear::infer_with_entry` relies on the two
+/// predicates agreeing, so keep them delegating.
+pub fn use_packed(m: usize, k: usize, n: usize) -> bool {
+    use_blocked(m, k, n)
+}
+
+/// Whether `a` is dense enough for the blocked kernels to win over the
+/// naive kernel's zero-skipping: predicate encodings (wildcard-heavy) and
+/// strongly sparse activations go to the skip path, dense batches to the
+/// register-blocked path. The scan is `O(len)` — two to three orders of
+/// magnitude cheaper than the product it steers — and both paths produce
+/// bit-identical results for finite inputs, so this is purely a performance
+/// decision (and a deterministic one: same input, same path).
+pub fn mostly_dense(a: &[f32]) -> bool {
+    if a.is_empty() {
+        return false;
+    }
+    let zeros = a.iter().filter(|v| **v == 0.0).count();
+    (zeros as f64) < SPARSE_DISPATCH_THRESHOLD * a.len() as f64
+}
+
+thread_local! {
+    /// Per-thread packing scratch: `a` holds a transposed copy of the left
+    /// operand (only for the `tn` variant), `b` the packed right-operand
+    /// panels. Grows to the largest shapes seen on this thread, then is
+    /// reused allocation-free.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+#[derive(Default)]
+struct Scratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+/// Pack `b` (`k x n`, row-major) into `n.div_ceil(NR)` panels of `k x NR`,
+/// zero-padding the last panel's missing columns.
+fn pack_b_panels(b: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    packed.clear();
+    packed.resize(panels * k * NR, 0.0);
+    for jp in 0..panels {
+        let col0 = jp * NR;
+        let vis = NR.min(n - col0);
+        let dst = &mut packed[jp * k * NR..(jp + 1) * k * NR];
+        for p in 0..k {
+            dst[p * NR..p * NR + vis].copy_from_slice(&b[p * n + col0..p * n + col0 + vis]);
+        }
+    }
+}
+
+/// Pack `bt` (`n x k`, row-major — i.e. the transpose of the logical `k x n`
+/// right operand) into the same panel layout as [`pack_b_panels`].
+fn pack_bt_panels(bt: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    packed.clear();
+    packed.resize(panels * k * NR, 0.0);
+    for jp in 0..panels {
+        let col0 = jp * NR;
+        let vis = NR.min(n - col0);
+        let dst = &mut packed[jp * k * NR..(jp + 1) * k * NR];
+        for (lane, row) in bt[col0 * k..(col0 + vis) * k].chunks_exact(k).enumerate() {
+            for (p, &v) in row.iter().enumerate() {
+                dst[p * NR + lane] = v;
+            }
+        }
+    }
+}
+
+/// Transpose `a` (`k x m`, row-major) into `out` (`m x k`, row-major).
+fn pack_a_transposed(a: &[f32], k: usize, m: usize, out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(m * k, 0.0);
+    for t in 0..k {
+        let row = &a[t * m..(t + 1) * m];
+        for (i, &v) in row.iter().enumerate() {
+            out[i * k + t] = v;
+        }
+    }
+}
+
+/// A right-hand matmul operand packed into [`NR`]-wide panels **with
+/// all-zero strips dropped**.
+///
+/// MADE-style masked layers multiply their weights by a binary mask that
+/// zeroes every connection violating the autoregressive order — typically
+/// around *half* of the matrix, in a block-structured pattern (for a given
+/// output column, every hidden unit of too-high degree). Packing the masked
+/// effective weight once per weight version (the workspace's
+/// `MaskedWeightCache` keys it) lets the kernel skip those strips entirely:
+/// each panel stores only the strips with at least one nonzero, plus their
+/// original row indices, so the inner loop does `density()` of the dense
+/// work while accumulating the surviving terms in the same ascending-`k`
+/// order — bit-identical to the dense kernels for finite inputs (a dropped
+/// strip only ever contributes `±0.0`).
+///
+/// The buffers are reused across refills (a hot-swap repacks in place), so
+/// steady-state serving never allocates for packing.
+///
+/// Invariant (relied on by unsafe code in the kernels): every entry of
+/// `rows` is `< k`, and panel `jp`'s strip range `strips[jp]..strips[jp+1]`
+/// indexes `rows` and (scaled by `NR`) `data` in bounds. Only
+/// [`PackedWeight::fill_from`] writes these fields.
+#[derive(Debug, Clone, Default)]
+pub struct PackedWeight {
+    k: usize,
+    n: usize,
+    /// Concatenated kept strips, `NR` floats each (panel-major).
+    data: Vec<f32>,
+    /// Original row (shared-dimension) index of each kept strip.
+    rows: Vec<u32>,
+    /// Panel `jp` owns strips `strips[jp]..strips[jp + 1]`.
+    strips: Vec<usize>,
+}
+
+impl PackedWeight {
+    /// An empty pack; [`PackedWeight::fill_from`] populates it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(k, n)` of the packed operand.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// Fraction of strips kept (1.0 = fully dense); for observability and
+    /// tests.
+    pub fn density(&self) -> f64 {
+        let total = self.k * self.n.div_ceil(NR);
+        if total == 0 {
+            return 1.0;
+        }
+        self.rows.len() as f64 / total as f64
+    }
+
+    /// Re-pack from `w` (`k x n`, row-major), reusing the existing buffers.
+    pub fn fill_from(&mut self, w: &[f32], k: usize, n: usize) {
+        assert_eq!(w.len(), k * n, "packed weight shape mismatch");
+        self.k = k;
+        self.n = n;
+        self.data.clear();
+        self.rows.clear();
+        self.strips.clear();
+        let panels = n.div_ceil(NR);
+        self.strips.push(0);
+        for jp in 0..panels {
+            let col0 = jp * NR;
+            let vis = NR.min(n - col0);
+            for p in 0..k {
+                let src = &w[p * n + col0..p * n + col0 + vis];
+                if src.iter().any(|v| *v != 0.0) {
+                    let start = self.data.len();
+                    self.data.resize(start + NR, 0.0);
+                    self.data[start..start + vis].copy_from_slice(src);
+                    self.rows.push(p as u32);
+                }
+            }
+            self.strips.push(self.rows.len());
+        }
+    }
+}
+
+/// The bias/activation epilogue, applied to finished output rows in a
+/// separate pass (see the module docs for why it is not fused into the
+/// accumulation loop). Per element this runs after the full `k`
+/// accumulation, preserving the naive kernels' element-wise sequence.
+fn epilogue(out_rows: &mut [f32], n: usize, bias: Option<&[f32]>, act: Activation) {
+    if bias.is_none() && act == Activation::Identity {
+        return;
+    }
+    for row in out_rows.chunks_exact_mut(n) {
+        if let Some(bias) = bias {
+            for (d, bv) in row.iter_mut().zip(bias.iter()) {
+                *d += *bv;
+            }
+        }
+        act.apply(row);
+    }
+}
+
+/// Run the dense blocked kernel over `rows` of the output (`out_rows` is
+/// the `rows.len() x n` slice starting at row `rows.start`), bias/act
+/// epilogue included.
+fn run_rows_blocked(
+    a: &[f32],
+    k: usize,
+    packed: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    debug_assert_eq!(packed.len(), n.div_ceil(NR) * k * NR);
+    let out_base = rows.start;
+    let panels = n.div_ceil(NR);
+    let mut i = rows.start;
+    while i + MR <= rows.end {
+        // SAFETY precondition for the unchecked loads below: each of these
+        // slices has length exactly `k`, and the strip index `p` enumerates
+        // `chunks_exact(NR)` of a panel of length `k * NR`, so `p < k`.
+        let ar: [&[f32]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+        for jp in 0..panels {
+            let col0 = jp * NR;
+            let vis = NR.min(n - col0);
+            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            for (p, strip) in panel.chunks_exact(NR).enumerate() {
+                for r in 0..MR {
+                    // SAFETY: `p < k == ar[r].len()` (see above).
+                    let av = unsafe { *ar[r].get_unchecked(p) };
+                    for l in 0..NR {
+                        acc[r][l] += av * strip[l];
+                    }
+                }
+            }
+            for r in 0..MR {
+                let dst = (i + r - out_base) * n + col0;
+                out_rows[dst..dst + vis].copy_from_slice(&acc[r][..vis]);
+            }
+        }
+        i += MR;
+    }
+    while i < rows.end {
+        let arow = &a[i * k..(i + 1) * k];
+        for jp in 0..panels {
+            let col0 = jp * NR;
+            let vis = NR.min(n - col0);
+            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+            let mut acc = [0.0f32; NR];
+            for (p, strip) in panel.chunks_exact(NR).enumerate() {
+                // SAFETY: `p < k == arow.len()` (same argument as above).
+                let av = unsafe { *arow.get_unchecked(p) };
+                for l in 0..NR {
+                    acc[l] += av * strip[l];
+                }
+            }
+            let dst = (i - out_base) * n + col0;
+            out_rows[dst..dst + vis].copy_from_slice(&acc[..vis]);
+        }
+        i += 1;
+    }
+    epilogue(out_rows, n, bias, act);
+}
+
+/// Run the mask-aware packed kernel over `rows` of the output, bias/act
+/// epilogue included.
+fn run_rows_packed(
+    a: &[f32],
+    k: usize,
+    packed: &PackedWeight,
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    let out_base = rows.start;
+    let panels = n.div_ceil(NR);
+    let mut i = rows.start;
+    while i + MR <= rows.end {
+        // SAFETY precondition for the unchecked loads below: each slice has
+        // length exactly `k`, and every strip row index stored in a
+        // `PackedWeight` is `< k` (struct invariant).
+        let ar: [&[f32]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+        for jp in 0..panels {
+            let col0 = jp * NR;
+            let vis = NR.min(n - col0);
+            let sr = packed.strips[jp]..packed.strips[jp + 1];
+            let sdata = &packed.data[sr.start * NR..sr.end * NR];
+            let srows = &packed.rows[sr];
+            let mut acc = [[0.0f32; NR]; MR];
+            for (strip, &p) in sdata.chunks_exact(NR).zip(srows.iter()) {
+                let p = p as usize;
+                for r in 0..MR {
+                    // SAFETY: `p < k == ar[r].len()` (struct invariant).
+                    let av = unsafe { *ar[r].get_unchecked(p) };
+                    for l in 0..NR {
+                        acc[r][l] += av * strip[l];
+                    }
+                }
+            }
+            for r in 0..MR {
+                let dst = (i + r - out_base) * n + col0;
+                out_rows[dst..dst + vis].copy_from_slice(&acc[r][..vis]);
+            }
+        }
+        i += MR;
+    }
+    while i < rows.end {
+        let arow = &a[i * k..(i + 1) * k];
+        for jp in 0..panels {
+            let col0 = jp * NR;
+            let vis = NR.min(n - col0);
+            let sr = packed.strips[jp]..packed.strips[jp + 1];
+            let sdata = &packed.data[sr.start * NR..sr.end * NR];
+            let srows = &packed.rows[sr];
+            let mut acc = [0.0f32; NR];
+            for (strip, &p) in sdata.chunks_exact(NR).zip(srows.iter()) {
+                // SAFETY: `p < k == arow.len()` (struct invariant).
+                let av = unsafe { *arow.get_unchecked(p as usize) };
+                for l in 0..NR {
+                    acc[l] += av * strip[l];
+                }
+            }
+            let dst = (i - out_base) * n + col0;
+            out_rows[dst..dst + vis].copy_from_slice(&acc[..vis]);
+        }
+        i += 1;
+    }
+    epilogue(out_rows, n, bias, act);
+}
+
+/// A raw output pointer smuggled into a pool task; chunks write disjoint
+/// row ranges, so concurrent access never aliases.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Taking `self` (not the field) keeps closures capturing the whole
+    /// `Sync` wrapper rather than the raw pointer inside it.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Fan `run_rows(range, out_rows)` out over the current compute pool in
+/// `MR`-aligned row chunks, or run it serially below the work threshold.
+/// Shared by the blocked kernels here and the naive kernels in
+/// [`crate::tensor`] (for which the `MR` alignment is merely a harmless
+/// chunk-sizing choice — per-row results never depend on chunk boundaries).
+pub(crate) fn fan_out_rows<F>(m: usize, n: usize, total_work: usize, out: &mut [f32], run_rows: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    pool::with_current(|pool| {
+        let threads = pool.parallelism();
+        if total_work < PAR_THRESHOLD || threads <= 1 || m < 2 * MR {
+            run_rows(0..m, out);
+            return;
+        }
+        let chunks = threads.min(m.div_ceil(MR));
+        let rows_per_chunk = m.div_ceil(chunks).next_multiple_of(MR);
+        let num_chunks = m.div_ceil(rows_per_chunk);
+        let base = SendPtr(out.as_mut_ptr());
+        let task = |chunk: usize| {
+            let start = chunk * rows_per_chunk;
+            let end = (start + rows_per_chunk).min(m);
+            // SAFETY: chunks cover disjoint row ranges of `out`, which
+            // outlives the pool job (`run` blocks until completion).
+            let out_rows = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(start * n), (end - start) * n)
+            };
+            run_rows(start..end, out_rows);
+        };
+        pool.run(num_chunks, &task);
+    });
+}
+
+/// Blocked fused `out = act(a @ b + bias)` for `a: m x k`, `b: k x n`
+/// (both row-major, `out` pre-sized to `m x n`). Packs `b` into per-thread
+/// scratch on every call; for cached operands use [`addmm_packed`].
+/// Bit-identical to the naive fused kernel for finite inputs (see the
+/// module docs).
+pub fn addmm_blocked(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        pack_b_panels(b, k, n, &mut scratch.b);
+        let packed = &scratch.b;
+        fan_out_rows(m, n, m * k * n, out, |rows, out_rows| {
+            run_rows_blocked(a, k, packed, n, bias, act, rows, out_rows)
+        });
+    });
+}
+
+/// Fused `out = act(a @ w + bias)` against a pre-packed right operand (see
+/// [`PackedWeight`]): no per-call packing, all-zero weight strips skipped.
+/// Bit-identical to the dense kernels for finite inputs.
+pub fn addmm_packed(
+    a: &[f32],
+    m: usize,
+    packed: &PackedWeight,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) {
+    let (k, n) = packed.shape();
+    assert_eq!(a.len(), m * k);
+    assert_eq!(out.len(), m * n);
+    let total_work = m.saturating_mul(packed.rows.len()).saturating_mul(NR);
+    fan_out_rows(m, n, total_work, out, |rows, out_rows| {
+        run_rows_packed(a, k, packed, n, bias, act, rows, out_rows)
+    });
+}
+
+/// Blocked `out = a @ bt^T` for `a: m x k`, `bt: n x k` (row-major; the
+/// right operand is supplied transposed, as in [`Matrix::matmul_nt`]).
+///
+/// [`Matrix::matmul_nt`]: crate::tensor::Matrix::matmul_nt
+pub fn matmul_nt_blocked(a: &[f32], m: usize, k: usize, bt: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(bt.len(), n * k);
+    assert_eq!(out.len(), m * n);
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        pack_bt_panels(bt, k, n, &mut scratch.b);
+        let packed = &scratch.b;
+        fan_out_rows(m, n, m * k * n, out, |rows, out_rows| {
+            run_rows_blocked(a, k, packed, n, None, Activation::Identity, rows, out_rows)
+        });
+    });
+}
+
+/// Blocked `out = a^T @ b` for `a: k x m`, `b: k x n` (row-major; the left
+/// operand is supplied transposed, as in [`Matrix::matmul_tn`]).
+///
+/// [`Matrix::matmul_tn`]: crate::tensor::Matrix::matmul_tn
+pub fn matmul_tn_blocked(a: &[f32], k: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), k * m);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let Scratch { a: packed_a, b: packed_b } = &mut *scratch;
+        pack_a_transposed(a, k, m, packed_a);
+        pack_b_panels(b, k, n, packed_b);
+        let (packed_a, packed_b) = (&*packed_a, &*packed_b);
+        fan_out_rows(m, n, m * k * n, out, |rows, out_rows| {
+            run_rows_blocked(packed_a, k, packed_b, n, None, Activation::Identity, rows, out_rows)
+        });
+    });
+}

@@ -5,8 +5,10 @@
 //! used by the original paper with a small CPU implementation of exactly the
 //! pieces the estimators need:
 //!
-//! * dense `f32` matrices with (optionally multi-threaded) matmul kernels
-//!   ([`tensor::Matrix`]),
+//! * dense `f32` matrices with shape-dispatched matmul kernels — naive
+//!   loops for small/single-row products, blocked panel-packed kernels for
+//!   batches ([`tensor::Matrix`], [`kernels`]) — parallelized over a
+//!   persistent parked-thread worker pool ([`pool::ComputePool`]),
 //! * fully connected and mask-constrained layers ([`linear`]),
 //! * MADE / ResMADE construction with per-column block masking ([`made`]),
 //! * a plain MLP used by MSCN and the MPSN predicate embedder ([`mlp`]),
@@ -22,12 +24,14 @@
 
 pub mod activation;
 pub mod init;
+pub mod kernels;
 pub mod linear;
 pub mod loss;
 pub mod made;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod pool;
 pub mod serialize;
 pub mod tensor;
 pub mod workspace;
@@ -39,7 +43,8 @@ pub use loss::{grouped_cross_entropy, q_error, softmax, softmax_blocks, softmax_
 pub use made::{Made, MadeConfig};
 pub use mlp::Mlp;
 pub use optim::{Adam, GradClip, Sgd};
-pub use param::{InferLayer, Layer, Param};
+pub use param::{InferLayer, Layer, Param, WeightKey};
+pub use pool::{with_pool, ComputePool};
 pub use serialize::{load_params, save_params, CheckpointError};
 pub use tensor::{rowvec_matmul_into, Matrix};
-pub use workspace::ForwardWorkspace;
+pub use workspace::{ForwardWorkspace, MaskedWeightCache};

@@ -8,7 +8,7 @@
 
 use crate::activation::Activation;
 use crate::init::Init;
-use crate::param::{cache_input, InferLayer, Layer, Param};
+use crate::param::{cache_input, InferLayer, Layer, Param, WeightKey};
 use crate::tensor::Matrix;
 use crate::workspace::ForwardWorkspace;
 use rand::rngs::SmallRng;
@@ -80,7 +80,7 @@ impl InferLayer for Linear {
     fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
         ws.rewind();
         {
-            let (_cur, next, _aux, _w) = ws.split();
+            let (_cur, next, _aux) = ws.split();
             self.infer_raw(input, Activation::Identity, next);
         }
         ws.flip();
@@ -121,12 +121,37 @@ impl Layer for Linear {
 ///
 /// The mask is what turns a stack of fully connected layers into a MADE: it
 /// zeroes the connections that would violate the autoregressive ordering.
-#[derive(Debug, Clone)]
+///
+/// Each instance carries a [`WeightKey`] so downstream caches of the masked
+/// effective weight (`W ⊙ M`) — see
+/// [`MaskedWeightCache`](crate::workspace::MaskedWeightCache) — can validate
+/// against the exact weights that produced them. The key's version bumps on
+/// every `visit_params` (the only mutable route to the weights), and clones
+/// get a fresh identity, which is what invalidates workspace caches across
+/// optimizer steps, checkpoint loads, and serving hot-swaps.
+#[derive(Debug)]
 pub struct MaskedLinear {
     weight: Param,
     bias: Param,
     mask: Matrix,
     cached_input: Option<Matrix>,
+    key: WeightKey,
+}
+
+impl Clone for MaskedLinear {
+    /// Clones carry the same weights but a **fresh** [`WeightKey`]: the
+    /// clone's parameters can diverge from the original's (that is what
+    /// checkpoint hot-swap does), so cached effective weights must never be
+    /// shared between them.
+    fn clone(&self) -> Self {
+        Self {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            mask: self.mask.clone(),
+            cached_input: self.cached_input.clone(),
+            key: WeightKey::fresh(),
+        }
+    }
 }
 
 impl MaskedLinear {
@@ -146,6 +171,79 @@ impl MaskedLinear {
             bias: Param::new(Matrix::zeros(1, out_features)),
             mask,
             cached_input: None,
+            key: WeightKey::fresh(),
+        }
+    }
+
+    /// The current identity/version key of this layer's weights (see
+    /// [`WeightKey`]); cached masked effective weights are valid exactly as
+    /// long as this key is unchanged.
+    pub fn weight_key(&self) -> WeightKey {
+        self.key
+    }
+
+    /// Materialize the masked effective weight `W ⊙ M` into `out` (reshaped,
+    /// buffer reused). This is the fill callback for
+    /// [`MaskedWeightCache::get_or_fill`](crate::workspace::MaskedWeightCache::get_or_fill).
+    pub fn fill_masked(&self, out: &mut Matrix) {
+        self.weight.data.masked_into(&self.mask, out);
+    }
+
+    /// Fused forward against an already-materialized effective weight:
+    /// `out = act(input @ w + b)`. `w` must be this layer's masked effective
+    /// weight (typically a [`MaskedWeightCache`] hit); results are
+    /// bit-identical to [`MaskedLinear::infer_raw`], which materializes the
+    /// same matrix before running the same fused kernel.
+    ///
+    /// [`MaskedWeightCache`]: crate::workspace::MaskedWeightCache
+    pub fn infer_with_weight(&self, input: &Matrix, act: Activation, w: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(w.shape(), self.weight.data.shape());
+        input.addmm_bias_act_into(w, Some(self.bias.data.as_slice()), act, out);
+    }
+
+    /// Fused forward against a cached entry for this layer's effective
+    /// weight, picking the fastest kernel for the batch: dense batches run
+    /// the mask-aware **packed** kernel (all-zero weight strips skipped, no
+    /// per-call packing), sparse or small batches run the naive kernel
+    /// against the cached dense weight (whose zero-*input* skipping wins
+    /// there). All paths are bit-identical for finite inputs.
+    ///
+    /// `entry` must come from [`MaskedWeightCache::entry`] keyed by this
+    /// layer's [`MaskedLinear::weight_key`].
+    ///
+    /// [`MaskedWeightCache::entry`]: crate::workspace::MaskedWeightCache::entry
+    pub fn infer_with_entry(
+        &self,
+        input: &Matrix,
+        act: Activation,
+        entry: &mut crate::workspace::MaskedEntry,
+        out: &mut Matrix,
+    ) {
+        let (m, k) = input.shape();
+        let n = self.out_features();
+        if crate::kernels::use_packed(m, k, n) {
+            // One density scan decides both this dispatch and (via the
+            // hint) the dense kernel's own blocked-vs-naive choice.
+            if crate::kernels::mostly_dense(input.as_slice()) {
+                input.addmm_packed_bias_act_into(
+                    entry.packed(),
+                    Some(self.bias.data.as_slice()),
+                    act,
+                    out,
+                );
+            } else {
+                input.addmm_dispatch(
+                    entry.weight(),
+                    Some(self.bias.data.as_slice()),
+                    act,
+                    Some(false),
+                    out,
+                );
+            }
+        } else {
+            // Shape-ineligible: the inner dispatch short-circuits before
+            // any scan (same shape predicate).
+            self.infer_with_weight(input, act, entry.weight(), out);
         }
     }
 
@@ -198,8 +296,9 @@ impl InferLayer for MaskedLinear {
     fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
         ws.rewind();
         {
-            let (_cur, next, _aux, wscratch) = ws.split();
-            self.infer_raw(input, Activation::Identity, wscratch, next);
+            let (_cur, next, _aux, masked) = ws.split_masked();
+            let entry = masked.entry(0, self.key, |out| self.fill_masked(out));
+            self.infer_with_entry(input, Activation::Identity, entry, next);
         }
         ws.flip();
         ws.output()
@@ -230,6 +329,9 @@ impl Layer for MaskedLinear {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Handing out `&mut Param` may mutate the weights (optimizer step,
+        // checkpoint load): conservatively invalidate derived caches.
+        self.key.bump();
         f(&mut self.weight);
         f(&mut self.bias);
     }

@@ -12,7 +12,7 @@ use crate::init::Init;
 use crate::linear::MaskedLinear;
 use crate::param::{InferLayer, Layer, Param};
 use crate::tensor::Matrix;
-use crate::workspace::ForwardWorkspace;
+use crate::workspace::{ForwardWorkspace, MaskedWeightCache};
 use rand::rngs::SmallRng;
 
 /// Architecture description for a [`Made`] network.
@@ -120,11 +120,22 @@ impl ResBlock {
         }
     }
 
-    /// Allocation-free fused forward: `out = x + fc2(relu(fc1(x)))`, with the
-    /// hidden activation staged in `h` and masked weights in `wscratch`.
-    fn infer_raw(&self, x: &Matrix, h: &mut Matrix, wscratch: &mut Matrix, out: &mut Matrix) {
-        self.fc1.infer_raw(x, Activation::Relu, wscratch, h);
-        self.fc2.infer_raw(h, Activation::Identity, wscratch, out);
+    /// Allocation-free fused forward `out = x + fc2(relu(fc1(x)))` against
+    /// workspace-cached masked weights (slots `slot` and `slot + 1`): on a
+    /// cache hit nothing is re-materialized. Bit-identical to the training
+    /// forward.
+    fn infer_cached(
+        &self,
+        x: &Matrix,
+        h: &mut Matrix,
+        out: &mut Matrix,
+        masked: &mut MaskedWeightCache,
+        slot: usize,
+    ) {
+        let e1 = masked.entry(slot, self.fc1.weight_key(), |w| self.fc1.fill_masked(w));
+        self.fc1.infer_with_entry(x, Activation::Relu, e1, h);
+        let e2 = masked.entry(slot + 1, self.fc2.weight_key(), |w| self.fc2.fill_masked(w));
+        self.fc2.infer_with_entry(h, Activation::Identity, e2, out);
         out.add_assign(x);
     }
 }
@@ -298,6 +309,13 @@ impl Made {
 }
 
 impl InferLayer for Made {
+    /// The serving-path forward: activations ping-pong through the
+    /// workspace, and every stage's masked effective weight (`W ⊙ M`) comes
+    /// from the workspace's [`MaskedWeightCache`] — materialized once per
+    /// (workspace, weights) pair instead of once per batch, and re-validated
+    /// by [`crate::param::WeightKey`] so optimizer steps and hot-swaps can
+    /// never serve stale weights. Bit-identical to the training
+    /// [`Layer::forward`].
     fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
         assert_eq!(
             input.cols(),
@@ -306,17 +324,27 @@ impl InferLayer for Made {
             self.config.input_width()
         );
         ws.rewind();
+        let mut slot = 0usize;
         for (i, stage) in self.stages.iter().enumerate() {
             {
-                let (cur, next, aux, wscratch) = ws.split();
+                let (cur, next, aux, masked) = ws.split_masked();
                 let x: &Matrix = if i == 0 { input } else { cur };
                 match stage {
                     Stage::MaskedRelu { linear, .. } => {
-                        linear.infer_raw(x, Activation::Relu, wscratch, next)
+                        let entry =
+                            masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
+                        linear.infer_with_entry(x, Activation::Relu, entry, next);
+                        slot += 1;
                     }
-                    Stage::Residual(block) => block.infer_raw(x, aux, wscratch, next),
+                    Stage::Residual(block) => {
+                        block.infer_cached(x, aux, next, masked, slot);
+                        slot += 2;
+                    }
                     Stage::Output(linear) => {
-                        linear.infer_raw(x, Activation::Identity, wscratch, next)
+                        let entry =
+                            masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
+                        linear.infer_with_entry(x, Activation::Identity, entry, next);
+                        slot += 1;
                     }
                 }
             }

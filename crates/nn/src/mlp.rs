@@ -69,7 +69,7 @@ impl InferLayer for Mlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             let act = if i < last { Activation::Relu } else { Activation::Identity };
-            let (cur, next, _aux, _w) = ws.split();
+            let (cur, next, _aux) = ws.split();
             let x = if i == 0 { input } else { &*cur };
             layer.infer_raw(x, act, next);
             ws.flip();

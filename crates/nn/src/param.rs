@@ -7,7 +7,7 @@
 //!   self` and costs memory per call;
 //! * [`InferLayer`] is the **inference** abstraction: `infer_into` runs the
 //!   same computation through a caller-provided
-//!   [`ForwardWorkspace`](crate::workspace::ForwardWorkspace), caching
+//!   [`ForwardWorkspace`], caching
 //!   nothing and allocating nothing once the workspace is warm. It takes
 //!   `&self`, so a model behind an `Arc` can serve concurrent readers.
 //!
@@ -15,6 +15,44 @@
 
 use crate::tensor::Matrix;
 use crate::workspace::ForwardWorkspace;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity + mutation-version key of one layer's weights, used to validate
+/// derived per-workspace caches (the masked effective weights a
+/// [`ForwardWorkspace`] memoizes across batches).
+///
+/// Two components make the key collision-free for its purpose:
+///
+/// * the **uid** is drawn from a process-global counter at construction *and
+///   at every clone*, so two layers never share one — in particular, the
+///   clone a checkpoint hot-swap loads new weights into can never alias the
+///   model it replaces (this is what makes a hot-swap invalidate every
+///   workspace's cached masked weights, even for workspaces the swap has
+///   never seen);
+/// * the **version** bumps every time the layer hands out mutable parameter
+///   access (`visit_params` — the only route the optimizer and the
+///   checkpoint loader have to the weights), so in-place training steps
+///   invalidate too.
+///
+/// A cache entry is valid iff its stored key equals the layer's current key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightKey {
+    uid: u64,
+    version: u64,
+}
+
+impl WeightKey {
+    /// A key with a freshly allocated uid at version zero.
+    pub(crate) fn fresh() -> Self {
+        static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+        Self { uid: NEXT_UID.fetch_add(1, Ordering::Relaxed), version: 0 }
+    }
+
+    /// Record a (potential) weight mutation.
+    pub(crate) fn bump(&mut self) {
+        self.version += 1;
+    }
+}
 
 /// A trainable tensor together with its accumulated gradient.
 #[derive(Debug, Clone)]

@@ -2,10 +2,13 @@
 //! rest of the workspace needs.
 //!
 //! The matrices here are deliberately simple: a shape plus a flat `Vec<f32>`.
-//! The performance-sensitive kernels are the matmul family, which uses an
-//! `i-k-j` loop order so the inner loop streams through contiguous memory,
-//! and splits the row range across threads once the work is large enough to
-//! amortize thread start-up.
+//! The performance-sensitive kernels are the matmul family, which dispatches
+//! by shape: small or single-row products run a naive `i-k-j` loop whose
+//! inner loop streams through contiguous memory; batch-sized products run
+//! the blocked, panel-packed kernels of [`crate::kernels`]; and once the
+//! work is large enough, row blocks are fanned out over the persistent
+//! [`crate::pool::ComputePool`] (no per-call thread spawning, no
+//! allocation).
 //!
 //! Every kernel exists in two forms: an `*_into` variant that writes into a
 //! caller-provided output matrix ([`Matrix::matmul_into`],
@@ -15,15 +18,14 @@
 //! that does not manage buffers. The `*_into` variants reuse the output's
 //! heap buffer whenever its capacity suffices, which is what makes
 //! steady-state inference allocation-free; their results are bit-identical
-//! to the allocating wrappers because both run the exact same element-wise
-//! operation sequence.
+//! to the allocating wrappers — and identical across the naive and blocked
+//! paths for finite inputs, because every path accumulates each output
+//! element in the same strictly ascending order along the shared dimension
+//! (see the numerical contract in [`crate::kernels`]).
 
 use crate::activation::Activation;
+use crate::kernels;
 use std::fmt;
-
-/// Minimum number of multiply-accumulate operations before a matmul is worth
-/// parallelizing across threads.
-const PAR_THRESHOLD: usize = 1 << 22;
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -310,6 +312,21 @@ impl Matrix {
         act: Activation,
         out: &mut Matrix,
     ) {
+        self.addmm_dispatch(w, bias, act, None, out);
+    }
+
+    /// [`Matrix::addmm_bias_act_into`] with an optional precomputed density
+    /// verdict for `self`, so callers that already ran
+    /// [`kernels::mostly_dense`] for their own dispatch (the masked-layer
+    /// entry path) don't pay the input scan twice.
+    pub(crate) fn addmm_dispatch(
+        &self,
+        w: &Matrix,
+        bias: Option<&[f32]>,
+        act: Activation,
+        dense_hint: Option<bool>,
+        out: &mut Matrix,
+    ) {
         assert_eq!(
             self.cols, w.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
@@ -322,6 +339,10 @@ impl Matrix {
         out.resize_for_overwrite(m, n);
         let a = &self.data;
         let b = &w.data;
+        if kernels::use_blocked(m, k, n) && dense_hint.unwrap_or_else(|| kernels::mostly_dense(a)) {
+            kernels::addmm_blocked(a, m, k, b, n, bias, act, &mut out.data);
+            return;
+        }
         let run_rows = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
             for (local_i, i) in rows.enumerate() {
                 let arow = &a[i * k..(i + 1) * k];
@@ -347,6 +368,36 @@ impl Matrix {
         parallel_rows(m, k * n, &mut out.data, n, run_rows);
     }
 
+    /// Fused `out = act(self @ w + bias)` against a pre-packed right operand
+    /// (see [`crate::kernels::PackedWeight`]): the packing — and with it the
+    /// skipping of all-zero weight strips — was paid once when the operand
+    /// was cached, so this is the cheapest batched path through a masked
+    /// layer. Bit-identical to [`Matrix::addmm_bias_act_into`] against the
+    /// equivalent dense matrix, for finite inputs.
+    ///
+    /// # Panics
+    /// Panics if `self.cols()` does not match the packed operand's `k`.
+    pub fn addmm_packed_bias_act_into(
+        &self,
+        packed: &kernels::PackedWeight,
+        bias: Option<&[f32]>,
+        act: Activation,
+        out: &mut Matrix,
+    ) {
+        let (k, n) = packed.shape();
+        assert_eq!(
+            self.cols, k,
+            "packed matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, k, n
+        );
+        if let Some(bias) = bias {
+            assert_eq!(bias.len(), n, "bias length mismatch");
+        }
+        let m = self.rows;
+        out.resize_for_overwrite(m, n);
+        kernels::addmm_packed(&self.data, m, packed, bias, act, &mut out.data);
+    }
+
     /// `self @ other^T` — `(m x k) @ (n x k)^T -> (m x n)`.
     ///
     /// Used by back-propagation to avoid materializing transposes.
@@ -370,6 +421,10 @@ impl Matrix {
         out.resize_for_overwrite(m, n);
         let a = &self.data;
         let b = &other.data;
+        if kernels::use_blocked(m, k, n) && kernels::mostly_dense(a) {
+            kernels::matmul_nt_blocked(a, m, k, b, n, &mut out.data);
+            return;
+        }
         let run_rows = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
             for (local_i, i) in rows.enumerate() {
                 let arow = &a[i * k..(i + 1) * k];
@@ -407,6 +462,11 @@ impl Matrix {
         let k = self.rows; // shared dimension
         let m = self.cols;
         let n = other.cols;
+        if kernels::use_blocked(m, k, n) && kernels::mostly_dense(&self.data) {
+            out.resize_for_overwrite(m, n);
+            kernels::matmul_tn_blocked(&self.data, k, m, &other.data, n, &mut out.data);
+            return;
+        }
         out.reset(m, n);
         // out[i, j] = sum_t self[t, i] * other[t, j]
         // Accumulate row-by-row of the shared dimension: cache friendly on `other`.
@@ -451,41 +511,17 @@ pub fn rowvec_matmul_into(x: &[f32], b: &Matrix, out: &mut [f32]) {
     }
 }
 
-/// Split `m` output rows across threads when the total work (`m * work_per_row`)
-/// is large enough; otherwise run serially.
+/// Split `m` output rows across the current [`crate::pool::ComputePool`]
+/// when the total work (`m * work_per_row`) is large enough; otherwise run
+/// serially. Delegates to the fan-out helper shared with the blocked
+/// kernels — the pool's threads are persistent and parked, so unlike the
+/// `std::thread::scope` this replaced, crossing the parallelism threshold
+/// costs neither thread start-up nor heap allocation.
 fn parallel_rows<F>(m: usize, work_per_row: usize, out: &mut [f32], n: usize, run_rows: F)
 where
     F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
 {
-    let total_work = m.saturating_mul(work_per_row);
-    let threads = available_threads();
-    if total_work < PAR_THRESHOLD || threads <= 1 || m < 2 {
-        run_rows(0..m, out);
-        return;
-    }
-    let threads = threads.min(m);
-    let chunk_rows = m.div_ceil(threads);
-    let run_rows_ref = &run_rows;
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut start = 0usize;
-        while start < m {
-            let end = (start + chunk_rows).min(m);
-            let (chunk, tail) = rest.split_at_mut((end - start) * n);
-            rest = tail;
-            let range = start..end;
-            scope.spawn(move || run_rows_ref(range, chunk));
-            start = end;
-        }
-    });
-}
-
-fn available_threads() -> usize {
-    // Cached: `available_parallelism` probes the OS (and allocates) on every
-    // call, which would break the zero-allocation guarantee of the `_into`
-    // kernels and costs a syscall per matmul.
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    kernels::fan_out_rows(m, n, m.saturating_mul(work_per_row), out, run_rows);
 }
 
 #[cfg(test)]

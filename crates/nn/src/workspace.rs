@@ -2,8 +2,8 @@
 //!
 //! A [`ForwardWorkspace`] owns every intermediate buffer a forward pass
 //! needs: two ping-pong activation matrices, an auxiliary matrix (residual
-//! skip / hidden state), and a scratch matrix for materializing masked
-//! effective weights. Layers implementing
+//! skip / hidden state), and a [`MaskedWeightCache`] that **memoizes** the
+//! masked effective weights across batches. Layers implementing
 //! [`InferLayer`](crate::param::InferLayer) thread their activations through
 //! these buffers instead of allocating per call, so once the buffers have
 //! grown to the widest layer of a network (after the first batch), repeated
@@ -15,11 +15,139 @@
 //!   bench loop), never to a model — models stay shareable (`&self`
 //!   inference) and a workspace is never aliased by two concurrent passes;
 //! * a workspace may be reused freely across models and batch shapes; the
-//!   buffers reshape on the fly, reusing their heap capacity;
+//!   buffers reshape on the fly, reusing their heap capacity, and the masked
+//!   weight cache re-validates per layer via [`WeightKey`]s — so reuse
+//!   across models, optimizer steps, or checkpoint hot-swaps can never serve
+//!   stale weights;
 //! * the output reference returned by `infer_into` borrows the workspace and
 //!   is valid until the next pass overwrites the buffers.
+//!
+//! # Example
+//!
+//! ```
+//! use duet_nn::{seeded_rng, ForwardWorkspace, InferLayer, Matrix, Mlp};
+//!
+//! let mut rng = seeded_rng(7);
+//! let mlp = Mlp::new(&[4, 16, 2], &mut rng);
+//! let mut ws = ForwardWorkspace::new();
+//!
+//! // One warm-up pass grows the buffers; afterwards the workspace is
+//! // reused allocation-free, across batch sizes and (keyed) models.
+//! let full = mlp.infer_into(&Matrix::zeros(8, 4), &mut ws).clone();
+//! let small = mlp.infer_into(&Matrix::zeros(3, 4), &mut ws);
+//! assert_eq!(full.shape(), (8, 2));
+//! assert_eq!(small.shape(), (3, 2));
+//! assert_eq!(full.row(0), small.row(0), "row results are batch-independent");
+//! ```
 
+use crate::kernels::PackedWeight;
+use crate::param::WeightKey;
 use crate::tensor::Matrix;
+
+/// One memoized masked effective weight (`W ⊙ M`) plus the key of the
+/// weights it was materialized from, with a lazily maintained mask-aware
+/// packed form (see [`PackedWeight`]).
+#[derive(Debug, Clone, Default)]
+pub struct MaskedEntry {
+    key: Option<WeightKey>,
+    weight: Matrix,
+    /// Key the packed form was derived under; `packed` is valid iff this
+    /// equals `key`. Lazy so single-row paths that never run the packed
+    /// kernel never pay for packing.
+    packed_key: Option<WeightKey>,
+    packed: PackedWeight,
+}
+
+impl MaskedEntry {
+    /// The dense masked effective weight.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// The mask-aware packed form of [`MaskedEntry::weight`], packing it now
+    /// if the cached pack is missing or from older weights. Repacking reuses
+    /// the pack buffers, so a steady-state refill (e.g. after a hot-swap)
+    /// does not allocate.
+    pub fn packed(&mut self) -> &PackedWeight {
+        if self.packed_key != self.key {
+            self.packed.fill_from(self.weight.as_slice(), self.weight.rows(), self.weight.cols());
+            self.packed_key = self.key;
+        }
+        &self.packed
+    }
+}
+
+/// A per-workspace memo of masked effective weights, indexed by the masked
+/// layer's position (slot) in its network.
+///
+/// MADE-style networks multiply every weight matrix by a binary mask on each
+/// forward pass; materializing `W ⊙ M` per batch costs a full pass over the
+/// parameters. Because inference never mutates weights, the materialized
+/// product is reusable across batches — this cache keeps one per masked
+/// layer, validated by the layer's [`WeightKey`] (identity + mutation
+/// version). A hot-swap or optimizer step changes the key, so the next pass
+/// refills the slot in place (same shape ⇒ still allocation-free); a key
+/// match skips the materialization entirely.
+#[derive(Debug, Clone, Default)]
+pub struct MaskedWeightCache {
+    slots: Vec<MaskedEntry>,
+}
+
+impl MaskedWeightCache {
+    /// The cached entry for `slot`, refilled via `fill` first if the slot is
+    /// empty or was materialized from differently-keyed weights.
+    ///
+    /// The slot vector grows on first use per network depth (a warm-up
+    /// event); steady-state hits touch only the key comparison. The entry
+    /// gives access to both the dense weight and its packed form.
+    pub fn entry(
+        &mut self,
+        slot: usize,
+        key: WeightKey,
+        fill: impl FnOnce(&mut Matrix),
+    ) -> &mut MaskedEntry {
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, MaskedEntry::default);
+        }
+        let entry = &mut self.slots[slot];
+        if entry.key != Some(key) {
+            fill(&mut entry.weight);
+            entry.key = Some(key);
+        }
+        entry
+    }
+
+    /// The cached dense masked weight for `slot` (see
+    /// [`MaskedWeightCache::entry`]).
+    pub fn get_or_fill(
+        &mut self,
+        slot: usize,
+        key: WeightKey,
+        fill: impl FnOnce(&mut Matrix),
+    ) -> &Matrix {
+        &self.entry(slot, key, fill).weight
+    }
+
+    /// Number of slots materialized so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Drop every memoized weight's key (buffers are kept for reuse). The
+    /// next pass re-materializes. Callers normally never need this — key
+    /// validation is automatic — but it makes invalidation testable.
+    pub fn invalidate(&mut self) {
+        for slot in &mut self.slots {
+            slot.key = None;
+            slot.packed_key = None;
+        }
+    }
+}
 
 /// Reusable scratch buffers for one in-flight forward pass.
 #[derive(Debug, Clone, Default)]
@@ -31,8 +159,8 @@ pub struct ForwardWorkspace {
     /// Extra buffer for stages that need a third activation (the hidden
     /// state of a residual block).
     aux: Matrix,
-    /// Scratch for masked effective weights (`W ⊙ M`).
-    wscratch: Matrix,
+    /// Memoized masked effective weights, validated by [`WeightKey`].
+    masked: MaskedWeightCache,
 }
 
 impl ForwardWorkspace {
@@ -46,15 +174,32 @@ impl ForwardWorkspace {
         &self.bufs[self.live]
     }
 
-    /// Split the workspace into `(current, next, aux, wscratch)` for one
-    /// layer step: read the activation from `current`, write into `next`
-    /// (and/or `aux`), then call [`ForwardWorkspace::flip`] to make `next`
-    /// the new current.
-    pub fn split(&mut self) -> (&mut Matrix, &mut Matrix, &mut Matrix, &mut Matrix) {
-        let Self { bufs, live, aux, wscratch } = self;
+    /// Split the workspace into `(current, next, aux)` for one layer step:
+    /// read the activation from `current`, write into `next` (and/or
+    /// `aux`), then call [`ForwardWorkspace::flip`] to make `next` the new
+    /// current.
+    pub fn split(&mut self) -> (&mut Matrix, &mut Matrix, &mut Matrix) {
+        let Self { bufs, live, aux, .. } = self;
         let (a, b) = bufs.split_at_mut(1);
         let (cur, next) = if *live == 0 { (&mut a[0], &mut b[0]) } else { (&mut b[0], &mut a[0]) };
-        (cur, next, aux, wscratch)
+        (cur, next, aux)
+    }
+
+    /// [`ForwardWorkspace::split`] for masked networks: additionally exposes
+    /// the masked weight cache, so a stage can look its effective weight up
+    /// (or refill it) while writing activations.
+    pub fn split_masked(
+        &mut self,
+    ) -> (&mut Matrix, &mut Matrix, &mut Matrix, &mut MaskedWeightCache) {
+        let Self { bufs, live, aux, masked, .. } = self;
+        let (a, b) = bufs.split_at_mut(1);
+        let (cur, next) = if *live == 0 { (&mut a[0], &mut b[0]) } else { (&mut b[0], &mut a[0]) };
+        (cur, next, aux, masked)
+    }
+
+    /// The masked weight cache (inspection / explicit invalidation).
+    pub fn masked_cache_mut(&mut self) -> &mut MaskedWeightCache {
+        &mut self.masked
     }
 
     /// Promote the `next` buffer of the last [`ForwardWorkspace::split`] to
@@ -91,7 +236,7 @@ mod tests {
     fn split_pairs_alternate_with_flip() {
         let mut ws = ForwardWorkspace::new();
         {
-            let (_cur, next, _aux, _w) = ws.split();
+            let (_cur, next, _aux) = ws.split();
             next.reset(2, 3);
             next.fill(7.0);
         }
@@ -99,7 +244,7 @@ mod tests {
         assert_eq!(ws.output().shape(), (2, 3));
         assert_eq!(ws.output().get(1, 2), 7.0);
         {
-            let (cur, next, _aux, _w) = ws.split();
+            let (cur, next, _aux) = ws.split();
             assert_eq!(cur.shape(), (2, 3), "current must be the buffer just written");
             next.reset(1, 1);
         }
@@ -116,5 +261,35 @@ mod tests {
         let mut expected = w.clone();
         expected.mul_assign(&m);
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn masked_cache_fills_once_per_key() {
+        let mut cache = MaskedWeightCache::default();
+        let key = WeightKey::fresh();
+        let mut fills = 0;
+        for _ in 0..3 {
+            let w = cache.get_or_fill(0, key, |out| {
+                fills += 1;
+                out.reset(2, 2);
+                out.fill(1.5);
+            });
+            assert_eq!(w.get(1, 1), 1.5);
+        }
+        assert_eq!(fills, 1, "a matching key must not re-materialize");
+
+        let mut other_key = key;
+        other_key.bump();
+        cache.get_or_fill(0, other_key, |out| {
+            fills += 1;
+            out.fill(2.5);
+        });
+        assert_eq!(fills, 2, "a bumped version must re-materialize");
+
+        cache.invalidate();
+        cache.get_or_fill(0, other_key, |_| fills += 1);
+        assert_eq!(fills, 3, "explicit invalidation must re-materialize");
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
     }
 }

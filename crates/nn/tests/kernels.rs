@@ -1,0 +1,244 @@
+//! Property tests for the blocked/packed matmul kernels: **exact** (bitwise)
+//! equality against naive triple-loop references, across tile-boundary
+//! shapes.
+//!
+//! The kernels promise bit-identity for finite inputs because every path
+//! accumulates each output element in the same ascending shared-dimension
+//! order (see `duet_nn::kernels`). These tests hold them to it:
+//!
+//! * random shapes spanning the `MR`/`NR` tile boundaries, plus directed
+//!   edge shapes (`1 x n`, `m x 1` products, prime dimensions, exact
+//!   multiples and off-by-one neighbours of the tile sizes);
+//! * inputs with exact zeros mixed in, so the zero-skipping naive paths,
+//!   the dense blocked path, and the strip-dropping packed path are all
+//!   exercised against each other;
+//! * the fused bias + activation epilogue compared against an unfused
+//!   matmul → bias broadcast → activation pipeline;
+//! * the public `Matrix` APIs at shapes straddling the dispatch thresholds,
+//!   so whatever path the dispatcher picks must agree with the reference.
+
+use duet_nn::kernels::{
+    addmm_blocked, addmm_packed, matmul_nt_blocked, matmul_tn_blocked, PackedWeight, MR, NR,
+};
+use duet_nn::{Activation, Matrix};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Deterministic matrix with a mix of exact zeros (probability ~1/3) and
+/// small signed values — zeros exercise the sparse-skip paths.
+fn matrix_with_zeros(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen_range(0u32..3) == 0 {
+            0.0
+        } else {
+            rng.gen_range(-2.0f32..2.0)
+        }
+    })
+}
+
+/// Textbook reference: `out[i][j] = sum_p a[i][p] * b[p][j]` in ascending
+/// `p` order, then bias, then activation — the element-wise sequence every
+/// kernel must reproduce exactly.
+fn reference_addmm(a: &Matrix, b: &Matrix, bias: Option<&[f32]>, act: Activation) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            if let Some(bias) = bias {
+                acc += bias[j];
+            }
+            let mut cell = [acc];
+            act.apply(&mut cell);
+            out.set(i, j, cell[0]);
+        }
+    }
+    out
+}
+
+fn assert_bit_identical(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{what}: element {i} differs: got {g} ({:#x}), want {w} ({:#x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+/// Run every kernel path for one `(m, k, n)` shape and compare bitwise.
+fn check_shape(m: usize, k: usize, n: usize, rng: &mut SmallRng) {
+    let a = matrix_with_zeros(m, k, rng);
+    let b = matrix_with_zeros(k, n, rng);
+    let bias: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+    for (bias_opt, act) in [
+        (None, Activation::Identity),
+        (Some(bias.as_slice()), Activation::Identity),
+        (Some(bias.as_slice()), Activation::Relu),
+        (None, Activation::Relu),
+    ] {
+        let want = reference_addmm(&a, &b, bias_opt, act);
+
+        // Public dispatching API (whatever path the dispatcher picks).
+        let mut got = Matrix::zeros(0, 0);
+        a.addmm_bias_act_into(&b, bias_opt, act, &mut got);
+        assert_bit_identical(&got, &want, "addmm_bias_act_into");
+
+        // Forced dense blocked path.
+        let mut got = Matrix::zeros(m, n);
+        addmm_blocked(a.as_slice(), m, k, b.as_slice(), n, bias_opt, act, got.as_mut_slice());
+        assert_bit_identical(&got, &want, "addmm_blocked");
+
+        // Forced packed path (strip-dropping pack of the same operand).
+        let mut packed = PackedWeight::new();
+        packed.fill_from(b.as_slice(), k, n);
+        let mut got = Matrix::zeros(m, n);
+        addmm_packed(a.as_slice(), m, &packed, bias_opt, act, got.as_mut_slice());
+        assert_bit_identical(&got, &want, "addmm_packed");
+
+        // Packed path through the public Matrix API.
+        let mut got = Matrix::zeros(0, 0);
+        a.addmm_packed_bias_act_into(&packed, bias_opt, act, &mut got);
+        assert_bit_identical(&got, &want, "addmm_packed_bias_act_into");
+    }
+
+    // matmul_nt: a @ b'^T with b' = b^T, so the reference product is the same.
+    let bt = b.transpose();
+    let want = reference_addmm(&a, &b, None, Activation::Identity);
+    let mut got = Matrix::zeros(0, 0);
+    a.matmul_nt_into(&bt, &mut got);
+    assert_bit_identical(&got, &want, "matmul_nt_into");
+    let mut got = Matrix::zeros(m, n);
+    matmul_nt_blocked(a.as_slice(), m, k, bt.as_slice(), n, got.as_mut_slice());
+    assert_bit_identical(&got, &want, "matmul_nt_blocked");
+
+    // matmul_tn: a'^T @ b with a' = a^T.
+    let at = a.transpose();
+    let mut got = Matrix::zeros(0, 0);
+    at.matmul_tn_into(&b, &mut got);
+    assert_bit_identical(&got, &want, "matmul_tn_into");
+    let mut got = Matrix::zeros(m, n);
+    matmul_tn_blocked(at.as_slice(), k, m, b.as_slice(), n, got.as_mut_slice());
+    assert_bit_identical(&got, &want, "matmul_tn_blocked");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes spanning the MR/NR tile boundaries and the dispatch
+    /// thresholds (m crosses MIN_BLOCK_ROWS = 8, n crosses NR).
+    #[test]
+    fn kernels_match_reference_on_random_shapes(
+        m in 1usize..3 * MR + 2,
+        k in 1usize..24,
+        n in 1usize..3 * NR + 2,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = duet_nn::seeded_rng(seed);
+        check_shape(m, k, n, &mut rng);
+    }
+
+    /// Larger batched shapes (everything on the blocked/packed side of the
+    /// dispatch) with non-multiple-of-tile dimensions.
+    #[test]
+    fn kernels_match_reference_on_batched_shapes(
+        m in 8usize..40,
+        k in 2usize..48,
+        n in 8usize..80,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = duet_nn::seeded_rng(seed ^ 0xb10c);
+        check_shape(m, k, n, &mut rng);
+    }
+}
+
+/// Directed edge shapes: row/column vectors, prime dimensions, exact tile
+/// multiples and their off-by-one neighbours.
+#[test]
+fn kernels_match_reference_on_edge_shapes() {
+    let mut rng = duet_nn::seeded_rng(0xedfe);
+    let primes = [1usize, 2, 3, 5, 7, 13, 17, 31, 37];
+    for &m in &primes {
+        for &n in &primes {
+            check_shape(m, 5, n, &mut rng);
+        }
+    }
+    for &m in &[MR - 1, MR, MR + 1, 2 * MR - 1, 2 * MR, 2 * MR + 1] {
+        for &n in &[NR - 1, NR, NR + 1, 2 * NR - 1, 2 * NR, 2 * NR + 1] {
+            check_shape(m, 11, n, &mut rng);
+            check_shape(m, 1, n, &mut rng);
+        }
+    }
+    // Nx1 and 1xN extremes around the dispatch thresholds.
+    for &m in &[1usize, 7, 8, 9, 33] {
+        check_shape(m, 3, 1, &mut rng);
+        check_shape(1, 3, m, &mut rng);
+    }
+}
+
+/// An all-zero weight matrix packs to zero strips and still produces the
+/// exact reference result (pure bias/activation).
+#[test]
+fn packed_all_zero_weight_is_bias_only() {
+    let mut rng = duet_nn::seeded_rng(0x00);
+    let a = matrix_with_zeros(9, 6, &mut rng);
+    let b = Matrix::zeros(6, 20);
+    let bias: Vec<f32> = (0..20).map(|j| j as f32 - 10.0).collect();
+    let mut packed = PackedWeight::new();
+    packed.fill_from(b.as_slice(), 6, 20);
+    assert_eq!(packed.density(), 0.0);
+    let mut got = Matrix::zeros(9, 20);
+    addmm_packed(a.as_slice(), 9, &packed, Some(&bias), Activation::Relu, got.as_mut_slice());
+    let want = reference_addmm(&a, &b, Some(&bias), Activation::Relu);
+    assert_bit_identical(&got, &want, "all-zero packed");
+}
+
+/// The pooled (parallel) path splits rows across worker threads and must
+/// still be bit-identical to the serial run — chunk boundaries never change
+/// per-row results.
+#[test]
+fn pooled_kernels_match_serial_bitwise() {
+    let pool = duet_nn::ComputePool::new(3);
+    let mut rng = duet_nn::seeded_rng(0x9001);
+    // Big enough to cross PAR_THRESHOLD (m * k * n >= 2^22).
+    let (m, k, n) = (210, 150, 150);
+    let a = matrix_with_zeros(m, k, &mut rng);
+    let b = matrix_with_zeros(k, n, &mut rng);
+    let serial = a.matmul(&b);
+    let before = pool.dispatched_jobs();
+    let pooled = duet_nn::with_pool(&pool, || a.matmul(&b));
+    assert!(pool.dispatched_jobs() > before, "the pooled path must actually dispatch");
+    assert_bit_identical(&pooled, &serial, "pooled matmul");
+
+    let mut packed = PackedWeight::new();
+    packed.fill_from(b.as_slice(), k, n);
+    let mut serial_packed = Matrix::zeros(m, n);
+    addmm_packed(
+        a.as_slice(),
+        m,
+        &packed,
+        None,
+        Activation::Identity,
+        serial_packed.as_mut_slice(),
+    );
+    let mut pooled_packed = Matrix::zeros(m, n);
+    duet_nn::with_pool(&pool, || {
+        addmm_packed(
+            a.as_slice(),
+            m,
+            &packed,
+            None,
+            Activation::Identity,
+            pooled_packed.as_mut_slice(),
+        );
+    });
+    assert_bit_identical(&pooled_packed, &serial_packed, "pooled packed");
+    assert_bit_identical(&serial_packed, &serial, "packed vs dense");
+}

@@ -6,11 +6,18 @@
 //! groups at dequeue), and the worker keeps one persistent
 //! [`duet_core::DuetWorkspace`] *per table* in a
 //! [`duet_core::WorkspacePool`], so alternating between differently-shaped
-//! models never thrashes buffer sizes. In steady state the hot loop —
-//! admission, dequeue/grouping, deadline triage, and the batched forward
-//! pass — performs **zero heap allocation of its own** (asserted by
+//! models never thrashes buffer sizes — and each workspace memoizes the
+//! tables' masked effective weights (weight-version keyed), so batches stop
+//! re-materializing masks. In steady state the hot loop — admission,
+//! dequeue/grouping, deadline triage, and the batched forward pass —
+//! performs **zero heap allocation of its own** (asserted by
 //! `tests/zero_alloc.rs`); the only allocations on the serving path are the
 //! per-request encodings the clients hand in (and their eventual frees).
+//! Batches large enough to parallelize fan out over the process-wide
+//! persistent compute pool (`duet_nn::pool::ComputePool`), which all shard
+//! workers share: its parked threads are woken per job (no spawning), and a
+//! worker that finds the pool busy simply runs its kernel inline — results
+//! are identical either way.
 //!
 //! Because the batched path is bit-identical to the single-query path (see
 //! `duet_core::estimator`), neither the shard a table hashes to nor the

@@ -221,6 +221,33 @@ impl LruShard {
 /// dropped, and one that races ahead of the bump is removed by the purge
 /// that follows it — so a swap landing mid-batch can no longer strand
 /// unreachable old-generation entries in the LRU.
+///
+/// ```
+/// use duet_core::{DuetConfig, DuetEstimator};
+/// use duet_data::datasets::census_like;
+/// use duet_query::WorkloadSpec;
+/// use duet_serve::{canonical_key, ShardedCache};
+///
+/// let table = census_like(200, 2);
+/// let cfg = DuetConfig::small().with_epochs(1);
+/// let estimator = DuetEstimator::train_data_only(&table, &cfg, 2);
+/// let query = WorkloadSpec::random(&table, 1, 3).generate(&table).remove(0);
+///
+/// let cache = ShardedCache::new(128, 4);
+/// let key = canonical_key(&estimator, 0, &query); // generation 0 of this model
+/// assert_eq!(cache.get(&key), None);
+/// cache.insert(key.clone(), 42.0);
+/// assert_eq!(cache.get(&key), Some(42.0));
+///
+/// // The hot-swap protocol: workers tag inserts with a pre-batch epoch
+/// // snapshot; an invalidation in between drops the stale insert.
+/// let epoch = cache.epoch();
+/// cache.invalidate();
+/// cache.insert_tagged(key.clone(), 7.0, epoch);
+/// assert_eq!(cache.get(&key), None, "stale insert was rejected");
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 2);
+/// ```
 pub struct ShardedCache {
     shards: Vec<Mutex<LruShard>>,
     epoch: AtomicU64,

@@ -12,9 +12,9 @@
 //! Admission control is two-sided:
 //!
 //! * **at enqueue** — a shard whose queue is at capacity rejects the request
-//!   immediately ([`Shard::try_push`] fails, the server surfaces a typed
-//!   `Overloaded` error). The queue can never grow without bound; overload
-//!   sheds load instead of accumulating latency.
+//!   immediately (the push fails, the server surfaces a typed `Overloaded`
+//!   error). The queue can never grow without bound; overload sheds load
+//!   instead of accumulating latency.
 //! * **at dequeue** — a request carries an optional deadline; if it has
 //!   already expired by the time a worker picks it up, the worker drops it
 //!   with a [`ShedReason::DeadlineExpired`] reply instead of wasting a
@@ -397,6 +397,32 @@ impl std::fmt::Debug for Shard {
 
 /// The routing layer: a fixed pool of bounded worker shards with consistent
 /// table assignment, shared by every registered table.
+///
+/// A `Router` is owned by its [`crate::DuetServer`]; inspect it through
+/// [`crate::DuetServer::router`]:
+///
+/// ```
+/// use duet_core::{DuetConfig, DuetEstimator};
+/// use duet_data::datasets::census_like;
+/// use duet_serve::{shard_for, DuetServer, RouterConfig, ServeConfig};
+///
+/// let table = census_like(200, 1);
+/// let cfg = DuetConfig::small().with_epochs(1);
+/// let estimator = DuetEstimator::train_data_only(&table, &cfg, 1);
+///
+/// let config = ServeConfig {
+///     router: RouterConfig { num_shards: 2, queue_capacity: 64, default_deadline: None },
+///     ..ServeConfig::default()
+/// };
+/// let server = DuetServer::new(config);
+/// server.register("census", estimator);
+///
+/// let router = server.router();
+/// assert_eq!(router.num_shards(), 2);
+/// // Assignment is a pure function of the name and the pool size.
+/// assert_eq!(router.shard_index("census"), shard_for("census", 2));
+/// assert_eq!(router.queue_depth(), 0, "nothing queued while idle");
+/// ```
 #[derive(Debug)]
 pub struct Router {
     shards: Vec<Arc<Shard>>,

@@ -6,8 +6,8 @@
 //! machine drains it. This module removes time and thread scheduling from
 //! the equation while changing *nothing else*:
 //!
-//! * the same [`Shard`] queues, the same admission check, the same
-//!   deadline triage, and the same [`ShardWorker`] batch execution as the
+//! * the same shard queues, the same admission check, the same
+//!   deadline triage, and the same shard-worker batch execution as the
 //!   production [`crate::DuetServer`] — just driven single-threaded;
 //! * a [`VirtualClock`] that only moves when the driver says so, making
 //!   deadline expiry a pure function of the script;
@@ -97,7 +97,7 @@ pub enum SubmitResult {
 /// A single-threaded driver over the production routing/batching code.
 ///
 /// The harness owns everything a [`crate::DuetServer`] would spread across
-/// threads — router shards, one [`ShardWorker`] per shard, the id-indexed
+/// threads — router shards, one shard worker per shard, the id-indexed
 /// table directory — and exposes explicit steps: [`RouterHarness::submit_query`]
 /// admits, [`RouterHarness::turn`] runs one batch per shard, the
 /// [`VirtualClock`] moves only via [`RouterHarness::clock`]. Ticket replies

@@ -73,6 +73,69 @@ fn workspace_survives_model_switches() {
 }
 
 #[test]
+fn workspace_masked_cache_invalidates_on_weight_mutation() {
+    // The workspace memoizes masked effective weights keyed by the layers'
+    // WeightKeys. Mutating the weights in place (an optimizer step routes
+    // through visit_params, exactly like checkpoint loading does) must
+    // invalidate those memos: the reused workspace has to produce the same
+    // estimates as a fresh one at every step.
+    let table = census_like(300, 9);
+    let cfg = DuetConfig::small().with_epochs(1);
+    let mut est = DuetEstimator::train_data_only(&table, &cfg, 13);
+    let queries = WorkloadSpec::random(&table, 12, 3).generate(&table);
+
+    let mut reused = DuetWorkspace::new();
+    let mut out_reused = Vec::new();
+    let mut out_fresh = Vec::new();
+    let mut previous: Option<Vec<f64>> = None;
+    for step in 0..3 {
+        est.estimate_batch_with(&queries, &mut reused, &mut out_reused);
+        est.estimate_batch_with(&queries, &mut DuetWorkspace::new(), &mut out_fresh);
+        assert_eq!(out_reused, out_fresh, "reused workspace must match a fresh one (step {step})");
+        if let Some(previous) = &previous {
+            assert_ne!(
+                previous, &out_reused,
+                "perturbed weights must actually change estimates (step {step})"
+            );
+        }
+        previous = Some(out_reused.clone());
+
+        // Perturb every parameter through the only mutable route the
+        // optimizer has; stale cached masked weights would now be wrong.
+        est.model_mut().visit_params(&mut |p| {
+            for v in p.data.as_mut_slice() {
+                *v += 0.01;
+            }
+        });
+    }
+}
+
+#[test]
+fn workspace_masked_cache_invalidates_on_checkpoint_hot_swap() {
+    // A serving worker's long-lived workspace must follow a hot-swap: the
+    // swap loads a checkpoint into a *clone* of the running model, and the
+    // clone's fresh weight identities invalidate every cached masked weight.
+    let table = census_like(300, 10);
+    let cfg = DuetConfig::small().with_epochs(1);
+    let est_a = DuetEstimator::train_data_only(&table, &cfg, 1);
+    let mut est_b = DuetEstimator::train_data_only(&table, &cfg, 2);
+    let queries = WorkloadSpec::random(&table, 10, 4).generate(&table);
+    let expected_b = est_b.estimate_batch(&queries);
+
+    let mut ws = DuetWorkspace::new();
+    let mut out = Vec::new();
+    est_a.estimate_batch_with(&queries, &mut ws, &mut out);
+    assert_ne!(out, expected_b, "differently seeded models should disagree");
+
+    // The registry's hot-swap path: clone the serving model, load weights.
+    let checkpoint = duet::core::save_weights(&mut est_b);
+    let mut swapped = est_a.clone();
+    duet::core::load_weights(&mut swapped, &checkpoint).expect("checkpoint should load");
+    swapped.estimate_batch_with(&queries, &mut ws, &mut out);
+    assert_eq!(out, expected_b, "swapped weights must serve through the reused workspace");
+}
+
+#[test]
 fn encoded_batch_with_matches_public_wrappers() {
     let table = census_like(300, 31);
     let cfg = DuetConfig::small().with_epochs(1);

@@ -3,18 +3,25 @@
 //! measured after warm-up — the steady-state serving hot loop must perform
 //! **zero** heap allocations (and zero frees).
 //!
-//! Three phases: the raw batched estimation path (full and shrinking
-//! batches), and the **routed multi-table hot loop** — admission into a
+//! Four phases: the raw batched estimation path (full and shrinking
+//! batches), the **routed multi-table hot loop** — admission into a
 //! bounded shard queue, same-table batch formation at dequeue, deadline
 //! triage, and per-table-workspace batch execution across two
 //! differently-shaped tables, driven through the deterministic harness with
-//! one fixed request set recycled through the router.
+//! one fixed request set recycled through the router — and the
+//! **pooled large-batch path**: a batch big enough to cross the kernels'
+//! parallelism threshold, so the forward pass fans row blocks out over a
+//! `duet_nn::ComputePool`. The pool's parked workers are woken per job with
+//! no allocation anywhere on the submit/execute/wait path (this is exactly
+//! what the pool replaced `std::thread::scope` for — scoped spawning
+//! allocated on every large matmul).
 //!
 //! This lives in its own integration-test binary so the global allocator and
 //! the single-threaded measurement cannot interfere with other tests.
 
 use duet::core::{query_to_id_predicates, DuetConfig, DuetEstimator, DuetWorkspace};
 use duet::data::datasets::census_like;
+use duet::nn::{with_pool, ComputePool};
 use duet::query::WorkloadSpec;
 use duet::serve::sim::{HarnessConfig, PreparedRequest, RouterHarness};
 use duet::serve::{BatchConfig, RouterConfig};
@@ -53,6 +60,7 @@ fn steady_state_batched_inference_is_allocation_free() {
     full_batch_phase();
     shrinking_batch_phase();
     routed_multi_table_phase();
+    pooled_large_batch_phase();
 }
 
 fn full_batch_phase() {
@@ -172,4 +180,46 @@ fn routed_multi_table_phase() {
     let snapshot = harness.metrics_snapshot();
     assert_eq!(snapshot.shed_overload + snapshot.shed_deadline, 0);
     assert!(snapshot.batches >= 24, "12 rounds x 2 tables of batches, got {}", snapshot.batches);
+}
+
+fn pooled_large_batch_phase() {
+    // A batch large enough that the forward pass crosses the kernels'
+    // parallelism threshold and fans out over the compute pool. A scoped
+    // 2-worker pool (rather than the machine-sized global one) makes the
+    // test exercise the pooled path even on a single-core runner. Pool
+    // threads are spawned at construction — before the measured window —
+    // and each job afterwards is a park/wake cycle with no allocation.
+    let table = census_like(400, 5);
+    let cfg = DuetConfig::small().with_epochs(1);
+    let est = DuetEstimator::train_data_only(&table, &cfg, 7);
+    let queries = WorkloadSpec::random(&table, 1024, 17).generate(&table);
+    let rows: Vec<_> = queries.iter().map(|q| query_to_id_predicates(est.schema(), q)).collect();
+    let intervals: Vec<_> = queries.iter().map(|q| q.column_intervals(est.schema())).collect();
+
+    let pool = ComputePool::new(2);
+    with_pool(&pool, || {
+        let mut ws = DuetWorkspace::new();
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut out);
+        }
+        let expected = out.clone();
+        let jobs_before = pool.dispatched_jobs();
+
+        let (allocs_before, frees_before) =
+            (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+        for _ in 0..5 {
+            est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut out);
+        }
+        let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+        let frees = FREES.load(Ordering::Relaxed) - frees_before;
+
+        assert_eq!(allocs, 0, "pooled large-batch inference must not allocate");
+        assert_eq!(frees, 0, "pooled large-batch inference must not free");
+        assert!(
+            pool.dispatched_jobs() > jobs_before,
+            "the batch must be large enough to dispatch kernel jobs to the pool"
+        );
+        assert_eq!(out, expected, "pooled runs must be bit-identical to the warm-up runs");
+    });
 }
