@@ -9,7 +9,8 @@
 
 use duet_data::Table;
 use duet_nn::{
-    grouped_cross_entropy, seeded_rng, softmax, Adam, GradClip, Layer, Made, MadeConfig, Matrix,
+    grouped_cross_entropy, seeded_rng, softmax_into, Adam, GradClip, Layer, Made, MadeConfig,
+    Matrix,
 };
 use duet_query::{CardinalityEstimator, Query};
 use rand::rngs::SmallRng;
@@ -279,6 +280,8 @@ impl NaruEstimator {
         let mut forward_time = Duration::ZERO;
         let mut sample_time = Duration::ZERO;
         let mut forwards = 0usize;
+        // Scratch softmax staging, reused across samples and columns.
+        let mut probs: Vec<f32> = Vec::new();
 
         for &col in &constrained {
             let t0 = Instant::now();
@@ -292,11 +295,13 @@ impl NaruEstimator {
             let size = self.encoder.output_sizes()[col];
             let in_off = self.encoder.block_offset(col);
             let block_w = self.encoder.block_width(col);
+            probs.clear();
+            probs.resize(size, 0.0);
             for sample in 0..s {
                 if weights[sample] == 0.0 {
                     continue;
                 }
-                let probs = softmax(&logits.row(sample)[out_off..out_off + size]);
+                softmax_into(&logits.row(sample)[out_off..out_off + size], &mut probs);
                 let mass: f64 = probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
                 weights[sample] *= mass;
                 if mass <= 0.0 {

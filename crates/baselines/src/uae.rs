@@ -17,7 +17,7 @@
 
 use crate::naru::{train_value_model, NaruConfig, NaruEpochStats, NaruEstimator, ValueEncoder};
 use duet_data::Table;
-use duet_nn::{softmax, Adam, GradClip, Layer, Made, Matrix};
+use duet_nn::{softmax_into, Adam, GradClip, Layer, Made, Matrix};
 use duet_query::{CardinalityEstimator, Query};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -190,6 +190,11 @@ fn supervised_step(
     let mut loss_sum = 0.0f64;
     let ln2 = std::f64::consts::LN_2;
     let sizes = encoder.output_sizes();
+    // Scratch softmax staging, reused across samples/columns/queries: the
+    // prefix loop stages one column's probabilities at a time, the final
+    // column stages all samples' probabilities flat (stride `size`).
+    let mut probs: Vec<f32> = Vec::new();
+    let mut final_probs: Vec<f32> = Vec::new();
 
     for (intervals, constrained, actual) in batch.iter().map(|p| (&p.0, &p.1, p.2)) {
         if constrained.is_empty() {
@@ -212,11 +217,13 @@ fn supervised_step(
             let size = sizes[col];
             let in_off = encoder.block_offset(col);
             let block_w = encoder.block_width(col);
+            probs.clear();
+            probs.resize(size, 0.0);
             for sample in 0..s {
                 if weights[sample] == 0.0 {
                     continue;
                 }
-                let probs = softmax(&logits.row(sample)[out_off..out_off + size]);
+                softmax_into(&logits.row(sample)[out_off..out_off + size], &mut probs);
                 let mass: f64 = probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
                 weights[sample] *= mass;
                 if mass <= 0.0 {
@@ -244,14 +251,17 @@ fn supervised_step(
         let (lo, hi) = intervals[last_col];
         let out_off: usize = sizes[..last_col].iter().sum();
         let size = sizes[last_col];
-        let mut per_sample_probs: Vec<Vec<f32>> = Vec::with_capacity(s);
+        // Per-sample probabilities staged flat (stride `size`) for the
+        // gradient pass — no per-sample heap vectors.
+        final_probs.clear();
+        final_probs.resize(s * size, 0.0);
         let mut per_sample_mass: Vec<f64> = Vec::with_capacity(s);
         let mut est_sel = 0.0f64;
         for sample in 0..s {
-            let probs = softmax(&logits.row(sample)[out_off..out_off + size]);
-            let mass: f64 = probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
+            let sample_probs = &mut final_probs[sample * size..(sample + 1) * size];
+            softmax_into(&logits.row(sample)[out_off..out_off + size], sample_probs);
+            let mass: f64 = sample_probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
             est_sel += weights[sample] * mass;
-            per_sample_probs.push(probs);
             per_sample_mass.push(mass);
         }
         est_sel /= s as f64;
@@ -270,7 +280,7 @@ fn supervised_step(
             if dl_dmass == 0.0 {
                 continue;
             }
-            let probs = &per_sample_probs[sample];
+            let probs = &final_probs[sample * size..(sample + 1) * size];
             let mass = per_sample_mass[sample];
             let grow = grad_logits.row_mut(sample);
             for (k, &p) in probs.iter().enumerate() {

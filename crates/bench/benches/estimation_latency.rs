@@ -5,9 +5,9 @@
 //! before/after comparison for the zero-allocation refactor (a summary line
 //! with the measured speedup is printed at the end).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchMeta, Criterion};
 use duet_baselines::{IndependenceEstimator, MHist, NaruConfig, NaruEstimator};
-use duet_core::{query_to_id_predicates, DuetConfig, DuetEstimator, DuetWorkspace};
+use duet_core::{query_to_id_predicates, DuetConfig, DuetEstimator, DuetWorkspace, SoftmaxMode};
 use duet_data::datasets::census_like;
 use duet_query::{CardinalityEstimator, WorkloadSpec};
 use std::hint::black_box;
@@ -66,17 +66,37 @@ fn bench_estimation(c: &mut Criterion) {
         batch_queries.iter().map(|q| query_to_id_predicates(duet.schema(), q)).collect();
     let intervals: Vec<_> =
         batch_queries.iter().map(|q| q.column_intervals(duet.schema())).collect();
-    group.bench_function("duet_batch32_alloc", |b| {
-        b.iter(|| black_box(duet.estimate_encoded_batch(&rows, &intervals)))
-    });
+    group.bench_function_meta(
+        "duet_batch32_alloc",
+        BenchMeta { batch_size: Some(BATCH), mode: Some("fast") },
+        |b| b.iter(|| black_box(duet.estimate_encoded_batch(&rows, &intervals))),
+    );
     let mut ws = DuetWorkspace::new();
     let mut out = Vec::new();
-    group.bench_function("duet_batch32_workspace", |b| {
-        b.iter(|| {
-            duet.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut out);
-            black_box(out.last().copied())
-        })
-    });
+    group.bench_function_meta(
+        "duet_batch32_workspace",
+        BenchMeta { batch_size: Some(BATCH), mode: Some("fast") },
+        |b| {
+            b.iter(|| {
+                duet.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut out);
+                black_box(out.last().copied())
+            })
+        },
+    );
+    // The same batch through the exact (libm) softmax: the before/after of
+    // the fast transcendental layer, isolated from everything else.
+    let mut ws_exact = DuetWorkspace::new();
+    ws_exact.softmax_mode = SoftmaxMode::Exact;
+    group.bench_function_meta(
+        "duet_batch32_workspace_exact",
+        BenchMeta { batch_size: Some(BATCH), mode: Some("exact") },
+        |b| {
+            b.iter(|| {
+                duet.estimate_encoded_batch_with(&rows, &intervals, &mut ws_exact, &mut out);
+                black_box(out.last().copied())
+            })
+        },
+    );
 
     // Large batch: deep enough into the blocked/packed kernels that
     // per-batch fixed costs vanish; per-query throughput headroom of the
@@ -84,12 +104,16 @@ fn bench_estimation(c: &mut Criterion) {
     let big = &queries[..64];
     let big_rows: Vec<_> = big.iter().map(|q| query_to_id_predicates(duet.schema(), q)).collect();
     let big_intervals: Vec<_> = big.iter().map(|q| q.column_intervals(duet.schema())).collect();
-    group.bench_function("duet_batch64_workspace", |b| {
-        b.iter(|| {
-            duet.estimate_encoded_batch_with(&big_rows, &big_intervals, &mut ws, &mut out);
-            black_box(out.last().copied())
-        })
-    });
+    group.bench_function_meta(
+        "duet_batch64_workspace",
+        BenchMeta { batch_size: Some(64), mode: Some("fast") },
+        |b| {
+            b.iter(|| {
+                duet.estimate_encoded_batch_with(&big_rows, &big_intervals, &mut ws, &mut out);
+                black_box(out.last().copied())
+            })
+        },
+    );
     group.finish();
 
     // Direct before/after numbers for the zero-allocation refactor.

@@ -1,11 +1,20 @@
-//! Criterion micro-benchmark: one epoch of Duet's data-driven training vs
-//! Naru's, isolating the overhead of virtual-table sampling and predicate
-//! encoding (Table III context).
+//! Criterion micro-benchmarks for the training path: one epoch of Duet's
+//! data-driven training vs Naru's (Table III context), plus **step-level**
+//! benches isolating the training forward — the old allocating
+//! `Layer::forward` + allocating grouped cross-entropy pipeline against the
+//! scratch-based `data_forward`/`query_forward` passes (activation
+//! checkpointing, in-place masked-weight memo, flat gradient/probability
+//! staging).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchMeta, Criterion};
 use duet_baselines::{NaruConfig, NaruEstimator};
-use duet_core::{train_model, DuetConfig};
+use duet_core::{
+    data_forward, query_forward, sample_virtual_batch, train_model, DuetConfig, DuetModel,
+    PreparedQuery, SamplerConfig, TrainStepScratch, VirtualTuple,
+};
 use duet_data::datasets::census_like;
+use duet_nn::{grouped_cross_entropy, seeded_rng, Layer};
+use duet_query::{exact_cardinality, WorkloadSpec};
 use std::hint::black_box;
 
 fn bench_training(c: &mut Criterion) {
@@ -13,11 +22,15 @@ fn bench_training(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("one_epoch_training");
     group.sample_size(10);
-    group.bench_function("duet_data_driven", |b| {
-        let cfg = DuetConfig::small().with_epochs(1).with_batch_size(256);
-        b.iter(|| black_box(train_model(&table, &cfg, None, 3, |_| {})))
-    });
-    group.bench_function("naru_mle", |b| {
+    group.bench_function_meta(
+        "duet_data_driven",
+        BenchMeta { batch_size: Some(256), mode: None },
+        |b| {
+            let cfg = DuetConfig::small().with_epochs(1).with_batch_size(256);
+            b.iter(|| black_box(train_model(&table, &cfg, None, 3, |_| {})))
+        },
+    );
+    group.bench_function_meta("naru_mle", BenchMeta { batch_size: Some(256), mode: None }, |b| {
         let mut cfg = NaruConfig::small().with_epochs(1);
         cfg.batch_size = 256;
         b.iter(|| black_box(NaruEstimator::train(&table, &cfg, 3)))
@@ -25,9 +38,82 @@ fn bench_training(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_train_step(c: &mut Criterion) {
+    let table = census_like(2_048, 7);
+    let cfg = DuetConfig::small();
+    let mut model = DuetModel::new(&table, &cfg, 11);
+    let mut rng = seeded_rng(17);
+    let sampler = SamplerConfig {
+        expand_mu: cfg.expand_mu,
+        wildcard_prob: cfg.wildcard_prob,
+        max_predicates_per_column: cfg.max_predicates_per_column,
+    };
+    // One fixed batch matching the trainer's shape: 128 anchors x mu=2.
+    let anchors: Vec<usize> = (0..128).collect();
+    let batch: Vec<VirtualTuple> = sample_virtual_batch(&table, &anchors, &sampler, &mut rng);
+    let queries = WorkloadSpec::random(&table, 32, 5).generate(&table);
+    let prepared: Vec<PreparedQuery> = queries
+        .iter()
+        .map(|q| PreparedQuery::prepare(&table, q, exact_cardinality(&table, q)))
+        .collect();
+    let num_rows = table.num_rows() as f64;
+    let tuples = batch.len();
+
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(40);
+
+    // The pre-PR-5 shape of the data forward: per-batch row/label
+    // re-gathering, the allocating `Layer::forward` (fresh effective
+    // weights and activations per stage), and the allocating grouped
+    // cross-entropy.
+    let mut ws = duet_core::DuetWorkspace::new();
+    group.bench_function_meta(
+        "data_forward_alloc",
+        BenchMeta { batch_size: Some(tuples), mode: Some("alloc") },
+        |b| {
+            b.iter(|| {
+                model.zero_grad();
+                let rows: Vec<&Vec<Vec<duet_core::IdPredicate>>> =
+                    batch.iter().map(|vt| &vt.predicates).collect();
+                model.fill_input(&rows, &mut ws);
+                let labels: Vec<Vec<usize>> = batch.iter().map(|vt| vt.labels.clone()).collect();
+                let blocks = model.output_sizes();
+                let logits = model.made_mut().forward(ws.input());
+                let (loss, grad) = grouped_cross_entropy(&logits, &blocks, &labels);
+                black_box((loss, grad.rows()))
+            })
+        },
+    );
+
+    let mut scratch = TrainStepScratch::new();
+    group.bench_function_meta(
+        "data_forward_scratch",
+        BenchMeta { batch_size: Some(tuples), mode: Some("scratch") },
+        |b| {
+            b.iter(|| {
+                model.zero_grad();
+                let loss = data_forward(&mut model, &batch, &mut scratch);
+                black_box((loss, scratch.grad_logits().rows()))
+            })
+        },
+    );
+
+    group.bench_function_meta(
+        "query_forward_scratch",
+        BenchMeta { batch_size: Some(prepared.len()), mode: Some("scratch") },
+        |b| {
+            b.iter(|| {
+                model.zero_grad();
+                black_box(query_forward(&mut model, &prepared, num_rows, 0.1, &mut scratch))
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_training
+    targets = bench_training, bench_train_step
 }
 criterion_main!(benches);

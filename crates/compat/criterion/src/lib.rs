@@ -8,9 +8,23 @@
 //! printed to stdout. That is enough for the relative comparisons the
 //! workspace benches make (e.g. batched serving vs. a one-query-at-a-time
 //! loop) while keeping `cargo bench` runnable offline.
+//!
+//! # Machine-readable results
+//!
+//! When the `DUET_BENCH_JSON` environment variable names a file, every bench
+//! binary **merges** its results into that JSON document on exit (via the
+//! [`criterion_main!`]-generated `main`): one entry per benchmark —
+//! `name`, `ns_per_op`, `iters`, and the optional `batch_size` / `mode`
+//! annotations a bench attaches through
+//! [`BenchmarkGroup::bench_function_meta`]. Entries are keyed by name (a
+//! re-run replaces, other binaries' entries survive) and sorted, so the file
+//! diffs cleanly across runs. CI points this at `BENCH_PR5.json` at the repo
+//! root and uploads it as an artifact — the perf trajectory in
+//! `docs/PERFORMANCE.md` is backed by the same file.
 
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -21,6 +35,114 @@ const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 
 /// Warm-up budget per benchmark.
 const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Optional per-benchmark annotations carried into the JSON results (see
+/// the [module docs](self)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchMeta {
+    /// Queries/examples fused per measured iteration, when meaningful.
+    pub batch_size: Option<usize>,
+    /// Variant label (e.g. the softmax mode) distinguishing otherwise
+    /// identical benchmarks.
+    pub mode: Option<&'static str>,
+}
+
+/// One finished benchmark, as recorded for the JSON dump.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    ns_per_op: f64,
+    iters: u64,
+    meta: BenchMeta,
+}
+
+/// Results recorded by this process, flushed by [`flush_bench_json`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record_result(name: &str, ns_per_op: f64, iters: u64, meta: BenchMeta) {
+    RESULTS.lock().expect("bench results poisoned").push(BenchRecord {
+        name: name.to_string(),
+        ns_per_op,
+        iters,
+        meta,
+    });
+}
+
+fn json_entry(r: &BenchRecord) -> String {
+    let batch = r.meta.batch_size.map_or("null".to_string(), |b| b.to_string());
+    let mode = r.meta.mode.map_or("null".to_string(), |m| format!("{m:?}"));
+    format!(
+        "    {{\"name\": {:?}, \"ns_per_op\": {:.1}, \"iters\": {}, \"batch_size\": {}, \"mode\": {}}}",
+        r.name, r.ns_per_op, r.iters, batch, mode
+    )
+}
+
+/// Extract the `name` of a JSON entry line written by [`json_entry`].
+fn entry_name(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix("{\"name\": \"")?;
+    rest.split('"').next()
+}
+
+/// Merge this process's recorded results into the JSON file named by the
+/// `DUET_BENCH_JSON` environment variable (no-op when unset or no results).
+///
+/// The merge is line-oriented over the format this module itself writes:
+/// existing entries whose names this run did not produce are preserved, so
+/// several bench binaries accumulate into one document.
+pub fn flush_bench_json() {
+    let Ok(path) = std::env::var("DUET_BENCH_JSON") else { return };
+    // `cargo bench` runs binaries with the *package* directory as cwd;
+    // anchor relative paths at the workspace root (the directory holding
+    // `Cargo.lock`) so every bench binary merges into the same file.
+    let mut path = std::path::PathBuf::from(path);
+    if path.is_relative() {
+        if let Some(root) = workspace_root() {
+            path = root.join(path);
+        }
+    }
+    let results = RESULTS.lock().expect("bench results poisoned");
+    if results.is_empty() {
+        return;
+    }
+    let mut entries: Vec<(String, String)> =
+        results.iter().map(|r| (r.name.clone(), json_entry(r))).collect();
+    // Preserve other binaries' entries (keyed by name).
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            if let Some(name) = entry_name(line) {
+                if !entries.iter().any(|(n, _)| n == name) {
+                    entries.push((
+                        name.to_string(),
+                        line.trim_end().trim_end_matches(',').to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let body: Vec<String> = entries.into_iter().map(|(_, line)| line).collect();
+    let doc = format!(
+        "{{\n  \"schema\": \"duet-bench-v1\",\n  \"unit\": \"ns/op\",\n  \"benches\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// The workspace root: the closest ancestor of the running bench's package
+/// directory that holds a `Cargo.lock`.
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::path::PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").ok()?);
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
 
 /// The top-level benchmark harness.
 #[derive(Debug, Clone)]
@@ -56,7 +178,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, self.sample_size, f);
+        run_bench(name, self.sample_size, BenchMeta::default(), f);
         self
     }
 }
@@ -79,8 +201,17 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        self.bench_function_meta(name, BenchMeta::default(), f)
+    }
+
+    /// [`BenchmarkGroup::bench_function`] with [`BenchMeta`] annotations
+    /// (batch size, mode) carried into the JSON results.
+    pub fn bench_function_meta<F>(&mut self, name: &str, meta: BenchMeta, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
         let full = format!("{}/{name}", self.prefix);
-        run_bench(&full, self.criterion.sample_size, f);
+        run_bench(&full, self.criterion.sample_size, meta, f);
         self
     }
 
@@ -133,7 +264,7 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, meta: BenchMeta, mut f: F) {
     // 100 samples (criterion's default) maps to the full budget.
     let mut b = Bencher {
         budget: MEASURE_BUDGET.mul_f64(sample_size as f64 / 100.0).max(Duration::from_millis(10)),
@@ -146,6 +277,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
         "  {name:<42} {:>12.1} ns/iter {:>14.0} iter/s ({} iters)",
         ns, throughput, b.iterations
     );
+    record_result(name, ns, b.iterations, meta);
 }
 
 /// Bundle benchmark functions into a named group runner, mirroring
@@ -168,12 +300,14 @@ macro_rules! criterion_group {
 }
 
 /// Generate a `main` that runs the given groups, mirroring criterion's macro
-/// of the same name.
+/// of the same name. On exit the results are merged into the JSON file named
+/// by `DUET_BENCH_JSON`, if set (see the [module docs](self)).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_bench_json();
         }
     };
 }

@@ -46,12 +46,14 @@ pub mod trainer;
 pub mod virtual_table;
 
 pub use config::{DuetConfig, MpsnKind};
+pub use duet_nn::SoftmaxMode;
 pub use encoding::{Encoder, IdPredicate};
 pub use estimator::{DuetEstimator, EstimateBreakdown};
 pub use model::{query_to_id_predicates, DuetModel, DuetWorkspace, WorkspacePool};
 pub use mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn, MpsnScratch};
 pub use persist::{load_weights, save_weights, CheckpointError};
 pub use trainer::{
-    measure_training_throughput, train_model, train_model_with_eval, EpochStats, TrainingWorkload,
+    data_forward, measure_training_throughput, query_forward, train_model, train_model_with_eval,
+    EpochStats, PreparedQuery, TrainStepScratch, TrainingWorkload,
 };
 pub use virtual_table::{sample_predicate, sample_virtual_batch, SamplerConfig, VirtualTuple};

@@ -7,7 +7,8 @@ use crate::encoding::{Encoder, IdPredicate};
 use crate::mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn, MpsnScratch};
 use duet_data::Table;
 use duet_nn::{
-    seeded_rng, softmax_into, ForwardWorkspace, InferLayer, Layer, Made, MadeConfig, Matrix, Param,
+    seeded_rng, softmax_restricted_mass, ForwardWorkspace, InferLayer, Layer, Made, MadeConfig,
+    Matrix, Param, SoftmaxMode,
 };
 use duet_query::{PredOp, Query};
 
@@ -35,6 +36,11 @@ pub struct DuetWorkspace {
     pub(crate) stacked: Matrix,
     /// MPSN embedding scratch.
     pub(crate) mpsn: MpsnScratch,
+    /// Which exponential the probability-masking softmax uses for batches
+    /// run through this workspace. Defaults to [`SoftmaxMode::Fast`] (the
+    /// inference default, relative error ≤ 1e-6 — see `duet_nn::math`); set
+    /// to [`SoftmaxMode::Exact`] to reproduce the libm softmax bit-for-bit.
+    pub softmax_mode: SoftmaxMode,
 }
 
 impl DuetWorkspace {
@@ -248,6 +254,11 @@ impl DuetModel {
         self.encoder.output_sizes()
     }
 
+    /// The per-column output sizes as a borrowed slice (no allocation).
+    pub fn output_sizes_ref(&self) -> &[usize] {
+        self.encoder.output_sizes_ref()
+    }
+
     /// Algorithm 3, steps 3-4: given one row of logits and the per-column
     /// valid-id intervals, zero out the probabilities that violate the
     /// predicates and multiply the per-column sums into a selectivity.
@@ -261,12 +272,33 @@ impl DuetModel {
 
     /// [`DuetModel::selectivity_from_logits`] with a caller-provided softmax
     /// staging buffer (grows to the largest per-column domain, then is
-    /// reused allocation-free).
+    /// reused allocation-free). Uses the inference-default
+    /// [`SoftmaxMode::Fast`].
     pub fn selectivity_from_logits_with(
         &self,
         logits_row: &[f32],
         intervals: &[(u32, u32)],
         probs: &mut Vec<f32>,
+    ) -> f64 {
+        self.selectivity_from_logits_mode(logits_row, intervals, probs, SoftmaxMode::Fast)
+    }
+
+    /// [`DuetModel::selectivity_from_logits_with`] with an explicit
+    /// [`SoftmaxMode`].
+    ///
+    /// Per constrained column this computes the restricted probability mass
+    /// through `duet_nn::softmax_restricted_mass` — the exponentials are
+    /// staged unnormalized in `probs` and the mass is taken as an `f64`
+    /// ratio, skipping the per-element normalization pass the old kernel
+    /// paid. Estimates are identical across batch sizes and serving paths
+    /// for a fixed mode, which is the bit-identity the serving layer relies
+    /// on.
+    pub fn selectivity_from_logits_mode(
+        &self,
+        logits_row: &[f32],
+        intervals: &[(u32, u32)],
+        probs: &mut Vec<f32>,
+        mode: SoftmaxMode,
     ) -> f64 {
         let sizes = self.encoder.output_sizes_ref();
         debug_assert_eq!(intervals.len(), sizes.len());
@@ -281,10 +313,13 @@ impl DuetModel {
             if lo >= hi {
                 return 0.0; // contradictory predicates
             }
-            probs.clear();
-            probs.resize(size, 0.0);
-            softmax_into(&logits_row[offset..offset + size], probs);
-            let mass: f64 = probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
+            let mass = softmax_restricted_mass(
+                &logits_row[offset..offset + size],
+                probs,
+                lo as usize,
+                hi as usize,
+                mode,
+            );
             selectivity *= mass;
             offset += size;
         }
@@ -350,10 +385,11 @@ impl DuetModel {
         self.fill_input(rows, ws);
         let logits = self.made.infer_into(&ws.input, &mut ws.nn);
         for (r, row_intervals) in intervals.iter().enumerate() {
-            out.push(self.selectivity_from_logits_with(
+            out.push(self.selectivity_from_logits_mode(
                 logits.row(r),
                 row_intervals.as_ref(),
                 &mut ws.probs,
+                ws.softmax_mode,
             ));
         }
     }

@@ -1,16 +1,28 @@
 //! Training loops: data-driven training on the virtual table (Algorithm 1 +
 //! cross-entropy) and hybrid training with the differentiable Q-Error loss
 //! (Algorithm 2, `L = L_data + λ·log2(QError + 1)`).
+//!
+//! The per-step forward work — input encoding, the backbone forward, the
+//! per-column softmaxes, and the gradient staging of both losses — runs
+//! through a [`TrainStepScratch`], so a steady-state training step performs
+//! **zero heap allocation** across forward + softmax + gradient staging
+//! (asserted by the training phase of `tests/zero_alloc.rs`). The backward
+//! pass and the optimizer keep their allocating paths: they are
+//! matmul-bound, not allocator-bound.
 
 use crate::config::DuetConfig;
 use crate::encoding::IdPredicate;
 use crate::model::{query_to_id_predicates, DuetModel, DuetWorkspace};
 use crate::virtual_table::{sample_virtual_batch, SamplerConfig, VirtualTuple};
 use duet_data::Table;
-use duet_nn::{grouped_cross_entropy, seeded_rng, softmax, Adam, GradClip, Layer, Matrix, Param};
+use duet_nn::{
+    grouped_cross_entropy_with, seeded_rng, softmax_block_into, Adam, GradClip, Layer, Matrix,
+    Param, SoftmaxMode, TrainWorkspace,
+};
 use duet_query::Query;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::borrow::Borrow;
 use std::time::Instant;
 
 /// Per-epoch training statistics, consumed by the convergence experiments
@@ -43,11 +55,83 @@ pub struct TrainingWorkload<'a> {
     pub cardinalities: &'a [u64],
 }
 
-/// Pre-processed query used by the supervised loss.
-struct PreparedQuery {
-    preds: Vec<Vec<IdPredicate>>,
-    intervals: Vec<(u32, u32)>,
-    actual: f64,
+/// Pre-processed query used by the supervised (Q-Error) loss: id-space
+/// predicates, per-column valid-id intervals, and the labelled cardinality.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pub(crate) preds: Vec<Vec<IdPredicate>>,
+    pub(crate) intervals: Vec<(u32, u32)>,
+    pub(crate) actual: f64,
+}
+
+impl PreparedQuery {
+    /// Translate `query` against `schema` once, so every training step that
+    /// revisits it pays no re-encoding.
+    pub fn prepare(schema: &Table, query: &Query, cardinality: u64) -> Self {
+        Self {
+            preds: query_to_id_predicates(schema, query),
+            intervals: query.column_intervals(schema),
+            actual: cardinality as f64,
+        }
+    }
+}
+
+// Prepared queries feed `DuetModel::fill_input` directly (by value or
+// reference), so the training loop never re-gathers per-batch row vectors.
+impl AsRef<[Vec<IdPredicate>]> for PreparedQuery {
+    fn as_ref(&self) -> &[Vec<IdPredicate>] {
+        &self.preds
+    }
+}
+
+/// One constrained column staged by the query pass: its index, its logit
+/// offset, where its probabilities start in the flat staging buffer, and its
+/// restricted mass.
+#[derive(Debug, Clone, Copy)]
+struct ConstrainedCol {
+    col: usize,
+    offset: usize,
+    start: usize,
+    mass: f64,
+}
+
+/// Every reusable buffer one training step's forward work needs, owned by
+/// the trainer (or a bench/test) across steps.
+///
+/// Layered on the inference workspaces: input encoding stages through an
+/// embedded [`DuetWorkspace`], the backbone's training forward checkpoints
+/// its activations into a [`duet_nn::TrainWorkspace`] (whose masked-weight
+/// memo re-materializes in place after each optimizer step), and both losses
+/// stage `dL/dlogits` in one reused gradient matrix. The query pass
+/// additionally stages its per-column probabilities in a **flat buffer plus
+/// an offset table** — replacing the per-row `Vec<(col, offset, Vec<f32>,
+/// mass)>` the old implementation heap-built for every example.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStepScratch {
+    /// Input-encoding workspace (shared with the inference path's layout).
+    ws: DuetWorkspace,
+    /// Train-side activation checkpoints + masked-weight memo.
+    nn: TrainWorkspace,
+    /// `dL/dlogits` staging, shared by the data and query passes.
+    grad_logits: Matrix,
+    /// Flat per-column probability staging for the query pass.
+    probs: Vec<f32>,
+    /// Offset table over `probs`: one entry per constrained column.
+    cols: Vec<ConstrainedCol>,
+}
+
+impl TrainStepScratch {
+    /// An empty scratch; buffers grow over the first step and are reused
+    /// allocation-free afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `dL/dlogits` staged by the most recent forward pass (what the
+    /// backward pass consumes).
+    pub fn grad_logits(&self) -> &Matrix {
+        &self.grad_logits
+    }
 }
 
 /// Adapter exposing a [`DuetModel`]'s parameters to the optimizer and the
@@ -114,11 +198,7 @@ pub fn train_model_with_eval(
             w.queries
                 .iter()
                 .zip(w.cardinalities)
-                .map(|(q, &card)| PreparedQuery {
-                    preds: query_to_id_predicates(table, q),
-                    intervals: q.column_intervals(table),
-                    actual: card as f64,
-                })
+                .map(|(q, &card)| PreparedQuery::prepare(table, q, card))
                 .collect()
         }
         _ => Vec::new(),
@@ -128,10 +208,12 @@ pub fn train_model_with_eval(
 
     let mut row_order: Vec<usize> = (0..table.num_rows()).collect();
     let mut query_cursor = 0usize;
-    // One encoding workspace for the whole run: the trainer stays on the
-    // caching `Layer::forward` path (backward needs the cached activations),
-    // but input encoding reuses these buffers across every batch.
-    let mut ws = DuetWorkspace::new();
+    // One step scratch for the whole run: input encoding, the training
+    // forward's activation checkpoints, and both losses' gradient staging
+    // reuse these buffers across every batch of every epoch.
+    let mut scratch = TrainStepScratch::new();
+    // Reused query mini-batch container (borrows into `prepared`).
+    let mut query_batch: Vec<&PreparedQuery> = Vec::new();
 
     for epoch in 0..config.epochs {
         let started = Instant::now();
@@ -147,7 +229,7 @@ pub fn train_model_with_eval(
 
             // --- Unsupervised pass over sampled virtual tuples ------------
             let virtual_batch = sample_virtual_batch(table, chunk, &sampler, &mut rng);
-            let (loss_data, grad_input) = data_pass(&mut model, &virtual_batch, &mut ws);
+            let (loss_data, grad_input) = data_pass(&mut model, &virtual_batch, &mut scratch);
             data_loss_sum += loss_data as f64;
             if let Some(grad_input) = grad_input {
                 backprop_mpsn(&mut model, &virtual_batch, &grad_input);
@@ -155,16 +237,19 @@ pub fn train_model_with_eval(
 
             // --- Supervised pass over a query mini-batch ------------------
             if hybrid {
-                let batch = next_query_batch(&prepared, &mut query_cursor, config.query_batch_size);
+                next_query_batch(
+                    &prepared,
+                    &mut query_cursor,
+                    config.query_batch_size,
+                    &mut query_batch,
+                );
                 let (loss_q, mean_q, grad_input_q) =
-                    query_pass(&mut model, &batch, num_rows_f, config.lambda, &mut ws);
+                    query_pass(&mut model, &query_batch, num_rows_f, config.lambda, &mut scratch);
                 query_loss_sum += loss_q;
                 q_error_sum += mean_q;
                 query_batches += 1;
                 if let Some(grad_input_q) = grad_input_q {
-                    let rows: Vec<&Vec<Vec<IdPredicate>>> =
-                        batch.iter().map(|p| &p.preds).collect();
-                    backprop_mpsn_impl(&mut model, &rows, &grad_input_q);
+                    backprop_mpsn(&mut model, &query_batch, &grad_input_q);
                 }
             }
 
@@ -189,21 +274,35 @@ pub fn train_model_with_eval(
     model
 }
 
-/// Forward/backward for one virtual-tuple batch. Returns the loss and, when an
-/// MPSN is present, the gradient w.r.t. the network input (needed to continue
-/// back-propagation into the per-column MPSNs).
+/// The data-driven training forward for one virtual-tuple batch: encode the
+/// batch into the scratch input, run the backbone's checkpointing forward,
+/// and stage `dL/dlogits` of the grouped cross-entropy in the scratch.
+///
+/// Returns the batch loss; the caller continues with
+/// `model.made_mut().backward(scratch.grad_logits())`. Zero heap allocation
+/// once `scratch` is warm — this is the path measured by the training phase
+/// of `tests/zero_alloc.rs`.
+pub fn data_forward(
+    model: &mut DuetModel,
+    batch: &[VirtualTuple],
+    scratch: &mut TrainStepScratch,
+) -> f32 {
+    let TrainStepScratch { ws, nn, grad_logits, .. } = scratch;
+    model.fill_input(batch, ws);
+    let logits = model.made_mut().forward_train(ws.input(), nn);
+    grouped_cross_entropy_with(logits, model.output_sizes_ref(), batch, grad_logits)
+}
+
+/// Forward/backward for one virtual-tuple batch. Returns the loss and, when
+/// an MPSN is present, the gradient w.r.t. the network input (needed to
+/// continue back-propagation into the per-column MPSNs).
 fn data_pass(
     model: &mut DuetModel,
     batch: &[VirtualTuple],
-    ws: &mut DuetWorkspace,
+    scratch: &mut TrainStepScratch,
 ) -> (f32, Option<Matrix>) {
-    let rows: Vec<&Vec<Vec<IdPredicate>>> = batch.iter().map(|vt| &vt.predicates).collect();
-    model.fill_input(&rows, ws);
-    let labels: Vec<Vec<usize>> = batch.iter().map(|vt| vt.labels.clone()).collect();
-    let blocks = model.output_sizes();
-    let logits = model.made_mut().forward(ws.input());
-    let (loss, grad_logits) = grouped_cross_entropy(&logits, &blocks, &labels);
-    let grad_input = model.made_mut().backward(&grad_logits);
+    let loss = data_forward(model, batch, scratch);
+    let grad_input = model.made_mut().backward(&scratch.grad_logits);
     if model.mpsns().is_empty() {
         (loss, None)
     } else {
@@ -211,14 +310,13 @@ fn data_pass(
     }
 }
 
-/// Back-propagate input gradients into the per-column MPSNs for a virtual
-/// batch.
-fn backprop_mpsn(model: &mut DuetModel, batch: &[VirtualTuple], grad_input: &Matrix) {
-    let rows: Vec<&Vec<Vec<IdPredicate>>> = batch.iter().map(|vt| &vt.predicates).collect();
-    backprop_mpsn_impl(model, &rows, grad_input);
-}
-
-fn backprop_mpsn_impl(model: &mut DuetModel, rows: &[&Vec<Vec<IdPredicate>>], grad_input: &Matrix) {
+/// Back-propagate input gradients into the per-column MPSNs for a batch of
+/// predicate rows (virtual tuples or prepared queries).
+fn backprop_mpsn<R: AsRef<[Vec<IdPredicate>]>>(
+    model: &mut DuetModel,
+    rows: &[R],
+    grad_input: &Matrix,
+) {
     if model.mpsns().is_empty() {
         return;
     }
@@ -228,7 +326,7 @@ fn backprop_mpsn_impl(model: &mut DuetModel, rows: &[&Vec<Vec<IdPredicate>>], gr
         let offset = encoder.block_offset(col);
         let width = encoder.block_width(col);
         for (r, row_preds) in rows.iter().enumerate() {
-            let preds = &row_preds[col];
+            let preds = &row_preds.as_ref()[col];
             if preds.is_empty() {
                 continue;
             }
@@ -240,55 +338,65 @@ fn backprop_mpsn_impl(model: &mut DuetModel, rows: &[&Vec<Vec<IdPredicate>>], gr
     }
 }
 
-/// Pull the next `size` prepared queries, wrapping around the workload.
+/// Refill `out` with the next `size` prepared queries, wrapping around the
+/// workload (the container is reused across steps).
 fn next_query_batch<'a>(
     prepared: &'a [PreparedQuery],
     cursor: &mut usize,
     size: usize,
-) -> Vec<&'a PreparedQuery> {
-    let mut out = Vec::with_capacity(size);
+    out: &mut Vec<&'a PreparedQuery>,
+) {
+    out.clear();
     for _ in 0..size.min(prepared.len()) {
         out.push(&prepared[*cursor % prepared.len()]);
         *cursor += 1;
     }
-    out
 }
 
-/// Forward/backward for a supervised query batch.
+/// The supervised training forward for a query mini-batch (Algorithm 2's
+/// Q-Error loss): encode, forward, per-column **exact** softmax over each
+/// constrained column, and stage the λ-scaled `dL/dlogits` in the scratch.
 ///
-/// Returns `(mean log2(QError+1), mean QError, grad wrt input)` where the
-/// gradient already includes the λ scaling so it can simply be accumulated
-/// on top of the data-pass gradients (the caller continues it into the
-/// MPSNs using the same prepared batch).
-type QueryPassOutput = (f64, f64, Option<Matrix>);
-
-fn query_pass(
+/// Probabilities are staged in the scratch's flat buffer + offset table —
+/// no per-row heap containers — so the pass is allocation-free once warm.
+/// Returns `(mean log2(QError + 1), mean QError)`; the caller continues with
+/// `model.made_mut().backward(scratch.grad_logits())`, whose result already
+/// includes the λ scaling.
+pub fn query_forward<Q>(
     model: &mut DuetModel,
-    batch: &[&PreparedQuery],
+    batch: &[Q],
     num_rows: f64,
     lambda: f64,
-    ws: &mut DuetWorkspace,
-) -> QueryPassOutput {
+    scratch: &mut TrainStepScratch,
+) -> (f64, f64)
+where
+    Q: Borrow<PreparedQuery> + AsRef<[Vec<IdPredicate>]>,
+{
     if batch.is_empty() {
-        return (0.0, 1.0, None);
+        // Match the neutral element the hybrid loop folds with (loss 0,
+        // q-error 1); the staged gradient is left untouched, so callers
+        // must not run backward for an empty batch.
+        return (0.0, 1.0);
     }
-    let rows: Vec<&Vec<Vec<IdPredicate>>> = batch.iter().map(|p| &p.preds).collect();
-    model.fill_input(&rows, ws);
-    let logits = model.made_mut().forward(ws.input());
-    let sizes = model.output_sizes();
+    let TrainStepScratch { ws, nn, grad_logits, probs, cols } = scratch;
+    model.fill_input(batch, ws);
+    let logits = model.made_mut().forward_train(ws.input(), nn);
+    let sizes = model.output_sizes_ref();
 
-    let mut grad_logits = Matrix::zeros(logits.rows(), logits.cols());
+    grad_logits.reset(logits.rows(), logits.cols());
     let mut loss_sum = 0.0f64;
     let mut q_sum = 0.0f64;
     let scale = lambda / batch.len() as f64;
     let ln2 = std::f64::consts::LN_2;
 
-    for (r, pq) in batch.iter().enumerate() {
+    for (r, q) in batch.iter().enumerate() {
+        let pq = q.borrow();
         let row = logits.row(r);
         // Per-column softmax, restricted mass and the product selectivity.
-        // Only constrained columns are kept: (column, block offset, probs, mass).
+        // Only constrained columns are staged (flat probs + offset table).
+        probs.clear();
+        cols.clear();
         let mut offset = 0usize;
-        let mut col_probs: Vec<(usize, usize, Vec<f32>, f64)> = Vec::new();
         let mut selectivity = 1.0f64;
         let mut contradiction = false;
         for (col, &size) in sizes.iter().enumerate() {
@@ -296,11 +404,20 @@ fn query_pass(
             if lo >= hi {
                 contradiction = true;
             } else if !(lo == 0 && hi as usize == size) {
-                let probs = softmax(&row[offset..offset + size]);
-                let mass: f64 = probs[lo as usize..hi as usize].iter().map(|&p| p as f64).sum();
+                let start = probs.len();
+                probs.resize(start + size, 0.0);
+                // Exact softmax: the gradient below assumes the same exp
+                // the forward used.
+                softmax_block_into(
+                    &row[offset..offset + size],
+                    &mut probs[start..start + size],
+                    SoftmaxMode::Exact,
+                );
+                let mass: f64 =
+                    probs[start + lo as usize..start + hi as usize].iter().map(|&p| p as f64).sum();
                 let mass = mass.max(1e-9);
                 selectivity *= mass;
-                col_probs.push((col, offset, probs, mass));
+                cols.push(ConstrainedCol { col, offset, start, mass });
             }
             offset += size;
         }
@@ -328,21 +445,42 @@ fn query_pass(
         let dest_dsel = num_rows;
         let dl_dsel = dl_dq * dq_dest * dest_dsel * scale;
 
-        for (col, offset, probs, mass) in &col_probs {
-            let dl_dmass = dl_dsel * (selectivity / mass);
+        for cc in cols.iter() {
+            let dl_dmass = dl_dsel * (selectivity / cc.mass);
             // Softmax backward: dL/dlogit_k = p_k * (in_range_k - mass) * dl_dmass
-            let (lo, hi) = pq.intervals[*col];
+            let (lo, hi) = pq.intervals[cc.col];
+            let size = sizes[cc.col];
             let grow = grad_logits.row_mut(r);
-            for (k, &p) in probs.iter().enumerate() {
+            for (k, &p) in probs[cc.start..cc.start + size].iter().enumerate() {
                 let in_range = if (k as u32) >= lo && (k as u32) < hi { 1.0 } else { 0.0 };
-                grow[offset + k] += (p as f64 * (in_range - *mass) * dl_dmass) as f32;
+                grow[cc.offset + k] += (p as f64 * (in_range - cc.mass) * dl_dmass) as f32;
             }
         }
     }
 
-    let grad_input = model.made_mut().backward(&grad_logits);
-    let mean_loss = loss_sum / batch.len() as f64;
-    let mean_q = q_sum / batch.len() as f64;
+    (loss_sum / batch.len() as f64, q_sum / batch.len() as f64)
+}
+
+/// Forward/backward for a supervised query batch.
+///
+/// Returns `(mean log2(QError+1), mean QError, grad wrt input)` where the
+/// gradient already includes the λ scaling so it can simply be accumulated
+/// on top of the data-pass gradients (the caller continues it into the
+/// MPSNs using the same prepared batch).
+type QueryPassOutput = (f64, f64, Option<Matrix>);
+
+fn query_pass(
+    model: &mut DuetModel,
+    batch: &[&PreparedQuery],
+    num_rows: f64,
+    lambda: f64,
+    scratch: &mut TrainStepScratch,
+) -> QueryPassOutput {
+    if batch.is_empty() {
+        return (0.0, 1.0, None);
+    }
+    let (mean_loss, mean_q) = query_forward(model, batch, num_rows, lambda, scratch);
+    let grad_input = model.made_mut().backward(&scratch.grad_logits);
     if model.mpsns().is_empty() {
         (mean_loss, mean_q, None)
     } else {
@@ -453,5 +591,63 @@ mod tests {
         let cfg = DuetConfig::small().with_epochs(1);
         let tput = measure_training_throughput(&table, &cfg, None, 2, 3);
         assert!(tput > 0.0);
+    }
+
+    #[test]
+    fn scratch_forward_matches_layer_forward() {
+        // The checkpointing training forward must produce the same loss and
+        // logits gradient as the plain `Layer::forward` + allocating
+        // grouped cross-entropy it replaced.
+        let table = census_like(300, 25);
+        let cfg = DuetConfig::small();
+        let mut model = DuetModel::new(&table, &cfg, 17);
+        let mut rng = seeded_rng(99);
+        let sampler =
+            SamplerConfig { expand_mu: 2, wildcard_prob: 0.3, max_predicates_per_column: 1 };
+        let rows: Vec<usize> = (0..24).collect();
+        let batch = sample_virtual_batch(&table, &rows, &sampler, &mut rng);
+
+        // Reference: the old-style allocating path.
+        let mut ws = DuetWorkspace::new();
+        let reference_rows: Vec<&Vec<Vec<IdPredicate>>> =
+            batch.iter().map(|vt| &vt.predicates).collect();
+        model.fill_input(&reference_rows, &mut ws);
+        let labels: Vec<Vec<usize>> = batch.iter().map(|vt| vt.labels.clone()).collect();
+        let blocks = model.output_sizes();
+        let logits = model.made_mut().forward(ws.input());
+        let (want_loss, want_grad) = duet_nn::grouped_cross_entropy(&logits, &blocks, &labels);
+
+        let mut scratch = TrainStepScratch::new();
+        for round in 0..2 {
+            let loss = data_forward(&mut model, &batch, &mut scratch);
+            assert_eq!(loss, want_loss, "round {round}");
+            assert_eq!(scratch.grad_logits(), &want_grad, "round {round}");
+        }
+    }
+
+    #[test]
+    fn query_forward_is_stable_across_scratch_reuse() {
+        let table = census_like(400, 26);
+        let cfg = DuetConfig::small();
+        let mut model = DuetModel::new(&table, &cfg, 3);
+        let queries = WorkloadSpec::in_workload(&table, 16, 7).generate(&table);
+        let prepared: Vec<PreparedQuery> = queries
+            .iter()
+            .map(|q| PreparedQuery::prepare(&table, q, exact_cardinality(&table, q)))
+            .collect();
+        let mut scratch = TrainStepScratch::new();
+        let first =
+            query_forward(&mut model, &prepared, table.num_rows() as f64, 0.1, &mut scratch);
+        let first_grad = scratch.grad_logits().clone();
+        let second =
+            query_forward(&mut model, &prepared, table.num_rows() as f64, 0.1, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(&first_grad, scratch.grad_logits());
+        assert!(first.0.is_finite() && first.1 >= 1.0);
+
+        // An empty batch is the fold-neutral element, never NaN.
+        let empty: Vec<PreparedQuery> = Vec::new();
+        let neutral = query_forward(&mut model, &empty, table.num_rows() as f64, 0.1, &mut scratch);
+        assert_eq!(neutral, (0.0, 1.0));
     }
 }

@@ -28,6 +28,21 @@ pub struct VirtualTuple {
     pub labels: Vec<usize>,
 }
 
+// A `&[VirtualTuple]` batch feeds the generic input-encoding and
+// cross-entropy paths directly — no per-batch re-gathering of predicate rows
+// or label vectors into parallel `Vec`s.
+impl AsRef<[Vec<IdPredicate>]> for VirtualTuple {
+    fn as_ref(&self) -> &[Vec<IdPredicate>] {
+        &self.predicates
+    }
+}
+
+impl AsRef<[usize]> for VirtualTuple {
+    fn as_ref(&self) -> &[usize] {
+        &self.labels
+    }
+}
+
 /// Configuration of the sampler (a subset of [`crate::DuetConfig`]).
 #[derive(Debug, Clone, Copy)]
 pub struct SamplerConfig {

@@ -8,10 +8,10 @@
 //! `O(m·k·n)` loads *and* stores. The blocked kernels here restore the
 //! classic GEMM shape:
 //!
-//! * `B` is **packed** into column panels of [`NR`] consecutive columns,
+//! * `B` is **packed** into column panels of `NR` consecutive columns,
 //!   zero-padded, so the innermost loop reads one contiguous, cache- and
 //!   vector-friendly `NR`-wide strip per step of `k`;
-//! * rows are processed [`MR`] at a time with an `MR x NR` **register
+//! * rows are processed `MR` at a time with an `MR x NR` **register
 //!   accumulator**, so each packed strip is reused `MR` times and the
 //!   output is written exactly once per element;
 //! * for masked layers the pack is **cached and mask-aware**
@@ -23,6 +23,27 @@
 //! * above the parallelism threshold the row blocks are fanned out over the
 //!   persistent [`crate::pool::ComputePool`] (packing happens once, on the
 //!   submitting thread, and is shared read-only by all workers).
+//!
+//! # Runtime tile selection
+//!
+//! The micro-kernel is generic over its `MR x NR` tile, and the tile is
+//! picked **at runtime** from the CPU ([`Tile`], selected once via
+//! `is_x86_feature_detected!` when the compute pool initializes):
+//!
+//! * [`Tile::Sse4x8`] — the baseline `4 x 8` tile sized for the 16-register
+//!   SSE2 file (8 accumulator registers plus the strip and broadcast);
+//! * [`Tile::Avx6x16`] — a `6 x 16` tile for AVX2 machines: 12 YMM
+//!   accumulators of 8 lanes each, compiled in a `#[target_feature(enable =
+//!   "avx2")]` instantiation so the autovectorizer actually emits 256-bit
+//!   ops regardless of the baseline build target.
+//!
+//! The AVX2 instantiation only runs when the feature is detected; forcing
+//! the 6×16 *shape* without the feature (e.g. [`with_tile`] in a test on an
+//! SSE2 host) runs a baseline-compiled instantiation of the same code —
+//! same arithmetic, same results, just without the wider registers. Every
+//! tile accumulates in the same ascending-`k` order, so **results are
+//! bit-identical across tiles** (the proptests in `crates/nn/tests/kernels.rs`
+//! assert exact equality for every variant).
 //!
 //! The bias/activation epilogue runs as a **separate pass** over the
 //! finished output rows rather than inside the accumulation loops: keeping
@@ -38,13 +59,14 @@
 //! kernels and of a textbook triple loop. The results are therefore
 //! **bit-identical** to the naive kernels for all finite inputs (the
 //! property tests in `crates/nn/tests/kernels.rs` assert exact equality
-//! across tile-boundary shapes). Documented divergence for non-finite
-//! inputs only: the naive kernels *skip* multiplicands that are exactly
-//! `0.0` and the packed kernels skip all-zero weight strips, so a
-//! `NaN`/`Inf` on the other side of such a term does not propagate on every
-//! path. (For finite inputs a skipped term contributes `±0.0` to an
-//! accumulator that starts at `+0.0`, which cannot change any bit of the
-//! result.)
+//! across tile-boundary shapes and across tile variants; Rust performs no
+//! floating-point contraction, so the AVX2 instantiation cannot introduce
+//! FMAs). Documented divergence for non-finite inputs only: the naive
+//! kernels *skip* multiplicands that are exactly `0.0` and the packed
+//! kernels skip all-zero weight strips, so a `NaN`/`Inf` on the other side
+//! of such a term does not propagate on every path. (For finite inputs a
+//! skipped term contributes `±0.0` to an accumulator that starts at `+0.0`,
+//! which cannot change any bit of the result.)
 
 // Kernel code trades clippy's stylistic preferences for codegen control:
 // the GEMM entry points legitimately take (a, dims.., bias, act, out)
@@ -55,23 +77,30 @@
 
 use crate::activation::Activation;
 use crate::pool;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::ops::Range;
+use std::sync::OnceLock;
 
-/// Rows per register block (micro-kernel height).
+/// Rows per register block of the **baseline** tile (micro-kernel height).
 ///
 /// Together with [`NR`] this is sized for the baseline x86-64 register file
 /// (16 SIMD registers): a `4 x 8` f32 accumulator occupies 8 vector
 /// registers, leaving room for the packed strip and the broadcast
-/// multiplier, so the accumulator never spills to the stack.
+/// multiplier, so the accumulator never spills to the stack. Wider-vector
+/// machines select a bigger tile at runtime — see [`Tile`].
 pub const MR: usize = 4;
-/// Columns per packed panel (micro-kernel width; a multiple of common f32
-/// vector widths so the inner loop autovectorizes).
+/// Columns per packed panel of the **baseline** tile (micro-kernel width; a
+/// multiple of common f32 vector widths so the inner loop autovectorizes).
 pub const NR: usize = 8;
 
 /// Minimum rows before the register-blocked path pays for itself (below it
 /// the per-call pack, or the lost `MR`-row strip reuse, outweighs the win).
 const MIN_BLOCK_ROWS: usize = 8;
+
+/// Minimum output columns before a panel is worth packing (independent of
+/// the selected tile, so kernel dispatch never changes with the CPU — only
+/// the inner tile shape does).
+const MIN_PANEL_COLS: usize = 8;
 
 /// Minimum number of multiply-accumulate operations before a kernel is worth
 /// fanning out over the compute pool.
@@ -82,11 +111,86 @@ pub(crate) const PAR_THRESHOLD: usize = 1 << 22;
 /// serving shapes; see `docs/PERFORMANCE.md`).
 const SPARSE_DISPATCH_THRESHOLD: f64 = 0.4;
 
+/// The register-tile variant the blocked kernels run with.
+///
+/// Selected once per process from the CPU (see [`native_tile`]) — eagerly at
+/// [`crate::pool::ComputePool`] construction — and overridable per thread
+/// for tests via [`with_tile`]. Both variants are plain safe Rust with
+/// identical accumulation order; the AVX2 variant additionally carries a
+/// `#[target_feature(enable = "avx2")]` instantiation used when (and only
+/// when) the CPU supports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tile {
+    /// `4 x 8` — sized for the 16-register SSE2 baseline file.
+    Sse4x8,
+    /// `6 x 16` — sized for AVX2's 16 YMM registers (12 accumulators of 8
+    /// lanes, two strip loads, one broadcast).
+    Avx6x16,
+}
+
+impl Tile {
+    /// Micro-kernel height (rows per register block).
+    pub fn mr(self) -> usize {
+        match self {
+            Tile::Sse4x8 => 4,
+            Tile::Avx6x16 => 6,
+        }
+    }
+
+    /// Packed panel width (columns per register block).
+    pub fn nr(self) -> usize {
+        match self {
+            Tile::Sse4x8 => 8,
+            Tile::Avx6x16 => 16,
+        }
+    }
+}
+
+/// The tile variant matching this machine, detected once per process.
+///
+/// [`crate::pool::ComputePool`] forces the detection at pool init, so the
+/// first hot-path kernel call never pays for it.
+pub fn native_tile() -> Tile {
+    static TILE: OnceLock<Tile> = OnceLock::new();
+    *TILE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Tile::Avx6x16;
+        }
+        Tile::Sse4x8
+    })
+}
+
+thread_local! {
+    /// Per-thread tile override installed by [`with_tile`] (tests/benches).
+    static TILE_OVERRIDE: Cell<Option<Tile>> = const { Cell::new(None) };
+}
+
+/// Run `f` with `tile` forced as the register-tile variant on this thread
+/// (restored on exit, also on panic). Results are bit-identical across
+/// tiles, so this is purely a way for tests and benches to pin a code path
+/// regardless of the machine.
+pub fn with_tile<R>(tile: Tile, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Tile>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TILE_OVERRIDE.with(|t| t.set(self.0));
+        }
+    }
+    let _restore = Restore(TILE_OVERRIDE.with(|t| t.replace(Some(tile))));
+    f()
+}
+
+/// The tile the current thread's kernels run with.
+fn current_tile() -> Tile {
+    TILE_OVERRIDE.with(|t| t.get()).unwrap_or_else(native_tile)
+}
+
 /// Whether the blocked path is profitable for an `m x k @ k x n` product:
 /// enough rows to amortize the per-call pack, and wide enough that a panel
 /// is not mostly padding.
 pub fn use_blocked(m: usize, k: usize, n: usize) -> bool {
-    m >= MIN_BLOCK_ROWS && n >= NR && k >= 2
+    m >= MIN_BLOCK_ROWS && n >= MIN_PANEL_COLS && k >= 2
 }
 
 /// Whether the cached packed-weight path is profitable. Deliberately the
@@ -128,35 +232,35 @@ struct Scratch {
     b: Vec<f32>,
 }
 
-/// Pack `b` (`k x n`, row-major) into `n.div_ceil(NR)` panels of `k x NR`,
+/// Pack `b` (`k x n`, row-major) into `n.div_ceil(nr)` panels of `k x nr`,
 /// zero-padding the last panel's missing columns.
-fn pack_b_panels(b: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
-    let panels = n.div_ceil(NR);
+fn pack_b_panels(b: &[f32], k: usize, n: usize, nr: usize, packed: &mut Vec<f32>) {
+    let panels = n.div_ceil(nr);
     packed.clear();
-    packed.resize(panels * k * NR, 0.0);
+    packed.resize(panels * k * nr, 0.0);
     for jp in 0..panels {
-        let col0 = jp * NR;
-        let vis = NR.min(n - col0);
-        let dst = &mut packed[jp * k * NR..(jp + 1) * k * NR];
+        let col0 = jp * nr;
+        let vis = nr.min(n - col0);
+        let dst = &mut packed[jp * k * nr..(jp + 1) * k * nr];
         for p in 0..k {
-            dst[p * NR..p * NR + vis].copy_from_slice(&b[p * n + col0..p * n + col0 + vis]);
+            dst[p * nr..p * nr + vis].copy_from_slice(&b[p * n + col0..p * n + col0 + vis]);
         }
     }
 }
 
 /// Pack `bt` (`n x k`, row-major — i.e. the transpose of the logical `k x n`
 /// right operand) into the same panel layout as [`pack_b_panels`].
-fn pack_bt_panels(bt: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
-    let panels = n.div_ceil(NR);
+fn pack_bt_panels(bt: &[f32], k: usize, n: usize, nr: usize, packed: &mut Vec<f32>) {
+    let panels = n.div_ceil(nr);
     packed.clear();
-    packed.resize(panels * k * NR, 0.0);
+    packed.resize(panels * k * nr, 0.0);
     for jp in 0..panels {
-        let col0 = jp * NR;
-        let vis = NR.min(n - col0);
-        let dst = &mut packed[jp * k * NR..(jp + 1) * k * NR];
+        let col0 = jp * nr;
+        let vis = nr.min(n - col0);
+        let dst = &mut packed[jp * k * nr..(jp + 1) * k * nr];
         for (lane, row) in bt[col0 * k..(col0 + vis) * k].chunks_exact(k).enumerate() {
             for (p, &v) in row.iter().enumerate() {
-                dst[p * NR + lane] = v;
+                dst[p * nr + lane] = v;
             }
         }
     }
@@ -174,7 +278,7 @@ fn pack_a_transposed(a: &[f32], k: usize, m: usize, out: &mut Vec<f32>) {
     }
 }
 
-/// A right-hand matmul operand packed into [`NR`]-wide panels **with
+/// A right-hand matmul operand packed into `NR`-wide panels **with
 /// all-zero strips dropped**.
 ///
 /// MADE-style masked layers multiply their weights by a binary mask that
@@ -189,23 +293,43 @@ fn pack_a_transposed(a: &[f32], k: usize, m: usize, out: &mut Vec<f32>) {
 /// order — bit-identical to the dense kernels for finite inputs (a dropped
 /// strip only ever contributes `±0.0`).
 ///
+/// The pack records the [`Tile`] it was built for (the panel width is the
+/// tile's `nr`), and the matmul entry points dispatch on it — so a pack
+/// built under one tile and executed after a [`with_tile`] change still runs
+/// the matching micro-kernel.
+///
 /// The buffers are reused across refills (a hot-swap repacks in place), so
 /// steady-state serving never allocates for packing.
 ///
 /// Invariant (relied on by unsafe code in the kernels): every entry of
 /// `rows` is `< k`, and panel `jp`'s strip range `strips[jp]..strips[jp+1]`
-/// indexes `rows` and (scaled by `NR`) `data` in bounds. Only
+/// indexes `rows` and (scaled by `tile.nr()`) `data` in bounds. Only
 /// [`PackedWeight::fill_from`] writes these fields.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PackedWeight {
     k: usize,
     n: usize,
-    /// Concatenated kept strips, `NR` floats each (panel-major).
+    /// Tile variant the pack was built for (defines the strip width).
+    tile: Tile,
+    /// Concatenated kept strips, `tile.nr()` floats each (panel-major).
     data: Vec<f32>,
     /// Original row (shared-dimension) index of each kept strip.
     rows: Vec<u32>,
     /// Panel `jp` owns strips `strips[jp]..strips[jp + 1]`.
     strips: Vec<usize>,
+}
+
+impl Default for PackedWeight {
+    fn default() -> Self {
+        Self {
+            k: 0,
+            n: 0,
+            tile: Tile::Sse4x8,
+            data: Vec::new(),
+            rows: Vec::new(),
+            strips: Vec::new(),
+        }
+    }
 }
 
 impl PackedWeight {
@@ -219,34 +343,43 @@ impl PackedWeight {
         (self.k, self.n)
     }
 
+    /// The tile variant this pack was built for.
+    pub fn tile(&self) -> Tile {
+        self.tile
+    }
+
     /// Fraction of strips kept (1.0 = fully dense); for observability and
     /// tests.
     pub fn density(&self) -> f64 {
-        let total = self.k * self.n.div_ceil(NR);
+        let total = self.k * self.n.div_ceil(self.tile.nr());
         if total == 0 {
             return 1.0;
         }
         self.rows.len() as f64 / total as f64
     }
 
-    /// Re-pack from `w` (`k x n`, row-major), reusing the existing buffers.
+    /// Re-pack from `w` (`k x n`, row-major) under the current thread's
+    /// tile, reusing the existing buffers.
     pub fn fill_from(&mut self, w: &[f32], k: usize, n: usize) {
         assert_eq!(w.len(), k * n, "packed weight shape mismatch");
+        let tile = current_tile();
+        let nr = tile.nr();
         self.k = k;
         self.n = n;
+        self.tile = tile;
         self.data.clear();
         self.rows.clear();
         self.strips.clear();
-        let panels = n.div_ceil(NR);
+        let panels = n.div_ceil(nr);
         self.strips.push(0);
         for jp in 0..panels {
-            let col0 = jp * NR;
-            let vis = NR.min(n - col0);
+            let col0 = jp * nr;
+            let vis = nr.min(n - col0);
             for p in 0..k {
                 let src = &w[p * n + col0..p * n + col0 + vis];
                 if src.iter().any(|v| *v != 0.0) {
                     let start = self.data.len();
-                    self.data.resize(start + NR, 0.0);
+                    self.data.resize(start + nr, 0.0);
                     self.data[start..start + vis].copy_from_slice(src);
                     self.rows.push(p as u32);
                 }
@@ -274,10 +407,13 @@ fn epilogue(out_rows: &mut [f32], n: usize, bias: Option<&[f32]>, act: Activatio
     }
 }
 
-/// Run the dense blocked kernel over `rows` of the output (`out_rows` is
-/// the `rows.len() x n` slice starting at row `rows.start`), bias/act
-/// epilogue included.
-fn run_rows_blocked(
+/// Run the dense blocked micro-kernel over `rows` of the output (`out_rows`
+/// is the `rows.len() x n` slice starting at row `rows.start`), bias/act
+/// epilogue included. Generic over the register tile; `#[inline(always)]`
+/// so the `#[target_feature]` instantiation below compiles this body with
+/// AVX2 codegen.
+#[inline(always)]
+fn run_rows_blocked_t<const TMR: usize, const TNR: usize>(
     a: &[f32],
     k: usize,
     packed: &[f32],
@@ -287,47 +423,47 @@ fn run_rows_blocked(
     rows: Range<usize>,
     out_rows: &mut [f32],
 ) {
-    debug_assert_eq!(packed.len(), n.div_ceil(NR) * k * NR);
+    debug_assert_eq!(packed.len(), n.div_ceil(TNR) * k * TNR);
     let out_base = rows.start;
-    let panels = n.div_ceil(NR);
+    let panels = n.div_ceil(TNR);
     let mut i = rows.start;
-    while i + MR <= rows.end {
+    while i + TMR <= rows.end {
         // SAFETY precondition for the unchecked loads below: each of these
         // slices has length exactly `k`, and the strip index `p` enumerates
-        // `chunks_exact(NR)` of a panel of length `k * NR`, so `p < k`.
-        let ar: [&[f32]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+        // `chunks_exact(TNR)` of a panel of length `k * TNR`, so `p < k`.
+        let ar: [&[f32]; TMR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
         for jp in 0..panels {
-            let col0 = jp * NR;
-            let vis = NR.min(n - col0);
-            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
-            let mut acc = [[0.0f32; NR]; MR];
-            for (p, strip) in panel.chunks_exact(NR).enumerate() {
-                for r in 0..MR {
+            let col0 = jp * TNR;
+            let vis = TNR.min(n - col0);
+            let panel = &packed[jp * k * TNR..(jp + 1) * k * TNR];
+            let mut acc = [[0.0f32; TNR]; TMR];
+            for (p, strip) in panel.chunks_exact(TNR).enumerate() {
+                for r in 0..TMR {
                     // SAFETY: `p < k == ar[r].len()` (see above).
                     let av = unsafe { *ar[r].get_unchecked(p) };
-                    for l in 0..NR {
+                    for l in 0..TNR {
                         acc[r][l] += av * strip[l];
                     }
                 }
             }
-            for r in 0..MR {
+            for r in 0..TMR {
                 let dst = (i + r - out_base) * n + col0;
                 out_rows[dst..dst + vis].copy_from_slice(&acc[r][..vis]);
             }
         }
-        i += MR;
+        i += TMR;
     }
     while i < rows.end {
         let arow = &a[i * k..(i + 1) * k];
         for jp in 0..panels {
-            let col0 = jp * NR;
-            let vis = NR.min(n - col0);
-            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
-            let mut acc = [0.0f32; NR];
-            for (p, strip) in panel.chunks_exact(NR).enumerate() {
+            let col0 = jp * TNR;
+            let vis = TNR.min(n - col0);
+            let panel = &packed[jp * k * TNR..(jp + 1) * k * TNR];
+            let mut acc = [0.0f32; TNR];
+            for (p, strip) in panel.chunks_exact(TNR).enumerate() {
                 // SAFETY: `p < k == arow.len()` (same argument as above).
                 let av = unsafe { *arow.get_unchecked(p) };
-                for l in 0..NR {
+                for l in 0..TNR {
                     acc[l] += av * strip[l];
                 }
             }
@@ -339,8 +475,150 @@ fn run_rows_blocked(
     epilogue(out_rows, n, bias, act);
 }
 
-/// Run the mask-aware packed kernel over `rows` of the output, bias/act
-/// epilogue included.
+/// Run the mask-aware packed micro-kernel over `rows` of the output,
+/// bias/act epilogue included. Generic over the register tile (see
+/// [`run_rows_blocked_t`]).
+#[inline(always)]
+fn run_rows_packed_t<const TMR: usize, const TNR: usize>(
+    a: &[f32],
+    k: usize,
+    packed: &PackedWeight,
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    debug_assert_eq!(packed.tile.nr(), TNR);
+    let out_base = rows.start;
+    let panels = n.div_ceil(TNR);
+    let mut i = rows.start;
+    while i + TMR <= rows.end {
+        // SAFETY precondition for the unchecked loads below: each slice has
+        // length exactly `k`, and every strip row index stored in a
+        // `PackedWeight` is `< k` (struct invariant).
+        let ar: [&[f32]; TMR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+        for jp in 0..panels {
+            let col0 = jp * TNR;
+            let vis = TNR.min(n - col0);
+            let sr = packed.strips[jp]..packed.strips[jp + 1];
+            let sdata = &packed.data[sr.start * TNR..sr.end * TNR];
+            let srows = &packed.rows[sr];
+            let mut acc = [[0.0f32; TNR]; TMR];
+            for (strip, &p) in sdata.chunks_exact(TNR).zip(srows.iter()) {
+                let p = p as usize;
+                for r in 0..TMR {
+                    // SAFETY: `p < k == ar[r].len()` (struct invariant).
+                    let av = unsafe { *ar[r].get_unchecked(p) };
+                    for l in 0..TNR {
+                        acc[r][l] += av * strip[l];
+                    }
+                }
+            }
+            for r in 0..TMR {
+                let dst = (i + r - out_base) * n + col0;
+                out_rows[dst..dst + vis].copy_from_slice(&acc[r][..vis]);
+            }
+        }
+        i += TMR;
+    }
+    while i < rows.end {
+        let arow = &a[i * k..(i + 1) * k];
+        for jp in 0..panels {
+            let col0 = jp * TNR;
+            let vis = TNR.min(n - col0);
+            let sr = packed.strips[jp]..packed.strips[jp + 1];
+            let sdata = &packed.data[sr.start * TNR..sr.end * TNR];
+            let srows = &packed.rows[sr];
+            let mut acc = [0.0f32; TNR];
+            for (strip, &p) in sdata.chunks_exact(TNR).zip(srows.iter()) {
+                // SAFETY: `p < k == arow.len()` (struct invariant).
+                let av = unsafe { *arow.get_unchecked(p as usize) };
+                for l in 0..TNR {
+                    acc[l] += av * strip[l];
+                }
+            }
+            let dst = (i - out_base) * n + col0;
+            out_rows[dst..dst + vis].copy_from_slice(&acc[..vis]);
+        }
+        i += 1;
+    }
+    epilogue(out_rows, n, bias, act);
+}
+
+/// AVX2 instantiation of the dense 6×16 micro-kernel: same source, same
+/// arithmetic order, compiled with 256-bit vectors. Rust performs no FP
+/// contraction, so no FMA can sneak in — results stay bit-identical to the
+/// baseline instantiation.
+///
+/// # Safety
+/// The caller must have verified `is_x86_feature_detected!("avx2")`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn run_rows_blocked_avx2(
+    a: &[f32],
+    k: usize,
+    packed: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    run_rows_blocked_t::<6, 16>(a, k, packed, n, bias, act, rows, out_rows)
+}
+
+/// AVX2 instantiation of the packed 6×16 micro-kernel (see
+/// [`run_rows_blocked_avx2`]).
+///
+/// # Safety
+/// The caller must have verified `is_x86_feature_detected!("avx2")`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn run_rows_packed_avx2(
+    a: &[f32],
+    k: usize,
+    packed: &PackedWeight,
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    run_rows_packed_t::<6, 16>(a, k, packed, n, bias, act, rows, out_rows)
+}
+
+/// Tile-dispatched dense kernel: picks the micro-kernel instantiation for
+/// `tile`, preferring the `target_feature` build when the CPU allows it.
+fn run_rows_blocked(
+    tile: Tile,
+    a: &[f32],
+    k: usize,
+    packed: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    match tile {
+        Tile::Sse4x8 => run_rows_blocked_t::<4, 8>(a, k, packed, n, bias, act, rows, out_rows),
+        Tile::Avx6x16 => {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature presence just checked.
+                return unsafe {
+                    run_rows_blocked_avx2(a, k, packed, n, bias, act, rows, out_rows)
+                };
+            }
+            // Forced 6×16 shape without the feature (tests on older CPUs):
+            // baseline codegen, identical arithmetic.
+            run_rows_blocked_t::<6, 16>(a, k, packed, n, bias, act, rows, out_rows)
+        }
+    }
+}
+
+/// Tile-dispatched packed kernel (the tile comes from the pack itself).
 fn run_rows_packed(
     a: &[f32],
     k: usize,
@@ -351,60 +629,17 @@ fn run_rows_packed(
     rows: Range<usize>,
     out_rows: &mut [f32],
 ) {
-    let out_base = rows.start;
-    let panels = n.div_ceil(NR);
-    let mut i = rows.start;
-    while i + MR <= rows.end {
-        // SAFETY precondition for the unchecked loads below: each slice has
-        // length exactly `k`, and every strip row index stored in a
-        // `PackedWeight` is `< k` (struct invariant).
-        let ar: [&[f32]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
-        for jp in 0..panels {
-            let col0 = jp * NR;
-            let vis = NR.min(n - col0);
-            let sr = packed.strips[jp]..packed.strips[jp + 1];
-            let sdata = &packed.data[sr.start * NR..sr.end * NR];
-            let srows = &packed.rows[sr];
-            let mut acc = [[0.0f32; NR]; MR];
-            for (strip, &p) in sdata.chunks_exact(NR).zip(srows.iter()) {
-                let p = p as usize;
-                for r in 0..MR {
-                    // SAFETY: `p < k == ar[r].len()` (struct invariant).
-                    let av = unsafe { *ar[r].get_unchecked(p) };
-                    for l in 0..NR {
-                        acc[r][l] += av * strip[l];
-                    }
-                }
+    match packed.tile {
+        Tile::Sse4x8 => run_rows_packed_t::<4, 8>(a, k, packed, n, bias, act, rows, out_rows),
+        Tile::Avx6x16 => {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature presence just checked.
+                return unsafe { run_rows_packed_avx2(a, k, packed, n, bias, act, rows, out_rows) };
             }
-            for r in 0..MR {
-                let dst = (i + r - out_base) * n + col0;
-                out_rows[dst..dst + vis].copy_from_slice(&acc[r][..vis]);
-            }
+            run_rows_packed_t::<6, 16>(a, k, packed, n, bias, act, rows, out_rows)
         }
-        i += MR;
     }
-    while i < rows.end {
-        let arow = &a[i * k..(i + 1) * k];
-        for jp in 0..panels {
-            let col0 = jp * NR;
-            let vis = NR.min(n - col0);
-            let sr = packed.strips[jp]..packed.strips[jp + 1];
-            let sdata = &packed.data[sr.start * NR..sr.end * NR];
-            let srows = &packed.rows[sr];
-            let mut acc = [0.0f32; NR];
-            for (strip, &p) in sdata.chunks_exact(NR).zip(srows.iter()) {
-                // SAFETY: `p < k == arow.len()` (struct invariant).
-                let av = unsafe { *arow.get_unchecked(p as usize) };
-                for l in 0..NR {
-                    acc[l] += av * strip[l];
-                }
-            }
-            let dst = (i - out_base) * n + col0;
-            out_rows[dst..dst + vis].copy_from_slice(&acc[..vis]);
-        }
-        i += 1;
-    }
-    epilogue(out_rows, n, bias, act);
 }
 
 /// A raw output pointer smuggled into a pool task; chunks write disjoint
@@ -425,8 +660,10 @@ impl SendPtr {
 /// Fan `run_rows(range, out_rows)` out over the current compute pool in
 /// `MR`-aligned row chunks, or run it serially below the work threshold.
 /// Shared by the blocked kernels here and the naive kernels in
-/// [`crate::tensor`] (for which the `MR` alignment is merely a harmless
-/// chunk-sizing choice — per-row results never depend on chunk boundaries).
+/// [`crate::tensor`]. Chunk boundaries are aligned to the baseline `MR`
+/// purely as a sizing heuristic — per-row results never depend on chunk
+/// boundaries (a taller tile simply handles boundary rows in its per-row
+/// tail), so alignment is not load-bearing for bit-identity.
 pub(crate) fn fan_out_rows<F>(m: usize, n: usize, total_work: usize, out: &mut [f32], run_rows: F)
 where
     F: Fn(Range<usize>, &mut [f32]) + Sync,
@@ -473,12 +710,13 @@ pub fn addmm_blocked(
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
     assert_eq!(out.len(), m * n);
+    let tile = current_tile();
     SCRATCH.with(|scratch| {
         let mut scratch = scratch.borrow_mut();
-        pack_b_panels(b, k, n, &mut scratch.b);
+        pack_b_panels(b, k, n, tile.nr(), &mut scratch.b);
         let packed = &scratch.b;
         fan_out_rows(m, n, m * k * n, out, |rows, out_rows| {
-            run_rows_blocked(a, k, packed, n, bias, act, rows, out_rows)
+            run_rows_blocked(tile, a, k, packed, n, bias, act, rows, out_rows)
         });
     });
 }
@@ -497,7 +735,7 @@ pub fn addmm_packed(
     let (k, n) = packed.shape();
     assert_eq!(a.len(), m * k);
     assert_eq!(out.len(), m * n);
-    let total_work = m.saturating_mul(packed.rows.len()).saturating_mul(NR);
+    let total_work = m.saturating_mul(packed.rows.len()).saturating_mul(packed.tile.nr());
     fan_out_rows(m, n, total_work, out, |rows, out_rows| {
         run_rows_packed(a, k, packed, n, bias, act, rows, out_rows)
     });
@@ -511,12 +749,13 @@ pub fn matmul_nt_blocked(a: &[f32], m: usize, k: usize, bt: &[f32], n: usize, ou
     assert_eq!(a.len(), m * k);
     assert_eq!(bt.len(), n * k);
     assert_eq!(out.len(), m * n);
+    let tile = current_tile();
     SCRATCH.with(|scratch| {
         let mut scratch = scratch.borrow_mut();
-        pack_bt_panels(bt, k, n, &mut scratch.b);
+        pack_bt_panels(bt, k, n, tile.nr(), &mut scratch.b);
         let packed = &scratch.b;
         fan_out_rows(m, n, m * k * n, out, |rows, out_rows| {
-            run_rows_blocked(a, k, packed, n, None, Activation::Identity, rows, out_rows)
+            run_rows_blocked(tile, a, k, packed, n, None, Activation::Identity, rows, out_rows)
         });
     });
 }
@@ -529,14 +768,25 @@ pub fn matmul_tn_blocked(a: &[f32], k: usize, m: usize, b: &[f32], n: usize, out
     assert_eq!(a.len(), k * m);
     assert_eq!(b.len(), k * n);
     assert_eq!(out.len(), m * n);
+    let tile = current_tile();
     SCRATCH.with(|scratch| {
         let mut scratch = scratch.borrow_mut();
         let Scratch { a: packed_a, b: packed_b } = &mut *scratch;
         pack_a_transposed(a, k, m, packed_a);
-        pack_b_panels(b, k, n, packed_b);
+        pack_b_panels(b, k, n, tile.nr(), packed_b);
         let (packed_a, packed_b) = (&*packed_a, &*packed_b);
         fan_out_rows(m, n, m * k * n, out, |rows, out_rows| {
-            run_rows_blocked(packed_a, k, packed_b, n, None, Activation::Identity, rows, out_rows)
+            run_rows_blocked(
+                tile,
+                packed_a,
+                k,
+                packed_b,
+                n,
+                None,
+                Activation::Identity,
+                rows,
+                out_rows,
+            )
         });
     });
 }

@@ -12,7 +12,8 @@
 //! * fully connected and mask-constrained layers ([`linear`]),
 //! * MADE / ResMADE construction with per-column block masking ([`made`]),
 //! * a plain MLP used by MSCN and the MPSN predicate embedder ([`mlp`]),
-//! * softmax / cross-entropy / Q-Error losses ([`loss`]),
+//! * softmax / cross-entropy / Q-Error losses ([`loss`]) over vectorized
+//!   transcendental kernels with exact/fast dispatch ([`math`]),
 //! * Adam and SGD optimizers ([`optim`]),
 //! * a small binary checkpoint codec ([`serialize`]).
 //!
@@ -28,6 +29,7 @@ pub mod kernels;
 pub mod linear;
 pub mod loss;
 pub mod made;
+pub mod math;
 pub mod mlp;
 pub mod optim;
 pub mod param;
@@ -38,13 +40,21 @@ pub mod workspace;
 
 pub use activation::{Activation, ReLU};
 pub use init::{seeded_rng, Init};
+pub use kernels::{native_tile, with_tile, Tile};
 pub use linear::{Linear, MaskedLinear};
-pub use loss::{grouped_cross_entropy, q_error, softmax, softmax_blocks, softmax_into};
+pub use loss::{
+    grouped_cross_entropy, grouped_cross_entropy_with, q_error, softmax, softmax_blocks,
+    softmax_into, softmax_rows, softmax_rows_inplace,
+};
 pub use made::{Made, MadeConfig};
+pub use math::{
+    fast_exp, fast_exp_slice, softmax_block_into, softmax_blocks_inplace, softmax_restricted_mass,
+    SoftmaxMode,
+};
 pub use mlp::Mlp;
 pub use optim::{Adam, GradClip, Sgd};
 pub use param::{InferLayer, Layer, Param, WeightKey};
 pub use pool::{with_pool, ComputePool};
 pub use serialize::{load_params, save_params, CheckpointError};
 pub use tensor::{rowvec_matmul_into, Matrix};
-pub use workspace::{ForwardWorkspace, MaskedWeightCache};
+pub use workspace::{ForwardWorkspace, MaskedWeightCache, TrainWorkspace};

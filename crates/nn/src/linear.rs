@@ -247,6 +247,31 @@ impl MaskedLinear {
         }
     }
 
+    /// Training forward through a cached masked-weight entry: caches the
+    /// input for [`Layer::backward`], then computes
+    /// `out = input @ (W ⊙ M) + b` (no activation — the caller applies it so
+    /// the pre-activation stays available for its ReLU gate) into a reused
+    /// caller buffer.
+    ///
+    /// This is the allocation-free replacement for the training
+    /// [`Layer::forward`], which materialized a fresh effective weight and a
+    /// fresh output every call: the effective weight comes from `entry`
+    /// (re-materialized in place only when the [`WeightKey`] moved, i.e.
+    /// once per optimizer step), the output buffer is the caller's, and the
+    /// input cache reuses its previous allocation. Bit-identical to
+    /// [`Layer::forward`] for finite inputs (fused/packed kernel contract,
+    /// see `duet_nn::kernels`), and `backward` works exactly as after a
+    /// `forward` call.
+    pub fn train_forward_entry(
+        &mut self,
+        input: &Matrix,
+        entry: &mut crate::workspace::MaskedEntry,
+        out: &mut Matrix,
+    ) {
+        cache_input(&mut self.cached_input, input);
+        self.infer_with_entry(input, Activation::Identity, entry, out);
+    }
+
     /// The binary connectivity mask.
     pub fn mask(&self) -> &Matrix {
         &self.mask

@@ -1,25 +1,21 @@
 //! Softmax, cross-entropy and the grouped (per-column-block) variants used by
 //! autoregressive cardinality estimators.
+//!
+//! The transcendental kernels themselves live in [`crate::math`]; the
+//! functions here are the loss-facing entry points. The plain `softmax*`
+//! forms are **exact** ([`SoftmaxMode::Exact`]) so training gradients keep
+//! using the same libm exponential the loss derivation assumes; inference
+//! paths opt into [`SoftmaxMode::Fast`] through the mode-taking kernels in
+//! [`crate::math`].
 
+use crate::math::{softmax_block_inplace, softmax_block_into, softmax_blocks_inplace, SoftmaxMode};
 use crate::tensor::Matrix;
 
 /// Numerically stable softmax over a slice, written into `out`.
+///
+/// Exact mode (libm `exp`); see [`crate::math`] for the fast variant.
 pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
-    debug_assert_eq!(logits.len(), out.len());
-    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0f32;
-    for (o, &l) in out.iter_mut().zip(logits.iter()) {
-        let e = (l - max).exp();
-        *o = e;
-        sum += e;
-    }
-    if sum > 0.0 {
-        let inv = 1.0 / sum;
-        out.iter_mut().for_each(|o| *o *= inv);
-    } else {
-        let uniform = 1.0 / out.len().max(1) as f32;
-        out.iter_mut().for_each(|o| *o = uniform);
-    }
+    softmax_block_into(logits, out, SoftmaxMode::Exact);
 }
 
 /// Softmax of a slice, returning a fresh vector.
@@ -29,76 +25,91 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
     out
 }
 
-/// Row-wise softmax of a whole matrix.
+/// Row-wise softmax of a whole matrix, in place — no per-row staging copy.
+pub fn softmax_rows_inplace(m: &mut Matrix, mode: SoftmaxMode) {
+    let cols = m.cols().max(1);
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        softmax_block_inplace(row, mode);
+    }
+}
+
+/// Row-wise softmax of a whole matrix (allocating wrapper over
+/// [`softmax_rows_inplace`]).
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
-    let cols = logits.cols();
-    for row in out.as_mut_slice().chunks_exact_mut(cols) {
-        let copy: Vec<f32> = row.to_vec();
-        softmax_into(&copy, row);
-    }
+    softmax_rows_inplace(&mut out, SoftmaxMode::Exact);
     out
 }
 
-/// Softmax applied independently to each column block of each row.
+/// Softmax applied independently to each column block of each row
+/// (allocating wrapper over [`crate::math::softmax_blocks_inplace`]).
 ///
 /// `blocks[i]` is the number of logits belonging to column `i`; the blocks are
 /// laid out consecutively in each row.
 pub fn softmax_blocks(logits: &Matrix, blocks: &[usize]) -> Matrix {
-    let total: usize = blocks.iter().sum();
-    assert_eq!(logits.cols(), total, "block sizes do not cover the logit width");
     let mut out = logits.clone();
-    for row in out.as_mut_slice().chunks_exact_mut(total) {
-        let mut off = 0;
-        for &b in blocks {
-            let copy: Vec<f32> = row[off..off + b].to_vec();
-            softmax_into(&copy, &mut row[off..off + b]);
-            off += b;
-        }
-    }
+    softmax_blocks_inplace(&mut out, blocks, &mut Vec::new(), SoftmaxMode::Exact);
     out
 }
 
 /// Per-column-block cross-entropy between `logits` and integer `labels`.
 ///
 /// * `logits`: `(batch, sum(blocks))`
-/// * `labels[r][i]`: index (within block `i`) of the true distinct value of
-///   column `i` for example `r`.
+/// * `labels[r].as_ref()[i]`: index (within block `i`) of the true distinct
+///   value of column `i` for example `r`.
 ///
-/// Returns `(mean loss, dL/dlogits)` where the loss is averaged over the batch
-/// and *summed* over columns (matching Naru/Duet's `sum_i CE_i`).
+/// Returns the mean loss (averaged over the batch and *summed* over columns,
+/// matching Naru/Duet's `sum_i CE_i`) and writes `dL/dlogits` into `grad`
+/// (reshaped, heap buffer reused — **zero allocation once warm**). The
+/// probabilities are staged directly in the gradient rows, so no per-block
+/// scratch exists at all.
 #[allow(clippy::needless_range_loop)] // `r` indexes logits, grad and labels in lockstep
-pub fn grouped_cross_entropy(
+pub fn grouped_cross_entropy_with<L: AsRef<[usize]>>(
     logits: &Matrix,
     blocks: &[usize],
-    labels: &[Vec<usize>],
-) -> (f32, Matrix) {
+    labels: &[L],
+    grad: &mut Matrix,
+) -> f32 {
     let total: usize = blocks.iter().sum();
     assert_eq!(logits.cols(), total, "block sizes do not cover the logit width");
     assert_eq!(logits.rows(), labels.len(), "one label vector per batch row required");
     let batch = logits.rows().max(1);
-    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    // Every element of every block is overwritten below, so skip the zeroing.
+    grad.resize_for_overwrite(logits.rows(), logits.cols());
     let mut loss = 0.0f64;
     let scale = 1.0 / batch as f32;
 
     for r in 0..logits.rows() {
         let row = logits.row(r);
         let grow = grad.row_mut(r);
+        let row_labels = labels[r].as_ref();
         let mut off = 0;
         for (i, &b) in blocks.iter().enumerate() {
-            let label = labels[r][i];
+            let label = row_labels[i];
             assert!(label < b, "label {label} out of range for block {i} of size {b}");
-            let probs = softmax(&row[off..off + b]);
-            let p = probs[label].max(1e-12);
+            // Probabilities staged in the gradient block, then fixed up.
+            softmax_block_into(&row[off..off + b], &mut grow[off..off + b], SoftmaxMode::Exact);
+            let p = grow[off + label].max(1e-12);
             loss += -(p.ln()) as f64;
-            for (k, &pk) in probs.iter().enumerate() {
+            for (k, g) in grow[off..off + b].iter_mut().enumerate() {
                 let indicator = if k == label { 1.0 } else { 0.0 };
-                grow[off + k] = scale * (pk - indicator);
+                *g = scale * (*g - indicator);
             }
             off += b;
         }
     }
-    ((loss / batch as f64) as f32, grad)
+    (loss / batch as f64) as f32
+}
+
+/// [`grouped_cross_entropy_with`] allocating the gradient matrix.
+pub fn grouped_cross_entropy(
+    logits: &Matrix,
+    blocks: &[usize],
+    labels: &[Vec<usize>],
+) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = grouped_cross_entropy_with(logits, blocks, labels, &mut grad);
+    (loss, grad)
 }
 
 /// Mean squared error between predictions and targets (used by MSCN-lite).
@@ -159,6 +170,15 @@ mod tests {
     }
 
     #[test]
+    fn softmax_rows_matches_per_row_softmax() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let rows = softmax_rows(&logits);
+        for r in 0..2 {
+            assert_eq!(rows.row(r), softmax(logits.row(r)).as_slice());
+        }
+    }
+
+    #[test]
     fn grouped_cross_entropy_prefers_correct_label() {
         // Confident, correct prediction should have near-zero loss.
         let good = Matrix::from_vec(1, 3, vec![10.0, -10.0, -10.0]);
@@ -179,6 +199,17 @@ mod tests {
             assert!((row[0] + row[1]).abs() < 1e-6);
             assert!((row[2] + row[3] + row[4]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn grouped_cross_entropy_with_reuses_grad_buffer() {
+        let logits = Matrix::from_vec(2, 4, vec![0.1, 0.2, 0.3, 0.4, 1.0, -1.0, 0.5, 0.0]);
+        let labels = [vec![1usize, 0], vec![0, 1]];
+        let (want_loss, want_grad) = grouped_cross_entropy(&logits, &[2, 2], &labels);
+        let mut grad = Matrix::zeros(7, 3); // wrong shape on purpose
+        let loss = grouped_cross_entropy_with(&logits, &[2, 2], &labels, &mut grad);
+        assert_eq!(loss, want_loss);
+        assert_eq!(grad, want_grad);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::init::Init;
 use crate::linear::MaskedLinear;
 use crate::param::{InferLayer, Layer, Param};
 use crate::tensor::Matrix;
-use crate::workspace::{ForwardWorkspace, MaskedWeightCache};
+use crate::workspace::{ForwardWorkspace, MaskedWeightCache, TrainWorkspace};
 use rand::rngs::SmallRng;
 
 /// Architecture description for a [`Made`] network.
@@ -118,6 +118,30 @@ impl ResBlock {
             fc2: MaskedLinear::new(degrees.len(), degrees.len(), mask, init, rng),
             cached_pre: None,
         }
+    }
+
+    /// Training forward `out = x + fc2(relu(fc1(x)))` that checkpoints
+    /// everything `backward` needs (pre-activation, per-linear inputs) into
+    /// reused buffers: `cached_pre` holds `fc1(x)`, `aux` the rectified
+    /// hidden state, and the masked effective weights come from the
+    /// train-workspace cache. Allocation-free once warm; `backward` works
+    /// exactly as after a [`Layer::forward`] call.
+    fn train_forward(
+        &mut self,
+        x: &Matrix,
+        aux: &mut Matrix,
+        out: &mut Matrix,
+        masked: &mut MaskedWeightCache,
+        slot: usize,
+    ) {
+        let e1 = masked.entry(slot, self.fc1.weight_key(), |w| self.fc1.fill_masked(w));
+        let pre = self.cached_pre.get_or_insert_with(Matrix::default);
+        self.fc1.train_forward_entry(x, e1, pre);
+        aux.copy_from(pre);
+        Activation::Relu.apply(aux.as_mut_slice());
+        let e2 = masked.entry(slot + 1, self.fc2.weight_key(), |w| self.fc2.fill_masked(w));
+        self.fc2.train_forward_entry(aux, e2, out);
+        out.add_assign(x);
     }
 
     /// Allocation-free fused forward `out = x + fc2(relu(fc1(x)))` against
@@ -295,6 +319,56 @@ impl Made {
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
         let mut ws = ForwardWorkspace::new();
         self.infer_into(input, &mut ws).clone()
+    }
+
+    /// The training forward through a [`TrainWorkspace`]: every stage's
+    /// activation is checkpointed into a persistent workspace buffer, the
+    /// masked effective weights come from the workspace's
+    /// [`MaskedWeightCache`], and each layer's backward cache (input /
+    /// pre-activation) is refilled in place — so the steady-state training
+    /// forward performs **zero heap allocation** (asserted by the training
+    /// phase of `tests/zero_alloc.rs`).
+    ///
+    /// Semantics match [`Layer::forward`] exactly: the same logits come out
+    /// (fused/packed kernels are bit-identical to the unfused pipeline for
+    /// finite inputs, see `duet_nn::kernels`), and a subsequent
+    /// [`Layer::backward`] call consumes the caches this pass refilled. The
+    /// returned reference lives in `tws` until the next pass overwrites it.
+    pub fn forward_train<'w>(&mut self, input: &Matrix, tws: &'w mut TrainWorkspace) -> &'w Matrix {
+        assert_eq!(
+            input.cols(),
+            self.config.input_width(),
+            "input width mismatch: expected {}",
+            self.config.input_width()
+        );
+        let num = self.stages.len();
+        let (acts, aux, masked) = tws.parts(num);
+        let mut slot = 0usize;
+        for i in 0..num {
+            let (prev, rest) = acts.split_at_mut(i);
+            let x: &Matrix = if i == 0 { input } else { &prev[i - 1] };
+            let out = &mut rest[0];
+            match &mut self.stages[i] {
+                Stage::MaskedRelu { linear, cached_pre } => {
+                    let entry = masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
+                    let pre = cached_pre.get_or_insert_with(Matrix::default);
+                    linear.train_forward_entry(x, entry, pre);
+                    out.copy_from(pre);
+                    Activation::Relu.apply(out.as_mut_slice());
+                    slot += 1;
+                }
+                Stage::Residual(block) => {
+                    block.train_forward(x, aux, out, masked, slot);
+                    slot += 2;
+                }
+                Stage::Output(linear) => {
+                    let entry = masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
+                    linear.train_forward_entry(x, entry, out);
+                    slot += 1;
+                }
+            }
+        }
+        &acts[num - 1]
     }
 
     /// Total number of trainable scalars.

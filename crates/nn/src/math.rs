@@ -1,0 +1,348 @@
+//! Vectorized transcendental kernels: a polynomial `exp` approximation and
+//! the single-pass softmax variants built on it.
+//!
+//! The probability-masking step of Duet's estimation path is exp-bound: for
+//! every constrained column of every query row it exponentiates a full
+//! per-column logit block. `libm`'s `expf` is a scalar, branchy call that
+//! the autovectorizer cannot touch, so after the matmul work of the blocked
+//! kernels it became the single largest cost of a batched estimate (~25% of
+//! batch-32 latency, see `docs/PERFORMANCE.md`). This module replaces it on
+//! the inference path with a branchless Cephes-style polynomial —
+//! [`fast_exp`] / [`fast_exp_slice`] — whose loop body is straight-line
+//! arithmetic the compiler unrolls and vectorizes.
+//!
+//! # Modes and error bounds
+//!
+//! Every softmax entry point takes a [`SoftmaxMode`]:
+//!
+//! * [`SoftmaxMode::Exact`] uses `f32::exp` (libm), reproducing the
+//!   historical `softmax_into` bit-for-bit. It remains the default for
+//!   training gradients, where the loss derivation assumes the same exp the
+//!   forward used.
+//! * [`SoftmaxMode::Fast`] uses [`fast_exp`]. Over the range softmax
+//!   actually evaluates — shifted logits `x = l - max(l)` in `[-87.3, 0]` —
+//!   the relative error of `fast_exp` versus an `f64` reference is below
+//!   **1e-6** (measured ≤ ~3 ulp of `f32`; enforced by the proptests in
+//!   `crates/nn/tests/math.rs`). Inputs below the underflow clamp at
+//!   `-87.33` return ~1.2e-38 instead of a subnormal/zero: an absolute
+//!   error < 2e-38 that is invisible to a probability mass accumulated in
+//!   `f64` next to the guaranteed `exp(0) = 1` term. `Fast` is the default
+//!   on the inference path (probability masking), where a 1e-6 relative
+//!   perturbation of a selectivity is orders of magnitude below model
+//!   error and far below the Q-Error noise floor (see the parity tests in
+//!   `tests/softmax_modes.rs`).
+//!
+//! Within one mode all paths are deterministic: the same logits always
+//! produce the same probabilities, so batching/serving determinism is
+//! unaffected by the dispatch.
+
+use crate::tensor::Matrix;
+
+/// Which exponential a softmax kernel uses; see the [module docs](self) for
+/// the error bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SoftmaxMode {
+    /// Polynomial [`fast_exp`]: relative error ≤ 1e-6 on the shifted-logit
+    /// range, vectorizable. Default on the inference path.
+    #[default]
+    Fast,
+    /// `f32::exp` (libm): bit-for-bit the historical softmax. Default for
+    /// training gradients.
+    Exact,
+}
+
+/// Lowest input before `exp` underflows the smallest normal `f32`
+/// (`ln(2^-126) ≈ -87.336`); inputs below clamp here.
+const EXP_LO: f32 = -87.336;
+/// Highest input before `exp` overflows `f32::MAX` (`ln(f32::MAX) ≈ 88.72`);
+/// clamped with margin so the exponent-bit scale below stays in range.
+const EXP_HI: f32 = 88.0;
+/// `log2(e)`, the reduction constant.
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+/// High half of `ln 2` (12 explicit mantissa bits, so `n * LN2_HI` is exact
+/// for every integral `|n| < 2^11` — the reduction loses no precision).
+/// Written out in full because the exact value (`0x3F318000`) is the point.
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f32 = 0.693_359_375;
+/// Low half of `ln 2` (`LN2_HI + LN2_LO = ln 2` to ~f64 precision).
+const LN2_LO: f32 = -2.121_944_4e-4;
+/// `1.5 * 2^23`: adding and subtracting it rounds an `f32` in `(-2^22, 2^22)`
+/// to the nearest integer without a branch or a libm call.
+const ROUND_MAGIC: f32 = 12_582_912.0;
+
+/// Branchless polynomial `e^x` (Cephes `expf` scheme): reduce
+/// `x = n·ln2 + r` with `|r| ≤ ln2/2`, evaluate a degree-6 polynomial for
+/// `e^r`, and scale by `2^n` through the exponent bits.
+///
+/// Inputs are clamped to `[-87.336, 88.0]`; see the [module docs](self) for
+/// the error bound. The body is straight-line `mul`/`add`/`min`/`max`
+/// arithmetic, so [`fast_exp_slice`] autovectorizes.
+#[inline(always)]
+pub fn fast_exp(x: f32) -> f32 {
+    let x = x.clamp(EXP_LO, EXP_HI);
+    // n = round(x / ln2), branchless round-to-nearest.
+    let n = (x * LOG2E + ROUND_MAGIC) - ROUND_MAGIC;
+    // r = x - n·ln2 in two steps so the subtraction is exact.
+    let r = (x - n * LN2_HI) - n * LN2_LO;
+    // e^r on [-ln2/2, ln2/2] (Cephes minimax coefficients).
+    let mut p = 1.987_569_2e-4f32;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_5e-1;
+    p = p * r + 5e-1;
+    let frac = (p * r) * r + r + 1.0;
+    // 2^n via the exponent field: the clamp keeps n in [-126, 127].
+    let scale = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    frac * scale
+}
+
+/// [`fast_exp`] over a slice: `out[i] = e^(x[i])`.
+///
+/// The loop body is branch-free, so the compiler unrolls and vectorizes it;
+/// this is the kernel behind [`SoftmaxMode::Fast`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn fast_exp_slice(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "fast_exp_slice length mismatch");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = fast_exp(v);
+    }
+}
+
+/// Exponentiate `logits - max` into `out` and return the `f32` running sum,
+/// dispatched once per block (no per-element mode branch).
+#[inline]
+fn exp_shifted_into(logits: &[f32], max: f32, out: &mut [f32], mode: SoftmaxMode) -> f32 {
+    let mut sum = 0.0f32;
+    match mode {
+        SoftmaxMode::Fast => {
+            for (o, &l) in out.iter_mut().zip(logits.iter()) {
+                let e = fast_exp(l - max);
+                *o = e;
+                sum += e;
+            }
+        }
+        SoftmaxMode::Exact => {
+            for (o, &l) in out.iter_mut().zip(logits.iter()) {
+                let e = (l - max).exp();
+                *o = e;
+                sum += e;
+            }
+        }
+    }
+    sum
+}
+
+/// Scale a freshly exponentiated block to probabilities (uniform fallback
+/// when the sum is not positive, i.e. NaN logits).
+#[inline]
+fn normalize(out: &mut [f32], sum: f32) {
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        out.iter_mut().for_each(|o| *o *= inv);
+    } else {
+        let uniform = 1.0 / out.len().max(1) as f32;
+        out.iter_mut().for_each(|o| *o = uniform);
+    }
+}
+
+/// Numerically stable softmax of one logit block into `out`.
+///
+/// Single pass over the block per phase (max, exp+sum, scale), no staging
+/// copies. `Exact` mode is bit-for-bit the historical
+/// [`crate::loss::softmax_into`]; `Fast` substitutes [`fast_exp`] (error
+/// bounds in the [module docs](self)).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn softmax_block_into(logits: &[f32], out: &mut [f32], mode: SoftmaxMode) {
+    assert_eq!(logits.len(), out.len(), "softmax_block_into length mismatch");
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let sum = exp_shifted_into(logits, max, out, mode);
+    normalize(out, sum);
+}
+
+/// In-place [`softmax_block_into`]: the block is overwritten with its
+/// probabilities without any input copy.
+pub fn softmax_block_inplace(block: &mut [f32], mode: SoftmaxMode) {
+    let max = block.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    match mode {
+        SoftmaxMode::Fast => {
+            for v in block.iter_mut() {
+                let e = fast_exp(*v - max);
+                *v = e;
+                sum += e;
+            }
+        }
+        SoftmaxMode::Exact => {
+            for v in block.iter_mut() {
+                let e = (*v - max).exp();
+                *v = e;
+                sum += e;
+            }
+        }
+    }
+    normalize(block, sum);
+}
+
+/// Matrix-level block softmax, in place: every row of `m` is split into
+/// consecutive blocks of widths `blocks[i]` and each block is normalized
+/// independently.
+///
+/// `offsets` is caller scratch for the block offset table (rebuilt cheaply
+/// each call, reusing its heap buffer): the kernel walks offsets instead of
+/// heap-copying each block the way the old `softmax_blocks` did.
+///
+/// # Panics
+/// Panics if the block widths do not sum to the matrix width.
+pub fn softmax_blocks_inplace(
+    m: &mut Matrix,
+    blocks: &[usize],
+    offsets: &mut Vec<usize>,
+    mode: SoftmaxMode,
+) {
+    let total: usize = blocks.iter().sum();
+    assert_eq!(m.cols(), total, "block sizes do not cover the logit width");
+    offsets.clear();
+    let mut acc = 0usize;
+    for &b in blocks {
+        offsets.push(acc);
+        acc += b;
+    }
+    for row in m.as_mut_slice().chunks_exact_mut(total.max(1)) {
+        for (&off, &b) in offsets.iter().zip(blocks.iter()) {
+            softmax_block_inplace(&mut row[off..off + b], mode);
+        }
+    }
+}
+
+/// The restricted probability mass `sum(softmax(logits)[lo..hi])`, without
+/// materializing normalized probabilities: the unnormalized exponentials are
+/// staged in `scratch` (grown once, reused) and the mass is the `f64` ratio
+/// of the range sum to the total sum.
+///
+/// This is the probability-masking inner loop of Duet's Algorithm 3: the
+/// estimation path only ever consumes this mass, so skipping the per-element
+/// normalization division removes a full pass over every constrained
+/// column's domain. The total is ≥ 1 for finite logits (the maximum element
+/// exponentiates to exactly 1), so the ratio is well-defined; NaN logits
+/// fall back to the uniform mass like the normalized kernels do.
+///
+/// # Panics
+/// Panics if `lo..hi` is out of bounds for the block.
+pub fn softmax_restricted_mass(
+    logits: &[f32],
+    scratch: &mut Vec<f32>,
+    lo: usize,
+    hi: usize,
+    mode: SoftmaxMode,
+) -> f64 {
+    assert!(lo <= hi && hi <= logits.len(), "restricted mass range out of bounds");
+    if logits.len() > scratch.len() {
+        scratch.resize(logits.len(), 0.0);
+    }
+    let buf = &mut scratch[..logits.len()];
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    exp_shifted_into(logits, max, buf, mode);
+    let total: f64 = buf.iter().map(|&e| e as f64).sum();
+    if total > 0.0 {
+        let range: f64 = buf[lo..hi].iter().map(|&e| e as f64).sum();
+        range / total
+    } else {
+        (hi - lo) as f64 / logits.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_exp_tracks_reference_on_softmax_range() {
+        for i in 0..=8_700 {
+            let x = -(i as f32) / 100.0; // [-87, 0]
+            let want = (x as f64).exp();
+            let got = fast_exp(x) as f64;
+            let rel = ((got - want) / want).abs();
+            assert!(rel <= 1e-6, "x={x}: got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn fast_exp_handles_extremes() {
+        assert_eq!(fast_exp(0.0), 1.0);
+        assert!(fast_exp(-1e9) > 0.0, "underflow clamps to a tiny positive");
+        assert!(fast_exp(-1e9) < 2e-38);
+        assert!(fast_exp(1e9).is_finite(), "overflow clamps finite");
+        assert!(fast_exp(90.0) > 1e38);
+    }
+
+    #[test]
+    fn fast_exp_slice_matches_scalar() {
+        let xs: Vec<f32> = (0..57).map(|i| -0.37 * i as f32).collect();
+        let mut out = vec![0.0f32; xs.len()];
+        fast_exp_slice(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(out.iter()) {
+            assert_eq!(o, fast_exp(x));
+        }
+    }
+
+    #[test]
+    fn softmax_modes_agree_and_normalize() {
+        let logits = [1.5f32, -0.3, 4.0, 2.2, -7.5];
+        let mut fast = [0.0f32; 5];
+        let mut exact = [0.0f32; 5];
+        softmax_block_into(&logits, &mut fast, SoftmaxMode::Fast);
+        softmax_block_into(&logits, &mut exact, SoftmaxMode::Exact);
+        for (f, e) in fast.iter().zip(exact.iter()) {
+            assert!((f - e).abs() <= 1e-6, "fast {f} vs exact {e}");
+        }
+        assert!((fast.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((exact.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inplace_matches_out_of_place() {
+        let logits = [0.0f32, 1.0, 2.0, -3.0];
+        for mode in [SoftmaxMode::Fast, SoftmaxMode::Exact] {
+            let mut out = [0.0f32; 4];
+            softmax_block_into(&logits, &mut out, mode);
+            let mut inp = logits;
+            softmax_block_inplace(&mut inp, mode);
+            assert_eq!(out, inp, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn blocks_inplace_normalizes_each_block() {
+        let mut m = Matrix::from_vec(2, 5, vec![0.0, 1.0, 5.0, 5.0, 5.0, 2.0, 2.0, 0.0, 1.0, 9.0]);
+        let mut offsets = Vec::new();
+        softmax_blocks_inplace(&mut m, &[2, 3], &mut offsets, SoftmaxMode::Exact);
+        for r in 0..2 {
+            let row = m.row(r);
+            assert!((row[0] + row[1] - 1.0).abs() < 1e-6);
+            assert!((row[2] + row[3] + row[4] - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(offsets, vec![0, 2]);
+    }
+
+    #[test]
+    fn restricted_mass_matches_normalized_sum() {
+        let logits = [0.5f32, -2.0, 3.0, 1.0, 0.0, -1.0];
+        let mut scratch = Vec::new();
+        for mode in [SoftmaxMode::Fast, SoftmaxMode::Exact] {
+            let mut probs = [0.0f32; 6];
+            softmax_block_into(&logits, &mut probs, mode);
+            let want: f64 = probs[1..4].iter().map(|&p| p as f64).sum();
+            let got = softmax_restricted_mass(&logits, &mut scratch, 1, 4, mode);
+            assert!((got - want).abs() < 1e-6, "{mode:?}: {got} vs {want}");
+        }
+        // Degenerate ranges.
+        assert_eq!(softmax_restricted_mass(&logits, &mut scratch, 2, 2, SoftmaxMode::Fast), 0.0);
+        let all = softmax_restricted_mass(&logits, &mut scratch, 0, 6, SoftmaxMode::Fast);
+        assert!((all - 1.0).abs() < 1e-9);
+    }
+}

@@ -176,6 +176,10 @@ impl ComputePool {
     ///
     /// `workers == 0` is valid: every job runs inline on the caller.
     pub fn new(workers: usize) -> Self {
+        // Pool init is the natural once-per-process moment to pick the
+        // kernels' register-tile variant from the CPU, so the first hot-path
+        // matmul never pays for feature detection.
+        let _ = crate::kernels::native_tile();
         let shared = Arc::new(Shared {
             state: Mutex::new(JobState { epoch: 0, job: None }),
             work_ready: Condvar::new(),

@@ -144,7 +144,7 @@ impl Matrix {
 
     /// Reshape to `rows x cols` without zeroing the retained prefix; only for
     /// kernels that overwrite every element before reading it.
-    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+    pub(crate) fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
         self.data.resize(rows * cols, 0.0);

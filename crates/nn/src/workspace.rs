@@ -218,6 +218,60 @@ impl ForwardWorkspace {
     }
 }
 
+/// Scratch buffers for the allocation-free **training** forward pass
+/// (activation checkpointing into a train-side workspace).
+///
+/// The inference [`ForwardWorkspace`] ping-pongs two buffers because nothing
+/// downstream needs intermediate activations; the training forward must keep
+/// *every* stage output alive for the backward pass, so this workspace holds
+/// one persistent activation matrix per network stage plus an auxiliary
+/// buffer (the hidden state of a residual block) and the same
+/// [`MaskedWeightCache`] memo of masked effective weights.
+///
+/// Ownership mirrors [`ForwardWorkspace`]: the workspace belongs to the
+/// caller (the trainer's step scratch), buffers grow to the network's
+/// shapes on the first batch and are reused allocation-free afterwards, and
+/// the weight memo re-validates per layer by [`WeightKey`] — an optimizer
+/// step (which bumps every key through `visit_params`) re-materializes the
+/// masked weights **in place**, costing the same arithmetic as the old
+/// per-forward materialization but none of its allocations.
+#[derive(Debug, Clone, Default)]
+pub struct TrainWorkspace {
+    /// One checkpointed activation per stage: stage `i` reads `acts[i-1]`
+    /// (or the input) and writes `acts[i]`.
+    acts: Vec<Matrix>,
+    /// Residual-block hidden state (`relu(fc1(x))`).
+    aux: Matrix,
+    /// Memoized masked effective weights, validated by [`WeightKey`].
+    masked: MaskedWeightCache,
+}
+
+impl TrainWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Split into the per-stage activation slots (grown to `stages`), the
+    /// auxiliary buffer, and the masked weight cache — disjoint borrows for
+    /// one forward pass.
+    pub(crate) fn parts(
+        &mut self,
+        stages: usize,
+    ) -> (&mut [Matrix], &mut Matrix, &mut MaskedWeightCache) {
+        if self.acts.len() < stages {
+            self.acts.resize_with(stages, Matrix::default);
+        }
+        let Self { acts, aux, masked } = self;
+        (&mut acts[..stages], aux, masked)
+    }
+
+    /// The masked weight cache (inspection / explicit invalidation).
+    pub fn masked_cache_mut(&mut self) -> &mut MaskedWeightCache {
+        &mut self.masked
+    }
+}
+
 impl Matrix {
     /// Compute the masked effective weight `self ⊙ mask` into `out`
     /// (reshaped, buffer reused). The inference-path replacement for

@@ -20,10 +20,16 @@
 use duet_nn::kernels::{
     addmm_blocked, addmm_packed, matmul_nt_blocked, matmul_tn_blocked, PackedWeight, MR, NR,
 };
-use duet_nn::{Activation, Matrix};
+use duet_nn::{with_tile, Activation, Matrix, Tile};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// Every register-tile variant the runtime dispatch can select. Both run on
+/// any machine: the AVX2 variant falls back to a baseline-compiled
+/// instantiation of the same 6×16 arithmetic when the feature is absent, so
+/// these tests exercise every tile shape everywhere.
+const TILES: [Tile; 2] = [Tile::Sse4x8, Tile::Avx6x16];
 
 /// Deterministic matrix with a mix of exact zeros (probability ~1/3) and
 /// small signed values — zeros exercise the sparse-skip paths.
@@ -72,23 +78,29 @@ fn assert_bit_identical(got: &Matrix, want: &Matrix, what: &str) {
     }
 }
 
-/// Run every kernel path for one `(m, k, n)` shape and compare bitwise.
+/// Run every kernel path for one `(m, k, n)` shape and compare bitwise,
+/// under every register-tile variant.
 fn check_shape(m: usize, k: usize, n: usize, rng: &mut SmallRng) {
     let a = matrix_with_zeros(m, k, rng);
     let b = matrix_with_zeros(k, n, rng);
     let bias: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    for tile in TILES {
+        with_tile(tile, || check_shape_current_tile(&a, &b, &bias, m, k, n));
+    }
+}
 
+fn check_shape_current_tile(a: &Matrix, b: &Matrix, bias: &[f32], m: usize, k: usize, n: usize) {
     for (bias_opt, act) in [
         (None, Activation::Identity),
-        (Some(bias.as_slice()), Activation::Identity),
-        (Some(bias.as_slice()), Activation::Relu),
+        (Some(bias), Activation::Identity),
+        (Some(bias), Activation::Relu),
         (None, Activation::Relu),
     ] {
-        let want = reference_addmm(&a, &b, bias_opt, act);
+        let want = reference_addmm(a, b, bias_opt, act);
 
         // Public dispatching API (whatever path the dispatcher picks).
         let mut got = Matrix::zeros(0, 0);
-        a.addmm_bias_act_into(&b, bias_opt, act, &mut got);
+        a.addmm_bias_act_into(b, bias_opt, act, &mut got);
         assert_bit_identical(&got, &want, "addmm_bias_act_into");
 
         // Forced dense blocked path.
@@ -111,7 +123,7 @@ fn check_shape(m: usize, k: usize, n: usize, rng: &mut SmallRng) {
 
     // matmul_nt: a @ b'^T with b' = b^T, so the reference product is the same.
     let bt = b.transpose();
-    let want = reference_addmm(&a, &b, None, Activation::Identity);
+    let want = reference_addmm(a, b, None, Activation::Identity);
     let mut got = Matrix::zeros(0, 0);
     a.matmul_nt_into(&bt, &mut got);
     assert_bit_identical(&got, &want, "matmul_nt_into");
@@ -122,7 +134,7 @@ fn check_shape(m: usize, k: usize, n: usize, rng: &mut SmallRng) {
     // matmul_tn: a'^T @ b with a' = a^T.
     let at = a.transpose();
     let mut got = Matrix::zeros(0, 0);
-    at.matmul_tn_into(&b, &mut got);
+    at.matmul_tn_into(b, &mut got);
     assert_bit_identical(&got, &want, "matmul_tn_into");
     let mut got = Matrix::zeros(m, n);
     matmul_tn_blocked(at.as_slice(), k, m, b.as_slice(), n, got.as_mut_slice());
@@ -180,6 +192,37 @@ fn kernels_match_reference_on_edge_shapes() {
     for &m in &[1usize, 7, 8, 9, 33] {
         check_shape(m, 3, 1, &mut rng);
         check_shape(1, 3, m, &mut rng);
+    }
+}
+
+/// A pack built under one tile variant keeps producing exact results after
+/// the thread's tile changes: the pack carries its own tile, so dispatch
+/// follows the data, not the ambient setting.
+#[test]
+fn packed_weight_survives_tile_changes() {
+    let mut rng = duet_nn::seeded_rng(0x7171);
+    let (m, k, n) = (13, 19, 29);
+    let a = matrix_with_zeros(m, k, &mut rng);
+    let b = matrix_with_zeros(k, n, &mut rng);
+    let want = reference_addmm(&a, &b, None, Activation::Identity);
+    for pack_tile in TILES {
+        let mut packed = PackedWeight::new();
+        with_tile(pack_tile, || packed.fill_from(b.as_slice(), k, n));
+        assert_eq!(packed.tile(), pack_tile);
+        for run_tile in TILES {
+            let mut got = Matrix::zeros(m, n);
+            with_tile(run_tile, || {
+                addmm_packed(
+                    a.as_slice(),
+                    m,
+                    &packed,
+                    None,
+                    Activation::Identity,
+                    got.as_mut_slice(),
+                )
+            });
+            assert_bit_identical(&got, &want, "packed across tiles");
+        }
     }
 }
 

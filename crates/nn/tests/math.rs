@@ -1,0 +1,124 @@
+//! Property tests for the fast transcendental kernels: the documented error
+//! bounds of `fast_exp` / `SoftmaxMode::Fast` are enforced here, against
+//! `f64` references, over the input ranges softmax actually evaluates.
+
+use duet_nn::math::{fast_exp_slice, softmax_block_into, softmax_restricted_mass, SoftmaxMode};
+use duet_nn::{softmax_into, Matrix};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A random logit block like the ones the probability-masking step sees:
+/// raw network outputs in a modest range, occasionally spiked.
+fn logit_block(len: usize, rng: &mut SmallRng) -> Vec<f32> {
+    (0..len)
+        .map(|_| {
+            let base = rng.gen_range(-20.0f32..20.0);
+            if rng.gen_range(0u32..8) == 0 {
+                base * 3.0
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// `fast_exp` tracks the f64 exponential to ≤ 1e-6 relative error over
+    /// the shifted-logit range softmax evaluates (`x = l - max(l) ≤ 0`,
+    /// down to the underflow clamp).
+    #[test]
+    fn fast_exp_relative_error_within_1e6(x in -87.0f32..=0.0) {
+        let mut out = [0.0f32];
+        fast_exp_slice(&[x], &mut out);
+        let want = (x as f64).exp();
+        let rel = ((out[0] as f64 - want) / want).abs();
+        prop_assert!(rel <= 1e-6, "x={x}: fast {got}, want {want}, rel {rel}", got = out[0]);
+    }
+
+    /// Fast and exact softmax agree elementwise to 1e-6, both sum to 1, and
+    /// their restricted masses over any sub-range agree to 1e-6.
+    #[test]
+    fn fast_softmax_mass_within_1e6_of_exact(
+        len in 2usize..80,
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = duet_nn::seeded_rng(seed);
+        let logits = logit_block(len, &mut rng);
+        let mut fast = vec![0.0f32; len];
+        let mut exact = vec![0.0f32; len];
+        softmax_block_into(&logits, &mut fast, SoftmaxMode::Fast);
+        softmax_block_into(&logits, &mut exact, SoftmaxMode::Exact);
+
+        let sum_fast: f64 = fast.iter().map(|&p| p as f64).sum();
+        let sum_exact: f64 = exact.iter().map(|&p| p as f64).sum();
+        prop_assert!((sum_fast - 1.0).abs() < 1e-5, "fast mass sums to {sum_fast}");
+        prop_assert!((sum_exact - 1.0).abs() < 1e-5, "exact mass sums to {sum_exact}");
+        for (i, (f, e)) in fast.iter().zip(exact.iter()).enumerate() {
+            prop_assert!((f - e).abs() <= 1e-6, "p[{i}]: fast {f} vs exact {e}");
+        }
+
+        // Restricted mass (the quantity the estimation path consumes).
+        let (a, b) = ((lo_frac * len as f64) as usize, (hi_frac * len as f64) as usize);
+        let (lo, hi) = (a.min(b).min(len), a.max(b).min(len));
+        let mut scratch = Vec::new();
+        let mass_fast = softmax_restricted_mass(&logits, &mut scratch, lo, hi, SoftmaxMode::Fast);
+        let mass_exact = softmax_restricted_mass(&logits, &mut scratch, lo, hi, SoftmaxMode::Exact);
+        prop_assert!(
+            (mass_fast - mass_exact).abs() <= 1e-6,
+            "mass fast {mass_fast} vs exact {mass_exact} over {lo}..{hi}"
+        );
+        // ... and the ratio-of-sums mass matches the normalized-probability
+        // mass the old kernel computed.
+        let normalized: f64 = exact[lo..hi].iter().map(|&p| p as f64).sum();
+        prop_assert!((mass_exact - normalized).abs() <= 1e-6);
+    }
+
+    /// The exact mode of the new single-pass kernel is bit-for-bit the
+    /// historical `softmax_into`.
+    #[test]
+    fn exact_mode_is_bit_identical_to_softmax_into(
+        len in 1usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = duet_nn::seeded_rng(seed ^ 0x50f7);
+        let logits = logit_block(len, &mut rng);
+        let mut reference = vec![0.0f32; len];
+        softmax_into(&logits, &mut reference);
+        let mut exact = vec![0.0f32; len];
+        softmax_block_into(&logits, &mut exact, SoftmaxMode::Exact);
+        for (i, (r, e)) in reference.iter().zip(exact.iter()).enumerate() {
+            prop_assert!(r.to_bits() == e.to_bits(), "element {i}: {r} vs {e}");
+        }
+    }
+}
+
+/// `softmax_blocks_inplace` agrees with per-block `softmax_block_into` and
+/// reuses its offset scratch without reallocation.
+#[test]
+fn blocks_inplace_matches_per_block_kernel() {
+    let mut rng = duet_nn::seeded_rng(0xb10c5);
+    let blocks = [3usize, 1, 7, 5];
+    let total: usize = blocks.iter().sum();
+    let rows = 6;
+    let data = logit_block(rows * total, &mut rng);
+    let m = Matrix::from_vec(rows, total, data);
+    for mode in [SoftmaxMode::Fast, SoftmaxMode::Exact] {
+        let mut inplace = m.clone();
+        let mut offsets = Vec::new();
+        duet_nn::softmax_blocks_inplace(&mut inplace, &blocks, &mut offsets, mode);
+        for r in 0..rows {
+            let mut off = 0;
+            for &b in &blocks {
+                let mut want = vec![0.0f32; b];
+                softmax_block_into(&m.row(r)[off..off + b], &mut want, mode);
+                assert_eq!(&inplace.row(r)[off..off + b], want.as_slice(), "{mode:?}");
+                off += b;
+            }
+        }
+    }
+}

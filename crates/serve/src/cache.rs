@@ -106,6 +106,135 @@ pub fn canonical_key_from_parts(
     CacheKey::new(words)
 }
 
+/// One entry of a [`HotSet`] snapshot: a hot request's canonical key
+/// (generation 0) plus everything needed to re-estimate it under a new
+/// model.
+#[derive(Debug, Clone)]
+pub struct HotQuery {
+    /// Canonical cache key of the request, re-labelled to generation 0 (the
+    /// per-generation label is re-applied at insert time).
+    pub key: CacheKey,
+    /// Per-column id-space predicates of the request.
+    pub preds: Vec<Vec<IdPredicate>>,
+    /// Per-column valid-id intervals of the request.
+    pub intervals: Vec<(u32, u32)>,
+    /// Observations recorded for this request (aged, not exact).
+    pub hits: u64,
+}
+
+// Snapshots feed `DuetEstimator::estimate_encoded_batch_with` directly.
+impl AsRef<[Vec<IdPredicate>]> for HotQuery {
+    fn as_ref(&self) -> &[Vec<IdPredicate>] {
+        &self.preds
+    }
+}
+
+impl AsRef<[(u32, u32)]> for HotQuery {
+    fn as_ref(&self) -> &[(u32, u32)] {
+        &self.intervals
+    }
+}
+
+/// A small, aged frequency tracker of a table's hottest cache keys, used to
+/// **replay the hot set into the cache after a model hot-swap**.
+///
+/// A swap invalidates the whole result cache at once (keys embed the model
+/// generation), so without help the post-swap window serves every request
+/// through a forward pass — a p99 cliff exactly when the system also pays
+/// for swap bookkeeping. The server records each cacheable request here at
+/// admission (hit or miss, so the hottest keys — which by definition are
+/// served from cache and never reach a worker — still accumulate counts),
+/// and [`crate::DuetServer::hot_swap`] re-estimates the tracked set under
+/// the new weights, seeding the fresh generation's cache before traffic
+/// asks for it.
+///
+/// Replacement is LFU with aging: a new key observed while the set is full
+/// decays the coldest entry's count and takes its slot once that reaches
+/// zero, so yesterday's hot keys cannot squat forever. The set is
+/// deliberately tiny (default 64 entries, see
+/// [`crate::ServeConfig::hot_keys`]) — it exists to absorb the post-swap
+/// stampede on the head of the popularity distribution, not to mirror the
+/// cache.
+#[derive(Debug)]
+pub struct HotSet {
+    capacity: usize,
+    entries: Mutex<Vec<HotQuery>>,
+}
+
+impl HotSet {
+    /// A tracker keeping at most `capacity` hot keys (0 disables tracking).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, entries: Mutex::new(Vec::with_capacity(capacity)) }
+    }
+
+    /// Record one observation of `key` (any generation). The encodings are
+    /// cloned only when the key first enters the set; a repeat observation
+    /// is a counter bump under the lock.
+    ///
+    /// **Best-effort under contention**: the tracker sits on the serving
+    /// front door, ahead of the sharded cache, so it must never become the
+    /// serialization point the cache sharding exists to avoid. If another
+    /// thread holds the lock the observation is simply dropped — a
+    /// popularity *sample* loses nothing from subsampling under load, and
+    /// the hot path never blocks here.
+    pub fn observe(&self, key: &CacheKey, preds: &[Vec<IdPredicate>], intervals: &[(u32, u32)]) {
+        if self.capacity == 0 {
+            return;
+        }
+        let Ok(mut entries) = self.entries.try_lock() else { return };
+        // Generation-invariant match: compare every key word but the
+        // generation label (word 0).
+        if let Some(entry) = entries.iter_mut().find(|e| e.key.words[1..] == key.words[1..]) {
+            entry.hits += 1;
+            return;
+        }
+        if entries.len() < self.capacity {
+            entries.push(HotQuery {
+                key: key.with_generation(0),
+                preds: preds.to_vec(),
+                intervals: intervals.to_vec(),
+                hits: 1,
+            });
+            return;
+        }
+        // Full: age the coldest entry; replace it once its count drains.
+        let coldest = entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.hits)
+            .map(|(i, _)| i)
+            .expect("capacity > 0");
+        let entry = &mut entries[coldest];
+        entry.hits = entry.hits.saturating_sub(1);
+        if entry.hits == 0 {
+            *entry = HotQuery {
+                key: key.with_generation(0),
+                preds: preds.to_vec(),
+                intervals: intervals.to_vec(),
+                hits: 1,
+            };
+        }
+    }
+
+    /// The current hot set, hottest first (clones; the tracker keeps
+    /// recording while the caller replays).
+    pub fn snapshot(&self) -> Vec<HotQuery> {
+        let mut out = self.entries.lock().expect("hot set poisoned").clone();
+        out.sort_by_key(|q| std::cmp::Reverse(q.hits));
+        out
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("hot set poisoned").len()
+    }
+
+    /// True if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 const NIL: usize = usize::MAX;
 
 struct Node {
@@ -481,6 +610,39 @@ mod tests {
         // Plain clear keeps the epoch.
         cache.clear();
         assert_eq!(cache.epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn hot_set_counts_across_generations_and_ages_out_cold_keys() {
+        let hot = HotSet::new(2);
+        let (preds_a, ints_a) = (vec![vec![]], vec![(0u32, 3u32)]);
+        let key_a_gen0 = key_of(&[0, 7]);
+        let key_a_gen5 = key_a_gen0.with_generation(5);
+
+        hot.observe(&key_a_gen0, &preds_a, &ints_a);
+        hot.observe(&key_a_gen5, &preds_a, &ints_a); // same request, newer generation
+        hot.observe(&key_of(&[0, 8]), &preds_a, &ints_a);
+        assert_eq!(hot.len(), 2);
+        let snap = hot.snapshot();
+        assert_eq!(snap[0].hits, 2, "generation must not split a key's count");
+        assert_eq!(snap[0].key, key_a_gen0);
+
+        // A third key only displaces the cold slot after its count drains.
+        let key_c = key_of(&[0, 9]);
+        hot.observe(&key_c, &preds_a, &ints_a); // ages [0,8] from 1 -> 0, replaced next
+        hot.observe(&key_c, &preds_a, &ints_a);
+        let snap = hot.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().any(|q| q.key == key_c.with_generation(0)));
+        assert!(snap.iter().any(|q| q.key == key_a_gen0), "the hot key survives");
+    }
+
+    #[test]
+    fn hot_set_zero_capacity_is_inert() {
+        let hot = HotSet::new(0);
+        hot.observe(&key_of(&[1, 2]), &[], &[]);
+        assert!(hot.is_empty());
+        assert!(hot.snapshot().is_empty());
     }
 
     #[test]

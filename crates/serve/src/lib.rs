@@ -73,7 +73,9 @@ pub mod server;
 pub mod sim;
 
 pub use batcher::BatchConfig;
-pub use cache::{canonical_key, canonical_key_from_parts, CacheKey, ShardedCache};
+pub use cache::{
+    canonical_key, canonical_key_from_parts, CacheKey, HotQuery, HotSet, ShardedCache,
+};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelRegistry, ModelSlot, SwapError};
 pub use router::{shard_for, Clock, Router, RouterConfig, ShedReason, SystemClock, VirtualClock};

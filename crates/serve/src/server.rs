@@ -17,7 +17,7 @@
 //! [`ServeError::DeadlineExceeded`].
 
 use crate::batcher::{run_shard_worker, BatchConfig};
-use crate::cache::{canonical_key_from_parts, ShardedCache};
+use crate::cache::{canonical_key_from_parts, HotSet, ShardedCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::{ModelRegistry, ModelSlot, SwapError};
 use crate::router::{
@@ -43,6 +43,10 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Number of independently locked cache shards per table.
     pub cache_shards: usize,
+    /// Per-table capacity of the hot-key tracker replayed into the cache
+    /// after a model hot-swap (see [`crate::HotSet`]); 0 disables the
+    /// post-swap warm-up replay. Only effective when caching is enabled.
+    pub hot_keys: usize,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +56,7 @@ impl Default for ServeConfig {
             router: RouterConfig::default(),
             cache_capacity: 4096,
             cache_shards: 8,
+            hot_keys: 64,
         }
     }
 }
@@ -121,6 +126,8 @@ struct TableHandle {
     shard: usize,
     slot: Arc<ModelSlot>,
     cache: Arc<ShardedCache>,
+    /// Hottest cache keys, replayed into `cache` after a hot-swap.
+    hot: Arc<HotSet>,
 }
 
 /// Outcome of submitting one query: answered from cache, or in a shard's
@@ -208,7 +215,12 @@ impl DuetServer {
                 directory.push(resources);
             }
         }
-        tables.insert(table, TableHandle { id, shard, slot, cache });
+        let hot = Arc::new(HotSet::new(if self.config.cache_capacity > 0 {
+            self.config.hot_keys
+        } else {
+            0
+        }));
+        tables.insert(table, TableHandle { id, shard, slot, cache, hot });
     }
 
     /// Look up the client-side handle for `table`.
@@ -237,6 +249,9 @@ impl DuetServer {
         let intervals = query.column_intervals(schema);
         let key = if self.config.cache_capacity > 0 {
             let key = canonical_key_from_parts(schema, generation, &preds, &intervals);
+            // Track popularity at the front door: hits never reach a worker,
+            // so this is the only place the hottest keys are visible.
+            handle.hot.observe(&key, &preds, &intervals);
             if let Some(value) = handle.cache.get(&key) {
                 return Ok(Submitted::Cached(value));
             }
@@ -338,6 +353,14 @@ impl DuetServer {
     /// purge bumps the cache epoch, so a shard worker that resolved the old
     /// model cannot strand entries computed mid-swap (its inserts carry the
     /// pre-swap epoch and are rejected).
+    ///
+    /// After the purge the table's **hot set is replayed**: the top-K keys
+    /// the front door observed (see [`crate::HotSet`]) are re-estimated in
+    /// one batch under the new weights and inserted at the new generation —
+    /// so the hottest traffic keeps hitting the cache straight through the
+    /// swap instead of stampeding the forward pass (the post-swap p99
+    /// cliff). Replayed inserts are epoch-tagged like worker inserts: a
+    /// second swap racing this one drops them.
     pub fn hot_swap(&self, table: &str, checkpoint: &[u8]) -> Result<(), ServeError> {
         let handle = self.handle(table)?;
         handle
@@ -345,7 +368,26 @@ impl DuetServer {
             .hot_swap_checkpoint(checkpoint)
             .map_err(|e| ServeError::Swap(SwapError::Checkpoint(e)))?;
         handle.cache.invalidate();
+        Self::replay_hot_keys(&handle);
         Ok(())
+    }
+
+    /// Re-estimate `handle`'s hot set under its current model and seed the
+    /// cache with the results (one batched forward pass; swap-frequency
+    /// work, so the throwaway workspace is fine).
+    fn replay_hot_keys(handle: &TableHandle) {
+        let hot = handle.hot.snapshot();
+        if hot.is_empty() {
+            return;
+        }
+        let (generation, estimator) = handle.slot.current_versioned();
+        let epoch = handle.cache.epoch();
+        let mut ws = duet_core::DuetWorkspace::new();
+        let mut values = Vec::with_capacity(hot.len());
+        estimator.estimate_encoded_batch_with(&hot, &hot, &mut ws, &mut values);
+        for (query, &value) in hot.iter().zip(values.iter()) {
+            handle.cache.insert_tagged(query.key.with_generation(generation), value, epoch);
+        }
     }
 
     /// The swap generation of `table`'s model (0 until the first swap).

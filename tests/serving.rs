@@ -150,6 +150,39 @@ fn hot_swap_round_trips_checkpointed_estimates() {
 }
 
 #[test]
+fn hot_swap_replays_hot_keys_into_the_fresh_cache() {
+    let (table, est_a) = trained(700, 6);
+    let (_, mut est_b) = trained(700, 77);
+    let queries = WorkloadSpec::random(&table, 12, 19).generate(&table);
+    let expected_b: Vec<f64> = queries.iter().map(|q| est_b.estimate(q)).collect();
+
+    let server = DuetServer::new(ServeConfig::default());
+    server.register("census", est_a);
+
+    // Make the workload hot: several passes so every key accumulates counts.
+    for _ in 0..3 {
+        for q in &queries {
+            server.estimate("census", q).unwrap();
+        }
+    }
+
+    let checkpoint = save_weights(&mut est_b);
+    server.hot_swap("census", &checkpoint).unwrap();
+
+    // The replay must have re-seeded the new generation's cache: the first
+    // post-swap pass over the hot workload is all cache hits, and every hit
+    // returns exactly what the new model would compute.
+    let hits_before = server.metrics().cache_hits;
+    let served: Vec<f64> = queries.iter().map(|q| server.estimate("census", q).unwrap()).collect();
+    assert_eq!(served, expected_b, "replayed entries must carry new-model values");
+    assert_eq!(
+        server.metrics().cache_hits - hits_before,
+        queries.len() as u64,
+        "the hot workload must not miss after the swap replay"
+    );
+}
+
+#[test]
 fn hot_swap_under_concurrent_load_never_drops_requests() {
     let (table, est_a) = trained(600, 5);
     let (_, mut est_b) = trained(600, 55);

@@ -1,0 +1,88 @@
+//! End-to-end parity of the softmax modes: `SoftmaxMode::Fast` (the
+//! inference default, polynomial exp) must agree with `SoftmaxMode::Exact`
+//! (libm exp) to within noise on a real workload — per-estimate relative
+//! error far below model error, and q-error distributions that match to
+//! high precision.
+
+use duet::core::{query_to_id_predicates, DuetConfig, DuetEstimator, DuetWorkspace, SoftmaxMode};
+use duet::data::datasets::census_like;
+use duet::nn::q_error;
+use duet::query::{exact_cardinality, WorkloadSpec};
+
+/// Per-query id-space predicate rows.
+type EncodedRows = Vec<Vec<Vec<duet::core::IdPredicate>>>;
+/// Per-query valid-id intervals.
+type EncodedIntervals = Vec<Vec<(u32, u32)>>;
+
+/// One trained estimator plus an encoded census workload.
+fn setup() -> (DuetEstimator, EncodedRows, EncodedIntervals, Vec<u64>) {
+    let table = census_like(2_000, 11);
+    let cfg = DuetConfig::small().with_epochs(2);
+    let est = DuetEstimator::train_data_only(&table, &cfg, 5);
+    let queries = WorkloadSpec::random(&table, 64, 321).generate(&table);
+    let rows: Vec<_> = queries.iter().map(|q| query_to_id_predicates(est.schema(), q)).collect();
+    let intervals: Vec<_> = queries.iter().map(|q| q.column_intervals(est.schema())).collect();
+    let truths: Vec<u64> = queries.iter().map(|q| exact_cardinality(&table, q)).collect();
+    (est, rows, intervals, truths)
+}
+
+#[test]
+fn fast_and_exact_estimates_agree_within_noise() {
+    let (est, rows, intervals, truths) = setup();
+
+    let mut ws = DuetWorkspace::new();
+    assert_eq!(ws.softmax_mode, SoftmaxMode::Fast, "Fast is the inference default");
+    let mut fast = Vec::new();
+    est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut fast);
+
+    ws.softmax_mode = SoftmaxMode::Exact;
+    let mut exact = Vec::new();
+    est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut exact);
+
+    // Per-estimate: the fast path's 1e-6 exp error composes across at most
+    // ~14 constrained columns — relative error stays microscopic next to
+    // model error (q-errors are typically 1.x-10x).
+    for (i, (f, e)) in fast.iter().zip(exact.iter()).enumerate() {
+        let rel = if *e > 0.0 { (f - e).abs() / e } else { (f - e).abs() };
+        assert!(rel <= 1e-4, "query {i}: fast {f} vs exact {e} (rel {rel})");
+    }
+
+    // Q-error parity: both modes judge the workload identically to well
+    // under the measurement noise of any accuracy experiment.
+    let q = |ests: &[f64]| -> f64 {
+        ests.iter()
+            .zip(truths.iter())
+            .map(|(&est, &truth)| q_error(est, truth as f64, 1.0))
+            .sum::<f64>()
+            / ests.len() as f64
+    };
+    let (q_fast, q_exact) = (q(&fast), q(&exact));
+    assert!(
+        (q_fast - q_exact).abs() <= 1e-3 * q_exact,
+        "mean q-error must match within noise: fast {q_fast} vs exact {q_exact}"
+    );
+}
+
+#[test]
+fn each_mode_is_deterministic_and_batch_invariant() {
+    let (est, rows, intervals, _) = setup();
+    for mode in [SoftmaxMode::Fast, SoftmaxMode::Exact] {
+        let mut ws = DuetWorkspace::new();
+        ws.softmax_mode = mode;
+        let mut all = Vec::new();
+        est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut all);
+
+        // Re-running and re-batching must be bit-identical within a mode.
+        let mut rerun = Vec::new();
+        est.estimate_encoded_batch_with(&rows, &intervals, &mut ws, &mut rerun);
+        assert_eq!(all, rerun, "{mode:?} must be deterministic");
+
+        let mut chunked = Vec::new();
+        let mut out = Vec::new();
+        for (r, i) in rows.chunks(7).zip(intervals.chunks(7)) {
+            est.estimate_encoded_batch_with(r, i, &mut ws, &mut out);
+            chunked.extend_from_slice(&out);
+        }
+        assert_eq!(all, chunked, "{mode:?} must be batch-invariant");
+    }
+}

@@ -3,26 +3,33 @@
 //! measured after warm-up — the steady-state serving hot loop must perform
 //! **zero** heap allocations (and zero frees).
 //!
-//! Four phases: the raw batched estimation path (full and shrinking
+//! Five phases: the raw batched estimation path (full and shrinking
 //! batches), the **routed multi-table hot loop** — admission into a
 //! bounded shard queue, same-table batch formation at dequeue, deadline
 //! triage, and per-table-workspace batch execution across two
 //! differently-shaped tables, driven through the deterministic harness with
-//! one fixed request set recycled through the router — and the
+//! one fixed request set recycled through the router — the
 //! **pooled large-batch path**: a batch big enough to cross the kernels'
 //! parallelism threshold, so the forward pass fans row blocks out over a
-//! `duet_nn::ComputePool`. The pool's parked workers are woken per job with
-//! no allocation anywhere on the submit/execute/wait path (this is exactly
+//! `duet_nn::ComputePool` (the pool's parked workers are woken per job with
+//! no allocation anywhere on the submit/execute/wait path; this is exactly
 //! what the pool replaced `std::thread::scope` for — scoped spawning
-//! allocated on every large matmul).
+//! allocated on every large matmul) — and the **steady-state training
+//! step**: `zero_grad` + the data-driven forward (encode, checkpointing
+//! backbone forward, grouped cross-entropy gradient staging) + the
+//! supervised Q-Error forward (per-column softmax into flat staging), for
+//! both MADE and ResMADE, through one reused `TrainStepScratch`.
 //!
 //! This lives in its own integration-test binary so the global allocator and
 //! the single-threaded measurement cannot interfere with other tests.
 
-use duet::core::{query_to_id_predicates, DuetConfig, DuetEstimator, DuetWorkspace};
+use duet::core::{
+    data_forward, query_forward, query_to_id_predicates, sample_virtual_batch, DuetConfig,
+    DuetEstimator, DuetModel, DuetWorkspace, PreparedQuery, SamplerConfig, TrainStepScratch,
+};
 use duet::data::datasets::census_like;
-use duet::nn::{with_pool, ComputePool};
-use duet::query::WorkloadSpec;
+use duet::nn::{seeded_rng, with_pool, ComputePool};
+use duet::query::{exact_cardinality, WorkloadSpec};
 use duet::serve::sim::{HarnessConfig, PreparedRequest, RouterHarness};
 use duet::serve::{BatchConfig, RouterConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -61,6 +68,7 @@ fn steady_state_batched_inference_is_allocation_free() {
     shrinking_batch_phase();
     routed_multi_table_phase();
     pooled_large_batch_phase();
+    training_step_phase();
 }
 
 fn full_batch_phase() {
@@ -180,6 +188,62 @@ fn routed_multi_table_phase() {
     let snapshot = harness.metrics_snapshot();
     assert_eq!(snapshot.shed_overload + snapshot.shed_deadline, 0);
     assert!(snapshot.batches >= 24, "12 rounds x 2 tables of batches, got {}", snapshot.batches);
+}
+
+fn training_step_phase() {
+    // The steady-state training step's forward work — zero_grad (which
+    // bumps every weight key, forcing the masked-weight memo to
+    // re-materialize in place, exactly as a real optimizer step does),
+    // input encoding, the checkpointing training forward, the grouped
+    // cross-entropy gradient staging, and the supervised Q-Error pass with
+    // its flat probability staging — must be allocation-free once the
+    // scratch is warm. Backward and Adam stay outside the window (they keep
+    // their allocating paths; see docs/PERFORMANCE.md). Both backbone
+    // variants are covered: plain MADE and ResMADE (residual blocks).
+    let table = census_like(400, 9);
+    for residual in [false, true] {
+        let mut cfg = DuetConfig::small();
+        cfg.residual = residual;
+        let mut model = DuetModel::new(&table, &cfg, 13);
+        let mut rng = seeded_rng(31);
+        let sampler =
+            SamplerConfig { expand_mu: 2, wildcard_prob: 0.3, max_predicates_per_column: 1 };
+        let anchor_rows: Vec<usize> = (0..32).collect();
+        let batch = sample_virtual_batch(&table, &anchor_rows, &sampler, &mut rng);
+        let queries = WorkloadSpec::random(&table, 16, 21).generate(&table);
+        let prepared: Vec<PreparedQuery> = queries
+            .iter()
+            .map(|q| PreparedQuery::prepare(&table, q, exact_cardinality(&table, q)))
+            .collect();
+        let num_rows = table.num_rows() as f64;
+
+        let mut scratch = TrainStepScratch::new();
+        let step = |model: &mut DuetModel, scratch: &mut TrainStepScratch| {
+            model.zero_grad();
+            let data_loss = data_forward(model, &batch, scratch);
+            let (query_loss, mean_q) = query_forward(model, &prepared, num_rows, 0.1, scratch);
+            (data_loss, query_loss, mean_q)
+        };
+
+        // Warm-up: scratch activations, gradient staging, probability
+        // staging, and the masked-weight memo all grow to shape.
+        step(&mut model, &mut scratch);
+        let expected = step(&mut model, &mut scratch);
+
+        let (allocs_before, frees_before) =
+            (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+        for _ in 0..10 {
+            let got = step(&mut model, &mut scratch);
+            assert_eq!(got, expected, "scratch reuse must not change training losses");
+        }
+        let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+        let frees = FREES.load(Ordering::Relaxed) - frees_before;
+        assert_eq!(
+            allocs, 0,
+            "steady-state training forward must not allocate (residual={residual})"
+        );
+        assert_eq!(frees, 0, "steady-state training forward must not free (residual={residual})");
+    }
 }
 
 fn pooled_large_batch_phase() {
