@@ -31,6 +31,21 @@ use duet_core::WorkspacePool;
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+/// How the straggler window (the close-out wait of a non-full batch) is
+/// chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StragglerMode {
+    /// Always wait exactly [`BatchConfig::batch_window`] (zero = no wait).
+    #[default]
+    Fixed,
+    /// Autotune per batch from the shard's observed inter-arrival gaps:
+    /// wait about twice the typical gap when requests are arriving faster
+    /// than the cap, wait not at all when traffic is sparse — the same
+    /// adapt-to-load idea as batch sizes emerging from backlog. The cap is
+    /// [`BatchConfig::batch_window`] when positive, otherwise 100 µs.
+    Auto,
+}
+
 /// Tuning knobs of the per-shard micro-batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
@@ -44,15 +59,36 @@ pub struct BatchConfig {
     /// no artificial delay. A positive window trades latency for larger
     /// batches when clients are pipelined/asynchronous; with *blocking*
     /// clients it can backfire (everyone waits on the worker, the worker
-    /// waits on the window).
+    /// waits on the window). Under [`StragglerMode::Auto`] this is the
+    /// window's upper bound rather than its value.
     pub batch_window: Duration,
+    /// Straggler-window policy: fixed, or autotuned from arrival gaps.
+    pub straggler: StragglerMode,
+    /// Minimum queue depth another shard must have before an idle worker
+    /// steals a batch from it; `0` disables work-stealing. Stealing only
+    /// engages after a worker's own queue stayed empty for a full idle
+    /// park, so a shard with traffic never gives work away needlessly.
+    pub steal_threshold: usize,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self { max_batch_size: 64, batch_window: Duration::ZERO }
+        Self {
+            max_batch_size: 64,
+            batch_window: Duration::ZERO,
+            straggler: StragglerMode::Fixed,
+            steal_threshold: 2,
+        }
     }
 }
+
+/// How long an idle worker parks on its own empty queue before scanning
+/// other shards for stealable work (only with work-stealing enabled).
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Straggler-window cap under [`StragglerMode::Auto`] when no explicit
+/// `batch_window` bound is configured.
+const AUTO_WINDOW_CAP: Duration = Duration::from_micros(100);
 
 /// Worker-lifetime execution state, reused across every batch: the
 /// per-table workspace pool and the batch containers. None of these
@@ -149,37 +185,95 @@ fn deliver(
         ReplyTo::Channel(tx) => {
             let _ = tx.send(outcome);
         }
+        ReplyTo::Wire { outbox, request_id } => outbox.complete(*request_id, outcome),
         ReplyTo::Ticket(ticket) => outcomes.push((*ticket, outcome)),
         ReplyTo::Discard => {}
     }
 }
 
+/// Empty an executed batch, handing wire requests (their predicate/interval
+/// buffers intact) back to their connection's outbox pool so the next
+/// decode on that connection reuses the allocations; everything else is
+/// dropped. This is what keeps the steady-state wire path allocation-free.
+pub(crate) fn recycle_batch(batch: &mut Vec<RoutedRequest>) {
+    for mut request in batch.drain(..) {
+        // Detach the reply first: a pooled request must not keep a cyclic
+        // strong reference to the outbox that owns the pool.
+        let reply = std::mem::replace(&mut request.reply, ReplyTo::Discard);
+        if let ReplyTo::Wire { outbox, .. } = reply {
+            outbox.recycle(request);
+        }
+    }
+}
+
 /// Production worker loop: one thread per shard, runs until the router is
-/// closed and the shard's queue is drained.
+/// closed and its own shard's queue is drained.
+///
+/// With `config.steal_threshold > 0` and more than one shard, a worker
+/// whose own queue stays empty for a full idle park scans the other shards
+/// and **steals one batch** from the deepest queue at or above the
+/// threshold. Batch execution is shard-agnostic (the thief uses its own
+/// per-table workspace and answers are bit-identical wherever they run), so
+/// stealing only changes *when* a backlogged request is served — one cold
+/// shard can no longer idle next to a drowning neighbor.
 pub(crate) fn run_shard_worker(
-    shard: Arc<Shard>,
+    shard_index: usize,
+    shards: Vec<Arc<Shard>>,
     directory: Arc<RwLock<Vec<TableResources>>>,
     clock: Arc<dyn crate::router::Clock>,
     metrics: Arc<ServeMetrics>,
     config: BatchConfig,
 ) {
+    let shard = shards[shard_index].clone();
+    let stealing = config.steal_threshold > 0 && shards.len() > 1;
+    let auto_cap =
+        if config.batch_window > Duration::ZERO { config.batch_window } else { AUTO_WINDOW_CAP };
     let mut worker = ShardWorker::new();
-    // Production requests reply over channels, so this stays empty; it only
-    // exists so the harness and the worker share one execution path.
+    // Production requests reply over channels or outboxes, so this stays
+    // empty; it only exists so the harness and the worker share one
+    // execution path.
     let mut outcomes = Vec::new();
     loop {
-        match shard.pop_batch_blocking(
+        let window = match config.straggler {
+            StragglerMode::Fixed => config.batch_window,
+            StragglerMode::Auto => shard.suggested_window(auto_cap),
+        };
+        let popped = shard.pop_batch_blocking(
             config.max_batch_size,
-            config.batch_window,
+            window,
+            stealing.then_some(IDLE_PARK),
             &mut worker.batch,
-        ) {
+        );
+        match popped {
             Popped::Closed => break,
             Popped::Batch => {
                 let now = clock.now();
                 let tables = directory.read().expect("directory poisoned");
                 worker.execute(&tables, now, &metrics, &mut outcomes);
                 drop(tables);
-                worker.batch.clear();
+                recycle_batch(&mut worker.batch);
+            }
+            Popped::Idle => {
+                // Own queue empty for a whole park: steal one batch from the
+                // deepest sibling at or above the threshold, if any.
+                let victim = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != shard_index)
+                    .map(|(_, s)| (s.depth(), s))
+                    .max_by_key(|(depth, _)| *depth);
+                if let Some((depth, victim)) = victim {
+                    if depth >= config.steal_threshold
+                        && victim.try_pop_batch(config.max_batch_size, &mut worker.batch)
+                    {
+                        metrics.record_steal();
+                        let now = clock.now();
+                        let tables = directory.read().expect("directory poisoned");
+                        worker.execute(&tables, now, &metrics, &mut outcomes);
+                        drop(tables);
+                        recycle_batch(&mut worker.batch);
+                    }
+                }
             }
         }
     }
@@ -196,6 +290,10 @@ mod tests {
     use duet_query::{Query, WorkloadSpec};
     use std::sync::mpsc;
     use std::sync::mpsc::SyncSender;
+
+    fn test_shard(capacity: usize) -> Shard {
+        Shard::new(capacity, Arc::new(SystemClock::new()))
+    }
 
     fn resources_for(estimator: DuetEstimator, name: &str) -> TableResources {
         TableResources {
@@ -230,7 +328,7 @@ mod tests {
         let queries = WorkloadSpec::random(&table, 16, 5).generate(&table);
         let expected = est.estimate_batch(&queries);
 
-        let shard = Shard::new(64);
+        let shard = test_shard(64);
         let mut replies = Vec::new();
         for q in &queries {
             let (reply, reply_rx) = mpsc::sync_channel(1);
@@ -262,7 +360,7 @@ mod tests {
         let q2 = WorkloadSpec::random(&t2, 6, 7).generate(&t2);
         let (e1, e2) = (est1.estimate_batch(&q1), est2.estimate_batch(&q2));
 
-        let shard = Shard::new(64);
+        let shard = test_shard(64);
         let mut replies = Vec::new();
         // Interleave the two tables in one queue.
         for i in 0..6 {
@@ -299,7 +397,7 @@ mod tests {
         let queries = WorkloadSpec::random(&table, 4, 6).generate(&table);
         let expected = est.estimate_batch(&queries);
 
-        let shard = Shard::new(64);
+        let shard = test_shard(64);
         let mut replies = Vec::new();
         for (i, q) in queries.iter().enumerate() {
             // Odd requests carry an already-tight deadline.
@@ -348,7 +446,7 @@ mod tests {
             slot: Arc::new(ModelSlot::new(est.clone())),
             cache: cache.clone(),
         }];
-        let shard = Shard::new(8);
+        let shard = test_shard(8);
         let (reply, reply_rx) = mpsc::sync_channel(1);
         let mut request = request_for(&est, 0, &query, None, reply);
         request.key = Some(key.clone());
@@ -388,16 +486,103 @@ mod tests {
         }
 
         let handle = {
-            let (shard, directory, metrics) =
-                (router.shard(0).clone(), directory.clone(), metrics.clone());
+            let (shards, directory, metrics) =
+                (vec![router.shard(0).clone()], directory.clone(), metrics.clone());
             let clock: Arc<dyn crate::router::Clock> = Arc::new(SystemClock::new());
             std::thread::spawn(move || {
-                run_shard_worker(shard, directory, clock, metrics, BatchConfig::default())
+                run_shard_worker(0, shards, directory, clock, metrics, BatchConfig::default())
             })
         };
         let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
         assert_eq!(got, expected);
         router.close();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn straggler_window_adapts_to_arrival_gaps() {
+        use crate::router::VirtualClock;
+        let clock = Arc::new(VirtualClock::new());
+        let shard = Shard::new(64, clock.clone());
+        let cap = Duration::from_micros(100);
+        assert_eq!(shard.suggested_window(cap), Duration::ZERO, "no estimate yet");
+
+        // Dense arrivals every 10 µs: the window converges to ~2 gaps.
+        let mut drain = Vec::new();
+        for _ in 0..32 {
+            clock.advance(Duration::from_micros(10));
+            shard.try_push(request(0, None)).unwrap();
+            shard.try_pop_batch(64, &mut drain);
+        }
+        let window = shard.suggested_window(cap);
+        assert!(
+            window >= Duration::from_micros(15) && window <= Duration::from_micros(25),
+            "dense traffic should suggest ~2x the 10us gap, got {window:?}"
+        );
+        assert!(shard.suggested_window(Duration::from_micros(12)) <= Duration::from_micros(12));
+
+        // Sparse arrivals (gaps far beyond the cap): no straggler is coming
+        // within the window, so don't tax latency at all.
+        for _ in 0..8 {
+            clock.advance(Duration::from_millis(50));
+            shard.try_push(request(0, None)).unwrap();
+            shard.try_pop_batch(64, &mut drain);
+        }
+        assert_eq!(shard.suggested_window(cap), Duration::ZERO, "sparse traffic");
+    }
+
+    fn request(table_id: u32, deadline: Option<Duration>) -> RoutedRequest {
+        RoutedRequest {
+            table_id,
+            preds: Vec::new(),
+            intervals: Vec::new(),
+            key: None,
+            deadline,
+            reply: ReplyTo::Discard,
+        }
+    }
+
+    #[test]
+    fn idle_worker_steals_backlog_from_deep_sibling() {
+        let table = census_like(250, 35);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let est = DuetEstimator::train_data_only(&table, &cfg, 6);
+        let queries = WorkloadSpec::random(&table, 6, 10).generate(&table);
+        let expected = est.estimate_batch(&queries);
+
+        let router = crate::router::Router::new(
+            RouterConfig { num_shards: 2, ..RouterConfig::default() },
+            Arc::new(SystemClock::new()),
+            Arc::new(ServeMetrics::new()),
+        );
+        let directory = Arc::new(RwLock::new(vec![resources_for(est.clone(), "census")]));
+        let metrics = Arc::new(ServeMetrics::new());
+
+        // Backlog lands on shard 1, but only shard 0 gets a worker: every
+        // answer must come from a steal.
+        let mut replies = Vec::new();
+        for q in &queries {
+            let (reply, reply_rx) = mpsc::sync_channel(1);
+            router.try_route(1, request_for(&est, 0, q, None, reply)).unwrap();
+            replies.push(reply_rx);
+        }
+
+        let handle = {
+            let shards: Vec<_> = (0..2).map(|i| router.shard(i).clone()).collect();
+            let (directory, metrics) = (directory.clone(), metrics.clone());
+            let clock: Arc<dyn crate::router::Clock> = Arc::new(SystemClock::new());
+            let config = BatchConfig { steal_threshold: 2, ..BatchConfig::default() };
+            std::thread::spawn(move || {
+                run_shard_worker(0, shards, directory, clock, metrics, config)
+            })
+        };
+        let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
+        assert_eq!(got, expected, "stolen batches must stay bit-identical");
+        router.close();
+        handle.join().unwrap();
+        assert!(
+            metrics.snapshot(0, 0, 0).steals >= 1,
+            "serving a foreign shard's backlog must be recorded as a steal"
+        );
     }
 }

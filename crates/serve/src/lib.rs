@@ -30,7 +30,12 @@
 //! * [`sim`] — a **deterministic serving test harness**: a virtual-clock,
 //!   seeded-RNG multi-client driver that replays scripted arrival patterns
 //!   through the real router/worker code, making the concurrency layer
-//!   regression-testable instead of timing-dependent.
+//!   regression-testable instead of timing-dependent;
+//! * [`wire`] — **duet-wire**, the TCP front door: a compact binary
+//!   protocol with pipelined connections, served by nonblocking acceptor
+//!   threads ([`DuetServer::serve_wire`]) and driven byte-for-byte by the
+//!   simulator ([`sim::run_wire_scenario`]) so framing, backpressure, and
+//!   out-of-order completion are replay-testable without sockets.
 //!
 //! ```no_run
 //! use duet_core::{DuetConfig, DuetEstimator};
@@ -71,8 +76,9 @@ pub mod registry;
 pub mod router;
 pub mod server;
 pub mod sim;
+pub mod wire;
 
-pub use batcher::BatchConfig;
+pub use batcher::{BatchConfig, StragglerMode};
 pub use cache::{
     canonical_key, canonical_key_from_parts, CacheKey, HotQuery, HotSet, ShardedCache,
 };
@@ -80,3 +86,4 @@ pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelRegistry, ModelSlot, SwapError};
 pub use router::{shard_for, Clock, Router, RouterConfig, ShedReason, SystemClock, VirtualClock};
 pub use server::{DuetServer, ServeConfig, ServeError};
+pub use wire::{WireClient, WireConfig, WireConn, WireHandle};

@@ -32,6 +32,20 @@ pub struct ServeMetrics {
     shed_overload: AtomicU64,
     /// Requests dropped at dequeue because their deadline had expired.
     shed_deadline: AtomicU64,
+    /// Batches an idle worker stole from another shard's queue.
+    steals: AtomicU64,
+    /// Wire connections accepted / closed (their difference is the open
+    /// gauge; two counters so the totals survive disconnects).
+    conns_opened: AtomicU64,
+    conns_closed: AtomicU64,
+    /// Complete frames decoded from / encoded to wire connections.
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    /// Connections torn down because their byte stream failed to decode.
+    wire_decode_errors: AtomicU64,
+    /// Histogram of per-connection in-flight request counts, sampled at
+    /// each admission (same bucket bounds as the batch histogram).
+    pipeline_hist: [AtomicU64; BATCH_BUCKETS.len() + 1],
     /// Ring of recent latencies in nanoseconds; `latency_cursor` counts
     /// total records and indexes the ring modulo [`LATENCY_WINDOW`].
     latencies_ns: Vec<AtomicU64>,
@@ -49,6 +63,13 @@ impl ServeMetrics {
             batch_hist: Default::default(),
             shed_overload: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            conns_opened: AtomicU64::new(0),
+            conns_closed: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            wire_decode_errors: AtomicU64::new(0),
+            pipeline_hist: Default::default(),
             latencies_ns: (0..LATENCY_WINDOW).map(|_| AtomicU64::new(0)).collect(),
             latency_cursor: AtomicU64::new(0),
         }
@@ -78,6 +99,44 @@ impl ServeMetrics {
     /// Record one request dropped at dequeue (deadline expired).
     pub fn record_shed_deadline(&self) {
         self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one batch stolen by an idle worker from another shard.
+    pub fn record_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one accepted wire connection.
+    pub fn record_conn_opened(&self) {
+        self.conns_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one closed wire connection (EOF, shutdown, or decode error).
+    pub fn record_conn_closed(&self) {
+        self.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one complete frame decoded from a wire connection.
+    pub fn record_frame_in(&self) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one frame encoded onto a wire connection.
+    pub fn record_frame_out(&self) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection torn down by a protocol decode error.
+    pub fn record_wire_decode_error(&self) {
+        self.wire_decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection's in-flight request count observed at admission
+    /// (the pipelining-depth histogram).
+    pub fn record_pipeline_depth(&self, depth: usize) {
+        let bucket =
+            BATCH_BUCKETS.iter().position(|&ub| depth <= ub).unwrap_or(BATCH_BUCKETS.len());
+        self.pipeline_hist[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Requests rejected at admission so far.
@@ -111,12 +170,18 @@ impl ServeMetrics {
             .collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
 
-        let histogram = BATCH_BUCKETS
-            .iter()
-            .copied()
-            .chain(std::iter::once(usize::MAX))
-            .zip(self.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)))
-            .collect();
+        let bucketize = |hist: &[AtomicU64]| {
+            BATCH_BUCKETS
+                .iter()
+                .copied()
+                .chain(std::iter::once(usize::MAX))
+                .zip(hist.iter().map(|c| c.load(Ordering::Relaxed)))
+                .collect()
+        };
+        let histogram = bucketize(&self.batch_hist);
+        let pipeline_histogram = bucketize(&self.pipeline_hist);
+        let conns_opened = self.conns_opened.load(Ordering::Relaxed);
+        let conns_closed = self.conns_closed.load(Ordering::Relaxed);
 
         let cache_total = cache_hits + cache_misses;
         MetricsSnapshot {
@@ -134,6 +199,13 @@ impl ServeMetrics {
             batch_size_histogram: histogram,
             shed_overload: self.shed_overload.load(Ordering::Relaxed),
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            conns_opened,
+            open_conns: conns_opened.saturating_sub(conns_closed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            wire_decode_errors: self.wire_decode_errors.load(Ordering::Relaxed),
+            pipeline_depth_histogram: pipeline_histogram,
             queue_depth,
             cache_hits,
             cache_misses,
@@ -185,6 +257,21 @@ pub struct MetricsSnapshot {
     pub shed_overload: u64,
     /// Requests dropped at dequeue because their deadline had expired.
     pub shed_deadline: u64,
+    /// Batches an idle worker stole from another shard's queue.
+    pub steals: u64,
+    /// Wire connections accepted since startup.
+    pub conns_opened: u64,
+    /// Wire connections currently open (accepted minus closed).
+    pub open_conns: u64,
+    /// Complete frames decoded from wire connections.
+    pub frames_in: u64,
+    /// Frames encoded onto wire connections.
+    pub frames_out: u64,
+    /// Wire connections torn down by protocol decode errors.
+    pub wire_decode_errors: u64,
+    /// `(bucket upper bound, samples)` histogram of per-connection in-flight
+    /// request counts at admission; the `usize::MAX` bucket is open-ended.
+    pub pipeline_depth_histogram: Vec<(usize, u64)>,
     /// Requests queued across all shards at snapshot time.
     pub queue_depth: usize,
     /// Result-cache hits across all tables.
@@ -200,7 +287,8 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "requests={} qps={:.0} p50={:.1}us p99={:.1}us batches={} mean_batch={:.2} \
-             shed_overload={} shed_deadline={} queue_depth={} cache_hit_rate={:.1}%",
+             shed_overload={} shed_deadline={} steals={} queue_depth={} cache_hit_rate={:.1}% \
+             conns={} frames_in={} frames_out={} decode_errors={}",
             self.requests,
             self.qps,
             self.p50_latency_us,
@@ -209,8 +297,13 @@ impl std::fmt::Display for MetricsSnapshot {
             self.mean_batch_size,
             self.shed_overload,
             self.shed_deadline,
+            self.steals,
             self.queue_depth,
-            self.cache_hit_rate * 100.0
+            self.cache_hit_rate * 100.0,
+            self.open_conns,
+            self.frames_in,
+            self.frames_out,
+            self.wire_decode_errors
         )
     }
 }
@@ -288,6 +381,37 @@ mod tests {
         assert!(line.contains("shed_overload=2"));
         assert!(line.contains("shed_deadline=1"));
         assert!(line.contains("queue_depth=7"));
+    }
+
+    #[test]
+    fn wire_counters_and_pipeline_histogram_are_reported() {
+        let m = ServeMetrics::new();
+        m.record_conn_opened();
+        m.record_conn_opened();
+        m.record_conn_closed();
+        m.record_frame_in();
+        m.record_frame_in();
+        m.record_frame_out();
+        m.record_wire_decode_error();
+        m.record_steal();
+        m.record_pipeline_depth(1);
+        m.record_pipeline_depth(3);
+        m.record_pipeline_depth(500);
+        let s = m.snapshot(0, 0, 0);
+        assert_eq!(s.conns_opened, 2);
+        assert_eq!(s.open_conns, 1);
+        assert_eq!((s.frames_in, s.frames_out), (2, 1));
+        assert_eq!(s.wire_decode_errors, 1);
+        assert_eq!(s.steals, 1);
+        let count_of =
+            |ub: usize| s.pipeline_depth_histogram.iter().find(|&&(b, _)| b == ub).map(|&(_, c)| c);
+        assert_eq!(count_of(1), Some(1));
+        assert_eq!(count_of(4), Some(1)); // depth 3 lands in the <=4 bucket
+        assert_eq!(count_of(usize::MAX), Some(1));
+        let line = s.to_string();
+        assert!(line.contains("steals=1"));
+        assert!(line.contains("conns=1"));
+        assert!(line.contains("frames_in=2"));
     }
 
     #[test]

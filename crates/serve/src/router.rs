@@ -164,6 +164,14 @@ pub(crate) enum ReplyTo {
     /// Production: a buffered channel back to the blocked client (buffered
     /// so the worker never blocks on a slow or vanished client).
     Channel(SyncSender<Result<f64, ShedReason>>),
+    /// Wire connection: record under this request id in the connection's
+    /// outbox; the connection's next pump turns it into a response frame.
+    Wire {
+        /// The owning connection's completion queue + request pool.
+        outbox: Arc<crate::wire::Outbox>,
+        /// Client-chosen correlation id echoed in the response frame.
+        request_id: u64,
+    },
     /// Test harness: record under this ticket in the driver's outcome log.
     Ticket(u64),
     /// Measurement probes: discard the outcome.
@@ -223,11 +231,24 @@ struct ShardState {
 
 /// One worker shard: a bounded FIFO of routed requests plus the signalling
 /// its worker thread parks on.
+///
+/// The shard also observes its own **arrival rhythm**: every admission
+/// updates an EWMA of the inter-arrival gap (in clock nanoseconds), which
+/// the straggler-window autotuner ([`Shard::suggested_window`]) turns into
+/// an adaptive batch close-out wait — wait about two typical gaps when
+/// requests are arriving faster than the cap, wait not at all when the
+/// queue is quiet and no straggler is coming.
 pub(crate) struct Shard {
     state: Mutex<ShardState>,
     available: Condvar,
     capacity: usize,
     closed: AtomicBool,
+    clock: Arc<dyn Clock>,
+    /// Clock time of the most recent admission (`u64::MAX` = none yet).
+    last_arrival_ns: AtomicU64,
+    /// EWMA of inter-arrival gaps in nanoseconds (0 = no estimate yet;
+    /// observed gaps are clamped to ≥ 1 ns so 0 stays unambiguous).
+    gap_ewma_ns: AtomicU64,
 }
 
 /// Outcome of a blocking dequeue.
@@ -236,15 +257,21 @@ pub(crate) enum Popped {
     Batch,
     /// The router is shut down and the queue is fully drained.
     Closed,
+    /// The idle park elapsed with nothing queued — the worker is free to
+    /// look for work elsewhere (work-stealing).
+    Idle,
 }
 
 impl Shard {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, clock: Arc<dyn Clock>) -> Self {
         Self {
             state: Mutex::new(ShardState { queue: VecDeque::new(), scratch: Vec::new() }),
             available: Condvar::new(),
             capacity,
             closed: AtomicBool::new(false),
+            clock,
+            last_arrival_ns: AtomicU64::new(u64::MAX),
+            gap_ewma_ns: AtomicU64::new(0),
         }
     }
 
@@ -252,8 +279,10 @@ impl Shard {
     ///
     /// Returns the queue depth after the push; on rejection the request is
     /// handed back so the caller can fail it without losing the reply
-    /// channel.
+    /// channel. Every attempt (admitted or shed) feeds the arrival-gap EWMA:
+    /// rejected traffic is still arrival pressure.
     pub(crate) fn try_push(&self, request: RoutedRequest) -> Result<usize, RoutedRequest> {
+        self.observe_arrival();
         let mut state = self.state.lock().expect("shard poisoned");
         if state.queue.len() >= self.capacity {
             return Err(request);
@@ -263,6 +292,39 @@ impl Shard {
         drop(state);
         self.available.notify_one();
         Ok(depth)
+    }
+
+    /// Fold "a request arrived now" into the inter-arrival gap EWMA
+    /// (`new = (3·old + gap) / 4`, lock-free, single-writer-tolerant: a
+    /// racing store loses one sample, never corrupts the estimate).
+    fn observe_arrival(&self) {
+        let now_ns = self.clock.now().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let last = self.last_arrival_ns.swap(now_ns, Ordering::Relaxed);
+        if last == u64::MAX {
+            return; // first arrival: no gap yet
+        }
+        let gap = now_ns.saturating_sub(last).max(1);
+        let old = self.gap_ewma_ns.load(Ordering::Relaxed);
+        let ewma = if old == 0 { gap } else { (3 * old + gap) / 4 };
+        self.gap_ewma_ns.store(ewma.max(1), Ordering::Relaxed);
+    }
+
+    /// The autotuned straggler window: how long a freshly formed non-full
+    /// batch should wait for more same-table requests, given the shard's
+    /// observed arrival rhythm and the configured upper bound `cap`.
+    ///
+    /// *No estimate yet, or typical gaps longer than the cap* → zero (a
+    /// straggler is not coming within the window; don't tax latency).
+    /// *Gaps within the cap* → twice the typical gap, clamped to the cap
+    /// (enough room for the next arrival plus jitter).
+    pub(crate) fn suggested_window(&self, cap: Duration) -> Duration {
+        let gap = self.gap_ewma_ns.load(Ordering::Relaxed);
+        let cap_ns = cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if gap == 0 || gap > cap_ns {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((2 * gap).min(cap_ns))
+        }
     }
 
     /// Current queue depth.
@@ -310,12 +372,17 @@ impl Shard {
     /// same-table batch from the queue head, then optionally waits out the
     /// straggler window for more requests of that table.
     ///
+    /// With `idle_park: Some(park)`, the wait-for-work phase gives up after
+    /// `park` with [`Popped::Idle`] so the worker can go look for stealable
+    /// work on other shards; with `None` it parks indefinitely.
+    ///
     /// After [`Shard::close`], keeps returning batches until the queue is
     /// empty (graceful drain), then reports [`Popped::Closed`].
     pub(crate) fn pop_batch_blocking(
         &self,
         max_batch: usize,
         window: Duration,
+        idle_park: Option<Duration>,
         batch: &mut Vec<RoutedRequest>,
     ) -> Popped {
         batch.clear();
@@ -328,7 +395,20 @@ impl Shard {
             if self.closed.load(Ordering::Acquire) {
                 return Popped::Closed;
             }
-            state = self.available.wait(state).expect("shard poisoned");
+            match idle_park {
+                None => state = self.available.wait(state).expect("shard poisoned"),
+                Some(park) => {
+                    let (s, timeout) =
+                        self.available.wait_timeout(state, park).expect("shard poisoned");
+                    state = s;
+                    if timeout.timed_out()
+                        && state.queue.is_empty()
+                        && !self.closed.load(Ordering::Acquire)
+                    {
+                        return Popped::Idle;
+                    }
+                }
+            }
         }
         Self::take_head_table(&mut state, batch, max);
         if batch.len() >= max || window == Duration::ZERO {
@@ -440,7 +520,9 @@ impl Router {
     ) -> Self {
         let num = config.num_shards.max(1);
         Self {
-            shards: (0..num).map(|_| Arc::new(Shard::new(config.queue_capacity))).collect(),
+            shards: (0..num)
+                .map(|_| Arc::new(Shard::new(config.queue_capacity, clock.clone())))
+                .collect(),
             clock,
             metrics,
             config,
@@ -461,6 +543,12 @@ impl Router {
     /// The shard at `index` (workers hold their own `Arc`).
     pub(crate) fn shard(&self, index: usize) -> &Arc<Shard> {
         &self.shards[index]
+    }
+
+    /// Every shard of the pool (workers clone this set so an idle worker
+    /// can scan its siblings for stealable work).
+    pub(crate) fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
     }
 
     /// Admit `request` to shard `index`, recording an overload shed on
@@ -504,6 +592,10 @@ impl Router {
 mod tests {
     use super::*;
 
+    fn test_shard(capacity: usize) -> Shard {
+        Shard::new(capacity, Arc::new(SystemClock::new()))
+    }
+
     fn request(table_id: u32, deadline: Option<Duration>) -> RoutedRequest {
         RoutedRequest {
             table_id,
@@ -533,19 +625,19 @@ mod tests {
 
     #[test]
     fn bounded_queue_rejects_at_capacity() {
-        let shard = Shard::new(2);
+        let shard = test_shard(2);
         assert_eq!(shard.try_push(request(0, None)).unwrap(), 1);
         assert_eq!(shard.try_push(request(0, None)).unwrap(), 2);
         assert!(shard.try_push(request(0, None)).is_err(), "third push must be rejected");
         assert_eq!(shard.depth(), 2);
 
-        let zero = Shard::new(0);
+        let zero = test_shard(0);
         assert!(zero.try_push(request(0, None)).is_err(), "capacity 0 rejects everything");
     }
 
     #[test]
     fn pop_groups_head_table_and_preserves_order() {
-        let shard = Shard::new(16);
+        let shard = test_shard(16);
         for table_id in [1u32, 2, 1, 1, 2, 1] {
             shard.try_push(request(table_id, None)).unwrap();
         }
@@ -560,7 +652,7 @@ mod tests {
 
     #[test]
     fn pop_respects_max_batch_size() {
-        let shard = Shard::new(16);
+        let shard = test_shard(16);
         for _ in 0..5 {
             shard.try_push(request(3, None)).unwrap();
         }

@@ -148,6 +148,9 @@ pub struct DuetServer {
     /// Client-side name→handle map (same slot/cache `Arc`s as `directory`).
     tables: RwLock<HashMap<String, TableHandle>>,
     metrics: Arc<ServeMetrics>,
+    /// The clock deadlines are measured against; shared with every worker
+    /// and wire acceptor.
+    clock: Arc<dyn Clock>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -159,15 +162,18 @@ impl DuetServer {
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
         let router = Arc::new(Router::new(config.router, clock.clone(), metrics.clone()));
         let directory = Arc::new(RwLock::new(Vec::new()));
+        let shards: Vec<_> = router.shards().to_vec();
         let workers = (0..router.num_shards())
             .map(|shard_index| {
-                let shard = router.shard(shard_index).clone();
+                let shards = shards.clone();
                 let (directory, clock, metrics) =
                     (directory.clone(), clock.clone(), metrics.clone());
                 let batch = config.batch;
                 std::thread::Builder::new()
                     .name(format!("duet-serve-shard-{shard_index}"))
-                    .spawn(move || run_shard_worker(shard, directory, clock, metrics, batch))
+                    .spawn(move || {
+                        run_shard_worker(shard_index, shards, directory, clock, metrics, batch)
+                    })
                     .expect("failed to spawn shard worker")
             })
             .collect();
@@ -178,6 +184,7 @@ impl DuetServer {
             directory,
             tables: RwLock::new(HashMap::new()),
             metrics,
+            clock,
             workers: Mutex::new(workers),
         }
     }
@@ -408,6 +415,34 @@ impl DuetServer {
     /// The routing layer (shard count, queue depths).
     pub fn router(&self) -> &Router {
         &self.router
+    }
+
+    /// Open the TCP front door: bind `addr` and serve the binary wire
+    /// protocol (see [`crate::wire`]) against this server's tables.
+    ///
+    /// Wire requests flow through the same shard queues, micro-batchers,
+    /// admission control, and metrics as in-process [`DuetServer::estimate`]
+    /// calls — `Overloaded` and `DeadlineExceeded` come back as wire status
+    /// codes instead of errors. The returned handle owns the acceptor
+    /// threads; drop it (or call [`crate::WireHandle::shutdown`]) to stop
+    /// listening. The server itself must outlive the handle's connections
+    /// only logically — sockets hold their own `Arc`s, so shutdown order is
+    /// safe either way.
+    pub fn serve_wire(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        config: crate::wire::WireConfig,
+    ) -> std::io::Result<crate::wire::WireHandle> {
+        crate::wire::listener::serve(
+            addr,
+            config,
+            crate::wire::listener::WireShared {
+                router: self.router.clone(),
+                directory: self.directory.clone(),
+                clock: self.clock.clone(),
+                metrics: self.metrics.clone(),
+            },
+        )
     }
 
     /// A point-in-time snapshot of all serving metrics, with cache counters

@@ -30,6 +30,8 @@ use crate::router::{
     shard_for, Clock, ReplyTo, RoutedRequest, Router, RouterConfig, ShedReason, TableResources,
     VirtualClock,
 };
+use crate::wire::conn::{ConnConfig, WireConn};
+use crate::wire::frame::{self, DecodeError, FrameView, Status};
 use duet_core::{query_to_id_predicates, DuetEstimator};
 use duet_query::{CardinalityEstimator, Query};
 use rand::rngs::SmallRng;
@@ -243,7 +245,11 @@ impl RouterHarness {
             if self.router.shard(shard_index).try_pop_batch(max_batch, &mut worker.batch) {
                 processed += worker.batch.len();
                 worker.execute(&self.directory, now, &self.metrics, &mut self.outcomes);
-                worker.batch.clear();
+                // Recycle rather than drop: wire-originated requests go back
+                // to their connection's pool, keeping the simulated wire hot
+                // loop allocation-free (ticket/discard requests just drop,
+                // exactly as `clear` did).
+                crate::batcher::recycle_batch(&mut worker.batch);
             }
         }
         processed
@@ -399,6 +405,8 @@ impl ScenarioReport {
 #[derive(Debug, Clone, Copy)]
 struct Event {
     at_ns: u64,
+    /// Scripted client (wire scenarios map this to a connection).
+    client: usize,
     table: usize,
     query: usize,
 }
@@ -433,7 +441,7 @@ fn script(cfg: &ScenarioConfig, workloads: &[Vec<Query>]) -> Vec<Event> {
         for k in 0..cfg.requests_per_client {
             let table = pick_table(&mut rng, cfg.pattern, workloads.len());
             let query = rng.gen_range(0..workloads[table].len());
-            events.push(Event { at_ns, table, query });
+            events.push(Event { at_ns, client, table, query });
             at_ns += match cfg.pattern {
                 ArrivalPattern::Bursty { burst_size } => {
                     let burst = burst_size.max(1);
@@ -548,5 +556,380 @@ pub fn run_scenario(
         }
     }
     report.batches = harness.metrics_snapshot().batches;
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Wire simulation: seeded byte-level clients over the real frame codec and
+// connection state machine.
+// ---------------------------------------------------------------------------
+
+/// How a simulated client's written bytes are delivered to its connection.
+///
+/// Real TCP makes no promise that one `write` becomes one `read`; this knob
+/// recreates both failure shapes deterministically so the framing layer is
+/// tested against them, not around them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkMode {
+    /// Every written byte is delivered immediately, whole — the "one write,
+    /// one read" best case.
+    Exact,
+    /// Bytes are delivered in seeded random chunks of `1..=max` bytes, and a
+    /// tail is sometimes held back until the client's next activity — so
+    /// frames arrive split across reads *and* coalesced with later frames.
+    Random {
+        /// Largest single delivery, in bytes (≥ 1).
+        max: usize,
+    },
+}
+
+/// A byte-level wire simulator: a [`RouterHarness`] fronted by real
+/// [`WireConn`] state machines, with the transport replaced by in-memory
+/// byte buffers.
+///
+/// This is the low-level layer: callers write protocol bytes with
+/// [`WireSim::feed`], step the server with [`WireSim::pump`] (decode +
+/// admission + response encode) and [`WireSim::turn`] (one worker batch per
+/// shard), and read response bytes back with [`WireSim::output`]. Nothing
+/// here touches a socket or a thread, so `tests/zero_alloc.rs` can hold an
+/// allocation counter over the whole loop. [`run_wire_scenario`] builds the
+/// scripted multi-client replay on top.
+pub struct WireSim {
+    harness: RouterHarness,
+    conns: Vec<WireConn>,
+}
+
+impl WireSim {
+    /// A simulator over `tables` with `connections` wire connections, each
+    /// running the given connection config.
+    pub fn new(
+        tables: Vec<(String, DuetEstimator)>,
+        config: HarnessConfig,
+        conn_config: ConnConfig,
+        connections: usize,
+    ) -> Self {
+        Self {
+            harness: RouterHarness::new(tables, config),
+            conns: (0..connections).map(|_| WireConn::new(conn_config)).collect(),
+        }
+    }
+
+    /// The underlying single-step harness (clock, queue depths, metrics).
+    pub fn harness(&self) -> &RouterHarness {
+        &self.harness
+    }
+
+    /// The simulator's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        self.harness.clock()
+    }
+
+    /// Number of simulated connections.
+    pub fn num_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Deliver raw client bytes to connection `conn` (the simulated
+    /// counterpart of a socket read).
+    pub fn feed(&mut self, conn: usize, bytes: &[u8]) {
+        self.conns[conn].feed(bytes);
+    }
+
+    /// Run connection `conn`'s state machine: decode complete frames, admit
+    /// requests to the real shard queues, and encode any finished responses
+    /// into the connection's output buffer. Returns whether anything
+    /// happened; a [`DecodeError`] means the byte stream was corrupt (a real
+    /// listener would close the connection).
+    pub fn pump(&mut self, conn: usize) -> Result<bool, DecodeError> {
+        self.conns[conn].pump(
+            &self.harness.router,
+            &self.harness.directory,
+            self.harness.clock.as_ref(),
+            &self.harness.metrics,
+        )
+    }
+
+    /// One worker turn at the current virtual time (see
+    /// [`RouterHarness::turn`]); wire-originated requests are recycled back
+    /// to their connections' pools.
+    pub fn turn(&mut self) -> usize {
+        self.harness.turn()
+    }
+
+    /// Response bytes waiting to be "read" by connection `conn`'s client.
+    pub fn output(&self, conn: usize) -> &[u8] {
+        self.conns[conn].output()
+    }
+
+    /// Discard `n` bytes of connection `conn`'s output (the client read
+    /// them).
+    pub fn consume_output(&mut self, conn: usize, n: usize) {
+        self.conns[conn].consume_output(n);
+    }
+
+    /// Requests admitted on connection `conn` whose responses have not been
+    /// encoded yet.
+    pub fn inflight(&self, conn: usize) -> usize {
+        self.conns[conn].inflight()
+    }
+}
+
+impl std::fmt::Debug for WireSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireSim")
+            .field("connections", &self.conns.len())
+            .field("harness", &self.harness)
+            .finish()
+    }
+}
+
+/// A scripted multi-client wire replay: [`ScenarioConfig`] plus the
+/// transport knobs.
+#[derive(Debug, Clone)]
+pub struct WireScenarioConfig {
+    /// The arrival script and harness configuration; `scenario.clients` is
+    /// the number of wire connections.
+    pub scenario: ScenarioConfig,
+    /// How client bytes reach the server (split/coalesced delivery).
+    pub chunk: ChunkMode,
+    /// Per-connection in-flight cap before the server answers `Overloaded`
+    /// from the wire layer itself.
+    pub max_pipeline: usize,
+}
+
+/// One simulated client endpoint: bytes written but not yet delivered, and
+/// bytes received but not yet decoded.
+#[derive(Default)]
+struct SimClient {
+    /// Written, undelivered bytes ("in flight" on the simulated wire).
+    pending: Vec<u8>,
+    /// Received, undecoded response bytes.
+    recv: Vec<u8>,
+}
+
+/// Replay a scripted workload through the **wire path**: every request is
+/// encoded to protocol bytes by a scripted client, delivered (possibly
+/// split/coalesced per [`ChunkMode`]), decoded and admitted by the real
+/// [`WireConn`] state machine, batched by the real workers, and read back as
+/// response frames — all under the virtual clock.
+///
+/// The resulting [`ScenarioReport`] has the same shape and invariants as
+/// [`run_scenario`]'s (`accounted() == submitted`, `mismatches == 0`), and
+/// replaying the same config twice must produce an identical report — that
+/// equality is the wire layer's determinism assertion.
+pub fn run_wire_scenario(
+    tables: &[(String, DuetEstimator)],
+    workloads: &[Vec<Query>],
+    cfg: &WireScenarioConfig,
+) -> ScenarioReport {
+    assert_eq!(tables.len(), workloads.len(), "one workload per table");
+    assert!(!tables.is_empty(), "need at least one table");
+    assert!(cfg.scenario.clients > 0, "need at least one wire client");
+
+    // Unbatched per-query reference values (the bit-identity baseline).
+    let expected: Vec<Vec<f64>> = tables
+        .iter()
+        .zip(workloads)
+        .map(|((_, estimator), queries)| {
+            let mut reference = estimator.clone();
+            queries.iter().map(|q| reference.estimate(q)).collect()
+        })
+        .collect();
+
+    let conn_config = ConnConfig { max_pipeline: cfg.max_pipeline.max(1), ..ConnConfig::default() };
+    let mut sim =
+        WireSim::new(tables.to_vec(), cfg.scenario.harness, conn_config, cfg.scenario.clients);
+    let events = script(&cfg.scenario, workloads);
+    let service_ns = cfg.scenario.service_every.as_nanos().max(1) as u64;
+    let mut next_service = service_ns;
+    // Transport chunking gets its own seeded stream so arrival scripting and
+    // delivery fragmentation are independent dimensions of the same seed.
+    let mut chunk_rng = SmallRng::seed_from_u64(cfg.scenario.seed ^ 0x57_49_52_45); // "WIRE"
+
+    let mut clients: Vec<SimClient> =
+        (0..cfg.scenario.clients).map(|_| SimClient::default()).collect();
+    // Every connection starts by writing the protocol preamble.
+    for client in &mut clients {
+        frame::encode_preamble(&mut client.pending);
+    }
+
+    let mut report = ScenarioReport {
+        per_table_submitted: vec![0; tables.len()],
+        per_table_served: vec![0; tables.len()],
+        per_table_shed: vec![0; tables.len()],
+        ..ScenarioReport::default()
+    };
+    // request id -> (table, query); ids are global across connections.
+    let mut ticket_source: Vec<(usize, usize)> = Vec::with_capacity(events.len());
+    let mut responses_seen: u64 = 0;
+
+    /// Move up to the whole pending buffer from `client` into the server
+    /// connection, split/held-back per `chunk`.
+    fn deliver(
+        sim: &mut WireSim,
+        conn: usize,
+        client: &mut SimClient,
+        chunk: ChunkMode,
+        rng: &mut SmallRng,
+        everything: bool,
+    ) {
+        while !client.pending.is_empty() {
+            let take = match chunk {
+                ChunkMode::Exact => client.pending.len(),
+                ChunkMode::Random { max } => {
+                    if !everything && rng.gen_range(0u32..4) == 0 {
+                        // Hold the tail back: it will coalesce with the
+                        // client's next write.
+                        break;
+                    }
+                    rng.gen_range(1..=max.max(1)).min(client.pending.len())
+                }
+            };
+            sim.feed(conn, &client.pending[..take]);
+            client.pending.drain(..take);
+            sim.pump(conn).expect("simulated clients speak the protocol");
+        }
+    }
+
+    /// Decode every complete response frame the server has produced for
+    /// `conn` and fold it into the report.
+    #[allow(clippy::too_many_arguments)]
+    fn collect(
+        sim: &mut WireSim,
+        conn: usize,
+        client: &mut SimClient,
+        ticket_source: &[(usize, usize)],
+        expected: &[Vec<f64>],
+        report: &mut ScenarioReport,
+        responses_seen: &mut u64,
+    ) {
+        let produced = sim.output(conn).len();
+        if produced > 0 {
+            client.recv.extend_from_slice(sim.output(conn));
+            sim.consume_output(conn, produced);
+        }
+        let mut pos = 0;
+        while let Some((view, consumed)) =
+            frame::next_frame(&client.recv[pos..], frame::DEFAULT_MAX_FRAME_LEN)
+                .expect("server frames are well-formed")
+        {
+            if let FrameView::Response(response) = view {
+                *responses_seen += 1;
+                let (table, query) = ticket_source[response.request_id as usize];
+                match response.status {
+                    Status::Ok => {
+                        report.served += 1;
+                        report.per_table_served[table] += 1;
+                        if response.value.to_bits() != expected[table][query].to_bits() {
+                            report.mismatches += 1;
+                        }
+                    }
+                    Status::Overloaded => {
+                        report.shed_overload += 1;
+                        report.per_table_shed[table] += 1;
+                    }
+                    Status::DeadlineExceeded => {
+                        report.shed_deadline += 1;
+                        report.per_table_shed[table] += 1;
+                    }
+                    Status::UnknownTable => {
+                        unreachable!("scripted clients only address registered tables")
+                    }
+                }
+            }
+            pos += consumed;
+        }
+        client.recv.drain(..pos);
+    }
+
+    for event in &events {
+        // Run the worker cadence up to this arrival, draining responses as
+        // they are produced.
+        while next_service <= event.at_ns {
+            sim.clock().set(Duration::from_nanos(next_service));
+            sim.turn();
+            for (conn, client) in clients.iter_mut().enumerate() {
+                sim.pump(conn).expect("pump after turn cannot hit new input");
+                collect(
+                    &mut sim,
+                    conn,
+                    client,
+                    &ticket_source,
+                    &expected,
+                    &mut report,
+                    &mut responses_seen,
+                );
+            }
+            next_service += service_ns;
+        }
+        sim.clock().set(Duration::from_nanos(event.at_ns));
+
+        // The scripted client encodes its request and writes it to the wire.
+        let ticket = ticket_source.len() as u64;
+        ticket_source.push((event.table, event.query));
+        report.submitted += 1;
+        report.per_table_submitted[event.table] += 1;
+        {
+            let estimator = sim.harness().estimator(event.table);
+            let schema = estimator.schema();
+            let query = &workloads[event.table][event.query];
+            let preds = duet_core::query_to_id_predicates(schema, query);
+            let intervals = query.column_intervals(schema);
+            frame::encode_request(
+                &mut clients[event.client].pending,
+                ticket,
+                event.table as u32,
+                0, // defer to the router's configured deadline budget
+                &preds,
+                &intervals,
+            );
+        }
+        deliver(
+            &mut sim,
+            event.client,
+            &mut clients[event.client],
+            cfg.chunk,
+            &mut chunk_rng,
+            false,
+        );
+        collect(
+            &mut sim,
+            event.client,
+            &mut clients[event.client],
+            &ticket_source,
+            &expected,
+            &mut report,
+            &mut responses_seen,
+        );
+        report.max_shard_depth =
+            report.max_shard_depth.max(sim.harness().queue_depths().into_iter().max().unwrap_or(0));
+    }
+
+    // All arrivals are in: flush every held-back byte, then keep the worker
+    // cadence going until each request has produced exactly one response.
+    for (conn, client) in clients.iter_mut().enumerate() {
+        deliver(&mut sim, conn, client, cfg.chunk, &mut chunk_rng, true);
+    }
+    let mut idle_turns = 0u32;
+    while responses_seen < report.submitted {
+        sim.clock().advance(cfg.scenario.service_every);
+        let processed = sim.turn();
+        for (conn, client) in clients.iter_mut().enumerate() {
+            sim.pump(conn).expect("pump after turn cannot hit new input");
+            collect(
+                &mut sim,
+                conn,
+                client,
+                &ticket_source,
+                &expected,
+                &mut report,
+                &mut responses_seen,
+            );
+        }
+        idle_turns = if processed == 0 { idle_turns + 1 } else { 0 };
+        assert!(idle_turns < 1000, "wire drain stalled: a request produced no response");
+    }
+
+    report.batches = sim.harness().metrics_snapshot().batches;
     report
 }

@@ -1,0 +1,441 @@
+//! The per-connection state machine of the wire layer: preamble handshake,
+//! frame decode, admission, and out-of-order response multiplexing.
+//!
+//! [`WireConn`] is deliberately **transport- and clock-agnostic**: it never
+//! touches a socket or reads wall time. Bytes go in through
+//! [`WireConn::feed`] (however they arrived — split, partial, coalesced),
+//! decoded work is admitted and completed responses are encoded during
+//! [`WireConn::pump`], and produced bytes come back out through
+//! [`WireConn::output`]/[`WireConn::consume_output`]. The production
+//! listener drives it from nonblocking sockets under the [`SystemClock`];
+//! the deterministic harness ([`crate::sim`]) drives the *identical* code
+//! from in-memory byte chunks under a [`VirtualClock`] — which is what makes
+//! the socket boundary replay-testable.
+//!
+//! [`SystemClock`]: crate::SystemClock
+//! [`VirtualClock`]: crate::VirtualClock
+//!
+//! ## Pipelining and flow control
+//!
+//! A connection may have many requests in flight (each tagged with a client
+//! request id); shard workers complete them in whatever order batches
+//! execute, and each completion lands in the connection's [`Outbox`], to be
+//! encoded as a response frame on the next pump — responses multiplex back
+//! **out of order**. Flow control is admission control: a request that
+//! would overflow its shard's bounded queue (or the connection's own
+//! pipeline window) is answered immediately with an
+//! [`Status::Overloaded`](crate::wire::Status) frame instead of queueing
+//! unboundedly, and a request whose deadline budget expires while queued
+//! comes back as `Status::DeadlineExceeded`.
+//!
+//! ## Zero allocation after warm-up
+//!
+//! Every request decoded on a warm connection reuses a pooled
+//! [`RoutedRequest`] (predicate/interval buffers included) recycled by the
+//! shard worker after execution; inbound/outbound byte queues, the
+//! in-flight table, and the completion scratch all retain their capacity.
+//! `tests/zero_alloc.rs` drives a warmed connection through decode →
+//! admission → batch execution → response encode and asserts zero heap
+//! traffic.
+
+use crate::metrics::ServeMetrics;
+use crate::router::{Clock, ReplyTo, RoutedRequest, Router, ShedReason, TableResources};
+use crate::wire::frame::{
+    self, DecodeError, FrameView, Status, DEFAULT_MAX_FRAME_LEN, PREAMBLE_LEN,
+};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A contiguous FIFO of bytes with an explicit consumed prefix, reused
+/// across reads so a warm connection never reallocates: consuming resets
+/// the buffer when it empties, and pushing compacts the unconsumed tail to
+/// the front (a `copy_within`, not an allocation) before appending.
+#[derive(Debug, Default)]
+pub(crate) struct ByteQueue {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl ByteQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The unconsumed bytes.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.start == self.data.len()
+    }
+
+    /// Mark the first `n` unconsumed bytes as consumed.
+    pub(crate) fn consume(&mut self, n: usize) {
+        self.start += n;
+        debug_assert!(self.start <= self.data.len());
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        }
+    }
+
+    /// Append bytes, compacting the consumed prefix away first so the
+    /// buffer's high-water capacity is the largest *unconsumed* span ever
+    /// held, not the total traffic.
+    pub(crate) fn push(&mut self, bytes: &[u8]) {
+        if self.start > 0 {
+            self.data.copy_within(self.start.., 0);
+            self.data.truncate(self.data.len() - self.start);
+            self.start = 0;
+        }
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// The underlying buffer for in-place appends (encoders push frames
+    /// straight into the outbound queue); only valid while `start == 0` or
+    /// appended bytes follow the unconsumed tail, which `push`/`consume`
+    /// maintain.
+    fn tail_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+}
+
+/// A connection's completion mailbox and request pool, shared with the
+/// shard workers executing its requests.
+///
+/// Workers `complete` outcomes as batches finish (any order); the
+/// connection's next pump drains them into response frames. Executed
+/// requests are `recycle`d here with their predicate/interval buffers
+/// intact, so the connection's next decode reuses them — the
+/// allocation-free steady state.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    completions: Mutex<Vec<(u64, Result<f64, ShedReason>)>>,
+    pool: Mutex<Vec<RoutedRequest>>,
+}
+
+impl Outbox {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the outcome of request `request_id` (called by shard workers).
+    pub(crate) fn complete(&self, request_id: u64, outcome: Result<f64, ShedReason>) {
+        self.completions.lock().expect("outbox poisoned").push((request_id, outcome));
+    }
+
+    /// Move all pending completions into `into` (capacity-reusing drain).
+    pub(crate) fn drain_completions(&self, into: &mut Vec<(u64, Result<f64, ShedReason>)>) {
+        let mut completions = self.completions.lock().expect("outbox poisoned");
+        into.append(&mut completions);
+    }
+
+    /// Return an executed request's carcass to the pool for reuse.
+    pub(crate) fn recycle(&self, request: RoutedRequest) {
+        self.pool.lock().expect("outbox poisoned").push(request);
+    }
+
+    /// Take a pooled request (buffers warm) or build a fresh empty one.
+    pub(crate) fn take_pooled(&self) -> RoutedRequest {
+        self.pool.lock().expect("outbox poisoned").pop().unwrap_or(RoutedRequest {
+            table_id: 0,
+            preds: Vec::new(),
+            intervals: Vec::new(),
+            key: None,
+            deadline: None,
+            reply: ReplyTo::Discard,
+        })
+    }
+}
+
+/// Connection-level tuning shared by the listener and the sim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnConfig {
+    /// Largest accepted frame body; a declared length beyond this is a
+    /// protocol error and closes the connection.
+    pub max_frame_len: usize,
+    /// Most requests one connection may have in flight; request number
+    /// `max_pipeline + 1` is answered `Overloaded` immediately (per-client
+    /// flow control in front of the shared shard queues).
+    pub max_pipeline: usize,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        Self { max_frame_len: DEFAULT_MAX_FRAME_LEN, max_pipeline: 256 }
+    }
+}
+
+/// Lifecycle of a connection's byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the 8-byte magic/version preamble.
+    Handshake,
+    /// Preamble validated; decoding frames.
+    Open,
+}
+
+/// The server-side state machine of one wire connection (see the
+/// [`crate::wire`] module docs).
+#[derive(Debug)]
+pub struct WireConn {
+    phase: Phase,
+    config: ConnConfig,
+    inbound: ByteQueue,
+    outbound: ByteQueue,
+    outbox: Arc<Outbox>,
+    /// `(request_id, admitted_at_ns)` for every in-flight request; order is
+    /// irrelevant (completions `swap_remove`), length is the pipeline depth.
+    inflight: Vec<(u64, u64)>,
+    /// Reused drain target for outbox completions.
+    completions: Vec<(u64, Result<f64, ShedReason>)>,
+    /// Reused per-column ndv staging for table-info responses.
+    ndv_scratch: Vec<u32>,
+}
+
+impl WireConn {
+    /// A fresh connection awaiting its preamble.
+    pub fn new(config: ConnConfig) -> Self {
+        Self {
+            phase: Phase::Handshake,
+            config,
+            inbound: ByteQueue::new(),
+            outbound: ByteQueue::new(),
+            outbox: Arc::new(Outbox::new()),
+            inflight: Vec::new(),
+            completions: Vec::new(),
+            ndv_scratch: Vec::new(),
+        }
+    }
+
+    /// Append bytes received from the transport (any chunking).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.inbound.push(bytes);
+    }
+
+    /// Encoded response bytes awaiting transmission.
+    pub fn output(&self) -> &[u8] {
+        self.outbound.bytes()
+    }
+
+    /// Mark `n` output bytes as transmitted.
+    pub fn consume_output(&mut self, n: usize) {
+        self.outbound.consume(n);
+    }
+
+    /// Requests currently in flight on this connection.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether the connection still owes the transport bytes.
+    pub fn has_output(&self) -> bool {
+        !self.outbound.is_empty()
+    }
+
+    /// Run the connection forward: finish the handshake if pending, decode
+    /// and admit every complete inbound frame, then drain completed
+    /// requests into response frames.
+    ///
+    /// Returns whether any progress was made (a frame decoded or a response
+    /// encoded) — the listener's idle heuristic. A [`DecodeError`] means
+    /// the byte stream is unrecoverable and the connection must be closed;
+    /// in-flight requests still complete harmlessly into the outbox (their
+    /// `Arc` keeps it alive) and are dropped with it.
+    pub(crate) fn pump(
+        &mut self,
+        router: &Router,
+        tables: &[TableResources],
+        clock: &dyn Clock,
+        metrics: &ServeMetrics,
+    ) -> Result<bool, DecodeError> {
+        let mut progressed = false;
+
+        if self.phase == Phase::Handshake {
+            if self.inbound.len() < PREAMBLE_LEN {
+                // Not an error: the preamble itself may arrive split.
+                self.drain_responses(clock, metrics);
+                return Ok(false);
+            }
+            frame::decode_preamble(self.inbound.bytes())?;
+            self.inbound.consume(PREAMBLE_LEN);
+            self.phase = Phase::Open;
+            progressed = true;
+        }
+
+        // Decode/admit every complete frame currently buffered. The frame
+        // view borrows `self.inbound`, so the handlers are free functions
+        // over the *other* fields (disjoint borrows).
+        loop {
+            let consumed = {
+                match frame::next_frame(self.inbound.bytes(), self.config.max_frame_len)? {
+                    None => break,
+                    Some((view, consumed)) => {
+                        metrics.record_frame_in();
+                        match view {
+                            FrameView::Request(request) => admit(
+                                request,
+                                &self.config,
+                                &self.outbox,
+                                &mut self.inflight,
+                                &mut self.outbound,
+                                router,
+                                tables,
+                                clock,
+                                metrics,
+                            ),
+                            FrameView::TableQuery(query) => resolve_table(
+                                query,
+                                &mut self.ndv_scratch,
+                                &mut self.outbound,
+                                tables,
+                                metrics,
+                            ),
+                            // A server connection ignores server-to-client
+                            // frames echoed back at it; they are
+                            // structurally valid, just meaningless here.
+                            FrameView::Response(_) | FrameView::TableInfo(_) => {}
+                        }
+                        consumed
+                    }
+                }
+            };
+            self.inbound.consume(consumed);
+            progressed = true;
+        }
+
+        progressed |= self.drain_responses(clock, metrics);
+        Ok(progressed)
+    }
+
+    /// Encode every completed request as a response frame; returns whether
+    /// anything was drained.
+    fn drain_responses(&mut self, clock: &dyn Clock, metrics: &ServeMetrics) -> bool {
+        self.outbox.drain_completions(&mut self.completions);
+        if self.completions.is_empty() {
+            return false;
+        }
+        let now_ns = clock.now().as_nanos().min(u128::from(u64::MAX)) as u64;
+        for (request_id, outcome) in self.completions.drain(..) {
+            if let Some(at) = self.inflight.iter().position(|&(id, _)| id == request_id) {
+                let (_, admitted_ns) = self.inflight.swap_remove(at);
+                metrics.record_request(Duration::from_nanos(now_ns.saturating_sub(admitted_ns)));
+            }
+            let (status, value) = match outcome {
+                Ok(value) => (Status::Ok, value),
+                Err(ShedReason::DeadlineExpired) => (Status::DeadlineExceeded, 0.0),
+                Err(ShedReason::QueueFull) => (Status::Overloaded, 0.0),
+            };
+            frame::encode_response(self.outbound.tail_mut(), request_id, status, value);
+            metrics.record_frame_out();
+        }
+        true
+    }
+}
+
+/// Admit one decoded request to its table's shard, or answer it immediately
+/// with a typed status frame. A free function over [`WireConn`]'s fields so
+/// it can run while the request view still borrows the inbound buffer.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    request: frame::RequestView<'_>,
+    config: &ConnConfig,
+    outbox: &Arc<Outbox>,
+    inflight: &mut Vec<(u64, u64)>,
+    outbound: &mut ByteQueue,
+    router: &Router,
+    tables: &[TableResources],
+    clock: &dyn Clock,
+    metrics: &ServeMetrics,
+) {
+    let request_id = request.request_id;
+    let Some(resources) = tables.get(request.table_id as usize) else {
+        frame::encode_response(outbound.tail_mut(), request_id, Status::UnknownTable, 0.0);
+        metrics.record_frame_out();
+        return;
+    };
+    if inflight.len() >= config.max_pipeline {
+        // Per-connection flow control: the pipeline window is full.
+        metrics.record_shed_overload();
+        frame::encode_response(outbound.tail_mut(), request_id, Status::Overloaded, 0.0);
+        metrics.record_frame_out();
+        return;
+    }
+
+    let mut holder = outbox.take_pooled();
+    request.read_into(&mut holder.preds, &mut holder.intervals);
+    holder.table_id = request.table_id;
+    // The wire path bypasses the result cache: a remote client gets the
+    // batched forward pass directly (the cache fronts the in-process
+    // `DuetServer::estimate` API, whose callers hold a schema and can
+    // canonicalize keys; wire requests go straight to the shards).
+    holder.key = None;
+    holder.deadline = if request.deadline_us > 0 {
+        Some(clock.now() + Duration::from_micros(u64::from(request.deadline_us)))
+    } else {
+        router.admission_deadline()
+    };
+    holder.reply = ReplyTo::Wire { outbox: outbox.clone(), request_id };
+
+    let shard = crate::router::shard_for(&resources.name, router.num_shards());
+    match router.shard(shard).try_push(holder) {
+        Ok(_depth) => {
+            let now_ns = clock.now().as_nanos().min(u128::from(u64::MAX)) as u64;
+            inflight.push((request_id, now_ns));
+            metrics.record_pipeline_depth(inflight.len());
+        }
+        Err(mut rejected) => {
+            // Shard queue full: recycle the holder (reply detached so the
+            // pool holds no self-reference) and shed on the wire.
+            metrics.record_shed_overload();
+            rejected.reply = ReplyTo::Discard;
+            outbox.recycle(rejected);
+            frame::encode_response(outbound.tail_mut(), request_id, Status::Overloaded, 0.0);
+            metrics.record_frame_out();
+        }
+    }
+}
+
+/// Answer a table-resolution query: linear scan over the directory
+/// (resolution happens once per client at connection setup, not on the
+/// request hot path).
+fn resolve_table(
+    query: frame::TableQueryView<'_>,
+    ndv_scratch: &mut Vec<u32>,
+    outbound: &mut ByteQueue,
+    tables: &[TableResources],
+    metrics: &ServeMetrics,
+) {
+    match tables.iter().position(|r| r.name.as_ref() == query.name) {
+        Some(table_id) => {
+            let estimator = tables[table_id].slot.current();
+            let schema = estimator.schema();
+            ndv_scratch.clear();
+            for column in schema.columns() {
+                ndv_scratch.push(column.ndv().min(u32::MAX as usize) as u32);
+            }
+            frame::encode_table_info(
+                outbound.tail_mut(),
+                query.request_id,
+                Status::Ok,
+                table_id as u32,
+                ndv_scratch,
+            );
+        }
+        None => {
+            frame::encode_table_info(
+                outbound.tail_mut(),
+                query.request_id,
+                Status::UnknownTable,
+                0,
+                &[],
+            );
+        }
+    }
+    metrics.record_frame_out();
+}

@@ -1,0 +1,667 @@
+//! The `duet-wire` frame codec: a compact, length-prefixed binary protocol
+//! for estimation requests and responses.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No serde on the hot path.** Every frame is hand-packed little-endian
+//!    integers; encoding appends to a caller-owned `Vec<u8>` and decoding
+//!    yields borrowed [`FrameView`]s over the connection's read buffer, so a
+//!    warmed connection moves requests and responses without a single heap
+//!    allocation (proven by `tests/zero_alloc.rs`).
+//! 2. **Sim-replayable framing.** The decoder is a pure function of the byte
+//!    buffer: [`next_frame`] either returns a complete frame and how many
+//!    bytes it consumed, `None` ("need more bytes" — the split-read case), or
+//!    a typed [`DecodeError`]. Nothing depends on how the bytes arrived, so
+//!    the deterministic harness ([`crate::sim`]) can drive the very same
+//!    codec with seeded split/coalesced byte chunks.
+//! 3. **Canonical request form.** A request carries exactly what the serving
+//!    cache and batcher already treat as canonical: the dense table id,
+//!    per-column id-space predicates, and per-column valid-id intervals —
+//!    the same triple `duet_core::query_to_id_predicates` +
+//!    `Query::column_intervals` produce in-process.
+//!
+//! ## Wire format
+//!
+//! A connection opens with an 8-byte preamble, then carries a stream of
+//! frames (all integers little-endian):
+//!
+//! ```text
+//! preamble:  "DUET"  u16 version  u16 reserved(0)
+//!
+//! frame:     u32 body_len   body (body_len bytes, first byte = kind)
+//!
+//! Request    (kind 1): u64 request_id  u32 table_id  u32 deadline_us
+//!                      u16 num_columns  num_columns x column
+//!            column:   u16 num_preds  num_preds x (u8 op, u32 value_id)
+//!                      u32 interval_lo  u32 interval_hi
+//! Response   (kind 2): u64 request_id  u8 status  f64 value
+//! TableQuery (kind 3): u64 request_id  u16 name_len  name (utf-8)
+//! TableInfo  (kind 4): u64 request_id  u8 status  u32 table_id
+//!                      u16 num_columns  num_columns x u32 ndv
+//! ```
+//!
+//! Requests and responses are correlated by `request_id`, which is what
+//! makes connections **pipelined**: a client may have many requests in
+//! flight and responses come back in whatever order shard workers complete
+//! them. `deadline_us` is a per-request budget in microseconds measured from
+//! admission (`0` defers to the server's configured default).
+
+use duet_core::IdPredicate;
+use duet_query::PredOp;
+
+/// Connection magic: the first four bytes every conforming client sends.
+pub const MAGIC: [u8; 4] = *b"DUET";
+
+/// Protocol version carried in the preamble.
+pub const VERSION: u16 = 1;
+
+/// Byte length of the connection preamble.
+pub const PREAMBLE_LEN: usize = 8;
+
+/// Default cap on a frame body; a declared length beyond the cap is a
+/// [`DecodeError::Oversized`] protocol error (it can never be satisfied by
+/// waiting for more bytes).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Frame body length of every [`encode_response`] frame (fixed-size).
+pub const RESPONSE_BODY_LEN: usize = 1 + 8 + 1 + 8;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_TABLE_QUERY: u8 = 3;
+const KIND_TABLE_INFO: u8 = 4;
+
+/// Outcome of one wire request, as carried in a response frame's status
+/// byte. Mirrors the typed in-process [`crate::ServeError`] surface:
+/// admission control and deadline shedding become first-class wire statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request was served; the frame's `value` is the estimate.
+    Ok = 0,
+    /// Shed at admission: the table's shard queue (or the connection's
+    /// pipeline window) was full. The in-process `ServeError::Overloaded`.
+    Overloaded = 1,
+    /// The deadline budget expired while the request was queued; it was
+    /// dropped at dequeue. The in-process `ServeError::DeadlineExceeded`.
+    DeadlineExceeded = 2,
+    /// No table is registered under the requested id or name.
+    UnknownTable = 3,
+}
+
+impl Status {
+    fn from_u8(byte: u8) -> Result<Self, DecodeError> {
+        match byte {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::Overloaded),
+            2 => Ok(Status::DeadlineExceeded),
+            3 => Ok(Status::UnknownTable),
+            other => Err(DecodeError::UnknownStatus(other)),
+        }
+    }
+}
+
+/// Why a byte stream failed to decode. Every variant is a *protocol* error:
+/// the connection is beyond repair and must be closed (an incomplete frame
+/// is not an error — [`next_frame`] reports it as `Ok(None)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The connection preamble did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The preamble carried a version this server does not speak.
+    UnsupportedVersion(u16),
+    /// A frame body began with an unknown kind byte.
+    UnknownKind(u8),
+    /// A frame declared a body length larger than the configured cap.
+    Oversized {
+        /// Declared body length.
+        len: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// A request predicate carried an operator byte outside the known set.
+    UnknownOp(u8),
+    /// A response carried a status byte outside the known set.
+    UnknownStatus(u8),
+    /// A frame body's internal structure disagreed with its declared length
+    /// (truncated field, trailing bytes, bad utf-8, ...).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(got) => write!(f, "bad connection magic {got:02x?}"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::Oversized { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            DecodeError::UnknownOp(op) => write!(f, "unknown predicate operator byte {op}"),
+            DecodeError::UnknownStatus(s) => write!(f, "unknown response status byte {s}"),
+            DecodeError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn op_to_u8(op: PredOp) -> u8 {
+    op as u8
+}
+
+fn op_from_u8(byte: u8) -> Result<PredOp, DecodeError> {
+    match byte {
+        0 => Ok(PredOp::Eq),
+        1 => Ok(PredOp::Gt),
+        2 => Ok(PredOp::Lt),
+        3 => Ok(PredOp::Ge),
+        4 => Ok(PredOp::Le),
+        other => Err(DecodeError::UnknownOp(other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding: append-only writers over a caller-owned buffer.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reserve a 4-byte length prefix, returning its offset; [`finish_frame`]
+/// backfills it once the body is written.
+fn start_frame(buf: &mut Vec<u8>) -> usize {
+    let at = buf.len();
+    put_u32(buf, 0);
+    at
+}
+
+fn finish_frame(buf: &mut [u8], len_at: usize) {
+    let body_len = (buf.len() - len_at - 4) as u32;
+    buf[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Append the 8-byte connection preamble (magic + version).
+pub fn encode_preamble(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&MAGIC);
+    put_u16(buf, VERSION);
+    put_u16(buf, 0); // reserved
+}
+
+/// Validate a connection preamble (`bytes` must hold at least
+/// [`PREAMBLE_LEN`] bytes; only the first [`PREAMBLE_LEN`] are read).
+pub fn decode_preamble(bytes: &[u8]) -> Result<(), DecodeError> {
+    debug_assert!(bytes.len() >= PREAMBLE_LEN);
+    if bytes[..4] != MAGIC {
+        return Err(DecodeError::BadMagic([bytes[0], bytes[1], bytes[2], bytes[3]]));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    Ok(())
+}
+
+/// Append one estimation-request frame.
+///
+/// `preds[c]` / `intervals[c]` are the canonical per-column id-space
+/// predicates and valid-id interval of column `c` (the encoder-facing form;
+/// see the [module docs](self)). `deadline_us == 0` means "use the server's
+/// default deadline budget".
+pub fn encode_request(
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    table_id: u32,
+    deadline_us: u32,
+    preds: &[Vec<IdPredicate>],
+    intervals: &[(u32, u32)],
+) {
+    debug_assert_eq!(preds.len(), intervals.len(), "one interval per column");
+    let frame = start_frame(buf);
+    buf.push(KIND_REQUEST);
+    put_u64(buf, request_id);
+    put_u32(buf, table_id);
+    put_u32(buf, deadline_us);
+    put_u16(buf, preds.len() as u16);
+    for (col_preds, &(lo, hi)) in preds.iter().zip(intervals) {
+        put_u16(buf, col_preds.len() as u16);
+        for p in col_preds {
+            buf.push(op_to_u8(p.op));
+            put_u32(buf, p.value_id);
+        }
+        put_u32(buf, lo);
+        put_u32(buf, hi);
+    }
+    finish_frame(buf, frame);
+}
+
+/// Append one response frame (fixed [`RESPONSE_BODY_LEN`]-byte body).
+pub fn encode_response(buf: &mut Vec<u8>, request_id: u64, status: Status, value: f64) {
+    let frame = start_frame(buf);
+    buf.push(KIND_RESPONSE);
+    put_u64(buf, request_id);
+    buf.push(status as u8);
+    buf.extend_from_slice(&value.to_le_bytes());
+    finish_frame(buf, frame);
+}
+
+/// Append one table-resolution query frame (name → dense table id + schema).
+pub fn encode_table_query(buf: &mut Vec<u8>, request_id: u64, name: &str) {
+    let frame = start_frame(buf);
+    buf.push(KIND_TABLE_QUERY);
+    put_u64(buf, request_id);
+    put_u16(buf, name.len() as u16);
+    buf.extend_from_slice(name.as_bytes());
+    finish_frame(buf, frame);
+}
+
+/// Append one table-info response frame: the dense table id plus the
+/// per-column distinct-value counts a client needs to build valid id-space
+/// predicates and intervals.
+pub fn encode_table_info(
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    status: Status,
+    table_id: u32,
+    ndvs: &[u32],
+) {
+    let frame = start_frame(buf);
+    buf.push(KIND_TABLE_INFO);
+    put_u64(buf, request_id);
+    buf.push(status as u8);
+    put_u32(buf, table_id);
+    put_u16(buf, ndvs.len() as u16);
+    for &ndv in ndvs {
+        put_u32(buf, ndv);
+    }
+    finish_frame(buf, frame);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding: borrowed views over the connection buffer.
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian cursor over one frame body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.bytes.len() - self.at < n {
+            return Err(DecodeError::Malformed(what));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn done(&self, what: &'static str) -> Result<(), DecodeError> {
+        if self.at != self.bytes.len() {
+            return Err(DecodeError::Malformed(what));
+        }
+        Ok(())
+    }
+}
+
+/// A decoded estimation request, borrowing the column payload from the
+/// connection buffer. The column region is fully validated at decode time,
+/// so [`RequestView::read_into`] is infallible.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestView<'a> {
+    /// Client-chosen correlation id echoed in the response.
+    pub request_id: u64,
+    /// Dense registry id of the target table.
+    pub table_id: u32,
+    /// Deadline budget in microseconds from admission (0 = server default).
+    pub deadline_us: u32,
+    num_columns: u16,
+    columns: &'a [u8],
+}
+
+impl RequestView<'_> {
+    /// Number of columns carried by this request.
+    pub fn num_columns(&self) -> usize {
+        self.num_columns as usize
+    }
+
+    /// Materialize the request's predicates and intervals into reusable
+    /// buffers: inner `Vec`s keep their capacity across calls, so decoding a
+    /// steady stream of same-shaped requests allocates nothing once warm.
+    pub fn read_into(&self, preds: &mut Vec<Vec<IdPredicate>>, intervals: &mut Vec<(u32, u32)>) {
+        let ncols = self.num_columns as usize;
+        // Reuse the live prefix's inner allocations; only a shape change
+        // (different column count than the previous request) reallocates.
+        if preds.len() > ncols {
+            preds.truncate(ncols);
+        }
+        for col in preds.iter_mut() {
+            col.clear();
+        }
+        while preds.len() < ncols {
+            preds.push(Vec::new());
+        }
+        intervals.clear();
+
+        let mut r = Reader::new(self.columns);
+        for col in preds.iter_mut() {
+            let npreds = r.u16("validated").expect("column region validated at decode");
+            for _ in 0..npreds {
+                let op = op_from_u8(r.u8("validated").expect("validated"))
+                    .expect("ops validated at decode");
+                let value_id = r.u32("validated").expect("validated");
+                col.push(IdPredicate { op, value_id });
+            }
+            let lo = r.u32("validated").expect("validated");
+            let hi = r.u32("validated").expect("validated");
+            intervals.push((lo, hi));
+        }
+    }
+}
+
+/// A decoded response frame (fixed-size, so it is owned rather than
+/// borrowed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseFrame {
+    /// Correlation id of the request this answers.
+    pub request_id: u64,
+    /// Outcome of the request.
+    pub status: Status,
+    /// The estimate when `status` is [`Status::Ok`]; `0.0` otherwise.
+    pub value: f64,
+}
+
+/// A decoded table-resolution query.
+#[derive(Debug, Clone, Copy)]
+pub struct TableQueryView<'a> {
+    /// Correlation id echoed in the [`TableInfoView`] response.
+    pub request_id: u64,
+    /// Registered table name to resolve.
+    pub name: &'a str,
+}
+
+/// A decoded table-info response.
+#[derive(Debug, Clone, Copy)]
+pub struct TableInfoView<'a> {
+    /// Correlation id of the query this answers.
+    pub request_id: u64,
+    /// [`Status::Ok`] or [`Status::UnknownTable`].
+    pub status: Status,
+    /// Dense table id (meaningless unless `status` is `Ok`).
+    pub table_id: u32,
+    ndvs: &'a [u8],
+}
+
+impl TableInfoView<'_> {
+    /// Number of columns in the resolved table's schema.
+    pub fn num_columns(&self) -> usize {
+        self.ndvs.len() / 4
+    }
+
+    /// Copy the per-column distinct-value counts into `out`.
+    pub fn read_ndvs_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        for chunk in self.ndvs.chunks_exact(4) {
+            out.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+    }
+}
+
+/// One complete, validated frame borrowed from the connection buffer.
+#[derive(Debug, Clone, Copy)]
+pub enum FrameView<'a> {
+    /// An estimation request (client → server).
+    Request(RequestView<'a>),
+    /// An estimation response (server → client).
+    Response(ResponseFrame),
+    /// A table-resolution query (client → server).
+    TableQuery(TableQueryView<'a>),
+    /// A table-resolution response (server → client).
+    TableInfo(TableInfoView<'a>),
+}
+
+/// Decode the next frame from `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a partial frame (read more
+/// bytes and retry — the split-read case), `Ok(Some((frame, consumed)))`
+/// for a complete frame (`consumed` covers the length prefix and body), or a
+/// typed [`DecodeError`] when the stream is unrecoverable.
+pub fn next_frame(
+    buf: &[u8],
+    max_len: usize,
+) -> Result<Option<(FrameView<'_>, usize)>, DecodeError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let body_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if body_len > max_len {
+        return Err(DecodeError::Oversized { len: body_len, max: max_len });
+    }
+    if body_len == 0 {
+        return Err(DecodeError::Malformed("empty frame body"));
+    }
+    if buf.len() < 4 + body_len {
+        return Ok(None);
+    }
+    let body = &buf[4..4 + body_len];
+    let frame = decode_body(body)?;
+    Ok(Some((frame, 4 + body_len)))
+}
+
+fn decode_body(body: &[u8]) -> Result<FrameView<'_>, DecodeError> {
+    let mut r = Reader::new(body);
+    let kind = r.u8("missing frame kind")?;
+    match kind {
+        KIND_REQUEST => {
+            let request_id = r.u64("request id truncated")?;
+            let table_id = r.u32("table id truncated")?;
+            let deadline_us = r.u32("deadline truncated")?;
+            let num_columns = r.u16("column count truncated")?;
+            let columns_at = r.at;
+            // Validate the whole column region now, so read_into() is
+            // infallible later.
+            for _ in 0..num_columns {
+                let npreds = r.u16("predicate count truncated")?;
+                for _ in 0..npreds {
+                    op_from_u8(r.u8("predicate truncated")?)?;
+                    r.u32("predicate value truncated")?;
+                }
+                r.u32("interval lo truncated")?;
+                r.u32("interval hi truncated")?;
+            }
+            r.done("trailing bytes after request columns")?;
+            Ok(FrameView::Request(RequestView {
+                request_id,
+                table_id,
+                deadline_us,
+                num_columns,
+                columns: &body[columns_at..],
+            }))
+        }
+        KIND_RESPONSE => {
+            let request_id = r.u64("response id truncated")?;
+            let status = Status::from_u8(r.u8("response status truncated")?)?;
+            let value = r.f64("response value truncated")?;
+            r.done("trailing bytes after response")?;
+            Ok(FrameView::Response(ResponseFrame { request_id, status, value }))
+        }
+        KIND_TABLE_QUERY => {
+            let request_id = r.u64("table query id truncated")?;
+            let name_len = r.u16("table name length truncated")? as usize;
+            let name_bytes = r.take(name_len, "table name truncated")?;
+            r.done("trailing bytes after table name")?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| DecodeError::Malformed("table name is not utf-8"))?;
+            Ok(FrameView::TableQuery(TableQueryView { request_id, name }))
+        }
+        KIND_TABLE_INFO => {
+            let request_id = r.u64("table info id truncated")?;
+            let status = Status::from_u8(r.u8("table info status truncated")?)?;
+            let table_id = r.u32("table info id field truncated")?;
+            let num_columns = r.u16("table info column count truncated")? as usize;
+            let ndvs = r.take(4 * num_columns, "table info ndvs truncated")?;
+            r.done("trailing bytes after table info")?;
+            Ok(FrameView::TableInfo(TableInfoView { request_id, status, table_id, ndvs }))
+        }
+        other => Err(DecodeError::UnknownKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request_bytes() -> Vec<u8> {
+        let preds = vec![
+            vec![IdPredicate { op: PredOp::Ge, value_id: 3 }],
+            vec![],
+            vec![
+                IdPredicate { op: PredOp::Eq, value_id: 7 },
+                IdPredicate { op: PredOp::Le, value_id: 9 },
+            ],
+        ];
+        let intervals = vec![(3u32, 12u32), (0, 40), (7, 10)];
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 42, 1, 250, &preds, &intervals);
+        buf
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let buf = sample_request_bytes();
+        let (frame, consumed) = next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        let FrameView::Request(req) = frame else { panic!("expected request") };
+        assert_eq!((req.request_id, req.table_id, req.deadline_us), (42, 1, 250));
+        assert_eq!(req.num_columns(), 3);
+        let (mut preds, mut intervals) = (Vec::new(), Vec::new());
+        req.read_into(&mut preds, &mut intervals);
+        assert_eq!(intervals, vec![(3, 12), (0, 40), (7, 10)]);
+        assert_eq!(preds[0], vec![IdPredicate { op: PredOp::Ge, value_id: 3 }]);
+        assert!(preds[1].is_empty());
+        assert_eq!(preds[2].len(), 2);
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_bytes() {
+        let buf = sample_request_bytes();
+        for cut in 0..buf.len() {
+            assert!(
+                next_frame(&buf[..cut], DEFAULT_MAX_FRAME_LEN).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete, not an error"
+            );
+        }
+    }
+
+    #[test]
+    fn response_preserves_value_bits() {
+        let mut buf = Vec::new();
+        let value = f64::from_bits(0x7ff8_0000_dead_beef); // a NaN payload
+        encode_response(&mut buf, 9, Status::Ok, value);
+        let (frame, _) = next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        let FrameView::Response(resp) = frame else { panic!("expected response") };
+        assert_eq!(resp.request_id, 9);
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.value.to_bits(), value.to_bits());
+    }
+
+    #[test]
+    fn typed_errors_for_corruption() {
+        // Unknown kind.
+        let mut buf = Vec::new();
+        let at = start_frame(&mut buf);
+        buf.push(99);
+        finish_frame(&mut buf, at);
+        assert_eq!(
+            next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+            DecodeError::UnknownKind(99)
+        );
+
+        // Oversized declared length.
+        let huge = (DEFAULT_MAX_FRAME_LEN as u32 + 1).to_le_bytes().to_vec();
+        assert!(matches!(
+            next_frame(&huge, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+            DecodeError::Oversized { .. }
+        ));
+
+        // Truncated interior: declare a column but omit its bytes.
+        let mut buf = Vec::new();
+        let at = start_frame(&mut buf);
+        buf.push(KIND_REQUEST);
+        put_u64(&mut buf, 1);
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 0);
+        put_u16(&mut buf, 1); // one column ...
+        finish_frame(&mut buf, at); // ... but no column bytes
+        assert!(matches!(
+            next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+            DecodeError::Malformed(_)
+        ));
+
+        // Bad preamble.
+        let mut pre = Vec::new();
+        encode_preamble(&mut pre);
+        assert!(decode_preamble(&pre).is_ok());
+        pre[0] = b'X';
+        assert!(matches!(decode_preamble(&pre).unwrap_err(), DecodeError::BadMagic(_)));
+        let mut pre = Vec::new();
+        encode_preamble(&mut pre);
+        pre[4] = 9;
+        assert_eq!(decode_preamble(&pre).unwrap_err(), DecodeError::UnsupportedVersion(9));
+    }
+
+    #[test]
+    fn table_query_and_info_round_trip() {
+        let mut buf = Vec::new();
+        encode_table_query(&mut buf, 5, "census");
+        encode_table_info(&mut buf, 5, Status::Ok, 2, &[10, 20, 30]);
+        let (frame, used) = next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        let FrameView::TableQuery(q) = frame else { panic!("expected table query") };
+        assert_eq!((q.request_id, q.name), (5, "census"));
+        let (frame, _) = next_frame(&buf[used..], DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        let FrameView::TableInfo(info) = frame else { panic!("expected table info") };
+        assert_eq!((info.request_id, info.status, info.table_id), (5, Status::Ok, 2));
+        let mut ndvs = Vec::new();
+        info.read_ndvs_into(&mut ndvs);
+        assert_eq!(ndvs, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,246 @@
+//! The TCP front door: nonblocking acceptor threads driving [`WireConn`]
+//! state machines over real sockets.
+//!
+//! One `std::net::TcpListener` in nonblocking mode is shared (via
+//! `try_clone`) by a small pool of acceptor threads — by default one per
+//! core — and each thread owns the connections it accepted outright: it
+//! reads their sockets into a reused stack buffer, feeds/pumps their
+//! [`WireConn`]s, and writes pending response bytes back out,
+//! `WouldBlock`-aware in both directions. No connection ever migrates
+//! between threads, so the per-connection state needs no locking; the only
+//! cross-thread traffic is the shard queues (already synchronized) and each
+//! connection's outbox (a mutex the shard workers push completions
+//! through).
+//!
+//! This is a poll loop, not an epoll reactor: with a handful of pipelined
+//! connections per thread the scan is cheap, and when a full sweep moves no
+//! bytes the thread sleeps for [`WireConfig::poll_wait`] — idle connections
+//! cost a few wakeups per millisecond, not a spinning core.
+
+use crate::metrics::ServeMetrics;
+use crate::router::{Clock, Router, TableResources};
+use crate::wire::conn::{ConnConfig, WireConn};
+use crate::wire::frame::DEFAULT_MAX_FRAME_LEN;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of the wire front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Acceptor/IO threads; `0` means one per available core.
+    pub acceptors: usize,
+    /// Largest accepted frame body (bytes); larger declared lengths are a
+    /// protocol error and close the connection.
+    pub max_frame_len: usize,
+    /// Most in-flight requests per connection before it is answered
+    /// `Overloaded` (per-client flow control).
+    pub max_pipeline: usize,
+    /// Sleep after an idle sweep (no bytes moved on any connection).
+    pub poll_wait: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            acceptors: 0,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_pipeline: 256,
+            poll_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// A running wire listener; dropping it (or calling
+/// [`WireHandle::shutdown`]) stops the acceptors and closes every
+/// connection.
+#[derive(Debug)]
+pub struct WireHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WireHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close every connection, and join the acceptors.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for WireHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Everything an acceptor thread shares with the server.
+pub(crate) struct WireShared {
+    pub(crate) router: Arc<Router>,
+    pub(crate) directory: Arc<RwLock<Vec<TableResources>>>,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) metrics: Arc<ServeMetrics>,
+}
+
+/// Bind `addr` and start the acceptor pool. Called by
+/// [`crate::DuetServer::serve_wire`].
+pub(crate) fn serve(
+    addr: impl ToSocketAddrs,
+    config: WireConfig,
+    shared: WireShared,
+) -> std::io::Result<WireHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptors = if config.acceptors > 0 {
+        config.acceptors
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    };
+    let shared = Arc::new(shared);
+    let threads = (0..acceptors)
+        .map(|i| {
+            let listener = listener.try_clone()?;
+            let (stop, shared) = (stop.clone(), shared.clone());
+            std::thread::Builder::new()
+                .name(format!("duet-wire-{i}"))
+                .spawn(move || acceptor_loop(listener, config, &stop, &shared))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    Ok(WireHandle { addr, stop, threads })
+}
+
+/// One accepted connection owned by an acceptor thread.
+struct Connection {
+    stream: TcpStream,
+    conn: WireConn,
+}
+
+/// The acceptor/IO loop: accept new sockets, then sweep owned connections
+/// (read → pump → write); sleep when a whole sweep moves nothing.
+fn acceptor_loop(
+    listener: TcpListener,
+    config: WireConfig,
+    stop: &AtomicBool,
+    shared: &WireShared,
+) {
+    let conn_config =
+        ConnConfig { max_frame_len: config.max_frame_len, max_pipeline: config.max_pipeline };
+    let mut connections: Vec<Connection> = Vec::new();
+    // Reused read buffer: one socket read lands here before feeding the
+    // connection's own (growable, reused) inbound queue.
+    let mut read_buf = [0u8; 16 * 1024];
+
+    while !stop.load(Ordering::Acquire) {
+        let mut moved = false;
+
+        // Accept everything currently pending (all acceptors share the
+        // nonblocking listener; the kernel hands each socket to exactly one
+        // accept call).
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    shared.metrics.record_conn_opened();
+                    connections.push(Connection { stream, conn: WireConn::new(conn_config) });
+                    moved = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient accept error: retry next sweep
+            }
+        }
+
+        // Sweep every owned connection.
+        let mut i = 0;
+        while i < connections.len() {
+            match sweep_connection(&mut connections[i], &mut read_buf, shared) {
+                Ok(progressed) => {
+                    moved |= progressed;
+                    i += 1;
+                }
+                Err(()) => {
+                    // EOF or protocol error: close and forget.
+                    shared.metrics.record_conn_closed();
+                    connections.swap_remove(i);
+                    moved = true;
+                }
+            }
+        }
+
+        if !moved {
+            std::thread::sleep(config.poll_wait);
+        }
+    }
+
+    // Shutdown: drop (close) every connection.
+    for _ in connections.drain(..) {
+        shared.metrics.record_conn_closed();
+    }
+}
+
+/// Read, pump, and write one connection. `Err(())` means close it.
+fn sweep_connection(
+    connection: &mut Connection,
+    read_buf: &mut [u8],
+    shared: &WireShared,
+) -> Result<bool, ()> {
+    let mut progressed = false;
+
+    // Read until the socket would block (or EOF).
+    loop {
+        match connection.stream.read(read_buf) {
+            Ok(0) => return Err(()), // peer closed
+            Ok(n) => {
+                connection.conn.feed(&read_buf[..n]);
+                progressed = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+
+    // Decode/admit/respond.
+    {
+        let tables = shared.directory.read().expect("directory poisoned");
+        match connection.conn.pump(&shared.router, &tables, shared.clock.as_ref(), &shared.metrics)
+        {
+            Ok(p) => progressed |= p,
+            Err(_decode) => {
+                shared.metrics.record_wire_decode_error();
+                return Err(());
+            }
+        }
+    }
+
+    // Write pending response bytes until the socket would block.
+    while connection.conn.has_output() {
+        match connection.stream.write(connection.conn.output()) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                connection.conn.consume_output(n);
+                progressed = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+
+    Ok(progressed)
+}

@@ -3,11 +3,20 @@
 //! model mid-traffic, and print the serving metrics.
 //!
 //! Run with: `cargo run --release --example serving`
+//!
+//! With `--listen [addr]` the demo instead opens the TCP wire front door
+//! (default `127.0.0.1:7878`) and serves the binary protocol until killed —
+//! pair it with the `wire_client` example:
+//!
+//! ```text
+//! cargo run --release --example serving -- --listen
+//! cargo run --release --example wire_client            # other terminal
+//! ```
 
 use duet::core::{save_weights, DuetConfig, DuetEstimator};
 use duet::data::datasets::census_like;
 use duet::query::{CardinalityEstimator, WorkloadSpec};
-use duet::serve::{DuetServer, ServeConfig};
+use duet::serve::{DuetServer, ServeConfig, WireConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -27,6 +36,19 @@ fn main() {
 
     let server = Arc::new(DuetServer::new(ServeConfig::default()));
     server.register("census", est_v0);
+
+    // `--listen [addr]`: open the wire front door and serve until killed.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--listen") {
+        let addr = args.get(pos + 1).cloned().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+        let handle = server.serve_wire(&addr, WireConfig::default()).expect("bind wire listener");
+        println!("wire listener on {}", handle.addr());
+        println!("try: cargo run --release --example wire_client -- {}", handle.addr());
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(5));
+            println!("{}", server.metrics());
+        }
+    }
 
     let queries = WorkloadSpec::random(&table, 200, 1234).generate(&table);
     println!("serving {} distinct queries from {CLIENTS} client threads ...", queries.len());

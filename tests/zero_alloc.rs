@@ -3,7 +3,7 @@
 //! measured after warm-up — the steady-state serving hot loop must perform
 //! **zero** heap allocations (and zero frees).
 //!
-//! Five phases: the raw batched estimation path (full and shrinking
+//! Six phases: the raw batched estimation path (full and shrinking
 //! batches), the **routed multi-table hot loop** — admission into a
 //! bounded shard queue, same-table batch formation at dequeue, deadline
 //! triage, and per-table-workspace batch execution across two
@@ -18,7 +18,10 @@
 //! step**: `zero_grad` + the data-driven forward (encode, checkpointing
 //! backbone forward, grouped cross-entropy gradient staging) + the
 //! supervised Q-Error forward (per-column softmax into flat staging), for
-//! both MADE and ResMADE, through one reused `TrainStepScratch`.
+//! both MADE and ResMADE, through one reused `TrainStepScratch` — and the
+//! **wire hot loop**: protocol-frame decode, admission, batch execution,
+//! and response encode on a warmed simulated connection, with request
+//! structs recycled through the connection's outbox pool.
 //!
 //! This lives in its own integration-test binary so the global allocator and
 //! the single-threaded measurement cannot interfere with other tests.
@@ -30,7 +33,8 @@ use duet::core::{
 use duet::data::datasets::census_like;
 use duet::nn::{seeded_rng, with_pool, ComputePool};
 use duet::query::{exact_cardinality, WorkloadSpec};
-use duet::serve::sim::{HarnessConfig, PreparedRequest, RouterHarness};
+use duet::serve::sim::{HarnessConfig, PreparedRequest, RouterHarness, WireSim};
+use duet::serve::wire::{frame, ConnConfig};
 use duet::serve::{BatchConfig, RouterConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,6 +73,7 @@ fn steady_state_batched_inference_is_allocation_free() {
     routed_multi_table_phase();
     pooled_large_batch_phase();
     training_step_phase();
+    wire_phase();
 }
 
 fn full_batch_phase() {
@@ -244,6 +249,72 @@ fn training_step_phase() {
         );
         assert_eq!(frees, 0, "steady-state training forward must not free (residual={residual})");
     }
+}
+
+fn wire_phase() {
+    // The full wire hot loop on a warmed connection: frame decode →
+    // admission → batch execution → response encode, with the request
+    // structs recycled through the connection's outbox pool. One fixed blob
+    // of pre-encoded request frames is replayed each round; after warm-up,
+    // a round must not touch the heap at all.
+    let table = census_like(300, 8);
+    let cfg = DuetConfig::small().with_epochs(1);
+    let est = DuetEstimator::train_data_only(&table, &cfg, 5);
+    let queries = WorkloadSpec::random(&table, 16, 13).generate(&table);
+
+    let mut sim = WireSim::new(
+        vec![("wire".into(), est.clone())],
+        HarnessConfig {
+            router: RouterConfig { num_shards: 1, queue_capacity: 64, default_deadline: None },
+            batch: BatchConfig::default(),
+            cache_capacity: 0,
+            cache_shards: 1,
+        },
+        ConnConfig::default(),
+        1,
+    );
+
+    // Handshake, then pre-encode the round's 16 request frames once.
+    let mut blob = Vec::new();
+    frame::encode_preamble(&mut blob);
+    sim.feed(0, &blob);
+    sim.pump(0).expect("preamble is valid");
+    blob.clear();
+    for (i, query) in queries.iter().enumerate() {
+        let preds = query_to_id_predicates(est.schema(), query);
+        let intervals = query.column_intervals(est.schema());
+        frame::encode_request(&mut blob, i as u64, 0, 0, &preds, &intervals);
+    }
+
+    let requests = queries.len();
+    let round = |sim: &mut WireSim| {
+        sim.feed(0, &blob);
+        sim.pump(0).expect("requests decode"); // decode + admit
+        while sim.harness().queue_depth() > 0 {
+            sim.turn(); // execute; completions land in the outbox
+        }
+        sim.pump(0).expect("responses encode"); // encode response frames
+        let produced = sim.output(0).len();
+        assert_eq!(produced, requests * (4 + frame::RESPONSE_BODY_LEN));
+        sim.consume_output(0, produced);
+        assert_eq!(sim.inflight(0), 0, "every request answered each round");
+    };
+
+    // Warm-up: connection buffers, the outbox pool, queue, and workspace
+    // all grow to their steady-state shapes.
+    for _ in 0..2 {
+        round(&mut sim);
+    }
+
+    let (allocs_before, frees_before) =
+        (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+    for _ in 0..10 {
+        round(&mut sim);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let frees = FREES.load(Ordering::Relaxed) - frees_before;
+    assert_eq!(allocs, 0, "steady-state wire serving must not allocate");
+    assert_eq!(frees, 0, "steady-state wire serving must not free");
 }
 
 fn pooled_large_batch_phase() {
