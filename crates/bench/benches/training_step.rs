@@ -4,16 +4,19 @@
 //! `Layer::forward` + allocating grouped cross-entropy pipeline against the
 //! scratch-based `data_forward`/`query_forward` passes (activation
 //! checkpointing, in-place masked-weight memo, flat gradient/probability
-//! staging).
+//! staging) — and, since PR 7, the **full training step**
+//! (forward + backward + Adam): the old allocating `Layer::backward` chain
+//! against the gradient-ping-pong scratch backward with the fused sparse
+//! first layer.
 
 use criterion::{criterion_group, criterion_main, BenchMeta, Criterion};
 use duet_baselines::{NaruConfig, NaruEstimator};
 use duet_core::{
-    data_forward, query_forward, sample_virtual_batch, train_model, DuetConfig, DuetModel,
-    PreparedQuery, SamplerConfig, TrainStepScratch, VirtualTuple,
+    data_forward, query_forward, sample_virtual_batch, train_model, train_step, DuetConfig,
+    DuetModel, ModelParams, PreparedQuery, SamplerConfig, TrainStepScratch, VirtualTuple,
 };
 use duet_data::datasets::census_like;
-use duet_nn::{grouped_cross_entropy, seeded_rng, Layer};
+use duet_nn::{grouped_cross_entropy, seeded_rng, Adam, Layer};
 use duet_query::{exact_cardinality, WorkloadSpec};
 use std::hint::black_box;
 
@@ -105,6 +108,73 @@ fn bench_train_step(c: &mut Criterion) {
             b.iter(|| {
                 model.zero_grad();
                 black_box(query_forward(&mut model, &prepared, num_rows, 0.1, &mut scratch))
+            })
+        },
+    );
+
+    // Full data-driven step, pre-PR-7 shape: the allocating forward above
+    // followed by the allocating `Layer::backward` chain (a fresh gradient
+    // matrix per stage) and the Adam update.
+    let mut adam_alloc = Adam::new(1e-4);
+    group.bench_function_meta(
+        "full_step_alloc",
+        BenchMeta { batch_size: Some(tuples), mode: Some("alloc") },
+        |b| {
+            b.iter(|| {
+                model.zero_grad();
+                let rows: Vec<&Vec<Vec<duet_core::IdPredicate>>> =
+                    batch.iter().map(|vt| &vt.predicates).collect();
+                model.fill_input(&rows, &mut ws);
+                let labels: Vec<Vec<usize>> = batch.iter().map(|vt| vt.labels.clone()).collect();
+                let blocks = model.output_sizes();
+                let logits = model.made_mut().forward(ws.input());
+                let (loss, grad) = grouped_cross_entropy(&logits, &blocks, &labels);
+                let grad_in = model.made_mut().backward(&grad);
+                adam_alloc.step(&mut ModelParams(&mut model));
+                black_box((loss, grad_in.rows()))
+            })
+        },
+    );
+
+    // Same full step through `train_step`: fused sparse first layer,
+    // gradient ping-pong through scratch, zero allocations after warm-up.
+    let mut adam_scratch = Adam::new(1e-4);
+    group.bench_function_meta(
+        "full_step_scratch",
+        BenchMeta { batch_size: Some(tuples), mode: Some("scratch") },
+        |b| {
+            b.iter(|| {
+                let empty: &[PreparedQuery] = &[];
+                black_box(train_step(
+                    &mut model,
+                    &mut adam_scratch,
+                    &batch,
+                    empty,
+                    num_rows,
+                    0.1,
+                    &mut scratch,
+                ))
+            })
+        },
+    );
+
+    // The hybrid step (Algorithm 2): data pass + supervised Q-Error pass,
+    // both backwards, one Adam update.
+    let mut adam_hybrid = Adam::new(1e-4);
+    group.bench_function_meta(
+        "full_step_hybrid_scratch",
+        BenchMeta { batch_size: Some(tuples), mode: Some("scratch") },
+        |b| {
+            b.iter(|| {
+                black_box(train_step(
+                    &mut model,
+                    &mut adam_hybrid,
+                    &batch,
+                    &prepared,
+                    num_rows,
+                    0.1,
+                    &mut scratch,
+                ))
             })
         },
     );

@@ -8,7 +8,7 @@ use crate::mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn, MpsnScratch};
 use duet_data::Table;
 use duet_nn::{
     seeded_rng, softmax_restricted_mass, ForwardWorkspace, InferLayer, Layer, Made, MadeConfig,
-    Matrix, Param, SoftmaxMode,
+    Matrix, Param, SoftmaxMode, SparseRows,
 };
 use duet_query::{PredOp, Query};
 
@@ -36,6 +36,11 @@ pub struct DuetWorkspace {
     pub(crate) stacked: Matrix,
     /// MPSN embedding scratch.
     pub(crate) mpsn: MpsnScratch,
+    /// Sparse row capture of `input` for the fused sparse first layer of the
+    /// training path (the one-hot predicate encoding is mostly zeros).
+    /// Filled by [`DuetModel::fill_input_with_sparse`]; the inference path
+    /// never pays for the capture.
+    pub(crate) sparse: SparseRows,
     /// Which exponential the probability-masking softmax uses for batches
     /// run through this workspace. Defaults to [`SoftmaxMode::Fast`] (the
     /// inference default, relative error ≤ 1e-6 — see `duet_nn::math`); set
@@ -242,6 +247,20 @@ impl DuetModel {
                 off += width;
             }
         }
+    }
+
+    /// [`DuetModel::fill_input`] followed by a sparse row capture of the
+    /// encoded batch into the workspace — the training path uses the capture
+    /// to feed MADE's fused sparse first layer (forward **and** backward)
+    /// without re-scanning the dense input. Allocation-free once warm (the
+    /// capture reserves for the worst case up front).
+    pub fn fill_input_with_sparse<R: AsRef<[Vec<IdPredicate>]>>(
+        &self,
+        rows: &[R],
+        ws: &mut DuetWorkspace,
+    ) {
+        self.fill_input(rows, ws);
+        ws.sparse.capture_from(&ws.input);
     }
 
     /// Inference-only forward pass through the backbone.

@@ -2,13 +2,14 @@
 //! cross-entropy) and hybrid training with the differentiable Q-Error loss
 //! (Algorithm 2, `L = L_data + λ·log2(QError + 1)`).
 //!
-//! The per-step forward work — input encoding, the backbone forward, the
-//! per-column softmaxes, and the gradient staging of both losses — runs
-//! through a [`TrainStepScratch`], so a steady-state training step performs
-//! **zero heap allocation** across forward + softmax + gradient staging
-//! (asserted by the training phase of `tests/zero_alloc.rs`). The backward
-//! pass and the optimizer keep their allocating paths: they are
-//! matmul-bound, not allocator-bound.
+//! The whole step — input encoding, the backbone forward (with a fused
+//! sparse first layer over the mostly-zero predicate encoding), the
+//! per-column softmaxes, the gradient staging of both losses, the scratch
+//! backward pass, and the Adam update — runs through a [`TrainStepScratch`],
+//! so a steady-state [`train_step`] performs **zero heap allocation**
+//! (asserted by the training phases of `tests/zero_alloc.rs`). The one
+//! exception is MPSN back-propagation (absent in the default
+//! configuration), which still heap-stages its per-predicate encodings.
 
 use crate::config::DuetConfig;
 use crate::encoding::IdPredicate;
@@ -132,12 +133,19 @@ impl TrainStepScratch {
     pub fn grad_logits(&self) -> &Matrix {
         &self.grad_logits
     }
+
+    /// The gradient w.r.t. the encoded input left by the most recent
+    /// backward pass that was asked for it (the MPSN chain consumes this).
+    pub fn input_grad(&self) -> &Matrix {
+        self.nn.input_grad()
+    }
 }
 
 /// Adapter exposing a [`DuetModel`]'s parameters to the optimizer and the
 /// checkpoint codec through the [`Layer`] trait (its forward/backward are never
-/// used).
-pub(crate) struct ModelParams<'a>(pub &'a mut DuetModel);
+/// used). Public so external drivers — benches, the zero-allocation harness —
+/// can run their own `adam.step(&mut ModelParams(&mut model))`.
+pub struct ModelParams<'a>(pub &'a mut DuetModel);
 
 impl Layer for ModelParams<'_> {
     fn forward(&mut self, _input: &Matrix) -> Matrix {
@@ -225,17 +233,7 @@ pub fn train_model_with_eval(
         let mut query_batches = 0usize;
 
         for chunk in row_order.chunks(config.batch_size) {
-            model.zero_grad();
-
-            // --- Unsupervised pass over sampled virtual tuples ------------
             let virtual_batch = sample_virtual_batch(table, chunk, &sampler, &mut rng);
-            let (loss_data, grad_input) = data_pass(&mut model, &virtual_batch, &mut scratch);
-            data_loss_sum += loss_data as f64;
-            if let Some(grad_input) = grad_input {
-                backprop_mpsn(&mut model, &virtual_batch, &grad_input);
-            }
-
-            // --- Supervised pass over a query mini-batch ------------------
             if hybrid {
                 next_query_batch(
                     &prepared,
@@ -243,17 +241,22 @@ pub fn train_model_with_eval(
                     config.query_batch_size,
                     &mut query_batch,
                 );
-                let (loss_q, mean_q, grad_input_q) =
-                    query_pass(&mut model, &query_batch, num_rows_f, config.lambda, &mut scratch);
+            }
+            let (loss_data, loss_q, mean_q) = train_step(
+                &mut model,
+                &mut adam,
+                &virtual_batch,
+                &query_batch,
+                num_rows_f,
+                config.lambda,
+                &mut scratch,
+            );
+            data_loss_sum += loss_data as f64;
+            if hybrid {
                 query_loss_sum += loss_q;
                 q_error_sum += mean_q;
                 query_batches += 1;
-                if let Some(grad_input_q) = grad_input_q {
-                    backprop_mpsn(&mut model, &query_batch, &grad_input_q);
-                }
             }
-
-            adam.step(&mut ModelParams(&mut model));
             batches += 1;
         }
 
@@ -275,39 +278,34 @@ pub fn train_model_with_eval(
 }
 
 /// The data-driven training forward for one virtual-tuple batch: encode the
-/// batch into the scratch input, run the backbone's checkpointing forward,
+/// batch into the scratch input (capturing its sparse rows alongside — the
+/// one-hot predicate encoding is mostly zeros, so the backbone's first layer
+/// runs the fused sparse kernel), run the backbone's checkpointing forward,
 /// and stage `dL/dlogits` of the grouped cross-entropy in the scratch.
 ///
-/// Returns the batch loss; the caller continues with
-/// `model.made_mut().backward(scratch.grad_logits())`. Zero heap allocation
-/// once `scratch` is warm — this is the path measured by the training phase
-/// of `tests/zero_alloc.rs`.
+/// Returns the batch loss; the caller continues with the scratch backward
+/// (see [`train_step`]). Zero heap allocation once `scratch` is warm — this
+/// is the path measured by the training phases of `tests/zero_alloc.rs`.
 pub fn data_forward(
     model: &mut DuetModel,
     batch: &[VirtualTuple],
     scratch: &mut TrainStepScratch,
 ) -> f32 {
     let TrainStepScratch { ws, nn, grad_logits, .. } = scratch;
-    model.fill_input(batch, ws);
-    let logits = model.made_mut().forward_train(ws.input(), nn);
+    model.fill_input_with_sparse(batch, ws);
+    let logits = model.made_mut().forward_train_sparse(ws.input(), Some(&ws.sparse), nn);
     grouped_cross_entropy_with(logits, model.output_sizes_ref(), batch, grad_logits)
 }
 
-/// Forward/backward for one virtual-tuple batch. Returns the loss and, when
-/// an MPSN is present, the gradient w.r.t. the network input (needed to
-/// continue back-propagation into the per-column MPSNs).
-fn data_pass(
-    model: &mut DuetModel,
-    batch: &[VirtualTuple],
-    scratch: &mut TrainStepScratch,
-) -> (f32, Option<Matrix>) {
+/// Forward/backward for one virtual-tuple batch, gradient-buffer backward
+/// included. When an MPSN is present the gradient w.r.t. the network input
+/// is additionally produced (readable via [`TrainStepScratch::input_grad`]).
+fn data_pass(model: &mut DuetModel, batch: &[VirtualTuple], scratch: &mut TrainStepScratch) -> f32 {
     let loss = data_forward(model, batch, scratch);
-    let grad_input = model.made_mut().backward(&scratch.grad_logits);
-    if model.mpsns().is_empty() {
-        (loss, None)
-    } else {
-        (loss, Some(grad_input))
-    }
+    let need_input_grad = !model.mpsns().is_empty();
+    let TrainStepScratch { ws, nn, grad_logits, .. } = scratch;
+    model.made_mut().backward_scratch(grad_logits, Some(&ws.sparse), nn, need_input_grad);
+    loss
 }
 
 /// Back-propagate input gradients into the per-column MPSNs for a batch of
@@ -360,8 +358,8 @@ fn next_query_batch<'a>(
 /// Probabilities are staged in the scratch's flat buffer + offset table —
 /// no per-row heap containers — so the pass is allocation-free once warm.
 /// Returns `(mean log2(QError + 1), mean QError)`; the caller continues with
-/// `model.made_mut().backward(scratch.grad_logits())`, whose result already
-/// includes the λ scaling.
+/// the scratch backward (see [`train_step`]), whose gradients already
+/// include the λ scaling.
 pub fn query_forward<Q>(
     model: &mut DuetModel,
     batch: &[Q],
@@ -379,8 +377,8 @@ where
         return (0.0, 1.0);
     }
     let TrainStepScratch { ws, nn, grad_logits, probs, cols } = scratch;
-    model.fill_input(batch, ws);
-    let logits = model.made_mut().forward_train(ws.input(), nn);
+    model.fill_input_with_sparse(batch, ws);
+    let logits = model.made_mut().forward_train_sparse(ws.input(), Some(&ws.sparse), nn);
     let sizes = model.output_sizes_ref();
 
     grad_logits.reset(logits.rows(), logits.cols());
@@ -461,31 +459,72 @@ where
     (loss_sum / batch.len() as f64, q_sum / batch.len() as f64)
 }
 
-/// Forward/backward for a supervised query batch.
-///
-/// Returns `(mean log2(QError+1), mean QError, grad wrt input)` where the
-/// gradient already includes the λ scaling so it can simply be accumulated
-/// on top of the data-pass gradients (the caller continues it into the
-/// MPSNs using the same prepared batch).
-type QueryPassOutput = (f64, f64, Option<Matrix>);
-
-fn query_pass(
+/// Forward/backward for a supervised query batch, gradient-buffer backward
+/// included. Returns `(mean log2(QError+1), mean QError)`; the gradients
+/// already include the λ scaling. When an MPSN is present the input
+/// gradient is additionally produced (readable via
+/// [`TrainStepScratch::input_grad`]).
+fn query_pass<Q>(
     model: &mut DuetModel,
-    batch: &[&PreparedQuery],
+    batch: &[Q],
     num_rows: f64,
     lambda: f64,
     scratch: &mut TrainStepScratch,
-) -> QueryPassOutput {
+) -> (f64, f64)
+where
+    Q: Borrow<PreparedQuery> + AsRef<[Vec<IdPredicate>]>,
+{
     if batch.is_empty() {
-        return (0.0, 1.0, None);
+        return (0.0, 1.0);
     }
     let (mean_loss, mean_q) = query_forward(model, batch, num_rows, lambda, scratch);
-    let grad_input = model.made_mut().backward(&scratch.grad_logits);
-    if model.mpsns().is_empty() {
-        (mean_loss, mean_q, None)
-    } else {
-        (mean_loss, mean_q, Some(grad_input))
+    let need_input_grad = !model.mpsns().is_empty();
+    let TrainStepScratch { ws, nn, grad_logits, .. } = scratch;
+    model.made_mut().backward_scratch(grad_logits, Some(&ws.sparse), nn, need_input_grad);
+    (mean_loss, mean_q)
+}
+
+/// One complete optimizer step — the paper's hybrid update (Algorithm 2):
+/// zero the gradients, run the data-driven pass (forward + scratch
+/// backward), the supervised query pass when `query_batch` is non-empty,
+/// MPSN back-propagation when the model has MPSNs, then one Adam step.
+///
+/// Gradients ping-pong through `scratch`'s reusable buffers and the
+/// backbone's first layer consumes the sparse capture of the encoded input,
+/// so the steady-state step performs **zero heap allocation** (asserted by
+/// phase 7 of `tests/zero_alloc.rs`); MPSN back-propagation — absent in the
+/// default configuration — is the one remaining allocating stage.
+///
+/// Returns `(data_loss, query_loss, mean_q_error)`, the query terms being
+/// the fold-neutral `(0.0, 1.0)` for an empty query batch.
+pub fn train_step<Q>(
+    model: &mut DuetModel,
+    adam: &mut Adam,
+    batch: &[VirtualTuple],
+    query_batch: &[Q],
+    num_rows: f64,
+    lambda: f64,
+    scratch: &mut TrainStepScratch,
+) -> (f32, f64, f64)
+where
+    Q: Borrow<PreparedQuery> + AsRef<[Vec<IdPredicate>]>,
+{
+    model.zero_grad();
+    let data_loss = data_pass(model, batch, scratch);
+    if !model.mpsns().is_empty() {
+        backprop_mpsn(model, batch, scratch.input_grad());
     }
+    let (query_loss, mean_q) = if query_batch.is_empty() {
+        (0.0, 1.0)
+    } else {
+        let (loss_q, mean_q) = query_pass(model, query_batch, num_rows, lambda, scratch);
+        if !model.mpsns().is_empty() {
+            backprop_mpsn(model, query_batch, scratch.input_grad());
+        }
+        (loss_q, mean_q)
+    };
+    adam.step(&mut ModelParams(model));
+    (data_loss, query_loss, mean_q)
 }
 
 /// Convenience wrapper: shuffle-free deterministic selection of training rows

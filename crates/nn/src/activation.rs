@@ -45,6 +45,18 @@ impl ReLU {
         Self::default()
     }
 
+    /// Gate a gradient in place against the mask cached by the last
+    /// [`Layer::forward`]: the allocation-free equivalent of
+    /// [`Layer::backward`] (which clones before the same multiply),
+    /// bit-identical to it.
+    ///
+    /// # Panics
+    /// Panics if called before a training forward cached the mask.
+    pub fn gate_inplace(&self, grad: &mut Matrix) {
+        let mask = self.cached_mask.as_ref().expect("ReLU::backward called before forward");
+        grad.mul_assign(mask);
+    }
+
     /// Apply ReLU without caching (inference-only path).
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
         let mut out = input.clone();

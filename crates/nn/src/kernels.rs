@@ -108,8 +108,23 @@ pub(crate) const PAR_THRESHOLD: usize = 1 << 22;
 
 /// Fraction of exact zeros in the left operand above which the naive
 /// kernel's row-skip beats the dense blocked kernel (measured on the
-/// serving shapes; see `docs/PERFORMANCE.md`).
-const SPARSE_DISPATCH_THRESHOLD: f64 = 0.4;
+/// serving shapes; see `docs/PERFORMANCE.md`). The sparse-capture first
+/// layer dispatches on the same boundary (`made.rs`), so whether a training
+/// batch runs the CSR kernel or the register-blocked kernel flips at exactly
+/// the density where the dense dispatch itself would change paths.
+pub(crate) const SPARSE_DISPATCH_THRESHOLD: f64 = 0.4;
+
+/// Minimum packed elements before panel packing fans out over the compute
+/// pool. Packing is pure data movement, so the bar is far lower than the
+/// multiply-accumulate threshold [`PAR_THRESHOLD`] — but still high enough
+/// that the park/wake round trip never dominates a small pack.
+const PACK_PAR_THRESHOLD: usize = 1 << 18;
+
+/// How many `NR`-wide strips ahead of the accumulation loop the micro-kernel
+/// issues a software prefetch. One strip is at most 64 bytes (a cache line),
+/// so 8 strips keeps the request roughly one line's latency ahead without
+/// thrashing the L1 fill buffers.
+const PREFETCH_STRIPS: usize = 8;
 
 /// The register-tile variant the blocked kernels run with.
 ///
@@ -232,20 +247,58 @@ struct Scratch {
     b: Vec<f32>,
 }
 
+/// Fan per-panel packing work out over the current compute pool, or run it
+/// serially below [`PACK_PAR_THRESHOLD`]. Each panel owns the disjoint
+/// contiguous region `jp * panel_len..(jp + 1) * panel_len` of `packed`, so
+/// the parallel and serial schedules write byte-identical results — packing
+/// is pure data movement and carries no bit-identity risk.
+fn fan_out_panels<F>(panels: usize, panel_len: usize, packed: &mut [f32], pack_panel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    pool::with_current(|pool| {
+        let threads = pool.parallelism();
+        if panels < 2 || threads <= 1 || panels * panel_len < PACK_PAR_THRESHOLD {
+            for jp in 0..panels {
+                pack_panel(jp, &mut packed[jp * panel_len..(jp + 1) * panel_len]);
+            }
+            return;
+        }
+        let chunks = threads.min(panels);
+        let panels_per_chunk = panels.div_ceil(chunks);
+        let num_chunks = panels.div_ceil(panels_per_chunk);
+        let base = SendPtr(packed.as_mut_ptr());
+        let task = |chunk: usize| {
+            let start = chunk * panels_per_chunk;
+            let end = (start + panels_per_chunk).min(panels);
+            for jp in start..end {
+                // SAFETY: panels are disjoint contiguous regions of
+                // `packed`, which outlives the pool job (`run` blocks until
+                // completion).
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(base.get().add(jp * panel_len), panel_len)
+                };
+                pack_panel(jp, dst);
+            }
+        };
+        pool.run(num_chunks, &task);
+    });
+}
+
 /// Pack `b` (`k x n`, row-major) into `n.div_ceil(nr)` panels of `k x nr`,
-/// zero-padding the last panel's missing columns.
+/// zero-padding the last panel's missing columns. Panels fan out over the
+/// compute pool when the pack is large (see [`fan_out_panels`]).
 fn pack_b_panels(b: &[f32], k: usize, n: usize, nr: usize, packed: &mut Vec<f32>) {
     let panels = n.div_ceil(nr);
     packed.clear();
     packed.resize(panels * k * nr, 0.0);
-    for jp in 0..panels {
+    fan_out_panels(panels, k * nr, packed, |jp, dst| {
         let col0 = jp * nr;
         let vis = nr.min(n - col0);
-        let dst = &mut packed[jp * k * nr..(jp + 1) * k * nr];
         for p in 0..k {
             dst[p * nr..p * nr + vis].copy_from_slice(&b[p * n + col0..p * n + col0 + vis]);
         }
-    }
+    });
 }
 
 /// Pack `bt` (`n x k`, row-major — i.e. the transpose of the logical `k x n`
@@ -254,16 +307,15 @@ fn pack_bt_panels(bt: &[f32], k: usize, n: usize, nr: usize, packed: &mut Vec<f3
     let panels = n.div_ceil(nr);
     packed.clear();
     packed.resize(panels * k * nr, 0.0);
-    for jp in 0..panels {
+    fan_out_panels(panels, k * nr, packed, |jp, dst| {
         let col0 = jp * nr;
         let vis = nr.min(n - col0);
-        let dst = &mut packed[jp * k * nr..(jp + 1) * k * nr];
         for (lane, row) in bt[col0 * k..(col0 + vis) * k].chunks_exact(k).enumerate() {
             for (p, &v) in row.iter().enumerate() {
                 dst[p * nr + lane] = v;
             }
         }
-    }
+    });
 }
 
 /// Transpose `a` (`k x m`, row-major) into `out` (`m x k`, row-major).
@@ -389,6 +441,27 @@ impl PackedWeight {
     }
 }
 
+/// Hint the CPU to pull `data[index..]` toward L1 ahead of the accumulation
+/// loop. Architecturally a no-op — a prefetch never faults, never writes,
+/// and never changes a result — so it needs no bit-identity argument; the
+/// bounds check only keeps the hint from wandering past the operand.
+#[inline(always)]
+fn prefetch_read(data: &[f32], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if index < data.len() {
+        // SAFETY: `index` is in bounds (checked above), and `_mm_prefetch`
+        // has no architectural effect beyond a cache hint.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(data.as_ptr().add(index) as *const i8, _MM_HINT_T0);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, index);
+    }
+}
+
 /// The bias/activation epilogue, applied to finished output rows in a
 /// separate pass (see the module docs for why it is not fused into the
 /// accumulation loop). Per element this runs after the full `k`
@@ -438,6 +511,7 @@ fn run_rows_blocked_t<const TMR: usize, const TNR: usize>(
             let panel = &packed[jp * k * TNR..(jp + 1) * k * TNR];
             let mut acc = [[0.0f32; TNR]; TMR];
             for (p, strip) in panel.chunks_exact(TNR).enumerate() {
+                prefetch_read(panel, (p + PREFETCH_STRIPS) * TNR);
                 for r in 0..TMR {
                     // SAFETY: `p < k == ar[r].len()` (see above).
                     let av = unsafe { *ar[r].get_unchecked(p) };
@@ -461,6 +535,7 @@ fn run_rows_blocked_t<const TMR: usize, const TNR: usize>(
             let panel = &packed[jp * k * TNR..(jp + 1) * k * TNR];
             let mut acc = [0.0f32; TNR];
             for (p, strip) in panel.chunks_exact(TNR).enumerate() {
+                prefetch_read(panel, (p + PREFETCH_STRIPS) * TNR);
                 // SAFETY: `p < k == arow.len()` (same argument as above).
                 let av = unsafe { *arow.get_unchecked(p) };
                 for l in 0..TNR {
@@ -505,7 +580,8 @@ fn run_rows_packed_t<const TMR: usize, const TNR: usize>(
             let sdata = &packed.data[sr.start * TNR..sr.end * TNR];
             let srows = &packed.rows[sr];
             let mut acc = [[0.0f32; TNR]; TMR];
-            for (strip, &p) in sdata.chunks_exact(TNR).zip(srows.iter()) {
+            for (s, (strip, &p)) in sdata.chunks_exact(TNR).zip(srows.iter()).enumerate() {
+                prefetch_read(sdata, (s + PREFETCH_STRIPS) * TNR);
                 let p = p as usize;
                 for r in 0..TMR {
                     // SAFETY: `p < k == ar[r].len()` (struct invariant).
@@ -531,7 +607,8 @@ fn run_rows_packed_t<const TMR: usize, const TNR: usize>(
             let sdata = &packed.data[sr.start * TNR..sr.end * TNR];
             let srows = &packed.rows[sr];
             let mut acc = [0.0f32; TNR];
-            for (strip, &p) in sdata.chunks_exact(TNR).zip(srows.iter()) {
+            for (s, (strip, &p)) in sdata.chunks_exact(TNR).zip(srows.iter()).enumerate() {
+                prefetch_read(sdata, (s + PREFETCH_STRIPS) * TNR);
                 // SAFETY: `p < k == arow.len()` (struct invariant).
                 let av = unsafe { *arow.get_unchecked(p as usize) };
                 for l in 0..TNR {
@@ -789,4 +866,176 @@ pub fn matmul_tn_blocked(a: &[f32], k: usize, m: usize, b: &[f32], n: usize, out
             )
         });
     });
+}
+
+/// A batch of rows in compressed-sparse-row form: per row, the column
+/// indices (ascending) and values of its nonzero entries.
+///
+/// This is the input format of the fused encode→matmul first-layer kernels
+/// ([`addmm_sparse`], [`matmul_tn_sparse`]): the predicate encoder emits
+/// mostly-zero one-hot rows, and capturing them once at encode time lets the
+/// first layer's forward *and* its weight-gradient matmul consume exactly
+/// the nonzero terms — no per-call density scan, no per-element zero test.
+/// The kernels accumulate those terms in the same ascending-index order as
+/// the naive zero-skipping kernels, so results are **bit-identical** to
+/// every dense path for finite inputs (a skipped term contributes `±0.0` to
+/// an accumulator that starts at `+0.0`; see the module docs).
+///
+/// [`SparseRows::begin`] reserves the dense worst case up front, so a
+/// capture over fixed-shape batches never reallocates after the first call —
+/// the zero-allocation training loop relies on this.
+#[derive(Debug, Clone, Default)]
+pub struct SparseRows {
+    rows: usize,
+    cols: usize,
+    /// Row `r` owns entries `offsets[r]..offsets[r + 1]`.
+    offsets: Vec<usize>,
+    /// Column index of each nonzero, ascending within a row.
+    idx: Vec<u32>,
+    /// Value of each nonzero, parallel to `idx`.
+    val: Vec<f32>,
+}
+
+impl SparseRows {
+    /// An empty capture; [`SparseRows::begin`] + [`SparseRows::push_row`]
+    /// populate it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset to an empty capture of `cols`-wide rows, reserving capacity for
+    /// `rows` fully dense rows so the subsequent [`SparseRows::push_row`]
+    /// calls never reallocate regardless of how the batch's density turns
+    /// out.
+    pub fn begin(&mut self, rows: usize, cols: usize) {
+        assert!(cols <= u32::MAX as usize, "sparse capture column index overflows u32");
+        self.rows = 0;
+        self.cols = cols;
+        self.offsets.clear();
+        self.offsets.reserve(rows + 1);
+        self.offsets.push(0);
+        let worst = rows * cols;
+        self.idx.clear();
+        self.idx.reserve(worst);
+        self.val.clear();
+        self.val.reserve(worst);
+    }
+
+    /// Append one dense row, capturing its nonzero entries in ascending
+    /// column order.
+    pub fn push_row(&mut self, dense: &[f32]) {
+        assert_eq!(dense.len(), self.cols, "sparse capture row width mismatch");
+        for (j, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                self.idx.push(j as u32);
+                self.val.push(v);
+            }
+        }
+        self.rows += 1;
+        self.offsets.push(self.idx.len());
+    }
+
+    /// Number of captured rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Width of every captured row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of captured nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Fraction of entries that are nonzero (an empty capture counts as
+    /// dense, mirroring [`mostly_dense`] on an empty slice).
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 1.0;
+        }
+        self.val.len() as f64 / total as f64
+    }
+
+    /// Whether the dense dispatch would route a matrix of this density to
+    /// the zero-skipping path — exactly the complement of [`mostly_dense`],
+    /// so swapping in the sparse kernels never changes which *class* of
+    /// kernel (skip vs register-blocked) a shape runs.
+    pub fn is_sparse_enough(&self) -> bool {
+        1.0 - self.density() >= SPARSE_DISPATCH_THRESHOLD
+    }
+
+    /// Row `r` as parallel (column-index, value) slices.
+    fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let range = self.offsets[r]..self.offsets[r + 1];
+        (&self.idx[range.clone()], &self.val[range])
+    }
+}
+
+/// Fused `out = act(a @ b + bias)` where the left operand is a sparse
+/// capture (`a`: `m x k` in CSR form) and `b` is `k x n` row-major (`out`
+/// pre-sized to `m x n`). Each output row accumulates exactly its input
+/// row's nonzero terms in ascending-`k` order — the identical element-wise
+/// sequence to the naive zero-skipping kernel, and therefore (for finite
+/// inputs) bit-identical to every dense path. Rows fan out over the compute
+/// pool above the usual work threshold, with the work estimate scaled by the
+/// capture's actual nonzero count.
+pub fn addmm_sparse(
+    a: &SparseRows,
+    b: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(b.len(), k * n, "sparse addmm operand shape mismatch");
+    assert_eq!(out.len(), m * n, "sparse addmm output shape mismatch");
+    let total_work = a.nnz().saturating_mul(n);
+    fan_out_rows(m, n, total_work, out, |rows, out_rows| {
+        for (i, out_row) in rows.clone().zip(out_rows.chunks_exact_mut(n)) {
+            out_row.fill(0.0);
+            let (idx, val) = a.row(i);
+            for (&j, &v) in idx.iter().zip(val.iter()) {
+                let brow = &b[j as usize * n..(j as usize + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(brow.iter()) {
+                    *o += v * bv;
+                }
+            }
+            if let Some(bias) = bias {
+                for (o, &bv) in out_row.iter_mut().zip(bias.iter()) {
+                    *o += bv;
+                }
+            }
+            act.apply(out_row);
+        }
+    });
+}
+
+/// `out = a^T @ b` where `a` is a sparse capture over `t` rows (`t x m` in
+/// CSR form) and `b` is `t x n` row-major (`out` pre-sized to `m x n`) —
+/// the weight-gradient product `input^T @ grad` with the input consumed
+/// directly from the encode-time capture. Accumulation visits `t` in
+/// ascending order (outer loop), matching the naive transposed kernel's
+/// element-wise sequence exactly, so results are bit-identical for finite
+/// inputs. The scatter over output rows makes this kernel inherently
+/// serial, like the naive path it replaces.
+pub fn matmul_tn_sparse(a: &SparseRows, b: &[f32], n: usize, out: &mut [f32]) {
+    let (t_rows, m) = (a.rows(), a.cols());
+    assert_eq!(b.len(), t_rows * n, "sparse tn operand shape mismatch");
+    assert_eq!(out.len(), m * n, "sparse tn output shape mismatch");
+    out.fill(0.0);
+    for t in 0..t_rows {
+        let (idx, val) = a.row(t);
+        let brow = &b[t * n..(t + 1) * n];
+        for (&i, &v) in idx.iter().zip(val.iter()) {
+            let orow = &mut out[i as usize * n..(i as usize + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += v * bv;
+            }
+        }
+    }
 }

@@ -40,11 +40,11 @@ pub mod workspace;
 
 pub use activation::{Activation, ReLU};
 pub use init::{seeded_rng, Init};
-pub use kernels::{native_tile, with_tile, Tile};
+pub use kernels::{native_tile, with_tile, SparseRows, Tile};
 pub use linear::{Linear, MaskedLinear};
 pub use loss::{
-    grouped_cross_entropy, grouped_cross_entropy_with, q_error, softmax, softmax_blocks,
-    softmax_into, softmax_rows, softmax_rows_inplace,
+    grouped_cross_entropy, grouped_cross_entropy_with, mse, mse_with, q_error, softmax,
+    softmax_blocks, softmax_into, softmax_rows, softmax_rows_inplace,
 };
 pub use made::{Made, MadeConfig};
 pub use math::{

@@ -8,6 +8,7 @@
 
 use crate::activation::Activation;
 use crate::init::Init;
+use crate::kernels::SparseRows;
 use crate::param::{cache_input, InferLayer, Layer, Param, WeightKey};
 use crate::tensor::Matrix;
 use crate::workspace::ForwardWorkspace;
@@ -73,6 +74,34 @@ impl Linear {
     /// composite networks chain through their workspace.
     pub fn infer_raw(&self, input: &Matrix, act: Activation, out: &mut Matrix) {
         input.addmm_bias_act_into(&self.weight.data, Some(self.bias.data.as_slice()), act, out);
+    }
+
+    /// Scratch-buffer backward: the allocation-free replacement for
+    /// [`Layer::backward`]. Stages `dW = input^T @ grad_out` in `dw` and the
+    /// bias column sums in `db` before accumulating both into the parameter
+    /// gradients (the staging keeps the accumulation order — and therefore
+    /// the bits — identical to the allocating path), and writes the input
+    /// gradient `grad_out @ W^T` into `grad_in` when the caller needs one.
+    ///
+    /// # Panics
+    /// Panics if called before a training forward cached the input.
+    pub fn backward_scratch(
+        &mut self,
+        grad_out: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        grad_in: Option<&mut Matrix>,
+    ) {
+        let input = self.cached_input.as_ref().expect("Linear::backward called before forward");
+        input.matmul_tn_into(grad_out, dw);
+        self.weight.grad.add_assign(dw);
+        grad_out.column_sums_into(db);
+        for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db.iter()) {
+            *g += *d;
+        }
+        if let Some(grad_in) = grad_in {
+            grad_out.matmul_nt_into(&self.weight.data, grad_in);
+        }
     }
 }
 
@@ -270,6 +299,103 @@ impl MaskedLinear {
     ) {
         cache_input(&mut self.cached_input, input);
         self.infer_with_entry(input, Activation::Identity, entry, out);
+    }
+
+    /// Training forward consuming a sparse row capture of the input instead
+    /// of the dense matrix: `out = input @ (W ⊙ M) + b`, touching only the
+    /// nonzero input entries. Bit-identical to [`train_forward_entry`] for
+    /// finite inputs (the sparse kernel accumulates in the same column-index
+    /// order the dense zero-skip path does; see `duet_nn::kernels`).
+    ///
+    /// The dense input is **not** cached — the sparse capture replaces it, so
+    /// the matching backward is [`backward_scratch_sparse`] with the same
+    /// capture. A subsequent [`Layer::backward`] (or dense
+    /// [`backward_scratch`](Self::backward_scratch)) panics rather than
+    /// silently using a stale input.
+    ///
+    /// [`train_forward_entry`]: Self::train_forward_entry
+    /// [`backward_scratch_sparse`]: Self::backward_scratch_sparse
+    pub fn train_forward_sparse(
+        &mut self,
+        input: &SparseRows,
+        entry: &mut crate::workspace::MaskedEntry,
+        out: &mut Matrix,
+    ) {
+        debug_assert_eq!(input.cols(), self.in_features());
+        self.cached_input = None;
+        input.addmm_bias_act_into(
+            entry.weight(),
+            Some(self.bias.data.as_slice()),
+            Activation::Identity,
+            out,
+        );
+    }
+
+    /// Scratch-buffer backward against an already-materialized effective
+    /// weight `w` (a [`MaskedWeightCache`](crate::workspace::MaskedWeightCache)
+    /// hit — backward runs before the optimizer bumps the
+    /// [`WeightKey`], so the cached entry is exactly `W ⊙ M`). Stages the
+    /// masked `dW` in `dw` and the bias column sums in `db` before
+    /// accumulating into the parameter gradients, preserving the allocating
+    /// path's accumulation order bit for bit; writes `grad_out @ w^T` into
+    /// `grad_in` when the caller needs the input gradient.
+    ///
+    /// # Panics
+    /// Panics if called before a dense training forward cached the input.
+    pub fn backward_scratch(
+        &mut self,
+        grad_out: &Matrix,
+        w: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        grad_in: Option<&mut Matrix>,
+    ) {
+        let input =
+            self.cached_input.as_ref().expect("MaskedLinear::backward called before forward");
+        input.matmul_tn_into(grad_out, dw);
+        self.finish_backward_scratch(grad_out, w, dw, db, grad_in);
+    }
+
+    /// Sparse-input variant of [`backward_scratch`](Self::backward_scratch):
+    /// `dW` is computed from the sparse row capture the matching
+    /// [`train_forward_sparse`](Self::train_forward_sparse) consumed,
+    /// touching only nonzero input entries. Bit-identical to the dense
+    /// variant for finite inputs.
+    pub fn backward_scratch_sparse(
+        &mut self,
+        grad_out: &Matrix,
+        input: &SparseRows,
+        w: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        grad_in: Option<&mut Matrix>,
+    ) {
+        debug_assert_eq!(input.cols(), self.in_features());
+        input.matmul_tn_into(grad_out, dw);
+        self.finish_backward_scratch(grad_out, w, dw, db, grad_in);
+    }
+
+    /// Shared tail of the scratch backwards: mask `dW`, accumulate both
+    /// parameter gradients (via staging, keeping the rounding order of the
+    /// allocating path), and optionally produce the input gradient.
+    fn finish_backward_scratch(
+        &mut self,
+        grad_out: &Matrix,
+        w: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        grad_in: Option<&mut Matrix>,
+    ) {
+        debug_assert_eq!(w.shape(), self.weight.data.shape());
+        dw.mul_assign(&self.mask);
+        self.weight.grad.add_assign(dw);
+        grad_out.column_sums_into(db);
+        for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db.iter()) {
+            *g += *d;
+        }
+        if let Some(grad_in) = grad_in {
+            grad_out.matmul_nt_into(w, grad_in);
+        }
     }
 
     /// The binary connectivity mask.

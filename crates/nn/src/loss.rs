@@ -112,12 +112,13 @@ pub fn grouped_cross_entropy(
     (loss, grad)
 }
 
-/// Mean squared error between predictions and targets (used by MSCN-lite).
-/// Returns `(loss, dL/dpred)`.
-pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+/// Mean squared error writing `dL/dpred` into a caller buffer (reshaped,
+/// heap reused — zero allocation once warm). Returns the loss.
+pub fn mse_with(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f32 {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
     let n = pred.len().max(1) as f32;
-    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    // Every element is overwritten below, so skip the zeroing.
+    grad.resize_for_overwrite(pred.rows(), pred.cols());
     let mut loss = 0.0f64;
     for ((g, &p), &t) in
         grad.as_mut_slice().iter_mut().zip(pred.as_slice().iter()).zip(target.as_slice().iter())
@@ -126,7 +127,15 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
         loss += (d * d) as f64;
         *g = 2.0 * d / n;
     }
-    ((loss / n as f64) as f32, grad)
+    (loss / n as f64) as f32
+}
+
+/// Mean squared error between predictions and targets (used by MSCN-lite).
+/// Returns `(loss, dL/dpred)` ([`mse_with`] allocating the gradient).
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = mse_with(pred, target, &mut grad);
+    (loss, grad)
 }
 
 /// The Q-Error metric: `max(est, actual) / min(est, actual)`, both clamped to
@@ -220,6 +229,17 @@ mod tests {
         assert!((loss - 0.5).abs() < 1e-6);
         assert!((grad.get(0, 0) - 1.0).abs() < 1e-6);
         assert_eq!(grad.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn mse_with_reuses_grad_buffer() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 2.0]);
+        let (want_loss, want_grad) = mse(&pred, &target);
+        let mut grad = Matrix::zeros(5, 3); // wrong shape on purpose
+        let loss = mse_with(&pred, &target, &mut grad);
+        assert_eq!(loss, want_loss);
+        assert_eq!(grad, want_grad);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::activation::Activation;
 use crate::init::Init;
+use crate::kernels::SparseRows;
 use crate::linear::MaskedLinear;
 use crate::param::{InferLayer, Layer, Param};
 use crate::tensor::Matrix;
@@ -144,6 +145,38 @@ impl ResBlock {
         out.add_assign(x);
     }
 
+    /// Scratch-buffer backward mirroring [`Layer::backward`] bit for bit:
+    /// fc2's input gradient lands in `grad_act`, is ReLU-gated in place
+    /// against the checkpointed pre-activation, feeds fc1, and the identity
+    /// skip adds `grad_out` into `grad_in`. The masked effective weights come
+    /// from the train-workspace cache (slots `slot` / `slot + 1` — guaranteed
+    /// hits, since backward runs before the optimizer bumps any
+    /// [`WeightKey`](crate::param::WeightKey)). Allocation-free once warm.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_scratch(
+        &mut self,
+        grad_out: &Matrix,
+        grad_act: &mut Matrix,
+        grad_in: &mut Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        masked: &mut MaskedWeightCache,
+        slot: usize,
+    ) {
+        let pre = self.cached_pre.as_ref().expect("ResBlock::backward called before forward");
+        let e2 = masked.entry(slot + 1, self.fc2.weight_key(), |w| self.fc2.fill_masked(w));
+        self.fc2.backward_scratch(grad_out, e2.weight(), dw, db, Some(grad_act));
+        // ReLU gate.
+        for (g, p) in grad_act.as_mut_slice().iter_mut().zip(pre.as_slice().iter()) {
+            if *p <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        let e1 = masked.entry(slot, self.fc1.weight_key(), |w| self.fc1.fill_masked(w));
+        self.fc1.backward_scratch(grad_act, e1.weight(), dw, db, Some(grad_in));
+        grad_in.add_assign(grad_out); // identity skip
+    }
+
     /// Allocation-free fused forward `out = x + fc2(relu(fc1(x)))` against
     /// workspace-cached masked weights (slots `slot` and `slot + 1`): on a
     /// cache hit nothing is re-materialized. Bit-identical to the training
@@ -219,6 +252,11 @@ pub struct Made {
     stages: Vec<Stage>,
     input_offsets: Vec<usize>,
     output_offsets: Vec<usize>,
+    /// Whether the most recent training forward fed the first stage through
+    /// the sparse-input kernel (in which case the dense input was never
+    /// cached and [`Made::backward_scratch`] must be handed the same sparse
+    /// capture).
+    first_stage_sparse: bool,
 }
 
 impl Made {
@@ -288,7 +326,7 @@ impl Made {
 
         let input_offsets = prefix_sums(&config.input_block_sizes);
         let output_offsets = prefix_sums(&config.output_block_sizes);
-        Self { config, stages, input_offsets, output_offsets }
+        Self { config, stages, input_offsets, output_offsets, first_stage_sparse: false }
     }
 
     /// Architecture description.
@@ -335,6 +373,24 @@ impl Made {
     /// [`Layer::backward`] call consumes the caches this pass refilled. The
     /// returned reference lives in `tws` until the next pass overwrites it.
     pub fn forward_train<'w>(&mut self, input: &Matrix, tws: &'w mut TrainWorkspace) -> &'w Matrix {
+        self.forward_train_sparse(input, None, tws)
+    }
+
+    /// [`forward_train`](Self::forward_train) with an optional sparse row
+    /// capture of `input`. When `sparse` is provided and sparse *enough*
+    /// (see [`SparseRows::is_sparse_enough`] — the exact complement of the
+    /// dense kernels' `mostly_dense` dispatch, so the kernel class never
+    /// changes), the first masked layer runs the fused sparse-input kernel,
+    /// skipping the zero multiplies the one-hot predicate encoding is mostly
+    /// made of. Bit-identical to the dense pass for finite inputs; the
+    /// matching backward is [`Made::backward_scratch`] handed the same
+    /// capture.
+    pub fn forward_train_sparse<'w>(
+        &mut self,
+        input: &Matrix,
+        sparse: Option<&SparseRows>,
+        tws: &'w mut TrainWorkspace,
+    ) -> &'w Matrix {
         assert_eq!(
             input.cols(),
             self.config.input_width(),
@@ -344,6 +400,7 @@ impl Made {
         let num = self.stages.len();
         let (acts, aux, masked) = tws.parts(num);
         let mut slot = 0usize;
+        let mut first_sparse = false;
         for i in 0..num {
             let (prev, rest) = acts.split_at_mut(i);
             let x: &Matrix = if i == 0 { input } else { &prev[i - 1] };
@@ -352,7 +409,18 @@ impl Made {
                 Stage::MaskedRelu { linear, cached_pre } => {
                     let entry = masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
                     let pre = cached_pre.get_or_insert_with(Matrix::default);
-                    linear.train_forward_entry(x, entry, pre);
+                    match sparse {
+                        Some(s) if i == 0 && s.is_sparse_enough() => {
+                            debug_assert_eq!(
+                                (s.rows(), s.cols()),
+                                input.shape(),
+                                "sparse capture must describe the dense input"
+                            );
+                            linear.train_forward_sparse(s, entry, pre);
+                            first_sparse = true;
+                        }
+                        _ => linear.train_forward_entry(x, entry, pre),
+                    }
                     out.copy_from(pre);
                     Activation::Relu.apply(out.as_mut_slice());
                     slot += 1;
@@ -368,7 +436,96 @@ impl Made {
                 }
             }
         }
+        self.first_stage_sparse = first_sparse;
         &acts[num - 1]
+    }
+
+    /// Scratch-buffer backward: the allocation-free replacement for
+    /// [`Layer::backward`], bit-identical to it for finite inputs. The
+    /// gradient ping-pongs through the [`TrainWorkspace`]'s three reusable
+    /// buffers (three, not two: a residual block keeps its incoming gradient
+    /// alive across both inner backwards for the identity skip), `dW`/`db`
+    /// are staged in workspace scratch before accumulating into the
+    /// parameter gradients (preserving the allocating path's rounding
+    /// order), and every masked effective weight is a guaranteed
+    /// [`MaskedWeightCache`] hit because backward runs before the optimizer
+    /// bumps any [`WeightKey`](crate::param::WeightKey).
+    ///
+    /// `sparse` must be the same capture the preceding
+    /// [`forward_train_sparse`](Self::forward_train_sparse) consumed (pass
+    /// `None` after a dense forward). With `need_input_grad` the gradient
+    /// w.r.t. the network input is left in the workspace and readable via
+    /// [`TrainWorkspace::input_grad`] (the MPSN chain needs it; plain tables
+    /// skip that final matmul).
+    ///
+    /// # Panics
+    /// Panics if called before a training forward, or if the forward used
+    /// the sparse first-layer path and `sparse` is `None`.
+    pub fn backward_scratch(
+        &mut self,
+        grad_logits: &Matrix,
+        sparse: Option<&SparseRows>,
+        tws: &mut TrainWorkspace,
+        need_input_grad: bool,
+    ) {
+        let first_sparse = self.first_stage_sparse;
+        let total_slots: usize =
+            self.stages.iter().map(|s| if matches!(s, Stage::Residual(_)) { 2 } else { 1 }).sum();
+        let (grads, dw, db, masked) = tws.backward_parts();
+        let mut slot = total_slots;
+        // Index of the grads buffer holding the live incoming gradient.
+        let mut cur = 0usize;
+        for (i, stage) in self.stages.iter_mut().enumerate().rev() {
+            let is_input_stage = i == 0;
+            match stage {
+                Stage::Output(linear) => {
+                    slot -= 1;
+                    let entry = masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
+                    linear.backward_scratch(
+                        grad_logits,
+                        entry.weight(),
+                        dw,
+                        db,
+                        Some(&mut grads[0]),
+                    );
+                    cur = 0;
+                }
+                Stage::Residual(block) => {
+                    slot -= 2;
+                    let (g_out, g_act, g_in) = pick3(grads, cur);
+                    block.backward_scratch(g_out, g_act, g_in, dw, db, masked, slot);
+                    cur = (cur + 2) % 3;
+                }
+                Stage::MaskedRelu { linear, cached_pre } => {
+                    slot -= 1;
+                    let pre = cached_pre.as_ref().expect("Made::backward called before forward");
+                    // ReLU gate, in place on the live gradient.
+                    for (gv, pv) in grads[cur].as_mut_slice().iter_mut().zip(pre.as_slice().iter())
+                    {
+                        if *pv <= 0.0 {
+                            *gv = 0.0;
+                        }
+                    }
+                    let entry = masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
+                    let want_grad_in = !is_input_stage || need_input_grad;
+                    let (g_out, g_in_buf) = pick2(grads, cur);
+                    let grad_in = if want_grad_in { Some(g_in_buf) } else { None };
+                    if is_input_stage && first_sparse {
+                        let s = sparse.expect(
+                            "forward used the sparse first-layer path; pass the same sparse input to backward",
+                        );
+                        linear.backward_scratch_sparse(g_out, s, entry.weight(), dw, db, grad_in);
+                    } else {
+                        linear.backward_scratch(g_out, entry.weight(), dw, db, grad_in);
+                    }
+                    if want_grad_in {
+                        cur = (cur + 1) % 3;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(slot, 0);
+        tws.set_input_grad_slot(cur);
     }
 
     /// Total number of trainable scalars.
@@ -428,6 +585,29 @@ impl InferLayer for Made {
     }
 }
 
+/// Borrow the live gradient buffer (`cur`) plus the next free one from the
+/// ping-pong triple, disjointly.
+fn pick2(bufs: &mut [Matrix; 3], cur: usize) -> (&Matrix, &mut Matrix) {
+    let [a, b, c] = bufs;
+    match cur {
+        0 => (&*a, b),
+        1 => (&*b, c),
+        _ => (&*c, a),
+    }
+}
+
+/// Borrow the live gradient buffer (`cur`) plus both free ones — a residual
+/// block needs all three at once (incoming gradient stays alive for the
+/// identity skip while the two inner backwards write the other two).
+fn pick3(bufs: &mut [Matrix; 3], cur: usize) -> (&Matrix, &mut Matrix, &mut Matrix) {
+    let [a, b, c] = bufs;
+    match cur {
+        0 => (&*a, b, c),
+        1 => (&*b, c, a),
+        _ => (&*c, a, b),
+    }
+}
+
 fn prefix_sums(sizes: &[usize]) -> Vec<usize> {
     let mut out = Vec::with_capacity(sizes.len());
     let mut acc = 0;
@@ -468,8 +648,16 @@ impl Layer for Made {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mut grad = grad_out.clone();
-        for stage in self.stages.iter_mut().rev() {
+        // The last stage consumes `grad_out` by reference — no upfront clone.
+        let mut stages = self.stages.iter_mut().rev();
+        let mut grad = match stages.next().expect("MADE has at least an output stage") {
+            Stage::Output(linear) => linear.backward(grad_out),
+            Stage::Residual(block) => block.backward(grad_out),
+            Stage::MaskedRelu { .. } => {
+                unreachable!("MADE's final stage is always the output linear")
+            }
+        };
+        for stage in stages {
             grad = match stage {
                 Stage::MaskedRelu { linear, cached_pre } => {
                     let pre = cached_pre.as_ref().expect("Made::backward called before forward");
@@ -637,6 +825,151 @@ mod tests {
                 "finite-diff mismatch at {idx}: analytic {ga}, numeric {numeric}"
             );
         }
+    }
+
+    /// Collect a flat snapshot of every parameter gradient.
+    fn grad_snapshot(made: &mut Made) -> Vec<f32> {
+        let mut out = Vec::new();
+        made.visit_params(&mut |p| out.extend_from_slice(p.grad.as_slice()));
+        out
+    }
+
+    #[test]
+    fn backward_scratch_matches_allocating_backward_bitwise() {
+        // Both architectures × both input densities (the sparse capture only
+        // engages the fused first layer when the input is sparse enough; the
+        // dense fallback must be covered too).
+        for residual in [false, true] {
+            for nnz_prob in [0.25f32, 0.95] {
+                let mut rng = seeded_rng(16);
+                let config = small_config(residual);
+                let mut reference = Made::new(config.clone(), &mut rng);
+                let mut scratch = reference.clone();
+                let mut input = Matrix::zeros(5, config.input_width());
+                let mut vals = seeded_rng(17);
+                for v in input.as_mut_slice() {
+                    if vals.gen_range(0.0..1.0f32) < nnz_prob {
+                        *v = vals.gen_range(-1.0..1.0);
+                    }
+                }
+                let labels: Vec<Vec<usize>> = (0..5).map(|i| vec![i % 6, i % 2, i % 4]).collect();
+                let blocks = config.output_block_sizes.clone();
+
+                reference.zero_grad();
+                let logits_ref = reference.forward(&input);
+                let (_, grad_logits) = grouped_cross_entropy(&logits_ref, &blocks, &labels);
+                let input_grad_ref = reference.backward(&grad_logits);
+
+                scratch.zero_grad();
+                let mut tws = TrainWorkspace::new();
+                let mut sparse = SparseRows::new();
+                sparse.capture_from(&input);
+                let logits = scratch.forward_train_sparse(&input, Some(&sparse), &mut tws);
+                assert_eq!(logits.as_slice(), logits_ref.as_slice(), "forward diverged");
+                scratch.backward_scratch(&grad_logits, Some(&sparse), &mut tws, true);
+
+                assert_eq!(
+                    tws.input_grad().as_slice(),
+                    input_grad_ref.as_slice(),
+                    "input gradient diverged (residual={residual}, nnz={nnz_prob})"
+                );
+                assert_eq!(
+                    grad_snapshot(&mut scratch),
+                    grad_snapshot(&mut reference),
+                    "parameter gradients diverged (residual={residual}, nnz={nnz_prob})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(23);
+        let config = MadeConfig {
+            input_block_sizes: vec![2, 3],
+            output_block_sizes: vec![3, 2],
+            hidden_sizes: vec![8],
+            residual: false,
+        };
+        let mut made = Made::new(config.clone(), &mut rng);
+        let batch = 4;
+        let mut input = Matrix::zeros(batch, config.input_width());
+        // Mostly-zero input so the sparse first-layer path is the one under
+        // test (one-hot-like, as fill_input produces).
+        for v in input.as_mut_slice() {
+            if rng.gen_range(0.0..1.0f32) < 0.3 {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+        }
+        let labels: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 0], vec![1, 1], vec![2, 0]];
+        let blocks = config.output_block_sizes.clone();
+
+        made.zero_grad();
+        let mut tws = TrainWorkspace::new();
+        let mut sparse = SparseRows::new();
+        sparse.capture_from(&input);
+        assert!(sparse.is_sparse_enough(), "test input must exercise the sparse path");
+        let logits = made.forward_train_sparse(&input, Some(&sparse), &mut tws).clone();
+        let (loss, grad_logits) = grouped_cross_entropy(&logits, &blocks, &labels);
+        made.backward_scratch(&grad_logits, Some(&sparse), &mut tws, false);
+        assert!(loss.is_finite());
+        let mut analytic = Vec::new();
+        made.visit_params(&mut |p| {
+            if analytic.is_empty() {
+                analytic = p.grad.as_slice()[..6].to_vec();
+            }
+        });
+
+        let eps = 1e-3f32;
+        for (idx, &ga) in analytic.iter().enumerate() {
+            let mut loss_plus = 0.0;
+            let mut loss_minus = 0.0;
+            for sign in [1.0f32, -1.0] {
+                let mut visited = false;
+                made.visit_params(&mut |p| {
+                    if !visited {
+                        p.data.as_mut_slice()[idx] += sign * eps;
+                        visited = true;
+                    }
+                });
+                let logits = made.forward_inference(&input);
+                let (l, _) = grouped_cross_entropy(&logits, &blocks, &labels);
+                if sign > 0.0 {
+                    loss_plus = l;
+                } else {
+                    loss_minus = l;
+                }
+                let mut visited = false;
+                made.visit_params(&mut |p| {
+                    if !visited {
+                        p.data.as_mut_slice()[idx] -= sign * eps;
+                        visited = true;
+                    }
+                });
+            }
+            let numeric = (loss_plus - loss_minus) / (2.0 * eps);
+            assert!(
+                (numeric - ga).abs() < 2e-2 * (1.0 + ga.abs()),
+                "finite-diff mismatch at {idx}: analytic {ga}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn old_backward_after_sparse_forward_panics() {
+        // The sparse training forward deliberately drops the dense input
+        // cache: a stale old-API backward must fail loudly, not silently use
+        // the previous batch's input.
+        let mut rng = seeded_rng(24);
+        let config = small_config(false);
+        let mut made = Made::new(config.clone(), &mut rng);
+        let input = Matrix::zeros(2, config.input_width()); // all-zero: maximally sparse
+        let mut tws = TrainWorkspace::new();
+        let mut sparse = SparseRows::new();
+        sparse.capture_from(&input);
+        let _ = made.forward_train_sparse(&input, Some(&sparse), &mut tws);
+        let _ = made.backward(&Matrix::zeros(2, config.output_width()));
     }
 
     #[test]

@@ -61,6 +61,39 @@ impl Mlp {
         let mut ws = ForwardWorkspace::new();
         self.infer_into(input, &mut ws).clone()
     }
+
+    /// Scratch-buffer backward: the allocation-free replacement for
+    /// [`Layer::backward`], bit-identical to it. The gradient ping-pongs
+    /// between the two caller buffers `ga`/`gb` (an MLP has no residual
+    /// skips, so two suffice), ReLU gates run in place, and `dW`/`db` are
+    /// staged in `dw`/`db` before accumulating into the parameter gradients
+    /// (preserving the allocating path's rounding order). Returns the
+    /// gradient w.r.t. the input (a reference into `ga` or `gb`) when
+    /// `need_input_grad` is set.
+    pub fn backward_scratch<'a>(
+        &mut self,
+        grad_out: &Matrix,
+        ga: &'a mut Matrix,
+        gb: &'a mut Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        need_input_grad: bool,
+    ) -> Option<&'a Matrix> {
+        let last = self.layers.len() - 1;
+        self.layers[last].backward_scratch(grad_out, dw, db, Some(&mut *ga));
+        // Which buffer holds the live gradient: `ga` when false, `gb` when true.
+        let mut flip = false;
+        for i in (0..last).rev() {
+            let (cur, next) = if flip { (&mut *gb, &mut *ga) } else { (&mut *ga, &mut *gb) };
+            self.relus[i].gate_inplace(cur);
+            let want = i > 0 || need_input_grad;
+            self.layers[i].backward_scratch(cur, dw, db, if want { Some(next) } else { None });
+            if want {
+                flip = !flip;
+            }
+        }
+        need_input_grad.then_some(if flip { &*gb } else { &*ga })
+    }
 }
 
 impl InferLayer for Mlp {
@@ -92,12 +125,11 @@ impl Layer for Mlp {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mut grad = grad_out.clone();
+        // The last layer consumes `grad_out` by reference — no upfront clone.
         let last = self.layers.len() - 1;
-        for i in (0..self.layers.len()).rev() {
-            if i < last {
-                grad = self.relus[i].backward(&grad);
-            }
+        let mut grad = self.layers[last].backward(grad_out);
+        for i in (0..last).rev() {
+            grad = self.relus[i].backward(&grad);
             grad = self.layers[i].backward(&grad);
         }
         grad
@@ -156,6 +188,35 @@ mod tests {
             final_loss = loss;
         }
         assert!(final_loss < 0.03, "MLP failed to learn XOR, loss = {final_loss}");
+    }
+
+    #[test]
+    fn backward_scratch_matches_allocating_backward_bitwise() {
+        let mut rng = seeded_rng(24);
+        let mut reference = Mlp::new(&[3, 8, 8, 2], &mut rng);
+        let mut scratch = reference.clone();
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.4, 0.9, 1.2, 0.0, -0.7]);
+        let target = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+
+        reference.zero_grad();
+        let pred = reference.forward(&x);
+        let (_, grad) = mse(&pred, &target);
+        let input_grad_ref = reference.backward(&grad);
+
+        scratch.zero_grad();
+        let pred2 = scratch.forward(&x);
+        assert_eq!(pred2.as_slice(), pred.as_slice());
+        let (mut ga, mut gb) = (Matrix::default(), Matrix::default());
+        let (mut dw, mut db) = (Matrix::default(), Vec::new());
+        let input_grad =
+            scratch.backward_scratch(&grad, &mut ga, &mut gb, &mut dw, &mut db, true).unwrap();
+        assert_eq!(input_grad.as_slice(), input_grad_ref.as_slice());
+
+        let mut want = Vec::new();
+        reference.visit_params(&mut |p| want.extend_from_slice(p.grad.as_slice()));
+        let mut got = Vec::new();
+        scratch.visit_params(&mut |p| got.extend_from_slice(p.grad.as_slice()));
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -256,12 +256,27 @@ impl Matrix {
     /// Sum of every column across rows, producing a vector of length `cols`.
     pub fn column_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.cols];
+        self.column_sums_slice(&mut out);
+        out
+    }
+
+    /// [`Matrix::column_sums`] into a caller-provided buffer (cleared and
+    /// resized to `cols`, reusing its capacity — no allocation once warm).
+    /// Same row-ascending accumulation order as the allocating variant, so
+    /// the results are bit-identical.
+    pub fn column_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
+        self.column_sums_slice(out);
+    }
+
+    /// Shared accumulation loop of the `column_sums` variants.
+    fn column_sums_slice(&self, out: &mut [f32]) {
         for row in self.data.chunks_exact(self.cols) {
             for (o, x) in out.iter_mut().zip(row.iter()) {
                 *o += *x;
             }
         }
-        out
     }
 
     /// Mean of all elements; returns 0.0 for an empty matrix.
@@ -488,6 +503,73 @@ impl Matrix {
     /// Returns true if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+// Matrix-facing entry points for the sparse-capture kernels. They live here
+// (not in `kernels`) so the slice-level kernel module stays free of `Matrix`
+// knowledge, mirroring how the blocked kernels are reached through the
+// `Matrix::*_into` dispatchers above.
+impl kernels::SparseRows {
+    /// Re-capture `m`'s nonzero entries, row by row (a `begin` +
+    /// `push_row`-per-row convenience). Reuses the capture's buffers; no
+    /// allocation once warm.
+    pub fn capture_from(&mut self, m: &Matrix) {
+        self.begin(m.rows(), m.cols());
+        for row in m.data.chunks_exact(m.cols.max(1)) {
+            self.push_row(row);
+        }
+    }
+
+    /// Fused `out = act(self @ w + bias)` — the sparse-input analogue of
+    /// [`Matrix::addmm_bias_act_into`], bit-identical to it (and to the
+    /// blocked path) for finite inputs; see [`kernels::addmm_sparse`].
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match or the bias length is not
+    /// `w.cols()`.
+    pub fn addmm_bias_act_into(
+        &self,
+        w: &Matrix,
+        bias: Option<&[f32]>,
+        act: Activation,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols(),
+            w.rows,
+            "sparse matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows(),
+            self.cols(),
+            w.rows,
+            w.cols
+        );
+        if let Some(bias) = bias {
+            assert_eq!(bias.len(), w.cols, "bias length mismatch");
+        }
+        out.resize_for_overwrite(self.rows(), w.cols);
+        kernels::addmm_sparse(self, &w.data, w.cols, bias, act, &mut out.data);
+    }
+
+    /// `out = self^T @ other` — the sparse-input analogue of
+    /// [`Matrix::matmul_tn_into`] (the weight-gradient product
+    /// `input^T @ grad`), bit-identical to it for finite inputs; see
+    /// [`kernels::matmul_tn_sparse`].
+    ///
+    /// # Panics
+    /// Panics if the shared (row) dimensions do not match.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows(),
+            other.rows,
+            "sparse matmul_tn shape mismatch: ({}x{})^T @ {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows,
+            other.cols
+        );
+        out.resize_for_overwrite(self.cols(), other.cols);
+        kernels::matmul_tn_sparse(self, &other.data, other.cols, &mut out.data);
     }
 }
 

@@ -218,15 +218,19 @@ impl ForwardWorkspace {
     }
 }
 
-/// Scratch buffers for the allocation-free **training** forward pass
-/// (activation checkpointing into a train-side workspace).
+/// Scratch buffers for the allocation-free **training** step: activation
+/// checkpointing for the forward pass and gradient ping-pong buffers for
+/// the backward pass.
 ///
 /// The inference [`ForwardWorkspace`] ping-pongs two buffers because nothing
 /// downstream needs intermediate activations; the training forward must keep
 /// *every* stage output alive for the backward pass, so this workspace holds
 /// one persistent activation matrix per network stage plus an auxiliary
 /// buffer (the hidden state of a residual block) and the same
-/// [`MaskedWeightCache`] memo of masked effective weights.
+/// [`MaskedWeightCache`] memo of masked effective weights. The backward pass
+/// rotates through three gradient buffers (`grads`) instead of allocating a
+/// fresh `Matrix` per stage, staging weight and bias gradients in `dw`/`db`
+/// before accumulating them into the parameters.
 ///
 /// Ownership mirrors [`ForwardWorkspace`]: the workspace belongs to the
 /// caller (the trainer's step scratch), buffers grow to the network's
@@ -244,6 +248,19 @@ pub struct TrainWorkspace {
     aux: Matrix,
     /// Memoized masked effective weights, validated by [`WeightKey`].
     masked: MaskedWeightCache,
+    /// Gradient ping-pong buffers for the scratch backward pass. Three, not
+    /// two: a residual stage needs its incoming gradient alive (for the skip
+    /// add) while `fc2`-backward writes one buffer and `fc1`-backward
+    /// another.
+    grads: [Matrix; 3],
+    /// Weight-gradient staging (`input^T @ grad`, masked in place before
+    /// accumulation into the parameter gradient).
+    dw: Matrix,
+    /// Bias-gradient staging (column sums of the incoming gradient).
+    db: Vec<f32>,
+    /// Which of `grads` holds the gradient w.r.t. the network input after
+    /// the most recent backward pass.
+    input_grad: usize,
 }
 
 impl TrainWorkspace {
@@ -262,8 +279,35 @@ impl TrainWorkspace {
         if self.acts.len() < stages {
             self.acts.resize_with(stages, Matrix::default);
         }
-        let Self { acts, aux, masked } = self;
+        let Self { acts, aux, masked, .. } = self;
         (&mut acts[..stages], aux, masked)
+    }
+
+    /// Disjoint borrows for one scratch backward pass: the gradient
+    /// ping-pong buffers, the weight-gradient staging matrix, the
+    /// bias-gradient staging vector, and the masked weight cache (whose
+    /// entries, still keyed from the forward pass, provide the effective
+    /// weights without re-materializing them).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn backward_parts(
+        &mut self,
+    ) -> (&mut [Matrix; 3], &mut Matrix, &mut Vec<f32>, &mut MaskedWeightCache) {
+        let Self { masked, grads, dw, db, .. } = self;
+        (grads, dw, db, masked)
+    }
+
+    /// Record which gradient buffer ended the backward pass holding the
+    /// input gradient (set by the network's `backward_scratch`).
+    pub(crate) fn set_input_grad_slot(&mut self, slot: usize) {
+        self.input_grad = slot;
+    }
+
+    /// The gradient w.r.t. the network input, as left by the most recent
+    /// backward pass that was asked to produce it (`need_input_grad`).
+    /// Borrow-only: the buffer is owned by the workspace and overwritten by
+    /// the next backward pass.
+    pub fn input_grad(&self) -> &Matrix {
+        &self.grads[self.input_grad]
     }
 
     /// The masked weight cache (inspection / explicit invalidation).

@@ -20,7 +20,7 @@
 use duet_nn::kernels::{
     addmm_blocked, addmm_packed, matmul_nt_blocked, matmul_tn_blocked, PackedWeight, MR, NR,
 };
-use duet_nn::{with_tile, Activation, Matrix, Tile};
+use duet_nn::{with_tile, Activation, Matrix, SparseRows, Tile};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -90,6 +90,11 @@ fn check_shape(m: usize, k: usize, n: usize, rng: &mut SmallRng) {
 }
 
 fn check_shape_current_tile(a: &Matrix, b: &Matrix, bias: &[f32], m: usize, k: usize, n: usize) {
+    // Row-sparse capture of the left operand for the fused sparse-input
+    // kernels (skipping a zero drops a `+ 0.0` from an accumulator that
+    // started at +0.0, which cannot change the bits for finite inputs).
+    let mut sparse_a = SparseRows::new();
+    sparse_a.capture_from(a);
     for (bias_opt, act) in [
         (None, Activation::Identity),
         (Some(bias), Activation::Identity),
@@ -119,6 +124,11 @@ fn check_shape_current_tile(a: &Matrix, b: &Matrix, bias: &[f32], m: usize, k: u
         let mut got = Matrix::zeros(0, 0);
         a.addmm_packed_bias_act_into(&packed, bias_opt, act, &mut got);
         assert_bit_identical(&got, &want, "addmm_packed_bias_act_into");
+
+        // Fused sparse-input path (the first-layer training kernel).
+        let mut got = Matrix::zeros(0, 0);
+        sparse_a.addmm_bias_act_into(b, bias_opt, act, &mut got);
+        assert_bit_identical(&got, &want, "sparse addmm_bias_act_into");
     }
 
     // matmul_nt: a @ b'^T with b' = b^T, so the reference product is the same.
@@ -139,6 +149,14 @@ fn check_shape_current_tile(a: &Matrix, b: &Matrix, bias: &[f32], m: usize, k: u
     let mut got = Matrix::zeros(m, n);
     matmul_tn_blocked(at.as_slice(), k, m, b.as_slice(), n, got.as_mut_slice());
     assert_bit_identical(&got, &want, "matmul_tn_blocked");
+
+    // Sparse-input weight-gradient kernel: `at` captured row-sparse, then
+    // `at^T @ b` — the backward counterpart of the fused first layer.
+    let mut sparse_at = SparseRows::new();
+    sparse_at.capture_from(&at);
+    let mut got = Matrix::zeros(0, 0);
+    sparse_at.matmul_tn_into(b, &mut got);
+    assert_bit_identical(&got, &want, "sparse matmul_tn_into");
 }
 
 proptest! {
@@ -241,6 +259,49 @@ fn packed_all_zero_weight_is_bias_only() {
     addmm_packed(a.as_slice(), 9, &packed, Some(&bias), Activation::Relu, got.as_mut_slice());
     let want = reference_addmm(&a, &b, Some(&bias), Activation::Relu);
     assert_bit_identical(&got, &want, "all-zero packed");
+}
+
+/// The exact input profile of the fused first layer: a batch of
+/// concatenated one-hot blocks (binary value bits + operator one-hots), far
+/// above the sparse-dispatch threshold. The captured view must agree with
+/// every dense path bitwise, under both runtime tiles, and a recapture at a
+/// different shape must keep agreeing (the buffers are reused in training).
+#[test]
+fn sparse_capture_matches_dense_on_onehot_batches() {
+    let mut rng = duet_nn::seeded_rng(0x51a7);
+    let mut sparse = SparseRows::new();
+    for (batch, blocks, block_width, n) in
+        [(17usize, 9usize, 15usize, 16usize), (5, 3, 7, 29), (1, 4, 31, 8)]
+    {
+        let k = blocks * block_width;
+        // One hot bit per block per row, like `DuetModel::fill_input`.
+        let a = Matrix::from_fn(batch, k, |r, c| {
+            let block = c / block_width;
+            let hot = (r * 31 + block * 7) % block_width;
+            if c % block_width == hot {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let b = matrix_with_zeros(k, n, &mut rng);
+        let bias: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        sparse.capture_from(&a);
+        assert!(
+            sparse.is_sparse_enough(),
+            "one-hot batches must qualify for the sparse dispatch (density {})",
+            sparse.density()
+        );
+        let want = reference_addmm(&a, &b, Some(&bias), Activation::Identity);
+        for tile in TILES {
+            with_tile(tile, || {
+                let mut got = Matrix::zeros(0, 0);
+                sparse.addmm_bias_act_into(&b, Some(&bias), Activation::Identity, &mut got);
+                assert_bit_identical(&got, &want, "one-hot sparse addmm");
+            });
+        }
+    }
 }
 
 /// The pooled (parallel) path splits rows across worker threads and must

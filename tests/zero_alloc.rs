@@ -3,7 +3,7 @@
 //! measured after warm-up — the steady-state serving hot loop must perform
 //! **zero** heap allocations (and zero frees).
 //!
-//! Six phases: the raw batched estimation path (full and shrinking
+//! Seven phases: the raw batched estimation path (full and shrinking
 //! batches), the **routed multi-table hot loop** — admission into a
 //! bounded shard queue, same-table batch formation at dequeue, deadline
 //! triage, and per-table-workspace batch execution across two
@@ -14,24 +14,28 @@
 //! `duet_nn::ComputePool` (the pool's parked workers are woken per job with
 //! no allocation anywhere on the submit/execute/wait path; this is exactly
 //! what the pool replaced `std::thread::scope` for — scoped spawning
-//! allocated on every large matmul) — and the **steady-state training
-//! step**: `zero_grad` + the data-driven forward (encode, checkpointing
+//! allocated on every large matmul) — the **steady-state training
+//! forward**: `zero_grad` + the data-driven forward (encode, checkpointing
 //! backbone forward, grouped cross-entropy gradient staging) + the
 //! supervised Q-Error forward (per-column softmax into flat staging), for
-//! both MADE and ResMADE, through one reused `TrainStepScratch` — and the
-//! **wire hot loop**: protocol-frame decode, admission, batch execution,
-//! and response encode on a warmed simulated connection, with request
-//! structs recycled through the connection's outbox pool.
+//! both MADE and ResMADE, through one reused `TrainStepScratch` — the
+//! **full training step**: forward + the gradient-ping-pong scratch
+//! backward (fused sparse first layer included) + the Adam update, again
+//! for both backbone variants — and the **wire hot loop**: protocol-frame
+//! decode, admission, batch execution, and response encode on a warmed
+//! simulated connection, with request structs recycled through the
+//! connection's outbox pool.
 //!
 //! This lives in its own integration-test binary so the global allocator and
 //! the single-threaded measurement cannot interfere with other tests.
 
 use duet::core::{
-    data_forward, query_forward, query_to_id_predicates, sample_virtual_batch, DuetConfig,
-    DuetEstimator, DuetModel, DuetWorkspace, PreparedQuery, SamplerConfig, TrainStepScratch,
+    data_forward, query_forward, query_to_id_predicates, sample_virtual_batch, train_step,
+    DuetConfig, DuetEstimator, DuetModel, DuetWorkspace, PreparedQuery, SamplerConfig,
+    TrainStepScratch,
 };
 use duet::data::datasets::census_like;
-use duet::nn::{seeded_rng, with_pool, ComputePool};
+use duet::nn::{seeded_rng, with_pool, Adam, ComputePool};
 use duet::query::{exact_cardinality, WorkloadSpec};
 use duet::serve::sim::{HarnessConfig, PreparedRequest, RouterHarness, WireSim};
 use duet::serve::wire::{frame, ConnConfig};
@@ -73,6 +77,7 @@ fn steady_state_batched_inference_is_allocation_free() {
     routed_multi_table_phase();
     pooled_large_batch_phase();
     training_step_phase();
+    full_train_step_phase();
     wire_phase();
 }
 
@@ -202,9 +207,10 @@ fn training_step_phase() {
     // input encoding, the checkpointing training forward, the grouped
     // cross-entropy gradient staging, and the supervised Q-Error pass with
     // its flat probability staging — must be allocation-free once the
-    // scratch is warm. Backward and Adam stay outside the window (they keep
-    // their allocating paths; see docs/PERFORMANCE.md). Both backbone
-    // variants are covered: plain MADE and ResMADE (residual blocks).
+    // scratch is warm. Backward and Adam are exercised separately by
+    // `full_train_step_phase` below; this phase keeps the forward-only
+    // window so a regression can be localized. Both backbone variants are
+    // covered: plain MADE and ResMADE (residual blocks).
     let table = census_like(400, 9);
     for residual in [false, true] {
         let mut cfg = DuetConfig::small();
@@ -248,6 +254,62 @@ fn training_step_phase() {
             "steady-state training forward must not allocate (residual={residual})"
         );
         assert_eq!(frees, 0, "steady-state training forward must not free (residual={residual})");
+    }
+}
+
+fn full_train_step_phase() {
+    // The complete training step — zero_grad, the data-driven forward, the
+    // gradient-ping-pong scratch backward (taking the fused sparse
+    // first-layer path: the one-hot training input is far above the sparse
+    // dispatch threshold), the supervised Q-Error pass and its backward, and
+    // the Adam parameter update — must be allocation-free once the scratch,
+    // the sparse capture, and Adam's moment buffers are warm. Both backbone
+    // variants are covered: plain MADE and ResMADE (residual blocks).
+    let table = census_like(400, 9);
+    for residual in [false, true] {
+        let mut cfg = DuetConfig::small();
+        cfg.residual = residual;
+        let mut model = DuetModel::new(&table, &cfg, 13);
+        let mut rng = seeded_rng(31);
+        let sampler =
+            SamplerConfig { expand_mu: 2, wildcard_prob: 0.3, max_predicates_per_column: 1 };
+        let anchor_rows: Vec<usize> = (0..32).collect();
+        let batch = sample_virtual_batch(&table, &anchor_rows, &sampler, &mut rng);
+        let queries = WorkloadSpec::random(&table, 16, 21).generate(&table);
+        let prepared: Vec<PreparedQuery> = queries
+            .iter()
+            .map(|q| PreparedQuery::prepare(&table, q, exact_cardinality(&table, q)))
+            .collect();
+        let num_rows = table.num_rows() as f64;
+
+        let mut scratch = TrainStepScratch::new();
+        let mut adam = Adam::new(1e-3);
+
+        // Warm-up: scratch activations, gradient ping-pong buffers, the
+        // sparse input capture, the masked-weight memo, and Adam's
+        // first-step moment buffers all grow to shape.
+        for _ in 0..2 {
+            train_step(&mut model, &mut adam, &batch, &prepared, num_rows, 0.1, &mut scratch);
+        }
+
+        let (allocs_before, frees_before) =
+            (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+        for _ in 0..10 {
+            let (data_loss, query_loss, mean_q) =
+                train_step(&mut model, &mut adam, &batch, &prepared, num_rows, 0.1, &mut scratch);
+            // Weights evolve each step, so losses drift; they must stay
+            // finite (the step is actually learning, not diverging).
+            assert!(data_loss.is_finite(), "data loss diverged (residual={residual})");
+            assert!(query_loss.is_finite(), "query loss diverged (residual={residual})");
+            assert!(mean_q.is_finite() && mean_q >= 1.0, "mean Q-Error out of range");
+        }
+        let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+        let frees = FREES.load(Ordering::Relaxed) - frees_before;
+        assert_eq!(
+            allocs, 0,
+            "steady-state full train step must not allocate (residual={residual})"
+        );
+        assert_eq!(frees, 0, "steady-state full train step must not free (residual={residual})");
     }
 }
 
