@@ -256,7 +256,7 @@ impl NaruEstimator {
     }
 
     /// Number of trainable parameters.
-    pub fn num_parameters(&mut self) -> usize {
+    pub fn num_parameters(&self) -> usize {
         self.made.num_parameters()
     }
 
@@ -340,8 +340,7 @@ impl CardinalityEstimator for NaruEstimator {
     }
 
     fn size_bytes(&self) -> usize {
-        let mut made = self.made.clone();
-        made.size_bytes()
+        self.made.size_bytes()
     }
 }
 

@@ -149,7 +149,7 @@ impl UaeEstimator {
     }
 
     /// Number of trainable parameters.
-    pub fn num_parameters(&mut self) -> usize {
+    pub fn num_parameters(&self) -> usize {
         self.inner.num_parameters()
     }
 

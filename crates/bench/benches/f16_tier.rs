@@ -1,0 +1,80 @@
+//! Criterion micro-benchmark: the compressed f16 warm tier vs the bit-exact
+//! f32 tier on the batched serving hot path ([`DuetWorkspace::weight_mode`]).
+//! The tier's admission gate is "no slower than f32 at batch 32 with mean
+//! q-error drift under 0.1%" — this bench backs the first half of that gate
+//! (the accuracy half lives in `tests/half_tier.rs`), and a summary line
+//! reports the measured ratio.
+
+use criterion::{criterion_group, criterion_main, BenchMeta, Criterion};
+use duet_core::{query_to_id_predicates, DuetConfig, DuetEstimator, DuetWorkspace, WeightMode};
+use duet_data::datasets::census_like;
+use duet_query::WorkloadSpec;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The serving layer's typical micro-batch, and the batch the tier gate is
+/// defined at.
+const BATCH: usize = 32;
+
+fn bench_f16_tier(c: &mut Criterion) {
+    let table = census_like(4_000, 7);
+    let queries = WorkloadSpec::random(&table, BATCH, 1234).generate(&table);
+    let cfg = DuetConfig::small().with_epochs(2);
+    let duet = DuetEstimator::train_data_only(&table, &cfg, 3);
+    let rows: Vec<_> = queries.iter().map(|q| query_to_id_predicates(duet.schema(), q)).collect();
+    let intervals: Vec<_> = queries.iter().map(|q| q.column_intervals(duet.schema())).collect();
+
+    let mut group = c.benchmark_group("f16_tier");
+    let mut ws_full = DuetWorkspace::new();
+    let mut out = Vec::new();
+    group.bench_function_meta(
+        "estimate_batch32_full",
+        BenchMeta { batch_size: Some(BATCH), mode: Some("full") },
+        |b| {
+            b.iter(|| {
+                duet.estimate_encoded_batch_with(&rows, &intervals, &mut ws_full, &mut out);
+                black_box(out.last().copied())
+            })
+        },
+    );
+    let mut ws_half = DuetWorkspace::new();
+    ws_half.weight_mode = WeightMode::Half;
+    group.bench_function_meta(
+        "estimate_batch32_half",
+        BenchMeta { batch_size: Some(BATCH), mode: Some("half") },
+        |b| {
+            b.iter(|| {
+                duet.estimate_encoded_batch_with(&rows, &intervals, &mut ws_half, &mut out);
+                black_box(out.last().copied())
+            })
+        },
+    );
+    group.finish();
+
+    // Headline ratio for the gate: re-time both modes back to back on the
+    // same warmed workspaces and report half's speed relative to full.
+    let time = |ws: &mut DuetWorkspace, out: &mut Vec<f64>| {
+        let reps = 200;
+        let start = Instant::now();
+        for _ in 0..reps {
+            duet.estimate_encoded_batch_with(&rows, &intervals, ws, out);
+            black_box(out.last().copied());
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    };
+    let full = time(&mut ws_full, &mut out);
+    let half = time(&mut ws_half, &mut out);
+    println!(
+        "f16 warm tier @ batch {BATCH}: full {:.1}us, half {:.1}us ({:.2}x)",
+        full * 1e6,
+        half * 1e6,
+        full / half
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_f16_tier
+}
+criterion_main!(benches);

@@ -79,6 +79,31 @@ impl DuetEstimator {
         Self::from_model(model, table, "duet")
     }
 
+    /// Rebuild an estimator from its architecture description plus a weight
+    /// checkpoint produced by [`crate::persist::save_weights`] — the
+    /// lazy-reload path of a serving model tier that evicted the resident
+    /// instance to reclaim memory.
+    ///
+    /// The architecture is a deterministic function of `(schema, config)` —
+    /// mask construction uses no randomness — so a freshly initialized model
+    /// has exactly the shapes the checkpoint expects, and loading restores
+    /// the parameters bit for bit: estimates from the rebuilt instance are
+    /// **bit-identical** to the evicted one's. `schema` may be (and in the
+    /// tier is) a zero-row [`Table::schema_only`] snapshot; `num_rows` is
+    /// the trained row count the evictor recorded.
+    pub fn rebuild_from_checkpoint(
+        schema: &Table,
+        num_rows: usize,
+        config: &DuetConfig,
+        label: impl Into<String>,
+        checkpoint: &[u8],
+    ) -> Result<Self, crate::persist::CheckpointError> {
+        let model = DuetModel::new(schema, config, 0);
+        let mut est = Self { model, schema: schema.schema_only(), num_rows, label: label.into() };
+        crate::persist::load_weights(&mut est, checkpoint)?;
+        Ok(est)
+    }
+
     /// The underlying model.
     pub fn model(&self) -> &DuetModel {
         &self.model

@@ -248,18 +248,48 @@ impl MaskedLinear {
         entry: &mut crate::workspace::MaskedEntry,
         out: &mut Matrix,
     ) {
+        self.infer_with_entry_mode(input, act, crate::workspace::WeightMode::Full, entry, out);
+    }
+
+    /// [`MaskedLinear::infer_with_entry`] with an explicit weight storage
+    /// tier. [`WeightMode::Full`] is the exact path described there;
+    /// [`WeightMode::Half`] routes the batched dense case through the
+    /// f16-storage pack (`entry.packed_half()`) instead — bounded per-weight
+    /// rounding error, half the weight memory traffic. Paths the half tier
+    /// does not cover (sparse inputs, shape-ineligible batches) fall back to
+    /// the exact f32 kernels in either mode: the tier is a storage choice
+    /// for the batched hot loop, not a change to the dispatch shape.
+    ///
+    /// [`WeightMode::Full`]: crate::workspace::WeightMode::Full
+    /// [`WeightMode::Half`]: crate::workspace::WeightMode::Half
+    pub fn infer_with_entry_mode(
+        &self,
+        input: &Matrix,
+        act: Activation,
+        mode: crate::workspace::WeightMode,
+        entry: &mut crate::workspace::MaskedEntry,
+        out: &mut Matrix,
+    ) {
         let (m, k) = input.shape();
         let n = self.out_features();
         if crate::kernels::use_packed(m, k, n) {
             // One density scan decides both this dispatch and (via the
             // hint) the dense kernel's own blocked-vs-naive choice.
             if crate::kernels::mostly_dense(input.as_slice()) {
-                input.addmm_packed_bias_act_into(
-                    entry.packed(),
-                    Some(self.bias.data.as_slice()),
-                    act,
-                    out,
-                );
+                match mode {
+                    crate::workspace::WeightMode::Full => input.addmm_packed_bias_act_into(
+                        entry.packed(),
+                        Some(self.bias.data.as_slice()),
+                        act,
+                        out,
+                    ),
+                    crate::workspace::WeightMode::Half => input.addmm_packed_half_bias_act_into(
+                        entry.packed_half(),
+                        Some(self.bias.data.as_slice()),
+                        act,
+                        out,
+                    ),
+                }
             } else {
                 input.addmm_dispatch(
                     entry.weight(),
@@ -401,6 +431,13 @@ impl MaskedLinear {
     /// The binary connectivity mask.
     pub fn mask(&self) -> &Matrix {
         &self.mask
+    }
+
+    /// Number of trainable scalars (weight + bias), computable without
+    /// mutable access — sizes come from the stored shapes, not from
+    /// materializing the effective weight.
+    pub fn num_parameters(&self) -> usize {
+        self.weight.data.len() + self.bias.data.len()
     }
 
     /// Number of input features.

@@ -13,7 +13,7 @@ use crate::kernels::SparseRows;
 use crate::linear::MaskedLinear;
 use crate::param::{InferLayer, Layer, Param};
 use crate::tensor::Matrix;
-use crate::workspace::{ForwardWorkspace, MaskedWeightCache, TrainWorkspace};
+use crate::workspace::{ForwardWorkspace, MaskedWeightCache, TrainWorkspace, WeightMode};
 use rand::rngs::SmallRng;
 
 /// Architecture description for a [`Made`] network.
@@ -188,11 +188,12 @@ impl ResBlock {
         out: &mut Matrix,
         masked: &mut MaskedWeightCache,
         slot: usize,
+        mode: WeightMode,
     ) {
         let e1 = masked.entry(slot, self.fc1.weight_key(), |w| self.fc1.fill_masked(w));
-        self.fc1.infer_with_entry(x, Activation::Relu, e1, h);
+        self.fc1.infer_with_entry_mode(x, Activation::Relu, mode, e1, h);
         let e2 = masked.entry(slot + 1, self.fc2.weight_key(), |w| self.fc2.fill_masked(w));
-        self.fc2.infer_with_entry(h, Activation::Identity, e2, out);
+        self.fc2.infer_with_entry_mode(h, Activation::Identity, mode, e2, out);
         out.add_assign(x);
     }
 }
@@ -528,13 +529,22 @@ impl Made {
         tws.set_input_grad_slot(cur);
     }
 
-    /// Total number of trainable scalars.
-    pub fn num_parameters(&mut self) -> usize {
-        self.param_count()
+    /// Total number of trainable scalars. Computed from the stage shapes
+    /// (`&self`), so read paths — e.g. a serving tier's memory-budget
+    /// accounting — can query sizes without exclusive access.
+    pub fn num_parameters(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|stage| match stage {
+                Stage::MaskedRelu { linear, .. } => linear.num_parameters(),
+                Stage::Residual(block) => block.fc1.num_parameters() + block.fc2.num_parameters(),
+                Stage::Output(linear) => linear.num_parameters(),
+            })
+            .sum()
     }
 
     /// Model size in bytes assuming `f32` storage (reported in Table II).
-    pub fn size_bytes(&mut self) -> usize {
+    pub fn size_bytes(&self) -> usize {
         self.num_parameters() * std::mem::size_of::<f32>()
     }
 }
@@ -546,7 +556,11 @@ impl InferLayer for Made {
     /// (workspace, weights) pair instead of once per batch, and re-validated
     /// by [`crate::param::WeightKey`] so optimizer steps and hot-swaps can
     /// never serve stale weights. Bit-identical to the training
-    /// [`Layer::forward`].
+    /// [`Layer::forward`] in the default [`WeightMode::Full`]; under
+    /// [`WeightMode::Half`] (see [`ForwardWorkspace::set_weight_mode`]) the
+    /// batched stages read the compressed f16 weight tier instead, trading
+    /// bit-identity for bounded per-weight rounding error at half the weight
+    /// memory traffic.
     fn infer_into<'w>(&self, input: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
         assert_eq!(
             input.cols(),
@@ -555,6 +569,7 @@ impl InferLayer for Made {
             self.config.input_width()
         );
         ws.rewind();
+        let mode = ws.weight_mode();
         let mut slot = 0usize;
         for (i, stage) in self.stages.iter().enumerate() {
             {
@@ -564,17 +579,17 @@ impl InferLayer for Made {
                     Stage::MaskedRelu { linear, .. } => {
                         let entry =
                             masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
-                        linear.infer_with_entry(x, Activation::Relu, entry, next);
+                        linear.infer_with_entry_mode(x, Activation::Relu, mode, entry, next);
                         slot += 1;
                     }
                     Stage::Residual(block) => {
-                        block.infer_cached(x, aux, next, masked, slot);
+                        block.infer_cached(x, aux, next, masked, slot, mode);
                         slot += 2;
                     }
                     Stage::Output(linear) => {
                         let entry =
                             masked.entry(slot, linear.weight_key(), |w| linear.fill_masked(w));
-                        linear.infer_with_entry(x, Activation::Identity, entry, next);
+                        linear.infer_with_entry_mode(x, Activation::Identity, mode, entry, next);
                         slot += 1;
                     }
                 }
@@ -974,11 +989,16 @@ mod tests {
 
     #[test]
     fn param_count_and_size() {
-        let mut rng = seeded_rng(14);
-        let mut made = Made::new(small_config(false), &mut rng);
-        let n = made.num_parameters();
-        assert!(n > 0);
-        assert_eq!(made.size_bytes(), n * 4);
+        for residual in [false, true] {
+            let mut rng = seeded_rng(14);
+            let mut made = Made::new(small_config(residual), &mut rng);
+            let n = made.num_parameters();
+            assert!(n > 0);
+            assert_eq!(made.size_bytes(), n * 4);
+            // The shape-derived count must agree with actually visiting
+            // every parameter.
+            assert_eq!(n, made.param_count(), "shape-derived count diverged (residual={residual})");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::metrics::ServeMetrics;
 use crate::router::{Popped, ReplyTo, RoutedRequest, Shard, ShedReason, TableResources};
+use crate::tier::ModelTier;
 use duet_core::WorkspacePool;
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
@@ -121,6 +122,7 @@ impl ShardWorker {
         tables: &[TableResources],
         now: Duration,
         metrics: &ServeMetrics,
+        tier: &ModelTier,
         outcomes: &mut Vec<(u64, Result<f64, ShedReason>)>,
     ) {
         if self.batch.is_empty() {
@@ -129,13 +131,23 @@ impl ShardWorker {
         let table_id = self.batch[0].table_id as usize;
         let resources = &tables[table_id];
 
-        // Deadline triage at dequeue: reply-and-drop requests whose budget
-        // ran out while queued, compacting the live ones to the batch front
-        // (stable, in-place, allocation-free).
+        // Triage at dequeue, compacting live requests to the batch front
+        // (stable, in-place, allocation-free). A request whose slot uid no
+        // longer matches was queued against a *previous registration* of
+        // this table id: its predicates were encoded with that
+        // registration's schema, so decoding them against the current model
+        // would silently misread columns. Reject it instead of answering
+        // wrong. Then reply-and-drop requests whose deadline budget ran out
+        // while queued.
+        let slot_uid = resources.slot.uid();
         let mut live = 0;
         for i in 0..self.batch.len() {
+            let stale = self.batch[i].slot_uid != slot_uid;
             let expired = self.batch[i].deadline.is_some_and(|deadline| now > deadline);
-            if expired {
+            if stale {
+                metrics.record_shed_stale();
+                deliver(&self.batch[i].reply, Err(ShedReason::StaleRegistration), outcomes);
+            } else if expired {
                 metrics.record_shed_deadline();
                 deliver(&self.batch[i].reply, Err(ShedReason::DeadlineExpired), outcomes);
             } else {
@@ -146,6 +158,7 @@ impl ShardWorker {
         if live == 0 {
             return;
         }
+        tier.observe(table_id, live as u64);
 
         // Snapshot the cache epoch BEFORE resolving the model, then resolve
         // the model once per batch: requests enqueued after a hot-swap can
@@ -156,8 +169,22 @@ impl ShardWorker {
         // window is closed entirely. The generation travels with the
         // weights so every insert is labelled with the model that actually
         // computed it.
+        //
+        // Resolving may lazily reload a model the tier evicted; if the
+        // reload fails (spill I/O, corrupt checkpoint) the batch is shed on
+        // the retryable overload path rather than crashing the worker.
         let epoch = resources.cache.epoch();
-        let (generation, estimator) = resources.slot.current_versioned();
+        let was_resident = resources.slot.is_resident();
+        let Ok((generation, estimator)) = resources.slot.try_current_versioned() else {
+            for request in &self.batch[..live] {
+                metrics.record_shed_overload();
+                deliver(&request.reply, Err(ShedReason::QueueFull), outcomes);
+            }
+            return;
+        };
+        if !was_resident {
+            metrics.record_model_reload();
+        }
         estimator.estimate_encoded_batch_with(
             &self.batch[..live],
             &self.batch[..live],
@@ -172,6 +199,11 @@ impl ShardWorker {
             }
             deliver(&request.reply, Ok(value), outcomes);
         }
+
+        // Serving this batch may have pushed (or kept) the directory over
+        // the model-memory budget: evict cold models until it fits again.
+        // The table just served is never the victim.
+        tier.enforce(tables, table_id, metrics);
     }
 }
 
@@ -222,6 +254,7 @@ pub(crate) fn run_shard_worker(
     directory: Arc<RwLock<Vec<TableResources>>>,
     clock: Arc<dyn crate::router::Clock>,
     metrics: Arc<ServeMetrics>,
+    tier: Arc<ModelTier>,
     config: BatchConfig,
 ) {
     let shard = shards[shard_index].clone();
@@ -249,7 +282,7 @@ pub(crate) fn run_shard_worker(
             Popped::Batch => {
                 let now = clock.now();
                 let tables = directory.read().expect("directory poisoned");
-                worker.execute(&tables, now, &metrics, &mut outcomes);
+                worker.execute(&tables, now, &metrics, &tier, &mut outcomes);
                 drop(tables);
                 recycle_batch(&mut worker.batch);
             }
@@ -269,7 +302,7 @@ pub(crate) fn run_shard_worker(
                         metrics.record_steal();
                         let now = clock.now();
                         let tables = directory.read().expect("directory poisoned");
-                        worker.execute(&tables, now, &metrics, &mut outcomes);
+                        worker.execute(&tables, now, &metrics, &tier, &mut outcomes);
                         drop(tables);
                         recycle_batch(&mut worker.batch);
                     }
@@ -295,23 +328,28 @@ mod tests {
         Shard::new(capacity, Arc::new(SystemClock::new()))
     }
 
-    fn resources_for(estimator: DuetEstimator, name: &str) -> TableResources {
+    fn resources_for(estimator: &DuetEstimator, name: &str) -> TableResources {
         TableResources {
             name: Arc::from(name),
-            slot: Arc::new(ModelSlot::new(estimator)),
+            slot: Arc::new(ModelSlot::new(estimator.clone())),
             cache: Arc::new(ShardedCache::new(0, 1)),
         }
     }
 
+    /// Build a request against the table's *current registration*: encoded
+    /// with its schema and stamped with its slot uid, exactly as the server
+    /// front door does.
     fn request_for(
-        estimator: &DuetEstimator,
+        resources: &TableResources,
         table_id: u32,
         query: &Query,
         deadline: Option<Duration>,
         reply: SyncSender<Result<f64, ShedReason>>,
     ) -> RoutedRequest {
+        let estimator = resources.slot.current();
         RoutedRequest {
             table_id,
+            slot_uid: resources.slot.uid(),
             preds: duet_core::query_to_id_predicates(estimator.schema(), query),
             intervals: query.column_intervals(estimator.schema()),
             key: None,
@@ -329,18 +367,19 @@ mod tests {
         let expected = est.estimate_batch(&queries);
 
         let shard = test_shard(64);
+        let tables = vec![resources_for(&est, "census")];
         let mut replies = Vec::new();
         for q in &queries {
             let (reply, reply_rx) = mpsc::sync_channel(1);
-            shard.try_push(request_for(&est, 0, q, None, reply)).unwrap();
+            shard.try_push(request_for(&tables[0], 0, q, None, reply)).unwrap();
             replies.push(reply_rx);
         }
-        let tables = vec![resources_for(est, "census")];
         let metrics = ServeMetrics::new();
+        let tier = ModelTier::new(0);
         let mut worker = ShardWorker::new();
         let mut outcomes = Vec::new();
         assert!(shard.try_pop_batch(64, &mut worker.batch));
-        worker.execute(&tables, Duration::ZERO, &metrics, &mut outcomes);
+        worker.execute(&tables, Duration::ZERO, &metrics, &tier, &mut outcomes);
 
         let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
         assert_eq!(got, expected);
@@ -361,23 +400,25 @@ mod tests {
         let (e1, e2) = (est1.estimate_batch(&q1), est2.estimate_batch(&q2));
 
         let shard = test_shard(64);
+        let tables = vec![resources_for(&est1, "t1"), resources_for(&est2, "t2")];
         let mut replies = Vec::new();
         // Interleave the two tables in one queue.
         for i in 0..6 {
-            for (table_id, est, queries) in [(0u32, &est1, &q1), (1, &est2, &q2)] {
+            for (table_id, queries) in [(0u32, &q1), (1, &q2)] {
                 let (reply, reply_rx) = mpsc::sync_channel(1);
-                shard.try_push(request_for(est, table_id, &queries[i], None, reply)).unwrap();
+                let resources = &tables[table_id as usize];
+                shard.try_push(request_for(resources, table_id, &queries[i], None, reply)).unwrap();
                 replies.push((table_id, i, reply_rx));
             }
         }
-        let tables = vec![resources_for(est1, "t1"), resources_for(est2, "t2")];
         let metrics = ServeMetrics::new();
+        let tier = ModelTier::new(0);
         let mut worker = ShardWorker::new();
         let mut outcomes = Vec::new();
         // Two pops: one per table (head-of-queue grouping).
         for _ in 0..2 {
             assert!(shard.try_pop_batch(64, &mut worker.batch));
-            worker.execute(&tables, Duration::ZERO, &metrics, &mut outcomes);
+            worker.execute(&tables, Duration::ZERO, &metrics, &tier, &mut outcomes);
             worker.batch.clear();
         }
         for (table_id, i, rx) in replies {
@@ -398,6 +439,7 @@ mod tests {
         let expected = est.estimate_batch(&queries);
 
         let shard = test_shard(64);
+        let tables = vec![resources_for(&est, "census")];
         let mut replies = Vec::new();
         for (i, q) in queries.iter().enumerate() {
             // Odd requests carry an already-tight deadline.
@@ -407,16 +449,16 @@ mod tests {
                 Some(Duration::from_secs(60))
             };
             let (reply, reply_rx) = mpsc::sync_channel(1);
-            shard.try_push(request_for(&est, 0, q, deadline, reply)).unwrap();
+            shard.try_push(request_for(&tables[0], 0, q, deadline, reply)).unwrap();
             replies.push(reply_rx);
         }
-        let tables = vec![resources_for(est, "census")];
         let metrics = ServeMetrics::new();
+        let tier = ModelTier::new(0);
         let mut worker = ShardWorker::new();
         let mut outcomes = Vec::new();
         assert!(shard.try_pop_batch(64, &mut worker.batch));
         // Dequeue happens at t = 2ms: the 1ms deadlines have expired.
-        worker.execute(&tables, Duration::from_millis(2), &metrics, &mut outcomes);
+        worker.execute(&tables, Duration::from_millis(2), &metrics, &tier, &mut outcomes);
 
         for (i, rx) in replies.iter().enumerate() {
             let got = rx.recv().unwrap();
@@ -448,15 +490,16 @@ mod tests {
         }];
         let shard = test_shard(8);
         let (reply, reply_rx) = mpsc::sync_channel(1);
-        let mut request = request_for(&est, 0, &query, None, reply);
+        let mut request = request_for(&tables[0], 0, &query, None, reply);
         request.key = Some(key.clone());
         shard.try_push(request).unwrap();
 
         let metrics = ServeMetrics::new();
+        let tier = ModelTier::new(0);
         let mut worker = ShardWorker::new();
         let mut outcomes = Vec::new();
         assert!(shard.try_pop_batch(8, &mut worker.batch));
-        worker.execute(&tables, Duration::ZERO, &metrics, &mut outcomes);
+        worker.execute(&tables, Duration::ZERO, &metrics, &tier, &mut outcomes);
 
         assert_eq!(reply_rx.recv().unwrap().unwrap(), expected);
         assert_eq!(cache.get(&key), Some(expected));
@@ -475,13 +518,14 @@ mod tests {
             Arc::new(SystemClock::new()),
             Arc::new(ServeMetrics::new()),
         );
-        let directory = Arc::new(RwLock::new(vec![resources_for(est.clone(), "census")]));
+        let resources = resources_for(&est, "census");
+        let directory = Arc::new(RwLock::new(vec![resources.clone()]));
         let metrics = Arc::new(ServeMetrics::new());
 
         let mut replies = Vec::new();
         for q in &queries {
             let (reply, reply_rx) = mpsc::sync_channel(1);
-            router.try_route(0, request_for(&est, 0, q, None, reply)).unwrap();
+            router.try_route(0, request_for(&resources, 0, q, None, reply)).unwrap();
             replies.push(reply_rx);
         }
 
@@ -489,8 +533,9 @@ mod tests {
             let (shards, directory, metrics) =
                 (vec![router.shard(0).clone()], directory.clone(), metrics.clone());
             let clock: Arc<dyn crate::router::Clock> = Arc::new(SystemClock::new());
+            let tier = Arc::new(ModelTier::new(0));
             std::thread::spawn(move || {
-                run_shard_worker(0, shards, directory, clock, metrics, BatchConfig::default())
+                run_shard_worker(0, shards, directory, clock, metrics, tier, BatchConfig::default())
             })
         };
         let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
@@ -534,6 +579,7 @@ mod tests {
     fn request(table_id: u32, deadline: Option<Duration>) -> RoutedRequest {
         RoutedRequest {
             table_id,
+            slot_uid: 0,
             preds: Vec::new(),
             intervals: Vec::new(),
             key: None,
@@ -555,7 +601,8 @@ mod tests {
             Arc::new(SystemClock::new()),
             Arc::new(ServeMetrics::new()),
         );
-        let directory = Arc::new(RwLock::new(vec![resources_for(est.clone(), "census")]));
+        let resources = resources_for(&est, "census");
+        let directory = Arc::new(RwLock::new(vec![resources.clone()]));
         let metrics = Arc::new(ServeMetrics::new());
 
         // Backlog lands on shard 1, but only shard 0 gets a worker: every
@@ -563,7 +610,7 @@ mod tests {
         let mut replies = Vec::new();
         for q in &queries {
             let (reply, reply_rx) = mpsc::sync_channel(1);
-            router.try_route(1, request_for(&est, 0, q, None, reply)).unwrap();
+            router.try_route(1, request_for(&resources, 0, q, None, reply)).unwrap();
             replies.push(reply_rx);
         }
 
@@ -571,9 +618,10 @@ mod tests {
             let shards: Vec<_> = (0..2).map(|i| router.shard(i).clone()).collect();
             let (directory, metrics) = (directory.clone(), metrics.clone());
             let clock: Arc<dyn crate::router::Clock> = Arc::new(SystemClock::new());
+            let tier = Arc::new(ModelTier::new(0));
             let config = BatchConfig { steal_threshold: 2, ..BatchConfig::default() };
             std::thread::spawn(move || {
-                run_shard_worker(0, shards, directory, clock, metrics, config)
+                run_shard_worker(0, shards, directory, clock, metrics, tier, config)
             })
         };
         let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
@@ -584,5 +632,58 @@ mod tests {
             metrics.snapshot(0, 0, 0).steals >= 1,
             "serving a foreign shard's backlog must be recorded as a steal"
         );
+    }
+
+    /// Regression test for the in-flight re-register race: requests queued
+    /// against one registration of a table id must never be decoded by a
+    /// model registered later under the same id — their predicate encodings
+    /// belong to the old schema.
+    #[test]
+    fn requests_for_a_replaced_registration_are_rejected_at_dequeue() {
+        use duet_core::DuetModel;
+        use duet_data::{TableBuilder, Value};
+
+        let table = census_like(250, 36);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let est = DuetEstimator::train_data_only(&table, &cfg, 7);
+        let queries = WorkloadSpec::random(&table, 5, 11).generate(&table);
+
+        let shard = test_shard(64);
+        let mut tables = vec![resources_for(&est, "t")];
+        let mut replies = Vec::new();
+        for q in &queries {
+            let (reply, reply_rx) = mpsc::sync_channel(1);
+            shard.try_push(request_for(&tables[0], 0, q, None, reply)).unwrap();
+            replies.push(reply_rx);
+        }
+
+        // While those requests sit queued, the table id is re-registered
+        // with a model for a *different schema* — the race this guards
+        // against. The new slot carries a fresh uid.
+        let mut b = TableBuilder::new("tiny", vec!["a".into(), "b".into()]);
+        for i in 0..20 {
+            b.push_row(vec![Value::Int(i % 4), Value::Int(i % 3)]);
+        }
+        let tiny = b.build();
+        let replacement = DuetEstimator::from_model(
+            DuetModel::new(&tiny, &DuetConfig::small(), 1),
+            &tiny,
+            "tiny",
+        );
+        tables[0] = resources_for(&replacement, "t");
+
+        let metrics = ServeMetrics::new();
+        let tier = ModelTier::new(0);
+        let mut worker = ShardWorker::new();
+        let mut outcomes = Vec::new();
+        assert!(shard.try_pop_batch(64, &mut worker.batch));
+        worker.execute(&tables, Duration::ZERO, &metrics, &tier, &mut outcomes);
+
+        for rx in &replies {
+            assert_eq!(rx.recv().unwrap(), Err(ShedReason::StaleRegistration));
+        }
+        let snapshot = metrics.snapshot(0, 0, 0);
+        assert_eq!(snapshot.shed_stale, queries.len() as u64);
+        assert_eq!(snapshot.batches, 0, "no forward pass may run on mismatched encodings");
     }
 }

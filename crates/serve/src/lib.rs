@@ -25,6 +25,10 @@
 //! * [`metrics`] — QPS, p50/p99 latency, batch-size histogram, shed/queue
 //!   counters and cache hit rate, computed with the same percentile helper
 //!   as the offline experiment harness;
+//! * [`tier`] — **fleet-scale model tiering**: a registry-wide weight-memory
+//!   budget with LFU-aged eviction of cold models to checkpoint bytes (in
+//!   memory or spilled to disk) and transparent, bit-identical lazy reload
+//!   on the next request;
 //! * [`server`] — [`DuetServer`], the blocking, `Sync` front door tying the
 //!   pieces together;
 //! * [`sim`] — a **deterministic serving test harness**: a virtual-clock,
@@ -76,6 +80,7 @@ pub mod registry;
 pub mod router;
 pub mod server;
 pub mod sim;
+pub mod tier;
 pub mod wire;
 
 pub use batcher::{BatchConfig, StragglerMode};
@@ -83,7 +88,8 @@ pub use cache::{
     canonical_key, canonical_key_from_parts, CacheKey, HotQuery, HotSet, ShardedCache,
 };
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use registry::{ModelRegistry, ModelSlot, SwapError};
+pub use registry::{ModelRegistry, ModelSlot, ReloadError, SwapError};
 pub use router::{shard_for, Clock, Router, RouterConfig, ShedReason, SystemClock, VirtualClock};
 pub use server::{DuetServer, ServeConfig, ServeError};
+pub use tier::ModelTier;
 pub use wire::{WireClient, WireConfig, WireConn, WireHandle};

@@ -32,8 +32,15 @@ pub struct ServeMetrics {
     shed_overload: AtomicU64,
     /// Requests dropped at dequeue because their deadline had expired.
     shed_deadline: AtomicU64,
+    /// Requests dropped at dequeue because the table was re-registered
+    /// (different slot) after the request was encoded and queued.
+    shed_stale: AtomicU64,
     /// Batches an idle worker stole from another shard's queue.
     steals: AtomicU64,
+    /// Models evicted from the resident tier to checkpoint bytes.
+    model_evictions: AtomicU64,
+    /// Evicted models rebuilt from their checkpoint on demand.
+    model_reloads: AtomicU64,
     /// Wire connections accepted / closed (their difference is the open
     /// gauge; two counters so the totals survive disconnects).
     conns_opened: AtomicU64,
@@ -63,7 +70,10 @@ impl ServeMetrics {
             batch_hist: Default::default(),
             shed_overload: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
+            shed_stale: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            model_evictions: AtomicU64::new(0),
+            model_reloads: AtomicU64::new(0),
             conns_opened: AtomicU64::new(0),
             conns_closed: AtomicU64::new(0),
             frames_in: AtomicU64::new(0),
@@ -101,9 +111,25 @@ impl ServeMetrics {
         self.shed_deadline.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one request dropped at dequeue because its table was
+    /// re-registered (new slot) after the request was encoded.
+    pub fn record_shed_stale(&self) {
+        self.shed_stale.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one batch stolen by an idle worker from another shard.
     pub fn record_steal(&self) {
         self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one model evicted from the resident tier to checkpoint bytes.
+    pub fn record_model_eviction(&self) {
+        self.model_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one evicted model rebuilt from its checkpoint on demand.
+    pub fn record_model_reload(&self) {
+        self.model_reloads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one accepted wire connection.
@@ -199,7 +225,10 @@ impl ServeMetrics {
             batch_size_histogram: histogram,
             shed_overload: self.shed_overload.load(Ordering::Relaxed),
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            shed_stale: self.shed_stale.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            model_evictions: self.model_evictions.load(Ordering::Relaxed),
+            model_reloads: self.model_reloads.load(Ordering::Relaxed),
             conns_opened,
             open_conns: conns_opened.saturating_sub(conns_closed),
             frames_in: self.frames_in.load(Ordering::Relaxed),
@@ -257,8 +286,16 @@ pub struct MetricsSnapshot {
     pub shed_overload: u64,
     /// Requests dropped at dequeue because their deadline had expired.
     pub shed_deadline: u64,
+    /// Requests dropped at dequeue because their table was re-registered
+    /// (different slot) while they were queued.
+    pub shed_stale: u64,
     /// Batches an idle worker stole from another shard's queue.
     pub steals: u64,
+    /// Models evicted from the resident tier to checkpoint bytes (memory
+    /// budget pressure; see [`crate::ModelTier`]).
+    pub model_evictions: u64,
+    /// Evicted models rebuilt from their checkpoint by a request.
+    pub model_reloads: u64,
     /// Wire connections accepted since startup.
     pub conns_opened: u64,
     /// Wire connections currently open (accepted minus closed).
@@ -287,7 +324,8 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "requests={} qps={:.0} p50={:.1}us p99={:.1}us batches={} mean_batch={:.2} \
-             shed_overload={} shed_deadline={} steals={} queue_depth={} cache_hit_rate={:.1}% \
+             shed_overload={} shed_deadline={} shed_stale={} steals={} evictions={} reloads={} \
+             queue_depth={} cache_hit_rate={:.1}% \
              conns={} frames_in={} frames_out={} decode_errors={}",
             self.requests,
             self.qps,
@@ -297,7 +335,10 @@ impl std::fmt::Display for MetricsSnapshot {
             self.mean_batch_size,
             self.shed_overload,
             self.shed_deadline,
+            self.shed_stale,
             self.steals,
+            self.model_evictions,
+            self.model_reloads,
             self.queue_depth,
             self.cache_hit_rate * 100.0,
             self.open_conns,

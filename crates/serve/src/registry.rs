@@ -11,46 +11,281 @@
 //! generation; the batch worker labels every insert with the generation it
 //! actually resolved, so a cached value is always one that *those* weights
 //! computed — even for requests in flight across a swap.
+//!
+//! ## Residency
+//!
+//! A slot's model is either **resident** (the live `Arc<DuetEstimator>`) or
+//! **evicted**: reduced to its [`duet_core::save_weights`] checkpoint bytes
+//! (in memory, or spilled to a file) plus the schema/config needed to
+//! rebuild it. Eviction is how [`crate::ModelTier`] enforces a registry-wide
+//! memory budget over many registered tables. Because Duet's architecture is
+//! a pure function of `(schema, config)` — the masks use no randomness — an
+//! evicted model reloads **bit-identically**: the next request rebuilds the
+//! network, restores the checkpointed weights, and produces exactly the
+//! estimates the evicted instance would have. Evict/reload therefore does
+//! **not** bump the generation: cached results stay valid.
 
-use duet_core::{load_weights, CheckpointError, DuetEstimator};
+use duet_core::{load_weights, CheckpointError, DuetConfig, DuetEstimator};
+use duet_data::Table;
+use duet_query::CardinalityEstimator;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Source of [`ModelSlot::uid`] values: process-wide, never reused.
+static NEXT_SLOT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Where an evicted model's checkpoint bytes live.
+#[derive(Debug)]
+enum CheckpointStore {
+    /// Held in memory (the default warm-evict form).
+    Memory(Vec<u8>),
+    /// Spilled to a file (see [`crate::ModelTier::set_spill_dir`]).
+    Spilled(PathBuf),
+}
+
+impl CheckpointStore {
+    /// The checkpoint bytes, reading the spill file if necessary.
+    fn load(&self) -> std::io::Result<std::borrow::Cow<'_, [u8]>> {
+        match self {
+            CheckpointStore::Memory(bytes) => Ok(std::borrow::Cow::Borrowed(bytes)),
+            CheckpointStore::Spilled(path) => std::fs::read(path).map(std::borrow::Cow::Owned),
+        }
+    }
+
+    /// Best-effort removal of the spill file (memory stores are a no-op).
+    fn discard(&self) {
+        if let CheckpointStore::Spilled(path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Everything needed to rebuild an evicted model bit-identically: the
+/// checkpoint plus the deterministic-architecture inputs.
+#[derive(Debug)]
+struct EvictedModel {
+    store: CheckpointStore,
+    schema: Table,
+    config: DuetConfig,
+    num_rows: usize,
+    label: String,
+}
+
+/// A slot's model: live, or reduced to checkpoint bytes.
+#[derive(Debug)]
+enum Residency {
+    Resident(Arc<DuetEstimator>),
+    // Boxed: the evicted payload is cold by definition, and boxing keeps the
+    // enum the size of the hot Resident arm.
+    Evicted(Box<EvictedModel>),
+}
 
 #[derive(Debug)]
 struct VersionedModel {
     generation: u64,
-    estimator: Arc<DuetEstimator>,
+    state: Residency,
 }
+
+/// Why an evicted model could not be brought back to residency.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The spilled checkpoint file could not be read.
+    Io(std::io::Error),
+    /// The checkpoint bytes were rejected by the codec.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Io(e) => write!(f, "spilled checkpoint unreadable: {e}"),
+            ReloadError::Checkpoint(e) => write!(f, "checkpoint rejected on reload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
 
 /// A single table's serving slot: the current estimator plus a monotonically
 /// increasing generation counter bumped on every swap, updated as one unit.
 #[derive(Debug)]
 pub struct ModelSlot {
     inner: RwLock<VersionedModel>,
+    /// Process-unique registration id: every `ModelSlot` ever constructed
+    /// gets a fresh uid, so a queued request stamped with the uid it was
+    /// encoded against can be rejected at dequeue if the table has since
+    /// been **re-registered** (a new slot under the same dense table id).
+    /// Hot-swaps and evict/reload keep the slot — and its uid — intact.
+    uid: u64,
+    /// Models evicted from this slot so far.
+    evictions: AtomicU64,
+    /// Evicted models rebuilt from their checkpoint so far.
+    reloads: AtomicU64,
 }
 
 impl ModelSlot {
     /// Wrap an estimator in a fresh slot (generation 0).
     pub fn new(estimator: DuetEstimator) -> Self {
         Self {
-            inner: RwLock::new(VersionedModel { generation: 0, estimator: Arc::new(estimator) }),
+            inner: RwLock::new(VersionedModel {
+                generation: 0,
+                state: Residency::Resident(Arc::new(estimator)),
+            }),
+            uid: NEXT_SLOT_UID.fetch_add(1, Ordering::Relaxed),
+            evictions: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
         }
+    }
+
+    /// This slot's process-unique registration id (see the field docs).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Whether the model is currently resident (not evicted to checkpoint
+    /// bytes).
+    pub fn is_resident(&self) -> bool {
+        matches!(self.inner.read().expect("model slot poisoned").state, Residency::Resident(_))
+    }
+
+    /// The resident model's weight footprint in bytes, or `None` while the
+    /// slot is evicted — the quantity [`crate::ModelTier`] budgets.
+    pub fn resident_weight_bytes(&self) -> Option<usize> {
+        match &self.inner.read().expect("model slot poisoned").state {
+            Residency::Resident(estimator) => Some(estimator.model().size_bytes()),
+            Residency::Evicted(_) => None,
+        }
+    }
+
+    /// Models evicted from this slot so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Evicted models rebuilt from their checkpoint so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
     }
 
     /// The estimator currently serving this slot.
     ///
-    /// Cheap (`Arc` clone under a read lock); callers hold the returned `Arc`
-    /// for as long as they need stable weights — typically one batch.
+    /// Cheap (`Arc` clone under a read lock) while resident; an evicted slot
+    /// is transparently reloaded first.
+    ///
+    /// # Panics
+    ///
+    /// If an evicted model cannot be reloaded (spill file unreadable). The
+    /// serving hot path uses [`ModelSlot::try_current_versioned`] and sheds
+    /// instead.
     pub fn current(&self) -> Arc<DuetEstimator> {
-        self.inner.read().expect("model slot poisoned").estimator.clone()
+        self.current_versioned().1
     }
 
     /// The current `(generation, estimator)` pair, read atomically — the
     /// returned generation is exactly the one these weights were installed
-    /// under.
+    /// under. Panics like [`ModelSlot::current`] if a reload fails.
     pub fn current_versioned(&self) -> (u64, Arc<DuetEstimator>) {
-        let inner = self.inner.read().expect("model slot poisoned");
-        (inner.generation, inner.estimator.clone())
+        self.try_current_versioned().expect("evicted model failed to reload")
+    }
+
+    /// Fallible [`ModelSlot::current`].
+    pub fn try_current(&self) -> Result<Arc<DuetEstimator>, ReloadError> {
+        self.try_current_versioned().map(|(_, estimator)| estimator)
+    }
+
+    /// The current `(generation, estimator)` pair, transparently rebuilding
+    /// an evicted model from its checkpoint (lazy reload).
+    ///
+    /// The reload is **bit-identical**: Duet's architecture is a pure
+    /// function of `(schema, config)`, so rebuilding the network and
+    /// restoring the checkpointed weights reproduces the evicted model's
+    /// estimates exactly, under the same generation. On a resident slot this
+    /// is a read-lock `Arc` clone, same as before eviction.
+    pub fn try_current_versioned(&self) -> Result<(u64, Arc<DuetEstimator>), ReloadError> {
+        {
+            let inner = self.inner.read().expect("model slot poisoned");
+            if let Residency::Resident(estimator) = &inner.state {
+                return Ok((inner.generation, estimator.clone()));
+            }
+        }
+        let mut inner = self.inner.write().expect("model slot poisoned");
+        match &inner.state {
+            // Another thread reloaded while we waited for the write lock.
+            Residency::Resident(estimator) => Ok((inner.generation, estimator.clone())),
+            Residency::Evicted(evicted) => {
+                let bytes = evicted.store.load().map_err(ReloadError::Io)?;
+                let estimator = DuetEstimator::rebuild_from_checkpoint(
+                    &evicted.schema,
+                    evicted.num_rows,
+                    &evicted.config,
+                    evicted.label.clone(),
+                    &bytes,
+                )
+                .map_err(ReloadError::Checkpoint)?;
+                drop(bytes);
+                evicted.store.discard();
+                let estimator = Arc::new(estimator);
+                inner.state = Residency::Resident(estimator.clone());
+                self.reloads.fetch_add(1, Ordering::Relaxed);
+                Ok((inner.generation, estimator))
+            }
+        }
+    }
+
+    /// Evict the resident model to its checkpoint bytes, freeing its weight
+    /// memory until the next request reloads it.
+    ///
+    /// With `spill_dir: Some(dir)` the checkpoint is written to a file under
+    /// `dir` (created if missing) and only a path is kept; otherwise the
+    /// bytes are held in memory (still ~4× smaller than the live model,
+    /// which materializes masked weight panels per layer). Returns the
+    /// resident weight bytes freed, or 0 if the slot was already evicted or
+    /// a concurrent swap/reload won the race (the slot is then left as that
+    /// racer installed it). The generation is **not** bumped — reload is
+    /// bit-identical, so cached results keyed on it stay valid.
+    pub fn evict(&self, spill_dir: Option<&Path>) -> std::io::Result<usize> {
+        // Snapshot under the read lock and serialize outside any lock, so
+        // concurrent readers are never blocked behind checkpoint encoding.
+        let (generation, estimator) = {
+            let inner = self.inner.read().expect("model slot poisoned");
+            match &inner.state {
+                Residency::Resident(estimator) => (inner.generation, estimator.clone()),
+                Residency::Evicted(_) => return Ok(0),
+            }
+        };
+        let mut snapshot = (*estimator).clone();
+        let checkpoint = duet_core::save_weights(&mut snapshot);
+        drop(snapshot);
+        let weight_bytes = estimator.model().size_bytes();
+        let store = match spill_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("slot-{}-gen-{generation}.duetckpt", self.uid));
+                std::fs::write(&path, &checkpoint)?;
+                CheckpointStore::Spilled(path)
+            }
+            None => CheckpointStore::Memory(checkpoint.to_vec()),
+        };
+        let evicted = Box::new(EvictedModel {
+            store,
+            schema: estimator.schema().schema_only(),
+            config: estimator.model().config().clone(),
+            num_rows: estimator.num_rows(),
+            label: estimator.name().to_string(),
+        });
+        let mut inner = self.inner.write().expect("model slot poisoned");
+        let still_current = inner.generation == generation
+            && matches!(&inner.state, Residency::Resident(current) if Arc::ptr_eq(current, &estimator));
+        if !still_current {
+            // A swap or reload landed in between; keep what it installed.
+            evicted.store.discard();
+            return Ok(0);
+        }
+        inner.state = Residency::Evicted(evicted);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(weight_bytes)
     }
 
     /// The swap generation: 0 for a freshly registered model, +1 per swap.
@@ -91,7 +326,7 @@ impl ModelSlot {
         }
         let mut inner = self.inner.write().expect("model slot poisoned");
         inner.generation += 1;
-        inner.estimator = Arc::new(estimator);
+        inner.state = Residency::Resident(Arc::new(estimator));
         Ok(())
     }
 
@@ -164,6 +399,12 @@ struct RegisteredSlot {
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     slots: RwLock<HashMap<String, RegisteredSlot>>,
+    /// Next dense id to hand out. A dedicated monotonic counter — not
+    /// `slots.len()` — so the density invariant (`n`-th distinct name gets
+    /// id `n`) holds structurally rather than by the accident of the map
+    /// never shrinking; id reuse would silently alias two tables in the
+    /// server's id-indexed directory.
+    next_id: AtomicU32,
 }
 
 impl ModelRegistry {
@@ -196,8 +437,12 @@ impl ModelRegistry {
         let mut slots = self.slots.write().expect("registry poisoned");
         let id = match slots.get(&table) {
             Some(existing) => existing.id,
-            None => slots.len() as u32,
+            // The write lock serializes id assignment; the counter advances
+            // only for distinct names, so ids stay dense and are never
+            // reused even if the map were ever to shrink.
+            None => self.next_id.fetch_add(1, Ordering::Relaxed),
         };
+        debug_assert!(id < self.next_id.load(Ordering::Relaxed), "ids precede the counter");
         slots.insert(table, RegisteredSlot { id, slot: slot.clone() });
         (id, slot)
     }
@@ -317,6 +562,77 @@ mod tests {
         let err = slot.swap(foreign).unwrap_err();
         assert!(matches!(err, SwapError::IncompatibleSchema { .. }));
         assert_eq!(slot.generation(), 0, "rejected swap must not bump the generation");
+    }
+
+    #[test]
+    fn evict_and_reload_is_bit_identical() {
+        let (table, est) = trained(9);
+        let queries = WorkloadSpec::random(&table, 12, 3).generate(&table);
+        let slot = ModelSlot::new(est);
+        let before = slot.current().estimate_batch(&queries);
+        let bytes = slot.resident_weight_bytes().expect("fresh slot is resident");
+        assert!(bytes > 0);
+
+        let freed = slot.evict(None).expect("in-memory eviction cannot fail");
+        assert_eq!(freed, bytes);
+        assert!(!slot.is_resident());
+        assert_eq!(slot.resident_weight_bytes(), None);
+        assert_eq!(slot.evict(None).expect("double evict is a no-op"), 0);
+        assert_eq!(slot.generation(), 0, "evict must not bump the generation");
+
+        // The next access reloads transparently and bit-identically.
+        let after = slot.current().estimate_batch(&queries);
+        assert_eq!(after, before, "reload must reproduce the evicted model exactly");
+        assert!(slot.is_resident());
+        assert_eq!((slot.evictions(), slot.reloads()), (1, 1));
+        assert_eq!(slot.generation(), 0);
+    }
+
+    #[test]
+    fn evicted_slot_still_hot_swaps() {
+        let (table, est_a) = trained(1);
+        let (_, mut est_b) = trained(2);
+        let queries = WorkloadSpec::random(&table, 8, 4).generate(&table);
+        let expect_b = est_b.estimate_batch(&queries);
+
+        let slot = ModelSlot::new(est_a);
+        slot.evict(None).unwrap();
+        let checkpoint = save_weights(&mut est_b);
+        slot.hot_swap_checkpoint(&checkpoint).expect("swap through an evicted slot");
+        assert_eq!(slot.generation(), 1);
+        assert_eq!(slot.current().estimate_batch(&queries), expect_b);
+    }
+
+    #[test]
+    fn re_registration_issues_a_fresh_uid_but_swaps_keep_it() {
+        let registry = ModelRegistry::new();
+        let (_, est) = trained(1);
+        let (_, mut other) = trained(2);
+        let first = registry.register("census", est.clone());
+        let uid = first.uid();
+        assert!(uid > 0);
+
+        let checkpoint = save_weights(&mut other);
+        first.hot_swap_checkpoint(&checkpoint).unwrap();
+        assert_eq!(first.uid(), uid, "hot-swap keeps the registration");
+        first.evict(None).unwrap();
+        assert_eq!(first.uid(), uid, "evict/reload keeps the registration");
+
+        let second = registry.register("census", est);
+        assert_ne!(second.uid(), uid, "re-registering mints a new slot uid");
+    }
+
+    #[test]
+    fn ids_come_from_a_monotonic_counter() {
+        let registry = ModelRegistry::new();
+        let (_, est) = trained(1);
+        let (a, _) = registry.register_indexed("a", est.clone());
+        let (b, _) = registry.register_indexed("b", est.clone());
+        // Replacements never consume an id.
+        let (a2, _) = registry.register_indexed("a", est.clone());
+        let (b2, _) = registry.register_indexed("b", est.clone());
+        let (c, _) = registry.register_indexed("c", est);
+        assert_eq!((a, b, a2, b2, c), (0, 1, 0, 1, 2));
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub enum ShedReason {
     QueueFull,
     /// The request's deadline had already expired when a worker dequeued it.
     DeadlineExpired,
+    /// The table was re-registered (a new slot, possibly a new schema)
+    /// between the request's encoding and its dequeue; its predicate ids may
+    /// no longer mean what they meant, so it is rejected instead of served.
+    StaleRegistration,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -120,6 +124,9 @@ impl std::fmt::Display for ShedReason {
         match self {
             ShedReason::QueueFull => write!(f, "shard queue full"),
             ShedReason::DeadlineExpired => write!(f, "deadline expired before dequeue"),
+            ShedReason::StaleRegistration => {
+                write!(f, "table re-registered while the request was queued")
+            }
         }
     }
 }
@@ -184,6 +191,13 @@ pub(crate) struct RoutedRequest {
     /// Dense registry id of the table; indexes the worker-shared directory
     /// and selects the worker's per-table workspace.
     pub table_id: u32,
+    /// Uid of the [`ModelSlot`] registration this request was encoded
+    /// against. A worker compares it with the directory entry's slot at
+    /// dequeue and rejects on mismatch
+    /// ([`ShedReason::StaleRegistration`]): a re-registered table may serve
+    /// a different schema, so encodings made against the old slot must
+    /// never reach the new model.
+    pub slot_uid: u64,
     /// Per-column id-space predicates of the query.
     pub preds: Vec<Vec<IdPredicate>>,
     /// Per-column valid-id intervals of the query.
@@ -212,7 +226,7 @@ impl AsRef<[(u32, u32)]> for RoutedRequest {
 
 /// Everything a shard worker needs to serve one table, shared between the
 /// server front door and the worker pool through the id-indexed directory.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct TableResources {
     pub name: Arc<str>,
     pub slot: Arc<ModelSlot>,
@@ -281,6 +295,9 @@ impl Shard {
     /// handed back so the caller can fail it without losing the reply
     /// channel. Every attempt (admitted or shed) feeds the arrival-gap EWMA:
     /// rejected traffic is still arrival pressure.
+    // The "large" Err is the point: rejection hands the request back whole
+    // (reply channel and encodings intact) without a heap round trip.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn try_push(&self, request: RoutedRequest) -> Result<usize, RoutedRequest> {
         self.observe_arrival();
         let mut state = self.state.lock().expect("shard poisoned");
@@ -599,6 +616,7 @@ mod tests {
     fn request(table_id: u32, deadline: Option<Duration>) -> RoutedRequest {
         RoutedRequest {
             table_id,
+            slot_uid: 0,
             preds: Vec::new(),
             intervals: Vec::new(),
             key: None,

@@ -23,6 +23,7 @@ use crate::registry::{ModelRegistry, ModelSlot, SwapError};
 use crate::router::{
     Clock, ReplyTo, RoutedRequest, Router, RouterConfig, ShedReason, SystemClock, TableResources,
 };
+use crate::tier::ModelTier;
 use duet_core::{query_to_id_predicates, DuetEstimator};
 use duet_query::Query;
 use std::collections::HashMap;
@@ -47,6 +48,11 @@ pub struct ServeConfig {
     /// after a model hot-swap (see [`crate::HotSet`]); 0 disables the
     /// post-swap warm-up replay. Only effective when caching is enabled.
     pub hot_keys: usize,
+    /// Upper bound on the summed resident weight bytes of all registered
+    /// models; 0 (the default) keeps every model resident. With a positive
+    /// budget the shard workers evict the coldest models to checkpoint
+    /// bytes and lazily reload them on demand (see [`crate::ModelTier`]).
+    pub model_budget_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +63,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             hot_keys: 64,
+            model_budget_bytes: 0,
         }
     }
 }
@@ -81,6 +88,13 @@ pub enum ServeError {
     /// The request's deadline budget expired while it was queued; it was
     /// dropped at dequeue without running a forward pass.
     DeadlineExceeded(String),
+    /// The table was re-registered (new model, possibly a new schema) while
+    /// the request sat in its shard queue; the request's encoding belongs
+    /// to the old registration. Re-issue it against the current model.
+    StaleRegistration(String),
+    /// The table's model could not be brought resident (an evicted model's
+    /// checkpoint failed to reload). Retry later.
+    ModelUnavailable(String),
     /// A model swap failed; the previous model keeps serving.
     Swap(SwapError),
 }
@@ -99,6 +113,12 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::DeadlineExceeded(t) => {
                 write!(f, "deadline expired before a worker dequeued the request for table {t:?}")
+            }
+            ServeError::StaleRegistration(t) => {
+                write!(f, "table {t:?} was re-registered while the request was queued")
+            }
+            ServeError::ModelUnavailable(t) => {
+                write!(f, "model for table {t:?} could not be reloaded")
             }
             ServeError::Swap(e) => write!(f, "{e}"),
         }
@@ -151,6 +171,8 @@ pub struct DuetServer {
     /// The clock deadlines are measured against; shared with every worker
     /// and wire acceptor.
     clock: Arc<dyn Clock>,
+    /// Model-memory budgeting, shared with every shard worker.
+    tier: Arc<ModelTier>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -162,17 +184,26 @@ impl DuetServer {
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
         let router = Arc::new(Router::new(config.router, clock.clone(), metrics.clone()));
         let directory = Arc::new(RwLock::new(Vec::new()));
+        let tier = Arc::new(ModelTier::new(config.model_budget_bytes));
         let shards: Vec<_> = router.shards().to_vec();
         let workers = (0..router.num_shards())
             .map(|shard_index| {
                 let shards = shards.clone();
-                let (directory, clock, metrics) =
-                    (directory.clone(), clock.clone(), metrics.clone());
+                let (directory, clock, metrics, tier) =
+                    (directory.clone(), clock.clone(), metrics.clone(), tier.clone());
                 let batch = config.batch;
                 std::thread::Builder::new()
                     .name(format!("duet-serve-shard-{shard_index}"))
                     .spawn(move || {
-                        run_shard_worker(shard_index, shards, directory, clock, metrics, batch)
+                        run_shard_worker(
+                            shard_index,
+                            shards,
+                            directory,
+                            clock,
+                            metrics,
+                            tier,
+                            batch,
+                        )
                     })
                     .expect("failed to spawn shard worker")
             })
@@ -185,6 +216,7 @@ impl DuetServer {
             tables: RwLock::new(HashMap::new()),
             metrics,
             clock,
+            tier,
             workers: Mutex::new(workers),
         }
     }
@@ -218,7 +250,10 @@ impl DuetServer {
             if id < directory.len() {
                 directory[id] = resources; // re-registration reuses the id
             } else {
-                debug_assert_eq!(id, directory.len(), "registry ids are dense");
+                // A real invariant, not a debug assertion: the workers index
+                // this vector by registry id, so a gap would misroute every
+                // later table.
+                assert_eq!(id, directory.len(), "registry ids are dense");
                 directory.push(resources);
             }
         }
@@ -269,6 +304,7 @@ impl DuetServer {
         let (reply, reply_rx) = mpsc::sync_channel(1);
         let request = RoutedRequest {
             table_id: handle.id,
+            slot_uid: handle.slot.uid(),
             preds,
             intervals,
             key,
@@ -293,8 +329,12 @@ impl DuetServer {
             Ok(Err(ShedReason::DeadlineExpired)) => {
                 Err(ServeError::DeadlineExceeded(table.to_string()))
             }
-            // QueueFull never travels over a reply channel (it is raised at
-            // admission), but map it defensively.
+            Ok(Err(ShedReason::StaleRegistration)) => {
+                Err(ServeError::StaleRegistration(table.to_string()))
+            }
+            // QueueFull reaches a reply channel only when an evicted model's
+            // reload failed mid-batch (the worker sheds on the retryable
+            // overload path); at admission it is raised synchronously.
             Ok(Err(ShedReason::QueueFull)) => {
                 Err(ServeError::Overloaded { table: table.to_string(), shard: 0, depth: 0 })
             }
@@ -313,7 +353,16 @@ impl DuetServer {
     pub fn estimate(&self, table: &str, query: &Query) -> Result<f64, ServeError> {
         let started = Instant::now();
         let handle = self.handle(table)?;
-        let (generation, estimator) = handle.slot.current_versioned();
+        // Resolving may lazily reload a model the tier evicted (the front
+        // door needs its schema to encode the query).
+        let was_resident = handle.slot.is_resident();
+        let (generation, estimator) = handle
+            .slot
+            .try_current_versioned()
+            .map_err(|_| ServeError::ModelUnavailable(table.to_string()))?;
+        if !was_resident {
+            self.metrics.record_model_reload();
+        }
         let value = match self.submit(table, &handle, generation, &estimator, query)? {
             Submitted::Cached(value) => value,
             Submitted::Pending(reply_rx) => Self::resolve_reply(table, reply_rx.recv())?,
@@ -331,7 +380,14 @@ impl DuetServer {
     /// shutting down.
     pub fn estimate_many(&self, table: &str, queries: &[Query]) -> Result<Vec<f64>, ServeError> {
         let handle = self.handle(table)?;
-        let (generation, estimator) = handle.slot.current_versioned();
+        let was_resident = handle.slot.is_resident();
+        let (generation, estimator) = handle
+            .slot
+            .try_current_versioned()
+            .map_err(|_| ServeError::ModelUnavailable(table.to_string()))?;
+        if !was_resident {
+            self.metrics.record_model_reload();
+        }
         let mut results = vec![0.0f64; queries.len()];
         let mut pending = Vec::new();
         for (i, query) in queries.iter().enumerate() {
@@ -415,6 +471,17 @@ impl DuetServer {
     /// The routing layer (shard count, queue depths).
     pub fn router(&self) -> &Router {
         &self.router
+    }
+
+    /// The model-memory tier enforcing [`ServeConfig::model_budget_bytes`].
+    pub fn model_tier(&self) -> &ModelTier {
+        &self.tier
+    }
+
+    /// Spill evicted model checkpoints to files under `dir` instead of
+    /// holding them in memory (see [`crate::ModelTier::set_spill_dir`]).
+    pub fn set_model_spill_dir(&self, dir: impl Into<std::path::PathBuf>) {
+        self.tier.set_spill_dir(Some(dir.into()));
     }
 
     /// Open the TCP front door: bind `addr` and serve the binary wire

@@ -30,6 +30,7 @@ use crate::router::{
     shard_for, Clock, ReplyTo, RoutedRequest, Router, RouterConfig, ShedReason, TableResources,
     VirtualClock,
 };
+use crate::tier::ModelTier;
 use crate::wire::conn::{ConnConfig, WireConn};
 use crate::wire::frame::{self, DecodeError, FrameView, Status};
 use duet_core::{query_to_id_predicates, DuetEstimator};
@@ -52,6 +53,9 @@ pub struct HarnessConfig {
     pub cache_capacity: usize,
     /// Cache shards per table.
     pub cache_shards: usize,
+    /// Model-memory budget in bytes enforced by the workers (see
+    /// [`crate::ModelTier`]); defaults to 0 (unlimited, no eviction).
+    pub model_budget_bytes: usize,
 }
 
 impl Default for HarnessConfig {
@@ -61,6 +65,7 @@ impl Default for HarnessConfig {
             batch: BatchConfig::default(),
             cache_capacity: 0,
             cache_shards: 1,
+            model_budget_bytes: 0,
         }
     }
 }
@@ -112,6 +117,7 @@ pub struct RouterHarness {
     /// Shard each table id routes to (precomputed from the table names).
     table_shard: Vec<usize>,
     metrics: Arc<ServeMetrics>,
+    tier: Arc<ModelTier>,
     outcomes: Vec<(u64, Result<f64, ShedReason>)>,
     config: HarnessConfig,
 }
@@ -142,9 +148,17 @@ impl RouterHarness {
             directory,
             table_shard,
             metrics,
+            tier: Arc::new(ModelTier::new(config.model_budget_bytes)),
             outcomes: Vec::new(),
             config,
         }
+    }
+
+    /// The model-memory tier enforcing
+    /// [`HarnessConfig::model_budget_bytes`] (e.g. to set a spill
+    /// directory, or inspect heat).
+    pub fn tier(&self) -> &ModelTier {
+        &self.tier
     }
 
     /// The harness's virtual clock (advance it to make deadlines expire).
@@ -182,7 +196,13 @@ impl RouterHarness {
     /// it is discarded (allocation-probe mode).
     pub fn prepare(&self, table: usize, query: &Query, ticket: Option<u64>) -> PreparedRequest {
         let resources = &self.directory[table];
+        // Resolving may lazily reload a model the tier evicted (encoding
+        // needs its schema) — mirror the production front door's counting.
+        let was_resident = resources.slot.is_resident();
         let (generation, estimator) = resources.slot.current_versioned();
+        if !was_resident {
+            self.metrics.record_model_reload();
+        }
         let schema = estimator.schema();
         let preds = query_to_id_predicates(schema, query);
         let intervals = query.column_intervals(schema);
@@ -190,6 +210,7 @@ impl RouterHarness {
             .then(|| canonical_key_from_parts(schema, generation, &preds, &intervals));
         PreparedRequest(RoutedRequest {
             table_id: table as u32,
+            slot_uid: resources.slot.uid(),
             preds,
             intervals,
             key,
@@ -204,6 +225,9 @@ impl RouterHarness {
     /// Admit a prepared request to its table's shard. On rejection the
     /// request is handed back (encodings intact) and the overload shed is
     /// recorded. Allocation-free on a warm queue.
+    // Mirrors `Shard::try_push`: the rejected request comes back by value so
+    // the recycling driver loops stay allocation-free.
+    #[allow(clippy::result_large_err)]
     pub fn submit_prepared(&mut self, request: PreparedRequest) -> Result<usize, PreparedRequest> {
         let shard = self.table_shard[request.0.table_id as usize];
         match self.router.shard(shard).try_push(request.0) {
@@ -244,7 +268,7 @@ impl RouterHarness {
             let worker = &mut self.workers[shard_index];
             if self.router.shard(shard_index).try_pop_batch(max_batch, &mut worker.batch) {
                 processed += worker.batch.len();
-                worker.execute(&self.directory, now, &self.metrics, &mut self.outcomes);
+                worker.execute(&self.directory, now, &self.metrics, &self.tier, &mut self.outcomes);
                 // Recycle rather than drop: wire-originated requests go back
                 // to their connection's pool, keeping the simulated wire hot
                 // loop allocation-free (ticket/discard requests just drop,
@@ -266,7 +290,7 @@ impl RouterHarness {
             let worker = &mut self.workers[shard_index];
             if self.router.shard(shard_index).try_pop_batch(max_batch, &mut worker.batch) {
                 processed += worker.batch.len();
-                worker.execute(&self.directory, now, &self.metrics, &mut self.outcomes);
+                worker.execute(&self.directory, now, &self.metrics, &self.tier, &mut self.outcomes);
                 for request in worker.batch.drain(..) {
                     recycled.push(PreparedRequest(request));
                 }
@@ -391,6 +415,11 @@ pub struct ScenarioReport {
     /// Served results whose bits differed from the unbatched per-query
     /// reference (must be 0: routing/batching never changes an answer).
     pub mismatches: u64,
+    /// Models evicted to checkpoint bytes by the memory tier (0 without a
+    /// [`HarnessConfig::model_budget_bytes`] budget).
+    pub model_evictions: u64,
+    /// Evicted models lazily reloaded on a later request.
+    pub model_reloads: u64,
 }
 
 impl ScenarioReport {
@@ -555,7 +584,10 @@ pub fn run_scenario(
             }
         }
     }
-    report.batches = harness.metrics_snapshot().batches;
+    let snapshot = harness.metrics_snapshot();
+    report.batches = snapshot.batches;
+    report.model_evictions = snapshot.model_evictions;
+    report.model_reloads = snapshot.model_reloads;
     report
 }
 
@@ -930,6 +962,9 @@ pub fn run_wire_scenario(
         assert!(idle_turns < 1000, "wire drain stalled: a request produced no response");
     }
 
-    report.batches = sim.harness().metrics_snapshot().batches;
+    let snapshot = sim.harness().metrics_snapshot();
+    report.batches = snapshot.batches;
+    report.model_evictions = snapshot.model_evictions;
+    report.model_reloads = snapshot.model_reloads;
     report
 }

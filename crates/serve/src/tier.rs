@@ -1,0 +1,202 @@
+//! Fleet-scale model tiering: a registry-wide weight-memory budget enforced
+//! by LFU-aged eviction of cold models.
+//!
+//! A server hosting many tables cannot keep every model resident: weights
+//! are the dominant per-table footprint, and most fleets are heavily skewed
+//! — a few hot tables take nearly all traffic while the long tail idles.
+//! [`ModelTier`] turns that skew into a memory bound:
+//!
+//! * every executed batch feeds a **per-table heat counter** (an LFU with
+//!   aging, the same popularity shape as [`crate::HotSet`], but at model
+//!   granularity — batches served rather than cache keys touched);
+//! * after each batch the worker runs the crate-internal enforcement sweep
+//!   (`ModelTier::enforce`): while the
+//!   summed resident weight bytes exceed the budget, the **coldest**
+//!   resident model that is not the one just served is evicted to its
+//!   checkpoint bytes ([`crate::ModelSlot::evict`] — in memory, or spilled
+//!   to a file under the configured spill directory);
+//! * an evicted model's next request **lazily reloads** it, bit-identically,
+//!   inside [`crate::ModelSlot::try_current_versioned`] — no client-visible
+//!   state, no generation bump, no cache invalidation.
+//!
+//! Every eviction halves all heat counters, so a table that was hot last
+//! hour cannot pin its model forever on stale popularity — the aging half of
+//! LFU-with-aging. The model actively being served is never the victim, so
+//! a budget smaller than one model still serves every request (it just
+//! thrashes, visibly, in the eviction/reload counters).
+//!
+//! Heat updates and victim selection are pure functions of the executed
+//! batch sequence, so under the deterministic harness ([`crate::sim`]) a
+//! seeded scenario replays with identical eviction/reload counts.
+
+use crate::metrics::ServeMetrics;
+use crate::router::TableResources;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Registry-wide model-memory budgeting: per-table heat plus the eviction
+/// policy over a table directory. One instance is shared by every shard
+/// worker of a [`crate::DuetServer`] (or harness).
+#[derive(Debug)]
+pub struct ModelTier {
+    /// Upper bound on summed resident weight bytes; 0 = unlimited (the
+    /// tier never evicts).
+    budget_bytes: usize,
+    /// Where evicted checkpoints go: `None` keeps the bytes in memory,
+    /// `Some(dir)` spills them to files under `dir`.
+    spill_dir: Mutex<Option<PathBuf>>,
+    /// Per-table served-request counters, indexed by dense table id; halved
+    /// on every eviction (LFU with aging).
+    heat: Mutex<Vec<u64>>,
+}
+
+impl ModelTier {
+    /// A tier enforcing `budget_bytes` of resident model weights (0 =
+    /// unlimited), evicting to in-memory checkpoints.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self { budget_bytes, spill_dir: Mutex::new(None), heat: Mutex::new(Vec::new()) }
+    }
+
+    /// The configured budget in bytes (0 = unlimited).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Redirect future evictions to checkpoint files under `dir` (`None`
+    /// returns to in-memory checkpoints). Already-evicted models keep their
+    /// current store until reloaded.
+    pub fn set_spill_dir(&self, dir: Option<PathBuf>) {
+        *self.spill_dir.lock().expect("tier poisoned") = dir;
+    }
+
+    /// A table's current heat (testing/inspection).
+    pub fn heat_of(&self, table_id: usize) -> u64 {
+        self.heat.lock().expect("tier poisoned").get(table_id).copied().unwrap_or(0)
+    }
+
+    /// Fold `served` requests for `table_id` into its heat counter. Called
+    /// by the shard worker once per executed batch; allocation-free once
+    /// the heat vector has grown to the directory size.
+    pub(crate) fn observe(&self, table_id: usize, served: u64) {
+        let mut heat = self.heat.lock().expect("tier poisoned");
+        if heat.len() <= table_id {
+            heat.resize(table_id + 1, 0);
+        }
+        heat[table_id] = heat[table_id].saturating_add(served);
+    }
+
+    /// Bring the directory back under the budget: while resident weights
+    /// exceed it, evict the coldest resident model other than `active` (the
+    /// table just served; lowest dense id breaks heat ties), halving all
+    /// heat counters per eviction. Stops when within budget, when no
+    /// evictable model remains (only `active` resident), or when an
+    /// eviction fails (spill I/O) — the tier then stays over budget rather
+    /// than lose a model.
+    pub(crate) fn enforce(&self, tables: &[TableResources], active: usize, metrics: &ServeMetrics) {
+        if self.budget_bytes == 0 {
+            return;
+        }
+        loop {
+            let resident: usize =
+                tables.iter().filter_map(|r| r.slot.resident_weight_bytes()).sum();
+            if resident <= self.budget_bytes {
+                return;
+            }
+            let victim = {
+                let heat = self.heat.lock().expect("tier poisoned");
+                tables
+                    .iter()
+                    .enumerate()
+                    .filter(|(id, r)| *id != active && r.slot.is_resident())
+                    .min_by_key(|(id, _)| (heat.get(*id).copied().unwrap_or(0), *id))
+                    .map(|(id, r)| (id, r.slot.clone()))
+            };
+            let Some((_victim_id, slot)) = victim else {
+                return; // only the active model is resident; never evict it
+            };
+            let spill = self.spill_dir.lock().expect("tier poisoned").clone();
+            match slot.evict(spill.as_deref()) {
+                Ok(0) => return, // raced with a concurrent evict; don't spin
+                Ok(_freed) => {
+                    metrics.record_model_eviction();
+                    let mut heat = self.heat.lock().expect("tier poisoned");
+                    for h in heat.iter_mut() {
+                        *h /= 2;
+                    }
+                }
+                Err(_) => return, // spill failed; keep the model resident
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ShardedCache;
+    use crate::registry::ModelSlot;
+    use duet_core::{DuetConfig, DuetEstimator};
+    use duet_data::datasets::census_like;
+    use std::sync::Arc;
+
+    fn directory(n: usize) -> Vec<TableResources> {
+        let table = census_like(200, 7);
+        let cfg = DuetConfig::small().with_epochs(1);
+        (0..n)
+            .map(|i| TableResources {
+                name: Arc::from(format!("t{i}").as_str()),
+                slot: Arc::new(ModelSlot::new(DuetEstimator::train_data_only(
+                    &table, &cfg, i as u64,
+                ))),
+                cache: Arc::new(ShardedCache::new(0, 1)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heat_accumulates_and_ages() {
+        let tier = ModelTier::new(1);
+        tier.observe(2, 5);
+        tier.observe(0, 1);
+        assert_eq!((tier.heat_of(0), tier.heat_of(1), tier.heat_of(2)), (1, 0, 5));
+    }
+
+    #[test]
+    fn enforce_evicts_coldest_non_active_until_within_budget() {
+        let tables = directory(3);
+        let per_model = tables[0].slot.resident_weight_bytes().unwrap();
+        // Budget fits exactly two models.
+        let tier = ModelTier::new(2 * per_model);
+        let metrics = ServeMetrics::new();
+        // Table 0 is hot, table 2 was just served, table 1 is cold.
+        tier.observe(0, 10);
+        tier.observe(1, 1);
+        tier.observe(2, 3);
+        tier.enforce(&tables, 2, &metrics);
+        assert!(tables[0].slot.is_resident(), "hot model stays");
+        assert!(!tables[1].slot.is_resident(), "coldest model is evicted");
+        assert!(tables[2].slot.is_resident(), "the active model is never the victim");
+        assert_eq!(metrics.snapshot(0, 0, 0).model_evictions, 1);
+        // One eviction brought the directory within budget and aged heat.
+        assert_eq!(tier.heat_of(0), 5);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_tier() {
+        let tables = directory(2);
+        let tier = ModelTier::new(0);
+        let metrics = ServeMetrics::new();
+        tier.enforce(&tables, 0, &metrics);
+        assert!(tables.iter().all(|t| t.slot.is_resident()));
+    }
+
+    #[test]
+    fn the_active_model_survives_an_impossible_budget() {
+        let tables = directory(2);
+        let tier = ModelTier::new(1); // smaller than any single model
+        let metrics = ServeMetrics::new();
+        tier.enforce(&tables, 0, &metrics);
+        assert!(tables[0].slot.is_resident(), "active model must keep serving");
+        assert!(!tables[1].slot.is_resident());
+    }
+}

@@ -144,6 +144,7 @@ impl Outbox {
     pub(crate) fn take_pooled(&self) -> RoutedRequest {
         self.pool.lock().expect("outbox poisoned").pop().unwrap_or(RoutedRequest {
             table_id: 0,
+            slot_uid: 0,
             preds: Vec::new(),
             intervals: Vec::new(),
             key: None,
@@ -330,6 +331,10 @@ impl WireConn {
                 Ok(value) => (Status::Ok, value),
                 Err(ShedReason::DeadlineExpired) => (Status::DeadlineExceeded, 0.0),
                 Err(ShedReason::QueueFull) => (Status::Overloaded, 0.0),
+                // The table id this client resolved was re-registered while
+                // the request sat queued: its binding is gone, so tell the
+                // client to re-resolve the table.
+                Err(ShedReason::StaleRegistration) => (Status::UnknownTable, 0.0),
             };
             frame::encode_response(self.outbound.tail_mut(), request_id, status, value);
             metrics.record_frame_out();
@@ -370,6 +375,10 @@ fn admit(
     let mut holder = outbox.take_pooled();
     request.read_into(&mut holder.preds, &mut holder.intervals);
     holder.table_id = request.table_id;
+    // Bind the request to the table's *current registration*: if the table
+    // is re-registered before a worker dequeues it, the uid mismatch rejects
+    // it there instead of decoding it against the wrong schema.
+    holder.slot_uid = resources.slot.uid();
     // The wire path bypasses the result cache: a remote client gets the
     // batched forward pass directly (the cache fronts the in-process
     // `DuetServer::estimate` API, whose callers hold a schema and can
@@ -413,7 +422,24 @@ fn resolve_table(
 ) {
     match tables.iter().position(|r| r.name.as_ref() == query.name) {
         Some(table_id) => {
-            let estimator = tables[table_id].slot.current();
+            // Resolution may lazily reload an evicted model (the reply
+            // carries per-column NDVs from its schema); a failed reload
+            // answers UnknownTable so the client can retry resolution.
+            let was_resident = tables[table_id].slot.is_resident();
+            let Ok(estimator) = tables[table_id].slot.try_current() else {
+                frame::encode_table_info(
+                    outbound.tail_mut(),
+                    query.request_id,
+                    Status::UnknownTable,
+                    0,
+                    &[],
+                );
+                metrics.record_frame_out();
+                return;
+            };
+            if !was_resident {
+                metrics.record_model_reload();
+            }
             let schema = estimator.schema();
             ndv_scratch.clear();
             for column in schema.columns() {

@@ -1,0 +1,164 @@
+//! Fleet-scale model tiering under pressure: a registry-wide memory budget
+//! smaller than the resident total must still serve **every** request
+//! correctly — cold models are evicted to checkpoint bytes (in memory or
+//! spilled to disk) and lazily reloaded, bit-identically, when traffic
+//! returns to them.
+//!
+//! Three layers are covered: the slot-level evict→reload round trip with a
+//! spilled (on-disk) checkpoint, seeded budget-pressure scenarios through
+//! the deterministic harness (replay equality + bit-identity + eviction
+//! accounting), and the production [`DuetServer`] with a configured
+//! [`ServeConfig::model_budget_bytes`].
+
+use duet::core::{DuetConfig, DuetEstimator};
+use duet::data::datasets::census_like;
+use duet::query::{Query, WorkloadSpec};
+use duet::serve::sim::{run_scenario, ArrivalPattern, HarnessConfig, ScenarioConfig};
+use duet::serve::{DuetServer, ModelSlot, ServeConfig};
+use std::time::Duration;
+
+/// Train `n` small tables (distinct shapes and seeds) plus a query pool per
+/// table.
+fn trained_tables(n: usize) -> (Vec<(String, DuetEstimator)>, Vec<Vec<Query>>) {
+    let cfg = DuetConfig::small().with_epochs(1);
+    let mut tables = Vec::new();
+    let mut workloads = Vec::new();
+    for i in 0..n {
+        let table = census_like(200 + 60 * i, 80 + i as u64);
+        let estimator = DuetEstimator::train_data_only(&table, &cfg, 17 + i as u64);
+        let queries = WorkloadSpec::random(&table, 10, 200 + i as u64).generate(&table);
+        tables.push((format!("table-{i}"), estimator));
+        workloads.push(queries);
+    }
+    (tables, workloads)
+}
+
+/// A fresh subdirectory of the test-scoped target tmpdir (unique per test so
+/// parallel tests never share spill files).
+fn spill_dir(test: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn spilled_eviction_reloads_bit_identically() {
+    let table = census_like(300, 81);
+    let cfg = DuetConfig::small().with_epochs(1);
+    let est = DuetEstimator::train_data_only(&table, &cfg, 21);
+    let queries = WorkloadSpec::random(&table, 24, 7).generate(&table);
+    let expected = est.estimate_batch(&queries);
+    let weight_bytes = est.model().size_bytes();
+
+    let dir = spill_dir("spilled-evict-reload");
+    let slot = ModelSlot::new(est);
+    let freed = slot.evict(Some(&dir)).expect("spill to target tmpdir");
+    assert_eq!(freed, weight_bytes, "eviction frees exactly the resident weight bytes");
+    assert!(!slot.is_resident());
+    let spilled: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(spilled.len(), 1, "one checkpoint file per evicted model");
+
+    // The next access transparently reloads from the spilled checkpoint and
+    // must reproduce every estimate bit-for-bit.
+    let reloaded = slot.current();
+    assert!(slot.is_resident());
+    let after = reloaded.estimate_batch(&queries);
+    for (a, e) in after.iter().zip(expected.iter()) {
+        assert_eq!(a.to_bits(), e.to_bits(), "reloaded model must be bit-identical");
+    }
+    assert_eq!((slot.evictions(), slot.reloads()), (1, 1));
+    let remaining: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(remaining.is_empty(), "the spill file is discarded after a successful reload");
+}
+
+#[test]
+fn budget_pressure_scenario_serves_everything_and_replays_identically() {
+    let (tables, workloads) = trained_tables(3);
+    // A budget one byte below the resident total: the three models never fit
+    // together, so serving the cold tables keeps forcing evict/reload cycles.
+    let resident_total: usize = tables.iter().map(|(_, e)| e.model().size_bytes()).sum();
+    let cfg = ScenarioConfig {
+        seed: 91,
+        clients: 4,
+        requests_per_client: 40,
+        mean_gap: Duration::from_micros(100),
+        service_every: Duration::from_micros(300),
+        // Heavy skew: table 0 stays hot, tables 1/2 go cold and become the
+        // eviction victims until their next request reloads them.
+        pattern: ArrivalPattern::HotTable { hot_table: 0, hot_permille: 800 },
+        harness: HarnessConfig { model_budget_bytes: resident_total - 1, ..Default::default() },
+    };
+
+    let report = run_scenario(&tables, &workloads, &cfg);
+    assert_eq!(report.submitted, 4 * 40);
+    assert_eq!(report.served, report.submitted, "a tight budget must not drop requests");
+    assert_eq!(report.accounted(), report.submitted);
+    assert_eq!(report.mismatches, 0, "evict/reload cycles must never change an answer");
+    assert!(report.model_evictions > 0, "the budget must actually force evictions");
+    assert!(report.model_reloads > 0, "cold tables must reload when traffic returns");
+
+    // Replay equality: the tier's heat/victim policy is a pure function of
+    // the executed batch sequence, so the same seed reproduces the same
+    // eviction/reload counts (and everything else) exactly.
+    let replay = run_scenario(&tables, &workloads, &cfg);
+    assert_eq!(replay, report, "same seed must replay identical eviction behavior");
+}
+
+#[test]
+fn budget_pressure_with_a_different_seed_still_conserves_requests() {
+    let (tables, workloads) = trained_tables(3);
+    let resident_total: usize = tables.iter().map(|(_, e)| e.model().size_bytes()).sum();
+    // Budget fits two of the three models (generously), uniform traffic.
+    let max_model = tables.iter().map(|(_, e)| e.model().size_bytes()).max().unwrap();
+    let cfg = ScenarioConfig {
+        seed: 1234,
+        clients: 3,
+        requests_per_client: 30,
+        mean_gap: Duration::from_micros(120),
+        service_every: Duration::from_micros(250),
+        pattern: ArrivalPattern::Uniform,
+        harness: HarnessConfig {
+            model_budget_bytes: resident_total - max_model / 2,
+            ..Default::default()
+        },
+    };
+    let report = run_scenario(&tables, &workloads, &cfg);
+    assert_eq!(report.served, report.submitted);
+    assert_eq!(report.mismatches, 0);
+    assert!(report.model_evictions > 0);
+    assert_eq!(run_scenario(&tables, &workloads, &cfg), report);
+}
+
+#[test]
+fn server_with_model_budget_serves_correct_estimates_under_eviction() {
+    let (tables, workloads) = trained_tables(3);
+    let resident_total: usize = tables.iter().map(|(_, e)| e.model().size_bytes()).sum();
+    let expected: Vec<Vec<f64>> =
+        tables.iter().zip(&workloads).map(|((_, e), qs)| e.estimate_batch(qs)).collect();
+
+    let server = DuetServer::new(ServeConfig {
+        // Caching off so every request actually exercises the worker path
+        // (and with it the tier's eviction/reload machinery).
+        cache_capacity: 0,
+        model_budget_bytes: resident_total - 1,
+        ..ServeConfig::default()
+    });
+    server.set_model_spill_dir(spill_dir("server-budget"));
+    for (name, est) in &tables {
+        server.register(name.clone(), est.clone());
+    }
+
+    // Round-robin the tables a few times: each round re-warms models the
+    // previous rounds' traffic evicted.
+    for _ in 0..3 {
+        for (i, (name, _)) in tables.iter().enumerate() {
+            let got = server.estimate_many(name, &workloads[i]).expect("served under budget");
+            for (g, e) in got.iter().zip(expected[i].iter()) {
+                assert_eq!(g.to_bits(), e.to_bits(), "estimates must survive evict/reload");
+            }
+        }
+    }
+    let snapshot = server.metrics();
+    assert!(snapshot.model_evictions > 0, "the budget must force evictions");
+    assert!(snapshot.model_reloads > 0, "evicted models must reload on demand");
+}

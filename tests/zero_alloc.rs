@@ -3,7 +3,7 @@
 //! measured after warm-up — the steady-state serving hot loop must perform
 //! **zero** heap allocations (and zero frees).
 //!
-//! Seven phases: the raw batched estimation path (full and shrinking
+//! Eight phases: the raw batched estimation path (full and shrinking
 //! batches), the **routed multi-table hot loop** — admission into a
 //! bounded shard queue, same-table batch formation at dequeue, deadline
 //! triage, and per-table-workspace batch execution across two
@@ -21,10 +21,14 @@
 //! both MADE and ResMADE, through one reused `TrainStepScratch` — the
 //! **full training step**: forward + the gradient-ping-pong scratch
 //! backward (fused sparse first layer included) + the Adam update, again
-//! for both backbone variants — and the **wire hot loop**: protocol-frame
+//! for both backbone variants — the **wire hot loop**: protocol-frame
 //! decode, admission, batch execution, and response encode on a warmed
 //! simulated connection, with request structs recycled through the
-//! connection's outbox pool.
+//! connection's outbox pool — and the **budgeted-tier hot loop**: the
+//! routed loop again under a positive model-memory budget, so every batch
+//! additionally passes through the tier's heat accounting and budget check
+//! (`ModelTier::observe`/`enforce`), which must also be allocation-free
+//! while the directory fits the budget (no eviction fires).
 //!
 //! This lives in its own integration-test binary so the global allocator and
 //! the single-threaded measurement cannot interfere with other tests.
@@ -79,6 +83,7 @@ fn steady_state_batched_inference_is_allocation_free() {
     training_step_phase();
     full_train_step_phase();
     wire_phase();
+    budgeted_tier_phase();
 }
 
 fn full_batch_phase() {
@@ -155,6 +160,7 @@ fn routed_multi_table_phase() {
             batch: BatchConfig::default(),
             cache_capacity: 0,
             cache_shards: 1,
+            model_budget_bytes: 0,
         },
     );
 
@@ -331,6 +337,7 @@ fn wire_phase() {
             batch: BatchConfig::default(),
             cache_capacity: 0,
             cache_shards: 1,
+            model_budget_bytes: 0,
         },
         ConnConfig::default(),
         1,
@@ -377,6 +384,71 @@ fn wire_phase() {
     let frees = FREES.load(Ordering::Relaxed) - frees_before;
     assert_eq!(allocs, 0, "steady-state wire serving must not allocate");
     assert_eq!(frees, 0, "steady-state wire serving must not free");
+}
+
+fn budgeted_tier_phase() {
+    // The routed hot loop again, but with a positive model-memory budget:
+    // every executed batch now also runs the tier's heat accounting
+    // (`ModelTier::observe`) and the budget check (`ModelTier::enforce`'s
+    // resident-bytes sum). With a budget generous enough to keep both
+    // models resident, the added bookkeeping must not touch the heap —
+    // the heat vector grows once during warm-up and is reused forever.
+    let cfg = DuetConfig::small().with_epochs(1);
+    let table_a = census_like(300, 17);
+    let table_b = census_like(200, 19);
+    let est_a = DuetEstimator::train_data_only(&table_a, &cfg, 15);
+    let est_b = DuetEstimator::train_data_only(&table_b, &cfg, 16);
+    let queries_a = WorkloadSpec::random(&table_a, 8, 31).generate(&table_a);
+    let queries_b = WorkloadSpec::random(&table_b, 8, 32).generate(&table_b);
+
+    let mut harness = RouterHarness::new(
+        vec![("gamma".into(), est_a), ("delta".into(), est_b)],
+        HarnessConfig {
+            router: RouterConfig { num_shards: 2, queue_capacity: 64, default_deadline: None },
+            batch: BatchConfig::default(),
+            cache_capacity: 0,
+            cache_shards: 1,
+            // Generous: both models fit, so the tier observes and checks
+            // every batch but never has to evict.
+            model_budget_bytes: 1 << 40,
+        },
+    );
+
+    let mut stash: Vec<PreparedRequest> = Vec::new();
+    for i in 0..8 {
+        stash.push(harness.prepare(0, &queries_a[i], None));
+        stash.push(harness.prepare(1, &queries_b[i], None));
+    }
+    let mut returned: Vec<PreparedRequest> = Vec::with_capacity(stash.len());
+
+    let mut round = |stash: &mut Vec<PreparedRequest>, returned: &mut Vec<PreparedRequest>| {
+        for request in stash.drain(..) {
+            harness.submit_prepared(request).unwrap_or_else(|_| panic!("queue overflow"));
+        }
+        while harness.queue_depth() > 0 {
+            harness.turn_recycling(returned);
+        }
+        std::mem::swap(stash, returned);
+    };
+
+    for _ in 0..2 {
+        round(&mut stash, &mut returned);
+    }
+
+    let (allocs_before, frees_before) =
+        (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+    for _ in 0..10 {
+        round(&mut stash, &mut returned);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let frees = FREES.load(Ordering::Relaxed) - frees_before;
+
+    assert_eq!(allocs, 0, "budgeted-tier serving within budget must not allocate");
+    assert_eq!(frees, 0, "budgeted-tier serving within budget must not free");
+    let snapshot = harness.metrics_snapshot();
+    assert_eq!(snapshot.model_evictions, 0, "a generous budget must never evict");
+    assert_eq!(snapshot.model_reloads, 0);
+    assert!(harness.tier().heat_of(0) > 0 && harness.tier().heat_of(1) > 0);
 }
 
 fn pooled_large_batch_phase() {
