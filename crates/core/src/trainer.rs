@@ -57,23 +57,62 @@ pub struct TrainingWorkload<'a> {
 }
 
 /// Pre-processed query used by the supervised (Q-Error) loss: id-space
-/// predicates, per-column valid-id intervals, and the labelled cardinality.
+/// predicates, per-column valid-id intervals, the labelled cardinality, and
+/// a loss weight (1 for offline workload queries; serving feedback can
+/// up- or down-weight an observation).
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     pub(crate) preds: Vec<Vec<IdPredicate>>,
     pub(crate) intervals: Vec<(u32, u32)>,
     pub(crate) actual: f64,
+    pub(crate) weight: f64,
 }
 
 impl PreparedQuery {
     /// Translate `query` against `schema` once, so every training step that
     /// revisits it pays no re-encoding.
     pub fn prepare(schema: &Table, query: &Query, cardinality: u64) -> Self {
-        Self {
-            preds: query_to_id_predicates(schema, query),
-            intervals: query.column_intervals(schema),
-            actual: cardinality as f64,
-        }
+        Self::from_parts(
+            query_to_id_predicates(schema, query),
+            query.column_intervals(schema),
+            cardinality as f64,
+        )
+    }
+
+    /// Build a prepared query from already-encoded id-space parts.
+    ///
+    /// This is the serving feedback path: the front door encodes every
+    /// request into per-column [`IdPredicate`]s and valid-id intervals
+    /// before routing it, so when a client later reports the query's true
+    /// cardinality those encodings can feed the supervised loss directly —
+    /// no query text, no re-encoding against the schema.
+    pub fn from_parts(
+        preds: Vec<Vec<IdPredicate>>,
+        intervals: Vec<(u32, u32)>,
+        actual: f64,
+    ) -> Self {
+        Self { preds, intervals, actual, weight: 1.0 }
+    }
+
+    /// Scale this query's contribution to the supervised loss (and its
+    /// gradient) by `weight`. The per-batch loss is weight-normalized, so a
+    /// weight of 2 counts exactly like two copies of the observation —
+    /// how online feedback emphasizes freshly observed cardinalities over a
+    /// stale offline workload.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and non-negative");
+        self.weight = weight;
+        self
+    }
+
+    /// The labelled true cardinality.
+    pub fn actual(&self) -> f64 {
+        self.actual
+    }
+
+    /// The loss weight (1.0 unless set via [`PreparedQuery::with_weight`]).
+    pub fn weight(&self) -> f64 {
+        self.weight
     }
 }
 
@@ -384,11 +423,20 @@ where
     grad_logits.reset(logits.rows(), logits.cols());
     let mut loss_sum = 0.0f64;
     let mut q_sum = 0.0f64;
-    let scale = lambda / batch.len() as f64;
+    // Weight-normalized mean: with the default all-ones weights this is
+    // exactly the old `1 / batch.len()` scaling (the sum of `len` ones is
+    // the integer `len`, representable exactly), so unweighted training is
+    // bit-identical to the pre-weighting implementation.
+    let total_weight: f64 = batch.iter().map(|q| q.borrow().weight).sum();
+    if total_weight <= 0.0 {
+        return (0.0, 1.0);
+    }
+    let scale = lambda / total_weight;
     let ln2 = std::f64::consts::LN_2;
 
     for (r, q) in batch.iter().enumerate() {
         let pq = q.borrow();
+        let weight = pq.weight;
         let row = logits.row(r);
         // Per-column softmax, restricted mass and the product selectivity.
         // Only constrained columns are staged (flat probs + offset table).
@@ -423,8 +471,8 @@ where
             // The estimate is exactly zero and carries no useful gradient.
             let actual = pq.actual.max(1.0);
             let q = actual; // est clamps to 1
-            loss_sum += (q + 1.0).log2();
-            q_sum += q;
+            loss_sum += weight * (q + 1.0).log2();
+            q_sum += weight * q;
             continue;
         }
 
@@ -432,13 +480,14 @@ where
         let est = est_raw.max(1.0);
         let actual = pq.actual.max(1.0);
         let q = if est >= actual { est / actual } else { actual / est };
-        loss_sum += (q + 1.0).log2();
-        q_sum += q;
+        loss_sum += weight * (q + 1.0).log2();
+        q_sum += weight * q;
 
         // dL/dq, dq/d est, d est/d sel. When the estimate sits below the
         // 1-row clamp we still propagate the unclamped subgradient so badly
-        // underestimating queries keep producing a learning signal.
-        let dl_dq = 1.0 / ((q + 1.0) * ln2);
+        // underestimating queries keep producing a learning signal. The
+        // query's feedback weight scales the whole chain.
+        let dl_dq = weight / ((q + 1.0) * ln2);
         let dq_dest = if est >= actual { 1.0 / actual } else { -actual / (est * est) };
         let dest_dsel = num_rows;
         let dl_dsel = dl_dq * dq_dest * dest_dsel * scale;
@@ -456,7 +505,7 @@ where
         }
     }
 
-    (loss_sum / batch.len() as f64, q_sum / batch.len() as f64)
+    (loss_sum / total_weight, q_sum / total_weight)
 }
 
 /// Forward/backward for a supervised query batch, gradient-buffer backward
@@ -688,5 +737,68 @@ mod tests {
         let empty: Vec<PreparedQuery> = Vec::new();
         let neutral = query_forward(&mut model, &empty, table.num_rows() as f64, 0.1, &mut scratch);
         assert_eq!(neutral, (0.0, 1.0));
+    }
+
+    #[test]
+    fn from_parts_matches_prepare() {
+        let table = census_like(300, 27);
+        let query = WorkloadSpec::random(&table, 1, 9).generate(&table).remove(0);
+        let card = exact_cardinality(&table, &query);
+        let via_query = PreparedQuery::prepare(&table, &query, card);
+        let via_parts = PreparedQuery::from_parts(
+            query_to_id_predicates(&table, &query),
+            query.column_intervals(&table),
+            card as f64,
+        );
+        assert_eq!(via_query.preds, via_parts.preds);
+        assert_eq!(via_query.intervals, via_parts.intervals);
+        assert_eq!(via_query.actual, via_parts.actual);
+        assert_eq!(via_query.weight(), 1.0);
+        assert_eq!(via_parts.with_weight(3.0).weight(), 3.0);
+    }
+
+    #[test]
+    fn feedback_weight_counts_like_duplication() {
+        // A query with weight 2 must contribute to the weighted-mean loss and
+        // the staged gradient exactly like two unit-weight copies of itself.
+        let table = census_like(400, 28);
+        let cfg = DuetConfig::small();
+        let mut model = DuetModel::new(&table, &cfg, 6);
+        let queries = WorkloadSpec::in_workload(&table, 4, 17).generate(&table);
+        let prepared: Vec<PreparedQuery> = queries
+            .iter()
+            .map(|q| PreparedQuery::prepare(&table, q, exact_cardinality(&table, q)))
+            .collect();
+        let num_rows = table.num_rows() as f64;
+
+        // Weighted: [q0(w=2), q1, q2, q3].
+        let mut weighted = prepared.clone();
+        weighted[0] = weighted[0].clone().with_weight(2.0);
+        let mut scratch = TrainStepScratch::new();
+        let got = query_forward(&mut model, &weighted, num_rows, 0.1, &mut scratch);
+
+        // Duplicated: [q0, q0, q1, q2, q3].
+        let mut duplicated = vec![prepared[0].clone()];
+        duplicated.extend(prepared.iter().cloned());
+        let mut scratch_dup = TrainStepScratch::new();
+        let want = query_forward(&mut model, &duplicated, num_rows, 0.1, &mut scratch_dup);
+
+        assert!((got.0 - want.0).abs() < 1e-12, "loss {} vs {}", got.0, want.0);
+        assert!((got.1 - want.1).abs() < 1e-12, "q-error {} vs {}", got.1, want.1);
+        // The duplicated batch stages the copy's gradient on two rows; the
+        // weighted batch folds it into one. Summing per-logit over rows of
+        // the same query must agree.
+        let gw = scratch.grad_logits();
+        let gd = scratch_dup.grad_logits();
+        for c in 0..gw.cols() {
+            let w0 = gw.row(0)[c] as f64;
+            let d0 = gd.row(0)[c] as f64 + gd.row(1)[c] as f64;
+            assert!((w0 - d0).abs() < 1e-6, "gradient mismatch at col {c}: {w0} vs {d0}");
+        }
+
+        // Zero total weight degrades to the fold-neutral element.
+        let zeroed: Vec<PreparedQuery> =
+            prepared.iter().map(|q| q.clone().with_weight(0.0)).collect();
+        assert_eq!(query_forward(&mut model, &zeroed, num_rows, 0.1, &mut scratch), (0.0, 1.0));
     }
 }

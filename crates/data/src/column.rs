@@ -110,6 +110,21 @@ impl Column {
         self.dictionary.partition_point(|v| v <= value) as u32
     }
 
+    /// Append one row holding the value with dictionary id `id`.
+    ///
+    /// The dictionary is fixed at construction (value ids are
+    /// order-preserving indexes into it), so ingest can only append values
+    /// the dictionary already knows — which is exactly the invariant the
+    /// serving hot-swap relies on: a model retrained on the grown column
+    /// keeps the same encoder shapes and stays swap-compatible.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of dictionary range.
+    pub fn push_id(&mut self, id: u32) {
+        assert!((id as usize) < self.dictionary.len(), "value id out of dictionary range");
+        self.data.push(id);
+    }
+
     /// Per-distinct-value occurrence counts.
     pub fn value_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.ndv()];

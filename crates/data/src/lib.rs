@@ -21,6 +21,6 @@ pub mod table;
 pub mod value;
 
 pub use column::Column;
-pub use stats::{id_correlation, table_stats, ColumnStats};
+pub use stats::{histogram_distance, id_correlation, table_stats, ColumnStats};
 pub use table::{Table, TableBuilder};
 pub use value::{parse_value, Value};

@@ -43,6 +43,40 @@ impl ColumnStats {
         }
     }
 
+    /// Fold one newly ingested row's value id into the summary.
+    ///
+    /// The count histogram is bumped in place and the derived statistics
+    /// (entropy, top frequency) are recomputed from the counts — an
+    /// `O(ndv)` in-place sweep with no heap allocation, so a serving-side
+    /// drift monitor can keep live statistics current on the ingest path
+    /// without ever re-scanning the column.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the column's dictionary range.
+    pub fn observe(&mut self, id: u32) {
+        assert!((id as usize) < self.counts.len(), "value id out of dictionary range");
+        self.counts[id as usize] += 1;
+        self.refresh();
+    }
+
+    /// Recompute the derived statistics (entropy, top frequency) from the
+    /// count histogram, in place.
+    pub fn refresh(&mut self) {
+        let total: u64 = self.counts.iter().sum();
+        let mut entropy = 0.0f64;
+        let mut top = 0u64;
+        for &c in &self.counts {
+            if c == 0 {
+                continue;
+            }
+            top = top.max(c);
+            let p = c as f64 / total.max(1) as f64;
+            entropy -= p * p.log2();
+        }
+        self.entropy_bits = entropy;
+        self.top_frequency = top as f64 / total.max(1) as f64;
+    }
+
     /// Marginal selectivity of `value id == id`.
     pub fn eq_selectivity(&self, id: u32) -> f64 {
         let total: u64 = self.counts.iter().sum();
@@ -70,6 +104,40 @@ impl ColumnStats {
 /// Statistics for every column of a table.
 pub fn table_stats(table: &Table) -> Vec<ColumnStats> {
     table.columns().iter().map(ColumnStats::of).collect()
+}
+
+/// Total-variation distance between two columns' value distributions, in
+/// `[0, 1]`.
+///
+/// Each count histogram is normalized to a probability distribution and the
+/// distance is `½·Σ|p_i − q_i|` — exactly the largest probability mass by
+/// which the two distributions can disagree on any set of values. This is
+/// the drift signal of the serving layer's online monitor: identical
+/// histograms are at distance 0, and moving a fraction `m` of the rows to
+/// different values moves the distance by exactly `m`, so a threshold is
+/// directly interpretable as "this share of the data shifted".
+///
+/// Histograms of different lengths are compared as if the shorter were
+/// zero-padded (a dictionary never shrinks, so the longer histogram is the
+/// newer one). Degenerate cases are total, not panics: two empty (zero-row)
+/// histograms are at distance 0, and an empty histogram is at distance 1
+/// from any non-empty one. The function allocates nothing.
+pub fn histogram_distance(a: &ColumnStats, b: &ColumnStats) -> f64 {
+    let total_a: u64 = a.counts.iter().sum();
+    let total_b: u64 = b.counts.iter().sum();
+    match (total_a, total_b) {
+        (0, 0) => return 0.0,
+        (0, _) | (_, 0) => return 1.0,
+        _ => {}
+    }
+    let (total_a, total_b) = (total_a as f64, total_b as f64);
+    let mut sum = 0.0;
+    for i in 0..a.counts.len().max(b.counts.len()) {
+        let pa = a.counts.get(i).copied().unwrap_or(0) as f64 / total_a;
+        let pb = b.counts.get(i).copied().unwrap_or(0) as f64 / total_b;
+        sum += (pa - pb).abs();
+    }
+    0.5 * sum
 }
 
 /// Pearson correlation between the value ids of two columns.
@@ -154,5 +222,120 @@ mod tests {
         let c = col("c", &[1, 2, 3, 4]);
         let s = ColumnStats::of(&c);
         assert!((s.entropy_bits - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observe_matches_full_recompute() {
+        let mut column = col("c", &[1, 1, 2, 3, 3, 3]);
+        let mut incremental = ColumnStats::of(&column);
+        for id in [0u32, 2, 2, 1] {
+            column.push_id(id);
+            incremental.observe(id);
+            let full = ColumnStats::of(&column);
+            assert_eq!(incremental.counts, full.counts);
+            assert!((incremental.entropy_bits - full.entropy_bits).abs() < 1e-12);
+            assert!((incremental.top_frequency - full.top_frequency).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "value id out of dictionary range")]
+    fn observe_rejects_unknown_ids() {
+        let mut s = ColumnStats::of(&col("c", &[1, 2]));
+        s.observe(7);
+    }
+
+    fn stats_of_counts(counts: Vec<u64>) -> ColumnStats {
+        let mut s = ColumnStats {
+            name: "h".to_string(),
+            ndv: counts.len(),
+            counts,
+            entropy_bits: 0.0,
+            top_frequency: 0.0,
+        };
+        s.refresh();
+        s
+    }
+
+    #[test]
+    fn distance_edge_cases_are_total() {
+        // Empty vs empty, empty vs non-empty, one-row vs one-row, and
+        // histograms of different bin counts all produce finite values in
+        // [0, 1] — the "stable under bin-count edge cases" guarantee.
+        let empty = stats_of_counts(vec![0, 0, 0]);
+        let zero_bins = stats_of_counts(Vec::new());
+        let one_row = stats_of_counts(vec![0, 1]);
+        assert_eq!(histogram_distance(&empty, &empty), 0.0);
+        assert_eq!(histogram_distance(&empty, &zero_bins), 0.0);
+        assert_eq!(histogram_distance(&empty, &one_row), 1.0);
+        assert_eq!(histogram_distance(&one_row, &empty), 1.0);
+        assert_eq!(histogram_distance(&one_row, &one_row), 0.0);
+        // Same distribution expressed over more bins (zero padding).
+        let padded = stats_of_counts(vec![0, 1, 0, 0]);
+        assert_eq!(histogram_distance(&one_row, &padded), 0.0);
+        // Disjoint one-row histograms are maximally distant.
+        let other_row = stats_of_counts(vec![1, 0]);
+        assert_eq!(histogram_distance(&one_row, &other_row), 1.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// A histogram is at distance zero from itself (and from a copy
+            /// scaled by a constant factor — normalization removes totals).
+            #[test]
+            fn distance_is_zero_on_identical_histograms(
+                counts in prop::collection::vec(0u64..50, 1..12),
+                scale in 1u64..5,
+            ) {
+                let a = stats_of_counts(counts.clone());
+                prop_assert_eq!(histogram_distance(&a, &a), 0.0);
+                let scaled = stats_of_counts(counts.iter().map(|&c| c * scale).collect());
+                prop_assert!(histogram_distance(&a, &scaled).abs() < 1e-12);
+            }
+
+            /// Distance is symmetric and bounded in [0, 1], whatever the bin
+            /// counts (including empty histograms and mismatched lengths).
+            #[test]
+            fn distance_is_symmetric_and_bounded(
+                a in prop::collection::vec(0u64..50, 0..12),
+                b in prop::collection::vec(0u64..50, 0..12),
+            ) {
+                let (a, b) = (stats_of_counts(a), stats_of_counts(b));
+                let ab = histogram_distance(&a, &b);
+                let ba = histogram_distance(&b, &a);
+                prop_assert_eq!(ab, ba);
+                prop_assert!((0.0..=1.0).contains(&ab), "distance {} out of range", ab);
+            }
+
+            /// Moving ever more mass from one bin to another moves the
+            /// distance from the original monotonically upward.
+            #[test]
+            fn distance_is_monotone_under_increasing_mass_shift(
+                counts in prop::collection::vec(1u64..20, 2..10),
+                from_choice in 0usize..10,
+                to_choice in 0usize..10,
+            ) {
+                let from = from_choice % counts.len();
+                let to = (from + 1 + to_choice % (counts.len() - 1)) % counts.len();
+                let baseline = stats_of_counts(counts.clone());
+                let mut previous = 0.0;
+                for moved in 0..=counts[from] {
+                    let mut shifted = counts.clone();
+                    shifted[from] -= moved;
+                    shifted[to] += moved;
+                    let d = histogram_distance(&baseline, &stats_of_counts(shifted));
+                    prop_assert!(
+                        d >= previous - 1e-12,
+                        "distance decreased: {} after {}", d, previous
+                    );
+                    previous = d;
+                }
+            }
+        }
     }
 }

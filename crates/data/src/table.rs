@@ -97,6 +97,24 @@ impl Table {
         Table::new(self.name.clone(), columns)
     }
 
+    /// Append one row given as per-column value ids (the ingest path of
+    /// online learning).
+    ///
+    /// Ids must address each column's **existing** dictionary — appending
+    /// never introduces new distinct values, so the table's schema (and with
+    /// it every trained model's encoder shape) is unchanged by ingest.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the column count or an id is
+    /// out of its column's dictionary range.
+    pub fn append_row_ids(&mut self, ids: &[u32]) {
+        assert_eq!(ids.len(), self.columns.len(), "row width mismatch");
+        for (column, &id) in self.columns.iter_mut().zip(ids) {
+            column.push_id(id);
+        }
+        self.num_rows += 1;
+    }
+
     /// Total number of cells (rows × columns).
     pub fn num_cells(&self) -> usize {
         self.num_rows * self.columns.len()

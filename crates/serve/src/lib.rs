@@ -29,6 +29,12 @@
 //!   budget with LFU-aged eviction of cold models to checkpoint bytes (in
 //!   memory or spilled to disk) and transparent, bit-identical lazy reload
 //!   on the next request;
+//! * [`online`] — the **online-learning loop**: row ingest with incremental
+//!   per-column statistics, histogram-distance drift detection with
+//!   hysteresis, true-cardinality query feedback, and a background trainer
+//!   that retrains from the serving weights and publishes through the
+//!   hot-swap + hot-set-replay path — drift → retrain → swap, with zero
+//!   downtime;
 //! * [`server`] — [`DuetServer`], the blocking, `Sync` front door tying the
 //!   pieces together;
 //! * [`sim`] — a **deterministic serving test harness**: a virtual-clock,
@@ -76,6 +82,7 @@
 pub mod batcher;
 pub mod cache;
 pub mod metrics;
+pub mod online;
 pub mod registry;
 pub mod router;
 pub mod server;
@@ -88,6 +95,10 @@ pub use cache::{
     canonical_key, canonical_key_from_parts, CacheKey, HotQuery, HotSet, ShardedCache,
 };
 pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use online::{
+    DriftMonitor, FeedbackError, IngestError, OnlineConfig, OnlineDirectory, OnlineHooks,
+    OnlineTable, OnlineTickReport, OnlineTrainerHandle,
+};
 pub use registry::{ModelRegistry, ModelSlot, ReloadError, SwapError};
 pub use router::{shard_for, Clock, Router, RouterConfig, ShedReason, SystemClock, VirtualClock};
 pub use server::{DuetServer, ServeConfig, ServeError};

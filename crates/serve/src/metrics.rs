@@ -53,6 +53,16 @@ pub struct ServeMetrics {
     /// Histogram of per-connection in-flight request counts, sampled at
     /// each admission (same bucket bounds as the batch histogram).
     pipeline_hist: [AtomicU64; BATCH_BUCKETS.len() + 1],
+    /// Rows appended through the online ingest path.
+    ingested_rows: AtomicU64,
+    /// Trainer ticks on which drift was confirmed (threshold + hysteresis).
+    drift_detections: AtomicU64,
+    /// Online retrains started (drift- or feedback-triggered).
+    retrains: AtomicU64,
+    /// Retrained models published through the hot-swap path.
+    swaps_published: AtomicU64,
+    /// Feedback observations rejected (stale slot uid or invalid value).
+    feedback_rejected: AtomicU64,
     /// Ring of recent latencies in nanoseconds; `latency_cursor` counts
     /// total records and indexes the ring modulo [`LATENCY_WINDOW`].
     latencies_ns: Vec<AtomicU64>,
@@ -80,6 +90,11 @@ impl ServeMetrics {
             frames_out: AtomicU64::new(0),
             wire_decode_errors: AtomicU64::new(0),
             pipeline_hist: Default::default(),
+            ingested_rows: AtomicU64::new(0),
+            drift_detections: AtomicU64::new(0),
+            retrains: AtomicU64::new(0),
+            swaps_published: AtomicU64::new(0),
+            feedback_rejected: AtomicU64::new(0),
             latencies_ns: (0..LATENCY_WINDOW).map(|_| AtomicU64::new(0)).collect(),
             latency_cursor: AtomicU64::new(0),
         }
@@ -165,6 +180,32 @@ impl ServeMetrics {
         self.pipeline_hist[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one row appended through the online ingest path.
+    pub fn record_ingested_row(&self) {
+        self.ingested_rows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one trainer tick on which drift was confirmed.
+    pub fn record_drift_detection(&self) {
+        self.drift_detections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one online retrain (drift- or feedback-triggered).
+    pub fn record_retrain(&self) {
+        self.retrains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retrained model published through the hot-swap path.
+    pub fn record_swap_published(&self) {
+        self.swaps_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one rejected feedback observation (stale slot uid or invalid
+    /// cardinality).
+    pub fn record_feedback_rejected(&self) {
+        self.feedback_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Requests rejected at admission so far.
     pub fn shed_overload(&self) -> u64 {
         self.shed_overload.load(Ordering::Relaxed)
@@ -235,6 +276,11 @@ impl ServeMetrics {
             frames_out: self.frames_out.load(Ordering::Relaxed),
             wire_decode_errors: self.wire_decode_errors.load(Ordering::Relaxed),
             pipeline_depth_histogram: pipeline_histogram,
+            ingested_rows: self.ingested_rows.load(Ordering::Relaxed),
+            drift_detections: self.drift_detections.load(Ordering::Relaxed),
+            retrains: self.retrains.load(Ordering::Relaxed),
+            swaps_published: self.swaps_published.load(Ordering::Relaxed),
+            feedback_rejected: self.feedback_rejected.load(Ordering::Relaxed),
             queue_depth,
             cache_hits,
             cache_misses,
@@ -309,6 +355,18 @@ pub struct MetricsSnapshot {
     /// `(bucket upper bound, samples)` histogram of per-connection in-flight
     /// request counts at admission; the `usize::MAX` bucket is open-ended.
     pub pipeline_depth_histogram: Vec<(usize, u64)>,
+    /// Rows appended through the online ingest path.
+    pub ingested_rows: u64,
+    /// Trainer ticks on which drift was confirmed (threshold + hysteresis;
+    /// see [`crate::online::DriftMonitor`]).
+    pub drift_detections: u64,
+    /// Online retrains started (drift- or feedback-triggered).
+    pub retrains: u64,
+    /// Retrained models published through the hot-swap path.
+    pub swaps_published: u64,
+    /// Feedback observations rejected (stale slot uid or invalid
+    /// cardinality).
+    pub feedback_rejected: u64,
     /// Requests queued across all shards at snapshot time.
     pub queue_depth: usize,
     /// Result-cache hits across all tables.
@@ -326,7 +384,8 @@ impl std::fmt::Display for MetricsSnapshot {
             "requests={} qps={:.0} p50={:.1}us p99={:.1}us batches={} mean_batch={:.2} \
              shed_overload={} shed_deadline={} shed_stale={} steals={} evictions={} reloads={} \
              queue_depth={} cache_hit_rate={:.1}% \
-             conns={} frames_in={} frames_out={} decode_errors={}",
+             conns={} frames_in={} frames_out={} decode_errors={} \
+             ingested={} drifts={} retrains={} swaps={} feedback_rejected={}",
             self.requests,
             self.qps,
             self.p50_latency_us,
@@ -344,7 +403,12 @@ impl std::fmt::Display for MetricsSnapshot {
             self.open_conns,
             self.frames_in,
             self.frames_out,
-            self.wire_decode_errors
+            self.wire_decode_errors,
+            self.ingested_rows,
+            self.drift_detections,
+            self.retrains,
+            self.swaps_published,
+            self.feedback_rejected
         )
     }
 }

@@ -19,12 +19,17 @@
 use crate::batcher::{run_shard_worker, BatchConfig};
 use crate::cache::{canonical_key_from_parts, HotSet, ShardedCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::online::{
+    FeedbackError, OnlineConfig, OnlineDirectory, OnlineHooks, OnlineTable, OnlineTickReport,
+    OnlineTrainerHandle,
+};
 use crate::registry::{ModelRegistry, ModelSlot, SwapError};
 use crate::router::{
     Clock, ReplyTo, RoutedRequest, Router, RouterConfig, ShedReason, SystemClock, TableResources,
 };
 use crate::tier::ModelTier;
 use duet_core::{query_to_id_predicates, DuetEstimator};
+use duet_data::Table;
 use duet_query::Query;
 use std::collections::HashMap;
 use std::sync::mpsc;
@@ -97,6 +102,15 @@ pub enum ServeError {
     ModelUnavailable(String),
     /// A model swap failed; the previous model keeps serving.
     Swap(SwapError),
+    /// An online ingest or feedback payload was refused: the table is not
+    /// online-enabled, the row was invalid (wrong width or unknown value
+    /// id), or the feedback's cardinality was not usable.
+    Rejected {
+        /// Table the payload addressed.
+        table: String,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -121,6 +135,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "model for table {t:?} could not be reloaded")
             }
             ServeError::Swap(e) => write!(f, "{e}"),
+            ServeError::Rejected { table, reason } => {
+                write!(f, "online payload for table {table:?} rejected: {reason}")
+            }
         }
     }
 }
@@ -173,6 +190,9 @@ pub struct DuetServer {
     clock: Arc<dyn Clock>,
     /// Model-memory budgeting, shared with every shard worker.
     tier: Arc<ModelTier>,
+    /// Online-learning state of online-enabled tables, shared with the wire
+    /// acceptors and any background trainer.
+    online: Arc<OnlineDirectory>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -217,6 +237,7 @@ impl DuetServer {
             metrics,
             clock,
             tier,
+            online: Arc::new(OnlineDirectory::new()),
             workers: Mutex::new(workers),
         }
     }
@@ -437,20 +458,115 @@ impl DuetServer {
 
     /// Re-estimate `handle`'s hot set under its current model and seed the
     /// cache with the results (one batched forward pass; swap-frequency
-    /// work, so the throwaway workspace is fine).
+    /// work). Shared with the online trainer's publish path.
     fn replay_hot_keys(handle: &TableHandle) {
-        let hot = handle.hot.snapshot();
-        if hot.is_empty() {
-            return;
+        crate::online::replay_hot_keys(&handle.slot, &handle.cache, &handle.hot);
+    }
+
+    /// Enable online learning for `table`: ingest, drift detection against
+    /// `data`'s statistics (which must be the table the serving model was
+    /// trained on — its dictionaries define the valid ingest domain), query
+    /// feedback, and drift-triggered retraining published through the
+    /// hot-swap path. Replaces any previous online state for the table.
+    ///
+    /// Drive the loop either synchronously with
+    /// [`DuetServer::maintain_online`] or from a background thread via
+    /// [`DuetServer::spawn_online_trainer`].
+    pub fn enable_online(
+        &self,
+        table: &str,
+        data: Table,
+        config: OnlineConfig,
+    ) -> Result<(), ServeError> {
+        let handle = self.handle(table)?;
+        let schema_columns = handle.slot.current().schema().num_columns();
+        if data.num_columns() != schema_columns {
+            return Err(ServeError::Rejected {
+                table: table.to_string(),
+                reason: format!(
+                    "online table has {} columns, serving schema has {schema_columns}",
+                    data.num_columns()
+                ),
+            });
         }
-        let (generation, estimator) = handle.slot.current_versioned();
-        let epoch = handle.cache.epoch();
-        let mut ws = duet_core::DuetWorkspace::new();
-        let mut values = Vec::with_capacity(hot.len());
-        estimator.estimate_encoded_batch_with(&hot, &hot, &mut ws, &mut values);
-        for (query, &value) in hot.iter().zip(values.iter()) {
-            handle.cache.insert_tagged(query.key.with_generation(generation), value, epoch);
-        }
+        let hooks = OnlineHooks {
+            slot: handle.slot.clone(),
+            cache: handle.cache.clone(),
+            hot: handle.hot.clone(),
+            tier: self.tier.clone(),
+            metrics: self.metrics.clone(),
+            table_id: handle.id as usize,
+        };
+        self.online.enable(handle.id as usize, OnlineTable::new(data, config, hooks));
+        Ok(())
+    }
+
+    /// Append one dictionary-encoded row to `table`'s online state; returns
+    /// the table's new row count. Fails with [`ServeError::Rejected`] when
+    /// the table is not online-enabled or the row is invalid.
+    pub fn ingest(&self, table: &str, ids: &[u32]) -> Result<u64, ServeError> {
+        let handle = self.handle(table)?;
+        let online = self.online_state(table, &handle)?;
+        let mut online = online.lock().expect("online table poisoned");
+        online
+            .ingest_row(ids)
+            .map_err(|e| ServeError::Rejected { table: table.to_string(), reason: e.to_string() })
+    }
+
+    /// Report the observed true cardinality of `query` against `table`,
+    /// feeding the query-driven half of the next online retrain.
+    ///
+    /// The feedback is stamped with the uid of the slot currently registered
+    /// under `table`; if the table was re-registered since online learning
+    /// was enabled, the stamp is stale and the call fails with
+    /// [`ServeError::StaleRegistration`] (re-enable online learning against
+    /// the new registration).
+    pub fn feedback(&self, table: &str, query: &Query, actual: f64) -> Result<(), ServeError> {
+        let handle = self.handle(table)?;
+        let online = self.online_state(table, &handle)?;
+        let estimator = handle
+            .slot
+            .try_current()
+            .map_err(|_| ServeError::ModelUnavailable(table.to_string()))?;
+        let schema = estimator.schema();
+        let preds = query_to_id_predicates(schema, query);
+        let intervals = query.column_intervals(schema);
+        let mut online = online.lock().expect("online table poisoned");
+        online.push_feedback(handle.slot.uid(), preds, intervals, actual).map_err(|e| match e {
+            FeedbackError::StaleSlot { .. } => ServeError::StaleRegistration(table.to_string()),
+            FeedbackError::InvalidCardinality => {
+                ServeError::Rejected { table: table.to_string(), reason: e.to_string() }
+            }
+        })
+    }
+
+    /// Run one trainer tick for `table` synchronously: check drift and, if
+    /// triggered, retrain and publish. Returns what the tick did.
+    pub fn maintain_online(&self, table: &str) -> Result<OnlineTickReport, ServeError> {
+        let handle = self.handle(table)?;
+        let online = self.online_state(table, &handle)?;
+        let report = online.lock().expect("online table poisoned").tick();
+        Ok(report)
+    }
+
+    /// Spawn a background trainer thread ticking every online-enabled table
+    /// each `interval`. The returned handle stops and joins the thread on
+    /// [`OnlineTrainerHandle::shutdown`] or drop; the server can outlive it
+    /// or vice versa (the thread holds its own `Arc`s).
+    pub fn spawn_online_trainer(&self, interval: std::time::Duration) -> OnlineTrainerHandle {
+        OnlineTrainerHandle::spawn(self.online.clone(), interval)
+    }
+
+    /// Resolve `table`'s online state or explain why it has none.
+    fn online_state(
+        &self,
+        table: &str,
+        handle: &TableHandle,
+    ) -> Result<Arc<Mutex<OnlineTable>>, ServeError> {
+        self.online.get(handle.id as usize).ok_or_else(|| ServeError::Rejected {
+            table: table.to_string(),
+            reason: "online learning is not enabled for this table".to_string(),
+        })
     }
 
     /// The swap generation of `table`'s model (0 until the first swap).
@@ -506,6 +622,7 @@ impl DuetServer {
             crate::wire::listener::WireShared {
                 router: self.router.clone(),
                 directory: self.directory.clone(),
+                online: self.online.clone(),
                 clock: self.clock.clone(),
                 metrics: self.metrics.clone(),
             },

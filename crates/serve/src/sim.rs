@@ -23,8 +23,9 @@
 //! whose equality across runs *is* the determinism assertion.
 
 use crate::batcher::{BatchConfig, ShardWorker};
-use crate::cache::{canonical_key_from_parts, ShardedCache};
+use crate::cache::{canonical_key_from_parts, HotSet, ShardedCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::online::{OnlineConfig, OnlineDirectory, OnlineHooks, OnlineTable, OnlineTickReport};
 use crate::registry::ModelSlot;
 use crate::router::{
     shard_for, Clock, ReplyTo, RoutedRequest, Router, RouterConfig, ShedReason, TableResources,
@@ -34,10 +35,11 @@ use crate::tier::ModelTier;
 use crate::wire::conn::{ConnConfig, WireConn};
 use crate::wire::frame::{self, DecodeError, FrameView, Status};
 use duet_core::{query_to_id_predicates, DuetEstimator};
-use duet_query::{CardinalityEstimator, Query};
+use duet_data::Table;
+use duet_query::{exact_cardinality, CardinalityEstimator, Query};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Configuration of a [`RouterHarness`] (a [`crate::ServeConfig`] minus the
@@ -116,6 +118,13 @@ pub struct RouterHarness {
     directory: Vec<TableResources>,
     /// Shard each table id routes to (precomputed from the table names).
     table_shard: Vec<usize>,
+    /// Per-table hot-query trackers (capacity 0 — disabled — until
+    /// [`RouterHarness::enable_hot_set`]).
+    hot: Vec<Arc<HotSet>>,
+    /// Online-learning state for tables with
+    /// [`RouterHarness::enable_online`] called; shared with the simulated
+    /// wire connections' ingest/feedback handlers.
+    online: Arc<OnlineDirectory>,
     metrics: Arc<ServeMetrics>,
     tier: Arc<ModelTier>,
     outcomes: Vec<(u64, Result<f64, ShedReason>)>,
@@ -141,17 +150,64 @@ impl RouterHarness {
                 cache: Arc::new(ShardedCache::new(config.cache_capacity, config.cache_shards)),
             });
         }
+        let hot = directory.iter().map(|_| Arc::new(HotSet::new(0))).collect();
         Self {
             clock,
             router,
             workers: (0..num_shards).map(|_| ShardWorker::new()).collect(),
             directory,
             table_shard,
+            hot,
+            online: Arc::new(OnlineDirectory::new()),
             metrics,
             tier: Arc::new(ModelTier::new(config.model_budget_bytes)),
             outcomes: Vec::new(),
             config,
         }
+    }
+
+    /// Track up to `capacity` hot queries for `table` (replayed into the
+    /// cache after an online publish, exactly as the production server
+    /// does after a hot-swap).
+    pub fn enable_hot_set(&mut self, table: usize, capacity: usize) {
+        self.hot[table] = Arc::new(HotSet::new(capacity));
+    }
+
+    /// Enable the online-learning loop for `table`: `data` is the table the
+    /// serving model was trained on (ingest appends to it; it is also the
+    /// retrain substrate). Returns the shared state so the driver can
+    /// ingest, feed back, and tick directly.
+    pub fn enable_online(
+        &mut self,
+        table: usize,
+        data: Table,
+        cfg: OnlineConfig,
+    ) -> Arc<Mutex<OnlineTable>> {
+        let resources = &self.directory[table];
+        let hooks = OnlineHooks {
+            slot: resources.slot.clone(),
+            cache: resources.cache.clone(),
+            hot: self.hot[table].clone(),
+            tier: self.tier.clone(),
+            metrics: self.metrics.clone(),
+            table_id: table,
+        };
+        self.online.enable(table, OnlineTable::new(data, cfg, hooks))
+    }
+
+    /// The online-learning directory (shared with simulated wire
+    /// connections).
+    pub fn online(&self) -> &Arc<OnlineDirectory> {
+        &self.online
+    }
+
+    /// Run one trainer tick on `table`'s online state.
+    ///
+    /// Panics if online learning was not enabled for `table`.
+    pub fn online_tick(&self, table: usize) -> OnlineTickReport {
+        let state = self.online.get(table).expect("online learning not enabled for table");
+        let report = state.lock().expect("online table poisoned").tick();
+        report
     }
 
     /// The model-memory tier enforcing
@@ -244,6 +300,10 @@ impl RouterHarness {
     pub fn submit_query(&mut self, table: usize, query: &Query, ticket: u64) -> SubmitResult {
         let request = self.prepare(table, query, Some(ticket));
         if let Some(key) = &request.0.key {
+            // Popularity is observed on every cacheable request — hit or
+            // miss — mirroring the production submit path, so the hot set
+            // reflects what clients actually ask.
+            self.hot[table].observe(key, &request.0.preds, &request.0.intervals);
             if let Some(value) = self.directory[table].cache.get(key) {
                 return SubmitResult::Cached(value);
             }
@@ -420,6 +480,21 @@ pub struct ScenarioReport {
     pub model_evictions: u64,
     /// Evicted models lazily reloaded on a later request.
     pub model_reloads: u64,
+    /// Rows ingested through the online path (0 without online learning).
+    pub ingested_rows: u64,
+    /// Drift confirmations (threshold + hysteresis) across all trainer
+    /// ticks.
+    pub drift_detections: u64,
+    /// Online retrains that ran.
+    pub retrains: u64,
+    /// Retrained models published through the hot-swap path.
+    pub swaps_published: u64,
+    /// Feedback entries rejected (stale slot uid or invalid cardinality).
+    pub feedback_rejected: u64,
+    /// Requests served after the first online publish.
+    pub post_swap_served: u64,
+    /// Hot-set entries replayed into the cache by online publishes.
+    pub hot_replayed: u64,
 }
 
 impl ScenarioReport {
@@ -427,6 +502,18 @@ impl ScenarioReport {
     /// must be accounted for exactly once.
     pub fn accounted(&self) -> u64 {
         self.served + self.shed_overload + self.shed_deadline
+    }
+
+    /// Copy the harness-metric counters into the report.
+    fn fold_metrics(&mut self, snapshot: &MetricsSnapshot) {
+        self.batches = snapshot.batches;
+        self.model_evictions = snapshot.model_evictions;
+        self.model_reloads = snapshot.model_reloads;
+        self.ingested_rows = snapshot.ingested_rows;
+        self.drift_detections = snapshot.drift_detections;
+        self.retrains = snapshot.retrains;
+        self.swaps_published = snapshot.swaps_published;
+        self.feedback_rejected = snapshot.feedback_rejected;
     }
 }
 
@@ -584,10 +671,7 @@ pub fn run_scenario(
             }
         }
     }
-    let snapshot = harness.metrics_snapshot();
-    report.batches = snapshot.batches;
-    report.model_evictions = snapshot.model_evictions;
-    report.model_reloads = snapshot.model_reloads;
+    report.fold_metrics(&harness.metrics_snapshot());
     report
 }
 
@@ -676,6 +760,7 @@ impl WireSim {
         self.conns[conn].pump(
             &self.harness.router,
             &self.harness.directory,
+            &self.harness.online,
             self.harness.clock.as_ref(),
             &self.harness.metrics,
         )
@@ -867,6 +952,9 @@ pub fn run_wire_scenario(
                     Status::UnknownTable => {
                         unreachable!("scripted clients only address registered tables")
                     }
+                    Status::Rejected => {
+                        unreachable!("scripted clients send no ingest or feedback frames")
+                    }
                 }
             }
             pos += consumed;
@@ -962,9 +1050,181 @@ pub fn run_wire_scenario(
         assert!(idle_turns < 1000, "wire drain stalled: a request produced no response");
     }
 
-    let snapshot = sim.harness().metrics_snapshot();
-    report.batches = snapshot.batches;
-    report.model_evictions = snapshot.model_evictions;
-    report.model_reloads = snapshot.model_reloads;
+    report.fold_metrics(&sim.harness().metrics_snapshot());
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Drift scenario: train-while-serving under the virtual clock.
+// ---------------------------------------------------------------------------
+
+/// A seeded train-while-serving replay: warm traffic over one table, a
+/// mid-run distribution shift injected through the online ingest path,
+/// trainer ticks and query feedback on fixed cadences, then post-shift
+/// traffic — the whole drift → retrain → hot-swap sequence as one scripted
+/// scenario.
+#[derive(Debug, Clone)]
+pub struct DriftScenarioConfig {
+    /// Seed of the scenario script (query picks + skewed-row generation).
+    /// Same seed ⇒ identical [`ScenarioReport`].
+    pub seed: u64,
+    /// Queries served before the shift (builds the hot set and the cache).
+    pub warm_queries: usize,
+    /// Skewed rows ingested at the shift: every column's value is drawn
+    /// from the top eighth of its dictionary, moving histogram mass the
+    /// drift monitor must notice.
+    pub shift_rows: usize,
+    /// Queries served after the shift (the trainer runs during this phase).
+    pub post_queries: usize,
+    /// Trainer-tick cadence: one [`OnlineTable::tick`] every this many
+    /// post-shift queries (0 disables ticking — the drift is never acted
+    /// on).
+    pub tick_every: usize,
+    /// Feedback cadence: every this many post-shift queries, the true
+    /// cardinality of the query just served is pushed back (0 disables
+    /// feedback).
+    pub feedback_every: usize,
+    /// Hot-set capacity (hottest keys replayed into the cache after an
+    /// online publish).
+    pub hot_keys: usize,
+    /// Online-learning tuning (threshold, hysteresis, retrain budget).
+    pub online: OnlineConfig,
+    /// Router/batch/cache configuration.
+    pub harness: HarnessConfig,
+}
+
+impl Default for DriftScenarioConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            warm_queries: 64,
+            shift_rows: 512,
+            post_queries: 64,
+            tick_every: 8,
+            feedback_every: 4,
+            hot_keys: 16,
+            online: OnlineConfig::default(),
+            harness: HarnessConfig { cache_capacity: 256, ..HarnessConfig::default() },
+        }
+    }
+}
+
+/// Replay a seeded drift scenario: serve `workload` over a model trained on
+/// `table`, inject a skewed ingest burst mid-run, and let the online
+/// trainer detect the drift, retrain, and publish through the hot-swap +
+/// hot-set-replay path — all under the virtual clock, so replaying the same
+/// inputs twice produces an identical [`ScenarioReport`] (generation bumps,
+/// retrain counts, and post-swap serving included). That equality is the
+/// online loop's determinism assertion.
+pub fn run_drift_scenario(
+    table: &Table,
+    estimator: &DuetEstimator,
+    workload: &[Query],
+    cfg: &DriftScenarioConfig,
+) -> ScenarioReport {
+    assert!(!workload.is_empty(), "need a workload to replay");
+    let mut harness =
+        RouterHarness::new(vec![("drift".to_string(), estimator.clone())], cfg.harness);
+    harness.enable_hot_set(0, cfg.hot_keys);
+    let online = harness.enable_online(0, table.clone(), cfg.online);
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x44_52_49_46); // "DRIF"
+    let mut report = ScenarioReport {
+        per_table_submitted: vec![0; 1],
+        per_table_served: vec![0; 1],
+        per_table_shed: vec![0; 1],
+        ..ScenarioReport::default()
+    };
+    // ticket -> whether it was submitted after the first publish.
+    let mut post_swap_ticket: Vec<bool> = Vec::new();
+    let mut swapped = false;
+
+    let total = cfg.warm_queries + cfg.post_queries;
+    for i in 0..total {
+        if i == cfg.warm_queries {
+            // The shift: a burst of rows skewed onto the top of every
+            // column's dictionary, appended through the validated ingest
+            // path (so the live histograms move incrementally, exactly as
+            // production ingest would move them).
+            let mut guard = online.lock().expect("online table poisoned");
+            let ndvs: Vec<usize> =
+                (0..guard.table().num_columns()).map(|c| guard.table().column(c).ndv()).collect();
+            let mut row = Vec::with_capacity(ndvs.len());
+            for _ in 0..cfg.shift_rows {
+                row.clear();
+                for &ndv in &ndvs {
+                    let band = (ndv / 8).max(1).min(ndv);
+                    row.push((ndv - 1 - rng.gen_range(0..band)) as u32);
+                }
+                guard.ingest_row(&row).expect("skewed rows stay inside the dictionary");
+            }
+        }
+
+        let q = rng.gen_range(0..workload.len());
+        harness.clock().advance(Duration::from_micros(100));
+        let ticket = post_swap_ticket.len() as u64;
+        post_swap_ticket.push(swapped);
+        report.submitted += 1;
+        report.per_table_submitted[0] += 1;
+        match harness.submit_query(0, &workload[q], ticket) {
+            SubmitResult::Cached(_) => {
+                report.served += 1;
+                report.per_table_served[0] += 1;
+                if swapped {
+                    report.post_swap_served += 1;
+                }
+            }
+            SubmitResult::Queued { depth } => {
+                report.max_shard_depth = report.max_shard_depth.max(depth);
+            }
+            SubmitResult::Shed { .. } => {
+                report.shed_overload += 1;
+                report.per_table_shed[0] += 1;
+            }
+        }
+        harness.drain();
+
+        if i >= cfg.warm_queries {
+            let k = i - cfg.warm_queries;
+            if cfg.feedback_every > 0 && k.is_multiple_of(cfg.feedback_every) {
+                // Feed back the true cardinality of the query just served,
+                // stamped with the currently registered slot's uid (the
+                // same stamp the wire front door applies).
+                let uid = harness.directory[0].slot.uid();
+                let serving = harness.estimator(0);
+                let schema = serving.schema();
+                let query = &workload[q];
+                let preds = query_to_id_predicates(schema, query);
+                let intervals = query.column_intervals(schema);
+                let mut guard = online.lock().expect("online table poisoned");
+                let actual = exact_cardinality(guard.table(), query) as f64;
+                guard
+                    .push_feedback(uid, preds, intervals, actual)
+                    .expect("in-run feedback is never stale");
+            }
+            if cfg.tick_every > 0 && (k + 1).is_multiple_of(cfg.tick_every) {
+                let tick = online.lock().expect("online table poisoned").tick();
+                report.hot_replayed += tick.replayed as u64;
+                swapped |= tick.swapped;
+            }
+        }
+    }
+
+    for (ticket, outcome) in harness.outcomes() {
+        match outcome {
+            Ok(_) => {
+                report.served += 1;
+                report.per_table_served[0] += 1;
+                if post_swap_ticket[*ticket as usize] {
+                    report.post_swap_served += 1;
+                }
+            }
+            Err(_) => {
+                report.shed_deadline += 1;
+                report.per_table_shed[0] += 1;
+            }
+        }
+    }
+    report.fold_metrics(&harness.metrics_snapshot());
     report
 }

@@ -48,13 +48,24 @@ pub struct ModelTier {
     /// Per-table served-request counters, indexed by dense table id; halved
     /// on every eviction (LFU with aging).
     heat: Mutex<Vec<u64>>,
+    /// Per-table pin counters, indexed by dense table id. A pinned table is
+    /// never chosen as an eviction victim — the online trainer pins a table
+    /// for the duration of a retrain so the model it is about to hot-swap
+    /// (and the resident instance serving in the meantime) cannot be paged
+    /// out from under it.
+    pins: Mutex<Vec<u32>>,
 }
 
 impl ModelTier {
     /// A tier enforcing `budget_bytes` of resident model weights (0 =
     /// unlimited), evicting to in-memory checkpoints.
     pub fn new(budget_bytes: usize) -> Self {
-        Self { budget_bytes, spill_dir: Mutex::new(None), heat: Mutex::new(Vec::new()) }
+        Self {
+            budget_bytes,
+            spill_dir: Mutex::new(None),
+            heat: Mutex::new(Vec::new()),
+            pins: Mutex::new(Vec::new()),
+        }
     }
 
     /// The configured budget in bytes (0 = unlimited).
@@ -74,6 +85,33 @@ impl ModelTier {
         self.heat.lock().expect("tier poisoned").get(table_id).copied().unwrap_or(0)
     }
 
+    /// Pin `table_id`: until the matching [`ModelTier::unpin`], the table is
+    /// never selected as an eviction victim. Pins nest (a counter, not a
+    /// flag), so overlapping retrain and inspection pins compose.
+    pub fn pin(&self, table_id: usize) {
+        let mut pins = self.pins.lock().expect("tier poisoned");
+        if pins.len() <= table_id {
+            pins.resize(table_id + 1, 0);
+        }
+        pins[table_id] += 1;
+    }
+
+    /// Release one [`ModelTier::pin`] of `table_id`.
+    ///
+    /// # Panics
+    /// Panics if the table is not currently pinned (unbalanced unpin).
+    pub fn unpin(&self, table_id: usize) {
+        let mut pins = self.pins.lock().expect("tier poisoned");
+        let pin = pins.get_mut(table_id).expect("unpin of a never-pinned table");
+        assert!(*pin > 0, "unbalanced ModelTier::unpin");
+        *pin -= 1;
+    }
+
+    /// Whether `table_id` is currently pinned non-evictable.
+    pub fn is_pinned(&self, table_id: usize) -> bool {
+        self.pins.lock().expect("tier poisoned").get(table_id).copied().unwrap_or(0) > 0
+    }
+
     /// Fold `served` requests for `table_id` into its heat counter. Called
     /// by the shard worker once per executed batch; allocation-free once
     /// the heat vector has grown to the directory size.
@@ -87,7 +125,8 @@ impl ModelTier {
 
     /// Bring the directory back under the budget: while resident weights
     /// exceed it, evict the coldest resident model other than `active` (the
-    /// table just served; lowest dense id breaks heat ties), halving all
+    /// table just served) or any pinned table (lowest dense id breaks heat
+    /// ties), halving all
     /// heat counters per eviction. Stops when within budget, when no
     /// evictable model remains (only `active` resident), or when an
     /// eviction fails (spill I/O) — the tier then stays over budget rather
@@ -104,15 +143,22 @@ impl ModelTier {
             }
             let victim = {
                 let heat = self.heat.lock().expect("tier poisoned");
+                let pins = self.pins.lock().expect("tier poisoned");
                 tables
                     .iter()
                     .enumerate()
-                    .filter(|(id, r)| *id != active && r.slot.is_resident())
+                    .filter(|(id, r)| {
+                        *id != active
+                            && r.slot.is_resident()
+                            && pins.get(*id).copied().unwrap_or(0) == 0
+                    })
                     .min_by_key(|(id, _)| (heat.get(*id).copied().unwrap_or(0), *id))
                     .map(|(id, r)| (id, r.slot.clone()))
             };
             let Some((_victim_id, slot)) = victim else {
-                return; // only the active model is resident; never evict it
+                // Only the active model and pinned tables are resident;
+                // never evict either.
+                return;
             };
             let spill = self.spill_dir.lock().expect("tier poisoned").clone();
             match slot.evict(spill.as_deref()) {
@@ -179,6 +225,42 @@ mod tests {
         assert_eq!(metrics.snapshot(0, 0, 0).model_evictions, 1);
         // One eviction brought the directory within budget and aged heat.
         assert_eq!(tier.heat_of(0), 5);
+    }
+
+    #[test]
+    fn pinned_tables_are_never_victims() {
+        let tables = directory(3);
+        let per_model = tables[0].slot.resident_weight_bytes().unwrap();
+        let tier = ModelTier::new(2 * per_model);
+        let metrics = ServeMetrics::new();
+        // Table 1 is the coldest — but pinned (mid-retrain), so the next
+        // coldest unpinned table must be the victim instead.
+        tier.observe(0, 2);
+        tier.observe(1, 1);
+        tier.observe(2, 5);
+        tier.pin(1);
+        assert!(tier.is_pinned(1));
+        tier.enforce(&tables, 2, &metrics);
+        assert!(tables[1].slot.is_resident(), "a pinned table is never evicted");
+        assert!(!tables[0].slot.is_resident(), "the coldest unpinned table is the victim");
+        // Unpinning rearms eviction; pins nest.
+        tier.pin(1);
+        tier.unpin(1);
+        assert!(tier.is_pinned(1), "pins are a counter, not a flag");
+        tier.unpin(1);
+        assert!(!tier.is_pinned(1));
+    }
+
+    #[test]
+    fn an_all_pinned_directory_stays_over_budget() {
+        let tables = directory(2);
+        let tier = ModelTier::new(1);
+        let metrics = ServeMetrics::new();
+        tier.pin(0);
+        tier.pin(1);
+        tier.enforce(&tables, 0, &metrics);
+        assert!(tables.iter().all(|t| t.slot.is_resident()), "nothing evictable");
+        assert_eq!(metrics.snapshot(0, 0, 0).model_evictions, 0);
     }
 
     #[test]

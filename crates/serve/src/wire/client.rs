@@ -171,7 +171,10 @@ impl WireClient {
                             ndvs,
                         }
                     }
-                    FrameView::Request(_) | FrameView::TableQuery(_) => ServerFrame::Other,
+                    FrameView::Request(_)
+                    | FrameView::TableQuery(_)
+                    | FrameView::Ingest(_)
+                    | FrameView::Feedback(_) => ServerFrame::Other,
                 };
                 self.recv_pos += consumed;
                 if self.recv_pos == self.recv_buf.len() {

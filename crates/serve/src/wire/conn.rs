@@ -39,6 +39,7 @@
 //! traffic.
 
 use crate::metrics::ServeMetrics;
+use crate::online::OnlineDirectory;
 use crate::router::{Clock, ReplyTo, RoutedRequest, Router, ShedReason, TableResources};
 use crate::wire::frame::{
     self, DecodeError, FrameView, Status, DEFAULT_MAX_FRAME_LEN, PREAMBLE_LEN,
@@ -197,6 +198,13 @@ pub struct WireConn {
     completions: Vec<(u64, Result<f64, ShedReason>)>,
     /// Reused per-column ndv staging for table-info responses.
     ndv_scratch: Vec<u32>,
+    /// Reused value-id staging for ingest frames.
+    ids_scratch: Vec<u32>,
+    /// Reused predicate/interval staging for feedback frames (feedback is
+    /// copied into the online table's queue, not routed, so it does not use
+    /// the pooled request carcasses).
+    preds_scratch: Vec<Vec<duet_core::IdPredicate>>,
+    intervals_scratch: Vec<(u32, u32)>,
 }
 
 impl WireConn {
@@ -211,6 +219,9 @@ impl WireConn {
             inflight: Vec::new(),
             completions: Vec::new(),
             ndv_scratch: Vec::new(),
+            ids_scratch: Vec::new(),
+            preds_scratch: Vec::new(),
+            intervals_scratch: Vec::new(),
         }
     }
 
@@ -252,6 +263,7 @@ impl WireConn {
         &mut self,
         router: &Router,
         tables: &[TableResources],
+        online: &OnlineDirectory,
         clock: &dyn Clock,
         metrics: &ServeMetrics,
     ) -> Result<bool, DecodeError> {
@@ -295,6 +307,23 @@ impl WireConn {
                                 &mut self.ndv_scratch,
                                 &mut self.outbound,
                                 tables,
+                                metrics,
+                            ),
+                            FrameView::Ingest(ingest) => handle_ingest(
+                                ingest,
+                                &mut self.ids_scratch,
+                                &mut self.outbound,
+                                tables,
+                                online,
+                                metrics,
+                            ),
+                            FrameView::Feedback(feedback) => handle_feedback(
+                                feedback,
+                                &mut self.preds_scratch,
+                                &mut self.intervals_scratch,
+                                &mut self.outbound,
+                                tables,
+                                online,
                                 metrics,
                             ),
                             // A server connection ignores server-to-client
@@ -463,5 +492,73 @@ fn resolve_table(
             );
         }
     }
+    metrics.record_frame_out();
+}
+
+/// Apply one ingest frame to the table's online state and acknowledge it:
+/// `Ok` with the new row count, `UnknownTable` when the table is missing or
+/// not online-enabled, `Rejected` when the row itself is invalid.
+fn handle_ingest(
+    ingest: frame::IngestView<'_>,
+    ids_scratch: &mut Vec<u32>,
+    outbound: &mut ByteQueue,
+    tables: &[TableResources],
+    online: &OnlineDirectory,
+    metrics: &ServeMetrics,
+) {
+    let request_id = ingest.request_id;
+    let (status, value) = if tables.get(ingest.table_id as usize).is_none() {
+        (Status::UnknownTable, 0.0)
+    } else {
+        match online.get(ingest.table_id as usize) {
+            None => (Status::UnknownTable, 0.0),
+            Some(table) => {
+                ingest.read_ids_into(ids_scratch);
+                match table.lock().expect("online table poisoned").ingest_row(ids_scratch) {
+                    Ok(rows) => (Status::Ok, rows as f64),
+                    Err(_) => (Status::Rejected, 0.0),
+                }
+            }
+        }
+    };
+    frame::encode_response(outbound.tail_mut(), request_id, status, value);
+    metrics.record_frame_out();
+}
+
+/// Queue one feedback frame on the table's online state and acknowledge it.
+/// The feedback is stamped with the uid of the slot *currently* registered
+/// under the table id; if the online state is bound to an older registration
+/// the stamp mismatches and the feedback is `Rejected` (the wire face of the
+/// stale-registration path).
+fn handle_feedback(
+    feedback: frame::FeedbackView<'_>,
+    preds_scratch: &mut Vec<Vec<duet_core::IdPredicate>>,
+    intervals_scratch: &mut Vec<(u32, u32)>,
+    outbound: &mut ByteQueue,
+    tables: &[TableResources],
+    online: &OnlineDirectory,
+    metrics: &ServeMetrics,
+) {
+    let request_id = feedback.request_id;
+    let status = match tables.get(feedback.table_id as usize) {
+        None => Status::UnknownTable,
+        Some(resources) => match online.get(feedback.table_id as usize) {
+            None => Status::UnknownTable,
+            Some(table) => {
+                feedback.read_into(preds_scratch, intervals_scratch);
+                let pushed = table.lock().expect("online table poisoned").push_feedback(
+                    resources.slot.uid(),
+                    preds_scratch.clone(),
+                    intervals_scratch.clone(),
+                    feedback.actual,
+                );
+                match pushed {
+                    Ok(()) => Status::Ok,
+                    Err(_) => Status::Rejected,
+                }
+            }
+        },
+    };
+    frame::encode_response(outbound.tail_mut(), request_id, status, 0.0);
     metrics.record_frame_out();
 }

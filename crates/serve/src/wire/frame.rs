@@ -38,6 +38,10 @@
 //! TableQuery (kind 3): u64 request_id  u16 name_len  name (utf-8)
 //! TableInfo  (kind 4): u64 request_id  u8 status  u32 table_id
 //!                      u16 num_columns  num_columns x u32 ndv
+//! Ingest     (kind 5): u64 request_id  u32 table_id
+//!                      u16 num_columns  num_columns x u32 value_id
+//! Feedback   (kind 6): u64 request_id  u32 table_id  f64 actual
+//!                      u16 num_columns  num_columns x column
 //! ```
 //!
 //! Requests and responses are correlated by `request_id`, which is what
@@ -45,6 +49,13 @@
 //! flight and responses come back in whatever order shard workers complete
 //! them. `deadline_us` is a per-request budget in microseconds measured from
 //! admission (`0` defers to the server's configured default).
+//!
+//! Ingest and feedback frames feed the online-learning loop
+//! ([`crate::online`]): an ingest appends one dictionary-encoded row (the
+//! answering response's `value` is the table's new row count), and a
+//! feedback reports the observed true cardinality of an executed query
+//! (`actual`), using the same per-column predicate layout as a request.
+//! Both are acknowledged with a plain response frame.
 
 use duet_core::IdPredicate;
 use duet_query::PredOp;
@@ -70,6 +81,8 @@ const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_TABLE_QUERY: u8 = 3;
 const KIND_TABLE_INFO: u8 = 4;
+const KIND_INGEST: u8 = 5;
+const KIND_FEEDBACK: u8 = 6;
 
 /// Outcome of one wire request, as carried in a response frame's status
 /// byte. Mirrors the typed in-process [`crate::ServeError`] surface:
@@ -86,6 +99,11 @@ pub enum Status {
     DeadlineExceeded = 2,
     /// No table is registered under the requested id or name.
     UnknownTable = 3,
+    /// The payload was understood but refused: an ingest row with the wrong
+    /// width or an out-of-dictionary value id, or feedback bound to a stale
+    /// slot (the table was re-registered mid-flight — the wire face of the
+    /// in-process `FeedbackError::StaleSlot`).
+    Rejected = 4,
 }
 
 impl Status {
@@ -95,6 +113,7 @@ impl Status {
             1 => Ok(Status::Overloaded),
             2 => Ok(Status::DeadlineExceeded),
             3 => Ok(Status::UnknownTable),
+            4 => Ok(Status::Rejected),
             other => Err(DecodeError::UnknownStatus(other)),
         }
     }
@@ -288,6 +307,52 @@ pub fn encode_table_info(
     finish_frame(buf, frame);
 }
 
+/// Append one ingest frame: a dictionary-encoded row (`ids[c]` is column
+/// `c`'s value id) to append to table `table_id`. Acknowledged with a
+/// response frame whose `value` is the table's new row count.
+pub fn encode_ingest(buf: &mut Vec<u8>, request_id: u64, table_id: u32, ids: &[u32]) {
+    let frame = start_frame(buf);
+    buf.push(KIND_INGEST);
+    put_u64(buf, request_id);
+    put_u32(buf, table_id);
+    put_u16(buf, ids.len() as u16);
+    for &id in ids {
+        put_u32(buf, id);
+    }
+    finish_frame(buf, frame);
+}
+
+/// Append one feedback frame: the observed true cardinality `actual` of an
+/// executed query against table `table_id`, in the same canonical per-column
+/// predicate/interval layout as [`encode_request`]. Acknowledged with a
+/// response frame.
+pub fn encode_feedback(
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    table_id: u32,
+    actual: f64,
+    preds: &[Vec<IdPredicate>],
+    intervals: &[(u32, u32)],
+) {
+    debug_assert_eq!(preds.len(), intervals.len(), "one interval per column");
+    let frame = start_frame(buf);
+    buf.push(KIND_FEEDBACK);
+    put_u64(buf, request_id);
+    put_u32(buf, table_id);
+    buf.extend_from_slice(&actual.to_le_bytes());
+    put_u16(buf, preds.len() as u16);
+    for (col_preds, &(lo, hi)) in preds.iter().zip(intervals) {
+        put_u16(buf, col_preds.len() as u16);
+        for p in col_preds {
+            buf.push(op_to_u8(p.op));
+            put_u32(buf, p.value_id);
+        }
+        put_u32(buf, lo);
+        put_u32(buf, hi);
+    }
+    finish_frame(buf, frame);
+}
+
 // ---------------------------------------------------------------------------
 // Decoding: borrowed views over the connection buffer.
 // ---------------------------------------------------------------------------
@@ -368,34 +433,60 @@ impl RequestView<'_> {
     /// buffers: inner `Vec`s keep their capacity across calls, so decoding a
     /// steady stream of same-shaped requests allocates nothing once warm.
     pub fn read_into(&self, preds: &mut Vec<Vec<IdPredicate>>, intervals: &mut Vec<(u32, u32)>) {
-        let ncols = self.num_columns as usize;
-        // Reuse the live prefix's inner allocations; only a shape change
-        // (different column count than the previous request) reallocates.
-        if preds.len() > ncols {
-            preds.truncate(ncols);
-        }
-        for col in preds.iter_mut() {
-            col.clear();
-        }
-        while preds.len() < ncols {
-            preds.push(Vec::new());
-        }
-        intervals.clear();
-
-        let mut r = Reader::new(self.columns);
-        for col in preds.iter_mut() {
-            let npreds = r.u16("validated").expect("column region validated at decode");
-            for _ in 0..npreds {
-                let op = op_from_u8(r.u8("validated").expect("validated"))
-                    .expect("ops validated at decode");
-                let value_id = r.u32("validated").expect("validated");
-                col.push(IdPredicate { op, value_id });
-            }
-            let lo = r.u32("validated").expect("validated");
-            let hi = r.u32("validated").expect("validated");
-            intervals.push((lo, hi));
-        }
+        read_columns(self.columns, self.num_columns as usize, preds, intervals);
     }
+}
+
+/// Materialize a pre-validated column region (the shared request/feedback
+/// layout) into reusable buffers — see [`RequestView::read_into`].
+fn read_columns(
+    columns: &[u8],
+    ncols: usize,
+    preds: &mut Vec<Vec<IdPredicate>>,
+    intervals: &mut Vec<(u32, u32)>,
+) {
+    // Reuse the live prefix's inner allocations; only a shape change
+    // (different column count than the previous request) reallocates.
+    if preds.len() > ncols {
+        preds.truncate(ncols);
+    }
+    for col in preds.iter_mut() {
+        col.clear();
+    }
+    while preds.len() < ncols {
+        preds.push(Vec::new());
+    }
+    intervals.clear();
+
+    let mut r = Reader::new(columns);
+    for col in preds.iter_mut() {
+        let npreds = r.u16("validated").expect("column region validated at decode");
+        for _ in 0..npreds {
+            let op =
+                op_from_u8(r.u8("validated").expect("validated")).expect("ops validated at decode");
+            let value_id = r.u32("validated").expect("validated");
+            col.push(IdPredicate { op, value_id });
+        }
+        let lo = r.u32("validated").expect("validated");
+        let hi = r.u32("validated").expect("validated");
+        intervals.push((lo, hi));
+    }
+}
+
+/// Walk (and thereby validate) a `num_columns`-column region of the shared
+/// request/feedback layout; errors make the frame malformed at decode time
+/// so the later `read_columns` pass is infallible.
+fn validate_columns(r: &mut Reader<'_>, num_columns: u16) -> Result<(), DecodeError> {
+    for _ in 0..num_columns {
+        let npreds = r.u16("predicate count truncated")?;
+        for _ in 0..npreds {
+            op_from_u8(r.u8("predicate truncated")?)?;
+            r.u32("predicate value truncated")?;
+        }
+        r.u32("interval lo truncated")?;
+        r.u32("interval hi truncated")?;
+    }
+    Ok(())
 }
 
 /// A decoded response frame (fixed-size, so it is owned rather than
@@ -446,6 +537,59 @@ impl TableInfoView<'_> {
     }
 }
 
+/// A decoded ingest frame: one dictionary-encoded row to append.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestView<'a> {
+    /// Correlation id echoed in the acknowledging response.
+    pub request_id: u64,
+    /// Dense registry id of the target table.
+    pub table_id: u32,
+    ids: &'a [u8],
+}
+
+impl IngestView<'_> {
+    /// Number of columns in the ingested row.
+    pub fn num_columns(&self) -> usize {
+        self.ids.len() / 4
+    }
+
+    /// Copy the row's per-column value ids into `out` (capacity-reusing).
+    pub fn read_ids_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        for chunk in self.ids.chunks_exact(4) {
+            out.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+    }
+}
+
+/// A decoded feedback frame: an executed query's canonical predicates plus
+/// its observed true cardinality. The column region is validated at decode
+/// time, so [`FeedbackView::read_into`] is infallible.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedbackView<'a> {
+    /// Correlation id echoed in the acknowledging response.
+    pub request_id: u64,
+    /// Dense registry id of the target table.
+    pub table_id: u32,
+    /// Observed true cardinality of the query.
+    pub actual: f64,
+    num_columns: u16,
+    columns: &'a [u8],
+}
+
+impl FeedbackView<'_> {
+    /// Number of columns carried by this feedback's query.
+    pub fn num_columns(&self) -> usize {
+        self.num_columns as usize
+    }
+
+    /// Materialize the query's predicates and intervals into reusable
+    /// buffers (same capacity-reuse contract as [`RequestView::read_into`]).
+    pub fn read_into(&self, preds: &mut Vec<Vec<IdPredicate>>, intervals: &mut Vec<(u32, u32)>) {
+        read_columns(self.columns, self.num_columns as usize, preds, intervals);
+    }
+}
+
 /// One complete, validated frame borrowed from the connection buffer.
 #[derive(Debug, Clone, Copy)]
 pub enum FrameView<'a> {
@@ -457,6 +601,11 @@ pub enum FrameView<'a> {
     TableQuery(TableQueryView<'a>),
     /// A table-resolution response (server → client).
     TableInfo(TableInfoView<'a>),
+    /// A row-ingest command (client → server, online learning).
+    Ingest(IngestView<'a>),
+    /// A true-cardinality feedback report (client → server, online
+    /// learning).
+    Feedback(FeedbackView<'a>),
 }
 
 /// Decode the next frame from `buf`.
@@ -499,15 +648,7 @@ fn decode_body(body: &[u8]) -> Result<FrameView<'_>, DecodeError> {
             let columns_at = r.at;
             // Validate the whole column region now, so read_into() is
             // infallible later.
-            for _ in 0..num_columns {
-                let npreds = r.u16("predicate count truncated")?;
-                for _ in 0..npreds {
-                    op_from_u8(r.u8("predicate truncated")?)?;
-                    r.u32("predicate value truncated")?;
-                }
-                r.u32("interval lo truncated")?;
-                r.u32("interval hi truncated")?;
-            }
+            validate_columns(&mut r, num_columns)?;
             r.done("trailing bytes after request columns")?;
             Ok(FrameView::Request(RequestView {
                 request_id,
@@ -541,6 +682,30 @@ fn decode_body(body: &[u8]) -> Result<FrameView<'_>, DecodeError> {
             let ndvs = r.take(4 * num_columns, "table info ndvs truncated")?;
             r.done("trailing bytes after table info")?;
             Ok(FrameView::TableInfo(TableInfoView { request_id, status, table_id, ndvs }))
+        }
+        KIND_INGEST => {
+            let request_id = r.u64("ingest id truncated")?;
+            let table_id = r.u32("ingest table id truncated")?;
+            let num_columns = r.u16("ingest column count truncated")? as usize;
+            let ids = r.take(4 * num_columns, "ingest ids truncated")?;
+            r.done("trailing bytes after ingest ids")?;
+            Ok(FrameView::Ingest(IngestView { request_id, table_id, ids }))
+        }
+        KIND_FEEDBACK => {
+            let request_id = r.u64("feedback id truncated")?;
+            let table_id = r.u32("feedback table id truncated")?;
+            let actual = r.f64("feedback cardinality truncated")?;
+            let num_columns = r.u16("feedback column count truncated")?;
+            let columns_at = r.at;
+            validate_columns(&mut r, num_columns)?;
+            r.done("trailing bytes after feedback columns")?;
+            Ok(FrameView::Feedback(FeedbackView {
+                request_id,
+                table_id,
+                actual,
+                num_columns,
+                columns: &body[columns_at..],
+            }))
         }
         other => Err(DecodeError::UnknownKind(other)),
     }
@@ -647,6 +812,66 @@ mod tests {
         encode_preamble(&mut pre);
         pre[4] = 9;
         assert_eq!(decode_preamble(&pre).unwrap_err(), DecodeError::UnsupportedVersion(9));
+    }
+
+    #[test]
+    fn ingest_round_trips_and_rejects_truncation() {
+        let mut buf = Vec::new();
+        encode_ingest(&mut buf, 77, 3, &[1, 0, 9, 2]);
+        let (frame, consumed) = next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        let FrameView::Ingest(ingest) = frame else { panic!("expected ingest") };
+        assert_eq!((ingest.request_id, ingest.table_id, ingest.num_columns()), (77, 3, 4));
+        let mut ids = Vec::new();
+        ingest.read_ids_into(&mut ids);
+        assert_eq!(ids, vec![1, 0, 9, 2]);
+        // Every strict byte prefix is "need more", never an error.
+        for cut in 0..buf.len() {
+            assert!(next_frame(&buf[..cut], DEFAULT_MAX_FRAME_LEN).unwrap().is_none());
+        }
+        // A declared column count the body cannot satisfy is malformed.
+        let mut bad = Vec::new();
+        let at = start_frame(&mut bad);
+        bad.push(KIND_INGEST);
+        put_u64(&mut bad, 1);
+        put_u32(&mut bad, 0);
+        put_u16(&mut bad, 2); // two columns ...
+        put_u32(&mut bad, 5); // ... one id
+        finish_frame(&mut bad, at);
+        assert!(matches!(
+            next_frame(&bad, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+            DecodeError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn feedback_round_trips_with_request_shaped_columns() {
+        let preds = vec![vec![IdPredicate { op: PredOp::Eq, value_id: 4 }], vec![]];
+        let intervals = vec![(4u32, 5u32), (0, 12)];
+        let mut buf = Vec::new();
+        encode_feedback(&mut buf, 21, 1, 12345.0, &preds, &intervals);
+        let (frame, consumed) = next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        let FrameView::Feedback(fb) = frame else { panic!("expected feedback") };
+        assert_eq!((fb.request_id, fb.table_id, fb.num_columns()), (21, 1, 2));
+        assert_eq!(fb.actual, 12345.0);
+        let (mut got_preds, mut got_intervals) = (Vec::new(), Vec::new());
+        fb.read_into(&mut got_preds, &mut got_intervals);
+        assert_eq!(got_preds, preds);
+        assert_eq!(got_intervals, intervals);
+        for cut in 0..buf.len() {
+            assert!(next_frame(&buf[..cut], DEFAULT_MAX_FRAME_LEN).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn rejected_status_round_trips() {
+        let mut buf = Vec::new();
+        encode_response(&mut buf, 2, Status::Rejected, 0.0);
+        let (frame, _) = next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        let FrameView::Response(resp) = frame else { panic!("expected response") };
+        assert_eq!(resp.status, Status::Rejected);
+        assert_eq!(Status::from_u8(5), Err(DecodeError::UnknownStatus(5)));
     }
 
     #[test]

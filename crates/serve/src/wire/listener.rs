@@ -18,6 +18,7 @@
 //! cost a few wakeups per millisecond, not a spinning core.
 
 use crate::metrics::ServeMetrics;
+use crate::online::OnlineDirectory;
 use crate::router::{Clock, Router, TableResources};
 use crate::wire::conn::{ConnConfig, WireConn};
 use crate::wire::frame::DEFAULT_MAX_FRAME_LEN;
@@ -89,6 +90,7 @@ impl Drop for WireHandle {
 pub(crate) struct WireShared {
     pub(crate) router: Arc<Router>,
     pub(crate) directory: Arc<RwLock<Vec<TableResources>>>,
+    pub(crate) online: Arc<OnlineDirectory>,
     pub(crate) clock: Arc<dyn Clock>,
     pub(crate) metrics: Arc<ServeMetrics>,
 }
@@ -218,8 +220,13 @@ fn sweep_connection(
     // Decode/admit/respond.
     {
         let tables = shared.directory.read().expect("directory poisoned");
-        match connection.conn.pump(&shared.router, &tables, shared.clock.as_ref(), &shared.metrics)
-        {
+        match connection.conn.pump(
+            &shared.router,
+            &tables,
+            &shared.online,
+            shared.clock.as_ref(),
+            &shared.metrics,
+        ) {
             Ok(p) => progressed |= p,
             Err(_decode) => {
                 shared.metrics.record_wire_decode_error();

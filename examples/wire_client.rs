@@ -60,6 +60,7 @@ fn main() {
             }
             Status::Overloaded | Status::DeadlineExceeded => shed += 1,
             Status::UnknownTable => panic!("server forgot the table mid-stream"),
+            Status::Rejected => panic!("estimate requests are never rejected as malformed"),
         }
     }
     let wall = started.elapsed();

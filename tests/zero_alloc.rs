@@ -3,7 +3,7 @@
 //! measured after warm-up — the steady-state serving hot loop must perform
 //! **zero** heap allocations (and zero frees).
 //!
-//! Eight phases: the raw batched estimation path (full and shrinking
+//! Nine phases: the raw batched estimation path (full and shrinking
 //! batches), the **routed multi-table hot loop** — admission into a
 //! bounded shard queue, same-table batch formation at dequeue, deadline
 //! triage, and per-table-workspace batch execution across two
@@ -28,10 +28,16 @@
 //! routed loop again under a positive model-memory budget, so every batch
 //! additionally passes through the tier's heat accounting and budget check
 //! (`ModelTier::observe`/`enforce`), which must also be allocation-free
-//! while the directory fits the budget (no eviction fires).
+//! while the directory fits the budget (no eviction fires) — and the
+//! **trainer tick interleaved with serving**: the online trainer's
+//! steady-state body (the `DriftMonitor` histogram-distance check plus one
+//! full `train_step` over a pre-staged batch) alternating with budgeted
+//! routed serving rounds, proving that a background trainer sharing the
+//! process with the hot loop adds no steady-state allocations of its own.
 //!
-//! This lives in its own integration-test binary so the global allocator and
-//! the single-threaded measurement cannot interfere with other tests.
+//! Nine phases in all. This lives in its own integration-test binary so the
+//! global allocator and the single-threaded measurement cannot interfere
+//! with other tests.
 
 use duet::core::{
     data_forward, query_forward, query_to_id_predicates, sample_virtual_batch, train_step,
@@ -39,11 +45,12 @@ use duet::core::{
     TrainStepScratch,
 };
 use duet::data::datasets::census_like;
+use duet::data::table_stats;
 use duet::nn::{seeded_rng, with_pool, Adam, ComputePool};
 use duet::query::{exact_cardinality, WorkloadSpec};
 use duet::serve::sim::{HarnessConfig, PreparedRequest, RouterHarness, WireSim};
 use duet::serve::wire::{frame, ConnConfig};
-use duet::serve::{BatchConfig, RouterConfig};
+use duet::serve::{BatchConfig, DriftMonitor, RouterConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -84,6 +91,7 @@ fn steady_state_batched_inference_is_allocation_free() {
     full_train_step_phase();
     wire_phase();
     budgeted_tier_phase();
+    trainer_tick_phase();
 }
 
 fn full_batch_phase() {
@@ -449,6 +457,91 @@ fn budgeted_tier_phase() {
     assert_eq!(snapshot.model_evictions, 0, "a generous budget must never evict");
     assert_eq!(snapshot.model_reloads, 0);
     assert!(harness.tier().heat_of(0) > 0 && harness.tier().heat_of(1) > 0);
+}
+
+fn trainer_tick_phase() {
+    // The ninth phase: the online trainer's steady-state tick shares the
+    // process with the serving hot loop, so its per-tick body must be as
+    // allocation-clean as the loop it rides along with. Each measured round
+    // interleaves (a) a budgeted routed serving round with a recycled
+    // request set and (b) one trainer tick: the drift monitor's
+    // histogram-distance check (allocation-free by construction) plus one
+    // full `train_step` on a pre-staged virtual-tuple batch. Everything
+    // that allocates — sampling the batch, preparing feedback queries,
+    // growing the scratch and Adam moments — happens before the window.
+    let cfg = DuetConfig::small().with_epochs(1);
+    let table = census_like(300, 21);
+    let est = DuetEstimator::train_data_only(&table, &cfg, 22);
+    let queries = WorkloadSpec::random(&table, 8, 33).generate(&table);
+
+    let mut harness = RouterHarness::new(
+        vec![("online".into(), est)],
+        HarnessConfig {
+            router: RouterConfig { num_shards: 1, queue_capacity: 64, default_deadline: None },
+            batch: BatchConfig::default(),
+            cache_capacity: 0,
+            cache_shards: 1,
+            model_budget_bytes: 1 << 40,
+        },
+    );
+    let mut stash: Vec<PreparedRequest> =
+        queries.iter().map(|q| harness.prepare(0, q, None)).collect();
+    let mut returned: Vec<PreparedRequest> = Vec::with_capacity(stash.len());
+
+    // Trainer state, all staged before the measured window.
+    let live = table_stats(&table);
+    let mut monitor = DriftMonitor::new(live.clone(), 0.15, 2);
+    let mut model = DuetModel::new(&table, &cfg, 23);
+    let mut rng = seeded_rng(41);
+    let sampler = SamplerConfig { expand_mu: 2, wildcard_prob: 0.3, max_predicates_per_column: 1 };
+    let anchor_rows: Vec<usize> = (0..16).collect();
+    let batch = sample_virtual_batch(&table, &anchor_rows, &sampler, &mut rng);
+    let prepared: Vec<PreparedQuery> = queries
+        .iter()
+        .map(|q| PreparedQuery::prepare(&table, q, exact_cardinality(&table, q)))
+        .collect();
+    let num_rows = table.num_rows() as f64;
+    let mut scratch = TrainStepScratch::new();
+    let mut adam = Adam::new(1e-3);
+
+    let mut round = |stash: &mut Vec<PreparedRequest>,
+                     returned: &mut Vec<PreparedRequest>,
+                     monitor: &mut DriftMonitor,
+                     model: &mut DuetModel,
+                     adam: &mut Adam,
+                     scratch: &mut TrainStepScratch| {
+        // Serving half: the budgeted routed hot loop.
+        for request in stash.drain(..) {
+            harness.submit_prepared(request).unwrap_or_else(|_| panic!("queue overflow"));
+        }
+        while harness.queue_depth() > 0 {
+            harness.turn_recycling(returned);
+        }
+        std::mem::swap(stash, returned);
+        // Trainer half: one tick. The stats have not moved (serving does
+        // not ingest), so the check stays quiet — which is exactly the
+        // steady state a background trainer spends most of its life in.
+        assert!(!monitor.check(&live), "identical stats must not drift");
+        let (data_loss, query_loss, _) =
+            train_step(model, adam, &batch, &prepared, num_rows, 0.1, scratch);
+        assert!(data_loss.is_finite() && query_loss.is_finite(), "trainer tick diverged");
+    };
+
+    // Warm-up: queue, workspaces, scratch, and Adam moments grow to shape.
+    for _ in 0..2 {
+        round(&mut stash, &mut returned, &mut monitor, &mut model, &mut adam, &mut scratch);
+    }
+
+    let (allocs_before, frees_before) =
+        (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+    for _ in 0..10 {
+        round(&mut stash, &mut returned, &mut monitor, &mut model, &mut adam, &mut scratch);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let frees = FREES.load(Ordering::Relaxed) - frees_before;
+
+    assert_eq!(allocs, 0, "trainer tick interleaved with serving must not allocate");
+    assert_eq!(frees, 0, "trainer tick interleaved with serving must not free");
 }
 
 fn pooled_large_batch_phase() {
