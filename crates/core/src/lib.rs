@@ -51,7 +51,7 @@ pub use encoding::{Encoder, IdPredicate};
 pub use estimator::{DuetEstimator, EstimateBreakdown};
 pub use model::{query_to_id_predicates, DuetModel, DuetWorkspace, WorkspacePool};
 pub use mpsn::{build_mpsns, ColumnMpsn, MergedMlpMpsn, MpsnScratch};
-pub use persist::{load_weights, save_weights, CheckpointError};
+pub use persist::{load_weights, save_weights, verify_checkpoint, CheckpointError};
 pub use trainer::{
     data_forward, measure_training_throughput, query_forward, train_model, train_model_with_eval,
     train_step, EpochStats, ModelParams, PreparedQuery, TrainStepScratch, TrainingWorkload,

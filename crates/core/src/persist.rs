@@ -5,6 +5,26 @@
 //! estimator's configuration and table schema, so loading requires an
 //! estimator constructed with the same configuration over the same table
 //! (which is how a deployed estimator would be refreshed after fine-tuning).
+//!
+//! ## Integrity framing
+//!
+//! Every checkpoint produced by [`save_weights`] is sealed in an integrity
+//! frame so that corruption is *detected*, never silently loaded as garbage
+//! weights:
+//!
+//! ```text
+//! "DUETCKF1"  (8 bytes)   frame magic
+//! payload_len (u64 le)    exact length of the sealed codec payload
+//! checksum    (u64 le)    FNV-1a 64 over the payload
+//! payload     (...)       the `duet_nn::serialize` codec bytes
+//! ```
+//!
+//! [`load_weights`] (and the cheaper [`verify_checkpoint`]) validate the
+//! magic, the declared length against the bytes actually present, and the
+//! checksum before a single weight is decoded. A truncated file, a torn
+//! write, or a flipped bit yields a typed [`CheckpointError`] — callers like
+//! the serving tier shed and retry instead of crashing or serving a
+//! half-loaded model.
 
 use crate::estimator::DuetEstimator;
 use crate::trainer::ModelParams;
@@ -13,15 +33,73 @@ use duet_nn::serialize::{load_params, save_params};
 
 pub use duet_nn::serialize::CheckpointError;
 
-/// Serialize the estimator's weights (backbone + MPSNs) into a checkpoint.
+/// Magic bytes identifying a sealed (checksummed) Duet checkpoint frame.
+const FRAME_MAGIC: &[u8; 8] = b"DUETCKF1";
+
+/// Frame header size: magic + payload length + checksum.
+const FRAME_HEADER_LEN: usize = 8 + 8 + 8;
+
+/// FNV-1a 64-bit over `bytes` — dependency-free, deterministic, and fast
+/// enough for checkpoint-sized buffers (a few MB at eviction/reload time,
+/// never on the per-request hot path).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Seal codec `payload` bytes in an integrity frame (see the module docs).
+fn seal(payload: &[u8]) -> Bytes {
+    let mut framed = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    framed.extend_from_slice(FRAME_MAGIC);
+    framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    framed.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
+    Bytes::from(framed)
+}
+
+/// Validate a sealed checkpoint's frame — magic, declared length, checksum —
+/// and return the inner codec payload without decoding any weights.
+///
+/// This is the cheap integrity gate used both by [`load_weights`] and by the
+/// serving layer's checkpoint store (read-back verification after a spill,
+/// validation before a reload attempt).
+pub fn verify_checkpoint(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(CheckpointError::FrameCorrupt("shorter than the frame header"));
+    }
+    let (magic, rest) = bytes.split_at(8);
+    if magic != FRAME_MAGIC {
+        return Err(CheckpointError::FrameCorrupt("bad frame magic"));
+    }
+    let declared = u64::from_le_bytes(rest[..8].try_into().expect("8-byte slice"));
+    let expected = u64::from_le_bytes(rest[8..16].try_into().expect("8-byte slice"));
+    let payload = &rest[16..];
+    if declared != payload.len() as u64 {
+        return Err(CheckpointError::FrameCorrupt("declared length disagrees with the buffer"));
+    }
+    let found = fnv1a64(payload);
+    if found != expected {
+        return Err(CheckpointError::ChecksumMismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+/// Serialize the estimator's weights (backbone + MPSNs) into a sealed,
+/// checksummed checkpoint (see the module docs for the frame layout).
 pub fn save_weights(estimator: &mut DuetEstimator) -> Bytes {
-    save_params(&mut ModelParams(estimator.model_mut()))
+    seal(&save_params(&mut ModelParams(estimator.model_mut())))
 }
 
 /// Load a checkpoint produced by [`save_weights`] into an estimator with the
-/// same architecture.
+/// same architecture. The integrity frame is validated first; corrupt or
+/// truncated bytes yield a typed error before any weight is touched.
 pub fn load_weights(estimator: &mut DuetEstimator, bytes: &[u8]) -> Result<(), CheckpointError> {
-    load_params(&mut ModelParams(estimator.model_mut()), bytes)
+    let payload = verify_checkpoint(bytes)?;
+    load_params(&mut ModelParams(estimator.model_mut()), payload)
 }
 
 #[cfg(test)]
@@ -65,5 +143,57 @@ mod tests {
         let other_model = DuetModel::new(&table, &other_cfg, 2);
         let mut other = DuetEstimator::from_model(other_model, &table, "other");
         assert!(load_weights(&mut other, &checkpoint).is_err());
+    }
+
+    #[test]
+    fn verify_accepts_pristine_frames() {
+        let table = census_like(200, 43);
+        let mut est =
+            DuetEstimator::train_data_only(&table, &DuetConfig::small().with_epochs(1), 1);
+        let checkpoint = save_weights(&mut est);
+        let payload = verify_checkpoint(&checkpoint).expect("pristine frame verifies");
+        assert_eq!(payload.len(), checkpoint.len() - super::FRAME_HEADER_LEN);
+    }
+
+    #[test]
+    fn a_flipped_payload_bit_is_a_checksum_mismatch() {
+        let table = census_like(200, 44);
+        let mut est =
+            DuetEstimator::train_data_only(&table, &DuetConfig::small().with_epochs(1), 1);
+        let checkpoint = save_weights(&mut est);
+        let mut bad = checkpoint.to_vec();
+        let at = super::FRAME_HEADER_LEN + bad.len() / 2;
+        bad[at] ^= 0x10;
+        assert!(matches!(verify_checkpoint(&bad), Err(CheckpointError::ChecksumMismatch { .. })));
+        // And loading takes the same gate: the model is never touched.
+        let fresh_model = DuetModel::new(&table, &DuetConfig::small(), 7);
+        let mut fresh = DuetEstimator::from_model(fresh_model, &table, "victim");
+        assert!(load_weights(&mut fresh, &bad).is_err());
+    }
+
+    #[test]
+    fn truncation_and_frame_damage_are_typed_errors() {
+        let table = census_like(150, 45);
+        let mut est =
+            DuetEstimator::train_data_only(&table, &DuetConfig::small().with_epochs(1), 2);
+        let checkpoint = save_weights(&mut est);
+
+        // Truncated anywhere: header or payload.
+        assert!(matches!(
+            verify_checkpoint(&checkpoint[..super::FRAME_HEADER_LEN - 1]),
+            Err(CheckpointError::FrameCorrupt(_))
+        ));
+        assert!(matches!(
+            verify_checkpoint(&checkpoint[..checkpoint.len() - 3]),
+            Err(CheckpointError::FrameCorrupt(_))
+        ));
+        // Wrong magic.
+        let mut bad = checkpoint.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(verify_checkpoint(&bad), Err(CheckpointError::FrameCorrupt(_))));
+        // Trailing garbage disagrees with the declared length.
+        let mut long = checkpoint.to_vec();
+        long.push(0);
+        assert!(matches!(verify_checkpoint(&long), Err(CheckpointError::FrameCorrupt(_))));
     }
 }

@@ -38,6 +38,18 @@ pub enum CheckpointError {
         /// Shape found in the checkpoint.
         found: (usize, usize),
     },
+    /// The integrity frame around the checkpoint is malformed (wrong frame
+    /// magic or a declared length that disagrees with the buffer). Used by
+    /// the framing layer in `duet_core::persist`.
+    FrameCorrupt(&'static str),
+    /// The checkpoint's checksum does not match its payload: the bytes were
+    /// corrupted after sealing (torn write, bit rot, truncated copy).
+    ChecksumMismatch {
+        /// Checksum recorded in the frame header.
+        expected: u64,
+        /// Checksum recomputed over the payload actually present.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -51,6 +63,13 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::ShapeMismatch { index, expected, found } => write!(
                 f,
                 "parameter {index} shape mismatch: model {expected:?}, checkpoint {found:?}"
+            ),
+            CheckpointError::FrameCorrupt(what) => {
+                write!(f, "checkpoint frame corrupt: {what}")
+            }
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: frame says {expected:#018x}, payload hashes to {found:#018x}"
             ),
         }
     }
@@ -109,12 +128,23 @@ pub fn load_params(layer: &mut dyn Layer, bytes: &[u8]) -> Result<(), Checkpoint
         if buf.remaining() < 16 {
             return Err(CheckpointError::Truncated);
         }
-        let rows = buf.get_u64_le() as usize;
-        let cols = buf.get_u64_le() as usize;
-        let need = rows * cols * 4;
-        if buf.remaining() < need {
-            return Err(CheckpointError::Truncated);
+        let rows = buf.get_u64_le();
+        let cols = buf.get_u64_le();
+        // The shape fields are untrusted: a corrupt checkpoint can declare
+        // dimensions whose product overflows `usize`, so size the read with
+        // checked arithmetic — an implausible shape can never out-read the
+        // buffer, panic, or reserve unbounded memory. Any shape whose data
+        // cannot fit the remaining bytes is a truncation by definition.
+        let elems = usize::try_from(rows)
+            .ok()
+            .zip(usize::try_from(cols).ok())
+            .and_then(|(r, c)| r.checked_mul(c));
+        let need = elems.and_then(|n| n.checked_mul(4));
+        match need {
+            Some(need) if need <= buf.remaining() => {}
+            _ => return Err(CheckpointError::Truncated),
         }
+        let (rows, cols) = (rows as usize, cols as usize);
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows * cols {
             data.push(buf.get_f32_le());

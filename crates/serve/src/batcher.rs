@@ -102,11 +102,25 @@ pub(crate) struct ShardWorker {
     pub(crate) batch: Vec<RoutedRequest>,
     /// Cardinalities of the live prefix of `batch`, in order.
     results: Vec<f64>,
+    /// Fault-injection hook, fired once per executed batch right before the
+    /// forward pass. Production never arms it (the `None` check is free and
+    /// allocation-free); the deterministic harness injects seeded panics
+    /// here to exercise the supervision path.
+    pub(crate) fault: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl ShardWorker {
     pub(crate) fn new() -> Self {
-        Self { pool: WorkspacePool::new(), batch: Vec::new(), results: Vec::new() }
+        Self { pool: WorkspacePool::new(), batch: Vec::new(), results: Vec::new(), fault: None }
+    }
+
+    /// Reset execution state after a caught panic: the workspace pool and
+    /// results may have been poisoned mid-forward, so both are rebuilt; the
+    /// batch is kept (its requests were already failed and still need
+    /// recycling) and the fault hook stays armed.
+    pub(crate) fn respawn(&mut self) {
+        self.pool = WorkspacePool::new();
+        self.results = Vec::new();
     }
 
     /// Execute the batch currently in `self.batch` (all requests share one
@@ -146,10 +160,10 @@ impl ShardWorker {
             let expired = self.batch[i].deadline.is_some_and(|deadline| now > deadline);
             if stale {
                 metrics.record_shed_stale();
-                deliver(&self.batch[i].reply, Err(ShedReason::StaleRegistration), outcomes);
+                deliver(&mut self.batch[i].reply, Err(ShedReason::StaleRegistration), outcomes);
             } else if expired {
                 metrics.record_shed_deadline();
-                deliver(&self.batch[i].reply, Err(ShedReason::DeadlineExpired), outcomes);
+                deliver(&mut self.batch[i].reply, Err(ShedReason::DeadlineExpired), outcomes);
             } else {
                 self.batch.swap(live, i);
                 live += 1;
@@ -176,14 +190,18 @@ impl ShardWorker {
         let epoch = resources.cache.epoch();
         let was_resident = resources.slot.is_resident();
         let Ok((generation, estimator)) = resources.slot.try_current_versioned() else {
-            for request in &self.batch[..live] {
+            metrics.record_reload_failure();
+            for request in &mut self.batch[..live] {
                 metrics.record_shed_overload();
-                deliver(&request.reply, Err(ShedReason::QueueFull), outcomes);
+                deliver(&mut request.reply, Err(ShedReason::QueueFull), outcomes);
             }
             return;
         };
         if !was_resident {
             metrics.record_model_reload();
+        }
+        if let Some(fault) = &self.fault {
+            fault();
         }
         estimator.estimate_encoded_batch_with(
             &self.batch[..live],
@@ -193,11 +211,11 @@ impl ShardWorker {
         );
         metrics.record_batch(live);
 
-        for (request, &value) in self.batch[..live].iter().zip(self.results.iter()) {
+        for (request, &value) in self.batch[..live].iter_mut().zip(self.results.iter()) {
             if let Some(key) = &request.key {
                 resources.cache.insert_tagged(key.with_generation(generation), value, epoch);
             }
-            deliver(&request.reply, Ok(value), outcomes);
+            deliver(&mut request.reply, Ok(value), outcomes);
         }
 
         // Serving this batch may have pushed (or kept) the directory over
@@ -207,19 +225,84 @@ impl ShardWorker {
     }
 }
 
-/// Send one outcome to its sink (a vanished client is not an error).
+/// Send one outcome to its sink and **detach the reply** (a vanished client
+/// is not an error).
+///
+/// Detaching — `Channel`/`Ticket` become `Discard`, `Wire` becomes
+/// `WireAnswered` — is the exactly-once guarantee: whatever happens to the
+/// batch afterwards (a caught panic, a supervised retry, recycling), a
+/// request whose reply has already been delivered can never be answered a
+/// second time, and [`fail_batch`] can tell exactly which requests still owe
+/// a terminal reply.
 fn deliver(
-    reply: &ReplyTo,
+    reply: &mut ReplyTo,
     outcome: Result<f64, ShedReason>,
     outcomes: &mut Vec<(u64, Result<f64, ShedReason>)>,
 ) {
-    match reply {
+    match std::mem::replace(reply, ReplyTo::Discard) {
         ReplyTo::Channel(tx) => {
             let _ = tx.send(outcome);
         }
-        ReplyTo::Wire { outbox, request_id } => outbox.complete(*request_id, outcome),
-        ReplyTo::Ticket(ticket) => outcomes.push((*ticket, outcome)),
+        ReplyTo::Wire { outbox, request_id } => {
+            outbox.complete(request_id, outcome);
+            // Keep the outbox handle so the request can be recycled into
+            // its connection's pool after the batch retires.
+            *reply = ReplyTo::WireAnswered(outbox);
+        }
+        ReplyTo::WireAnswered(outbox) => *reply = ReplyTo::WireAnswered(outbox),
+        ReplyTo::Ticket(ticket) => outcomes.push((ticket, outcome)),
         ReplyTo::Discard => {}
+    }
+}
+
+/// Terminate every not-yet-answered request of a poisoned batch with
+/// [`ShedReason::WorkerPanicked`] — the reply half of shard supervision.
+///
+/// Requests whose replies were already delivered (detached by [`deliver`])
+/// are left alone, so a panic after partial delivery fails exactly the
+/// remainder: every request still receives exactly one terminal reply.
+pub(crate) fn fail_batch(
+    batch: &mut [RoutedRequest],
+    metrics: &ServeMetrics,
+    outcomes: &mut Vec<(u64, Result<f64, ShedReason>)>,
+) {
+    for request in batch.iter_mut() {
+        if matches!(request.reply, ReplyTo::Channel(_) | ReplyTo::Wire { .. } | ReplyTo::Ticket(_))
+        {
+            metrics.record_shed_internal();
+            deliver(&mut request.reply, Err(ShedReason::WorkerPanicked), outcomes);
+        }
+    }
+}
+
+/// Execute the worker's current batch under supervision: a panic anywhere in
+/// batch execution (a poisoned model forward, a failing cache shard — any
+/// bug or injected fault) is caught here instead of killing the worker
+/// thread.
+///
+/// On a caught panic every unanswered request in the batch is terminated
+/// with a typed internal error ([`fail_batch`]) and the worker is respawned
+/// with a fresh workspace pool, since a panic mid-forward can leave
+/// workspace buffers in an arbitrary state. The worker *thread* never dies:
+/// supervision is in-thread, so respawn costs one `WorkspacePool` rebuild —
+/// no thread spawn, no queue handoff, and the `catch_unwind` itself is free
+/// on the no-panic path.
+pub(crate) fn execute_supervised(
+    worker: &mut ShardWorker,
+    tables: &[TableResources],
+    now: Duration,
+    metrics: &ServeMetrics,
+    tier: &ModelTier,
+    outcomes: &mut Vec<(u64, Result<f64, ShedReason>)>,
+) {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        worker.execute(tables, now, metrics, tier, outcomes);
+    }));
+    if caught.is_err() {
+        metrics.record_panic_caught();
+        fail_batch(&mut worker.batch, metrics, outcomes);
+        worker.respawn();
+        metrics.record_shard_restart();
     }
 }
 
@@ -232,8 +315,11 @@ pub(crate) fn recycle_batch(batch: &mut Vec<RoutedRequest>) {
         // Detach the reply first: a pooled request must not keep a cyclic
         // strong reference to the outbox that owns the pool.
         let reply = std::mem::replace(&mut request.reply, ReplyTo::Discard);
-        if let ReplyTo::Wire { outbox, .. } = reply {
-            outbox.recycle(request);
+        match reply {
+            ReplyTo::Wire { outbox, .. } | ReplyTo::WireAnswered(outbox) => {
+                outbox.recycle(request);
+            }
+            _ => {}
         }
     }
 }
@@ -282,7 +368,7 @@ pub(crate) fn run_shard_worker(
             Popped::Batch => {
                 let now = clock.now();
                 let tables = directory.read().expect("directory poisoned");
-                worker.execute(&tables, now, &metrics, &tier, &mut outcomes);
+                execute_supervised(&mut worker, &tables, now, &metrics, &tier, &mut outcomes);
                 drop(tables);
                 recycle_batch(&mut worker.batch);
             }
@@ -302,7 +388,14 @@ pub(crate) fn run_shard_worker(
                         metrics.record_steal();
                         let now = clock.now();
                         let tables = directory.read().expect("directory poisoned");
-                        worker.execute(&tables, now, &metrics, &tier, &mut outcomes);
+                        execute_supervised(
+                            &mut worker,
+                            &tables,
+                            now,
+                            &metrics,
+                            &tier,
+                            &mut outcomes,
+                        );
                         drop(tables);
                         recycle_batch(&mut worker.batch);
                     }
@@ -632,6 +725,69 @@ mod tests {
             metrics.snapshot(0, 0, 0).steals >= 1,
             "serving a foreign shard's backlog must be recorded as a steal"
         );
+    }
+
+    #[test]
+    fn a_panicking_batch_fails_typed_and_the_worker_respawns() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let table = census_like(250, 37);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let est = DuetEstimator::train_data_only(&table, &cfg, 8);
+        let queries = WorkloadSpec::random(&table, 6, 12).generate(&table);
+        let expected = est.estimate_batch(&queries);
+
+        let shard = test_shard(64);
+        let tables = vec![resources_for(&est, "census")];
+        let metrics = ServeMetrics::new();
+        let tier = ModelTier::new(0);
+        let mut worker = ShardWorker::new();
+        // Panic on the first executed batch only.
+        let executions = Arc::new(AtomicU64::new(0));
+        let hook_counter = executions.clone();
+        worker.fault = Some(Arc::new(move || {
+            if hook_counter.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("injected model fault");
+            }
+        }));
+        let mut outcomes = Vec::new();
+
+        // Round 1: the batch poisons the worker; every request must still
+        // get a typed terminal reply.
+        let mut replies = Vec::new();
+        for q in &queries {
+            let (reply, reply_rx) = mpsc::sync_channel(1);
+            shard.try_push(request_for(&tables[0], 0, q, None, reply)).unwrap();
+            replies.push(reply_rx);
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        assert!(shard.try_pop_batch(64, &mut worker.batch));
+        execute_supervised(&mut worker, &tables, Duration::ZERO, &metrics, &tier, &mut outcomes);
+        std::panic::set_hook(prev);
+        recycle_batch(&mut worker.batch);
+        for rx in &replies {
+            assert_eq!(rx.recv().unwrap(), Err(ShedReason::WorkerPanicked));
+        }
+
+        // Round 2: the respawned worker serves bit-identically.
+        let mut replies = Vec::new();
+        for q in &queries {
+            let (reply, reply_rx) = mpsc::sync_channel(1);
+            shard.try_push(request_for(&tables[0], 0, q, None, reply)).unwrap();
+            replies.push(reply_rx);
+        }
+        assert!(shard.try_pop_batch(64, &mut worker.batch));
+        execute_supervised(&mut worker, &tables, Duration::ZERO, &metrics, &tier, &mut outcomes);
+        recycle_batch(&mut worker.batch);
+        let got: Vec<f64> = replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
+        assert_eq!(got, expected, "post-respawn answers must stay bit-identical");
+
+        let snapshot = metrics.snapshot(0, 0, 0);
+        assert_eq!(snapshot.panics_caught, 1);
+        assert_eq!(snapshot.shard_restarts, 1);
+        assert_eq!(snapshot.shed_internal, queries.len() as u64);
+        assert!(outcomes.is_empty(), "channel replies must not leak into the ticket log");
     }
 
     /// Regression test for the in-flight re-register race: requests queued

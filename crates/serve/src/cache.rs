@@ -407,13 +407,19 @@ impl ShardedCache {
         }
     }
 
+    // Shard locks tolerate poisoning (`into_inner`): workers insert into the
+    // cache inside the supervised `catch_unwind` region, and the intrusive
+    // LRU mutates only after its reads, so a panic between lock and unlock
+    // leaves the shard structurally valid. Worst case is a stale or missing
+    // entry — a cache is allowed both — while propagating the poison would
+    // take down every later request that hashes to the shard.
     fn shard(&self, key: &CacheKey) -> &Mutex<LruShard> {
         &self.shards[(key.hash as usize) % self.shards.len()]
     }
 
     /// Look up a cached estimate, counting the hit or miss.
     pub fn get(&self, key: &CacheKey) -> Option<f64> {
-        let result = self.shard(key).lock().expect("cache shard poisoned").get(key);
+        let result = self.shard(key).lock().unwrap_or_else(|e| e.into_inner()).get(key);
         match result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -424,7 +430,7 @@ impl ShardedCache {
     /// Store an estimate, evicting the least recently used entry of the
     /// target shard when full.
     pub fn insert(&self, key: CacheKey, value: f64) {
-        self.shard(&key).lock().expect("cache shard poisoned").insert(key, value);
+        self.shard(&key).lock().unwrap_or_else(|e| e.into_inner()).insert(key, value);
     }
 
     /// Whether `key` is currently cached, **without** touching the LRU
@@ -435,7 +441,7 @@ impl ShardedCache {
     /// simulated swap race without perturbing the statistics they also
     /// assert on); serving paths use [`ShardedCache::get`].
     pub fn contains(&self, key: &CacheKey) -> bool {
-        self.shard(key).lock().expect("cache shard poisoned").map.contains_key(key)
+        self.shard(key).lock().unwrap_or_else(|e| e.into_inner()).map.contains_key(key)
     }
 
     /// The current invalidation epoch. Snapshot it *before* resolving the
@@ -451,7 +457,7 @@ impl ShardedCache {
     /// (and is dropped) or completes before the purge locks that shard (and
     /// is removed by it) — never both missed.
     pub fn insert_tagged(&self, key: CacheKey, value: f64, epoch: u64) {
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
         if self.epoch.load(Ordering::Acquire) == epoch {
             shard.insert(key, value);
         }
@@ -468,13 +474,13 @@ impl ShardedCache {
     /// Drop every entry (hit/miss counters and the epoch are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
     }
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len()).sum()
     }
 
     /// True if no entries are cached.

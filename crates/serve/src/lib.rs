@@ -47,6 +47,16 @@
 //!   simulator ([`sim::run_wire_scenario`]) so framing, backpressure, and
 //!   out-of-order completion are replay-testable without sockets.
 //!
+//! The crate is organized into **fault domains**: every shard worker runs
+//! its batches under `catch_unwind` supervision (a panicking batch answers
+//! every request typed and the worker respawns), checkpoints carry a
+//! checksummed integrity frame so a torn or corrupt file is a typed reload
+//! error instead of garbage weights, the wire client retries overload with
+//! seeded jittered backoff ([`wire::RetryConfig`]) and can redial a dead
+//! server, and [`DuetServer::shutdown`] drains queued work before stopping.
+//! All of it is replayable under seeded fault injection
+//! ([`sim::FaultPlan`], [`sim::run_fault_scenario`]).
+//!
 //! ```no_run
 //! use duet_core::{DuetConfig, DuetEstimator};
 //! use duet_data::datasets::census_like;
@@ -103,4 +113,4 @@ pub use registry::{ModelRegistry, ModelSlot, ReloadError, SwapError};
 pub use router::{shard_for, Clock, Router, RouterConfig, ShedReason, SystemClock, VirtualClock};
 pub use server::{DuetServer, ServeConfig, ServeError};
 pub use tier::ModelTier;
-pub use wire::{WireClient, WireConfig, WireConn, WireHandle};
+pub use wire::{RetryConfig, WireClient, WireConfig, WireConn, WireHandle};

@@ -63,6 +63,18 @@ pub struct ServeMetrics {
     swaps_published: AtomicU64,
     /// Feedback observations rejected (stale slot uid or invalid value).
     feedback_rejected: AtomicU64,
+    /// Batch-execution panics caught by shard supervision.
+    panics_caught: AtomicU64,
+    /// Shard workers respawned with a fresh workspace pool after a panic.
+    shard_restarts: AtomicU64,
+    /// Evicted-model reload attempts that failed with a typed error.
+    reload_failures: AtomicU64,
+    /// Requests terminated with an internal fault (poisoned batch, failed
+    /// reload) rather than a scheduling shed.
+    shed_internal: AtomicU64,
+    /// Evictions abandoned because the checkpoint spill failed (IO error or
+    /// read-back verification); the model stays resident.
+    spill_failures: AtomicU64,
     /// Ring of recent latencies in nanoseconds; `latency_cursor` counts
     /// total records and indexes the ring modulo [`LATENCY_WINDOW`].
     latencies_ns: Vec<AtomicU64>,
@@ -95,6 +107,11 @@ impl ServeMetrics {
             retrains: AtomicU64::new(0),
             swaps_published: AtomicU64::new(0),
             feedback_rejected: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            shard_restarts: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+            shed_internal: AtomicU64::new(0),
+            spill_failures: AtomicU64::new(0),
             latencies_ns: (0..LATENCY_WINDOW).map(|_| AtomicU64::new(0)).collect(),
             latency_cursor: AtomicU64::new(0),
         }
@@ -206,6 +223,33 @@ impl ServeMetrics {
         self.feedback_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one batch-execution panic caught by shard supervision.
+    pub fn record_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one shard worker respawned after a caught panic.
+    pub fn record_shard_restart(&self) {
+        self.shard_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one evicted-model reload attempt that failed with a typed
+    /// error (unreadable spill file, corrupt or truncated checkpoint).
+    pub fn record_reload_failure(&self) {
+        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request terminated by an internal fault (poisoned batch or
+    /// failed reload) — the fault-domain counterpart of the scheduling sheds.
+    pub fn record_shed_internal(&self) {
+        self.shed_internal.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one eviction abandoned because the checkpoint spill failed.
+    pub fn record_spill_failure(&self) {
+        self.spill_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Requests rejected at admission so far.
     pub fn shed_overload(&self) -> u64 {
         self.shed_overload.load(Ordering::Relaxed)
@@ -281,6 +325,11 @@ impl ServeMetrics {
             retrains: self.retrains.load(Ordering::Relaxed),
             swaps_published: self.swaps_published.load(Ordering::Relaxed),
             feedback_rejected: self.feedback_rejected.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            shard_restarts: self.shard_restarts.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            shed_internal: self.shed_internal.load(Ordering::Relaxed),
+            spill_failures: self.spill_failures.load(Ordering::Relaxed),
             queue_depth,
             cache_hits,
             cache_misses,
@@ -367,6 +416,19 @@ pub struct MetricsSnapshot {
     /// Feedback observations rejected (stale slot uid or invalid
     /// cardinality).
     pub feedback_rejected: u64,
+    /// Batch-execution panics caught by shard supervision (every request in
+    /// the poisoned batch still received a terminal internal-error reply).
+    pub panics_caught: u64,
+    /// Shard workers respawned with a fresh workspace pool after a panic.
+    pub shard_restarts: u64,
+    /// Evicted-model reload attempts that failed with a typed error.
+    pub reload_failures: u64,
+    /// Requests terminated with an internal fault (poisoned batch, failed
+    /// reload) rather than a scheduling shed.
+    pub shed_internal: u64,
+    /// Evictions abandoned because the checkpoint spill failed; the model
+    /// stayed resident.
+    pub spill_failures: u64,
     /// Requests queued across all shards at snapshot time.
     pub queue_depth: usize,
     /// Result-cache hits across all tables.
@@ -385,7 +447,9 @@ impl std::fmt::Display for MetricsSnapshot {
              shed_overload={} shed_deadline={} shed_stale={} steals={} evictions={} reloads={} \
              queue_depth={} cache_hit_rate={:.1}% \
              conns={} frames_in={} frames_out={} decode_errors={} \
-             ingested={} drifts={} retrains={} swaps={} feedback_rejected={}",
+             ingested={} drifts={} retrains={} swaps={} feedback_rejected={} \
+             panics_caught={} shard_restarts={} reload_failures={} shed_internal={} \
+             spill_failures={}",
             self.requests,
             self.qps,
             self.p50_latency_us,
@@ -408,7 +472,12 @@ impl std::fmt::Display for MetricsSnapshot {
             self.drift_detections,
             self.retrains,
             self.swaps_published,
-            self.feedback_rejected
+            self.feedback_rejected,
+            self.panics_caught,
+            self.shard_restarts,
+            self.reload_failures,
+            self.shed_internal,
+            self.spill_failures
         )
     }
 }
@@ -517,6 +586,31 @@ mod tests {
         assert!(line.contains("steals=1"));
         assert!(line.contains("conns=1"));
         assert!(line.contains("frames_in=2"));
+    }
+
+    #[test]
+    fn fault_counters_are_reported() {
+        let m = ServeMetrics::new();
+        m.record_panic_caught();
+        m.record_shard_restart();
+        m.record_reload_failure();
+        m.record_reload_failure();
+        m.record_shed_internal();
+        m.record_shed_internal();
+        m.record_shed_internal();
+        m.record_spill_failure();
+        let s = m.snapshot(0, 0, 0);
+        assert_eq!(s.panics_caught, 1);
+        assert_eq!(s.shard_restarts, 1);
+        assert_eq!(s.reload_failures, 2);
+        assert_eq!(s.shed_internal, 3);
+        assert_eq!(s.spill_failures, 1);
+        let line = s.to_string();
+        assert!(line.contains("panics_caught=1"));
+        assert!(line.contains("shard_restarts=1"));
+        assert!(line.contains("reload_failures=2"));
+        assert!(line.contains("shed_internal=3"));
+        assert!(line.contains("spill_failures=1"));
     }
 
     #[test]

@@ -661,6 +661,12 @@ impl OnlineTrainerHandle {
         Self { stop, thread: Some(thread) }
     }
 
+    /// A clone of the trainer's stop flag, so [`crate::DuetServer::shutdown`]
+    /// can halt training without owning (or joining) the handle.
+    pub(crate) fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
     /// Stop the trainer and join its thread (also happens on drop).
     pub fn shutdown(mut self) {
         self.stop_and_join();

@@ -37,6 +37,14 @@ use std::sync::{Arc, RwLock};
 static NEXT_SLOT_UID: AtomicU64 = AtomicU64::new(1);
 
 /// Where an evicted model's checkpoint bytes live.
+///
+/// Both forms hold **sealed** [`duet_core::save_weights`] frames: a magic
+/// header, the payload length, and an FNV-1a checksum ahead of the codec
+/// bytes. Spilled files are written via temp-file + rename and verified by
+/// read-back before the resident model is dropped, so the store can only
+/// ever contain a frame that validated at least once; any later damage
+/// (truncation, bit rot, an operator overwriting the file) is caught by the
+/// same frame check at reload time and surfaces as a typed error.
 #[derive(Debug)]
 enum CheckpointStore {
     /// Held in memory (the default warm-evict form).
@@ -46,7 +54,9 @@ enum CheckpointStore {
 }
 
 impl CheckpointStore {
-    /// The checkpoint bytes, reading the spill file if necessary.
+    /// The checkpoint bytes, reading the spill file if necessary. A spilled
+    /// file is length-validated against its frame header here; full
+    /// checksum verification happens when the frame is unsealed on reload.
     fn load(&self) -> std::io::Result<std::borrow::Cow<'_, [u8]>> {
         match self {
             CheckpointStore::Memory(bytes) => Ok(std::borrow::Cow::Borrowed(bytes)),
@@ -123,6 +133,12 @@ pub struct ModelSlot {
     evictions: AtomicU64,
     /// Evicted models rebuilt from their checkpoint so far.
     reloads: AtomicU64,
+    /// Reload attempts that failed (unreadable spill file, corrupt or
+    /// truncated checkpoint). Each failure sheds the requesting batch on the
+    /// retryable overload path; the store is kept so a later attempt — after
+    /// the file is repaired or a fresh model is swapped in — can still
+    /// succeed. The slot degrades, it never wedges into a panic.
+    reload_failures: AtomicU64,
 }
 
 impl ModelSlot {
@@ -136,6 +152,7 @@ impl ModelSlot {
             uid: NEXT_SLOT_UID.fetch_add(1, Ordering::Relaxed),
             evictions: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
         }
     }
 
@@ -167,6 +184,12 @@ impl ModelSlot {
     /// Evicted models rebuilt from their checkpoint so far.
     pub fn reloads(&self) -> u64 {
         self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Reload attempts that failed with a typed error so far (see the
+    /// `reload_failures` field docs for the recovery contract).
+    pub fn reload_failures(&self) -> u64 {
+        self.reload_failures.load(Ordering::Relaxed)
     }
 
     /// The estimator currently serving this slot.
@@ -215,16 +238,29 @@ impl ModelSlot {
             // Another thread reloaded while we waited for the write lock.
             Residency::Resident(estimator) => Ok((inner.generation, estimator.clone())),
             Residency::Evicted(evicted) => {
-                let bytes = evicted.store.load().map_err(ReloadError::Io)?;
-                let estimator = DuetEstimator::rebuild_from_checkpoint(
-                    &evicted.schema,
-                    evicted.num_rows,
-                    &evicted.config,
-                    evicted.label.clone(),
-                    &bytes,
-                )
-                .map_err(ReloadError::Checkpoint)?;
-                drop(bytes);
+                let rebuilt = evicted.store.load().map_err(ReloadError::Io).and_then(|bytes| {
+                    DuetEstimator::rebuild_from_checkpoint(
+                        &evicted.schema,
+                        evicted.num_rows,
+                        &evicted.config,
+                        evicted.label.clone(),
+                        &bytes,
+                    )
+                    .map_err(ReloadError::Checkpoint)
+                });
+                let estimator = match rebuilt {
+                    Ok(estimator) => estimator,
+                    Err(e) => {
+                        // Typed failure, counted, store kept: the caller
+                        // sheds this batch on the retryable overload path
+                        // and the *next* request tries again — a repaired
+                        // spill file or a hot-swap publish heals the slot
+                        // without a restart. Never a panic, never garbage
+                        // weights (the checksum frame rejects those).
+                        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                };
                 evicted.store.discard();
                 let estimator = Arc::new(estimator);
                 inner.state = Residency::Resident(estimator.clone());
@@ -263,7 +299,24 @@ impl ModelSlot {
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
                 let path = dir.join(format!("slot-{}-gen-{generation}.duetckpt", self.uid));
-                std::fs::write(&path, &checkpoint)?;
+                // Crash-safe spill: write to a temporary sibling and rename
+                // into place, so a crash or full disk mid-write can never
+                // leave a half-written file under the final name. Then read
+                // the renamed file back and verify its integrity frame
+                // BEFORE dropping the resident model — the checkpoint is
+                // about to become the only copy of these weights, so a torn
+                // or bit-flipped write must keep the model resident instead.
+                let tmp = dir.join(format!("slot-{}-gen-{generation}.duetckpt.tmp", self.uid));
+                std::fs::write(&tmp, &checkpoint)?;
+                std::fs::rename(&tmp, &path)?;
+                let written = std::fs::read(&path)?;
+                if let Err(e) = duet_core::verify_checkpoint(&written) {
+                    let _ = std::fs::remove_file(&path);
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("spilled checkpoint failed read-back verification: {e}"),
+                    ));
+                }
                 CheckpointStore::Spilled(path)
             }
             None => CheckpointStore::Memory(checkpoint.to_vec()),
@@ -310,8 +363,19 @@ impl ModelSlot {
     /// compatibility valid even if another same-space swap lands in
     /// between). Only the pointer/generation update takes the write lock.
     pub fn swap(&self, estimator: DuetEstimator) -> Result<(), SwapError> {
-        let snapshot = self.current();
-        let (old, new) = (snapshot.schema(), estimator.schema());
+        // Snapshot a comparable schema without forcing a reload: an evicted
+        // slot keeps its schema alongside the checkpoint, so a swap can land
+        // on it directly — this is also the heal path for a slot whose
+        // checkpoint has gone bad (reloads fail typed; a publish installs a
+        // fresh resident model and retires the broken store).
+        let old_schema = {
+            let inner = self.inner.read().expect("model slot poisoned");
+            match &inner.state {
+                Residency::Resident(est) => est.schema().schema_only(),
+                Residency::Evicted(evicted) => evicted.schema.schema_only(),
+            }
+        };
+        let (old, new) = (&old_schema, estimator.schema());
         let compatible = old.num_columns() == new.num_columns()
             && (0..old.num_columns()).all(|c| {
                 let (oc, nc) = (old.column(c), new.column(c));
@@ -325,6 +389,11 @@ impl ModelSlot {
             });
         }
         let mut inner = self.inner.write().expect("model slot poisoned");
+        if let Residency::Evicted(evicted) = &inner.state {
+            // The swap replaces the evicted model outright; drop its spill
+            // file rather than orphaning it on disk.
+            evicted.store.discard();
+        }
         inner.generation += 1;
         inner.state = Residency::Resident(Arc::new(estimator));
         Ok(())
@@ -332,13 +401,46 @@ impl ModelSlot {
 
     /// Hot-swap from a [`duet_core::save_weights`] checkpoint.
     ///
-    /// The current estimator provides the architecture: its clone receives
-    /// the checkpointed weights (shape-checked by the codec), then replaces
-    /// the original atomically. On error the slot is left untouched.
+    /// While resident, the current estimator provides the architecture: its
+    /// clone receives the checkpointed weights (frame- and shape-checked by
+    /// the codec), then replaces the original atomically. While evicted, the
+    /// architecture is rebuilt from the slot's retained `(schema, config)` —
+    /// the checkpoint is loaded into a fresh network without ever touching
+    /// the (possibly corrupt) evicted store, which makes this the heal path
+    /// for a slot whose spilled checkpoint has gone bad. On error the slot
+    /// is left untouched.
     pub fn hot_swap_checkpoint(&self, checkpoint: &[u8]) -> Result<(), CheckpointError> {
-        let mut fresh = (*self.current()).clone();
-        load_weights(&mut fresh, checkpoint)?;
-        self.swap(fresh).expect("a clone of the current model cannot change schema");
+        // Snapshot the architecture source under the read lock, then do the
+        // (comparatively expensive) decode outside it.
+        enum Arch {
+            Live(Arc<DuetEstimator>),
+            Rebuild { schema: Table, config: DuetConfig, num_rows: usize, label: String },
+        }
+        let arch = {
+            let inner = self.inner.read().expect("model slot poisoned");
+            match &inner.state {
+                Residency::Resident(est) => Arch::Live(est.clone()),
+                Residency::Evicted(evicted) => Arch::Rebuild {
+                    schema: evicted.schema.schema_only(),
+                    config: evicted.config.clone(),
+                    num_rows: evicted.num_rows,
+                    label: evicted.label.clone(),
+                },
+            }
+        };
+        let fresh = match arch {
+            Arch::Live(current) => {
+                let mut fresh = (*current).clone();
+                load_weights(&mut fresh, checkpoint)?;
+                fresh
+            }
+            Arch::Rebuild { schema, config, num_rows, label } => {
+                DuetEstimator::rebuild_from_checkpoint(
+                    &schema, num_rows, &config, label, checkpoint,
+                )?
+            }
+        };
+        self.swap(fresh).expect("a model rebuilt from the slot's schema cannot change schema");
         Ok(())
     }
 }

@@ -117,6 +117,10 @@ pub enum ShedReason {
     /// between the request's encoding and its dequeue; its predicate ids may
     /// no longer mean what they meant, so it is rejected instead of served.
     StaleRegistration,
+    /// The request's batch hit an internal fault — a panic caught by shard
+    /// supervision, or a failed evicted-model reload. The request itself may
+    /// be fine; retrying on a respawned worker usually succeeds.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -126,6 +130,9 @@ impl std::fmt::Display for ShedReason {
             ShedReason::DeadlineExpired => write!(f, "deadline expired before dequeue"),
             ShedReason::StaleRegistration => {
                 write!(f, "table re-registered while the request was queued")
+            }
+            ShedReason::WorkerPanicked => {
+                write!(f, "internal fault while the request's batch executed")
             }
         }
     }
@@ -179,6 +186,11 @@ pub(crate) enum ReplyTo {
         /// Client-chosen correlation id echoed in the response frame.
         request_id: u64,
     },
+    /// A wire request whose outcome has already been recorded in the outbox.
+    /// `deliver` detaches `Wire` into this the moment it completes, so a
+    /// supervised retry of the same batch can never answer twice; the outbox
+    /// handle is retained so the struct can still be recycled into its pool.
+    WireAnswered(Arc<crate::wire::Outbox>),
     /// Test harness: record under this ticket in the driver's outcome log.
     Ticket(u64),
     /// Measurement probes: discard the outcome.

@@ -100,6 +100,10 @@ pub enum ServeError {
     /// The table's model could not be brought resident (an evicted model's
     /// checkpoint failed to reload). Retry later.
     ModelUnavailable(String),
+    /// The request's batch hit an internal fault: a panic caught by shard
+    /// supervision. The worker was respawned with a fresh workspace pool;
+    /// the request itself may be fine — retrying usually succeeds.
+    Internal(String),
     /// A model swap failed; the previous model keeps serving.
     Swap(SwapError),
     /// An online ingest or feedback payload was refused: the table is not
@@ -133,6 +137,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::ModelUnavailable(t) => {
                 write!(f, "model for table {t:?} could not be reloaded")
+            }
+            ServeError::Internal(t) => {
+                write!(f, "internal fault while serving table {t:?} (worker respawned; retry)")
             }
             ServeError::Swap(e) => write!(f, "{e}"),
             ServeError::Rejected { table, reason } => {
@@ -194,6 +201,14 @@ pub struct DuetServer {
     /// acceptors and any background trainer.
     online: Arc<OnlineDirectory>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Stop flags of every background trainer spawned through this server,
+    /// so [`DuetServer::shutdown`] can halt training promptly without owning
+    /// the handles (callers keep those and join on drop).
+    trainer_stops: Mutex<Vec<Arc<std::sync::atomic::AtomicBool>>>,
+    /// Stop flags of every wire listener opened through this server; flipped
+    /// by [`DuetServer::shutdown`] so listeners stop accepting and start
+    /// their graceful drain.
+    wire_stops: Mutex<Vec<Arc<std::sync::atomic::AtomicBool>>>,
 }
 
 impl DuetServer {
@@ -239,6 +254,8 @@ impl DuetServer {
             tier,
             online: Arc::new(OnlineDirectory::new()),
             workers: Mutex::new(workers),
+            trainer_stops: Mutex::new(Vec::new()),
+            wire_stops: Mutex::new(Vec::new()),
         }
     }
 
@@ -359,6 +376,7 @@ impl DuetServer {
             Ok(Err(ShedReason::QueueFull)) => {
                 Err(ServeError::Overloaded { table: table.to_string(), shard: 0, depth: 0 })
             }
+            Ok(Err(ShedReason::WorkerPanicked)) => Err(ServeError::Internal(table.to_string())),
             Err(_) => Err(ServeError::WorkerUnavailable(table.to_string())),
         }
     }
@@ -377,10 +395,10 @@ impl DuetServer {
         // Resolving may lazily reload a model the tier evicted (the front
         // door needs its schema to encode the query).
         let was_resident = handle.slot.is_resident();
-        let (generation, estimator) = handle
-            .slot
-            .try_current_versioned()
-            .map_err(|_| ServeError::ModelUnavailable(table.to_string()))?;
+        let (generation, estimator) = handle.slot.try_current_versioned().map_err(|_| {
+            self.metrics.record_reload_failure();
+            ServeError::ModelUnavailable(table.to_string())
+        })?;
         if !was_resident {
             self.metrics.record_model_reload();
         }
@@ -402,10 +420,10 @@ impl DuetServer {
     pub fn estimate_many(&self, table: &str, queries: &[Query]) -> Result<Vec<f64>, ServeError> {
         let handle = self.handle(table)?;
         let was_resident = handle.slot.is_resident();
-        let (generation, estimator) = handle
-            .slot
-            .try_current_versioned()
-            .map_err(|_| ServeError::ModelUnavailable(table.to_string()))?;
+        let (generation, estimator) = handle.slot.try_current_versioned().map_err(|_| {
+            self.metrics.record_reload_failure();
+            ServeError::ModelUnavailable(table.to_string())
+        })?;
         if !was_resident {
             self.metrics.record_model_reload();
         }
@@ -554,7 +572,11 @@ impl DuetServer {
     /// [`OnlineTrainerHandle::shutdown`] or drop; the server can outlive it
     /// or vice versa (the thread holds its own `Arc`s).
     pub fn spawn_online_trainer(&self, interval: std::time::Duration) -> OnlineTrainerHandle {
-        OnlineTrainerHandle::spawn(self.online.clone(), interval)
+        let handle = OnlineTrainerHandle::spawn(self.online.clone(), interval);
+        // Remember the stop flag so a server-wide shutdown halts training
+        // without waiting for the caller to drop the handle.
+        self.trainer_stops.lock().expect("server poisoned").push(handle.stop_flag());
+        handle
     }
 
     /// Resolve `table`'s online state or explain why it has none.
@@ -616,7 +638,7 @@ impl DuetServer {
         addr: impl std::net::ToSocketAddrs,
         config: crate::wire::WireConfig,
     ) -> std::io::Result<crate::wire::WireHandle> {
-        crate::wire::listener::serve(
+        let handle = crate::wire::listener::serve(
             addr,
             config,
             crate::wire::listener::WireShared {
@@ -626,7 +648,63 @@ impl DuetServer {
                 clock: self.clock.clone(),
                 metrics: self.metrics.clone(),
             },
-        )
+        )?;
+        // Remember the stop flag so a server-wide shutdown closes the front
+        // door without owning the handle (the caller keeps it for joins).
+        self.wire_stops.lock().expect("server poisoned").push(handle.stop_flag());
+        Ok(handle)
+    }
+
+    /// Gracefully drain and stop the server, bounded by `deadline`.
+    ///
+    /// The sequence, ordered so nothing admitted is lost and nothing
+    /// half-finished is published:
+    ///
+    /// 1. **Stop background trainers** spawned through
+    ///    [`DuetServer::spawn_online_trainer`]. A retrain inside a tick is
+    ///    atomic — it either publishes a fully trained model or nothing — so
+    ///    flipping the stop flag can never publish half-trained weights.
+    /// 2. **Close the wire front door**: listeners opened through
+    ///    [`DuetServer::serve_wire`] stop accepting and begin their graceful
+    ///    drain (flush queued responses for work already admitted, within
+    ///    [`crate::wire::WireConfig::drain`]).
+    /// 3. **Close the router**: shard workers keep executing until their
+    ///    queues are empty, then exit — every admitted request still gets
+    ///    its terminal reply.
+    /// 4. **Join the worker pool**, up to the deadline.
+    ///
+    /// Returns `true` when every shard worker drained and exited within the
+    /// deadline; `false` if time ran out first (remaining workers are joined
+    /// blockingly on drop). Idempotent: a second call finds everything
+    /// already closed and returns quickly.
+    pub fn shutdown(&self, deadline: std::time::Duration) -> bool {
+        use std::sync::atomic::Ordering;
+        let give_up_at = Instant::now() + deadline;
+        for stop in self.trainer_stops.lock().expect("server poisoned").drain(..) {
+            stop.store(true, Ordering::Relaxed);
+        }
+        for stop in self.wire_stops.lock().expect("server poisoned").drain(..) {
+            stop.store(true, Ordering::Relaxed);
+        }
+        self.router.close();
+        let mut workers = self.workers.lock().expect("server poisoned");
+        loop {
+            let mut i = 0;
+            while i < workers.len() {
+                if workers[i].is_finished() {
+                    let _ = workers.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            if workers.is_empty() {
+                return true;
+            }
+            if Instant::now() >= give_up_at {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 
     /// A point-in-time snapshot of all serving metrics, with cache counters

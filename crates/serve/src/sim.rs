@@ -22,7 +22,7 @@
 //! multi-client workload and folds the outcomes into a [`ScenarioReport`]
 //! whose equality across runs *is* the determinism assertion.
 
-use crate::batcher::{BatchConfig, ShardWorker};
+use crate::batcher::{execute_supervised, BatchConfig, ShardWorker};
 use crate::cache::{canonical_key_from_parts, HotSet, ShardedCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::online::{OnlineConfig, OnlineDirectory, OnlineHooks, OnlineTable, OnlineTickReport};
@@ -39,6 +39,8 @@ use duet_data::Table;
 use duet_query::{exact_cardinality, CardinalityEstimator, Query};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -217,6 +219,35 @@ impl RouterHarness {
         &self.tier
     }
 
+    /// Arm an injected fault hook on every shard worker. The hook runs
+    /// inside the supervised batch execution (after model resolve, before
+    /// the forward pass); a panic it throws is caught by the exact
+    /// `catch_unwind` supervision the production shard threads run, failing
+    /// the batch typed and respawning the worker.
+    pub fn arm_fault(&mut self, fault: Arc<dyn Fn() + Send + Sync>) {
+        for worker in &mut self.workers {
+            worker.fault = Some(fault.clone());
+        }
+    }
+
+    /// Arm a seeded panic plan: the batch executions whose global ordinal
+    /// (0-based, counted across all shards in execution order) appears in
+    /// `batches` panic mid-execution. Under the single-threaded harness the
+    /// ordinal sequence is a pure function of the script, so a replay hits
+    /// the identical batches.
+    pub fn arm_panic_batches(&mut self, batches: &[u64]) {
+        let mut panic_at = batches.to_vec();
+        panic_at.sort_unstable();
+        panic_at.dedup();
+        let executed = Arc::new(AtomicU64::new(0));
+        self.arm_fault(Arc::new(move || {
+            let ordinal = executed.fetch_add(1, Ordering::Relaxed);
+            if panic_at.binary_search(&ordinal).is_ok() {
+                panic!("injected model fault (batch {ordinal})");
+            }
+        }));
+    }
+
     /// The harness's virtual clock (advance it to make deadlines expire).
     pub fn clock(&self) -> &VirtualClock {
         &self.clock
@@ -250,12 +281,34 @@ impl RouterHarness {
     /// Encode `query` against `table`'s schema into a routable request.
     /// With `ticket: Some(t)`, the outcome is logged under `t`; with `None`
     /// it is discarded (allocation-probe mode).
+    ///
+    /// # Panics
+    /// Panics if the table's model is evicted and cannot be reloaded
+    /// (corrupt or unreadable spilled checkpoint); fault-tolerant callers
+    /// use [`RouterHarness::try_prepare`].
     pub fn prepare(&self, table: usize, query: &Query, ticket: Option<u64>) -> PreparedRequest {
+        self.try_prepare(table, query, ticket).expect("model unavailable (reload failed)")
+    }
+
+    /// [`RouterHarness::prepare`], but a failed lazy reload (the tier
+    /// evicted the model and its checkpoint has gone bad) comes back as a
+    /// typed error instead of a panic — mirroring the production front
+    /// door's [`crate::ServeError::ModelUnavailable`] path, including its
+    /// metric.
+    pub fn try_prepare(
+        &self,
+        table: usize,
+        query: &Query,
+        ticket: Option<u64>,
+    ) -> Result<PreparedRequest, crate::registry::ReloadError> {
         let resources = &self.directory[table];
         // Resolving may lazily reload a model the tier evicted (encoding
         // needs its schema) — mirror the production front door's counting.
         let was_resident = resources.slot.is_resident();
-        let (generation, estimator) = resources.slot.current_versioned();
+        let (generation, estimator) = resources
+            .slot
+            .try_current_versioned()
+            .inspect_err(|_| self.metrics.record_reload_failure())?;
         if !was_resident {
             self.metrics.record_model_reload();
         }
@@ -264,7 +317,7 @@ impl RouterHarness {
         let intervals = query.column_intervals(schema);
         let key = (self.config.cache_capacity > 0)
             .then(|| canonical_key_from_parts(schema, generation, &preds, &intervals));
-        PreparedRequest(RoutedRequest {
+        Ok(PreparedRequest(RoutedRequest {
             table_id: table as u32,
             slot_uid: resources.slot.uid(),
             preds,
@@ -275,7 +328,7 @@ impl RouterHarness {
                 Some(t) => ReplyTo::Ticket(t),
                 None => ReplyTo::Discard,
             },
-        })
+        }))
     }
 
     /// Admit a prepared request to its table's shard. On rejection the
@@ -297,8 +350,17 @@ impl RouterHarness {
 
     /// Encode, cache-probe, and admit one query (the driver-facing
     /// equivalent of [`crate::DuetServer::estimate`]'s submit pipeline).
+    /// A table whose evicted model cannot be reloaded sheds at admission
+    /// (counted as a reload failure, never a panic).
     pub fn submit_query(&mut self, table: usize, query: &Query, ticket: u64) -> SubmitResult {
-        let request = self.prepare(table, query, Some(ticket));
+        let request = match self.try_prepare(table, query, Some(ticket)) {
+            Ok(request) => request,
+            Err(_unloadable) => {
+                return SubmitResult::Shed {
+                    depth: self.router.shard(self.table_shard[table]).depth(),
+                };
+            }
+        };
         if let Some(key) = &request.0.key {
             // Popularity is observed on every cacheable request — hit or
             // miss — mirroring the production submit path, so the hot set
@@ -328,7 +390,18 @@ impl RouterHarness {
             let worker = &mut self.workers[shard_index];
             if self.router.shard(shard_index).try_pop_batch(max_batch, &mut worker.batch) {
                 processed += worker.batch.len();
-                worker.execute(&self.directory, now, &self.metrics, &self.tier, &mut self.outcomes);
+                // The same supervised execution the production shard threads
+                // run: a panicking batch is failed typed and the worker state
+                // respawned, so fault-injection scenarios exercise the real
+                // recovery path.
+                execute_supervised(
+                    worker,
+                    &self.directory,
+                    now,
+                    &self.metrics,
+                    &self.tier,
+                    &mut self.outcomes,
+                );
                 // Recycle rather than drop: wire-originated requests go back
                 // to their connection's pool, keeping the simulated wire hot
                 // loop allocation-free (ticket/discard requests just drop,
@@ -350,7 +423,14 @@ impl RouterHarness {
             let worker = &mut self.workers[shard_index];
             if self.router.shard(shard_index).try_pop_batch(max_batch, &mut worker.batch) {
                 processed += worker.batch.len();
-                worker.execute(&self.directory, now, &self.metrics, &self.tier, &mut self.outcomes);
+                execute_supervised(
+                    worker,
+                    &self.directory,
+                    now,
+                    &self.metrics,
+                    &self.tier,
+                    &mut self.outcomes,
+                );
                 for request in worker.batch.drain(..) {
                     recycled.push(PreparedRequest(request));
                 }
@@ -462,6 +542,10 @@ pub struct ScenarioReport {
     pub shed_overload: u64,
     /// Requests dropped at dequeue (deadline expired).
     pub shed_deadline: u64,
+    /// Requests answered with a typed internal fault: their batch panicked,
+    /// the panic was caught by shard supervision, and every request in it
+    /// was failed [`ShedReason::WorkerPanicked`].
+    pub shed_internal: u64,
     /// Per-table submissions.
     pub per_table_submitted: Vec<u64>,
     /// Per-table served counts.
@@ -495,13 +579,25 @@ pub struct ScenarioReport {
     pub post_swap_served: u64,
     /// Hot-set entries replayed into the cache by online publishes.
     pub hot_replayed: u64,
+    /// Worker panics caught by shard supervision (0 without injected
+    /// faults).
+    pub panics_caught: u64,
+    /// Shard workers respawned (fresh workspace pool) after a caught panic.
+    pub shard_restarts: u64,
+    /// Lazy reloads of evicted models that failed (corrupt, truncated, or
+    /// unreadable spilled checkpoint); the affected requests shed instead.
+    pub reload_failures: u64,
+    /// Evictions abandoned because spilling the checkpoint failed (the
+    /// model stayed resident, over budget).
+    pub spill_failures: u64,
 }
 
 impl ScenarioReport {
-    /// `served + shed_overload + shed_deadline` — every submitted request
-    /// must be accounted for exactly once.
+    /// `served + shed_overload + shed_deadline + shed_internal` — every
+    /// submitted request must be accounted for exactly once, faults
+    /// included.
     pub fn accounted(&self) -> u64 {
-        self.served + self.shed_overload + self.shed_deadline
+        self.served + self.shed_overload + self.shed_deadline + self.shed_internal
     }
 
     /// Copy the harness-metric counters into the report.
@@ -514,6 +610,10 @@ impl ScenarioReport {
         self.retrains = snapshot.retrains;
         self.swaps_published = snapshot.swaps_published;
         self.feedback_rejected = snapshot.feedback_rejected;
+        self.panics_caught = snapshot.panics_caught;
+        self.shard_restarts = snapshot.shard_restarts;
+        self.reload_failures = snapshot.reload_failures;
+        self.spill_failures = snapshot.spill_failures;
     }
 }
 
@@ -665,6 +765,10 @@ pub fn run_scenario(
                     report.mismatches += 1;
                 }
             }
+            Err(ShedReason::WorkerPanicked) => {
+                report.shed_internal += 1;
+                report.per_table_shed[table] += 1;
+            }
             Err(_) => {
                 report.shed_deadline += 1;
                 report.per_table_shed[table] += 1;
@@ -713,6 +817,9 @@ pub enum ChunkMode {
 pub struct WireSim {
     harness: RouterHarness,
     conns: Vec<WireConn>,
+    conn_config: ConnConfig,
+    /// Connections torn down via [`WireSim::disconnect`].
+    drops: u64,
 }
 
 impl WireSim {
@@ -727,7 +834,26 @@ impl WireSim {
         Self {
             harness: RouterHarness::new(tables, config),
             conns: (0..connections).map(|_| WireConn::new(conn_config)).collect(),
+            conn_config,
+            drops: 0,
         }
+    }
+
+    /// Simulate a mid-stream client disconnect: connection `conn` is torn
+    /// down — half-received request bytes, in-flight tracking, and unsent
+    /// response bytes all dropped, exactly what closing the socket does —
+    /// and replaced with a fresh connection awaiting a new preamble.
+    /// Requests the old connection had already admitted still execute;
+    /// their completions land in the orphaned outbox and are never read,
+    /// which is the documented fate of replies to a dead peer.
+    pub fn disconnect(&mut self, conn: usize) {
+        self.conns[conn] = WireConn::new(self.conn_config);
+        self.drops += 1;
+    }
+
+    /// Connections dropped via [`WireSim::disconnect`] so far.
+    pub fn conn_drops(&self) -> u64 {
+        self.drops
     }
 
     /// The underlying single-step harness (clock, queue depths, metrics).
@@ -947,6 +1073,10 @@ pub fn run_wire_scenario(
                     }
                     Status::DeadlineExceeded => {
                         report.shed_deadline += 1;
+                        report.per_table_shed[table] += 1;
+                    }
+                    Status::Internal => {
+                        report.shed_internal += 1;
                         report.per_table_shed[table] += 1;
                     }
                     Status::UnknownTable => {
@@ -1219,9 +1349,250 @@ pub fn run_drift_scenario(
                     report.post_swap_served += 1;
                 }
             }
+            Err(ShedReason::WorkerPanicked) => {
+                report.shed_internal += 1;
+                report.per_table_shed[0] += 1;
+            }
             Err(_) => {
                 report.shed_deadline += 1;
                 report.per_table_shed[0] += 1;
+            }
+        }
+    }
+    report.fold_metrics(&harness.metrics_snapshot());
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: seeded faults layered over the scripted replay.
+// ---------------------------------------------------------------------------
+
+/// A seeded fault-injection plan for [`run_fault_scenario`]. Faults are
+/// addressed in deterministic script coordinates — global batch-execution
+/// ordinals and arrival-event indices — so replaying the same plan over the
+/// same [`ScenarioConfig`] injects the identical faults at the identical
+/// points, and the two [`ScenarioReport`]s compare equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Batch executions (0-based global ordinals, in execution order) that
+    /// panic mid-forward: supervision fails every request of the batch
+    /// typed ([`ShedReason::WorkerPanicked`]) and respawns the worker.
+    pub panic_batches: Vec<u64>,
+    /// `(event index, table)`: flip one payload byte of the table's spilled
+    /// checkpoint file just before that arrival, so subsequent lazy reloads
+    /// fail the frame checksum until the file is restored.
+    pub corrupt_checkpoint_at: Option<(u64, usize)>,
+    /// `(event index, table)`: truncate the table's spilled checkpoint to
+    /// half its length instead (the torn-write shape).
+    pub truncate_checkpoint_at: Option<(u64, usize)>,
+    /// Event index at which the damaged file's original bytes are written
+    /// back — the "repaired checkpoint heals the slot on the very next
+    /// request" path.
+    pub restore_checkpoint_at: Option<u64>,
+    /// Event index at which the tier's spill directory is replaced with a
+    /// path blocked by a plain file, making every subsequent spill attempt
+    /// an IO error (counted as `spill_failures`; the victim model stays
+    /// resident, over budget).
+    pub break_spill_dir_at: Option<u64>,
+    /// Event index at which the real spill directory is restored.
+    pub fix_spill_dir_at: Option<u64>,
+    /// The real spill directory evictions write to. Required by every
+    /// checkpoint/spill fault above; the caller owns its lifetime.
+    pub spill_dir: Option<PathBuf>,
+}
+
+/// Find the spilled checkpoint file of the slot with `uid` under `dir`.
+fn spilled_checkpoint(dir: &Path, uid: u64) -> Option<PathBuf> {
+    let prefix = format!("slot-{uid}-");
+    std::fs::read_dir(dir).ok()?.flatten().map(|entry| entry.path()).find(|path| {
+        path.file_name()
+            .and_then(|name| name.to_str())
+            .is_some_and(|name| name.starts_with(&prefix) && name.ends_with(".duetckpt"))
+    })
+}
+
+/// How [`damage_checkpoint`] mangles a spilled checkpoint file.
+#[derive(Clone, Copy)]
+enum Damage {
+    /// Flip the final byte (checksum-covered payload corruption).
+    FlipByte,
+    /// Cut the file to half its length (a torn write).
+    Truncate,
+}
+
+/// Damage `table`'s spilled checkpoint on disk; returns the path and the
+/// original bytes so the plan can restore them later.
+///
+/// The fault being modeled is "the on-disk checkpoint went bad", so if the
+/// model is still resident it is first evicted to the spill directory —
+/// guaranteeing there is a file to damage regardless of where the tier's
+/// own eviction schedule happens to be at this event.
+fn damage_checkpoint(
+    harness: &RouterHarness,
+    plan: &FaultPlan,
+    table: usize,
+    damage: Damage,
+) -> (PathBuf, Vec<u8>) {
+    let dir = plan.spill_dir.as_ref().expect("checkpoint faults require FaultPlan::spill_dir");
+    let slot = &harness.directory[table].slot;
+    if slot.is_resident() {
+        slot.evict(Some(dir)).expect("spilling the checkpoint about to be damaged");
+    }
+    let uid = slot.uid();
+    let path =
+        spilled_checkpoint(dir, uid).expect("an evicted slot always has a spilled checkpoint file");
+    let original = std::fs::read(&path).expect("reading the spilled checkpoint");
+    let mut bytes = original.clone();
+    match damage {
+        Damage::FlipByte => {
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+        }
+        Damage::Truncate => bytes.truncate(bytes.len() / 2),
+    }
+    std::fs::write(&path, &bytes).expect("writing the damaged checkpoint");
+    (path, original)
+}
+
+/// Replay a scripted scenario with seeded faults injected per `plan` and
+/// fold the outcomes — faults included — into a [`ScenarioReport`].
+///
+/// The contract under fault is the no-fault contract plus typed failure:
+/// `accounted() == submitted` (every request still gets exactly one
+/// terminal outcome — panicking batches answer
+/// [`ShedReason::WorkerPanicked`], unreloadable models shed at admission),
+/// `mismatches == 0` (a request that *is* served is still bit-identical to
+/// the unbatched reference), and replaying the same plan over the same
+/// config yields an `==` report, fault counters included.
+pub fn run_fault_scenario(
+    tables: &[(String, DuetEstimator)],
+    workloads: &[Vec<Query>],
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+) -> ScenarioReport {
+    assert_eq!(tables.len(), workloads.len(), "one workload per table");
+    assert!(!tables.is_empty(), "need at least one table");
+    let needs_spill_dir = plan.corrupt_checkpoint_at.is_some()
+        || plan.truncate_checkpoint_at.is_some()
+        || plan.break_spill_dir_at.is_some();
+    assert!(
+        !needs_spill_dir || plan.spill_dir.is_some(),
+        "checkpoint/spill faults require FaultPlan::spill_dir"
+    );
+
+    // Unbatched per-query reference values (the bit-identity baseline for
+    // everything that is served despite the faults).
+    let expected: Vec<Vec<f64>> = tables
+        .iter()
+        .zip(workloads)
+        .map(|((_, estimator), queries)| {
+            let mut reference = estimator.clone();
+            queries.iter().map(|q| reference.estimate(q)).collect()
+        })
+        .collect();
+
+    let mut harness = RouterHarness::new(tables.to_vec(), cfg.harness);
+    harness.tier().set_spill_dir(plan.spill_dir.clone());
+    harness.arm_panic_batches(&plan.panic_batches);
+    let events = script(cfg, workloads);
+    let service_ns = cfg.service_every.as_nanos().max(1) as u64;
+    let mut next_service = service_ns;
+
+    let mut report = ScenarioReport {
+        per_table_submitted: vec![0; tables.len()],
+        per_table_served: vec![0; tables.len()],
+        per_table_shed: vec![0; tables.len()],
+        ..ScenarioReport::default()
+    };
+    let mut ticket_source = Vec::with_capacity(events.len());
+    // Original bytes of the damaged checkpoint, for `restore_checkpoint_at`.
+    let mut damaged: Option<(PathBuf, Vec<u8>)> = None;
+
+    for (index, event) in events.iter().enumerate() {
+        let index = index as u64;
+
+        // Scripted checkpoint/spill faults fire just before this arrival.
+        if let Some((at, table)) = plan.corrupt_checkpoint_at {
+            if at == index {
+                damaged = Some(damage_checkpoint(&harness, plan, table, Damage::FlipByte));
+            }
+        }
+        if let Some((at, table)) = plan.truncate_checkpoint_at {
+            if at == index {
+                damaged = Some(damage_checkpoint(&harness, plan, table, Damage::Truncate));
+            }
+        }
+        if plan.restore_checkpoint_at == Some(index) {
+            let (path, original) =
+                damaged.take().expect("restore scripted before any checkpoint damage");
+            std::fs::write(&path, original).expect("restoring the checkpoint file");
+        }
+        if plan.break_spill_dir_at == Some(index) {
+            let dir =
+                plan.spill_dir.as_ref().expect("spill-dir faults require FaultPlan::spill_dir");
+            // A plain file where the spill directory should be: every
+            // subsequent spill fails `create_dir_all` with a real IO error.
+            let blocker = dir.join("spill-blocker");
+            std::fs::write(&blocker, b"x").expect("writing the spill-dir blocker");
+            harness.tier().set_spill_dir(Some(blocker));
+        }
+        if plan.fix_spill_dir_at == Some(index) {
+            harness.tier().set_spill_dir(plan.spill_dir.clone());
+        }
+
+        // Run the worker cadence up to this arrival.
+        while next_service <= event.at_ns {
+            harness.clock().set(Duration::from_nanos(next_service));
+            harness.turn();
+            next_service += service_ns;
+        }
+        harness.clock().set(Duration::from_nanos(event.at_ns));
+
+        let ticket = ticket_source.len() as u64;
+        ticket_source.push((event.table, event.query));
+        report.submitted += 1;
+        report.per_table_submitted[event.table] += 1;
+        match harness.submit_query(event.table, &workloads[event.table][event.query], ticket) {
+            SubmitResult::Cached(value) => {
+                report.served += 1;
+                report.per_table_served[event.table] += 1;
+                if value.to_bits() != expected[event.table][event.query].to_bits() {
+                    report.mismatches += 1;
+                }
+            }
+            SubmitResult::Queued { depth } => {
+                report.max_shard_depth = report.max_shard_depth.max(depth);
+            }
+            SubmitResult::Shed { .. } => {
+                report.shed_overload += 1;
+                report.per_table_shed[event.table] += 1;
+            }
+        }
+    }
+
+    // Drain the backlog on the same cadence.
+    while harness.queue_depth() > 0 {
+        harness.clock().advance(cfg.service_every);
+        harness.turn();
+    }
+
+    for (ticket, outcome) in harness.outcomes() {
+        let (table, query) = ticket_source[*ticket as usize];
+        match outcome {
+            Ok(value) => {
+                report.served += 1;
+                report.per_table_served[table] += 1;
+                if value.to_bits() != expected[table][query].to_bits() {
+                    report.mismatches += 1;
+                }
+            }
+            Err(ShedReason::WorkerPanicked) => {
+                report.shed_internal += 1;
+                report.per_table_shed[table] += 1;
+            }
+            Err(_) => {
+                report.shed_deadline += 1;
+                report.per_table_shed[table] += 1;
             }
         }
     }

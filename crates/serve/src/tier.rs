@@ -48,6 +48,12 @@ pub struct ModelTier {
     /// Per-table served-request counters, indexed by dense table id; halved
     /// on every eviction (LFU with aging).
     heat: Mutex<Vec<u64>>,
+    // All three locks tolerate poisoning (`into_inner`): shard workers take
+    // them inside the supervised `catch_unwind` region, and every guarded
+    // mutation (a counter bump, a Vec resize, a PathBuf replace) leaves the
+    // data structurally valid even if a panic lands between lock and unlock
+    // — so a recovered worker can keep enforcing the budget instead of
+    // wedging on a poisoned mutex.
     /// Per-table pin counters, indexed by dense table id. A pinned table is
     /// never chosen as an eviction victim — the online trainer pins a table
     /// for the duration of a retrain so the model it is about to hot-swap
@@ -77,19 +83,19 @@ impl ModelTier {
     /// returns to in-memory checkpoints). Already-evicted models keep their
     /// current store until reloaded.
     pub fn set_spill_dir(&self, dir: Option<PathBuf>) {
-        *self.spill_dir.lock().expect("tier poisoned") = dir;
+        *self.spill_dir.lock().unwrap_or_else(|e| e.into_inner()) = dir;
     }
 
     /// A table's current heat (testing/inspection).
     pub fn heat_of(&self, table_id: usize) -> u64 {
-        self.heat.lock().expect("tier poisoned").get(table_id).copied().unwrap_or(0)
+        self.heat.lock().unwrap_or_else(|e| e.into_inner()).get(table_id).copied().unwrap_or(0)
     }
 
     /// Pin `table_id`: until the matching [`ModelTier::unpin`], the table is
     /// never selected as an eviction victim. Pins nest (a counter, not a
     /// flag), so overlapping retrain and inspection pins compose.
     pub fn pin(&self, table_id: usize) {
-        let mut pins = self.pins.lock().expect("tier poisoned");
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
         if pins.len() <= table_id {
             pins.resize(table_id + 1, 0);
         }
@@ -101,7 +107,7 @@ impl ModelTier {
     /// # Panics
     /// Panics if the table is not currently pinned (unbalanced unpin).
     pub fn unpin(&self, table_id: usize) {
-        let mut pins = self.pins.lock().expect("tier poisoned");
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
         let pin = pins.get_mut(table_id).expect("unpin of a never-pinned table");
         assert!(*pin > 0, "unbalanced ModelTier::unpin");
         *pin -= 1;
@@ -109,14 +115,14 @@ impl ModelTier {
 
     /// Whether `table_id` is currently pinned non-evictable.
     pub fn is_pinned(&self, table_id: usize) -> bool {
-        self.pins.lock().expect("tier poisoned").get(table_id).copied().unwrap_or(0) > 0
+        self.pins.lock().unwrap_or_else(|e| e.into_inner()).get(table_id).copied().unwrap_or(0) > 0
     }
 
     /// Fold `served` requests for `table_id` into its heat counter. Called
     /// by the shard worker once per executed batch; allocation-free once
     /// the heat vector has grown to the directory size.
     pub(crate) fn observe(&self, table_id: usize, served: u64) {
-        let mut heat = self.heat.lock().expect("tier poisoned");
+        let mut heat = self.heat.lock().unwrap_or_else(|e| e.into_inner());
         if heat.len() <= table_id {
             heat.resize(table_id + 1, 0);
         }
@@ -142,8 +148,8 @@ impl ModelTier {
                 return;
             }
             let victim = {
-                let heat = self.heat.lock().expect("tier poisoned");
-                let pins = self.pins.lock().expect("tier poisoned");
+                let heat = self.heat.lock().unwrap_or_else(|e| e.into_inner());
+                let pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
                 tables
                     .iter()
                     .enumerate()
@@ -160,17 +166,24 @@ impl ModelTier {
                 // never evict either.
                 return;
             };
-            let spill = self.spill_dir.lock().expect("tier poisoned").clone();
+            let spill = self.spill_dir.lock().unwrap_or_else(|e| e.into_inner()).clone();
             match slot.evict(spill.as_deref()) {
                 Ok(0) => return, // raced with a concurrent evict; don't spin
                 Ok(_freed) => {
                     metrics.record_model_eviction();
-                    let mut heat = self.heat.lock().expect("tier poisoned");
+                    let mut heat = self.heat.lock().unwrap_or_else(|e| e.into_inner());
                     for h in heat.iter_mut() {
                         *h /= 2;
                     }
                 }
-                Err(_) => return, // spill failed; keep the model resident
+                Err(_) => {
+                    // Spill failed (IO error or read-back verification):
+                    // keep the model resident — over budget beats losing the
+                    // only copy of its weights — and make the failure
+                    // visible instead of silently retrying every batch.
+                    metrics.record_spill_failure();
+                    return;
+                }
             }
         }
     }

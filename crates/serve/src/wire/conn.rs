@@ -125,25 +125,35 @@ impl Outbox {
         Self::default()
     }
 
+    // Both locks tolerate poisoning (`into_inner` on the error) instead of
+    // panicking: shard workers touch the outbox inside the supervised
+    // `catch_unwind` region, so a panic between lock and unlock marks the
+    // mutex poisoned even though supervision keeps the process alive. The
+    // guarded data stays structurally valid across such a panic — a
+    // completions vec or request pool is never left mid-mutation by a push —
+    // so continuing with the inner value is sound, and the alternative
+    // (propagating the poison) would wedge the connection forever on a
+    // fault the worker already recovered from.
+
     /// Record the outcome of request `request_id` (called by shard workers).
     pub(crate) fn complete(&self, request_id: u64, outcome: Result<f64, ShedReason>) {
-        self.completions.lock().expect("outbox poisoned").push((request_id, outcome));
+        self.completions.lock().unwrap_or_else(|e| e.into_inner()).push((request_id, outcome));
     }
 
     /// Move all pending completions into `into` (capacity-reusing drain).
     pub(crate) fn drain_completions(&self, into: &mut Vec<(u64, Result<f64, ShedReason>)>) {
-        let mut completions = self.completions.lock().expect("outbox poisoned");
+        let mut completions = self.completions.lock().unwrap_or_else(|e| e.into_inner());
         into.append(&mut completions);
     }
 
     /// Return an executed request's carcass to the pool for reuse.
     pub(crate) fn recycle(&self, request: RoutedRequest) {
-        self.pool.lock().expect("outbox poisoned").push(request);
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).push(request);
     }
 
     /// Take a pooled request (buffers warm) or build a fresh empty one.
     pub(crate) fn take_pooled(&self) -> RoutedRequest {
-        self.pool.lock().expect("outbox poisoned").pop().unwrap_or(RoutedRequest {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or(RoutedRequest {
             table_id: 0,
             slot_uid: 0,
             preds: Vec::new(),
@@ -364,6 +374,9 @@ impl WireConn {
                 // the request sat queued: its binding is gone, so tell the
                 // client to re-resolve the table.
                 Err(ShedReason::StaleRegistration) => (Status::UnknownTable, 0.0),
+                // Supervision caught a panic in the request's batch; the
+                // worker respawned and a retry usually succeeds.
+                Err(ShedReason::WorkerPanicked) => (Status::Internal, 0.0),
             };
             frame::encode_response(self.outbound.tail_mut(), request_id, status, value);
             metrics.record_frame_out();

@@ -104,6 +104,10 @@ pub enum Status {
     /// slot (the table was re-registered mid-flight — the wire face of the
     /// in-process `FeedbackError::StaleSlot`).
     Rejected = 4,
+    /// The request's batch hit an internal fault (a panic caught by shard
+    /// supervision); the worker was respawned. The wire face of the
+    /// in-process `ServeError::Internal` — retrying usually succeeds.
+    Internal = 5,
 }
 
 impl Status {
@@ -114,6 +118,7 @@ impl Status {
             2 => Ok(Status::DeadlineExceeded),
             3 => Ok(Status::UnknownTable),
             4 => Ok(Status::Rejected),
+            5 => Ok(Status::Internal),
             other => Err(DecodeError::UnknownStatus(other)),
         }
     }
@@ -871,7 +876,8 @@ mod tests {
         let (frame, _) = next_frame(&buf, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
         let FrameView::Response(resp) = frame else { panic!("expected response") };
         assert_eq!(resp.status, Status::Rejected);
-        assert_eq!(Status::from_u8(5), Err(DecodeError::UnknownStatus(5)));
+        assert_eq!(Status::from_u8(5), Ok(Status::Internal));
+        assert_eq!(Status::from_u8(6), Err(DecodeError::UnknownStatus(6)));
     }
 
     #[test]

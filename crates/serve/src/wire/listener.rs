@@ -42,6 +42,11 @@ pub struct WireConfig {
     pub max_pipeline: usize,
     /// Sleep after an idle sweep (no bytes moved on any connection).
     pub poll_wait: Duration,
+    /// Graceful-drain budget: after a stop is requested, acceptor threads
+    /// keep sweeping their owned connections (no new accepts) until every
+    /// connection has zero in-flight requests and no unwritten response
+    /// bytes, or this much time has passed — whichever comes first.
+    pub drain: Duration,
 }
 
 impl Default for WireConfig {
@@ -51,6 +56,7 @@ impl Default for WireConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             max_pipeline: 256,
             poll_wait: Duration::from_micros(200),
+            drain: Duration::from_millis(500),
         }
     }
 }
@@ -77,6 +83,12 @@ impl WireHandle {
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
+    }
+
+    /// A clone of the stop flag, so [`crate::DuetServer::shutdown`] can
+    /// request a drain without owning (or joining) this handle.
+    pub(crate) fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
     }
 }
 
@@ -189,7 +201,40 @@ fn acceptor_loop(
         }
     }
 
-    // Shutdown: drop (close) every connection.
+    // Graceful drain: no more accepts, but keep sweeping the connections
+    // this thread already owns so every admitted request gets its response
+    // flushed. A connection is closed as soon as it is quiescent (nothing
+    // in flight, nothing left to write); whatever is still busy when the
+    // drain budget runs out is closed anyway.
+    let drain_deadline = std::time::Instant::now() + config.drain;
+    while !connections.is_empty() && std::time::Instant::now() < drain_deadline {
+        let mut moved = false;
+        let mut i = 0;
+        while i < connections.len() {
+            if connections[i].conn.inflight() == 0 && !connections[i].conn.has_output() {
+                shared.metrics.record_conn_closed();
+                connections.swap_remove(i);
+                moved = true;
+                continue;
+            }
+            match sweep_connection(&mut connections[i], &mut read_buf, shared) {
+                Ok(progressed) => {
+                    moved |= progressed;
+                    i += 1;
+                }
+                Err(()) => {
+                    shared.metrics.record_conn_closed();
+                    connections.swap_remove(i);
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            std::thread::sleep(config.poll_wait);
+        }
+    }
+
+    // Past the deadline (or already quiescent): drop (close) the rest.
     for _ in connections.drain(..) {
         shared.metrics.record_conn_closed();
     }

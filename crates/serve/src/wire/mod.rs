@@ -27,7 +27,7 @@ pub(crate) mod conn;
 pub mod frame;
 pub(crate) mod listener;
 
-pub use client::{TableSpec, WireClient};
+pub use client::{RetryConfig, TableSpec, WireClient};
 pub use conn::{ConnConfig, Outbox, WireConn};
 pub use frame::{DecodeError, FrameView, ResponseFrame, Status};
 pub use listener::{WireConfig, WireHandle};

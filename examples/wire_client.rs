@@ -58,7 +58,7 @@ fn main() {
                 ok += 1;
                 sum += response.value;
             }
-            Status::Overloaded | Status::DeadlineExceeded => shed += 1,
+            Status::Overloaded | Status::DeadlineExceeded | Status::Internal => shed += 1,
             Status::UnknownTable => panic!("server forgot the table mid-stream"),
             Status::Rejected => panic!("estimate requests are never rejected as malformed"),
         }

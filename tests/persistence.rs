@@ -2,10 +2,14 @@
 //! estimator survives a save/load round trip, and a table written to CSV and
 //! read back produces identical ground truth.
 
-use duet::core::{load_weights, save_weights, DuetConfig, DuetEstimator, DuetModel};
+use duet::core::{
+    load_weights, save_weights, verify_checkpoint, DuetConfig, DuetEstimator, DuetModel,
+};
 use duet::data::csv::{read_csv, write_csv};
 use duet::data::datasets::census_like;
+use duet::data::Table;
 use duet::query::{exact_cardinality, CardinalityEstimator, WorkloadSpec};
+use proptest::prelude::*;
 
 #[test]
 fn checkpoint_round_trip_preserves_every_estimate() {
@@ -48,6 +52,73 @@ fn csv_round_trip_preserves_ground_truth() {
     assert_eq!(reloaded.num_columns(), table.num_columns());
     for q in WorkloadSpec::random(&table, 30, 5).generate(&table) {
         assert_eq!(exact_cardinality(&table, &q), exact_cardinality(&reloaded, &q));
+    }
+}
+
+/// One trained, sealed checkpoint shared by every property case below.
+/// Training is the expensive part; the cases only mutate bytes, so the
+/// fixture is built once and each case clones the byte vector.
+fn checkpoint_fixture() -> &'static (Table, usize, DuetConfig, Vec<u8>) {
+    static FIXTURE: std::sync::OnceLock<(Table, usize, DuetConfig, Vec<u8>)> =
+        std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let table = census_like(300, 95);
+        let cfg = DuetConfig::small().with_epochs(1);
+        let mut est = DuetEstimator::train_data_only(&table, &cfg, 9);
+        let bytes = save_weights(&mut est).to_vec();
+        (table.schema_only(), table.num_rows(), cfg, bytes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flipping any bits of any byte of a sealed checkpoint is a typed
+    /// `CheckpointError` from both the frame verifier and the full rebuild
+    /// path — never a panic, never silently loaded garbage weights. Every
+    /// byte of the frame is covered: the magic and length header are
+    /// validated structurally and the payload (plus the checksum field
+    /// itself) by the FNV-1a checksum.
+    #[test]
+    fn corrupting_any_checkpoint_byte_is_a_typed_rebuild_error(
+        index_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let (schema, num_rows, cfg, bytes) = checkpoint_fixture();
+        let mut mutated = bytes.clone();
+        let index = (((mutated.len() - 1) as f64) * index_frac) as usize;
+        mutated[index] ^= mask;
+        prop_assert!(verify_checkpoint(&mutated).is_err());
+        let rebuilt =
+            DuetEstimator::rebuild_from_checkpoint(schema, *num_rows, cfg, "fuzz", &mutated);
+        prop_assert!(rebuilt.is_err());
+    }
+
+    /// Any strict prefix of a sealed checkpoint (a torn write) is a typed
+    /// error, never a panic or an out-of-bounds read.
+    #[test]
+    fn truncating_a_checkpoint_is_a_typed_rebuild_error(len_frac in 0.0f64..1.0) {
+        let (schema, num_rows, cfg, bytes) = checkpoint_fixture();
+        let keep = (((bytes.len() - 1) as f64) * len_frac) as usize;
+        prop_assert!(verify_checkpoint(&bytes[..keep]).is_err());
+        let rebuilt =
+            DuetEstimator::rebuild_from_checkpoint(schema, *num_rows, cfg, "fuzz", &bytes[..keep]);
+        prop_assert!(rebuilt.is_err());
+    }
+
+    /// Arbitrary bytes that never were a checkpoint exercise the decode
+    /// paths without panicking; the pristine fixture still rebuilds
+    /// afterwards, so the failed attempts leave no poisoned state behind.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_rebuild_path(
+        garbage in prop::collection::vec(0u8..=255, 0..96),
+    ) {
+        let (schema, num_rows, cfg, bytes) = checkpoint_fixture();
+        let _ = verify_checkpoint(&garbage);
+        let _ = DuetEstimator::rebuild_from_checkpoint(schema, *num_rows, cfg, "fuzz", &garbage);
+        let pristine =
+            DuetEstimator::rebuild_from_checkpoint(schema, *num_rows, cfg, "fuzz", bytes);
+        prop_assert!(pristine.is_ok());
     }
 }
 

@@ -33,9 +33,15 @@
 //! steady-state body (the `DriftMonitor` histogram-distance check plus one
 //! full `train_step` over a pre-staged batch) alternating with budgeted
 //! routed serving rounds, proving that a background trainer sharing the
-//! process with the hot loop adds no steady-state allocations of its own.
+//! process with the hot loop adds no steady-state allocations of its own —
+//! and the **supervised fault hot loop**: the routed loop with an armed
+//! fault hook and `catch_unwind` supervision around every batch, proving
+//! that the fault-domain machinery (the unwind guard plus the hook's
+//! disarmed atomic check) is free on the happy path; the one injected
+//! panic, the typed batch failure, and the worker respawn all happen
+//! during warm-up.
 //!
-//! Nine phases in all. This lives in its own integration-test binary so the
+//! Ten phases in all. This lives in its own integration-test binary so the
 //! global allocator and the single-threaded measurement cannot interfere
 //! with other tests.
 
@@ -52,7 +58,8 @@ use duet::serve::sim::{HarnessConfig, PreparedRequest, RouterHarness, WireSim};
 use duet::serve::wire::{frame, ConnConfig};
 use duet::serve::{BatchConfig, DriftMonitor, RouterConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static FREES: AtomicU64 = AtomicU64::new(0);
@@ -92,6 +99,7 @@ fn steady_state_batched_inference_is_allocation_free() {
     wire_phase();
     budgeted_tier_phase();
     trainer_tick_phase();
+    supervised_fault_phase();
 }
 
 fn full_batch_phase() {
@@ -542,6 +550,95 @@ fn trainer_tick_phase() {
 
     assert_eq!(allocs, 0, "trainer tick interleaved with serving must not allocate");
     assert_eq!(frees, 0, "trainer tick interleaved with serving must not free");
+}
+
+fn supervised_fault_phase() {
+    // The tenth phase: the supervision wrapper itself. Every batch in the
+    // routed hot loop runs under `catch_unwind` with a fault hook armed on
+    // the worker — in steady state the hook is one disarmed atomic check.
+    // During warm-up the hook actually fires once: the panic is caught,
+    // the batch is failed typed, and the worker respawns with a fresh
+    // workspace pool that regrows over the remaining warm rounds. The
+    // measured window then proves the fault-domain machinery (unwind-guard
+    // entry/exit plus the hook check) adds zero steady-state allocations
+    // on top of the bare routed loop.
+    let cfg = DuetConfig::small().with_epochs(1);
+    let table = census_like(300, 23);
+    let est = DuetEstimator::train_data_only(&table, &cfg, 24);
+    let queries = WorkloadSpec::random(&table, 8, 35).generate(&table);
+
+    let mut harness = RouterHarness::new(
+        vec![("supervised".into(), est)],
+        HarnessConfig {
+            router: RouterConfig { num_shards: 1, queue_capacity: 64, default_deadline: None },
+            batch: BatchConfig::default(),
+            cache_capacity: 0,
+            cache_shards: 1,
+            model_budget_bytes: 0,
+        },
+    );
+    let armed = Arc::new(AtomicBool::new(false));
+    let flag = armed.clone();
+    harness.arm_fault(Arc::new(move || {
+        if flag.load(Ordering::Relaxed) {
+            panic!("injected model fault (zero-alloc warm-up)");
+        }
+    }));
+
+    let mut stash: Vec<PreparedRequest> =
+        queries.iter().map(|q| harness.prepare(0, q, None)).collect();
+    let mut returned: Vec<PreparedRequest> = Vec::with_capacity(stash.len());
+
+    let mut round = |stash: &mut Vec<PreparedRequest>, returned: &mut Vec<PreparedRequest>| {
+        for request in stash.drain(..) {
+            harness.submit_prepared(request).unwrap_or_else(|_| panic!("queue overflow"));
+        }
+        while harness.queue_depth() > 0 {
+            harness.turn_recycling(returned);
+        }
+        std::mem::swap(stash, returned);
+    };
+
+    // Quiet the injected warm-up panic; everything else still prints.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected model fault"));
+        if !injected {
+            previous_hook(info);
+        }
+    }));
+
+    // Warm-up: one clean round, then the armed round — the panic unwinds
+    // through `catch_unwind`, the worker respawns — then two more clean
+    // rounds so the respawned worker's fresh pool regrows to shape.
+    round(&mut stash, &mut returned);
+    armed.store(true, Ordering::Relaxed);
+    round(&mut stash, &mut returned);
+    armed.store(false, Ordering::Relaxed);
+    for _ in 0..2 {
+        round(&mut stash, &mut returned);
+    }
+
+    let (allocs_before, frees_before) =
+        (ALLOCS.load(Ordering::Relaxed), FREES.load(Ordering::Relaxed));
+    for _ in 0..10 {
+        round(&mut stash, &mut returned);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let frees = FREES.load(Ordering::Relaxed) - frees_before;
+
+    assert_eq!(allocs, 0, "supervised routed serving must not allocate in steady state");
+    assert_eq!(frees, 0, "supervised routed serving must not free in steady state");
+    assert_eq!(stash.len(), queries.len(), "every request recycled each round");
+    let snapshot = harness.metrics_snapshot();
+    assert!(snapshot.panics_caught >= 1, "the warm-up fault must actually fire");
+    assert_eq!(
+        snapshot.panics_caught, snapshot.shard_restarts,
+        "every caught panic respawns its worker exactly once"
+    );
 }
 
 fn pooled_large_batch_phase() {
